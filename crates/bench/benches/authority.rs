@@ -1,0 +1,80 @@
+//! Benchmark the authoritative hot path: what one DNS query costs the
+//! mapping system's name servers (the paper's frontend served 1.6M qps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eum_bench::{tiny_internet, BENCH_SEED};
+use eum_cdn::{deployment_universe, CatalogConfig, CdnPlatform, ContentCatalog, DeployConfig};
+use eum_dns::edns::{EcsOption, OptData};
+use eum_dns::{Message, QueryContext, Question};
+use eum_mapping::{MappingConfig, MappingSystem};
+use std::hint::black_box;
+
+fn world() -> (eum_netmodel::Internet, CdnPlatform, MappingSystem) {
+    let mut net = tiny_internet();
+    let sites = deployment_universe(BENCH_SEED, 16);
+    let cdn = CdnPlatform::deploy(
+        &mut net,
+        &sites,
+        &DeployConfig {
+            servers_per_cluster: 4,
+            cache_objects_per_server: 256,
+            cluster_capacity: f64::INFINITY,
+        },
+    );
+    let catalog = ContentCatalog::generate(&CatalogConfig::tiny(BENCH_SEED));
+    let mapping = MappingSystem::build(
+        &mut net,
+        &cdn,
+        &catalog,
+        "cdn.example".parse().unwrap(),
+        MappingConfig {
+            max_ping_targets: 50,
+            ..MappingConfig::default()
+        },
+    );
+    (net, cdn, mapping)
+}
+
+fn bench_handle(c: &mut Criterion) {
+    let (net, _cdn, mut mapping) = world();
+    let ldns = net.resolvers[0].ip;
+    let client = net.blocks[0].client_ip();
+    let ctx = QueryContext {
+        resolver_ip: ldns,
+        now_ms: 0,
+    };
+    let top = mapping.top_level_ip();
+    let low = mapping.ns_ips()[1];
+
+    let plain = Message::query(1, Question::a("e0.cdn.example".parse().unwrap()), None);
+    let ecs = Message::query(
+        2,
+        Question::a("e0.cdn.example".parse().unwrap()),
+        Some(OptData::with_ecs(EcsOption::query(client, 24))),
+    );
+    let whoami = Message::query(3, Question::a(mapping.whoami_name()), None);
+
+    c.bench_function("handle_top_level_delegation", |b| {
+        b.iter(|| mapping.handle(black_box(top), black_box(&plain), &ctx))
+    });
+    c.bench_function("handle_low_level_ns_answer", |b| {
+        b.iter(|| mapping.handle(black_box(low), black_box(&plain), &ctx))
+    });
+    c.bench_function("handle_low_level_ecs_answer", |b| {
+        b.iter(|| mapping.handle(black_box(low), black_box(&ecs), &ctx))
+    });
+    c.bench_function("handle_whoami", |b| {
+        b.iter(|| mapping.handle(black_box(low), black_box(&whoami), &ctx))
+    });
+}
+
+fn bench_rebuild(c: &mut Criterion) {
+    let (net, cdn, mut mapping) = world();
+    let mut group = c.benchmark_group("map_refresh");
+    group.sample_size(10);
+    group.bench_function("rebuild_tiny", |b| b.iter(|| mapping.rebuild(&net, &cdn)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_handle, bench_rebuild);
+criterion_main!(benches);

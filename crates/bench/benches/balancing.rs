@@ -1,0 +1,112 @@
+//! Benchmarks for the mapping pipeline's computational kernels: the
+//! latency model, consistent-hash server picks, scoring, and the global
+//! load balancers (stable allocation vs greedy — the DESIGN.md ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eum_bench::tiny_internet;
+use eum_cdn::ServerId;
+use eum_mapping::{
+    assign, ConsistentRing, LbAlgorithm, MapUnits, PingMatrix, PingTargets, ScoreBasis, ScoreTable,
+    ScoringWeights,
+};
+use eum_netmodel::Endpoint;
+use std::hint::black_box;
+
+fn bench_latency_model(c: &mut Criterion) {
+    let net = tiny_internet();
+    let a = net.blocks[0].endpoint();
+    let b = net.resolvers[0].endpoint();
+    c.bench_function("latency_rtt_ms", |bch| {
+        bch.iter(|| net.latency.rtt_ms(black_box(&a), black_box(&b)))
+    });
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let servers: Vec<ServerId> = (0..24).map(ServerId).collect();
+    let ring = ConsistentRing::new(&servers, 64);
+    c.bench_function("ring_pick_2_of_24", |b| {
+        let mut key = 0u64;
+        b.iter(|| {
+            key = key.wrapping_add(1);
+            ring.pick(black_box(key), 2, |_| true)
+        })
+    });
+}
+
+fn scoring_setup() -> (
+    eum_netmodel::Internet,
+    MapUnits,
+    Vec<Endpoint>,
+    PingTargets,
+    PingMatrix,
+) {
+    let net = tiny_internet();
+    let units = MapUnits::block_units(&net, 24, true);
+    let clusters: Vec<Endpoint> = net
+        .resolvers
+        .iter()
+        .take(12)
+        .map(|r| r.endpoint())
+        .collect();
+    let targets = PingTargets::select(&net, 60, 120.0);
+    let matrix = PingMatrix::measure(&net, &clusters, &targets);
+    (net, units, clusters, targets, matrix)
+}
+
+fn bench_scoring_and_lb(c: &mut Criterion) {
+    let (net, units, clusters, targets, matrix) = scoring_setup();
+    let vantages: Vec<Endpoint> = units
+        .units
+        .iter()
+        .map(|u| net.block(u.members[0]).endpoint())
+        .collect();
+
+    c.bench_function("score_table_build", |b| {
+        b.iter(|| {
+            ScoreTable::build(
+                &net,
+                &units,
+                &vantages,
+                &clusters,
+                &targets,
+                &matrix,
+                ScoringWeights::default(),
+                ScoreBasis::UnitVantage,
+                50,
+            )
+        })
+    });
+
+    let table = ScoreTable::build(
+        &net,
+        &units,
+        &vantages,
+        &clusters,
+        &targets,
+        &matrix,
+        ScoringWeights::default(),
+        ScoreBasis::UnitVantage,
+        50,
+    );
+    let total = units.total_demand();
+    let capacity = vec![total * 1.3 / clusters.len() as f64; clusters.len()];
+    let usable = vec![true; clusters.len()];
+
+    let mut group = c.benchmark_group("global_lb");
+    for algo in [LbAlgorithm::Stable, LbAlgorithm::Greedy] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{algo:?}")),
+            &algo,
+            |b, algo| b.iter(|| assign(*algo, &units, &table, &capacity, &usable)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_latency_model,
+    bench_ring,
+    bench_scoring_and_lb
+);
+criterion_main!(benches);

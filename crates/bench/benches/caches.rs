@@ -1,0 +1,99 @@
+//! Benchmarks for the two caches on the hot path: the ECS-aware resolver
+//! cache (whose per-scope entries are the §5.2 scaling story) and the
+//! server LRU content cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eum_cdn::{ContentId, LruSet};
+use eum_dns::cache::{CachedAnswer, EcsCache};
+use eum_dns::name::name;
+use eum_dns::{Rcode, RrType};
+use eum_geo::Prefix;
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+/// Fills a cache with `n` distinct /24-scoped entries for one name — the
+/// post-roll-out steady state for a popular (domain, LDNS) pair.
+fn filled_cache(n: u32) -> EcsCache {
+    let mut c = EcsCache::new();
+    for i in 0..n {
+        c.insert(
+            name("popular.cdn.example"),
+            RrType::A,
+            CachedAnswer {
+                records: Vec::new(),
+                rcode: Rcode::NoError,
+                scope: Prefix::new(0x0B00_0000 | (i << 8), 24),
+                expires_ms: u64::MAX,
+            },
+        );
+    }
+    c
+}
+
+fn bench_ecs_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecs_cache_lookup");
+    for entries in [1u32, 64, 1024, 16_384] {
+        let mut cache = filled_cache(entries);
+        let client = Ipv4Addr::from(0x0B00_0000 | ((entries / 2) << 8) | 7);
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, _| {
+            b.iter(|| {
+                cache.lookup(
+                    &name("popular.cdn.example"),
+                    RrType::A,
+                    Some(black_box(client)),
+                    0,
+                )
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("ecs_cache_insert_scoped", |b| {
+        let mut cache = filled_cache(1024);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            cache.insert(
+                name("popular.cdn.example"),
+                RrType::A,
+                CachedAnswer {
+                    records: Vec::new(),
+                    rcode: Rcode::NoError,
+                    scope: Prefix::new(0x0C00_0000 | ((i % 4096) << 8), 24),
+                    expires_ms: u64::MAX,
+                },
+            )
+        })
+    });
+}
+
+fn bench_lru(c: &mut Criterion) {
+    c.bench_function("lru_hit", |b| {
+        let mut lru: LruSet<ContentId> = LruSet::new(4096);
+        for i in 0..4096u32 {
+            lru.insert(ContentId {
+                domain: i % 64,
+                object: i / 64,
+            });
+        }
+        let key = ContentId {
+            domain: 5,
+            object: 9,
+        };
+        b.iter(|| lru.touch(black_box(&key)))
+    });
+    c.bench_function("lru_insert_evict", |b| {
+        let mut lru: LruSet<ContentId> = LruSet::new(1024);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            lru.insert(ContentId {
+                domain: i,
+                object: 0,
+            })
+        })
+    });
+}
+
+criterion_group!(benches, bench_ecs_cache, bench_lru);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Microbenchmarks for the DNS wire codec and ECS options — the per-query
+//! cost every authoritative exchange in the simulator pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eum_dns::edns::{EcsOption, OptData};
+use eum_dns::name::name;
+use eum_dns::wire::{decode_message, encode_message};
+use eum_dns::{Message, Question, Rcode, Record};
+use std::hint::black_box;
+
+fn typical_query() -> Message {
+    let ecs = EcsOption::query("93.184.216.34".parse().unwrap(), 24);
+    Message::query(
+        0x1234,
+        Question::a(name("e42.cdn.example")),
+        Some(OptData::with_ecs(ecs)),
+    )
+}
+
+fn typical_response() -> Message {
+    let q = typical_query();
+    let mut r = Message::response_to(&q, Rcode::NoError);
+    r.answers.push(Record::a(
+        name("e42.cdn.example"),
+        20,
+        "96.7.1.1".parse().unwrap(),
+    ));
+    r.answers.push(Record::a(
+        name("e42.cdn.example"),
+        20,
+        "96.7.1.2".parse().unwrap(),
+    ));
+    let ecs = EcsOption {
+        addr: "93.184.216.0".parse().unwrap(),
+        source_prefix: 24,
+        scope_prefix: 20,
+    };
+    r.set_opt(OptData::with_ecs(ecs));
+    r
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let query = typical_query();
+    let response = typical_response();
+    let query_bytes = encode_message(&query);
+    let response_bytes = encode_message(&response);
+
+    c.bench_function("encode_ecs_query", |b| {
+        b.iter(|| encode_message(black_box(&query)))
+    });
+    c.bench_function("encode_a_response", |b| {
+        b.iter(|| encode_message(black_box(&response)))
+    });
+    c.bench_function("decode_ecs_query", |b| {
+        b.iter(|| decode_message(black_box(&query_bytes)).unwrap())
+    });
+    c.bench_function("decode_a_response", |b| {
+        b.iter(|| decode_message(black_box(&response_bytes)).unwrap())
+    });
+    c.bench_function("query_response_round_trip", |b| {
+        b.iter(|| {
+            let qb = encode_message(black_box(&query));
+            let q = decode_message(&qb).unwrap();
+            let rb = encode_message(black_box(&response));
+            let r = decode_message(&rb).unwrap();
+            (q, r)
+        })
+    });
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Macro benchmarks: the figure-regeneration pipelines themselves —
+//! world generation, NetSession analysis, one simulated day of the
+//! roll-out, resolution paths, and the §6 study at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eum_bench::{tiny_internet, BENCH_SEED};
+use eum_mapping::{run_study, StudyConfig};
+use eum_netmodel::{Internet, InternetConfig};
+use eum_sim::{PairDataset, Scenario, ScenarioConfig};
+use std::hint::black_box;
+
+fn bench_worlds(c: &mut Criterion) {
+    c.bench_function("generate_tiny_internet", |b| {
+        b.iter(|| Internet::generate(InternetConfig::tiny(black_box(BENCH_SEED))))
+    });
+    let net = tiny_internet();
+    c.bench_function("netsession_collect", |b| {
+        b.iter(|| PairDataset::collect(black_box(&net)))
+    });
+    c.bench_function("scenario_build_tiny", |b| {
+        b.iter(|| Scenario::build(ScenarioConfig::tiny(BENCH_SEED)))
+    });
+}
+
+fn bench_study(c: &mut Criterion) {
+    let net = tiny_internet();
+    let cfg = StudyConfig::quick(BENCH_SEED);
+    let mut group = c.benchmark_group("deploy_study");
+    group.sample_size(10);
+    group.bench_function("quick", |b| b.iter(|| run_study(black_box(&net), &cfg)));
+    group.finish();
+}
+
+fn bench_rollout_day(c: &mut Criterion) {
+    // One full simulated day, measured by running a 1-day roll-out.
+    let mut group = c.benchmark_group("rollout");
+    group.sample_size(10);
+    group.bench_function("one_day_tiny", |b| {
+        b.iter_with_setup(
+            || {
+                let mut cfg = ScenarioConfig::tiny(BENCH_SEED);
+                cfg.rollout.days = 1;
+                cfg.rollout.start_day = 0;
+                cfg.rollout.end_day = 1;
+                cfg.rollout.window_days = 1;
+                Scenario::build(cfg)
+            },
+            |scenario| scenario.run_rollout(),
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_worlds, bench_study, bench_rollout_day);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benchmarks live in `benches/`; this library only provides common
+//! world-building helpers so each bench file stays focused on its
+//! measurement loop.
+
+use eum_netmodel::{Internet, InternetConfig};
+
+/// The bench seed (kept distinct from the repro seed so benches never
+/// accidentally depend on reproduction outputs).
+pub const BENCH_SEED: u64 = 0xBE4C;
+
+/// A tiny Internet for microbenchmarks.
+pub fn tiny_internet() -> Internet {
+    Internet::generate(InternetConfig::tiny(BENCH_SEED))
+}
+
+/// A small Internet for macro benchmarks.
+pub fn small_internet() -> Internet {
+    Internet::generate(InternetConfig::small(BENCH_SEED))
+}

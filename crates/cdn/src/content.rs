@@ -1,0 +1,348 @@
+//! The content catalog: hosted domains, pages, and embedded objects.
+//!
+//! The paper measures page loads of real web sites hosted on the CDN
+//! (§4.2: "6,388 domain names and 2.5 million unique URLs"). The catalog
+//! generates a hosted-domain population with Zipf popularity (which drives
+//! the per-(domain, LDNS) query-rate spread of Figure 24), per-domain DNS
+//! TTLs, a dynamic base page whose construction may need the origin
+//! (§4.1's TTFB decomposition), and cacheable embedded objects (whose
+//! delivery dominates content download time).
+
+use eum_dns::name::DnsName;
+use eum_geo::{Country, GeoPoint};
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// Identifies one cacheable object: (domain index, object index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ContentId {
+    /// Index of the owning domain in the catalog.
+    pub domain: u32,
+    /// Object index within the domain (0 = the base page itself).
+    pub object: u32,
+}
+
+/// The traffic class of a hosted domain (§2.2: "Different scoring
+/// functions that incorporate bandwidth, latency, packet loss, etc can be
+/// used for different traffic classes (web, video, applications, etc)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// Interactive web pages: latency-dominated.
+    Web,
+    /// Streaming video: sustained-throughput-dominated, loss-sensitive.
+    Video,
+    /// Large file downloads: throughput-dominated, latency-insensitive.
+    Download,
+}
+
+impl TrafficClass {
+    /// All classes.
+    pub const ALL: [TrafficClass; 3] = [
+        TrafficClass::Web,
+        TrafficClass::Video,
+        TrafficClass::Download,
+    ];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrafficClass::Web => "web",
+            TrafficClass::Video => "video",
+            TrafficClass::Download => "download",
+        }
+    }
+}
+
+/// An embedded object on a page (CSS, image, JavaScript — "typically more
+/// static and cacheable", §4.1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmbeddedObject {
+    /// Transfer size in kilobytes.
+    pub size_kb: f64,
+    /// Whether the CDN may cache it (a small fraction is personalized).
+    pub cacheable: bool,
+}
+
+/// A domain hosted on the CDN.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HostedDomain {
+    /// The CDN-side name the provider CNAMEs to (e.g. `e42.cdn.example`).
+    pub cdn_name: DnsName,
+    /// The provider's public name (e.g. `www.shop42.example`).
+    pub www_name: DnsName,
+    /// Zipf popularity weight (relative request rate).
+    pub popularity: f64,
+    /// Traffic class, selecting the mapping system's scoring function.
+    pub class: TrafficClass,
+    /// Authoritative A-record TTL, seconds (low, as CDNs use for agility).
+    pub ttl_s: u32,
+    /// Whether the base page is dynamic (needs origin on every load).
+    pub dynamic_base: bool,
+    /// Mean server page-construction time, ms.
+    pub server_time_ms: f64,
+    /// Base page size in kilobytes.
+    pub base_size_kb: f64,
+    /// Embedded objects.
+    pub objects: Vec<EmbeddedObject>,
+    /// Origin location (content provider's own hosting).
+    pub origin_loc: GeoPoint,
+    /// Origin country.
+    pub origin_country: Country,
+}
+
+impl HostedDomain {
+    /// Content ID of the base page.
+    pub fn base_content(&self, domain_idx: u32) -> ContentId {
+        ContentId {
+            domain: domain_idx,
+            object: 0,
+        }
+    }
+
+    /// Content ID of embedded object `i` (0-based).
+    pub fn object_content(&self, domain_idx: u32, i: u32) -> ContentId {
+        ContentId {
+            domain: domain_idx,
+            object: i + 1,
+        }
+    }
+
+    /// Total bytes of one full page view, kilobytes.
+    pub fn total_kb(&self) -> f64 {
+        self.base_size_kb + self.objects.iter().map(|o| o.size_kb).sum::<f64>()
+    }
+}
+
+/// Catalog generation knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CatalogConfig {
+    /// Seed for the catalog's RNG stream.
+    pub seed: u64,
+    /// Number of hosted domains.
+    pub n_domains: usize,
+    /// Zipf exponent for domain popularity.
+    pub zipf_s: f64,
+}
+
+impl CatalogConfig {
+    /// A small catalog for tests.
+    pub fn tiny(seed: u64) -> Self {
+        CatalogConfig {
+            seed,
+            n_domains: 12,
+            zipf_s: 0.9,
+        }
+    }
+
+    /// The scale used by the reproduction scenario.
+    pub fn paper(seed: u64) -> Self {
+        CatalogConfig {
+            seed,
+            n_domains: 160,
+            zipf_s: 0.9,
+        }
+    }
+}
+
+/// The set of domains hosted on the CDN.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContentCatalog {
+    /// All hosted domains; index = `ContentId::domain`.
+    pub domains: Vec<HostedDomain>,
+}
+
+/// Origin hosting locations: mostly large US/EU metros, as is typical for
+/// content providers' own infrastructure.
+const ORIGIN_CITIES: &[(&str, f64)] = &[
+    ("New York", 3.0),
+    ("San Jose", 3.0),
+    ("Dallas", 2.0),
+    ("Chicago", 1.5),
+    ("London", 2.0),
+    ("Frankfurt", 1.5),
+    ("Tokyo", 1.0),
+    ("Singapore", 0.5),
+];
+
+impl ContentCatalog {
+    /// Generates a catalog. Deterministic in `cfg.seed`.
+    pub fn generate(cfg: &CatalogConfig) -> ContentCatalog {
+        let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed ^ 0xC0_4E_7E_47);
+        let mut domains = Vec::with_capacity(cfg.n_domains);
+        let origin_weights: Vec<f64> = ORIGIN_CITIES.iter().map(|(_, w)| *w).collect();
+        for i in 0..cfg.n_domains {
+            // Zipf popularity by rank (rank 0 most popular).
+            let popularity = 1.0 / ((i + 1) as f64).powf(cfg.zipf_s);
+            // DNS TTLs. Production CDN A-records use ~20-60s TTLs, but the
+            // simulated workload is a *sampled* RUM stream — page views are
+            // thinned by roughly 100-500× relative to the demand the paper's
+            // LDNSes actually see. Queries-per-TTL (the regime Figures 23/24
+            // depend on) is rate × TTL, so TTLs are scaled up by the same
+            // factor to preserve that product. See DESIGN.md "time thinning".
+            let ttl_s = *[7_200u32, 14_400, 14_400, 28_800, 43_200]
+                .get(rng.random_range(0..5usize))
+                .expect("index in range");
+            let n_objects = rng.random_range(4..40usize);
+            let objects = (0..n_objects)
+                .map(|_| EmbeddedObject {
+                    // Log-uniform sizes, 2–300 KB.
+                    size_kb: 2.0 * (150.0f64).powf(rng.random_range(0.0..1.0)),
+                    cacheable: rng.random_bool(0.92),
+                })
+                .collect();
+            let origin_idx = {
+                let total: f64 = origin_weights.iter().sum();
+                let mut r = rng.random_range(0.0..total);
+                let mut chosen = 0;
+                for (j, w) in origin_weights.iter().enumerate() {
+                    r -= w;
+                    if r <= 0.0 {
+                        chosen = j;
+                        break;
+                    }
+                }
+                chosen
+            };
+            let city = eum_geo::GAZETTEER
+                .iter()
+                .find(|c| c.name == ORIGIN_CITIES[origin_idx].0)
+                .expect("origin city in gazetteer");
+            // ~70% web, ~20% video, ~10% download — roughly the CDN
+            // traffic-class mix by request count.
+            let class = {
+                let roll: f64 = rng.random_range(0.0..1.0);
+                if roll < 0.70 {
+                    TrafficClass::Web
+                } else if roll < 0.90 {
+                    TrafficClass::Video
+                } else {
+                    TrafficClass::Download
+                }
+            };
+            domains.push(HostedDomain {
+                cdn_name: format!("e{i}.cdn.example").parse().expect("valid name"),
+                www_name: format!("www.site{i}.example").parse().expect("valid name"),
+                popularity,
+                class,
+                ttl_s,
+                dynamic_base: rng.random_bool(0.6),
+                server_time_ms: rng.random_range(5.0..40.0),
+                base_size_kb: rng.random_range(20.0..120.0),
+                objects,
+                origin_loc: city.point(),
+                origin_country: city.country,
+            });
+        }
+        ContentCatalog { domains }
+    }
+
+    /// Number of domains.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// The domain a CDN name belongs to.
+    pub fn by_cdn_name(&self, name: &DnsName) -> Option<(u32, &HostedDomain)> {
+        self.domains
+            .iter()
+            .enumerate()
+            .find(|(_, d)| d.cdn_name == *name)
+            .map(|(i, d)| (i as u32, d))
+    }
+
+    /// Popularity weights for workload sampling.
+    pub fn popularity_weights(&self) -> Vec<f64> {
+        self.domains.iter().map(|d| d.popularity).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> ContentCatalog {
+        ContentCatalog::generate(&CatalogConfig::tiny(7))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = catalog();
+        let b = catalog();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.domains.iter().zip(&b.domains) {
+            assert_eq!(x.cdn_name, y.cdn_name);
+            assert_eq!(x.ttl_s, y.ttl_s);
+            assert_eq!(x.objects.len(), y.objects.len());
+        }
+    }
+
+    #[test]
+    fn popularity_is_zipf_decreasing() {
+        let c = catalog();
+        let w = c.popularity_weights();
+        for pair in w.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+        assert!(w[0] / w.last().unwrap() > 5.0, "head should dominate tail");
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let c = catalog();
+        let mut names: Vec<_> = c.domains.iter().map(|d| d.cdn_name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), c.len());
+        let (idx, d) = c.by_cdn_name(&"e3.cdn.example".parse().unwrap()).unwrap();
+        assert_eq!(idx, 3);
+        assert_eq!(d.www_name, "www.site3.example".parse().unwrap());
+        assert!(c.by_cdn_name(&"nope.example".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn content_ids_distinguish_objects() {
+        let c = catalog();
+        let d = &c.domains[0];
+        assert_eq!(
+            d.base_content(0),
+            ContentId {
+                domain: 0,
+                object: 0
+            }
+        );
+        assert_eq!(
+            d.object_content(0, 0),
+            ContentId {
+                domain: 0,
+                object: 1
+            }
+        );
+        assert_ne!(d.base_content(0), d.object_content(0, 0));
+    }
+
+    #[test]
+    fn sizes_and_ttls_are_sane() {
+        let c = catalog();
+        for d in &c.domains {
+            assert!(d.total_kb() > d.base_size_kb);
+            assert!((7_200..=43_200).contains(&d.ttl_s));
+            assert!(!d.objects.is_empty());
+            for o in &d.objects {
+                assert!((2.0..=300.0).contains(&o.size_kb));
+            }
+        }
+    }
+
+    #[test]
+    fn some_domains_are_dynamic_and_some_static() {
+        let c = ContentCatalog::generate(&CatalogConfig::paper(1));
+        let dynamic = c.domains.iter().filter(|d| d.dynamic_base).count();
+        assert!(dynamic > 0 && dynamic < c.len());
+    }
+}

@@ -1,0 +1,242 @@
+//! CDN deployments: clusters of servers placed around the world.
+//!
+//! "Akamai's CDN achieves its goal by deploying a large number of servers
+//! in hundreds of data centers around the world, so as to be 'proximal' in
+//! a network sense to clients" (§1). A [`Cluster`] is one deployment
+//! location (the paper's §6 universe has 2642 of them); each holds a rack
+//! of [`Server`]s with LRU content caches.
+
+use crate::content::ContentId;
+use crate::lru::LruSet;
+use eum_geo::{Asn, Country, GeoPoint, Prefix};
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+use std::ops::Range;
+
+/// Index of a cluster (deployment location).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClusterId(pub u32);
+
+impl ClusterId {
+    /// The index as usize.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of a server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ServerId(pub u32);
+
+impl ServerId {
+    /// The index as usize.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A candidate deployment location.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeploymentSite {
+    /// Human-readable site name (city + ordinal).
+    pub name: String,
+    /// Location.
+    pub loc: GeoPoint,
+    /// Country.
+    pub country: Country,
+}
+
+/// Builds a universe of candidate deployment sites, mirroring §6's
+/// methodology ("a universe U of possible deployment locations by using
+/// 2642 different locations around the globe … chosen to provide good
+/// coverage of the global Internet").
+///
+/// Sites are scattered around gazetteer cities proportionally to city
+/// weight until `n` sites exist. Deterministic in `seed`.
+pub fn deployment_universe(seed: u64, n: usize) -> Vec<DeploymentSite> {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0xDE_9107);
+    let mut cities: Vec<&eum_geo::City> = eum_geo::GAZETTEER.iter().collect();
+    // Heaviest cities first, so small deployments still sit where demand is.
+    cities.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("finite weights"));
+    let total_weight: f64 = cities.iter().map(|c| c.weight).sum();
+    let mut sites = Vec::with_capacity(n);
+    // First pass: guarantee every city hosts at least one site (coverage),
+    // then fill the remainder weighted.
+    for city in &cities {
+        if sites.len() >= n {
+            break;
+        }
+        sites.push(DeploymentSite {
+            name: format!("{}-0", city.name),
+            loc: city.point(),
+            country: city.country,
+        });
+    }
+    let mut per_city_count: Vec<usize> = vec![1; cities.len()];
+    while sites.len() < n {
+        // Weighted city choice.
+        let mut r = rng.random_range(0.0..total_weight);
+        let mut idx = 0;
+        for (i, c) in cities.iter().enumerate() {
+            r -= c.weight;
+            if r <= 0.0 {
+                idx = i;
+                break;
+            }
+        }
+        let city = &cities[idx];
+        let ord = per_city_count[idx];
+        per_city_count[idx] += 1;
+        // Additional sites sit at nearby interconnection points.
+        let dist = rng.random_range(2.0..40.0);
+        let theta: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+        sites.push(DeploymentSite {
+            name: format!("{}-{}", city.name, ord),
+            loc: city
+                .point()
+                .offset_miles(dist * theta.sin(), dist * theta.cos()),
+            country: city.country,
+        });
+    }
+    sites
+}
+
+/// One deployment location with its servers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Arena index.
+    pub id: ClusterId,
+    /// Site name.
+    pub name: String,
+    /// Location.
+    pub loc: GeoPoint,
+    /// Country.
+    pub country: Country,
+    /// The CDN AS announcing this cluster's prefix.
+    pub asn: Asn,
+    /// The cluster's /24.
+    pub prefix: Prefix,
+    /// Serving capacity in demand units (global LB constraint).
+    pub capacity: f64,
+    /// Index range of this cluster's servers in the server arena.
+    pub servers: Range<u32>,
+    /// Liveness flag (failure injection flips this).
+    pub alive: bool,
+}
+
+impl Cluster {
+    /// Iterates the cluster's server IDs.
+    pub fn server_ids(&self) -> impl Iterator<Item = ServerId> {
+        self.servers.clone().map(ServerId)
+    }
+}
+
+/// One edge server.
+#[derive(Debug, Clone)]
+pub struct Server {
+    /// Arena index.
+    pub id: ServerId,
+    /// Owning cluster.
+    pub cluster: ClusterId,
+    /// Serving IP.
+    pub ip: Ipv4Addr,
+    /// Content cache.
+    pub cache: LruSet<ContentId>,
+    /// Liveness flag.
+    pub alive: bool,
+    /// Requests served (diagnostics).
+    pub requests: u64,
+    /// Cache hits (diagnostics).
+    pub hits: u64,
+}
+
+impl Server {
+    /// Serves one request for `content`: returns `true` on cache hit.
+    /// A miss inserts the object (fetch-on-miss), evicting LRU content.
+    pub fn serve(&mut self, content: ContentId, cacheable: bool) -> bool {
+        self.requests += 1;
+        if !cacheable {
+            return false;
+        }
+        if self.cache.touch(&content) {
+            self.hits += 1;
+            true
+        } else {
+            self.cache.insert(content);
+            false
+        }
+    }
+
+    /// Observed cache hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universe_is_deterministic_and_sized() {
+        let a = deployment_universe(1, 500);
+        let b = deployment_universe(1, 500);
+        assert_eq!(a.len(), 500);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+        }
+    }
+
+    #[test]
+    fn universe_covers_every_country_first() {
+        let sites = deployment_universe(2, eum_geo::GAZETTEER.len());
+        let countries: std::collections::BTreeSet<_> = sites.iter().map(|s| s.country).collect();
+        assert_eq!(countries.len(), eum_geo::Country::ALL.len());
+    }
+
+    #[test]
+    fn universe_site_names_are_unique() {
+        let sites = deployment_universe(3, 2642);
+        let mut names: Vec<_> = sites.iter().map(|s| s.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 2642);
+    }
+
+    #[test]
+    fn big_cities_host_more_sites() {
+        let sites = deployment_universe(4, 2000);
+        let count = |city: &str| sites.iter().filter(|s| s.name.starts_with(city)).count();
+        assert!(count("New York") > count("Chiang Mai"));
+    }
+
+    #[test]
+    fn server_serve_tracks_hits() {
+        let mut s = Server {
+            id: ServerId(0),
+            cluster: ClusterId(0),
+            ip: "96.0.0.10".parse().unwrap(),
+            cache: LruSet::new(4),
+            alive: true,
+            requests: 0,
+            hits: 0,
+        };
+        let c = ContentId {
+            domain: 0,
+            object: 1,
+        };
+        assert!(!s.serve(c, true), "first request is a miss");
+        assert!(s.serve(c, true), "second request hits");
+        assert!(!s.serve(c, false), "uncacheable never hits");
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.hits, 1);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,279 @@
+#![warn(missing_docs)]
+
+//! The CDN platform model: deployments, server caches, content, origins,
+//! and transfer timing.
+//!
+//! This crate is the substrate under the mapping system: it owns the
+//! clusters/servers the mapping system assigns clients to (paper §2.2
+//! "Server Assignment"), the content catalog those servers cache, the
+//! origin/overlay path used on cache misses and dynamic pages, and the
+//! TCP model that turns RTT + loss into the TTFB and download-time metrics
+//! of §4.1.
+
+pub mod content;
+pub mod deployment;
+pub mod lru;
+pub mod transfer;
+
+pub use content::{
+    CatalogConfig, ContentCatalog, ContentId, EmbeddedObject, HostedDomain, TrafficClass,
+};
+pub use deployment::{deployment_universe, Cluster, ClusterId, DeploymentSite, Server, ServerId};
+pub use lru::LruSet;
+pub use transfer::{overlay_fetch_ms, page_timings, PageLoadInputs, PageTimings, TcpModel};
+
+use eum_geo::{Asn, GeoInfo};
+use eum_netmodel::{Endpoint, Internet};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// The AS number the CDN announces its server prefixes from.
+pub const CDN_ASN: Asn = Asn(64_500);
+
+/// Deployment parameters.
+#[derive(Debug, Clone)]
+pub struct DeployConfig {
+    /// Servers per cluster.
+    pub servers_per_cluster: usize,
+    /// Cache capacity per server, objects.
+    pub cache_objects_per_server: usize,
+    /// Capacity of each cluster in demand units.
+    pub cluster_capacity: f64,
+}
+
+impl Default for DeployConfig {
+    fn default() -> Self {
+        DeployConfig {
+            servers_per_cluster: 8,
+            cache_objects_per_server: 4096,
+            cluster_capacity: f64::INFINITY,
+        }
+    }
+}
+
+/// The deployed CDN platform.
+#[derive(Debug, Clone)]
+pub struct CdnPlatform {
+    /// All clusters.
+    pub clusters: Vec<Cluster>,
+    /// All servers (contiguous per cluster).
+    pub servers: Vec<Server>,
+    /// The TCP model used for this platform's transfers.
+    pub tcp: TcpModel,
+    by_ip: HashMap<Ipv4Addr, ServerId>,
+}
+
+impl CdnPlatform {
+    /// Deploys clusters at the given sites into `internet`, allocating a
+    /// /24 per cluster (registered in the geolocation DB and BGP table —
+    /// the CDN is part of the same Internet its mapping system measures).
+    pub fn deploy(
+        internet: &mut Internet,
+        sites: &[DeploymentSite],
+        cfg: &DeployConfig,
+    ) -> CdnPlatform {
+        let mut clusters = Vec::with_capacity(sites.len());
+        let mut servers = Vec::new();
+        let mut by_ip = HashMap::new();
+        for (i, site) in sites.iter().enumerate() {
+            let id = ClusterId(i as u32);
+            let prefix = internet.alloc_infra_block(GeoInfo {
+                point: site.loc,
+                country: site.country,
+                asn: CDN_ASN,
+            });
+            let first = servers.len() as u32;
+            for s in 0..cfg.servers_per_cluster {
+                let sid = ServerId(servers.len() as u32);
+                // Servers occupy .10, .11, … of the cluster /24.
+                let ip = Ipv4Addr::from(prefix.addr() | (10 + s as u32));
+                by_ip.insert(ip, sid);
+                servers.push(Server {
+                    id: sid,
+                    cluster: id,
+                    ip,
+                    cache: LruSet::new(cfg.cache_objects_per_server),
+                    alive: true,
+                    requests: 0,
+                    hits: 0,
+                });
+            }
+            clusters.push(Cluster {
+                id,
+                name: site.name.clone(),
+                loc: site.loc,
+                country: site.country,
+                asn: CDN_ASN,
+                prefix,
+                capacity: cfg.cluster_capacity,
+                servers: first..first + cfg.servers_per_cluster as u32,
+                alive: true,
+            });
+        }
+        CdnPlatform {
+            clusters,
+            servers,
+            tcp: TcpModel::default(),
+            by_ip,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// The cluster with the given ID.
+    pub fn cluster(&self, id: ClusterId) -> &Cluster {
+        &self.clusters[id.index()]
+    }
+
+    /// The server with the given ID.
+    pub fn server(&self, id: ServerId) -> &Server {
+        &self.servers[id.index()]
+    }
+
+    /// Mutable server access (cache operations).
+    pub fn server_mut(&mut self, id: ServerId) -> &mut Server {
+        &mut self.servers[id.index()]
+    }
+
+    /// Finds the server owning a serving IP.
+    pub fn server_by_ip(&self, ip: Ipv4Addr) -> Option<ServerId> {
+        self.by_ip.get(&ip).copied()
+    }
+
+    /// A cluster's representative network endpoint (its first server).
+    pub fn cluster_endpoint(&self, id: ClusterId) -> Endpoint {
+        let c = self.cluster(id);
+        let ip = Ipv4Addr::from(c.prefix.addr() | 10);
+        Endpoint::infra(ip, c.loc, c.country, c.asn)
+    }
+
+    /// A server's network endpoint.
+    pub fn server_endpoint(&self, id: ServerId) -> Endpoint {
+        let s = self.server(id);
+        let c = self.cluster(s.cluster);
+        Endpoint::infra(s.ip, c.loc, c.country, c.asn)
+    }
+
+    /// Marks a cluster (and its servers) dead or alive — failure injection
+    /// for mapping-system liveness tests.
+    pub fn set_cluster_alive(&mut self, id: ClusterId, alive: bool) {
+        self.clusters[id.index()].alive = alive;
+        let range = self.clusters[id.index()].servers.clone();
+        for s in range {
+            self.servers[s as usize].alive = alive;
+        }
+    }
+
+    /// IDs of live clusters.
+    pub fn live_clusters(&self) -> impl Iterator<Item = ClusterId> + '_ {
+        self.clusters.iter().filter(|c| c.alive).map(|c| c.id)
+    }
+
+    /// Aggregate cache hit rate across all servers.
+    pub fn overall_hit_rate(&self) -> f64 {
+        let requests: u64 = self.servers.iter().map(|s| s.requests).sum();
+        let hits: u64 = self.servers.iter().map(|s| s.hits).sum();
+        if requests == 0 {
+            0.0
+        } else {
+            hits as f64 / requests as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eum_netmodel::InternetConfig;
+
+    fn platform() -> (Internet, CdnPlatform) {
+        let mut net = Internet::generate(InternetConfig::tiny(5));
+        let sites = deployment_universe(5, 12);
+        let cdn = CdnPlatform::deploy(
+            &mut net,
+            &sites,
+            &DeployConfig {
+                servers_per_cluster: 4,
+                cache_objects_per_server: 64,
+                cluster_capacity: 1e9,
+            },
+        );
+        (net, cdn)
+    }
+
+    #[test]
+    fn deploy_creates_clusters_and_servers() {
+        let (_, cdn) = platform();
+        assert_eq!(cdn.cluster_count(), 12);
+        assert_eq!(cdn.servers.len(), 48);
+        for c in &cdn.clusters {
+            assert_eq!(c.server_ids().count(), 4);
+            for sid in c.server_ids() {
+                assert_eq!(cdn.server(sid).cluster, c.id);
+                assert!(c.prefix.contains(cdn.server(sid).ip));
+            }
+        }
+    }
+
+    #[test]
+    fn servers_resolve_by_ip() {
+        let (_, cdn) = platform();
+        for s in &cdn.servers {
+            assert_eq!(cdn.server_by_ip(s.ip), Some(s.id));
+        }
+        assert_eq!(cdn.server_by_ip("1.2.3.4".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn clusters_are_geolocatable_in_the_internet() {
+        let (net, cdn) = platform();
+        for c in &cdn.clusters {
+            let info = net.geodb.lookup_block(c.prefix).expect("cluster in geodb");
+            assert_eq!(info.asn, CDN_ASN);
+            assert_eq!(info.country, c.country);
+            assert_eq!(net.bgp.origin(c.prefix), Some(CDN_ASN));
+        }
+    }
+
+    #[test]
+    fn failure_injection_toggles_liveness() {
+        let (_, mut cdn) = platform();
+        let id = ClusterId(3);
+        cdn.set_cluster_alive(id, false);
+        assert!(!cdn.cluster(id).alive);
+        assert!(cdn.live_clusters().all(|c| c != id));
+        for sid in cdn.cluster(id).server_ids().collect::<Vec<_>>() {
+            assert!(!cdn.server(sid).alive);
+        }
+        cdn.set_cluster_alive(id, true);
+        assert_eq!(cdn.live_clusters().count(), cdn.cluster_count());
+    }
+
+    #[test]
+    fn endpoints_carry_cluster_location() {
+        let (_, cdn) = platform();
+        let ep = cdn.cluster_endpoint(ClusterId(0));
+        assert_eq!(ep.asn, CDN_ASN);
+        assert_eq!(ep.loc, cdn.cluster(ClusterId(0)).loc);
+        let sep = cdn.server_endpoint(ServerId(0));
+        assert_eq!(sep.ip, cdn.server(ServerId(0)).ip);
+    }
+
+    #[test]
+    fn hit_rate_improves_on_repeats() {
+        let (_, mut cdn) = platform();
+        let content = ContentId {
+            domain: 1,
+            object: 2,
+        };
+        let sid = ServerId(0);
+        assert!(!cdn.server_mut(sid).serve(content, true));
+        for _ in 0..9 {
+            assert!(cdn.server_mut(sid).serve(content, true));
+        }
+        assert!((cdn.overall_hit_rate() - 0.9).abs() < 1e-12);
+    }
+}

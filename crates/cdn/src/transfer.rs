@@ -1,0 +1,322 @@
+//! TCP transfer-time and page-timing models.
+//!
+//! Produces the two client-side metrics of paper §4.1:
+//!
+//! * **TTFB** — "duration from when the client makes a HTTP request …
+//!   to when the first byte … was received": one client–server RTT
+//!   (request up + first byte down) plus server page-construction time,
+//!   plus the origin fetch when the page is dynamic or missed cache.
+//! * **Content download time** — "from the receiving of the first byte …
+//!   to completing the download": a slow-start-aware transfer of the page
+//!   body and embedded objects, dominated by client–server RTT.
+//!
+//! The TCP model is intentionally standard: IW10, per-RTT cwnd doubling to
+//! a cap, and a loss term that stretches rounds by the expected
+//! retransmission cost. It does not simulate individual packets — the
+//! paper's metrics are aggregate timings, and this closed form captures
+//! their RTT dependence, which is what the roll-out changes.
+
+use serde::{Deserialize, Serialize};
+
+/// TCP model parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TcpModel {
+    /// Initial congestion window, segments (RFC 6928's IW10).
+    pub init_cwnd: f64,
+    /// Maximum effective window, segments (receive-window / bandwidth cap).
+    pub max_cwnd: f64,
+    /// Segment payload, kilobytes (1460 B MSS).
+    pub mss_kb: f64,
+}
+
+impl Default for TcpModel {
+    fn default() -> Self {
+        TcpModel {
+            init_cwnd: 10.0,
+            max_cwnd: 256.0,
+            mss_kb: 1.46,
+        }
+    }
+}
+
+impl TcpModel {
+    /// Time to deliver `size_kb` after the first byte is flowing, in ms.
+    ///
+    /// Counts the number of additional round trips slow start needs beyond
+    /// the first window, then stretches by a loss factor: each lost
+    /// segment costs roughly one extra RTT for fast retransmit, so the
+    /// expected stretch is `1 + loss_rate × retx_cost`.
+    pub fn transfer_ms(&self, size_kb: f64, rtt_ms: f64, loss_rate: f64) -> f64 {
+        if size_kb <= 0.0 {
+            return 0.0;
+        }
+        let segments = (size_kb / self.mss_kb).ceil();
+        let mut sent = self.init_cwnd;
+        let mut cwnd = self.init_cwnd;
+        let mut rounds = 0u32;
+        while sent < segments {
+            cwnd = (cwnd * 2.0).min(self.max_cwnd);
+            sent += cwnd;
+            rounds += 1;
+        }
+        let loss_stretch = 1.0 + loss_rate.clamp(0.0, 0.05) * 8.0;
+        // The final window drains within the same RTT as its first byte,
+        // so `rounds` full RTTs plus half an RTT of serialization tail.
+        (rounds as f64 * rtt_ms + 0.5 * rtt_ms.min(20.0)) * loss_stretch
+    }
+
+    /// TCP connection establishment: one RTT (SYN + SYN-ACK).
+    pub fn handshake_ms(&self, rtt_ms: f64) -> f64 {
+        rtt_ms
+    }
+}
+
+/// Inputs to one page-load timing computation.
+#[derive(Debug, Clone, Copy)]
+pub struct PageLoadInputs {
+    /// Client ↔ edge server RTT, ms.
+    pub rtt_ms: f64,
+    /// Client ↔ edge server loss rate.
+    pub loss_rate: f64,
+    /// Server page-construction time, ms.
+    pub server_time_ms: f64,
+    /// Origin fetch latency if the load needs origin (dynamic base page or
+    /// cache miss); `None` when served from cache.
+    pub origin_fetch_ms: Option<f64>,
+    /// Base page size, KB.
+    pub base_size_kb: f64,
+    /// Total embedded-object bytes fetched from the edge, KB.
+    pub embedded_kb: f64,
+    /// Embedded-object bytes that missed cache and add origin round trips,
+    /// as (bytes KB, per-miss origin latency ms) pairs aggregated.
+    pub embedded_miss_penalty_ms: f64,
+}
+
+/// The client-observed timings for one page load (what RUM measures).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PageTimings {
+    /// Time-to-first-byte, ms.
+    pub ttfb_ms: f64,
+    /// Content download time, ms.
+    pub download_ms: f64,
+}
+
+/// Computes §4.1's TTFB and content-download-time for one page view.
+pub fn page_timings(tcp: &TcpModel, inputs: &PageLoadInputs) -> PageTimings {
+    // TTFB: request up (rtt/2) + server work (+origin) + first byte down
+    // (rtt/2). The TCP handshake precedes the HTTP request and is *not*
+    // part of TTFB per the paper's definition (navigation-timing
+    // requestStart → responseStart).
+    let ttfb_ms = inputs.rtt_ms + inputs.server_time_ms + inputs.origin_fetch_ms.unwrap_or(0.0);
+    // Download: the base page body plus embedded objects. Embedded objects
+    // ride warm parallel connections to the same server; modeling them as
+    // one aggregate transfer preserves the RTT scaling (they share the
+    // bottleneck) while staying closed-form. Cache misses on embedded
+    // objects add their origin penalty.
+    let body_ms = tcp.transfer_ms(inputs.base_size_kb, inputs.rtt_ms, inputs.loss_rate);
+    let embedded_ms = tcp.transfer_ms(inputs.embedded_kb / 3.0, inputs.rtt_ms, inputs.loss_rate);
+    let download_ms = body_ms + embedded_ms + inputs.embedded_miss_penalty_ms;
+    PageTimings {
+        ttfb_ms,
+        download_ms,
+    }
+}
+
+/// Origin fetch latency via the overlay network (§4.1: "Overlay transport
+/// is used to speedup origin-server communication").
+///
+/// The edge can fetch directly or relay through one intermediate cluster;
+/// the overlay picks the best. Real paths frequently violate the triangle
+/// inequality because of path inflation, so a relay with two short
+/// inflated legs often beats one long inflated leg — exactly the effect
+/// overlay networks exploit.
+pub fn overlay_fetch_ms(
+    direct_rtt_ms: f64,
+    relay_legs: impl IntoIterator<Item = (f64, f64)>,
+    origin_time_ms: f64,
+) -> f64 {
+    let mut best = direct_rtt_ms;
+    for (leg_a, leg_b) in relay_legs {
+        // Small per-hop forwarding cost.
+        let via = leg_a + leg_b + 1.0;
+        if via < best {
+            best = via;
+        }
+    }
+    best + origin_time_ms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tcp() -> TcpModel {
+        TcpModel::default()
+    }
+
+    #[test]
+    fn empty_transfer_is_free() {
+        assert_eq!(tcp().transfer_ms(0.0, 50.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn one_window_needs_no_extra_round() {
+        // 10 KB < IW10 × 1.46 KB ≈ 14.6 KB ⇒ zero extra rounds, only tail.
+        let t = tcp().transfer_ms(10.0, 100.0, 0.0);
+        assert!(t <= 10.0 + 1e-9, "got {t}");
+    }
+
+    #[test]
+    fn transfer_time_grows_with_size_and_rtt() {
+        let m = tcp();
+        let small = m.transfer_ms(50.0, 50.0, 0.0);
+        let big = m.transfer_ms(500.0, 50.0, 0.0);
+        assert!(big > small);
+        let slow = m.transfer_ms(500.0, 100.0, 0.0);
+        assert!(slow > big);
+        // Doubling RTT roughly doubles a multi-round transfer.
+        assert!((slow / big - 2.0).abs() < 0.25, "ratio {}", slow / big);
+    }
+
+    #[test]
+    fn slow_start_rounds_are_logarithmic() {
+        let m = tcp();
+        // 100 KB ≈ 69 segments: 10 + 20 + 40 = 70 ⇒ 2 extra rounds.
+        let t = m.transfer_ms(100.0, 100.0, 0.0);
+        assert!((t - 210.0).abs() < 1.0, "got {t}");
+    }
+
+    #[test]
+    fn loss_stretches_transfers() {
+        let m = tcp();
+        let clean = m.transfer_ms(500.0, 80.0, 0.0);
+        let lossy = m.transfer_ms(500.0, 80.0, 0.02);
+        assert!(lossy > clean * 1.1);
+    }
+
+    #[test]
+    fn ttfb_includes_origin_only_when_needed() {
+        let base = PageLoadInputs {
+            rtt_ms: 100.0,
+            loss_rate: 0.0,
+            server_time_ms: 20.0,
+            origin_fetch_ms: None,
+            base_size_kb: 50.0,
+            embedded_kb: 200.0,
+            embedded_miss_penalty_ms: 0.0,
+        };
+        let cached = page_timings(&tcp(), &base);
+        assert!((cached.ttfb_ms - 120.0).abs() < 1e-9);
+        let dynamic = page_timings(
+            &tcp(),
+            &PageLoadInputs {
+                origin_fetch_ms: Some(80.0),
+                ..base
+            },
+        );
+        assert!((dynamic.ttfb_ms - 200.0).abs() < 1e-9);
+        // Download time is unaffected by the origin component of TTFB.
+        assert_eq!(cached.download_ms, dynamic.download_ms);
+    }
+
+    #[test]
+    fn download_scales_with_rtt_as_the_paper_expects() {
+        // §4.3: halving client–server RTT roughly halves download time.
+        let mk = |rtt: f64| {
+            page_timings(
+                &tcp(),
+                &PageLoadInputs {
+                    rtt_ms: rtt,
+                    loss_rate: 0.005,
+                    server_time_ms: 20.0,
+                    origin_fetch_ms: None,
+                    base_size_kb: 60.0,
+                    embedded_kb: 400.0,
+                    embedded_miss_penalty_ms: 0.0,
+                },
+            )
+            .download_ms
+        };
+        let ratio = mk(200.0) / mk(100.0);
+        assert!((1.6..=2.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn overlay_picks_best_path() {
+        // Direct 150ms; relay legs 60+70 = 131 with hop cost ⇒ overlay wins.
+        let t = overlay_fetch_ms(150.0, [(60.0, 70.0)], 10.0);
+        assert!((t - 141.0).abs() < 1e-9);
+        // Bad relay: direct wins.
+        let t = overlay_fetch_ms(100.0, [(90.0, 80.0)], 10.0);
+        assert!((t - 110.0).abs() < 1e-9);
+        // No relays at all.
+        let t = overlay_fetch_ms(100.0, [], 5.0);
+        assert!((t - 105.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handshake_is_one_rtt() {
+        assert_eq!(tcp().handshake_ms(73.0), 73.0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Transfer time is monotone in size, RTT, and loss.
+        #[test]
+        fn transfer_is_monotone(
+            size in 1.0f64..5000.0,
+            extra in 1.0f64..1000.0,
+            rtt in 5.0f64..400.0,
+            loss in 0.0f64..0.05,
+        ) {
+            let m = TcpModel::default();
+            let base = m.transfer_ms(size, rtt, loss);
+            prop_assert!(base.is_finite() && base >= 0.0);
+            prop_assert!(m.transfer_ms(size + extra, rtt, loss) >= base);
+            prop_assert!(m.transfer_ms(size, rtt * 1.5, loss) >= base);
+            prop_assert!(m.transfer_ms(size, rtt, (loss + 0.01).min(0.05)) >= base);
+        }
+
+        /// TTFB decomposes exactly: rtt + server time + origin component.
+        #[test]
+        fn ttfb_decomposition(
+            rtt in 1.0f64..500.0,
+            server in 0.0f64..100.0,
+            origin in proptest::option::of(0.0f64..500.0),
+        ) {
+            let t = page_timings(
+                &TcpModel::default(),
+                &PageLoadInputs {
+                    rtt_ms: rtt,
+                    loss_rate: 0.0,
+                    server_time_ms: server,
+                    origin_fetch_ms: origin,
+                    base_size_kb: 10.0,
+                    embedded_kb: 10.0,
+                    embedded_miss_penalty_ms: 0.0,
+                },
+            );
+            let expect = rtt + server + origin.unwrap_or(0.0);
+            prop_assert!((t.ttfb_ms - expect).abs() < 1e-9);
+        }
+
+        /// The overlay never does worse than the direct path.
+        #[test]
+        fn overlay_never_hurts(
+            direct in 1.0f64..500.0,
+            legs in proptest::collection::vec((1.0f64..500.0, 1.0f64..500.0), 0..8),
+            origin in 0.0f64..50.0,
+        ) {
+            let t = overlay_fetch_ms(direct, legs.clone(), origin);
+            prop_assert!(t <= direct + origin + 1e-9);
+            for (a, b) in legs {
+                prop_assert!(t <= a + b + 1.0 + origin + 1e-9);
+            }
+        }
+    }
+}

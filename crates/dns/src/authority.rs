@@ -1,0 +1,247 @@
+//! Authoritative name-server traits and a static-zone implementation.
+//!
+//! The mapping system (crate `eum-mapping`) implements [`Authority`] with
+//! its dynamic, load-balanced answers; [`StaticAuthority`] serves fixed
+//! zones — used for content providers' own DNS (the CNAME into the CDN
+//! domain, §2.2 "a content provider hosted on Akamai can CNAME their
+//! domain to an Akamai domain") and for tests.
+
+use crate::edns::{EcsOption, OptData};
+use crate::message::{Message, Question, RData, Rcode, Record, RrType};
+use crate::name::DnsName;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Context the network layer supplies with each authoritative query.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryContext {
+    /// Unicast IP of the recursive resolver that sent the query (what the
+    /// paper's NS-based mapping keys on).
+    pub resolver_ip: Ipv4Addr,
+    /// Simulation time in milliseconds.
+    pub now_ms: u64,
+}
+
+/// An authoritative name server: maps a query message to a response.
+///
+/// Implementations must honor ECS semantics: if the query carries an ECS
+/// option and the server uses it, the response must echo it with a scope;
+/// if the server ignores client subnets it must omit the option or return
+/// scope 0 (RFC 7871 §7.2.1 / §7.1.3).
+pub trait Authority {
+    /// Answers one query.
+    fn handle(&self, query: &Message, ctx: &QueryContext) -> Message;
+}
+
+/// A static zone: fixed records, fixed delegations, optional ECS echo with
+/// scope 0 (static content is client-independent).
+#[derive(Debug, Clone, Default)]
+pub struct StaticAuthority {
+    records: HashMap<(DnsName, RrType), Vec<Record>>,
+    /// Delegated child zones: zone apex → (NS records, glue A records).
+    delegations: HashMap<DnsName, (Vec<Record>, Vec<Record>)>,
+}
+
+impl StaticAuthority {
+    /// Creates an empty authority.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a record.
+    pub fn add(&mut self, record: Record) -> &mut Self {
+        self.records
+            .entry((record.name.clone(), record.rtype()))
+            .or_default()
+            .push(record);
+        self
+    }
+
+    /// Delegates `zone` to a name server with glue.
+    pub fn delegate(
+        &mut self,
+        zone: DnsName,
+        ns_name: DnsName,
+        ns_ip: Ipv4Addr,
+        ttl: u32,
+    ) -> &mut Self {
+        let ns = Record::ns(zone.clone(), ttl, ns_name.clone());
+        let glue = Record::a(ns_name, ttl, ns_ip);
+        let entry = self
+            .delegations
+            .entry(zone)
+            .or_insert_with(|| (vec![], vec![]));
+        entry.0.push(ns);
+        entry.1.push(glue);
+        self
+    }
+
+    fn answer_question(&self, q: &Question, response: &mut Message) {
+        // Exact data?
+        let mut current = q.name.clone();
+        for _ in 0..8 {
+            if let Some(recs) = self.records.get(&(current.clone(), q.rtype)) {
+                response.answers.extend(recs.iter().cloned());
+                return;
+            }
+            // CNAME chase within our own data.
+            if q.rtype != RrType::Cname {
+                if let Some(cnames) = self.records.get(&(current.clone(), RrType::Cname)) {
+                    response.answers.extend(cnames.iter().cloned());
+                    if let Some(Record {
+                        rdata: RData::Cname(target),
+                        ..
+                    }) = cnames.first()
+                    {
+                        current = target.clone();
+                        continue;
+                    }
+                }
+            }
+            break;
+        }
+        // Delegation?
+        for (zone, (ns, glue)) in &self.delegations {
+            if q.name.is_within(zone) {
+                response.flags.aa = false;
+                response.authorities.extend(ns.iter().cloned());
+                response.additionals.extend(glue.iter().cloned());
+                return;
+            }
+        }
+        if response.answers.is_empty() {
+            response.flags.rcode = Rcode::NxDomain;
+        }
+    }
+}
+
+impl Authority for StaticAuthority {
+    fn handle(&self, query: &Message, _ctx: &QueryContext) -> Message {
+        let mut response = Message::response_to(query, Rcode::NoError);
+        if let Some(q) = query.questions.first() {
+            self.answer_question(q, &mut response);
+        } else {
+            response.flags.rcode = Rcode::FormErr;
+        }
+        // Static data does not vary by client: echo ECS with scope 0 so
+        // resolvers cache the answer globally (RFC 7871 §7.2.1).
+        if let Some(ecs) = query.ecs() {
+            response.set_opt(OptData::with_ecs(EcsOption::response(ecs, 0)));
+        }
+        response
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::name;
+
+    fn ctx() -> QueryContext {
+        QueryContext {
+            resolver_ip: "192.0.2.53".parse().unwrap(),
+            now_ms: 0,
+        }
+    }
+
+    fn shop_zone() -> StaticAuthority {
+        let mut auth = StaticAuthority::new();
+        auth.add(Record::cname(
+            name("www.shop.example"),
+            300,
+            name("e123.cdn.example"),
+        ));
+        auth.add(Record::a(
+            name("static.shop.example"),
+            60,
+            "198.51.100.7".parse().unwrap(),
+        ));
+        auth.delegate(
+            name("img.shop.example"),
+            name("ns1.img.shop.example"),
+            "203.0.113.5".parse().unwrap(),
+            3600,
+        );
+        auth
+    }
+
+    #[test]
+    fn direct_a_answer() {
+        let q = Message::query(1, Question::a(name("static.shop.example")), None);
+        let r = shop_zone().handle(&q, &ctx());
+        assert_eq!(r.flags.rcode, Rcode::NoError);
+        assert_eq!(
+            r.answer_ips(),
+            vec!["198.51.100.7".parse::<Ipv4Addr>().unwrap()]
+        );
+        assert!(r.flags.aa);
+    }
+
+    #[test]
+    fn cname_is_returned_for_a_query() {
+        let q = Message::query(2, Question::a(name("www.shop.example")), None);
+        let r = shop_zone().handle(&q, &ctx());
+        assert_eq!(r.answers.len(), 1);
+        assert!(matches!(&r.answers[0].rdata, RData::Cname(t) if *t == name("e123.cdn.example")));
+    }
+
+    #[test]
+    fn delegation_returns_referral() {
+        let q = Message::query(3, Question::a(name("x.img.shop.example")), None);
+        let r = shop_zone().handle(&q, &ctx());
+        assert!(r.answers.is_empty());
+        assert_eq!(r.authorities.len(), 1);
+        assert_eq!(r.additionals.len(), 1);
+        assert!(!r.flags.aa);
+        assert_eq!(r.flags.rcode, Rcode::NoError);
+    }
+
+    #[test]
+    fn missing_name_is_nxdomain() {
+        let q = Message::query(4, Question::a(name("nope.shop.example")), None);
+        let r = shop_zone().handle(&q, &ctx());
+        assert_eq!(r.flags.rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn ecs_is_echoed_with_scope_zero() {
+        let ecs = EcsOption::query("10.1.2.3".parse().unwrap(), 24);
+        let q = Message::query(
+            5,
+            Question::a(name("static.shop.example")),
+            Some(OptData::with_ecs(ecs)),
+        );
+        let r = shop_zone().handle(&q, &ctx());
+        let back = r.ecs().unwrap();
+        assert_eq!(back.scope_prefix, 0);
+        assert_eq!(back.addr, ecs.addr);
+        assert_eq!(back.source_prefix, 24);
+    }
+
+    #[test]
+    fn empty_question_is_formerr() {
+        let mut q = Message::query(6, Question::a(name("a.b")), None);
+        q.questions.clear();
+        let r = shop_zone().handle(&q, &ctx());
+        assert_eq!(r.flags.rcode, Rcode::FormErr);
+    }
+
+    #[test]
+    fn internal_cname_chain_resolves_to_a() {
+        let mut auth = StaticAuthority::new();
+        auth.add(Record::cname(name("a.example"), 60, name("b.example")));
+        auth.add(Record::cname(name("b.example"), 60, name("c.example")));
+        auth.add(Record::a(
+            name("c.example"),
+            60,
+            "198.51.100.9".parse().unwrap(),
+        ));
+        let q = Message::query(7, Question::a(name("a.example")), None);
+        let r = auth.handle(&q, &ctx());
+        assert_eq!(r.answers.len(), 3);
+        assert_eq!(
+            r.answer_ips(),
+            vec!["198.51.100.9".parse::<Ipv4Addr>().unwrap()]
+        );
+    }
+}

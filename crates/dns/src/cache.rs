@@ -1,0 +1,528 @@
+//! The ECS-aware resolver cache (RFC 7871 §7.3).
+//!
+//! This cache is the mechanism behind the paper's central scaling result:
+//! "an LDNS that serves multiple client IP blocks may store multiple
+//! entries for the same domain name. Therefore, an LDNS may make multiple
+//! requests to an authoritative name server for the domain name, one for
+//! each client IP block" (§5.2) — the 8× query increase of Figure 23.
+//!
+//! Entries are keyed by `(qname, qtype)` and hold one answer per *scope
+//! block*. A response whose OPT carried `scope_prefix = 0` (or no ECS at
+//! all) is a *global* entry, valid for every client; otherwise the entry is
+//! valid only for clients inside the scope block. Lookup picks the
+//! longest-scope entry containing the client (RFC 7871 §7.3.1).
+
+use crate::message::{Rcode, Record};
+use crate::name::DnsName;
+use crate::RrType;
+use eum_geo::Prefix;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// One cached answer for a scope block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CachedAnswer {
+    /// The answer-section records as returned by the authority.
+    pub records: Vec<Record>,
+    /// Response code (NXDOMAIN entries are cached negatively).
+    pub rcode: Rcode,
+    /// The scope this answer is valid for. [`Prefix::ALL`] (`/0`) is a
+    /// global entry.
+    pub scope: Prefix,
+    /// Absolute expiry on the simulation clock, milliseconds.
+    pub expires_ms: u64,
+}
+
+impl CachedAnswer {
+    /// True when the entry has expired at `now_ms`.
+    pub fn expired(&self, now_ms: u64) -> bool {
+        now_ms >= self.expires_ms
+    }
+}
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from cache.
+    pub hits: u64,
+    /// Lookups that missed (absent or expired).
+    pub misses: u64,
+    /// Entries replaced on insert (same scope re-answered).
+    pub replacements: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+}
+
+/// An ECS-aware DNS answer cache.
+#[derive(Debug, Clone, Default)]
+pub struct EcsCache {
+    map: HashMap<(DnsName, RrType), Vec<CachedAnswer>>,
+    stats: CacheStats,
+    /// Maximum total entries (None = unbounded). Real resolvers bound
+    /// cache memory, and per-scope ECS entries are exactly the §5.2 cost
+    /// that pressures that bound.
+    max_entries: Option<usize>,
+    live_entries: usize,
+}
+
+impl EcsCache {
+    /// Creates an empty, unbounded cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a cache bounded to `max_entries` total entries. When full,
+    /// inserting evicts the soonest-to-expire entries first (a common
+    /// resolver policy — expiring entries are the cheapest to lose).
+    pub fn bounded(max_entries: usize) -> Self {
+        EcsCache {
+            max_entries: Some(max_entries.max(1)),
+            ..Self::default()
+        }
+    }
+
+    /// Evicts entries, soonest-expiring first, until one slot is free.
+    fn make_room(&mut self) {
+        let cap = match self.max_entries {
+            Some(c) => c,
+            None => return,
+        };
+        while self.live_entries >= cap {
+            // Find the globally soonest-expiring entry.
+            let victim = self
+                .map
+                .iter()
+                .filter_map(|(k, v)| {
+                    v.iter()
+                        .map(|e| e.expires_ms)
+                        .min()
+                        .map(|exp| (k.clone(), exp))
+                })
+                .min_by_key(|(_, exp)| *exp);
+            let Some((key, exp)) = victim else { return };
+            let entries = self.map.get_mut(&key).expect("victim key exists");
+            if let Some(pos) = entries.iter().position(|e| e.expires_ms == exp) {
+                entries.remove(pos);
+                self.live_entries -= 1;
+                self.stats.evictions += 1;
+            }
+            if entries.is_empty() {
+                self.map.remove(&key);
+            }
+        }
+    }
+
+    /// Looks up an answer valid for `client` at `now_ms`.
+    ///
+    /// `client = None` models a query with no client information; it can
+    /// only be served by a global (`/0`) entry, per RFC 7871 §7.3.1's rule
+    /// that a non-ECS query is answered from the `/0` cache.
+    pub fn lookup(
+        &mut self,
+        qname: &DnsName,
+        qtype: RrType,
+        client: Option<Ipv4Addr>,
+        now_ms: u64,
+    ) -> Option<CachedAnswer> {
+        let entries = match self.map.get_mut(&(qname.clone(), qtype)) {
+            Some(e) => e,
+            None => {
+                self.stats.misses += 1;
+                return None;
+            }
+        };
+        // Lazily drop expired entries for this key.
+        let before = entries.len();
+        entries.retain(|e| !e.expired(now_ms));
+        self.live_entries -= before - entries.len();
+        let best = entries
+            .iter()
+            .filter(|e| match client {
+                Some(ip) => e.scope.contains(ip),
+                None => e.scope.is_empty(),
+            })
+            .max_by_key(|e| e.scope.len())
+            .cloned();
+        match best {
+            Some(ans) => {
+                self.stats.hits += 1;
+                Some(ans)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts an answer. An existing entry with the identical scope is
+    /// replaced (a fresh authoritative answer supersedes the old one).
+    pub fn insert(&mut self, qname: DnsName, qtype: RrType, answer: CachedAnswer) {
+        // Replacement never grows the cache; only fresh scopes need room.
+        let replaces = self
+            .map
+            .get(&(qname.clone(), qtype))
+            .is_some_and(|entries| entries.iter().any(|e| e.scope == answer.scope));
+        if !replaces {
+            self.make_room();
+        }
+        let entries = self.map.entry((qname, qtype)).or_default();
+        if let Some(slot) = entries.iter_mut().find(|e| e.scope == answer.scope) {
+            *slot = answer;
+            self.stats.replacements += 1;
+        } else {
+            entries.push(answer);
+            self.live_entries += 1;
+        }
+    }
+
+    /// Number of live (possibly expired but unpurged) entries.
+    pub fn entry_count(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// Number of distinct (name, type) keys.
+    pub fn key_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Drops every expired entry (and empty keys).
+    pub fn purge_expired(&mut self, now_ms: u64) {
+        self.map.retain(|_, entries| {
+            entries.retain(|e| !e.expired(now_ms));
+            !entries.is_empty()
+        });
+        self.live_entries = self.map.values().map(Vec::len).sum();
+    }
+
+    /// Removes everything.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.live_entries = 0;
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Entries stored under one (name, type) key — the per-domain fan-out
+    /// that Figure 24 buckets by popularity.
+    pub fn entries_for(&self, qname: &DnsName, qtype: RrType) -> usize {
+        self.map.get(&(qname.clone(), qtype)).map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Record;
+    use crate::name::name;
+
+    fn answer(scope: &str, ip: [u8; 4], expires: u64) -> CachedAnswer {
+        CachedAnswer {
+            records: vec![Record::a(name("d.example"), 20, Ipv4Addr::from(ip))],
+            rcode: Rcode::NoError,
+            scope: scope.parse().unwrap(),
+            expires_ms: expires,
+        }
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn global_entry_serves_everyone() {
+        let mut c = EcsCache::new();
+        c.insert(
+            name("d.example"),
+            RrType::A,
+            answer("0.0.0.0/0", [1, 1, 1, 1], 100),
+        );
+        assert!(c
+            .lookup(&name("d.example"), RrType::A, Some(ip("9.9.9.9")), 50)
+            .is_some());
+        assert!(c.lookup(&name("d.example"), RrType::A, None, 50).is_some());
+    }
+
+    #[test]
+    fn scoped_entry_requires_matching_client() {
+        let mut c = EcsCache::new();
+        c.insert(
+            name("d.example"),
+            RrType::A,
+            answer("10.1.2.0/24", [1, 1, 1, 1], 100),
+        );
+        assert!(c
+            .lookup(&name("d.example"), RrType::A, Some(ip("10.1.2.9")), 50)
+            .is_some());
+        assert!(c
+            .lookup(&name("d.example"), RrType::A, Some(ip("10.1.3.9")), 50)
+            .is_none());
+        // A non-ECS query cannot use a scoped entry.
+        assert!(c.lookup(&name("d.example"), RrType::A, None, 50).is_none());
+    }
+
+    #[test]
+    fn longest_scope_wins() {
+        let mut c = EcsCache::new();
+        c.insert(
+            name("d.example"),
+            RrType::A,
+            answer("10.0.0.0/8", [8, 8, 8, 8], 100),
+        );
+        c.insert(
+            name("d.example"),
+            RrType::A,
+            answer("10.1.0.0/16", [16, 16, 16, 16], 100),
+        );
+        c.insert(
+            name("d.example"),
+            RrType::A,
+            answer("0.0.0.0/0", [0, 0, 0, 0], 100),
+        );
+        let got = c
+            .lookup(&name("d.example"), RrType::A, Some(ip("10.1.2.3")), 50)
+            .unwrap();
+        assert_eq!(got.scope, "10.1.0.0/16".parse().unwrap());
+        let got = c
+            .lookup(&name("d.example"), RrType::A, Some(ip("10.9.0.1")), 50)
+            .unwrap();
+        assert_eq!(got.scope, "10.0.0.0/8".parse().unwrap());
+        let got = c
+            .lookup(&name("d.example"), RrType::A, Some(ip("99.0.0.1")), 50)
+            .unwrap();
+        assert_eq!(got.scope, Prefix::ALL);
+    }
+
+    #[test]
+    fn expiry_is_enforced_and_lazily_purged() {
+        let mut c = EcsCache::new();
+        c.insert(
+            name("d.example"),
+            RrType::A,
+            answer("0.0.0.0/0", [1, 1, 1, 1], 100),
+        );
+        assert!(c.lookup(&name("d.example"), RrType::A, None, 99).is_some());
+        assert!(c.lookup(&name("d.example"), RrType::A, None, 100).is_none());
+        // The expired entry was dropped during lookup.
+        assert_eq!(c.entry_count(), 0);
+    }
+
+    #[test]
+    fn same_scope_insert_replaces() {
+        let mut c = EcsCache::new();
+        c.insert(
+            name("d.example"),
+            RrType::A,
+            answer("10.1.2.0/24", [1, 1, 1, 1], 100),
+        );
+        c.insert(
+            name("d.example"),
+            RrType::A,
+            answer("10.1.2.0/24", [2, 2, 2, 2], 200),
+        );
+        assert_eq!(c.entry_count(), 1);
+        let got = c
+            .lookup(&name("d.example"), RrType::A, Some(ip("10.1.2.1")), 150)
+            .unwrap();
+        assert_eq!(got.expires_ms, 200);
+        assert_eq!(c.stats().replacements, 1);
+    }
+
+    #[test]
+    fn per_block_entries_accumulate() {
+        // The §5.2 amplification: distinct /24 scopes pile up per name.
+        let mut c = EcsCache::new();
+        for i in 0..50u32 {
+            let scope = Prefix::new(0x0A_00_00_00 | (i << 8), 24);
+            c.insert(
+                name("popular.example"),
+                RrType::A,
+                CachedAnswer {
+                    records: vec![],
+                    rcode: Rcode::NoError,
+                    scope,
+                    expires_ms: 1000,
+                },
+            );
+        }
+        assert_eq!(c.entries_for(&name("popular.example"), RrType::A), 50);
+        assert_eq!(c.key_count(), 1);
+    }
+
+    #[test]
+    fn purge_expired_drops_keys() {
+        let mut c = EcsCache::new();
+        c.insert(
+            name("a.example"),
+            RrType::A,
+            answer("0.0.0.0/0", [1, 1, 1, 1], 10),
+        );
+        c.insert(
+            name("b.example"),
+            RrType::A,
+            answer("0.0.0.0/0", [1, 1, 1, 1], 100),
+        );
+        c.purge_expired(50);
+        assert_eq!(c.key_count(), 1);
+        assert_eq!(c.entries_for(&name("b.example"), RrType::A), 1);
+    }
+
+    #[test]
+    fn types_are_cached_independently() {
+        let mut c = EcsCache::new();
+        c.insert(
+            name("d.example"),
+            RrType::A,
+            answer("0.0.0.0/0", [1, 1, 1, 1], 100),
+        );
+        assert!(c
+            .lookup(&name("d.example"), RrType::Aaaa, None, 50)
+            .is_none());
+    }
+
+    #[test]
+    fn bounded_cache_evicts_soonest_expiring() {
+        let mut c = EcsCache::bounded(3);
+        c.insert(
+            name("a.example"),
+            RrType::A,
+            answer("10.0.1.0/24", [1, 1, 1, 1], 100),
+        );
+        c.insert(
+            name("a.example"),
+            RrType::A,
+            answer("10.0.2.0/24", [1, 1, 1, 1], 500),
+        );
+        c.insert(
+            name("b.example"),
+            RrType::A,
+            answer("0.0.0.0/0", [2, 2, 2, 2], 300),
+        );
+        assert_eq!(c.entry_count(), 3);
+        // Fourth insert evicts the entry expiring at 100.
+        c.insert(
+            name("c.example"),
+            RrType::A,
+            answer("0.0.0.0/0", [3, 3, 3, 3], 400),
+        );
+        assert_eq!(c.entry_count(), 3);
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c
+            .lookup(&name("a.example"), RrType::A, Some(ip("10.0.1.9")), 50)
+            .is_none());
+        assert!(c
+            .lookup(&name("a.example"), RrType::A, Some(ip("10.0.2.9")), 50)
+            .is_some());
+        assert!(c.lookup(&name("c.example"), RrType::A, None, 50).is_some());
+    }
+
+    #[test]
+    fn bounded_cache_replacement_does_not_evict() {
+        let mut c = EcsCache::bounded(2);
+        c.insert(
+            name("a.example"),
+            RrType::A,
+            answer("0.0.0.0/0", [1, 1, 1, 1], 100),
+        );
+        c.insert(
+            name("b.example"),
+            RrType::A,
+            answer("0.0.0.0/0", [2, 2, 2, 2], 200),
+        );
+        // Same-scope re-insert replaces in place: no eviction.
+        c.insert(
+            name("a.example"),
+            RrType::A,
+            answer("0.0.0.0/0", [9, 9, 9, 9], 300),
+        );
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.entry_count(), 2);
+        assert!(c.lookup(&name("b.example"), RrType::A, None, 50).is_some());
+    }
+
+    #[test]
+    fn bounded_cache_count_survives_expiry_paths() {
+        let mut c = EcsCache::bounded(2);
+        c.insert(
+            name("a.example"),
+            RrType::A,
+            answer("0.0.0.0/0", [1, 1, 1, 1], 10),
+        );
+        // Expired entry dropped during lookup must free its slot.
+        assert!(c.lookup(&name("a.example"), RrType::A, None, 50).is_none());
+        c.insert(
+            name("b.example"),
+            RrType::A,
+            answer("0.0.0.0/0", [2, 2, 2, 2], 100),
+        );
+        c.insert(
+            name("c.example"),
+            RrType::A,
+            answer("0.0.0.0/0", [3, 3, 3, 3], 100),
+        );
+        assert_eq!(c.stats().evictions, 0, "freed slot should be reused");
+        c.purge_expired(60);
+        assert_eq!(c.entry_count(), 2);
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut c = EcsCache::new();
+        assert!(c.lookup(&name("d.example"), RrType::A, None, 0).is_none());
+        c.insert(
+            name("d.example"),
+            RrType::A,
+            answer("0.0.0.0/0", [1, 1, 1, 1], 100),
+        );
+        assert!(c.lookup(&name("d.example"), RrType::A, None, 0).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::name::name;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Cache lookup agrees with a brute-force scan over live entries.
+        #[test]
+        fn lookup_matches_brute_force(
+            scopes in proptest::collection::vec((any::<u32>(), 0u8..=32, 1u64..100), 1..20),
+            probe in any::<u32>(),
+            now in 0u64..100,
+        ) {
+            let mut c = EcsCache::new();
+            let mut entries: Vec<CachedAnswer> = Vec::new();
+            for (addr, len, exp) in scopes {
+                let a = CachedAnswer {
+                    records: vec![],
+                    rcode: Rcode::NoError,
+                    scope: Prefix::new(addr, len),
+                    expires_ms: exp,
+                };
+                // Mirror replace-on-same-scope semantics.
+                if let Some(slot) = entries.iter_mut().find(|e| e.scope == a.scope) {
+                    *slot = a.clone();
+                } else {
+                    entries.push(a.clone());
+                }
+                c.insert(name("x.example"), RrType::A, a);
+            }
+            let client = Ipv4Addr::from(probe);
+            let expect = entries
+                .iter()
+                .filter(|e| !e.expired(now) && e.scope.contains(client))
+                .max_by_key(|e| e.scope.len())
+                .map(|e| e.scope);
+            let got = c.lookup(&name("x.example"), RrType::A, Some(client), now).map(|a| a.scope);
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

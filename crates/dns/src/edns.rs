@@ -1,0 +1,425 @@
+//! EDNS0 (RFC 6891) and the Client Subnet option (RFC 7871).
+//!
+//! The Client Subnet option is the protocol mechanism end-user mapping is
+//! built on (paper §2.1): a recursive resolver appends a truncated client
+//! prefix to its upstream query; the authoritative answers with a *scope*
+//! prefix length telling caches how widely the answer may be reused.
+//!
+//! Wire layout of the option (RFC 7871 §6):
+//!
+//! ```text
+//! +0 (MSB)                            +1 (LSB)
+//! |          OPTION-CODE (8)          |
+//! |          OPTION-LENGTH            |
+//! |            FAMILY (1=IPv4)        |
+//! | SOURCE PREFIX-LEN | SCOPE PREFIX-LEN |
+//! |  ADDRESS... (ceil(source/8) bytes, trailing bits zero) |
+//! ```
+
+use bytes::{Buf, BufMut};
+use eum_geo::Prefix;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+use crate::wire::WireError;
+
+/// EDNS option code for Client Subnet.
+pub const OPTION_CODE_ECS: u16 = 8;
+
+/// Address family numbers (RFC 7871 uses the IANA address-family registry).
+pub const FAMILY_IPV4: u16 = 1;
+
+/// An EDNS0 Client Subnet option.
+///
+/// `source_prefix` is what the querier knows about the client;
+/// `scope_prefix` is meaningful only in responses (queries MUST send 0 per
+/// RFC 7871 §6) and states how widely the answer applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EcsOption {
+    /// The client address, truncated to `source_prefix` bits (host bits
+    /// zero — enforced at construction and on parse).
+    pub addr: Ipv4Addr,
+    /// SOURCE PREFIX-LENGTH: bits of `addr` that are significant.
+    pub source_prefix: u8,
+    /// SCOPE PREFIX-LENGTH: in a response, the coverage of the answer.
+    pub scope_prefix: u8,
+}
+
+impl EcsOption {
+    /// A query-side option for `client` truncated to `/source_prefix`
+    /// (scope 0 as required in queries).
+    pub fn query(client: Ipv4Addr, source_prefix: u8) -> EcsOption {
+        let p = Prefix::of(client, source_prefix);
+        EcsOption {
+            addr: p.network(),
+            source_prefix: p.len(),
+            scope_prefix: 0,
+        }
+    }
+
+    /// A response-side option echoing `source` with the authoritative
+    /// scope set (RFC 7871 §7.1.3: the response must echo FAMILY, SOURCE
+    /// PREFIX-LENGTH and ADDRESS).
+    pub fn response(source: &EcsOption, scope_prefix: u8) -> EcsOption {
+        EcsOption {
+            scope_prefix,
+            ..*source
+        }
+    }
+
+    /// The source prefix as a [`Prefix`].
+    pub fn source_block(&self) -> Prefix {
+        Prefix::of(self.addr, self.source_prefix)
+    }
+
+    /// The scope prefix applied to the address, i.e. the block of clients
+    /// the answer is valid for. Returns the literal scope block; the
+    /// resolver's cache layer clamps a scope longer than the source back
+    /// to the source block before storing.
+    pub fn scope_block(&self) -> Prefix {
+        Prefix::of(self.addr, self.scope_prefix)
+    }
+
+    /// Number of address octets on the wire: `ceil(source_prefix / 8)`.
+    pub fn addr_octets(&self) -> usize {
+        (self.source_prefix as usize).div_ceil(8)
+    }
+
+    /// Encodes the option payload (code and length handled by the caller's
+    /// option framing via [`encode_option`]).
+    fn put_payload(&self, buf: &mut impl BufMut) {
+        buf.put_u16(FAMILY_IPV4);
+        buf.put_u8(self.source_prefix);
+        buf.put_u8(self.scope_prefix);
+        let octets = self.addr.octets();
+        buf.put_slice(&octets[..self.addr_octets()]);
+    }
+
+    /// Full option wire encoding: OPTION-CODE, OPTION-LENGTH, payload.
+    pub fn encode_option(&self, buf: &mut impl BufMut) {
+        buf.put_u16(OPTION_CODE_ECS);
+        buf.put_u16((4 + self.addr_octets()) as u16);
+        self.put_payload(buf);
+    }
+
+    /// Decodes an option payload of `len` bytes (after code/length).
+    /// Enforces RFC 7871 §6 validity: family 1 (IPv4 — the reproduction's
+    /// address plan is IPv4), prefix lengths ≤ 32, exactly
+    /// `ceil(source/8)` address octets, and zero padding bits.
+    pub fn decode_payload(buf: &mut impl Buf, len: usize) -> Result<EcsOption, WireError> {
+        if len < 4 {
+            return Err(WireError::Truncated);
+        }
+        let family = buf.get_u16();
+        if family != FAMILY_IPV4 {
+            return Err(WireError::BadEcs("unsupported address family"));
+        }
+        let source_prefix = buf.get_u8();
+        let scope_prefix = buf.get_u8();
+        if source_prefix > 32 || scope_prefix > 32 {
+            return Err(WireError::BadEcs("prefix length exceeds 32"));
+        }
+        let want = (source_prefix as usize).div_ceil(8);
+        if len != 4 + want {
+            return Err(WireError::BadEcs("address length mismatch"));
+        }
+        if buf.remaining() < want {
+            return Err(WireError::Truncated);
+        }
+        let mut octets = [0u8; 4];
+        for o in octets.iter_mut().take(want) {
+            *o = buf.get_u8();
+        }
+        let addr = Ipv4Addr::from(octets);
+        // RFC 7871 §6: trailing (padding) bits MUST be zero.
+        if Prefix::of(addr, source_prefix).network() != addr {
+            return Err(WireError::BadEcs("non-zero padding bits"));
+        }
+        Ok(EcsOption {
+            addr,
+            source_prefix,
+            scope_prefix,
+        })
+    }
+}
+
+/// A generic EDNS option: ECS or an opaque (code, data) pair we pass
+/// through untouched.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EdnsOption {
+    /// RFC 7871 Client Subnet.
+    ClientSubnet(EcsOption),
+    /// Any other option, preserved verbatim.
+    Other {
+        /// Option code.
+        code: u16,
+        /// Raw option payload.
+        data: Vec<u8>,
+    },
+}
+
+/// The variable part of the OPT pseudo-RR (RFC 6891).
+///
+/// On the wire, `udp_payload_size` rides in the CLASS field and
+/// (`ext_rcode`, `version`, `dnssec_ok`) ride in the TTL field; the codec
+/// handles that split.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OptData {
+    /// Requestor's UDP payload size (CLASS field).
+    pub udp_payload_size: u16,
+    /// Extended RCODE high bits (TTL byte 0).
+    pub ext_rcode: u8,
+    /// EDNS version (TTL byte 1); only version 0 exists.
+    pub version: u8,
+    /// The DO (DNSSEC OK) flag (TTL bit 16).
+    pub dnssec_ok: bool,
+    /// Options carried in RDATA.
+    pub options: Vec<EdnsOption>,
+}
+
+impl Default for OptData {
+    fn default() -> Self {
+        OptData {
+            udp_payload_size: 4096,
+            ext_rcode: 0,
+            version: 0,
+            dnssec_ok: false,
+            options: Vec::new(),
+        }
+    }
+}
+
+impl OptData {
+    /// An OPT carrying a single ECS option.
+    pub fn with_ecs(ecs: EcsOption) -> OptData {
+        OptData {
+            options: vec![EdnsOption::ClientSubnet(ecs)],
+            ..OptData::default()
+        }
+    }
+
+    /// The first ECS option, if present.
+    pub fn ecs(&self) -> Option<&EcsOption> {
+        self.options.iter().find_map(|o| match o {
+            EdnsOption::ClientSubnet(e) => Some(e),
+            EdnsOption::Other { .. } => None,
+        })
+    }
+
+    /// Encodes RDATA (the options sequence).
+    pub fn encode_rdata(&self, buf: &mut impl BufMut) {
+        for opt in &self.options {
+            match opt {
+                EdnsOption::ClientSubnet(e) => e.encode_option(buf),
+                EdnsOption::Other { code, data } => {
+                    buf.put_u16(*code);
+                    buf.put_u16(data.len() as u16);
+                    buf.put_slice(data);
+                }
+            }
+        }
+    }
+
+    /// Decodes RDATA of `rdlen` bytes into the options sequence.
+    pub fn decode_rdata(buf: &mut impl Buf, rdlen: usize) -> Result<Vec<EdnsOption>, WireError> {
+        let mut remaining = rdlen;
+        let mut options = Vec::new();
+        while remaining > 0 {
+            if remaining < 4 || buf.remaining() < 4 {
+                return Err(WireError::Truncated);
+            }
+            let code = buf.get_u16();
+            let len = buf.get_u16() as usize;
+            remaining -= 4;
+            if len > remaining || buf.remaining() < len {
+                return Err(WireError::Truncated);
+            }
+            if code == OPTION_CODE_ECS {
+                // Parse from a copy so an unsupported (but well-formed)
+                // family can be preserved verbatim instead of erroring:
+                // this system's address plan is IPv4, and RFC 7871 §7.1.2
+                // lets a server treat a family it does not support as if
+                // the option were absent.
+                let mut data = vec![0u8; len];
+                buf.copy_to_slice(&mut data);
+                let mut view = &data[..];
+                match EcsOption::decode_payload(&mut view, len) {
+                    Ok(ecs) => options.push(EdnsOption::ClientSubnet(ecs)),
+                    Err(WireError::BadEcs("unsupported address family")) => {
+                        options.push(EdnsOption::Other { code, data })
+                    }
+                    Err(e) => return Err(e),
+                }
+            } else {
+                let mut data = vec![0u8; len];
+                buf.copy_to_slice(&mut data);
+                options.push(EdnsOption::Other { code, data });
+            }
+            remaining -= len;
+        }
+        Ok(options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    #[test]
+    fn query_constructor_truncates_address() {
+        let e = EcsOption::query(Ipv4Addr::new(10, 1, 2, 3), 24);
+        assert_eq!(e.addr, Ipv4Addr::new(10, 1, 2, 0));
+        assert_eq!(e.source_prefix, 24);
+        assert_eq!(e.scope_prefix, 0);
+        assert_eq!(e.addr_octets(), 3);
+    }
+
+    #[test]
+    fn response_echoes_source_and_sets_scope() {
+        let q = EcsOption::query(Ipv4Addr::new(10, 1, 2, 3), 24);
+        let r = EcsOption::response(&q, 20);
+        assert_eq!(r.addr, q.addr);
+        assert_eq!(r.source_prefix, 24);
+        assert_eq!(r.scope_prefix, 20);
+    }
+
+    #[test]
+    fn option_round_trips() {
+        for (ip, src, scope) in [
+            (Ipv4Addr::new(10, 1, 2, 0), 24u8, 20u8),
+            (Ipv4Addr::new(192, 168, 0, 0), 16, 16),
+            (Ipv4Addr::new(8, 0, 0, 0), 5, 0),
+            (Ipv4Addr::new(1, 2, 3, 4), 32, 32),
+            (Ipv4Addr::new(0, 0, 0, 0), 0, 0),
+        ] {
+            let e = EcsOption {
+                addr: ip,
+                source_prefix: src,
+                scope_prefix: scope,
+            };
+            let mut buf = BytesMut::new();
+            e.encode_option(&mut buf);
+            let mut rd = buf.freeze();
+            let code = rd.get_u16();
+            let len = rd.get_u16() as usize;
+            assert_eq!(code, OPTION_CODE_ECS);
+            let back = EcsOption::decode_payload(&mut rd, len).unwrap();
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn nonzero_padding_bits_are_rejected() {
+        // /20 with a set bit in the 4 padding bits of the third octet.
+        let mut buf = BytesMut::new();
+        buf.put_u16(FAMILY_IPV4);
+        buf.put_u8(20);
+        buf.put_u8(0);
+        buf.put_slice(&[10, 1, 0x0F]); // 10.1.15.0/20 — low 4 bits must be 0
+        let mut b = buf.freeze();
+        let err = EcsOption::decode_payload(&mut b, 7).unwrap_err();
+        assert!(matches!(err, WireError::BadEcs("non-zero padding bits")));
+    }
+
+    #[test]
+    fn wrong_family_and_lengths_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u16(2); // IPv6 family — unsupported here
+        buf.put_u8(24);
+        buf.put_u8(0);
+        buf.put_slice(&[1, 2, 3]);
+        let mut b = buf.freeze();
+        assert!(EcsOption::decode_payload(&mut b, 7).is_err());
+
+        let mut buf = BytesMut::new();
+        buf.put_u16(FAMILY_IPV4);
+        buf.put_u8(33); // prefix too long
+        buf.put_u8(0);
+        buf.put_slice(&[1, 2, 3, 4, 5]);
+        let mut b = buf.freeze();
+        assert!(EcsOption::decode_payload(&mut b, 9).is_err());
+
+        let mut buf = BytesMut::new();
+        buf.put_u16(FAMILY_IPV4);
+        buf.put_u8(24);
+        buf.put_u8(0);
+        buf.put_slice(&[1, 2]); // one octet short for /24
+        let mut b = buf.freeze();
+        assert!(EcsOption::decode_payload(&mut b, 6).is_err());
+    }
+
+    #[test]
+    fn optdata_rdata_round_trips_with_unknown_options() {
+        let opt = OptData {
+            options: vec![
+                EdnsOption::ClientSubnet(EcsOption::query(Ipv4Addr::new(10, 0, 0, 1), 24)),
+                EdnsOption::Other {
+                    code: 10,
+                    data: vec![1, 2, 3, 4],
+                }, // COOKIE
+            ],
+            ..OptData::default()
+        };
+        let mut buf = BytesMut::new();
+        opt.encode_rdata(&mut buf);
+        let len = buf.len();
+        let mut b = buf.freeze();
+        let back = OptData::decode_rdata(&mut b, len).unwrap();
+        assert_eq!(back, opt.options);
+    }
+
+    #[test]
+    fn ecs_accessor_finds_the_option() {
+        let e = EcsOption::query(Ipv4Addr::new(10, 0, 0, 1), 24);
+        let opt = OptData::with_ecs(e);
+        assert_eq!(opt.ecs(), Some(&e));
+        assert_eq!(OptData::default().ecs(), None);
+    }
+
+    #[test]
+    fn ipv6_ecs_option_is_preserved_as_opaque() {
+        // An IPv6 (family 2) client-subnet option: RFC 7871 §7.1.2 lets a
+        // v4-only server treat it as absent; we keep it byte-for-byte so
+        // re-encoding round-trips.
+        let mut buf = BytesMut::new();
+        buf.put_u16(OPTION_CODE_ECS);
+        buf.put_u16(4 + 6);
+        buf.put_u16(2); // family 2 = IPv6
+        buf.put_u8(48);
+        buf.put_u8(0);
+        buf.put_slice(&[0x20, 0x01, 0x0d, 0xb8, 0x12, 0x34]);
+        let len = buf.len();
+        let mut b = buf.freeze();
+        let opts = OptData::decode_rdata(&mut b, len).unwrap();
+        assert_eq!(opts.len(), 1);
+        match &opts[0] {
+            EdnsOption::Other { code, data } => {
+                assert_eq!(*code, OPTION_CODE_ECS);
+                assert_eq!(data.len(), 10);
+                assert_eq!(data[..2], [0, 2]);
+            }
+            other => panic!("expected opaque option, got {other:?}"),
+        }
+        // And a malformed *IPv4* option still errors.
+        let mut buf = BytesMut::new();
+        buf.put_u16(OPTION_CODE_ECS);
+        buf.put_u16(4 + 3);
+        buf.put_u16(FAMILY_IPV4);
+        buf.put_u8(20);
+        buf.put_u8(0);
+        buf.put_slice(&[10, 1, 0x0F]); // non-zero padding bits
+        let len = buf.len();
+        let mut b = buf.freeze();
+        assert!(OptData::decode_rdata(&mut b, len).is_err());
+    }
+
+    #[test]
+    fn truncated_rdata_errors() {
+        let mut b = bytes::Bytes::from_static(&[0, 8, 0, 10]); // claims 10-byte option
+        assert!(matches!(
+            OptData::decode_rdata(&mut b, 4).unwrap_err(),
+            WireError::Truncated
+        ));
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! DNS for the end-user-mapping reproduction.
+//!
+//! A from-scratch implementation of the protocol machinery the paper's
+//! mapping system rides on:
+//!
+//! * [`name`] — domain names with RFC 1035 limits;
+//! * [`message`] — header/flags/question/record model (A, AAAA, NS,
+//!   CNAME, SOA, TXT, OPT);
+//! * [`wire`] — the binary codec with name compression;
+//! * [`edns`] — EDNS0 (RFC 6891) and the Client Subnet option (RFC 7871),
+//!   the enabler of end-user mapping (paper §2.1);
+//! * [`cache`] — the ECS-aware answer cache whose per-scope entries cause
+//!   the paper's §5.2 query amplification;
+//! * [`resolver`] — a caching recursive resolver (the LDNS) with
+//!   switchable ECS forwarding;
+//! * [`authority`] — the authoritative-server trait the mapping system
+//!   implements, plus a static-zone authority.
+//!
+//! ## Example: a resolution with ECS
+//!
+//! ```
+//! use eum_dns::{EcsOption, Message, OptData, Question};
+//! use eum_dns::name::name;
+//! use eum_dns::wire::{decode_message, encode_message};
+//!
+//! // An LDNS forwards a /24 of the client with its query (paper Fig 4).
+//! let ecs = EcsOption::query("203.0.113.99".parse().unwrap(), 24);
+//! let query = Message::query(1, Question::a(name("foo.net")), Some(OptData::with_ecs(ecs)));
+//! let bytes = encode_message(&query);
+//! let back = decode_message(&bytes).unwrap();
+//! assert_eq!(back.ecs().unwrap().source_prefix, 24);
+//! assert_eq!(back.ecs().unwrap().addr.octets(), [203, 0, 113, 0]);
+//! ```
+
+pub mod authority;
+pub mod cache;
+pub mod edns;
+pub mod message;
+pub mod name;
+pub mod resolver;
+pub mod wire;
+
+pub use authority::{Authority, QueryContext, StaticAuthority};
+pub use cache::{CacheStats, CachedAnswer, EcsCache};
+pub use edns::{EcsOption, EdnsOption, OptData};
+pub use message::{Flags, Message, Question, RData, Rcode, Record, RrType, SoaData};
+pub use name::{DnsName, NameError};
+pub use resolver::{
+    EcsMode, RecursiveResolver, Resolution, ResolverConfig, ResolverStats, Upstream,
+};
+pub use wire::{decode_message, encode_message, WireError};

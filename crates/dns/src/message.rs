@@ -1,0 +1,491 @@
+//! DNS message structure: header, questions, resource records.
+//!
+//! Follows RFC 1035 §4 with the record types the mapping system uses:
+//! `A` answers, `NS` delegations (the two-level name-server hierarchy of
+//! paper §2.2), `CNAME` chains (content providers CNAME their domains to
+//! CDN domains), `SOA`/`TXT` for completeness, `AAAA` pass-through, and
+//! the `OPT` pseudo-RR carrying EDNS0/ECS.
+
+use crate::edns::OptData;
+use crate::name::DnsName;
+use serde::{Deserialize, Serialize};
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Resource record types (the subset this system implements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RrType {
+    /// IPv4 address.
+    A,
+    /// Authoritative name server.
+    Ns,
+    /// Canonical name.
+    Cname,
+    /// Start of authority.
+    Soa,
+    /// Text.
+    Txt,
+    /// IPv6 address.
+    Aaaa,
+    /// EDNS0 pseudo-record.
+    Opt,
+}
+
+impl RrType {
+    /// The IANA type code.
+    pub fn code(&self) -> u16 {
+        match self {
+            RrType::A => 1,
+            RrType::Ns => 2,
+            RrType::Cname => 5,
+            RrType::Soa => 6,
+            RrType::Txt => 16,
+            RrType::Aaaa => 28,
+            RrType::Opt => 41,
+        }
+    }
+
+    /// Parses an IANA type code.
+    pub fn from_code(code: u16) -> Option<RrType> {
+        Some(match code {
+            1 => RrType::A,
+            2 => RrType::Ns,
+            5 => RrType::Cname,
+            6 => RrType::Soa,
+            16 => RrType::Txt,
+            28 => RrType::Aaaa,
+            41 => RrType::Opt,
+            _ => return None,
+        })
+    }
+}
+
+/// Response codes (RFC 1035 §4.1.1 + RFC 6891).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Rcode {
+    /// No error.
+    NoError,
+    /// Format error.
+    FormErr,
+    /// Server failure.
+    ServFail,
+    /// Name does not exist.
+    NxDomain,
+    /// Not implemented.
+    NotImp,
+    /// Refused.
+    Refused,
+}
+
+impl Rcode {
+    /// The 4-bit wire code.
+    pub fn code(&self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+        }
+    }
+
+    /// Parses a 4-bit wire code; unknown codes map to `ServFail`.
+    pub fn from_code(code: u8) -> Rcode {
+        match code {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            _ => Rcode::ServFail,
+        }
+    }
+}
+
+/// Header flags (QR/AA/TC/RD/RA + opcode and rcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flags {
+    /// Query (false) or response (true).
+    pub qr: bool,
+    /// Opcode; only QUERY (0) is used here.
+    pub opcode: u8,
+    /// Authoritative answer.
+    pub aa: bool,
+    /// Truncation.
+    pub tc: bool,
+    /// Recursion desired.
+    pub rd: bool,
+    /// Recursion available.
+    pub ra: bool,
+    /// Response code.
+    pub rcode: Rcode,
+}
+
+impl Default for Flags {
+    fn default() -> Self {
+        Flags {
+            qr: false,
+            opcode: 0,
+            aa: false,
+            tc: false,
+            rd: false,
+            ra: false,
+            rcode: Rcode::NoError,
+        }
+    }
+}
+
+impl Flags {
+    /// Packs into the 16-bit header field.
+    pub fn to_u16(&self) -> u16 {
+        (self.qr as u16) << 15
+            | ((self.opcode as u16) & 0xF) << 11
+            | (self.aa as u16) << 10
+            | (self.tc as u16) << 9
+            | (self.rd as u16) << 8
+            | (self.ra as u16) << 7
+            | (self.rcode.code() as u16 & 0xF)
+    }
+
+    /// Unpacks from the 16-bit header field.
+    pub fn from_u16(v: u16) -> Flags {
+        Flags {
+            qr: v & 0x8000 != 0,
+            opcode: ((v >> 11) & 0xF) as u8,
+            aa: v & 0x0400 != 0,
+            tc: v & 0x0200 != 0,
+            rd: v & 0x0100 != 0,
+            ra: v & 0x0080 != 0,
+            rcode: Rcode::from_code((v & 0xF) as u8),
+        }
+    }
+}
+
+/// A question: name + type (class is always IN).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Question {
+    /// The queried name.
+    pub name: DnsName,
+    /// The queried type.
+    pub rtype: RrType,
+}
+
+impl Question {
+    /// An A-record question, the common case for mapping.
+    pub fn a(name: DnsName) -> Question {
+        Question {
+            name,
+            rtype: RrType::A,
+        }
+    }
+}
+
+/// SOA RDATA.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SoaData {
+    /// Primary name server.
+    pub mname: DnsName,
+    /// Responsible mailbox.
+    pub rname: DnsName,
+    /// Zone serial.
+    pub serial: u32,
+    /// Refresh interval.
+    pub refresh: u32,
+    /// Retry interval.
+    pub retry: u32,
+    /// Expire limit.
+    pub expire: u32,
+    /// Negative-caching TTL.
+    pub minimum: u32,
+}
+
+/// Record data.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RData {
+    /// IPv4 address.
+    A(Ipv4Addr),
+    /// IPv6 address.
+    Aaaa(Ipv6Addr),
+    /// Delegation target.
+    Ns(DnsName),
+    /// Canonical name.
+    Cname(DnsName),
+    /// Start of authority.
+    Soa(SoaData),
+    /// Text strings (single string per record here).
+    Txt(String),
+    /// EDNS0 pseudo-record payload.
+    Opt(OptData),
+}
+
+impl RData {
+    /// The record type of this data.
+    pub fn rtype(&self) -> RrType {
+        match self {
+            RData::A(_) => RrType::A,
+            RData::Aaaa(_) => RrType::Aaaa,
+            RData::Ns(_) => RrType::Ns,
+            RData::Cname(_) => RrType::Cname,
+            RData::Soa(_) => RrType::Soa,
+            RData::Txt(_) => RrType::Txt,
+            RData::Opt(_) => RrType::Opt,
+        }
+    }
+}
+
+/// A resource record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Record {
+    /// Owner name.
+    pub name: DnsName,
+    /// Time to live, seconds.
+    pub ttl: u32,
+    /// Data (type is implied by the variant).
+    pub rdata: RData,
+}
+
+impl Record {
+    /// Builds an A record.
+    pub fn a(name: DnsName, ttl: u32, ip: Ipv4Addr) -> Record {
+        Record {
+            name,
+            ttl,
+            rdata: RData::A(ip),
+        }
+    }
+
+    /// Builds an NS record.
+    pub fn ns(name: DnsName, ttl: u32, target: DnsName) -> Record {
+        Record {
+            name,
+            ttl,
+            rdata: RData::Ns(target),
+        }
+    }
+
+    /// Builds a CNAME record.
+    pub fn cname(name: DnsName, ttl: u32, target: DnsName) -> Record {
+        Record {
+            name,
+            ttl,
+            rdata: RData::Cname(target),
+        }
+    }
+
+    /// The record type.
+    pub fn rtype(&self) -> RrType {
+        self.rdata.rtype()
+    }
+}
+
+/// A complete DNS message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    /// Transaction ID.
+    pub id: u16,
+    /// Header flags.
+    pub flags: Flags,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<Record>,
+    /// Authority section.
+    pub authorities: Vec<Record>,
+    /// Additional section (includes the OPT pseudo-RR when EDNS is used).
+    pub additionals: Vec<Record>,
+}
+
+impl Message {
+    /// A query for `question`, optionally carrying an OPT record.
+    pub fn query(id: u16, question: Question, opt: Option<OptData>) -> Message {
+        let mut additionals = Vec::new();
+        if let Some(o) = opt {
+            additionals.push(Record {
+                name: DnsName::root(),
+                ttl: 0,
+                rdata: RData::Opt(o),
+            });
+        }
+        Message {
+            id,
+            flags: Flags {
+                rd: true,
+                ..Flags::default()
+            },
+            questions: vec![question],
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals,
+        }
+    }
+
+    /// A response skeleton mirroring a query's ID and question.
+    pub fn response_to(query: &Message, rcode: Rcode) -> Message {
+        Message {
+            id: query.id,
+            flags: Flags {
+                qr: true,
+                aa: true,
+                rd: query.flags.rd,
+                rcode,
+                ..Flags::default()
+            },
+            questions: query.questions.clone(),
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// The OPT pseudo-record's data, if present.
+    pub fn opt(&self) -> Option<&OptData> {
+        self.additionals.iter().find_map(|r| match &r.rdata {
+            RData::Opt(o) => Some(o),
+            _ => None,
+        })
+    }
+
+    /// The ECS option, if present in the OPT record.
+    pub fn ecs(&self) -> Option<&crate::edns::EcsOption> {
+        self.opt().and_then(|o| o.ecs())
+    }
+
+    /// Attaches (replacing any existing) an OPT record.
+    pub fn set_opt(&mut self, opt: OptData) {
+        self.additionals
+            .retain(|r| !matches!(r.rdata, RData::Opt(_)));
+        self.additionals.push(Record {
+            name: DnsName::root(),
+            ttl: 0,
+            rdata: RData::Opt(opt),
+        });
+    }
+
+    /// All A-record IPs in the answer section.
+    pub fn answer_ips(&self) -> Vec<Ipv4Addr> {
+        self.answers
+            .iter()
+            .filter_map(|r| match r.rdata {
+                RData::A(ip) => Some(ip),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Minimum TTL across answer records (`None` when empty).
+    pub fn min_answer_ttl(&self) -> Option<u32> {
+        self.answers.iter().map(|r| r.ttl).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edns::EcsOption;
+    use crate::name::name;
+
+    #[test]
+    fn rrtype_codes_round_trip() {
+        for t in [
+            RrType::A,
+            RrType::Ns,
+            RrType::Cname,
+            RrType::Soa,
+            RrType::Txt,
+            RrType::Aaaa,
+            RrType::Opt,
+        ] {
+            assert_eq!(RrType::from_code(t.code()), Some(t));
+        }
+        assert_eq!(RrType::from_code(999), None);
+    }
+
+    #[test]
+    fn flags_pack_and_unpack() {
+        let f = Flags {
+            qr: true,
+            opcode: 0,
+            aa: true,
+            tc: false,
+            rd: true,
+            ra: true,
+            rcode: Rcode::NxDomain,
+        };
+        assert_eq!(Flags::from_u16(f.to_u16()), f);
+        // Bit positions: QR is the MSB.
+        assert_eq!(
+            Flags {
+                qr: true,
+                ..Flags::default()
+            }
+            .to_u16(),
+            0x8000
+        );
+        assert_eq!(
+            Flags {
+                rd: true,
+                ..Flags::default()
+            }
+            .to_u16(),
+            0x0100
+        );
+    }
+
+    #[test]
+    fn rcode_unknown_maps_to_servfail() {
+        assert_eq!(Rcode::from_code(14), Rcode::ServFail);
+    }
+
+    #[test]
+    fn query_carries_opt_and_ecs() {
+        let ecs = EcsOption::query("10.1.2.3".parse().unwrap(), 24);
+        let q = Message::query(
+            7,
+            Question::a(name("www.example.com")),
+            Some(OptData::with_ecs(ecs)),
+        );
+        assert_eq!(q.id, 7);
+        assert!(q.flags.rd);
+        assert!(!q.flags.qr);
+        assert_eq!(q.ecs(), Some(&ecs));
+    }
+
+    #[test]
+    fn response_mirrors_query() {
+        let q = Message::query(9, Question::a(name("foo.net")), None);
+        let r = Message::response_to(&q, Rcode::NoError);
+        assert_eq!(r.id, 9);
+        assert!(r.flags.qr && r.flags.aa);
+        assert_eq!(r.questions, q.questions);
+    }
+
+    #[test]
+    fn set_opt_replaces_existing() {
+        let mut m = Message::query(1, Question::a(name("a.b")), Some(OptData::default()));
+        let ecs = EcsOption::query("1.2.3.4".parse().unwrap(), 24);
+        m.set_opt(OptData::with_ecs(ecs));
+        let opts: Vec<_> = m
+            .additionals
+            .iter()
+            .filter(|r| matches!(r.rdata, RData::Opt(_)))
+            .collect();
+        assert_eq!(opts.len(), 1);
+        assert_eq!(m.ecs(), Some(&ecs));
+    }
+
+    #[test]
+    fn answer_ips_and_min_ttl() {
+        let mut m = Message::response_to(
+            &Message::query(1, Question::a(name("x.y")), None),
+            Rcode::NoError,
+        );
+        m.answers
+            .push(Record::a(name("x.y"), 60, "1.1.1.1".parse().unwrap()));
+        m.answers
+            .push(Record::a(name("x.y"), 20, "2.2.2.2".parse().unwrap()));
+        m.answers.push(Record::cname(name("x.y"), 300, name("z.w")));
+        assert_eq!(m.answer_ips().len(), 2);
+        assert_eq!(m.min_answer_ttl(), Some(20));
+    }
+}

@@ -1,0 +1,273 @@
+//! Domain names.
+//!
+//! [`DnsName`] stores a fully-qualified domain name as a sequence of
+//! lowercase labels (DNS names are case-insensitive per RFC 1035 §2.3.3;
+//! normalizing at construction makes equality, hashing, and compression
+//! simple and correct). Enforces RFC 1035 size limits: labels of 1–63
+//! octets and a total wire length of at most 255 octets.
+
+use serde::{Deserialize, Serialize};
+use std::str::FromStr;
+
+/// A fully-qualified domain name (the trailing root dot is implicit).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DnsName {
+    labels: Vec<String>,
+}
+
+/// Errors from constructing a [`DnsName`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameError {
+    /// A label was empty or longer than 63 octets.
+    BadLabel,
+    /// The encoded name would exceed 255 octets.
+    TooLong,
+    /// A label contained a character outside `[A-Za-z0-9_-]`.
+    BadCharacter,
+}
+
+impl std::fmt::Display for NameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NameError::BadLabel => f.write_str("label must be 1..=63 octets"),
+            NameError::TooLong => f.write_str("name exceeds 255 octets"),
+            NameError::BadCharacter => f.write_str("label contains invalid character"),
+        }
+    }
+}
+
+impl std::error::Error for NameError {}
+
+impl DnsName {
+    /// The root name (zero labels).
+    pub fn root() -> DnsName {
+        DnsName { labels: Vec::new() }
+    }
+
+    /// Builds a name from labels, validating and lowercasing each.
+    pub fn from_labels<S: AsRef<str>>(
+        labels: impl IntoIterator<Item = S>,
+    ) -> Result<DnsName, NameError> {
+        let mut out = Vec::new();
+        let mut wire_len = 1usize; // root byte
+        for l in labels {
+            let l = l.as_ref();
+            if l.is_empty() || l.len() > 63 {
+                return Err(NameError::BadLabel);
+            }
+            if !l
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+            {
+                return Err(NameError::BadCharacter);
+            }
+            wire_len += 1 + l.len();
+            out.push(l.to_ascii_lowercase());
+        }
+        if wire_len > 255 {
+            return Err(NameError::TooLong);
+        }
+        Ok(DnsName { labels: out })
+    }
+
+    /// The labels, most-significant last (`www`, `example`, `com`).
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True for the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Length of the wire encoding in octets (uncompressed).
+    pub fn wire_len(&self) -> usize {
+        1 + self.labels.iter().map(|l| 1 + l.len()).sum::<usize>()
+    }
+
+    /// The parent domain (one label removed from the front), or `None`
+    /// at the root.
+    pub fn parent(&self) -> Option<DnsName> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(DnsName {
+                labels: self.labels[1..].to_vec(),
+            })
+        }
+    }
+
+    /// Prepends a label: `label.self`.
+    pub fn child(&self, label: &str) -> Result<DnsName, NameError> {
+        let mut labels = vec![label.to_string()];
+        labels.extend(self.labels.iter().cloned());
+        DnsName::from_labels(labels)
+    }
+
+    /// True when `self` is `other` or a subdomain of it
+    /// (`a.b.example.com` is within `example.com` and within the root).
+    pub fn is_within(&self, other: &DnsName) -> bool {
+        if other.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - other.labels.len();
+        self.labels[offset..] == other.labels[..]
+    }
+}
+
+impl FromStr for DnsName {
+    type Err = NameError;
+
+    /// Parses dotted notation; a single trailing dot (FQDN marker) and
+    /// `"."` (root) are accepted.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Ok(DnsName::root());
+        }
+        DnsName::from_labels(s.split('.'))
+    }
+}
+
+impl std::fmt::Display for DnsName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.labels.is_empty() {
+            return f.write_str(".");
+        }
+        f.write_str(&self.labels.join("."))
+    }
+}
+
+/// Convenience macro-free constructor for tests and examples; panics on an
+/// invalid name.
+pub fn name(s: &str) -> DnsName {
+    s.parse()
+        .unwrap_or_else(|e| panic!("invalid DNS name {s:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["example.com", "a.b.c.d.example.org", "xn--abc.test"] {
+            assert_eq!(name(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn trailing_dot_is_accepted() {
+        assert_eq!(name("example.com."), name("example.com"));
+    }
+
+    #[test]
+    fn root_parses_and_displays() {
+        let r: DnsName = ".".parse().unwrap();
+        assert!(r.is_root());
+        assert_eq!(r.to_string(), ".");
+        let empty: DnsName = "".parse().unwrap();
+        assert!(empty.is_root());
+    }
+
+    #[test]
+    fn names_are_case_insensitive() {
+        assert_eq!(name("ExAmPle.COM"), name("example.com"));
+        let mut h1 = std::collections::hash_map::DefaultHasher::new();
+        let mut h2 = std::collections::hash_map::DefaultHasher::new();
+        use std::hash::{Hash, Hasher};
+        name("WWW.Foo.NET").hash(&mut h1);
+        name("www.foo.net").hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        assert!("a..b".parse::<DnsName>().is_err());
+        assert!(DnsName::from_labels(["x".repeat(64)]).is_err());
+        assert!("sp ace.com".parse::<DnsName>().is_err());
+        assert!("exa$mple.com".parse::<DnsName>().is_err());
+    }
+
+    #[test]
+    fn accepts_63_octet_label() {
+        assert!(DnsName::from_labels(["x".repeat(63)]).is_ok());
+    }
+
+    #[test]
+    fn rejects_overlong_name() {
+        // Four 63-octet labels: 4*64 + 1 = 257 > 255.
+        let l = "x".repeat(63);
+        assert_eq!(
+            DnsName::from_labels([l.clone(), l.clone(), l.clone(), l]),
+            Err(NameError::TooLong)
+        );
+    }
+
+    #[test]
+    fn wire_len_counts_length_bytes_and_root() {
+        assert_eq!(name("example.com").wire_len(), 1 + 8 + 1 + 4 + 1 - 2);
+        // "example" = 7+1, "com" = 3+1, root = 1 ⇒ 13.
+        assert_eq!(name("example.com").wire_len(), 13);
+        assert_eq!(DnsName::root().wire_len(), 1);
+    }
+
+    #[test]
+    fn parent_and_child() {
+        let n = name("www.example.com");
+        assert_eq!(n.parent().unwrap(), name("example.com"));
+        assert_eq!(DnsName::root().parent(), None);
+        assert_eq!(name("example.com").child("www").unwrap(), n);
+        assert!(name("example.com").child("bad label").is_err());
+    }
+
+    mod prop_tests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Display → parse is the identity for arbitrary valid names.
+            #[test]
+            fn display_parse_round_trip(
+                labels in proptest::collection::vec("[a-z0-9_-]{1,20}", 0..6),
+            ) {
+                if let Ok(name) = DnsName::from_labels(labels) {
+                    let back: DnsName = name.to_string().parse().unwrap();
+                    prop_assert_eq!(back, name);
+                }
+            }
+
+            /// A child is always within its parent; wire length grows by
+            /// label length + 1.
+            #[test]
+            fn child_parent_inverse(
+                base in proptest::collection::vec("[a-z0-9]{1,10}", 1..4),
+                label in "[a-z0-9]{1,10}",
+            ) {
+                let parent = DnsName::from_labels(base).unwrap();
+                if let Ok(child) = parent.child(&label) {
+                    prop_assert!(child.is_within(&parent));
+                    prop_assert_eq!(child.parent().unwrap(), parent.clone());
+                    prop_assert_eq!(child.wire_len(), parent.wire_len() + label.len() + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn is_within_checks_suffix() {
+        let n = name("a.b.example.com");
+        assert!(n.is_within(&name("example.com")));
+        assert!(n.is_within(&n));
+        assert!(n.is_within(&DnsName::root()));
+        assert!(!n.is_within(&name("other.com")));
+        assert!(!name("example.com").is_within(&n));
+        // Suffix must be label-aligned: "le.com" is not a parent of "example.com".
+        assert!(!name("example.com").is_within(&name("le.com")));
+    }
+}

@@ -1,0 +1,825 @@
+//! The recursive resolver (LDNS).
+//!
+//! Implements the behaviour of the paper's "local domain name server": it
+//! caches answers (honoring ECS scopes per RFC 7871), follows referrals
+//! through the CDN's two-level name-server hierarchy, chases CNAMEs, and —
+//! when [`EcsMode::On`] — forwards a truncated client prefix upstream,
+//! which is precisely what Google Public DNS and OpenDNS turned on for the
+//! roll-out the paper measures (§4).
+//!
+//! The resolver is transport-agnostic: it hands wire-encoded query bytes
+//! to an [`Upstream`] implementation (the simulator's network) and decodes
+//! the wire-encoded response, so every authoritative exchange exercises
+//! the real codec.
+
+use crate::cache::{CachedAnswer, EcsCache};
+use crate::edns::{EcsOption, OptData};
+use crate::message::{Message, Question, RData, Rcode, RrType};
+use crate::name::DnsName;
+use crate::wire::{decode_message, encode_message};
+use eum_geo::Prefix;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Whether (and how) the resolver forwards EDNS0 Client Subnet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EcsMode {
+    /// No client information is forwarded — traditional NS-based mapping
+    /// sees only the resolver's own IP.
+    Off,
+    /// Forward a `/source_prefix` of the client address. Public resolvers
+    /// use /24 ("A prefix longer than /24 is discouraged to retain
+    /// client's privacy", paper §2.1 fn. 4).
+    On {
+        /// Source prefix length sent upstream.
+        source_prefix: u8,
+    },
+}
+
+/// Resolver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ResolverConfig {
+    /// ECS forwarding mode.
+    pub ecs: EcsMode,
+    /// Maximum CNAME chase depth.
+    pub max_cname_chase: usize,
+    /// Maximum referrals per resolution.
+    pub max_referrals: usize,
+    /// TTL for cached negative answers, milliseconds.
+    pub negative_ttl_ms: u64,
+    /// Honor ECS scopes when caching (RFC 7871 §7.3.1). Setting this to
+    /// `false` is a deliberately protocol-violating ablation: answers are
+    /// cached per qname only, eliminating the §5.2 query amplification at
+    /// the cost of serving one client's scoped answer to every client —
+    /// the counterfactual that shows the amplification is the *price of
+    /// correctness*, not an implementation artifact.
+    pub honor_ecs_scope: bool,
+    /// Cap on total cache entries (`None` = unbounded). Real resolvers
+    /// bound cache memory; per-scope ECS entries are the §5.2 growth that
+    /// pressures this bound.
+    pub cache_max_entries: Option<usize>,
+}
+
+impl Default for ResolverConfig {
+    fn default() -> Self {
+        ResolverConfig {
+            ecs: EcsMode::Off,
+            max_cname_chase: 8,
+            max_referrals: 8,
+            negative_ttl_ms: 30_000,
+            honor_ecs_scope: true,
+            cache_max_entries: None,
+        }
+    }
+}
+
+/// Network access to authoritative servers, supplied by the caller.
+pub trait Upstream {
+    /// Sends wire bytes to the authoritative server at `server` and
+    /// returns (wire response, round-trip time in ms).
+    fn query(&mut self, server: Ipv4Addr, query: &[u8], now_ms: u64) -> (Vec<u8>, f64);
+
+    /// Bootstrap referral: the IP of a name server that can start the
+    /// resolution of `name` (stands in for the root/TLD infrastructure,
+    /// which the paper's system sits below).
+    fn referral_root(&mut self, name: &DnsName) -> Ipv4Addr;
+}
+
+/// The outcome of one client resolution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Resolution {
+    /// Final A-record IPs (the CDN returns two or more, §1 fn. 2).
+    pub ips: Vec<Ipv4Addr>,
+    /// Final response code.
+    pub rcode: Rcode,
+    /// True when the answer came entirely from cache.
+    pub from_cache: bool,
+    /// Wall-clock spent on upstream queries, ms (zero on full cache hit).
+    pub elapsed_ms: f64,
+    /// Number of upstream queries issued.
+    pub upstream_queries: u32,
+    /// Minimum TTL across the answer chain, seconds.
+    pub ttl_s: u32,
+}
+
+/// Per-resolver counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResolverStats {
+    /// Client resolutions served.
+    pub resolutions: u64,
+    /// Resolutions fully served from cache.
+    pub cache_answers: u64,
+    /// Upstream queries issued.
+    pub upstream_queries: u64,
+    /// Resolutions that failed (SERVFAIL).
+    pub failures: u64,
+}
+
+/// A caching recursive resolver.
+#[derive(Debug, Clone)]
+pub struct RecursiveResolver {
+    /// The resolver's own unicast IP (sent to authorities as the source).
+    pub ip: Ipv4Addr,
+    cfg: ResolverConfig,
+    cache: EcsCache,
+    /// Delegation cache: zone apex → (name-server IP, expiry ms).
+    delegations: HashMap<DnsName, (Ipv4Addr, u64)>,
+    next_id: u16,
+    stats: ResolverStats,
+}
+
+impl RecursiveResolver {
+    /// Creates a resolver with the given unicast IP and configuration.
+    pub fn new(ip: Ipv4Addr, cfg: ResolverConfig) -> Self {
+        let cache = match cfg.cache_max_entries {
+            Some(cap) => EcsCache::bounded(cap),
+            None => EcsCache::new(),
+        };
+        RecursiveResolver {
+            ip,
+            cfg,
+            cache,
+            delegations: HashMap::new(),
+            next_id: 1,
+            stats: ResolverStats::default(),
+        }
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> ResolverConfig {
+        self.cfg
+    }
+
+    /// Switches the ECS mode (the roll-out flips public resolvers from
+    /// `Off` to `On { 24 }`).
+    pub fn set_ecs(&mut self, mode: EcsMode) {
+        self.cfg.ecs = mode;
+    }
+
+    /// Read-only cache access (entry counts for scaling analyses).
+    pub fn cache(&self) -> &EcsCache {
+        &self.cache
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ResolverStats {
+        self.stats
+    }
+
+    fn fresh_id(&mut self) -> u16 {
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        self.next_id
+    }
+
+    /// The cache-lookup client key under the current ECS mode: with ECS
+    /// off, answers are client-independent (global entries only).
+    fn cache_client(&self, client: Ipv4Addr) -> Option<Ipv4Addr> {
+        match self.cfg.ecs {
+            EcsMode::Off => None,
+            EcsMode::On { .. } => Some(client),
+        }
+    }
+
+    /// Extracts (final A IPs, next CNAME target) from an answer section
+    /// for `qname`, following any in-message chain.
+    fn walk_answers(
+        records: &[crate::message::Record],
+        qname: &DnsName,
+    ) -> (Vec<Ipv4Addr>, Option<DnsName>, u32) {
+        let mut current = qname.clone();
+        let mut min_ttl = u32::MAX;
+        for _ in 0..9 {
+            let ips: Vec<Ipv4Addr> = records
+                .iter()
+                .filter(|r| r.name == current)
+                .filter_map(|r| match r.rdata {
+                    RData::A(ip) => Some(ip),
+                    _ => None,
+                })
+                .collect();
+            if !ips.is_empty() {
+                let ttl = records
+                    .iter()
+                    .filter(|r| r.name == current || matches!(r.rdata, RData::Cname(_)))
+                    .map(|r| r.ttl)
+                    .min()
+                    .unwrap_or(0);
+                return (ips, None, ttl.min(min_ttl));
+            }
+            let cname = records.iter().find_map(|r| {
+                if r.name == current {
+                    if let RData::Cname(t) = &r.rdata {
+                        return Some((t.clone(), r.ttl));
+                    }
+                }
+                None
+            });
+            match cname {
+                Some((target, ttl)) => {
+                    min_ttl = min_ttl.min(ttl);
+                    current = target;
+                }
+                None => break,
+            }
+        }
+        let min_ttl = if min_ttl == u32::MAX { 0 } else { min_ttl };
+        (
+            Vec::new(),
+            if current != *qname {
+                Some(current)
+            } else {
+                None
+            },
+            min_ttl,
+        )
+    }
+
+    /// Resolves `qname` (type A) on behalf of `client`.
+    pub fn resolve(
+        &mut self,
+        qname: &DnsName,
+        client: Ipv4Addr,
+        now_ms: u64,
+        upstream: &mut dyn Upstream,
+    ) -> Resolution {
+        self.stats.resolutions += 1;
+        let mut elapsed = 0.0f64;
+        let mut queries = 0u32;
+        let mut current = qname.clone();
+        let mut any_upstream = false;
+        let mut min_ttl = u32::MAX;
+
+        for _chase in 0..=self.cfg.max_cname_chase {
+            // 1. Cache.
+            if let Some(hit) =
+                self.cache
+                    .lookup(&current, RrType::A, self.cache_client(client), now_ms)
+            {
+                if hit.rcode != Rcode::NoError {
+                    return self.finish(Vec::new(), hit.rcode, !any_upstream, elapsed, queries, 0);
+                }
+                let (ips, next, ttl) = Self::walk_answers(&hit.records, &current);
+                min_ttl = min_ttl
+                    .min(((hit.expires_ms.saturating_sub(now_ms)) / 1000) as u32)
+                    .min(if ttl > 0 { ttl } else { u32::MAX });
+                if !ips.is_empty() {
+                    return self.finish(
+                        ips,
+                        Rcode::NoError,
+                        !any_upstream,
+                        elapsed,
+                        queries,
+                        min_ttl,
+                    );
+                }
+                if let Some(next) = next {
+                    current = next;
+                    continue;
+                }
+                // Cached entry with neither A nor usable CNAME: fall through
+                // to an upstream query.
+            }
+
+            // 2. Iterative resolution from the deepest cached delegation.
+            let mut server = self
+                .delegation_for(&current, now_ms)
+                .unwrap_or_else(|| upstream.referral_root(&current));
+            let mut resolved_here = false;
+            for _hop in 0..self.cfg.max_referrals {
+                let ecs = match self.cfg.ecs {
+                    EcsMode::Off => None,
+                    EcsMode::On { source_prefix } => {
+                        Some(OptData::with_ecs(EcsOption::query(client, source_prefix)))
+                    }
+                };
+                let query = Message::query(self.fresh_id(), Question::a(current.clone()), ecs);
+                let bytes = encode_message(&query);
+                let (resp_bytes, rtt) = upstream.query(server, &bytes, now_ms + elapsed as u64);
+                elapsed += rtt;
+                queries += 1;
+                any_upstream = true;
+                self.stats.upstream_queries += 1;
+                let resp = match decode_message(&resp_bytes) {
+                    Ok(m) => m,
+                    Err(_) => {
+                        return self.finish(Vec::new(), Rcode::ServFail, false, elapsed, queries, 0)
+                    }
+                };
+
+                if !resp.answers.is_empty() && resp.flags.rcode == Rcode::NoError {
+                    self.cache_answer(&current, &resp, now_ms);
+                    let (ips, next, ttl) = Self::walk_answers(&resp.answers, &current);
+                    if ttl > 0 {
+                        min_ttl = min_ttl.min(ttl);
+                    }
+                    if !ips.is_empty() {
+                        return self.finish(ips, Rcode::NoError, false, elapsed, queries, min_ttl);
+                    }
+                    if let Some(next) = next {
+                        current = next;
+                        resolved_here = true;
+                        break; // re-enter outer loop (cache check first)
+                    }
+                    // Answer without A or CNAME for us: give up.
+                    return self.finish(Vec::new(), Rcode::ServFail, false, elapsed, queries, 0);
+                }
+
+                if resp.flags.rcode == Rcode::NxDomain {
+                    self.cache.insert(
+                        current.clone(),
+                        RrType::A,
+                        CachedAnswer {
+                            records: Vec::new(),
+                            rcode: Rcode::NxDomain,
+                            scope: Prefix::ALL,
+                            expires_ms: now_ms + self.cfg.negative_ttl_ms,
+                        },
+                    );
+                    return self.finish(Vec::new(), Rcode::NxDomain, false, elapsed, queries, 0);
+                }
+
+                // Referral?
+                let referral = resp.authorities.iter().find_map(|r| match &r.rdata {
+                    RData::Ns(target) => Some((r.name.clone(), target.clone(), r.ttl)),
+                    _ => None,
+                });
+                match referral {
+                    Some((zone, ns_name, ttl)) => {
+                        let glue = resp.additionals.iter().find_map(|g| {
+                            if g.name == ns_name {
+                                if let RData::A(ip) = g.rdata {
+                                    return Some(ip);
+                                }
+                            }
+                            None
+                        });
+                        match glue {
+                            Some(ip) => {
+                                self.delegations
+                                    .insert(zone, (ip, now_ms + ttl as u64 * 1000));
+                                server = ip;
+                            }
+                            None => {
+                                return self.finish(
+                                    Vec::new(),
+                                    Rcode::ServFail,
+                                    false,
+                                    elapsed,
+                                    queries,
+                                    0,
+                                )
+                            }
+                        }
+                    }
+                    None => {
+                        return self.finish(
+                            Vec::new(),
+                            resp.flags.rcode,
+                            false,
+                            elapsed,
+                            queries,
+                            0,
+                        )
+                    }
+                }
+            }
+            if !resolved_here {
+                // Referral limit exhausted.
+                return self.finish(Vec::new(), Rcode::ServFail, false, elapsed, queries, 0);
+            }
+        }
+        self.finish(Vec::new(), Rcode::ServFail, false, elapsed, queries, 0)
+    }
+
+    fn finish(
+        &mut self,
+        ips: Vec<Ipv4Addr>,
+        rcode: Rcode,
+        from_cache: bool,
+        elapsed_ms: f64,
+        upstream_queries: u32,
+        ttl_s: u32,
+    ) -> Resolution {
+        if rcode == Rcode::ServFail {
+            self.stats.failures += 1;
+        }
+        if from_cache {
+            self.stats.cache_answers += 1;
+        }
+        Resolution {
+            ips,
+            rcode,
+            from_cache,
+            elapsed_ms,
+            upstream_queries,
+            ttl_s,
+        }
+    }
+
+    /// Deepest unexpired cached delegation covering `name`.
+    fn delegation_for(&mut self, name: &DnsName, now_ms: u64) -> Option<Ipv4Addr> {
+        let mut best: Option<(usize, Ipv4Addr)> = None;
+        self.delegations.retain(|_, (_, exp)| *exp > now_ms);
+        for (zone, (ip, _)) in &self.delegations {
+            if name.is_within(zone) {
+                let depth = zone.label_count();
+                if best.is_none_or(|(d, _)| depth > d) {
+                    best = Some((depth, *ip));
+                }
+            }
+        }
+        best.map(|(_, ip)| ip)
+    }
+
+    /// Caches a positive answer under the ECS scope rules: the scope from
+    /// the response's ECS option, or a global entry when ECS is absent or
+    /// scope 0 (RFC 7871 §7.3.1). A scope longer than the source is
+    /// clamped to the source block the resolver asked about.
+    fn cache_answer(&mut self, qname: &DnsName, resp: &Message, now_ms: u64) {
+        let ttl_s = resp.min_answer_ttl().unwrap_or(0).max(1) as u64;
+        let scope = match resp.ecs() {
+            Some(e) if e.scope_prefix > 0 && self.cfg.honor_ecs_scope => Prefix::of(
+                e.addr,
+                e.scope_prefix.min(e.source_prefix.max(e.scope_prefix)),
+            )
+            .truncate(e.scope_prefix),
+            _ => Prefix::ALL,
+        };
+        self.cache.insert(
+            qname.clone(),
+            RrType::A,
+            CachedAnswer {
+                records: resp.answers.clone(),
+                rcode: Rcode::NoError,
+                scope,
+                expires_ms: now_ms + ttl_s * 1000,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::{Authority, QueryContext, StaticAuthority};
+    use crate::message::Record;
+    use crate::name::name;
+
+    /// An in-process "network" of static authorities keyed by server IP.
+    struct TestNet {
+        servers: HashMap<Ipv4Addr, StaticAuthority>,
+        root: Ipv4Addr,
+        rtt: f64,
+        pub query_count: u32,
+    }
+
+    impl TestNet {
+        fn new(root: Ipv4Addr) -> Self {
+            TestNet {
+                servers: HashMap::new(),
+                root,
+                rtt: 10.0,
+                query_count: 0,
+            }
+        }
+
+        fn install(&mut self, ip: &str, auth: StaticAuthority) {
+            self.servers.insert(ip.parse().unwrap(), auth);
+        }
+    }
+
+    impl Upstream for TestNet {
+        fn query(&mut self, server: Ipv4Addr, query: &[u8], now_ms: u64) -> (Vec<u8>, f64) {
+            self.query_count += 1;
+            let msg = decode_message(query).expect("well-formed query");
+            let ctx = QueryContext {
+                resolver_ip: "192.0.2.53".parse().unwrap(),
+                now_ms,
+            };
+            let resp = match self.servers.get(&server) {
+                Some(auth) => auth.handle(&msg, &ctx),
+                None => Message::response_to(&msg, Rcode::ServFail),
+            };
+            (encode_message(&resp), self.rtt)
+        }
+
+        fn referral_root(&mut self, _name: &DnsName) -> Ipv4Addr {
+            self.root
+        }
+    }
+
+    /// Builds the canonical paper topology: shop.example CNAMEs into
+    /// cdn.example, whose top-level server delegates to a low-level server
+    /// that answers A.
+    fn paper_net() -> TestNet {
+        let mut net = TestNet::new("198.18.0.1".parse().unwrap());
+
+        // "Root": knows both zones by delegation.
+        let mut root = StaticAuthority::new();
+        root.delegate(
+            name("shop.example"),
+            name("ns.shop.example"),
+            "198.18.1.1".parse().unwrap(),
+            86_400,
+        );
+        root.delegate(
+            name("cdn.example"),
+            name("top.cdn.example"),
+            "198.18.2.1".parse().unwrap(),
+            86_400,
+        );
+        net.install("198.18.0.1", root);
+
+        // Content provider zone: CNAME into the CDN.
+        let mut shop = StaticAuthority::new();
+        shop.add(Record::cname(
+            name("www.shop.example"),
+            300,
+            name("e1.cdn.example"),
+        ));
+        net.install("198.18.1.1", shop);
+
+        // CDN top-level: delegates e1.cdn.example's zone to a low-level NS.
+        let mut top = StaticAuthority::new();
+        top.delegate(
+            name("e1.cdn.example"),
+            name("n0.e1.cdn.example"),
+            "198.18.3.1".parse().unwrap(),
+            1800,
+        );
+        net.install("198.18.2.1", top);
+
+        // CDN low-level: answers A records.
+        let mut low = StaticAuthority::new();
+        low.add(Record::a(
+            name("e1.cdn.example"),
+            20,
+            "96.7.1.1".parse().unwrap(),
+        ));
+        low.add(Record::a(
+            name("e1.cdn.example"),
+            20,
+            "96.7.1.2".parse().unwrap(),
+        ));
+        net.install("198.18.3.1", low);
+
+        net
+    }
+
+    fn resolver(ecs: EcsMode) -> RecursiveResolver {
+        RecursiveResolver::new(
+            "192.0.2.53".parse().unwrap(),
+            ResolverConfig {
+                ecs,
+                ..ResolverConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn full_chain_resolution_works() {
+        let mut net = paper_net();
+        let mut r = resolver(EcsMode::Off);
+        let res = r.resolve(
+            &name("www.shop.example"),
+            "10.0.0.1".parse().unwrap(),
+            0,
+            &mut net,
+        );
+        assert_eq!(res.rcode, Rcode::NoError);
+        assert_eq!(res.ips.len(), 2);
+        assert!(!res.from_cache);
+        // root → shop (CNAME) → root → cdn-top (referral) → cdn-low (A):
+        // 5 upstream queries, 10ms each.
+        assert_eq!(res.upstream_queries, 5);
+        assert!((res.elapsed_ms - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn second_resolution_hits_cache() {
+        let mut net = paper_net();
+        let mut r = resolver(EcsMode::Off);
+        let client = "10.0.0.1".parse().unwrap();
+        let _ = r.resolve(&name("www.shop.example"), client, 0, &mut net);
+        let res = r.resolve(&name("www.shop.example"), client, 1000, &mut net);
+        assert!(res.from_cache);
+        assert_eq!(res.upstream_queries, 0);
+        assert_eq!(res.elapsed_ms, 0.0);
+        assert_eq!(res.ips.len(), 2);
+    }
+
+    #[test]
+    fn cache_expires_after_ttl() {
+        let mut net = paper_net();
+        let mut r = resolver(EcsMode::Off);
+        let client = "10.0.0.1".parse().unwrap();
+        let _ = r.resolve(&name("www.shop.example"), client, 0, &mut net);
+        let before = net.query_count;
+        // A-record TTL is 20s; at t=25s the terminal answer must be
+        // re-fetched (the CNAME with TTL 300 may still be cached).
+        let res = r.resolve(&name("www.shop.example"), client, 25_000, &mut net);
+        assert!(!res.from_cache);
+        assert!(net.query_count > before);
+        assert_eq!(res.ips.len(), 2);
+    }
+
+    #[test]
+    fn ecs_off_shares_cache_across_clients() {
+        let mut net = paper_net();
+        let mut r = resolver(EcsMode::Off);
+        let _ = r.resolve(
+            &name("www.shop.example"),
+            "10.0.0.1".parse().unwrap(),
+            0,
+            &mut net,
+        );
+        let res = r.resolve(
+            &name("www.shop.example"),
+            "172.16.0.1".parse().unwrap(),
+            100,
+            &mut net,
+        );
+        assert!(
+            res.from_cache,
+            "different client should share the global cache entry"
+        );
+    }
+
+    #[test]
+    fn ecs_on_with_scope_zero_still_shares() {
+        // StaticAuthority echoes scope 0, so even with ECS on, entries are
+        // global (client-independent content).
+        let mut net = paper_net();
+        let mut r = resolver(EcsMode::On { source_prefix: 24 });
+        let _ = r.resolve(
+            &name("www.shop.example"),
+            "10.0.0.1".parse().unwrap(),
+            0,
+            &mut net,
+        );
+        let res = r.resolve(
+            &name("www.shop.example"),
+            "172.16.0.1".parse().unwrap(),
+            100,
+            &mut net,
+        );
+        assert!(res.from_cache);
+    }
+
+    #[test]
+    fn nxdomain_is_cached_negatively() {
+        let mut net = paper_net();
+        let mut r = resolver(EcsMode::Off);
+        let client = "10.0.0.1".parse().unwrap();
+        let res = r.resolve(&name("missing.shop.example"), client, 0, &mut net);
+        assert_eq!(res.rcode, Rcode::NxDomain);
+        let before = net.query_count;
+        let res2 = r.resolve(&name("missing.shop.example"), client, 1000, &mut net);
+        assert_eq!(res2.rcode, Rcode::NxDomain);
+        assert_eq!(net.query_count, before, "negative answer should be cached");
+    }
+
+    #[test]
+    fn unknown_server_leads_to_servfail() {
+        let mut net = TestNet::new("198.18.9.9".parse().unwrap());
+        let mut r = resolver(EcsMode::Off);
+        let res = r.resolve(&name("x.example"), "10.0.0.1".parse().unwrap(), 0, &mut net);
+        assert_eq!(res.rcode, Rcode::ServFail);
+        assert_eq!(r.stats().failures, 1);
+    }
+
+    #[test]
+    fn delegations_are_reused() {
+        let mut net = paper_net();
+        let mut r = resolver(EcsMode::Off);
+        let client = "10.0.0.1".parse().unwrap();
+        let _ = r.resolve(&name("www.shop.example"), client, 0, &mut net);
+        let q1 = net.query_count;
+        // New name in the same delegated CDN zone after the A TTL expired:
+        // the resolver should go straight to the cached low-level NS.
+        let _ = r.resolve(&name("e1.cdn.example"), client, 25_000, &mut net);
+        let q2 = net.query_count;
+        assert_eq!(q2 - q1, 1, "only the low-level query should be needed");
+    }
+
+    /// An authority whose answer depends on the ECS block (scope /24),
+    /// like an end-user-mapping low-level name server.
+    struct ScopedAuth;
+
+    impl Authority for ScopedAuth {
+        fn handle(&self, query: &Message, _ctx: &QueryContext) -> Message {
+            let mut resp = Message::response_to(query, crate::Rcode::NoError);
+            let q = query.questions.first().unwrap();
+            let ecs = query.ecs().copied();
+            let third_octet = ecs.map(|e| e.addr.octets()[2]).unwrap_or(0);
+            resp.answers.push(Record::a(
+                q.name.clone(),
+                60,
+                Ipv4Addr::new(96, 0, third_octet, 1),
+            ));
+            if let Some(e) = ecs {
+                resp.set_opt(crate::edns::OptData::with_ecs(
+                    crate::edns::EcsOption::response(&e, 24),
+                ));
+            }
+            resp
+        }
+    }
+
+    /// Wraps ScopedAuth in an Upstream.
+    struct ScopedNet {
+        auth: ScopedAuth,
+        pub queries: u32,
+    }
+
+    impl Upstream for ScopedNet {
+        fn query(&mut self, _server: Ipv4Addr, query: &[u8], now_ms: u64) -> (Vec<u8>, f64) {
+            self.queries += 1;
+            let msg = decode_message(query).unwrap();
+            let ctx = QueryContext {
+                resolver_ip: "192.0.2.53".parse().unwrap(),
+                now_ms,
+            };
+            (encode_message(&self.auth.handle(&msg, &ctx)), 5.0)
+        }
+
+        fn referral_root(&mut self, _name: &DnsName) -> Ipv4Addr {
+            "198.18.0.1".parse().unwrap()
+        }
+    }
+
+    #[test]
+    fn scoped_answers_are_cached_per_block() {
+        let mut net = ScopedNet {
+            auth: ScopedAuth,
+            queries: 0,
+        };
+        let mut r = resolver(EcsMode::On { source_prefix: 24 });
+        let a = r.resolve(&name("d.example"), "10.0.1.5".parse().unwrap(), 0, &mut net);
+        let b = r.resolve(
+            &name("d.example"),
+            "10.0.2.5".parse().unwrap(),
+            10,
+            &mut net,
+        );
+        assert_ne!(
+            a.ips, b.ips,
+            "different blocks get different scoped answers"
+        );
+        assert_eq!(net.queries, 2);
+        // Same-block client reuses the cached scoped entry.
+        let c = r.resolve(
+            &name("d.example"),
+            "10.0.1.200".parse().unwrap(),
+            20,
+            &mut net,
+        );
+        assert!(c.from_cache);
+        assert_eq!(c.ips, a.ips);
+        assert_eq!(net.queries, 2);
+    }
+
+    #[test]
+    fn scope_ignoring_ablation_kills_amplification_and_correctness() {
+        // The DESIGN.md ablation: caching per qname only removes the §5.2
+        // amplification but serves the first client's answer to everyone.
+        let mut net = ScopedNet {
+            auth: ScopedAuth,
+            queries: 0,
+        };
+        let mut r = RecursiveResolver::new(
+            "192.0.2.53".parse().unwrap(),
+            ResolverConfig {
+                ecs: EcsMode::On { source_prefix: 24 },
+                honor_ecs_scope: false,
+                ..ResolverConfig::default()
+            },
+        );
+        let a = r.resolve(&name("d.example"), "10.0.1.5".parse().unwrap(), 0, &mut net);
+        let b = r.resolve(
+            &name("d.example"),
+            "10.0.2.5".parse().unwrap(),
+            10,
+            &mut net,
+        );
+        assert_eq!(net.queries, 1, "no amplification under the ablation");
+        assert!(b.from_cache);
+        assert_eq!(
+            a.ips, b.ips,
+            "…because the second client got the wrong (shared) answer"
+        );
+    }
+
+    #[test]
+    fn stats_track_activity() {
+        let mut net = paper_net();
+        let mut r = resolver(EcsMode::Off);
+        let client = "10.0.0.1".parse().unwrap();
+        let _ = r.resolve(&name("www.shop.example"), client, 0, &mut net);
+        let _ = r.resolve(&name("www.shop.example"), client, 100, &mut net);
+        let s = r.stats();
+        assert_eq!(s.resolutions, 2);
+        assert_eq!(s.cache_answers, 1);
+        assert_eq!(s.upstream_queries, 5);
+    }
+}

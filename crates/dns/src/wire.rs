@@ -1,0 +1,701 @@
+//! DNS wire-format codec (RFC 1035 §4) with name compression and the
+//! EDNS0 OPT pseudo-RR (RFC 6891).
+//!
+//! The codec is exercised on every authoritative query in the simulator so
+//! the system's DNS traffic is real protocol bytes, not structs passed by
+//! reference. Robustness rules:
+//!
+//! * compression pointers are followed with a hop limit (malformed loops
+//!   return [`WireError::PointerLoop`] instead of spinning);
+//! * records of unknown type are *skipped*, as a real resolver would do,
+//!   rather than failing the whole message;
+//! * all length fields are validated against the actual buffer.
+
+use crate::edns::OptData;
+use crate::message::{Flags, Message, Question, RData, Record, RrType, SoaData};
+use crate::name::DnsName;
+use bytes::BufMut;
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Errors from decoding (or, rarely, encoding) a DNS message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the structure was complete.
+    Truncated,
+    /// A label length byte was invalid (0x40/0x80 prefixes are reserved).
+    BadLabel,
+    /// Compression pointers exceeded the hop limit.
+    PointerLoop,
+    /// A decoded name violated RFC 1035 limits.
+    BadName,
+    /// An ECS option violated RFC 7871 validity rules.
+    BadEcs(&'static str),
+    /// Trailing bytes after the last record.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => f.write_str("message truncated"),
+            WireError::BadLabel => f.write_str("invalid label length byte"),
+            WireError::PointerLoop => f.write_str("compression pointer loop"),
+            WireError::BadName => f.write_str("invalid domain name"),
+            WireError::BadEcs(why) => write!(f, "invalid ECS option: {why}"),
+            WireError::TrailingBytes => f.write_str("trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Maximum compression-pointer hops while reading one name.
+const MAX_POINTER_HOPS: usize = 32;
+
+struct Encoder {
+    buf: Vec<u8>,
+    /// Suffix → offset map for name compression.
+    names: HashMap<Vec<String>, u16>,
+}
+
+impl Encoder {
+    fn new() -> Self {
+        Encoder {
+            buf: Vec::with_capacity(512),
+            names: HashMap::new(),
+        }
+    }
+
+    fn put_name(&mut self, name: &DnsName) {
+        let labels = name.labels();
+        for i in 0..labels.len() {
+            let suffix: Vec<String> = labels[i..].to_vec();
+            if let Some(&off) = self.names.get(&suffix) {
+                self.buf.put_u16(0xC000 | off);
+                return;
+            }
+            if self.buf.len() <= 0x3FFF {
+                self.names.insert(suffix, self.buf.len() as u16);
+            }
+            let l = &labels[i];
+            self.buf.put_u8(l.len() as u8);
+            self.buf.put_slice(l.as_bytes());
+        }
+        self.buf.put_u8(0);
+    }
+
+    fn put_question(&mut self, q: &Question) {
+        self.put_name(&q.name);
+        self.buf.put_u16(q.rtype.code());
+        self.buf.put_u16(1); // IN
+    }
+
+    fn put_record(&mut self, r: &Record) {
+        match &r.rdata {
+            RData::Opt(opt) => {
+                // OPT: root name, CLASS = UDP size, TTL = ext fields.
+                self.buf.put_u8(0);
+                self.buf.put_u16(RrType::Opt.code());
+                self.buf.put_u16(opt.udp_payload_size);
+                let ttl = (opt.ext_rcode as u32) << 24
+                    | (opt.version as u32) << 16
+                    | ((opt.dnssec_ok as u32) << 15);
+                self.buf.put_u32(ttl);
+                let len_pos = self.buf.len();
+                self.buf.put_u16(0);
+                opt.encode_rdata(&mut self.buf);
+                self.patch_len(len_pos);
+            }
+            _ => {
+                self.put_name(&r.name);
+                self.buf.put_u16(r.rtype().code());
+                self.buf.put_u16(1); // IN
+                self.buf.put_u32(r.ttl);
+                let len_pos = self.buf.len();
+                self.buf.put_u16(0);
+                match &r.rdata {
+                    RData::A(ip) => self.buf.put_slice(&ip.octets()),
+                    RData::Aaaa(ip) => self.buf.put_slice(&ip.octets()),
+                    RData::Ns(n) | RData::Cname(n) => self.put_name(n),
+                    RData::Soa(soa) => {
+                        self.put_name(&soa.mname);
+                        self.put_name(&soa.rname);
+                        self.buf.put_u32(soa.serial);
+                        self.buf.put_u32(soa.refresh);
+                        self.buf.put_u32(soa.retry);
+                        self.buf.put_u32(soa.expire);
+                        self.buf.put_u32(soa.minimum);
+                    }
+                    RData::Txt(s) => {
+                        // Split into ≤255-octet character-strings.
+                        for chunk in s.as_bytes().chunks(255) {
+                            self.buf.put_u8(chunk.len() as u8);
+                            self.buf.put_slice(chunk);
+                        }
+                        if s.is_empty() {
+                            self.buf.put_u8(0);
+                        }
+                    }
+                    RData::Opt(_) => unreachable!("handled above"),
+                }
+                self.patch_len(len_pos);
+            }
+        }
+    }
+
+    fn patch_len(&mut self, len_pos: usize) {
+        let rdlen = (self.buf.len() - len_pos - 2) as u16;
+        self.buf[len_pos] = (rdlen >> 8) as u8;
+        self.buf[len_pos + 1] = (rdlen & 0xFF) as u8;
+    }
+}
+
+/// Encodes a message to wire bytes.
+pub fn encode_message(msg: &Message) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.buf.put_u16(msg.id);
+    e.buf.put_u16(msg.flags.to_u16());
+    e.buf.put_u16(msg.questions.len() as u16);
+    e.buf.put_u16(msg.answers.len() as u16);
+    e.buf.put_u16(msg.authorities.len() as u16);
+    e.buf.put_u16(msg.additionals.len() as u16);
+    for q in &msg.questions {
+        e.put_question(q);
+    }
+    for r in &msg.answers {
+        e.put_record(r);
+    }
+    for r in &msg.authorities {
+        e.put_record(r);
+    }
+    for r in &msg.additionals {
+        e.put_record(r);
+    }
+    e.buf
+}
+
+struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    fn need(&self, n: usize) -> Result<(), WireError> {
+        if self.pos + n > self.buf.len() {
+            Err(WireError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        self.need(1)?;
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        self.need(2)?;
+        let v = u16::from_be_bytes([self.buf[self.pos], self.buf[self.pos + 1]]);
+        self.pos += 2;
+        Ok(v)
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        self.need(4)?;
+        let v = u32::from_be_bytes([
+            self.buf[self.pos],
+            self.buf[self.pos + 1],
+            self.buf[self.pos + 2],
+            self.buf[self.pos + 3],
+        ]);
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.need(n)?;
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn name(&mut self) -> Result<DnsName, WireError> {
+        let mut labels: Vec<String> = Vec::new();
+        let mut p = self.pos;
+        let mut jumped = false;
+        let mut hops = 0;
+        loop {
+            let b = *self.buf.get(p).ok_or(WireError::Truncated)?;
+            if b & 0xC0 == 0xC0 {
+                let b2 = *self.buf.get(p + 1).ok_or(WireError::Truncated)?;
+                if !jumped {
+                    self.pos = p + 2;
+                    jumped = true;
+                }
+                p = (((b & 0x3F) as usize) << 8) | b2 as usize;
+                hops += 1;
+                if hops > MAX_POINTER_HOPS {
+                    return Err(WireError::PointerLoop);
+                }
+            } else if b == 0 {
+                if !jumped {
+                    self.pos = p + 1;
+                }
+                break;
+            } else if b & 0xC0 != 0 {
+                return Err(WireError::BadLabel);
+            } else {
+                let len = b as usize;
+                let end = p + 1 + len;
+                let bytes = self.buf.get(p + 1..end).ok_or(WireError::Truncated)?;
+                let s = std::str::from_utf8(bytes).map_err(|_| WireError::BadName)?;
+                labels.push(s.to_string());
+                p = end;
+            }
+        }
+        DnsName::from_labels(labels).map_err(|_| WireError::BadName)
+    }
+
+    fn question(&mut self) -> Result<Option<Question>, WireError> {
+        let name = self.name()?;
+        let tcode = self.u16()?;
+        let _class = self.u16()?;
+        Ok(RrType::from_code(tcode).map(|rtype| Question { name, rtype }))
+    }
+
+    /// Decodes one record; returns `None` for unknown types (skipped).
+    fn record(&mut self) -> Result<Option<Record>, WireError> {
+        let name = self.name()?;
+        let tcode = self.u16()?;
+        let class = self.u16()?;
+        let ttl = self.u32()?;
+        let rdlen = self.u16()? as usize;
+        let rdata_start = self.pos;
+        self.need(rdlen)?;
+        let rtype = RrType::from_code(tcode);
+        let rec = match rtype {
+            None => {
+                self.pos = rdata_start + rdlen;
+                return Ok(None);
+            }
+            Some(RrType::A) => {
+                if rdlen != 4 {
+                    return Err(WireError::Truncated);
+                }
+                let o = self.bytes(4)?;
+                RData::A(Ipv4Addr::new(o[0], o[1], o[2], o[3]))
+            }
+            Some(RrType::Aaaa) => {
+                if rdlen != 16 {
+                    return Err(WireError::Truncated);
+                }
+                let o = self.bytes(16)?;
+                let mut a = [0u8; 16];
+                a.copy_from_slice(o);
+                RData::Aaaa(Ipv6Addr::from(a))
+            }
+            Some(RrType::Ns) => RData::Ns(self.name()?),
+            Some(RrType::Cname) => RData::Cname(self.name()?),
+            Some(RrType::Soa) => {
+                let mname = self.name()?;
+                let rname = self.name()?;
+                RData::Soa(SoaData {
+                    mname,
+                    rname,
+                    serial: self.u32()?,
+                    refresh: self.u32()?,
+                    retry: self.u32()?,
+                    expire: self.u32()?,
+                    minimum: self.u32()?,
+                })
+            }
+            Some(RrType::Txt) => {
+                let mut out = String::new();
+                while self.pos < rdata_start + rdlen {
+                    let l = self.u8()? as usize;
+                    let chunk = self.bytes(l)?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|_| WireError::BadName)?);
+                }
+                RData::Txt(out)
+            }
+            Some(RrType::Opt) => {
+                let mut view = &self.buf[self.pos..self.pos + rdlen];
+                let options = OptData::decode_rdata(&mut view, rdlen)?;
+                self.pos += rdlen;
+                RData::Opt(OptData {
+                    udp_payload_size: class,
+                    ext_rcode: (ttl >> 24) as u8,
+                    version: (ttl >> 16) as u8,
+                    dnssec_ok: ttl & 0x8000 != 0,
+                    options,
+                })
+            }
+        };
+        if self.pos != rdata_start + rdlen {
+            return Err(WireError::Truncated);
+        }
+        // OPT carries no owner TTL semantics; normal records keep theirs.
+        let ttl = if matches!(rec, RData::Opt(_)) { 0 } else { ttl };
+        Ok(Some(Record {
+            name,
+            ttl,
+            rdata: rec,
+        }))
+    }
+}
+
+/// Decodes a message from wire bytes.
+pub fn decode_message(bytes: &[u8]) -> Result<Message, WireError> {
+    let mut d = Decoder { buf: bytes, pos: 0 };
+    let id = d.u16()?;
+    let flags = Flags::from_u16(d.u16()?);
+    let qd = d.u16()? as usize;
+    let an = d.u16()? as usize;
+    let ns = d.u16()? as usize;
+    let ar = d.u16()? as usize;
+    let mut questions = Vec::with_capacity(qd);
+    for _ in 0..qd {
+        if let Some(q) = d.question()? {
+            questions.push(q);
+        }
+    }
+    let read_records = |d: &mut Decoder, n: usize| -> Result<Vec<Record>, WireError> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            if let Some(r) = d.record()? {
+                out.push(r);
+            }
+        }
+        Ok(out)
+    };
+    let answers = read_records(&mut d, an)?;
+    let authorities = read_records(&mut d, ns)?;
+    let additionals = read_records(&mut d, ar)?;
+    if d.pos != bytes.len() {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok(Message {
+        id,
+        flags,
+        questions,
+        answers,
+        authorities,
+        additionals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edns::{EcsOption, EdnsOption};
+    use crate::message::{Question, Rcode};
+    use crate::name::name;
+
+    fn round_trip(msg: &Message) -> Message {
+        let bytes = encode_message(msg);
+        decode_message(&bytes).expect("decode")
+    }
+
+    #[test]
+    fn simple_query_round_trips() {
+        let q = Message::query(0x1234, Question::a(name("www.example.com")), None);
+        assert_eq!(round_trip(&q), q);
+    }
+
+    #[test]
+    fn query_with_ecs_round_trips() {
+        let ecs = EcsOption::query("93.184.216.34".parse().unwrap(), 24);
+        let q = Message::query(
+            1,
+            Question::a(name("foo.net")),
+            Some(OptData::with_ecs(ecs)),
+        );
+        assert_eq!(round_trip(&q), q);
+    }
+
+    #[test]
+    fn full_response_round_trips() {
+        let q = Message::query(2, Question::a(name("www.whitehouse.gov")), None);
+        let mut r = Message::response_to(&q, Rcode::NoError);
+        r.answers.push(Record::cname(
+            name("www.whitehouse.gov"),
+            300,
+            name("e2561.b.akamaiedge.net"),
+        ));
+        r.answers.push(Record::a(
+            name("e2561.b.akamaiedge.net"),
+            20,
+            "96.1.2.3".parse().unwrap(),
+        ));
+        r.answers.push(Record::a(
+            name("e2561.b.akamaiedge.net"),
+            20,
+            "96.1.2.4".parse().unwrap(),
+        ));
+        r.authorities.push(Record::ns(
+            name("b.akamaiedge.net"),
+            4000,
+            name("n0b.akamaiedge.net"),
+        ));
+        r.additionals.push(Record::a(
+            name("n0b.akamaiedge.net"),
+            4000,
+            "192.5.6.7".parse().unwrap(),
+        ));
+        let ecs = EcsOption {
+            addr: "93.184.216.0".parse().unwrap(),
+            source_prefix: 24,
+            scope_prefix: 20,
+        };
+        r.set_opt(OptData::with_ecs(ecs));
+        assert_eq!(round_trip(&r), r);
+    }
+
+    #[test]
+    fn soa_and_txt_round_trip() {
+        let q = Message::query(
+            3,
+            Question {
+                name: name("example.com"),
+                rtype: RrType::Soa,
+            },
+            None,
+        );
+        let mut r = Message::response_to(&q, Rcode::NoError);
+        r.answers.push(Record {
+            name: name("example.com"),
+            ttl: 3600,
+            rdata: RData::Soa(SoaData {
+                mname: name("ns1.example.com"),
+                rname: name("hostmaster.example.com"),
+                serial: 2014032801,
+                refresh: 7200,
+                retry: 900,
+                expire: 1209600,
+                minimum: 300,
+            }),
+        });
+        r.answers.push(Record {
+            name: name("example.com"),
+            ttl: 60,
+            rdata: RData::Txt("whoami=10.1.2.53".to_string()),
+        });
+        assert_eq!(round_trip(&r), r);
+    }
+
+    #[test]
+    fn aaaa_round_trips() {
+        let mut m = Message::query(
+            4,
+            Question {
+                name: name("v6.example"),
+                rtype: RrType::Aaaa,
+            },
+            None,
+        );
+        m.answers.push(Record {
+            name: name("v6.example"),
+            ttl: 30,
+            rdata: RData::Aaaa("2001:db8::1".parse().unwrap()),
+        });
+        assert_eq!(round_trip(&m), m);
+    }
+
+    #[test]
+    fn long_txt_splits_into_character_strings() {
+        let long = "x".repeat(600);
+        let mut m = Message::query(
+            5,
+            Question {
+                name: name("t.example"),
+                rtype: RrType::Txt,
+            },
+            None,
+        );
+        m.answers.push(Record {
+            name: name("t.example"),
+            ttl: 1,
+            rdata: RData::Txt(long.clone()),
+        });
+        let back = round_trip(&m);
+        assert_eq!(back.answers[0].rdata, RData::Txt(long));
+    }
+
+    #[test]
+    fn compression_actually_shrinks_repeated_names() {
+        let q = Message::query(
+            6,
+            Question::a(name("a.very.long.shared.suffix.example.com")),
+            None,
+        );
+        let mut r = Message::response_to(&q, Rcode::NoError);
+        for i in 0..5u8 {
+            r.answers.push(Record::a(
+                name("a.very.long.shared.suffix.example.com"),
+                20,
+                Ipv4Addr::new(10, 0, 0, i),
+            ));
+        }
+        let bytes = encode_message(&r);
+        // Without compression, five copies of the 39-octet name would need
+        // ~195 octets for owner names alone; with compression the whole
+        // message stays far below that.
+        let uncompressed_names = 6 * name("a.very.long.shared.suffix.example.com").wire_len();
+        assert!(bytes.len() < uncompressed_names + 12 + 4 + 5 * 14);
+        assert_eq!(decode_message(&bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn pointer_loop_is_detected() {
+        // Hand-craft: header + question whose name is a pointer to itself.
+        let mut buf = vec![0u8; 12];
+        buf[5] = 1; // QDCOUNT = 1
+        buf.extend_from_slice(&[0xC0, 12]); // pointer to offset 12 (itself)
+        buf.extend_from_slice(&[0, 1, 0, 1]); // type A, class IN
+        assert_eq!(decode_message(&buf), Err(WireError::PointerLoop));
+    }
+
+    #[test]
+    fn truncated_messages_error() {
+        let q = Message::query(7, Question::a(name("foo.example")), None);
+        let bytes = encode_message(&q);
+        for cut in [0, 5, 11, bytes.len() - 1] {
+            assert!(decode_message(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_error() {
+        let q = Message::query(8, Question::a(name("foo.example")), None);
+        let mut bytes = encode_message(&q);
+        bytes.push(0);
+        assert_eq!(decode_message(&bytes), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn unknown_record_type_is_skipped() {
+        // A response claiming one answer of type 99 (SPF) — we skip it.
+        let q = Message::query(9, Question::a(name("foo.example")), None);
+        let mut bytes = encode_message(&q);
+        bytes[7] = 1; // ANCOUNT = 1
+        bytes.extend_from_slice(&[0]); // root owner
+        bytes.extend_from_slice(&99u16.to_be_bytes());
+        bytes.extend_from_slice(&1u16.to_be_bytes());
+        bytes.extend_from_slice(&60u32.to_be_bytes());
+        bytes.extend_from_slice(&2u16.to_be_bytes());
+        bytes.extend_from_slice(&[0xAB, 0xCD]);
+        let m = decode_message(&bytes).unwrap();
+        assert!(m.answers.is_empty());
+    }
+
+    #[test]
+    fn reserved_label_bits_rejected() {
+        let mut buf = vec![0u8; 12];
+        buf[5] = 1;
+        buf.push(0x80); // 10xx xxxx — reserved
+        buf.extend_from_slice(&[0, 1, 0, 1]);
+        assert_eq!(decode_message(&buf), Err(WireError::BadLabel));
+    }
+
+    #[test]
+    fn opt_fields_survive_the_class_ttl_packing() {
+        let mut m = Message::query(10, Question::a(name("foo.example")), None);
+        m.set_opt(OptData {
+            udp_payload_size: 1232,
+            ext_rcode: 1,
+            version: 0,
+            dnssec_ok: true,
+            options: vec![EdnsOption::Other {
+                code: 10,
+                data: vec![9, 9],
+            }],
+        });
+        let back = round_trip(&m);
+        let opt = back.opt().unwrap();
+        assert_eq!(opt.udp_payload_size, 1232);
+        assert_eq!(opt.ext_rcode, 1);
+        assert!(opt.dnssec_ok);
+        assert_eq!(opt.options.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::message::Question;
+    use crate::name::name;
+    use proptest::prelude::*;
+
+    fn arb_name() -> impl Strategy<Value = DnsName> {
+        proptest::collection::vec("[a-z0-9]{1,12}", 1..5)
+            .prop_map(|labels| DnsName::from_labels(labels).unwrap())
+    }
+
+    fn arb_record() -> impl Strategy<Value = Record> {
+        (
+            arb_name(),
+            0u32..100_000,
+            0u8..5u8,
+            any::<u32>(),
+            arb_name(),
+        )
+            .prop_map(|(n, ttl, kind, ip, target)| {
+                let rdata = match kind {
+                    0 => RData::A(std::net::Ipv4Addr::from(ip)),
+                    1 => RData::Ns(target),
+                    2 => RData::Cname(target),
+                    3 => RData::Txt(format!("v={ip}")),
+                    _ => RData::Aaaa(std::net::Ipv6Addr::from(ip as u128)),
+                };
+                Record {
+                    name: n,
+                    ttl,
+                    rdata,
+                }
+            })
+    }
+
+    proptest! {
+        /// encode → decode is the identity for arbitrary well-formed messages.
+        #[test]
+        fn encode_decode_identity(
+            id in any::<u16>(),
+            qname in arb_name(),
+            answers in proptest::collection::vec(arb_record(), 0..8),
+            authorities in proptest::collection::vec(arb_record(), 0..4),
+        ) {
+            let mut m = Message::query(id, Question::a(qname), None);
+            m.answers = answers;
+            m.authorities = authorities;
+            let bytes = encode_message(&m);
+            let back = decode_message(&bytes).unwrap();
+            prop_assert_eq!(back, m);
+        }
+
+        /// The decoder never panics on arbitrary bytes.
+        #[test]
+        fn decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+            let _ = decode_message(&bytes);
+        }
+
+        /// Decoding random mutations of a valid message never panics, and
+        /// successful decodes re-encode without panicking.
+        #[test]
+        fn mutation_fuzz(
+            flip_at in 0usize..100,
+            flip_to in any::<u8>(),
+        ) {
+            let q = Message::query(1, Question::a(name("www.example.com")), None);
+            let mut bytes = encode_message(&q);
+            if flip_at < bytes.len() {
+                bytes[flip_at] = flip_to;
+            }
+            if let Ok(m) = decode_message(&bytes) {
+                let _ = encode_message(&m);
+            }
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! A small gazetteer of world cities.
+//!
+//! The synthetic Internet places client IP blocks, resolver sites, and CDN
+//! deployments around real population centers so that distance distributions
+//! (Figures 5–11) have realistic geography: dense metros in Korea/Taiwan,
+//! vast spread in India/Brazil/Australia, tight bands in Western Europe.
+//!
+//! Coordinates are approximate city centers; `weight` is a relative demand
+//! weight (roughly metro population share within the country).
+
+use crate::{Country, GeoPoint};
+
+/// A city with its country, location, and relative demand weight.
+#[derive(Debug, Clone, Copy)]
+pub struct City {
+    /// City name (for diagnostics and reports).
+    pub name: &'static str,
+    /// Country containing the city.
+    pub country: Country,
+    /// Latitude in degrees.
+    pub lat: f64,
+    /// Longitude in degrees.
+    pub lon: f64,
+    /// Relative demand weight among cities of the same country.
+    pub weight: f64,
+}
+
+impl City {
+    /// The city's location as a [`GeoPoint`].
+    pub fn point(&self) -> GeoPoint {
+        GeoPoint::new(self.lat, self.lon)
+    }
+}
+
+macro_rules! city {
+    ($name:literal, $country:ident, $lat:expr, $lon:expr, $w:expr) => {
+        City {
+            name: $name,
+            country: Country::$country,
+            lat: $lat,
+            lon: $lon,
+            weight: $w,
+        }
+    };
+}
+
+/// All cities known to the model, grouped by country in declaration order.
+pub const GAZETTEER: &[City] = &[
+    // India — huge country, dispersed metros.
+    city!("Mumbai", India, 19.08, 72.88, 3.0),
+    city!("Delhi", India, 28.61, 77.21, 3.0),
+    city!("Bangalore", India, 12.97, 77.59, 2.0),
+    city!("Chennai", India, 13.08, 80.27, 1.5),
+    city!("Kolkata", India, 22.57, 88.36, 1.5),
+    city!("Hyderabad", India, 17.38, 78.49, 1.2),
+    // Turkey
+    city!("Istanbul", Turkey, 41.01, 28.98, 3.0),
+    city!("Ankara", Turkey, 39.93, 32.86, 1.2),
+    city!("Izmir", Turkey, 38.42, 27.14, 0.8),
+    // Vietnam
+    city!("Hanoi", Vietnam, 21.03, 105.85, 1.5),
+    city!("Ho Chi Minh City", Vietnam, 10.82, 106.63, 2.0),
+    city!("Da Nang", Vietnam, 16.05, 108.22, 0.4),
+    // Mexico
+    city!("Mexico City", Mexico, 19.43, -99.13, 3.0),
+    city!("Guadalajara", Mexico, 20.66, -103.35, 1.0),
+    city!("Monterrey", Mexico, 25.69, -100.32, 1.0),
+    // Brazil — continental spread.
+    city!("Sao Paulo", Brazil, -23.55, -46.63, 3.0),
+    city!("Rio de Janeiro", Brazil, -22.91, -43.17, 2.0),
+    city!("Brasilia", Brazil, -15.79, -47.88, 1.0),
+    city!("Fortaleza", Brazil, -3.73, -38.53, 0.8),
+    city!("Porto Alegre", Brazil, -30.03, -51.23, 0.7),
+    // Indonesia
+    city!("Jakarta", Indonesia, -6.21, 106.85, 3.0),
+    city!("Surabaya", Indonesia, -7.25, 112.75, 1.0),
+    city!("Medan", Indonesia, 3.59, 98.67, 0.7),
+    // Australia — coastal metros, enormous gaps.
+    city!("Sydney", Australia, -33.87, 151.21, 2.0),
+    city!("Melbourne", Australia, -37.81, 144.96, 2.0),
+    city!("Brisbane", Australia, -27.47, 153.03, 1.0),
+    city!("Perth", Australia, -31.95, 115.86, 0.8),
+    // Russia
+    city!("Moscow", Russia, 55.76, 37.62, 3.0),
+    city!("St Petersburg", Russia, 59.93, 30.34, 1.5),
+    city!("Novosibirsk", Russia, 55.01, 82.93, 0.6),
+    city!("Yekaterinburg", Russia, 56.84, 60.65, 0.6),
+    // Italy
+    city!("Milan", Italy, 45.46, 9.19, 1.5),
+    city!("Rome", Italy, 41.90, 12.50, 1.5),
+    city!("Naples", Italy, 40.85, 14.27, 0.8),
+    // Japan
+    city!("Tokyo", Japan, 35.68, 139.69, 4.0),
+    city!("Osaka", Japan, 34.69, 135.50, 2.0),
+    city!("Nagoya", Japan, 35.18, 136.91, 1.0),
+    city!("Fukuoka", Japan, 33.59, 130.40, 0.7),
+    city!("Sapporo", Japan, 43.06, 141.35, 0.5),
+    // United States — many metros.
+    city!("New York", UnitedStates, 40.71, -74.01, 3.0),
+    city!("Los Angeles", UnitedStates, 34.05, -118.24, 2.5),
+    city!("Chicago", UnitedStates, 41.88, -87.63, 2.0),
+    city!("Dallas", UnitedStates, 32.78, -96.80, 1.5),
+    city!("Seattle", UnitedStates, 47.61, -122.33, 1.0),
+    city!("Miami", UnitedStates, 25.76, -80.19, 1.0),
+    city!("Denver", UnitedStates, 39.74, -104.99, 0.8),
+    city!("Atlanta", UnitedStates, 33.75, -84.39, 1.2),
+    city!("San Jose", UnitedStates, 37.34, -121.89, 1.2),
+    city!("Boston", UnitedStates, 42.36, -71.06, 1.0),
+    // Malaysia
+    // 3.139°N — clippy would otherwise read the rounded 3.14 as π.
+    city!("Kuala Lumpur", Malaysia, 3.139, 101.69, 2.0),
+    city!("Penang", Malaysia, 5.41, 100.33, 0.6),
+    // Canada
+    city!("Toronto", Canada, 43.65, -79.38, 2.0),
+    city!("Vancouver", Canada, 49.28, -123.12, 1.0),
+    city!("Montreal", Canada, 45.50, -73.57, 1.2),
+    // Germany
+    city!("Frankfurt", Germany, 50.11, 8.68, 1.5),
+    city!("Berlin", Germany, 52.52, 13.40, 1.5),
+    city!("Munich", Germany, 48.14, 11.58, 1.0),
+    city!("Hamburg", Germany, 53.55, 9.99, 0.8),
+    // France
+    city!("Paris", France, 48.86, 2.35, 3.0),
+    city!("Lyon", France, 45.76, 4.84, 0.8),
+    city!("Marseille", France, 43.30, 5.37, 0.7),
+    // United Kingdom
+    city!("London", UnitedKingdom, 51.51, -0.13, 3.0),
+    city!("Manchester", UnitedKingdom, 53.48, -2.24, 1.0),
+    city!("Edinburgh", UnitedKingdom, 55.95, -3.19, 0.5),
+    // Netherlands
+    city!("Amsterdam", Netherlands, 52.37, 4.90, 2.0),
+    city!("Rotterdam", Netherlands, 51.92, 4.48, 0.8),
+    // Argentina
+    city!("Buenos Aires", Argentina, -34.60, -58.38, 3.0),
+    city!("Cordoba", Argentina, -31.42, -64.18, 0.8),
+    city!("Mendoza", Argentina, -32.89, -68.83, 0.5),
+    // Thailand
+    city!("Bangkok", Thailand, 13.76, 100.50, 3.0),
+    city!("Chiang Mai", Thailand, 18.79, 98.98, 0.5),
+    // Switzerland
+    city!("Zurich", Switzerland, 47.37, 8.54, 1.5),
+    city!("Geneva", Switzerland, 46.20, 6.14, 0.8),
+    // Spain
+    city!("Madrid", Spain, 40.42, -3.70, 2.0),
+    city!("Barcelona", Spain, 41.39, 2.17, 1.5),
+    city!("Valencia", Spain, 39.47, -0.38, 0.6),
+    // Hong Kong — city-state density.
+    city!("Hong Kong", HongKong, 22.32, 114.17, 1.0),
+    // South Korea — dense, tiny distances (paper calls this out).
+    city!("Seoul", SouthKorea, 37.57, 126.98, 3.0),
+    city!("Busan", SouthKorea, 35.18, 129.08, 1.0),
+    // Singapore
+    city!("Singapore", Singapore, 1.35, 103.82, 1.0),
+    // Taiwan
+    city!("Taipei", Taiwan, 25.03, 121.57, 2.0),
+    city!("Kaohsiung", Taiwan, 22.63, 120.30, 0.8),
+    // Extra countries.
+    city!("Santiago", Chile, -33.45, -70.67, 1.0),
+    city!("Bogota", Colombia, 4.71, -74.07, 1.2),
+    city!("Medellin", Colombia, 6.24, -75.58, 0.6),
+    city!("Lima", Peru, -12.05, -77.04, 1.0),
+    city!("Warsaw", Poland, 52.23, 21.01, 1.2),
+    city!("Krakow", Poland, 50.06, 19.95, 0.5),
+    city!("Stockholm", Sweden, 59.33, 18.07, 1.0),
+    city!("Johannesburg", SouthAfrica, -26.20, 28.05, 1.2),
+    city!("Cape Town", SouthAfrica, -33.92, 18.42, 0.8),
+    city!("Cairo", Egypt, 30.04, 31.24, 1.5),
+];
+
+/// Returns all cities in `country`, in gazetteer order.
+pub fn cities_of(country: Country) -> impl Iterator<Item = &'static City> {
+    GAZETTEER.iter().filter(move |c| c.country == country)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_country_has_at_least_one_city() {
+        for c in Country::ALL {
+            assert!(cities_of(*c).next().is_some(), "no city for {c}");
+        }
+    }
+
+    #[test]
+    fn all_coordinates_are_in_range() {
+        for city in GAZETTEER {
+            assert!(city.lat.abs() <= 90.0, "{}", city.name);
+            assert!(city.lon.abs() <= 180.0, "{}", city.name);
+            assert!(city.weight > 0.0, "{}", city.name);
+        }
+    }
+
+    #[test]
+    fn city_names_are_unique() {
+        let mut names: Vec<_> = GAZETTEER.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), GAZETTEER.len());
+    }
+
+    #[test]
+    fn korea_is_denser_than_india() {
+        // Sanity for the geography behind Figure 6: the max intra-country
+        // city distance in Korea is far below India's.
+        let max_dist = |cc: Country| -> f64 {
+            let cities: Vec<_> = cities_of(cc).collect();
+            let mut max = 0.0f64;
+            for a in &cities {
+                for b in &cities {
+                    max = max.max(a.point().distance_miles(&b.point()));
+                }
+            }
+            max
+        };
+        assert!(max_dist(Country::SouthKorea) < 300.0);
+        assert!(max_dist(Country::India) > 800.0);
+    }
+}

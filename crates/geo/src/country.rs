@@ -1,0 +1,207 @@
+//! Countries used by the synthetic Internet.
+//!
+//! The set covers the paper's top-25 countries by client demand (Figures 6,
+//! 8, 9) plus a handful of additional countries that matter for the
+//! public-resolver story (e.g. South American countries where the largest
+//! public resolver provider had no deployments at the time, §3.2).
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! countries {
+    ($(($variant:ident, $code:literal, $name:literal)),+ $(,)?) => {
+        /// A country, identified by its ISO 3166-1 alpha-2 code.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+        pub enum Country {
+            $(#[doc = $name] $variant),+
+        }
+
+        impl Country {
+            /// Every country known to the model, in declaration order.
+            pub const ALL: &'static [Country] = &[$(Country::$variant),+];
+
+            /// The ISO 3166-1 alpha-2 code (as used in the paper's figures).
+            pub fn code(&self) -> &'static str {
+                match self { $(Country::$variant => $code),+ }
+            }
+
+            /// The English name.
+            pub fn name(&self) -> &'static str {
+                match self { $(Country::$variant => $name),+ }
+            }
+
+            /// Parses an alpha-2 code (case-insensitive).
+            pub fn from_code(code: &str) -> Option<Country> {
+                let up = code.to_ascii_uppercase();
+                match up.as_str() { $($code => Some(Country::$variant),)+ _ => None }
+            }
+        }
+    };
+}
+
+countries![
+    (India, "IN", "India"),
+    (Turkey, "TR", "Turkey"),
+    (Vietnam, "VN", "Vietnam"),
+    (Mexico, "MX", "Mexico"),
+    (Brazil, "BR", "Brazil"),
+    (Indonesia, "ID", "Indonesia"),
+    (Australia, "AU", "Australia"),
+    (Russia, "RU", "Russia"),
+    (Italy, "IT", "Italy"),
+    (Japan, "JP", "Japan"),
+    (UnitedStates, "US", "United States"),
+    (Malaysia, "MY", "Malaysia"),
+    (Canada, "CA", "Canada"),
+    (Germany, "DE", "Germany"),
+    (France, "FR", "France"),
+    (UnitedKingdom, "GB", "United Kingdom"),
+    (Netherlands, "NL", "Netherlands"),
+    (Argentina, "AR", "Argentina"),
+    (Thailand, "TH", "Thailand"),
+    (Switzerland, "CH", "Switzerland"),
+    (Spain, "ES", "Spain"),
+    (HongKong, "HK", "Hong Kong"),
+    (SouthKorea, "KR", "South Korea"),
+    (Singapore, "SG", "Singapore"),
+    (Taiwan, "TW", "Taiwan"),
+    // Additional countries that shape the public-resolver geography.
+    (Chile, "CL", "Chile"),
+    (Colombia, "CO", "Colombia"),
+    (Peru, "PE", "Peru"),
+    (Poland, "PL", "Poland"),
+    (Sweden, "SE", "Sweden"),
+    (SouthAfrica, "ZA", "South Africa"),
+    (Egypt, "EG", "Egypt"),
+];
+
+impl Country {
+    /// The continent-scale region, used by the latency model to decide when
+    /// a path crosses an ocean and by the anycast model for site presence.
+    pub fn region(&self) -> Region {
+        use Country::*;
+        match self {
+            UnitedStates | Canada | Mexico => Region::NorthAmerica,
+            Brazil | Argentina | Chile | Colombia | Peru => Region::SouthAmerica,
+            Italy | Germany | France | UnitedKingdom | Netherlands | Switzerland | Spain
+            | Poland | Sweden | Turkey | Russia => Region::Europe,
+            India | Vietnam | Indonesia | Japan | Malaysia | Thailand | HongKong | SouthKorea
+            | Singapore | Taiwan => Region::Asia,
+            Australia => Region::Oceania,
+            SouthAfrica | Egypt => Region::Africa,
+        }
+    }
+
+    /// The paper's top-25 countries by aggregate client demand, in the order
+    /// of Figure 6.
+    pub fn paper_top25() -> &'static [Country] {
+        use Country::*;
+        &[
+            India,
+            Turkey,
+            Vietnam,
+            Mexico,
+            Brazil,
+            Indonesia,
+            Australia,
+            Russia,
+            Italy,
+            Japan,
+            UnitedStates,
+            Malaysia,
+            Canada,
+            Germany,
+            France,
+            UnitedKingdom,
+            Netherlands,
+            Argentina,
+            Thailand,
+            Switzerland,
+            Spain,
+            HongKong,
+            SouthKorea,
+            Singapore,
+            Taiwan,
+        ]
+    }
+}
+
+impl std::fmt::Display for Country {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// Continent-scale regions for the latency and anycast models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// North and Central America.
+    NorthAmerica,
+    /// South America.
+    SouthAmerica,
+    /// Europe (including Turkey and Russia for routing purposes).
+    Europe,
+    /// Asia.
+    Asia,
+    /// Oceania.
+    Oceania,
+    /// Africa.
+    Africa,
+}
+
+impl Region {
+    /// All regions.
+    pub const ALL: &'static [Region] = &[
+        Region::NorthAmerica,
+        Region::SouthAmerica,
+        Region::Europe,
+        Region::Asia,
+        Region::Oceania,
+        Region::Africa,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for c in Country::ALL {
+            assert_eq!(Country::from_code(c.code()), Some(*c));
+        }
+    }
+
+    #[test]
+    fn from_code_is_case_insensitive_and_rejects_unknown() {
+        assert_eq!(Country::from_code("us"), Some(Country::UnitedStates));
+        assert_eq!(Country::from_code("zz"), None);
+        assert_eq!(Country::from_code(""), None);
+    }
+
+    #[test]
+    fn paper_top25_has_25_distinct_entries() {
+        let top = Country::paper_top25();
+        assert_eq!(top.len(), 25);
+        let set: std::collections::BTreeSet<_> = top.iter().collect();
+        assert_eq!(set.len(), 25);
+    }
+
+    #[test]
+    fn every_country_has_a_region() {
+        // Compiles to exhaustiveness via the match, but assert a few spot
+        // values that the latency model depends on.
+        assert_eq!(Country::Brazil.region(), Region::SouthAmerica);
+        assert_eq!(Country::Singapore.region(), Region::Asia);
+        assert_eq!(Country::Australia.region(), Region::Oceania);
+        assert_eq!(Country::Turkey.region(), Region::Europe);
+    }
+
+    #[test]
+    fn all_codes_are_two_uppercase_letters() {
+        for c in Country::ALL {
+            let code = c.code();
+            assert_eq!(code.len(), 2);
+            assert!(code.chars().all(|ch| ch.is_ascii_uppercase()));
+        }
+    }
+}

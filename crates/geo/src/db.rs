@@ -1,0 +1,295 @@
+//! The geolocation database (Edgescape stand-in).
+//!
+//! Paper §3.1: "we use Akamai's Edgescape geo-location database … Edgescape
+//! can provide the latitude, longitude, country and autonomous system (AS)
+//! for an IP." [`GeoDb`] provides exactly that interface over a
+//! longest-prefix-match binary trie. The synthetic Internet populates it
+//! with one entry per announced prefix; lookups then behave like a real
+//! registry-plus-measurement database.
+
+use crate::{Asn, Country, GeoPoint, Prefix};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// What the database knows about an IP: location, country, and origin AS.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoInfo {
+    /// Latitude/longitude fix. For mobile networks the paper uses the
+    /// gateway location; the synthetic model does the same by giving the
+    /// whole block one fix.
+    pub point: GeoPoint,
+    /// Country of the block.
+    pub country: Country,
+    /// Origin autonomous system.
+    pub asn: Asn,
+}
+
+/// Index of a node inside the trie arena. `u32::MAX` is the null sentinel.
+type NodeIdx = u32;
+const NIL: NodeIdx = u32::MAX;
+
+#[derive(Debug, Clone, Default)]
+struct Node {
+    children: [NodeIdx; 2],
+    /// Index into `values`, or `NIL`.
+    value: NodeIdx,
+}
+
+impl Node {
+    fn new() -> Self {
+        Node {
+            children: [NIL, NIL],
+            value: NIL,
+        }
+    }
+}
+
+/// A longest-prefix-match IP → [`GeoInfo`] database.
+///
+/// Implemented as an uncompressed binary trie over address bits, arena-
+/// allocated for cache-friendly lookups. Inserting the same prefix twice
+/// replaces the previous value (the database is rebuilt wholesale by the
+/// generator, so last-write-wins is the right semantics).
+#[derive(Debug, Clone, Default)]
+pub struct GeoDb {
+    nodes: Vec<Node>,
+    values: Vec<(Prefix, GeoInfo)>,
+}
+
+impl GeoDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        GeoDb {
+            nodes: vec![Node::new()],
+            values: Vec::new(),
+        }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Inserts (or replaces) the entry for `prefix`.
+    pub fn insert(&mut self, prefix: Prefix, info: GeoInfo) {
+        let mut node = 0usize;
+        for depth in 0..prefix.len() {
+            let bit = ((prefix.addr() >> (31 - depth as u32)) & 1) as usize;
+            let child = self.nodes[node].children[bit];
+            node = if child == NIL {
+                let idx = self.nodes.len() as NodeIdx;
+                self.nodes.push(Node::new());
+                self.nodes[node].children[bit] = idx;
+                idx as usize
+            } else {
+                child as usize
+            };
+        }
+        let slot = self.nodes[node].value;
+        if slot == NIL {
+            self.nodes[node].value = self.values.len() as NodeIdx;
+            self.values.push((prefix, info));
+        } else {
+            self.values[slot as usize] = (prefix, info);
+        }
+    }
+
+    /// Longest-prefix-match lookup: the most specific stored prefix
+    /// containing `ip`, if any.
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<&GeoInfo> {
+        self.lookup_entry(ip).map(|(_, info)| info)
+    }
+
+    /// Like [`Self::lookup`] but also returns the matched prefix.
+    pub fn lookup_entry(&self, ip: Ipv4Addr) -> Option<(Prefix, &GeoInfo)> {
+        let addr = u32::from(ip);
+        let mut node = 0usize;
+        let mut best = self.nodes[0].value;
+        for depth in 0..32u32 {
+            let bit = ((addr >> (31 - depth)) & 1) as usize;
+            let child = self.nodes[node].children[bit];
+            if child == NIL {
+                break;
+            }
+            node = child as usize;
+            if self.nodes[node].value != NIL {
+                best = self.nodes[node].value;
+            }
+        }
+        if best == NIL {
+            None
+        } else {
+            let (p, ref info) = self.values[best as usize];
+            Some((p, info))
+        }
+    }
+
+    /// Looks up the info for a block, using its network address as the
+    /// representative IP. This mirrors how the paper geolocates a `/24`
+    /// client block as a unit.
+    pub fn lookup_block(&self, prefix: Prefix) -> Option<&GeoInfo> {
+        self.lookup(prefix.network())
+    }
+
+    /// Iterates all (prefix, info) entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &(Prefix, GeoInfo)> {
+        self.values.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(lat: f64, lon: f64, asn: u32) -> GeoInfo {
+        GeoInfo {
+            point: GeoPoint::new(lat, lon),
+            country: Country::UnitedStates,
+            asn: Asn(asn),
+        }
+    }
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_db_returns_none() {
+        let db = GeoDb::new();
+        assert!(db.lookup(Ipv4Addr::new(1, 2, 3, 4)).is_none());
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn exact_match() {
+        let mut db = GeoDb::new();
+        db.insert(p("10.1.2.0/24"), info(1.0, 2.0, 100));
+        let got = db.lookup(Ipv4Addr::new(10, 1, 2, 77)).unwrap();
+        assert_eq!(got.asn, Asn(100));
+        assert!(db.lookup(Ipv4Addr::new(10, 1, 3, 0)).is_none());
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut db = GeoDb::new();
+        db.insert(p("10.0.0.0/8"), info(0.0, 0.0, 8));
+        db.insert(p("10.1.0.0/16"), info(0.0, 0.0, 16));
+        db.insert(p("10.1.2.0/24"), info(0.0, 0.0, 24));
+        assert_eq!(db.lookup(Ipv4Addr::new(10, 1, 2, 3)).unwrap().asn, Asn(24));
+        assert_eq!(db.lookup(Ipv4Addr::new(10, 1, 9, 3)).unwrap().asn, Asn(16));
+        assert_eq!(db.lookup(Ipv4Addr::new(10, 9, 9, 3)).unwrap().asn, Asn(8));
+        assert_eq!(db.lookup(Ipv4Addr::new(11, 0, 0, 1)), None);
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut db = GeoDb::new();
+        db.insert(Prefix::ALL, info(0.0, 0.0, 1));
+        assert_eq!(
+            db.lookup(Ipv4Addr::new(200, 200, 200, 200)).unwrap().asn,
+            Asn(1)
+        );
+    }
+
+    #[test]
+    fn reinsert_replaces() {
+        let mut db = GeoDb::new();
+        db.insert(p("10.1.2.0/24"), info(0.0, 0.0, 1));
+        db.insert(p("10.1.2.0/24"), info(0.0, 0.0, 2));
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.lookup(Ipv4Addr::new(10, 1, 2, 1)).unwrap().asn, Asn(2));
+    }
+
+    #[test]
+    fn host_route_matches_single_ip() {
+        let mut db = GeoDb::new();
+        db.insert(Prefix::host(Ipv4Addr::new(9, 9, 9, 9)), info(0.0, 0.0, 9));
+        assert!(db.lookup(Ipv4Addr::new(9, 9, 9, 9)).is_some());
+        assert!(db.lookup(Ipv4Addr::new(9, 9, 9, 8)).is_none());
+    }
+
+    #[test]
+    fn lookup_entry_reports_matched_prefix() {
+        let mut db = GeoDb::new();
+        db.insert(p("10.0.0.0/8"), info(0.0, 0.0, 8));
+        db.insert(p("10.1.0.0/16"), info(0.0, 0.0, 16));
+        let (matched, _) = db.lookup_entry(Ipv4Addr::new(10, 1, 2, 3)).unwrap();
+        assert_eq!(matched, p("10.1.0.0/16"));
+    }
+
+    #[test]
+    fn lookup_block_uses_network_address() {
+        let mut db = GeoDb::new();
+        db.insert(p("10.1.2.0/24"), info(0.0, 0.0, 7));
+        assert_eq!(db.lookup_block(p("10.1.2.0/24")).unwrap().asn, Asn(7));
+        // Coarser covering block's network address also falls inside /8 here.
+        assert!(db.lookup_block(p("10.2.0.0/16")).is_none());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_prefix() -> impl Strategy<Value = Prefix> {
+        (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Prefix::new(addr, len))
+    }
+
+    proptest! {
+        /// The trie agrees with a brute-force linear longest-match scan.
+        #[test]
+        fn lpm_matches_linear_scan(
+            entries in proptest::collection::vec((arb_prefix(), any::<u32>()), 0..40),
+            probes in proptest::collection::vec(any::<u32>(), 0..40),
+        ) {
+            let mut db = GeoDb::new();
+            // Build last-write-wins reference map.
+            let mut reference: Vec<(Prefix, u32)> = Vec::new();
+            for (p, v) in &entries {
+                let gi = GeoInfo {
+                    point: GeoPoint::new(0.0, 0.0),
+                    country: Country::UnitedStates,
+                    asn: Asn(*v),
+                };
+                db.insert(*p, gi);
+                if let Some(slot) = reference.iter_mut().find(|(q, _)| q == p) {
+                    slot.1 = *v;
+                } else {
+                    reference.push((*p, *v));
+                }
+            }
+            for probe in probes {
+                let ip = Ipv4Addr::from(probe);
+                let expect = reference
+                    .iter()
+                    .filter(|(p, _)| p.contains(ip))
+                    .max_by_key(|(p, _)| p.len())
+                    .map(|(_, v)| *v);
+                let got = db.lookup(ip).map(|i| i.asn.0);
+                prop_assert_eq!(got, expect);
+            }
+        }
+
+        /// Every inserted prefix is found via its own network address when no
+        /// more-specific prefix shadows it.
+        #[test]
+        fn inserted_prefix_is_retrievable(p in arb_prefix()) {
+            let mut db = GeoDb::new();
+            let gi = GeoInfo {
+                point: GeoPoint::new(1.0, 2.0),
+                country: Country::Japan,
+                asn: Asn(42),
+            };
+            db.insert(p, gi);
+            let (matched, info) = db.lookup_entry(p.network()).unwrap();
+            prop_assert_eq!(matched, p);
+            prop_assert_eq!(info.asn, Asn(42));
+        }
+    }
+}

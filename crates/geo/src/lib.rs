@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Geographic primitives and IP geolocation.
+//!
+//! This crate is the reproduction's stand-in for Akamai's *Edgescape*
+//! geolocation database (paper §2.2, data source (ii)): given an IP it
+//! returns latitude/longitude, country, and autonomous system. It also hosts
+//! the shared [`Prefix`] type used for `/x` client IP blocks throughout the
+//! workspace, and a small gazetteer of world cities used by the synthetic
+//! Internet generator to place clients, resolvers, and CDN deployments.
+//!
+//! Everything here is purely computational and deterministic; the actual
+//! *content* of the database is built by `eum-netmodel` when it synthesizes
+//! an Internet.
+
+pub mod city;
+pub mod country;
+pub mod db;
+pub mod point;
+pub mod prefix;
+
+pub use city::{City, GAZETTEER};
+pub use country::Country;
+pub use db::{GeoDb, GeoInfo};
+pub use point::{great_circle_miles, GeoPoint, EARTH_RADIUS_MILES};
+pub use prefix::Prefix;
+
+/// An autonomous system number.
+///
+/// Edgescape reports the AS for an IP alongside its geographic location
+/// (paper §3.1), so the type lives here with the other lookup results.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct Asn(pub u32);
+
+impl std::fmt::Display for Asn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}

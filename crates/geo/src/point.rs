@@ -1,0 +1,231 @@
+//! Points on the Earth and great-circle distance.
+//!
+//! The paper measures every geographic quantity — client–LDNS distance
+//! (§3.2), cluster radius (§3.3), mapping distance (§4.1) — as the *great
+//! circle distance* between two latitude/longitude fixes, in miles. We use
+//! the haversine formula on a spherical Earth, which is what large-scale
+//! geolocation pipelines use in practice (sub-0.5% error vs. the ellipsoid,
+//! far below geolocation error itself).
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in miles (IUGG mean radius, 6371.0088 km).
+pub const EARTH_RADIUS_MILES: f64 = 3958.7613;
+
+/// A geographic fix: latitude and longitude in degrees.
+///
+/// Latitude is in `[-90, +90]`, longitude in `[-180, +180]`. Constructors
+/// normalize longitude into range and clamp latitude so arithmetic on noisy
+/// inputs cannot produce NaN distances.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    lat_deg: f64,
+    lon_deg: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point, clamping latitude to `[-90, 90]` and wrapping
+    /// longitude into `[-180, 180]`.
+    pub fn new(lat_deg: f64, lon_deg: f64) -> Self {
+        let lat = lat_deg.clamp(-90.0, 90.0);
+        let mut lon = lon_deg % 360.0;
+        if lon > 180.0 {
+            lon -= 360.0;
+        } else if lon < -180.0 {
+            lon += 360.0;
+        }
+        GeoPoint {
+            lat_deg: lat,
+            lon_deg: lon,
+        }
+    }
+
+    /// Latitude in degrees.
+    pub fn lat(&self) -> f64 {
+        self.lat_deg
+    }
+
+    /// Longitude in degrees.
+    pub fn lon(&self) -> f64 {
+        self.lon_deg
+    }
+
+    /// Great-circle distance to `other`, in miles.
+    pub fn distance_miles(&self, other: &GeoPoint) -> f64 {
+        great_circle_miles(self, other)
+    }
+
+    /// Returns a point offset from `self` by roughly `dlat_miles` north and
+    /// `dlon_miles` east. Used by the synthetic Internet to scatter client
+    /// blocks around a city center.
+    ///
+    /// The approximation treats one degree of latitude as 69.09 miles and
+    /// scales longitude by `cos(lat)`; it is accurate for the few-hundred-
+    /// mile offsets used in generation and degrades gracefully near the
+    /// poles (longitude scale floored to avoid division blow-up).
+    pub fn offset_miles(&self, dlat_miles: f64, dlon_miles: f64) -> GeoPoint {
+        const MILES_PER_DEG: f64 = 69.09;
+        let lat = self.lat_deg + dlat_miles / MILES_PER_DEG;
+        let scale = self.lat_deg.to_radians().cos().abs().max(0.05);
+        let lon = self.lon_deg + dlon_miles / (MILES_PER_DEG * scale);
+        GeoPoint::new(lat, lon)
+    }
+
+    /// Demand-weighted centroid of a set of points, used for client-cluster
+    /// analysis (paper §3.3: "The radius and centroid use client demands as
+    /// the weights").
+    ///
+    /// Computed in 3-D Cartesian space and projected back to the sphere so
+    /// that clusters straddling the antimeridian average correctly. Returns
+    /// `None` for an empty set or all-zero weights.
+    pub fn weighted_centroid(points: &[(GeoPoint, f64)]) -> Option<GeoPoint> {
+        let mut x = 0.0;
+        let mut y = 0.0;
+        let mut z = 0.0;
+        let mut total = 0.0;
+        for (p, w) in points {
+            if *w <= 0.0 {
+                continue;
+            }
+            let lat = p.lat_deg.to_radians();
+            let lon = p.lon_deg.to_radians();
+            x += w * lat.cos() * lon.cos();
+            y += w * lat.cos() * lon.sin();
+            z += w * lat.sin();
+            total += w;
+        }
+        if total <= 0.0 {
+            return None;
+        }
+        let (x, y, z) = (x / total, y / total, z / total);
+        let hyp = (x * x + y * y).sqrt();
+        if hyp == 0.0 && z == 0.0 {
+            // Degenerate: weights cancelled exactly (antipodal points).
+            return None;
+        }
+        Some(GeoPoint::new(
+            z.atan2(hyp).to_degrees(),
+            y.atan2(x).to_degrees(),
+        ))
+    }
+}
+
+/// Great-circle distance between two points in miles (haversine formula).
+///
+/// Symmetric, zero for identical points, and bounded above by half the
+/// Earth's circumference (~12,440 miles).
+pub fn great_circle_miles(a: &GeoPoint, b: &GeoPoint) -> f64 {
+    let lat1 = a.lat_deg.to_radians();
+    let lat2 = b.lat_deg.to_radians();
+    let dlat = (b.lat_deg - a.lat_deg).to_radians();
+    let dlon = (b.lon_deg - a.lon_deg).to_radians();
+
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    // Clamp guards tiny negative/over-unity values from rounding.
+    let c = 2.0 * h.sqrt().clamp(0.0, 1.0).asin();
+    EARTH_RADIUS_MILES * c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nyc() -> GeoPoint {
+        GeoPoint::new(40.7128, -74.0060)
+    }
+    fn london() -> GeoPoint {
+        GeoPoint::new(51.5074, -0.1278)
+    }
+    fn sydney() -> GeoPoint {
+        GeoPoint::new(-33.8688, 151.2093)
+    }
+
+    #[test]
+    fn zero_distance_for_identical_points() {
+        assert_eq!(great_circle_miles(&nyc(), &nyc()), 0.0);
+    }
+
+    #[test]
+    fn nyc_to_london_is_about_3460_miles() {
+        let d = great_circle_miles(&nyc(), &london());
+        assert!((d - 3461.0).abs() < 25.0, "got {d}");
+    }
+
+    #[test]
+    fn london_to_sydney_is_about_10560_miles() {
+        let d = great_circle_miles(&london(), &sydney());
+        assert!((d - 10562.0).abs() < 60.0, "got {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let d1 = great_circle_miles(&nyc(), &sydney());
+        let d2 = great_circle_miles(&sydney(), &nyc());
+        assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn antipodal_distance_is_half_circumference() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 180.0);
+        let d = great_circle_miles(&a, &b);
+        let half = std::f64::consts::PI * EARTH_RADIUS_MILES;
+        assert!((d - half).abs() < 1.0, "got {d}, want {half}");
+    }
+
+    #[test]
+    fn longitude_wraps_into_range() {
+        let p = GeoPoint::new(10.0, 190.0);
+        assert!((p.lon() - (-170.0)).abs() < 1e-9);
+        let q = GeoPoint::new(10.0, -190.0);
+        assert!((q.lon() - 170.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latitude_clamps() {
+        let p = GeoPoint::new(99.0, 0.0);
+        assert_eq!(p.lat(), 90.0);
+        let q = GeoPoint::new(-99.0, 0.0);
+        assert_eq!(q.lat(), -90.0);
+    }
+
+    #[test]
+    fn offset_moves_roughly_requested_distance() {
+        let p = nyc();
+        let q = p.offset_miles(100.0, 0.0);
+        let d = great_circle_miles(&p, &q);
+        assert!((d - 100.0).abs() < 2.0, "north offset gave {d}");
+        let r = p.offset_miles(0.0, 100.0);
+        let d = great_circle_miles(&p, &r);
+        assert!((d - 100.0).abs() < 5.0, "east offset gave {d}");
+    }
+
+    #[test]
+    fn centroid_of_single_point_is_that_point() {
+        let c = GeoPoint::weighted_centroid(&[(nyc(), 3.0)]).unwrap();
+        assert!(great_circle_miles(&c, &nyc()) < 0.01);
+    }
+
+    #[test]
+    fn centroid_weights_pull_toward_heavier_point() {
+        let pts = [(nyc(), 9.0), (london(), 1.0)];
+        let c = GeoPoint::weighted_centroid(&pts).unwrap();
+        assert!(great_circle_miles(&c, &nyc()) < great_circle_miles(&c, &london()));
+    }
+
+    #[test]
+    fn centroid_of_empty_or_zero_weight_is_none() {
+        assert!(GeoPoint::weighted_centroid(&[]).is_none());
+        assert!(GeoPoint::weighted_centroid(&[(nyc(), 0.0)]).is_none());
+    }
+
+    #[test]
+    fn centroid_across_antimeridian_stays_near_the_points() {
+        // Two points either side of the date line; a naive average of
+        // longitudes would land near 0° (the wrong side of the planet).
+        let a = GeoPoint::new(0.0, 179.0);
+        let b = GeoPoint::new(0.0, -179.0);
+        let c = GeoPoint::weighted_centroid(&[(a, 1.0), (b, 1.0)]).unwrap();
+        assert!(great_circle_miles(&c, &a) < 200.0, "centroid at {c:?}");
+    }
+}

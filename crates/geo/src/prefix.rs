@@ -1,0 +1,299 @@
+//! IPv4 prefixes (`/x` IP blocks).
+//!
+//! The paper reasons about clients at the granularity of `/x` client IP
+//! blocks ("By client's /x IP block, we mean the set of IPs that have same
+//! first x bits as the client's IP", §2.1). This type is used everywhere:
+//! ECS options carry a prefix, mapping units are prefixes, the geolocation
+//! database is keyed by prefixes, and BGP CIDRs are prefixes.
+
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// An IPv4 prefix: a network address and a prefix length in `[0, 32]`.
+///
+/// The host bits of the address are always zero; constructors mask them off
+/// so two `Prefix` values compare equal iff they denote the same block.
+/// Ordering is by (address, length), which places a covering prefix
+/// immediately before the blocks it contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Prefix {
+    addr: u32,
+    len: u8,
+}
+
+impl Prefix {
+    /// The whole IPv4 space, `0.0.0.0/0`.
+    pub const ALL: Prefix = Prefix { addr: 0, len: 0 };
+
+    /// Creates a prefix from a raw `u32` address and a length, masking off
+    /// host bits. Lengths above 32 are clamped to 32.
+    pub fn new(addr: u32, len: u8) -> Self {
+        let len = len.min(32);
+        Prefix {
+            addr: addr & Self::mask(len),
+            len,
+        }
+    }
+
+    /// Creates a `/32` host prefix for a single address.
+    pub fn host(ip: Ipv4Addr) -> Self {
+        Prefix::new(u32::from(ip), 32)
+    }
+
+    /// Creates a prefix covering `ip` with the given length.
+    pub fn of(ip: Ipv4Addr, len: u8) -> Self {
+        Prefix::new(u32::from(ip), len)
+    }
+
+    /// The network mask for a prefix length.
+    pub fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len.min(32) as u32)
+        }
+    }
+
+    /// The network address (host bits zero).
+    pub fn addr(&self) -> u32 {
+        self.addr
+    }
+
+    /// The prefix length.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True when this is the zero-length (whole-space) prefix.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The network address as an [`Ipv4Addr`].
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.addr)
+    }
+
+    /// The first address in the block (same as [`Self::network`]).
+    pub fn first(&self) -> u32 {
+        self.addr
+    }
+
+    /// The last address in the block.
+    pub fn last(&self) -> u32 {
+        self.addr | !Self::mask(self.len)
+    }
+
+    /// Number of addresses in the block (saturates at `u64` for `/0`).
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.len as u32)
+    }
+
+    /// True when `ip` belongs to this block.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        (u32::from(ip) & Self::mask(self.len)) == self.addr
+    }
+
+    /// True when `other` is a sub-block of (or equal to) this block.
+    pub fn covers(&self, other: &Prefix) -> bool {
+        other.len >= self.len && (other.addr & Self::mask(self.len)) == self.addr
+    }
+
+    /// Truncates the prefix to a shorter (or equal) length `len`.
+    ///
+    /// This is the operation the authoritative name server performs when it
+    /// answers a `/24` ECS query with a coarser scope `/y ≤ /x` (§2.1), and
+    /// what the mapping unit partition uses to coarsen blocks (§5.1).
+    pub fn truncate(&self, len: u8) -> Prefix {
+        let len = len.min(self.len);
+        Prefix::new(self.addr, len)
+    }
+
+    /// The covering block one bit shorter, or `None` at `/0`.
+    pub fn parent(&self) -> Option<Prefix> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(self.truncate(self.len - 1))
+        }
+    }
+
+    /// Splits into the two child blocks one bit longer, or `None` at `/32`.
+    pub fn children(&self) -> Option<(Prefix, Prefix)> {
+        if self.len >= 32 {
+            return None;
+        }
+        let left = Prefix::new(self.addr, self.len + 1);
+        let right = Prefix::new(self.addr | (1 << (31 - self.len as u32)), self.len + 1);
+        Some((left, right))
+    }
+
+    /// Iterates over the `/sub` blocks contained in this prefix.
+    ///
+    /// Panics if `sub < self.len()` (cannot enumerate coarser blocks) or the
+    /// expansion would exceed 2^24 blocks (guards accidental `/0` walks).
+    pub fn subblocks(&self, sub: u8) -> impl Iterator<Item = Prefix> + '_ {
+        assert!(
+            sub >= self.len,
+            "subblocks: /{sub} is coarser than /{}",
+            self.len
+        );
+        let shift = sub - self.len;
+        assert!(
+            shift <= 24,
+            "subblocks: expansion of 2^{shift} blocks is too large"
+        );
+        let count: u64 = 1 << shift;
+        let step = 1u64 << (32 - sub as u32);
+        (0..count).map(move |i| Prefix::new(self.addr + (i * step) as u32, sub))
+    }
+}
+
+impl std::fmt::Display for Prefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+/// Errors from parsing a prefix out of `"a.b.c.d/len"` notation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefixParseError {
+    /// The address part was not a valid dotted quad.
+    BadAddress,
+    /// The length part was missing or not an integer in `[0, 32]`.
+    BadLength,
+}
+
+impl std::fmt::Display for PrefixParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrefixParseError::BadAddress => f.write_str("invalid IPv4 address in prefix"),
+            PrefixParseError::BadLength => f.write_str("invalid prefix length (want 0..=32)"),
+        }
+    }
+}
+
+impl std::error::Error for PrefixParseError {}
+
+impl FromStr for Prefix {
+    type Err = PrefixParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s.split_once('/').ok_or(PrefixParseError::BadLength)?;
+        let ip: Ipv4Addr = addr.parse().map_err(|_| PrefixParseError::BadAddress)?;
+        let len: u8 = len.parse().map_err(|_| PrefixParseError::BadLength)?;
+        if len > 32 {
+            return Err(PrefixParseError::BadLength);
+        }
+        Ok(Prefix::of(ip, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn constructor_masks_host_bits() {
+        let a = Prefix::of(Ipv4Addr::new(10, 1, 2, 3), 24);
+        assert_eq!(a, p("10.1.2.0/24"));
+        assert_eq!(a.network(), Ipv4Addr::new(10, 1, 2, 0));
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        for s in ["0.0.0.0/0", "10.0.0.0/8", "192.168.1.0/24", "1.2.3.4/32"] {
+            assert_eq!(p(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("10.0.0.0".parse::<Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Prefix>().is_err());
+        assert!("10.0.0/24".parse::<Prefix>().is_err());
+        assert!("banana/8".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn mask_edge_cases() {
+        assert_eq!(Prefix::mask(0), 0);
+        assert_eq!(Prefix::mask(32), u32::MAX);
+        assert_eq!(Prefix::mask(24), 0xFFFF_FF00);
+        assert_eq!(Prefix::mask(1), 0x8000_0000);
+    }
+
+    #[test]
+    fn contains_and_covers() {
+        let net = p("10.1.0.0/16");
+        assert!(net.contains(Ipv4Addr::new(10, 1, 255, 255)));
+        assert!(!net.contains(Ipv4Addr::new(10, 2, 0, 0)));
+        assert!(net.covers(&p("10.1.2.0/24")));
+        assert!(net.covers(&net));
+        assert!(!net.covers(&p("10.0.0.0/8")));
+        assert!(!p("10.1.2.0/24").covers(&p("10.1.3.0/24")));
+    }
+
+    #[test]
+    fn truncate_coarsens_only() {
+        let b = p("10.1.2.0/24");
+        assert_eq!(b.truncate(16), p("10.1.0.0/16"));
+        assert_eq!(b.truncate(24), b);
+        // Truncating to a longer length is a no-op, not an extension.
+        assert_eq!(b.truncate(28), b);
+    }
+
+    #[test]
+    fn first_last_size() {
+        let b = p("10.1.2.0/24");
+        assert_eq!(b.first(), u32::from(Ipv4Addr::new(10, 1, 2, 0)));
+        assert_eq!(b.last(), u32::from(Ipv4Addr::new(10, 1, 2, 255)));
+        assert_eq!(b.size(), 256);
+        assert_eq!(Prefix::ALL.size(), 1 << 32);
+    }
+
+    #[test]
+    fn parent_and_children() {
+        let b = p("10.1.2.0/24");
+        assert_eq!(b.parent(), Some(p("10.1.2.0/23")));
+        assert_eq!(Prefix::ALL.parent(), None);
+        let (l, r) = p("10.0.0.0/8").children().unwrap();
+        assert_eq!(l, p("10.0.0.0/9"));
+        assert_eq!(r, p("10.128.0.0/9"));
+        assert!(Prefix::host(Ipv4Addr::new(1, 1, 1, 1)).children().is_none());
+    }
+
+    #[test]
+    fn subblocks_enumerates_exactly() {
+        let subs: Vec<_> = p("10.1.0.0/22").subblocks(24).collect();
+        assert_eq!(
+            subs,
+            vec![
+                p("10.1.0.0/24"),
+                p("10.1.1.0/24"),
+                p("10.1.2.0/24"),
+                p("10.1.3.0/24")
+            ]
+        );
+        // A block is its own single sub-block at equal length.
+        assert_eq!(p("10.1.0.0/24").subblocks(24).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "coarser")]
+    fn subblocks_rejects_coarser_target() {
+        let _ = p("10.1.2.0/24").subblocks(16).count();
+    }
+
+    #[test]
+    fn ordering_places_parent_before_children() {
+        let parent = p("10.1.0.0/16");
+        let child = p("10.1.0.0/24");
+        assert!(parent < child);
+    }
+}

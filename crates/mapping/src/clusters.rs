@@ -1,0 +1,167 @@
+//! Client-cluster analytics (§3.3).
+//!
+//! "A client cluster is a set of clients that use the same LDNS … We
+//! define the radius of a client cluster to be the mean distance of the
+//! clients in the cluster to the centroid of the cluster", with demand
+//! weights. These statistics drive Figure 11 and explain *why* NS-based
+//! mapping cannot serve public resolvers well: their client clusters are
+//! large, so no single server assignment fits the whole cluster.
+
+use eum_geo::GeoPoint;
+use eum_netmodel::{Internet, ResolverId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Aggregate geometry of one LDNS's client cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClientCluster {
+    /// The LDNS.
+    pub ldns: ResolverId,
+    /// Demand flowing through this LDNS.
+    pub demand: f64,
+    /// Demand-weighted centroid of the clients.
+    pub centroid: GeoPoint,
+    /// Demand-weighted mean client→centroid distance, miles.
+    pub radius: f64,
+    /// Demand-weighted mean client→LDNS distance, miles.
+    pub mean_client_ldns_miles: f64,
+    /// Number of distinct client blocks.
+    pub block_count: usize,
+}
+
+/// Computes the client cluster of every LDNS with non-zero demand.
+pub fn client_clusters(net: &Internet) -> Vec<ClientCluster> {
+    let mut members: HashMap<ResolverId, Vec<(GeoPoint, f64)>> = HashMap::new();
+    for b in &net.blocks {
+        for (r, w) in &b.ldns {
+            let d = w * b.demand;
+            if d > 0.0 {
+                members.entry(*r).or_default().push((b.loc, d));
+            }
+        }
+    }
+    let mut keys: Vec<ResolverId> = members.keys().copied().collect();
+    keys.sort();
+    keys.into_iter()
+        .map(|ldns| {
+            let pts = &members[&ldns];
+            let demand: f64 = pts.iter().map(|(_, d)| d).sum();
+            let centroid = GeoPoint::weighted_centroid(pts).unwrap_or_else(|| pts[0].0);
+            let radius = pts
+                .iter()
+                .map(|(p, d)| p.distance_miles(&centroid) * d)
+                .sum::<f64>()
+                / demand;
+            let ldns_loc = net.resolver(ldns).loc;
+            let mean_client_ldns_miles = pts
+                .iter()
+                .map(|(p, d)| p.distance_miles(&ldns_loc) * d)
+                .sum::<f64>()
+                / demand;
+            ClientCluster {
+                ldns,
+                demand,
+                centroid,
+                radius,
+                mean_client_ldns_miles,
+                block_count: pts.len(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eum_netmodel::InternetConfig;
+
+    fn clusters() -> (Internet, Vec<ClientCluster>) {
+        let net = Internet::generate(InternetConfig::small(0xC1));
+        let cc = client_clusters(&net);
+        (net, cc)
+    }
+
+    #[test]
+    fn every_used_ldns_has_a_cluster() {
+        let (net, cc) = clusters();
+        let used: std::collections::BTreeSet<ResolverId> = net
+            .blocks
+            .iter()
+            .flat_map(|b| b.ldns.iter().map(|(r, _)| *r))
+            .collect();
+        let have: std::collections::BTreeSet<ResolverId> = cc.iter().map(|c| c.ldns).collect();
+        assert_eq!(used, have);
+    }
+
+    #[test]
+    fn demand_totals_match() {
+        let (net, cc) = clusters();
+        let total: f64 = cc.iter().map(|c| c.demand).sum();
+        assert!((total - net.total_demand()).abs() / total < 1e-9);
+    }
+
+    #[test]
+    fn radii_are_nonnegative_and_bounded_by_globe() {
+        let (_, cc) = clusters();
+        for c in &cc {
+            assert!(c.radius >= 0.0);
+            assert!(c.radius < 13_000.0);
+            assert!(c.mean_client_ldns_miles >= 0.0);
+            assert!(c.block_count > 0);
+        }
+    }
+
+    #[test]
+    fn public_resolver_clusters_have_larger_radii() {
+        // The §3.3 finding behind Figure 11: public-resolver client
+        // clusters are much wider than ISP ones (demand-weighted).
+        let (net, cc) = clusters();
+        let mut public = (0.0, 0.0);
+        let mut other = (0.0, 0.0);
+        for c in &cc {
+            let slot = if net.resolver(c.ldns).kind.is_public() {
+                &mut public
+            } else {
+                &mut other
+            };
+            slot.0 += c.radius * c.demand;
+            slot.1 += c.demand;
+        }
+        let pub_mean = public.0 / public.1;
+        let other_mean = other.0 / other.1;
+        assert!(
+            pub_mean > 3.0 * other_mean,
+            "public radius {pub_mean:.0} vs other {other_mean:.0}"
+        );
+    }
+
+    #[test]
+    fn ldns_is_often_off_center_for_public_resolvers() {
+        // §3.3: "for public resolvers the mean cluster-LDNS distance tends
+        // to be larger than the cluster radius" — the LDNS is not at the
+        // centroid of the clients it serves.
+        let (net, cc) = clusters();
+        let mut larger = 0.0;
+        let mut total = 0.0;
+        for c in cc.iter().filter(|c| net.resolver(c.ldns).kind.is_public()) {
+            total += c.demand;
+            if c.mean_client_ldns_miles > c.radius {
+                larger += c.demand;
+            }
+        }
+        assert!(total > 0.0, "no public clusters in universe");
+        assert!(
+            larger / total > 0.5,
+            "only {:.0}% of public demand off-center",
+            100.0 * larger / total
+        );
+    }
+
+    #[test]
+    fn singleton_cluster_radius_is_zero() {
+        let (_, cc) = clusters();
+        for c in cc.iter().filter(|c| c.block_count == 1) {
+            assert!(c.radius < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Local load balancing: pick servers within the chosen cluster.
+//!
+//! §2.2: "Next, it assigns server(s) within the chosen cluster, a process
+//! called local load balancing." Following the companion paper's
+//! algorithmic account, the implementation is *consistent hashing with
+//! bounded loads*: content is hashed onto a ring of server virtual nodes
+//! so that the same domain lands on the same few servers (maximizing cache
+//! hit rate, which the paper lists as a mapping goal — "is likely to
+//! contain the requested content"), while a load cap diverts overflow to
+//! the next servers on the ring.
+
+use eum_cdn::ServerId;
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64, used as the ring hash.
+fn hash64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A consistent-hash ring over one cluster's servers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConsistentRing {
+    /// Sorted (position, server) virtual nodes.
+    ring: Vec<(u64, ServerId)>,
+    /// Distinct servers on the ring.
+    n_servers: usize,
+}
+
+impl ConsistentRing {
+    /// Builds a ring with `vnodes` virtual nodes per server.
+    pub fn new(servers: &[ServerId], vnodes: usize) -> ConsistentRing {
+        assert!(vnodes > 0, "need at least one vnode per server");
+        let mut ring = Vec::with_capacity(servers.len() * vnodes);
+        for s in servers {
+            for v in 0..vnodes {
+                ring.push((hash64((s.0 as u64) << 20 | v as u64), *s));
+            }
+        }
+        ring.sort_unstable();
+        ConsistentRing {
+            ring,
+            n_servers: servers.len(),
+        }
+    }
+
+    /// Number of distinct servers.
+    pub fn servers(&self) -> usize {
+        self.n_servers
+    }
+
+    /// Picks up to `n` distinct servers for a content key, walking
+    /// clockwise from the key's ring position.
+    ///
+    /// `admit` filters candidates (liveness, bounded load): a server
+    /// rejected by `admit` is skipped; if every server is rejected the
+    /// walk falls back to ignoring the filter so requests are never
+    /// dropped (overload beats outage).
+    pub fn pick(
+        &self,
+        key: u64,
+        n: usize,
+        mut admit: impl FnMut(ServerId) -> bool,
+    ) -> Vec<ServerId> {
+        if self.ring.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let start = self.ring.partition_point(|(h, _)| *h < hash64(key));
+        let mut out: Vec<ServerId> = Vec::with_capacity(n);
+        let mut seen: Vec<ServerId> = Vec::with_capacity(self.n_servers);
+        let mut fallback: Vec<ServerId> = Vec::new();
+        for i in 0..self.ring.len() {
+            let (_, s) = self.ring[(start + i) % self.ring.len()];
+            if seen.contains(&s) {
+                continue;
+            }
+            seen.push(s);
+            if admit(s) {
+                out.push(s);
+                if out.len() == n {
+                    return out;
+                }
+            } else {
+                fallback.push(s);
+            }
+            if seen.len() == self.n_servers {
+                break;
+            }
+        }
+        // Not enough admitted servers: top up from skipped ones in ring
+        // order rather than returning nothing.
+        for s in fallback {
+            if out.len() == n {
+                break;
+            }
+            out.push(s);
+        }
+        out
+    }
+
+    /// The primary server for a key with no filtering.
+    pub fn primary(&self, key: u64) -> Option<ServerId> {
+        self.pick(key, 1, |_| true).first().copied()
+    }
+}
+
+/// Hash key for a domain's content within a cluster: all objects of a
+/// domain co-locate, so a domain's working set stays on its two servers.
+pub fn domain_key(domain_idx: u32) -> u64 {
+    hash64(0xD0_4A17 ^ (domain_idx as u64) << 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn servers(n: u32) -> Vec<ServerId> {
+        (0..n).map(ServerId).collect()
+    }
+
+    #[test]
+    fn picks_are_deterministic_and_distinct() {
+        let ring = ConsistentRing::new(&servers(8), 64);
+        let a = ring.pick(42, 3, |_| true);
+        let b = ring.pick(42, 3, |_| true);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        let set: std::collections::BTreeSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn single_server_ring() {
+        let ring = ConsistentRing::new(&servers(1), 16);
+        assert_eq!(ring.pick(7, 2, |_| true), vec![ServerId(0)]);
+        assert_eq!(ring.primary(7), Some(ServerId(0)));
+    }
+
+    #[test]
+    fn requesting_more_than_available_returns_all() {
+        let ring = ConsistentRing::new(&servers(3), 16);
+        let picked = ring.pick(1, 10, |_| true);
+        assert_eq!(picked.len(), 3);
+    }
+
+    #[test]
+    fn filter_skips_but_never_starves() {
+        let ring = ConsistentRing::new(&servers(4), 32);
+        let only_even = ring.pick(9, 2, |s| s.0 % 2 == 0);
+        assert_eq!(only_even.len(), 2);
+        assert!(only_even.iter().all(|s| s.0 % 2 == 0));
+        // All rejected: fallback still returns servers.
+        let none_admitted = ring.pick(9, 2, |_| false);
+        assert_eq!(none_admitted.len(), 2);
+    }
+
+    #[test]
+    fn distribution_is_roughly_balanced() {
+        let ring = ConsistentRing::new(&servers(8), 128);
+        let mut counts = [0usize; 8];
+        for key in 0..8000u64 {
+            let s = ring.primary(key).unwrap();
+            counts[s.0 as usize] += 1;
+        }
+        let expect = 1000.0;
+        for (i, c) in counts.iter().enumerate() {
+            let dev = (*c as f64 - expect).abs() / expect;
+            assert!(dev < 0.35, "server {i} got {c} keys ({dev:.2} deviation)");
+        }
+    }
+
+    #[test]
+    fn adding_a_server_moves_few_keys() {
+        // The consistent-hashing property: going from 8 to 9 servers
+        // should move roughly 1/9 of keys, not reshuffle everything.
+        let r8 = ConsistentRing::new(&servers(8), 128);
+        let r9 = ConsistentRing::new(&servers(9), 128);
+        let moved = (0..4000u64)
+            .filter(|k| {
+                let a = r8.primary(*k).unwrap();
+                let b = r9.primary(*k).unwrap();
+                a != b
+            })
+            .count();
+        let frac = moved as f64 / 4000.0;
+        assert!(frac < 0.25, "moved {frac:.2} of keys");
+        // And every moved key must have moved *to* the new server.
+        for k in 0..4000u64 {
+            let a = r8.primary(k).unwrap();
+            let b = r9.primary(k).unwrap();
+            if a != b {
+                assert_eq!(b, ServerId(8), "key {k} moved to an old server");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_load_diverts_overflow() {
+        let ring = ConsistentRing::new(&servers(4), 64);
+        // Simulate a load cap of 30 keys per server.
+        let mut load = [0usize; 4];
+        for key in 0..100u64 {
+            let picked = ring.pick(key, 1, |s| load[s.0 as usize] < 30);
+            let s = picked[0];
+            load[s.0 as usize] += 1;
+        }
+        assert!(load.iter().all(|l| *l <= 30), "loads {load:?}");
+        assert_eq!(load.iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn domain_keys_spread() {
+        let ring = ConsistentRing::new(&servers(6), 64);
+        let set: std::collections::BTreeSet<_> = (0..50)
+            .map(|d| ring.primary(domain_key(d)).unwrap())
+            .collect();
+        assert!(
+            set.len() >= 4,
+            "50 domains landed on only {} servers",
+            set.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// pick returns min(n, servers) distinct servers for any key.
+        #[test]
+        fn pick_count_and_distinctness(
+            n_servers in 1u32..12,
+            vnodes in 1usize..64,
+            key in any::<u64>(),
+            n in 0usize..15,
+        ) {
+            let ids: Vec<ServerId> = (0..n_servers).map(ServerId).collect();
+            let ring = ConsistentRing::new(&ids, vnodes);
+            let picked = ring.pick(key, n, |_| true);
+            prop_assert_eq!(picked.len(), n.min(n_servers as usize));
+            let set: std::collections::BTreeSet<_> = picked.iter().collect();
+            prop_assert_eq!(set.len(), picked.len());
+        }
+
+        /// The admit filter is honored whenever enough admitted servers exist.
+        #[test]
+        fn admit_filter_honored(key in any::<u64>()) {
+            let ids: Vec<ServerId> = (0..10).map(ServerId).collect();
+            let ring = ConsistentRing::new(&ids, 32);
+            let picked = ring.pick(key, 3, |s| s.0 >= 5);
+            prop_assert!(picked.iter().all(|s| s.0 >= 5));
+        }
+    }
+}

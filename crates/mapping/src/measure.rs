@@ -1,0 +1,278 @@
+//! The network-measurement component: ping targets and the ping matrix.
+//!
+//! §6: "we choose around 20K /24 IP blocks that account for most of the
+//! load on the Internet and further cluster them into 8K 'ping targets',
+//! so as to cover all major geographical areas and networks … For any
+//! client or LDNS, we find the closest of the 8K ping targets and use that
+//! as a proxy for latency measurements."
+//!
+//! Target selection is a demand-ordered covering pass: walking blocks from
+//! highest demand, a block becomes a new target unless an existing target
+//! already covers it within a radius; every block (and any other point)
+//! is then proxied by its nearest target. Pings are measured with
+//! [`ping_ms`](eum_netmodel::LatencyModel::ping_ms), which — like real pings to enroute routers —
+//! underestimate full client RTT (the paper's explicit caveat).
+
+use eum_geo::GeoPoint;
+use eum_netmodel::{BlockId, Endpoint, Internet};
+use serde::{Deserialize, Serialize};
+
+/// Index of a ping target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TargetId(pub u32);
+
+impl TargetId {
+    /// The index as usize.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The selected ping targets plus the block → target proxy assignment.
+#[derive(Debug, Clone)]
+pub struct PingTargets {
+    /// Target endpoints (representative blocks).
+    pub targets: Vec<Endpoint>,
+    /// The block each target was built from.
+    pub target_blocks: Vec<BlockId>,
+    /// Per-block nearest target (indexed by `BlockId`).
+    block_to_target: Vec<TargetId>,
+}
+
+impl PingTargets {
+    /// Selects up to `max_targets` targets covering the Internet's blocks.
+    ///
+    /// `cover_radius_miles` controls density: a block closer than this to
+    /// an existing target is covered rather than becoming a new target.
+    pub fn select(net: &Internet, max_targets: usize, cover_radius_miles: f64) -> PingTargets {
+        assert!(max_targets > 0, "need at least one ping target");
+        // Demand-descending walk.
+        let mut order: Vec<&eum_netmodel::ClientBlock> = net.blocks.iter().collect();
+        order.sort_by(|a, b| b.demand.partial_cmp(&a.demand).expect("finite demand"));
+
+        let mut targets: Vec<Endpoint> = Vec::new();
+        let mut target_blocks: Vec<BlockId> = Vec::new();
+        let mut target_points: Vec<GeoPoint> = Vec::new();
+        for b in &order {
+            if targets.len() >= max_targets {
+                break;
+            }
+            let covered = target_points
+                .iter()
+                .any(|p| p.distance_miles(&b.loc) < cover_radius_miles);
+            if !covered {
+                targets.push(b.endpoint());
+                target_blocks.push(b.id);
+                target_points.push(b.loc);
+            }
+        }
+        if targets.is_empty() {
+            // Degenerate universe: take the top block regardless.
+            let b = order.first().expect("non-empty Internet");
+            targets.push(b.endpoint());
+            target_blocks.push(b.id);
+            target_points.push(b.loc);
+        }
+
+        // Nearest-target assignment for every block.
+        let block_to_target = net
+            .blocks
+            .iter()
+            .map(|b| nearest_point(&target_points, &b.loc))
+            .collect();
+        PingTargets {
+            targets,
+            target_blocks,
+            block_to_target,
+        }
+    }
+
+    /// Number of targets.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// True when no targets exist (cannot happen after `select`).
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// The proxy target for a block.
+    pub fn target_of_block(&self, block: BlockId) -> TargetId {
+        self.block_to_target[block.index()]
+    }
+
+    /// The proxy target nearest to an arbitrary point (for LDNSes and
+    /// unit centroids).
+    pub fn target_of_point(&self, point: &GeoPoint) -> TargetId {
+        nearest_point(
+            &self.targets.iter().map(|t| t.loc).collect::<Vec<_>>(),
+            point,
+        )
+    }
+}
+
+fn nearest_point(points: &[GeoPoint], p: &GeoPoint) -> TargetId {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (i, t) in points.iter().enumerate() {
+        let d = t.distance_miles(p);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    TargetId(best as u32)
+}
+
+/// A deployments × targets matrix of ping latencies.
+#[derive(Debug, Clone)]
+pub struct PingMatrix {
+    n_targets: usize,
+    /// Row-major: `rtt[deploy * n_targets + target]`.
+    rtt: Vec<f32>,
+}
+
+impl PingMatrix {
+    /// Measures pings from every deployment endpoint to every target.
+    pub fn measure(net: &Internet, deployments: &[Endpoint], targets: &PingTargets) -> PingMatrix {
+        let n_targets = targets.len();
+        let mut rtt = Vec::with_capacity(deployments.len() * n_targets);
+        for d in deployments {
+            for t in &targets.targets {
+                rtt.push(net.latency.ping_ms(d, t) as f32);
+            }
+        }
+        PingMatrix { n_targets, rtt }
+    }
+
+    /// Number of deployment rows.
+    pub fn deployments(&self) -> usize {
+        self.rtt.len().checked_div(self.n_targets).unwrap_or(0)
+    }
+
+    /// Number of target columns.
+    pub fn targets(&self) -> usize {
+        self.n_targets
+    }
+
+    /// The measured ping from deployment `d` to target `t`, ms.
+    pub fn ping(&self, d: usize, t: TargetId) -> f64 {
+        self.rtt[d * self.n_targets + t.index()] as f64
+    }
+
+    /// The deployment (among `candidates`) with the lowest ping to `t`.
+    pub fn best_deployment(
+        &self,
+        candidates: impl IntoIterator<Item = usize>,
+        t: TargetId,
+    ) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for d in candidates {
+            let r = self.ping(d, t);
+            if best.is_none_or(|(_, b)| r < b) {
+                best = Some((d, r));
+            }
+        }
+        best.map(|(d, _)| d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eum_netmodel::InternetConfig;
+
+    fn net() -> Internet {
+        Internet::generate(InternetConfig::tiny(0x77))
+    }
+
+    #[test]
+    fn select_respects_max_and_covers_all_blocks() {
+        let net = net();
+        let t = PingTargets::select(&net, 20, 100.0);
+        assert!(t.len() <= 20);
+        assert!(!t.is_empty());
+        for b in &net.blocks {
+            let tid = t.target_of_block(b.id);
+            assert!(tid.index() < t.len());
+        }
+    }
+
+    #[test]
+    fn targets_are_spread_apart() {
+        let net = net();
+        let radius = 150.0;
+        let t = PingTargets::select(&net, 1000, radius);
+        for i in 0..t.len() {
+            for j in (i + 1)..t.len() {
+                let d = t.targets[i].loc.distance_miles(&t.targets[j].loc);
+                assert!(d >= radius * 0.999, "targets {i},{j} only {d} miles apart");
+            }
+        }
+    }
+
+    #[test]
+    fn every_block_proxies_to_its_nearest_target() {
+        let net = net();
+        let t = PingTargets::select(&net, 50, 120.0);
+        for b in &net.blocks {
+            let assigned = t.target_of_block(b.id);
+            let assigned_d = t.targets[assigned.index()].loc.distance_miles(&b.loc);
+            for (i, tgt) in t.targets.iter().enumerate() {
+                assert!(
+                    tgt.loc.distance_miles(&b.loc) >= assigned_d - 1e-9,
+                    "block {} has closer target {} than assigned {}",
+                    b.prefix,
+                    i,
+                    assigned.index()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_dimensions_and_symmetric_consistency() {
+        let net = net();
+        let t = PingTargets::select(&net, 10, 200.0);
+        let deployments: Vec<Endpoint> =
+            net.resolvers.iter().take(4).map(|r| r.endpoint()).collect();
+        let m = PingMatrix::measure(&net, &deployments, &t);
+        assert_eq!(m.deployments(), 4);
+        assert_eq!(m.targets(), t.len());
+        #[allow(clippy::needless_range_loop)]
+        for d in 0..4 {
+            for ti in 0..t.len() {
+                let r = m.ping(d, TargetId(ti as u32));
+                assert!(r.is_finite() && r > 0.0);
+                // Matches a direct model query (within f32 rounding).
+                let direct = net.latency.ping_ms(&deployments[d], &t.targets[ti]);
+                assert!((r - direct).abs() < 0.01, "{r} vs {direct}");
+            }
+        }
+    }
+
+    #[test]
+    fn best_deployment_minimizes_ping() {
+        let net = net();
+        let t = PingTargets::select(&net, 8, 200.0);
+        let deployments: Vec<Endpoint> =
+            net.resolvers.iter().take(5).map(|r| r.endpoint()).collect();
+        let m = PingMatrix::measure(&net, &deployments, &t);
+        let tid = TargetId(0);
+        let best = m.best_deployment(0..5, tid).unwrap();
+        for d in 0..5 {
+            assert!(m.ping(best, tid) <= m.ping(d, tid));
+        }
+        assert_eq!(m.best_deployment(std::iter::empty(), tid), None);
+    }
+
+    #[test]
+    fn target_of_point_agrees_with_block_assignment() {
+        let net = net();
+        let t = PingTargets::select(&net, 30, 150.0);
+        for b in net.blocks.iter().take(20) {
+            assert_eq!(t.target_of_point(&b.loc), t.target_of_block(b.id));
+        }
+    }
+}

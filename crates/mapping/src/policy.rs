@@ -1,0 +1,67 @@
+//! Mapping policies: the three request-routing schemes the paper compares.
+
+use serde::{Deserialize, Serialize};
+
+/// How the mapping system identifies the client behind a DNS query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MappingPolicy {
+    /// Traditional NS-based mapping (Equation 1): the mapping unit is the
+    /// LDNS; every client of an LDNS gets the same answer.
+    NsBased,
+    /// End-user mapping (Equation 2): when the query carries an ECS
+    /// prefix, map by the client's IP block; fall back to NS-based for
+    /// non-ECS queries.
+    EndUser {
+        /// The /x block granularity of mapping units (≤ 24, §5.1).
+        prefix_len: u8,
+        /// Combine /x blocks sharing a BGP CIDR into one unit (§5.1).
+        bgp_aggregate: bool,
+    },
+    /// Client-aware NS-based mapping (§6 "CANS"): the unit is still the
+    /// LDNS, but scoring minimizes the demand-weighted latency to the
+    /// LDNS's *client cluster* instead of to the LDNS itself. Needs
+    /// client-LDNS discovery but no ECS.
+    ClientAwareNs,
+}
+
+impl MappingPolicy {
+    /// The end-user policy at the paper's default granularity: /24 blocks
+    /// with BGP aggregation.
+    pub fn end_user_default() -> MappingPolicy {
+        MappingPolicy::EndUser {
+            prefix_len: 24,
+            bgp_aggregate: true,
+        }
+    }
+
+    /// True when this policy consumes ECS.
+    pub fn uses_ecs(&self) -> bool {
+        matches!(self, MappingPolicy::EndUser { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_end_user_uses_ecs() {
+        assert!(!MappingPolicy::NsBased.uses_ecs());
+        assert!(!MappingPolicy::ClientAwareNs.uses_ecs());
+        assert!(MappingPolicy::end_user_default().uses_ecs());
+    }
+
+    #[test]
+    fn default_granularity_is_24_with_bgp() {
+        match MappingPolicy::end_user_default() {
+            MappingPolicy::EndUser {
+                prefix_len,
+                bgp_aggregate,
+            } => {
+                assert_eq!(prefix_len, 24);
+                assert!(bgp_aggregate);
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+}

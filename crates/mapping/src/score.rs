@@ -1,0 +1,361 @@
+//! Scoring: how good would cluster C be for mapping unit U?
+//!
+//! §2.2: "The topological map is then used to evaluate what performance
+//! clients of each LDNS is likely to see if they are assigned to each
+//! Akamai server cluster, a process called scoring. Different scoring
+//! functions that incorporate bandwidth, latency, packet loss, etc can be
+//! used for different traffic classes."
+//!
+//! A score is "expected badness in milliseconds": measured ping latency
+//! plus a loss penalty expressed in equivalent milliseconds. Lower wins.
+
+use crate::measure::{PingMatrix, PingTargets};
+use crate::units::{MapUnits, UnitId};
+use eum_netmodel::{Endpoint, Internet};
+use serde::{Deserialize, Serialize};
+
+/// Weights of the scoring function (traffic-class dependent; the defaults
+/// model the web traffic class the paper's RUM metrics measure).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ScoringWeights {
+    /// Multiplier on measured latency.
+    pub latency: f64,
+    /// Milliseconds of penalty per 1% packet loss (loss devastates
+    /// short web transfers via retransmission stalls).
+    pub loss_ms_per_pct: f64,
+}
+
+impl Default for ScoringWeights {
+    fn default() -> Self {
+        ScoringWeights {
+            latency: 1.0,
+            loss_ms_per_pct: 15.0,
+        }
+    }
+}
+
+impl ScoringWeights {
+    /// Combines a latency measurement and loss rate into a score.
+    pub fn combine(&self, rtt_ms: f64, loss_rate: f64) -> f64 {
+        self.latency * rtt_ms + self.loss_ms_per_pct * (loss_rate * 100.0)
+    }
+
+    /// The scoring function for a traffic class (§2.2): web is
+    /// latency-dominated; video and downloads are throughput-bound, where
+    /// loss (which caps TCP throughput) dwarfs propagation delay.
+    pub fn for_class(class: eum_cdn::TrafficClass) -> ScoringWeights {
+        match class {
+            eum_cdn::TrafficClass::Web => ScoringWeights {
+                latency: 1.0,
+                loss_ms_per_pct: 15.0,
+            },
+            eum_cdn::TrafficClass::Video => ScoringWeights {
+                latency: 0.4,
+                loss_ms_per_pct: 45.0,
+            },
+            eum_cdn::TrafficClass::Download => ScoringWeights {
+                latency: 0.15,
+                loss_ms_per_pct: 60.0,
+            },
+        }
+    }
+}
+
+/// How a unit's network position is represented for scoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScoreBasis {
+    /// Score latency from the unit's own vantage (NS-based: the LDNS
+    /// endpoint; end-user: the client block centroid) via its ping target.
+    UnitVantage,
+    /// Score the demand-weighted latency over the unit's member client
+    /// blocks — Client-Aware NS-based mapping (§6, "CANS").
+    MemberClients,
+}
+
+/// The dense unit × cluster score table the global load balancer consumes.
+#[derive(Debug, Clone)]
+pub struct ScoreTable {
+    n_clusters: usize,
+    /// Row-major: `scores[unit * n_clusters + cluster]`.
+    scores: Vec<f32>,
+}
+
+impl ScoreTable {
+    /// Scores every unit against every cluster.
+    ///
+    /// `cluster_endpoints[i]` must be the endpoint of cluster `i` in the
+    /// same order the load balancer uses. Latency is read from the ping
+    /// matrix via each unit's (or member's) nearest target, exactly as the
+    /// production pipeline proxies unmeasured points; loss comes from the
+    /// model between the cluster and the unit's vantage.
+    ///
+    /// For [`ScoreBasis::MemberClients`] the per-member latencies are
+    /// demand-weighted; member counts are capped at `member_cap` highest-
+    /// demand members to bound cost (the tail adds almost no weight).
+    #[allow(clippy::too_many_arguments)] // the pipeline's nine inputs are clearer spelled out
+    pub fn build(
+        net: &Internet,
+        units: &MapUnits,
+        unit_vantages: &[Endpoint],
+        cluster_endpoints: &[Endpoint],
+        targets: &PingTargets,
+        matrix: &PingMatrix,
+        weights: ScoringWeights,
+        basis: ScoreBasis,
+        member_cap: usize,
+    ) -> ScoreTable {
+        assert_eq!(unit_vantages.len(), units.len(), "one vantage per unit");
+        assert_eq!(
+            matrix.deployments(),
+            cluster_endpoints.len(),
+            "matrix rows = clusters"
+        );
+        let n_clusters = cluster_endpoints.len();
+        let mut scores = vec![0f32; units.len() * n_clusters];
+        for (ui, info) in units.units.iter().enumerate() {
+            match basis {
+                ScoreBasis::UnitVantage => {
+                    let t = targets.target_of_point(&unit_vantages[ui].loc);
+                    for (ci, cep) in cluster_endpoints.iter().enumerate() {
+                        let rtt = matrix.ping(ci, t) + 2.0 * unit_vantages[ui].access_ms;
+                        let loss = net.latency.loss_rate(cep, &unit_vantages[ui]);
+                        scores[ui * n_clusters + ci] = weights.combine(rtt, loss) as f32;
+                    }
+                }
+                ScoreBasis::MemberClients => {
+                    // Cap members by demand.
+                    let mut members: Vec<_> = info.members.to_vec();
+                    members.sort_by(|a, b| {
+                        net.block(*b)
+                            .demand
+                            .partial_cmp(&net.block(*a).demand)
+                            .expect("finite demand")
+                    });
+                    members.truncate(member_cap.max(1));
+                    let member_info: Vec<(crate::measure::TargetId, f64, Endpoint)> = members
+                        .iter()
+                        .map(|b| {
+                            (
+                                targets.target_of_block(*b),
+                                net.block(*b).demand,
+                                net.block(*b).endpoint(),
+                            )
+                        })
+                        .collect();
+                    let total: f64 = member_info.iter().map(|(_, d, _)| d).sum();
+                    for (ci, cep) in cluster_endpoints.iter().enumerate() {
+                        let mut acc = 0.0;
+                        for (t, d, ep) in &member_info {
+                            let rtt = matrix.ping(ci, *t) + 2.0 * ep.access_ms;
+                            let loss = net.latency.loss_rate(cep, ep);
+                            acc += weights.combine(rtt, loss) * d;
+                        }
+                        let score = if total > 0.0 {
+                            acc / total
+                        } else {
+                            f64::INFINITY
+                        };
+                        scores[ui * n_clusters + ci] = score as f32;
+                    }
+                }
+            }
+        }
+        ScoreTable { n_clusters, scores }
+    }
+
+    /// Number of clusters (columns).
+    pub fn clusters(&self) -> usize {
+        self.n_clusters
+    }
+
+    /// Number of units (rows).
+    pub fn units(&self) -> usize {
+        self.scores.len().checked_div(self.n_clusters).unwrap_or(0)
+    }
+
+    /// The score of assigning `unit` to `cluster` (lower is better).
+    pub fn score(&self, unit: UnitId, cluster: usize) -> f64 {
+        self.scores[unit.index() * self.n_clusters + cluster] as f64
+    }
+
+    /// Clusters sorted best-first for a unit.
+    pub fn preference_order(&self, unit: UnitId) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.n_clusters).collect();
+        order.sort_by(|a, b| {
+            self.score(unit, *a)
+                .partial_cmp(&self.score(unit, *b))
+                .expect("finite score")
+        });
+        order
+    }
+
+    /// The best-scoring cluster among a candidate set (e.g. live clusters).
+    pub fn best_among(
+        &self,
+        unit: UnitId,
+        candidates: impl IntoIterator<Item = usize>,
+    ) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for c in candidates {
+            let s = self.score(unit, c);
+            if best.is_none_or(|(_, bs)| s < bs) {
+                best = Some((c, s));
+            }
+        }
+        best.map(|(c, _)| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::MapUnits;
+    use eum_netmodel::InternetConfig;
+
+    fn setup() -> (Internet, MapUnits, Vec<Endpoint>, PingTargets, PingMatrix) {
+        let net = Internet::generate(InternetConfig::tiny(0x5C0));
+        let units = MapUnits::block_units(&net, 24, false);
+        // Use a handful of resolver endpoints as stand-in "clusters".
+        let clusters: Vec<Endpoint> = net.resolvers.iter().take(6).map(|r| r.endpoint()).collect();
+        let targets = PingTargets::select(&net, 40, 150.0);
+        let matrix = PingMatrix::measure(&net, &clusters, &targets);
+        (net, units, clusters, targets, matrix)
+    }
+
+    fn vantages(net: &Internet, units: &MapUnits) -> Vec<Endpoint> {
+        units
+            .units
+            .iter()
+            .map(|u| net.block(u.members[0]).endpoint())
+            .collect()
+    }
+
+    #[test]
+    fn weights_combine_latency_and_loss() {
+        let w = ScoringWeights::default();
+        assert_eq!(w.combine(100.0, 0.0), 100.0);
+        // 2% loss adds 30ms at the default 15 ms/%.
+        assert_eq!(w.combine(100.0, 0.02), 130.0);
+    }
+
+    #[test]
+    fn table_has_full_dimensions_and_finite_scores() {
+        let (net, units, clusters, targets, matrix) = setup();
+        let v = vantages(&net, &units);
+        let table = ScoreTable::build(
+            &net,
+            &units,
+            &v,
+            &clusters,
+            &targets,
+            &matrix,
+            ScoringWeights::default(),
+            ScoreBasis::UnitVantage,
+            50,
+        );
+        assert_eq!(table.units(), units.len());
+        assert_eq!(table.clusters(), clusters.len());
+        for u in 0..units.len() {
+            for c in 0..clusters.len() {
+                let s = table.score(UnitId(u as u32), c);
+                assert!(s.is_finite() && s > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn preference_order_sorts_ascending() {
+        let (net, units, clusters, targets, matrix) = setup();
+        let v = vantages(&net, &units);
+        let table = ScoreTable::build(
+            &net,
+            &units,
+            &v,
+            &clusters,
+            &targets,
+            &matrix,
+            ScoringWeights::default(),
+            ScoreBasis::UnitVantage,
+            50,
+        );
+        let u = UnitId(0);
+        let order = table.preference_order(u);
+        assert_eq!(order.len(), clusters.len());
+        for pair in order.windows(2) {
+            assert!(table.score(u, pair[0]) <= table.score(u, pair[1]));
+        }
+    }
+
+    #[test]
+    fn best_among_respects_candidate_filter() {
+        let (net, units, clusters, targets, matrix) = setup();
+        let v = vantages(&net, &units);
+        let table = ScoreTable::build(
+            &net,
+            &units,
+            &v,
+            &clusters,
+            &targets,
+            &matrix,
+            ScoringWeights::default(),
+            ScoreBasis::UnitVantage,
+            50,
+        );
+        let u = UnitId(0);
+        let overall = table.best_among(u, 0..clusters.len()).unwrap();
+        let restricted = table.best_among(u, (0..clusters.len()).filter(|c| *c != overall));
+        assert_ne!(Some(overall), restricted);
+        assert_eq!(table.best_among(u, std::iter::empty()), None);
+    }
+
+    #[test]
+    fn member_basis_differs_from_vantage_basis_for_spread_units() {
+        // LDNS units with geographically spread members: scoring the
+        // members (CANS) must not equal scoring the LDNS vantage (NS) in
+        // general.
+        let net = Internet::generate(InternetConfig::tiny(0x5C1));
+        let units = MapUnits::ldns_units(&net);
+        let clusters: Vec<Endpoint> = net.resolvers.iter().take(6).map(|r| r.endpoint()).collect();
+        let targets = PingTargets::select(&net, 40, 150.0);
+        let matrix = PingMatrix::measure(&net, &clusters, &targets);
+        let ldns_vantages: Vec<Endpoint> = units
+            .units
+            .iter()
+            .map(|u| match u.key {
+                crate::units::UnitKey::Ldns(r) => net.resolver(r).endpoint(),
+                _ => unreachable!(),
+            })
+            .collect();
+        let ns = ScoreTable::build(
+            &net,
+            &units,
+            &ldns_vantages,
+            &clusters,
+            &targets,
+            &matrix,
+            ScoringWeights::default(),
+            ScoreBasis::UnitVantage,
+            50,
+        );
+        let cans = ScoreTable::build(
+            &net,
+            &units,
+            &ldns_vantages,
+            &clusters,
+            &targets,
+            &matrix,
+            ScoringWeights::default(),
+            ScoreBasis::MemberClients,
+            50,
+        );
+        let mut any_diff = false;
+        for u in 0..units.len() {
+            for c in 0..clusters.len() {
+                if (ns.score(UnitId(u as u32), c) - cans.score(UnitId(u as u32), c)).abs() > 1.0 {
+                    any_diff = true;
+                }
+            }
+        }
+        assert!(any_diff, "CANS scoring never differed from NS scoring");
+    }
+}

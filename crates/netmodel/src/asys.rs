@@ -1,0 +1,106 @@
+//! Autonomous systems and their name-service policies.
+//!
+//! §3.2 of the paper explains the three LDNS architectures that drive
+//! client–LDNS distance: large ISPs run their own geographically
+//! distributed (anycast) resolvers; small ISPs "outsource" name service to
+//! public resolver providers for economic reasons; enterprises centralize
+//! resolvers at one office while having geographically diverse branches.
+
+use crate::ids::{AsId, BlockId, ProviderId, ResolverId};
+use eum_geo::{Asn, Country};
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// The structural category of an AS. Determines block count, geographic
+/// spread, and resolver policy distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AsTier {
+    /// A large national ISP: many client blocks, self-hosted anycast LDNS.
+    LargeIsp,
+    /// A small regional ISP: few blocks, often outsources DNS.
+    SmallIsp,
+    /// An enterprise with branch offices, centralized LDNS at headquarters.
+    Enterprise,
+}
+
+impl AsTier {
+    /// All tiers.
+    pub const ALL: &'static [AsTier] = &[AsTier::LargeIsp, AsTier::SmallIsp, AsTier::Enterprise];
+}
+
+/// How the AS provides recursive name service to its clients (§3.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ResolverPolicy {
+    /// The AS operates its own resolver sites; clients reach the nearest
+    /// via IP anycast (with occasional misrouting, see
+    /// [`crate::resolver::AnycastRouter`]).
+    SelfHosted {
+        /// The AS's resolver sites.
+        sites: Vec<ResolverId>,
+    },
+    /// The AS points all clients at a public resolver provider.
+    Outsourced {
+        /// The provider serving this AS's clients.
+        provider: ProviderId,
+    },
+    /// A single centralized resolver (enterprise headquarters).
+    Centralized {
+        /// The lone resolver.
+        resolver: ResolverId,
+    },
+}
+
+/// An autonomous system in the synthetic Internet.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AsInfo {
+    /// Arena index.
+    pub id: AsId,
+    /// The AS number (unique).
+    pub asn: Asn,
+    /// Structural tier.
+    pub tier: AsTier,
+    /// Home country (enterprises also have blocks elsewhere).
+    pub country: Country,
+    /// Contiguous range of this AS's client blocks in the block arena.
+    pub blocks: Range<u32>,
+    /// Name-service policy.
+    pub policy: ResolverPolicy,
+    /// Total client demand originating from this AS (sum of block demands),
+    /// filled in by the generator after block demands are drawn.
+    pub demand: f64,
+}
+
+impl AsInfo {
+    /// Iterates the AS's block IDs.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
+        self.blocks.clone().map(BlockId)
+    }
+
+    /// Number of /24 client blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_ids_cover_range() {
+        let info = AsInfo {
+            id: AsId(0),
+            asn: Asn(64512),
+            tier: AsTier::SmallIsp,
+            country: Country::France,
+            blocks: 10..13,
+            policy: ResolverPolicy::Outsourced {
+                provider: ProviderId(0),
+            },
+            demand: 0.0,
+        };
+        let ids: Vec<_> = info.block_ids().collect();
+        assert_eq!(ids, vec![BlockId(10), BlockId(11), BlockId(12)]);
+        assert_eq!(info.block_count(), 3);
+    }
+}

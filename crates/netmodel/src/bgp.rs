@@ -1,0 +1,227 @@
+//! The BGP routing table view.
+//!
+//! §5.1: "One heuristic approach to reducing the number of mapping units
+//! for end-user mapping is to use the IP blocks (i.e., CIDRs) in BGP feeds
+//! that are the units for routing in the Internet. In particular, if a set
+//! of /24 IP blocks belong within the same BGP CIDR, these blocks can be
+//! combined since they are likely proximal in the network sense."
+//!
+//! [`BgpTable`] is the feed the mapping system's measurement component
+//! collects from its BGP sessions: announced CIDRs with their origin AS,
+//! plus the covering-CIDR query used for mapping-unit aggregation.
+
+use eum_geo::{Asn, Prefix};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A table of announced CIDRs with origin ASes.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BgpTable {
+    /// All announcements keyed by prefix (one origin per prefix; the
+    /// synthetic Internet has no MOAS conflicts).
+    entries: HashMap<Prefix, Asn>,
+    /// The set of announced prefix lengths, for bounded covering lookups.
+    lengths: Vec<u8>,
+}
+
+impl BgpTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Announces `prefix` with origin `asn`. Re-announcing replaces the
+    /// origin.
+    pub fn announce(&mut self, prefix: Prefix, asn: Asn) {
+        if self.entries.insert(prefix, asn).is_none() && !self.lengths.contains(&prefix.len()) {
+            self.lengths.push(prefix.len());
+            self.lengths.sort_unstable();
+        }
+    }
+
+    /// Number of announced CIDRs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is announced.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The most specific announced CIDR covering `p` (including `p`
+    /// itself), with its origin.
+    pub fn covering(&self, p: Prefix) -> Option<(Prefix, Asn)> {
+        // Walk announced lengths from most to least specific, but no more
+        // specific than p itself (a /28 announcement cannot cover a /24).
+        for &len in self.lengths.iter().rev() {
+            if len > p.len() {
+                continue;
+            }
+            let candidate = p.truncate(len);
+            if let Some(asn) = self.entries.get(&candidate) {
+                return Some((candidate, *asn));
+            }
+        }
+        None
+    }
+
+    /// The origin AS for the most specific covering CIDR.
+    pub fn origin(&self, p: Prefix) -> Option<Asn> {
+        self.covering(p).map(|(_, asn)| asn)
+    }
+
+    /// Iterates announcements in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Prefix, &Asn)> {
+        self.entries.iter()
+    }
+
+    /// Groups the given blocks by their covering CIDR — the §5.1
+    /// aggregation that reduced 3.76M /24 blocks to 444K mapping units.
+    /// Blocks with no covering announcement group under themselves.
+    pub fn aggregate<'a>(
+        &self,
+        blocks: impl IntoIterator<Item = &'a Prefix>,
+    ) -> HashMap<Prefix, Vec<Prefix>> {
+        let mut groups: HashMap<Prefix, Vec<Prefix>> = HashMap::new();
+        for b in blocks {
+            let key = self.covering(*b).map(|(p, _)| p).unwrap_or(*b);
+            groups.entry(key).or_default().push(*b);
+        }
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn covering_prefers_most_specific() {
+        let mut t = BgpTable::new();
+        t.announce(p("10.0.0.0/8"), Asn(8));
+        t.announce(p("10.1.0.0/16"), Asn(16));
+        assert_eq!(
+            t.covering(p("10.1.2.0/24")),
+            Some((p("10.1.0.0/16"), Asn(16)))
+        );
+        assert_eq!(
+            t.covering(p("10.9.0.0/24")),
+            Some((p("10.0.0.0/8"), Asn(8)))
+        );
+        assert_eq!(t.covering(p("11.0.0.0/24")), None);
+    }
+
+    #[test]
+    fn more_specific_announcement_does_not_cover_coarser_query() {
+        let mut t = BgpTable::new();
+        t.announce(p("10.1.2.128/25"), Asn(1));
+        assert_eq!(t.covering(p("10.1.2.0/24")), None);
+        // The /25 covers itself.
+        assert_eq!(
+            t.covering(p("10.1.2.128/25")),
+            Some((p("10.1.2.128/25"), Asn(1)))
+        );
+    }
+
+    #[test]
+    fn reannounce_replaces_origin() {
+        let mut t = BgpTable::new();
+        t.announce(p("10.0.0.0/8"), Asn(1));
+        t.announce(p("10.0.0.0/8"), Asn(2));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.origin(p("10.5.0.0/24")), Some(Asn(2)));
+    }
+
+    #[test]
+    fn aggregate_groups_by_cidr() {
+        let mut t = BgpTable::new();
+        t.announce(p("10.1.0.0/16"), Asn(1));
+        t.announce(p("10.2.0.0/16"), Asn(2));
+        let blocks = [
+            p("10.1.0.0/24"),
+            p("10.1.1.0/24"),
+            p("10.2.0.0/24"),
+            p("99.0.0.0/24"),
+        ];
+        let groups = t.aggregate(blocks.iter());
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[&p("10.1.0.0/16")].len(), 2);
+        assert_eq!(groups[&p("10.2.0.0/16")].len(), 1);
+        // Uncovered block groups under itself.
+        assert_eq!(groups[&p("99.0.0.0/24")], vec![p("99.0.0.0/24")]);
+    }
+
+    #[test]
+    fn exact_match_covers_itself() {
+        let mut t = BgpTable::new();
+        t.announce(p("10.1.2.0/24"), Asn(3));
+        assert_eq!(
+            t.covering(p("10.1.2.0/24")),
+            Some((p("10.1.2.0/24"), Asn(3)))
+        );
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_prefix() -> impl Strategy<Value = Prefix> {
+        (any::<u32>(), 0u8..=24).prop_map(|(a, l)| Prefix::new(a, l))
+    }
+
+    proptest! {
+        /// `covering` agrees with a brute-force scan over announcements.
+        #[test]
+        fn covering_matches_linear_scan(
+            entries in proptest::collection::vec((arb_prefix(), 1u32..1000), 0..30),
+            probes in proptest::collection::vec(arb_prefix(), 0..20),
+        ) {
+            let mut t = BgpTable::new();
+            let mut reference: Vec<(Prefix, Asn)> = Vec::new();
+            for (p, asn) in entries {
+                t.announce(p, Asn(asn));
+                if let Some(slot) = reference.iter_mut().find(|(q, _)| *q == p) {
+                    slot.1 = Asn(asn);
+                } else {
+                    reference.push((p, Asn(asn)));
+                }
+            }
+            for probe in probes {
+                let expect = reference
+                    .iter()
+                    .filter(|(p, _)| p.covers(&probe))
+                    .max_by_key(|(p, _)| p.len())
+                    .copied();
+                prop_assert_eq!(t.covering(probe), expect);
+            }
+        }
+
+        /// Aggregation preserves every block exactly once.
+        #[test]
+        fn aggregate_partitions_blocks(
+            entries in proptest::collection::vec((any::<u32>(), 8u8..=22), 0..10),
+            blocks in proptest::collection::vec(any::<u32>(), 1..40),
+        ) {
+            let mut t = BgpTable::new();
+            for (a, l) in entries {
+                t.announce(Prefix::new(a, l), Asn(1));
+            }
+            let blocks: Vec<Prefix> = blocks.into_iter().map(|a| Prefix::new(a, 24)).collect();
+            let groups = t.aggregate(blocks.iter());
+            let total: usize = groups.values().map(Vec::len).sum();
+            prop_assert_eq!(total, blocks.len());
+            for (key, members) in &groups {
+                for m in members {
+                    prop_assert!(key.covers(m) || key == m);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! /24 client IP blocks.
+//!
+//! The paper's unit of client identity is the /24 client IP block (§2.1):
+//! ECS queries carry /24 prefixes, NetSession aggregates client–LDNS pairs
+//! to /24 granularity (§3.1), and end-user mapping units start from /24
+//! blocks (§5.1). [`ClientBlock`] is that unit, annotated with everything
+//! the measurement pipelines observe about it.
+
+use crate::ids::{AsId, BlockId, ResolverId};
+use crate::Endpoint;
+use eum_geo::{Asn, Country, GeoPoint, Prefix};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// A /24 block of client IPs with its geography, demand, and LDNS usage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClientBlock {
+    /// Arena index.
+    pub id: BlockId,
+    /// The /24 prefix.
+    pub prefix: Prefix,
+    /// Owning AS.
+    pub as_id: AsId,
+    /// AS number (denormalized for endpoint construction).
+    pub asn: Asn,
+    /// Geographic fix for the block (the paper geolocates blocks as units;
+    /// for mobile blocks this is the gateway location).
+    pub loc: GeoPoint,
+    /// Country.
+    pub country: Country,
+    /// One-way access-network latency for clients in this block, ms.
+    pub access_ms: f64,
+    /// Client demand originating from this block (arbitrary traffic units;
+    /// all analyses are demand-weighted per §3.1).
+    pub demand: f64,
+    /// The LDNSes clients of this block use, with relative frequency
+    /// weights summing to 1 — exactly the per-block aggregate NetSession
+    /// produces (§3.1: "For each LDNS in the set, the relative frequency
+    /// with which that LDNS appeared was computed").
+    pub ldns: Vec<(ResolverId, f64)>,
+}
+
+impl ClientBlock {
+    /// A representative client IP inside the block (`.1`).
+    pub fn client_ip(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.prefix.addr() | 1)
+    }
+
+    /// A specific host IP inside the block.
+    pub fn host_ip(&self, host: u8) -> Ipv4Addr {
+        Ipv4Addr::from(self.prefix.addr() | host as u32)
+    }
+
+    /// The block as a latency-model endpoint (representative client).
+    pub fn endpoint(&self) -> Endpoint {
+        Endpoint::client(
+            self.client_ip(),
+            self.loc,
+            self.country,
+            self.asn,
+            self.access_ms,
+        )
+    }
+
+    /// The most-used LDNS for this block.
+    pub fn primary_ldns(&self) -> ResolverId {
+        self.ldns
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite weights"))
+            .expect("every block has at least one LDNS")
+            .0
+    }
+
+    /// Demand attributed to a given LDNS (block demand × usage weight).
+    pub fn demand_via(&self, resolver: ResolverId) -> f64 {
+        self.ldns
+            .iter()
+            .filter(|(r, _)| *r == resolver)
+            .map(|(_, w)| w * self.demand)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> ClientBlock {
+        ClientBlock {
+            id: BlockId(0),
+            prefix: "11.2.3.0/24".parse().unwrap(),
+            as_id: AsId(0),
+            asn: Asn(100),
+            loc: GeoPoint::new(10.0, 20.0),
+            country: Country::France,
+            access_ms: 8.0,
+            demand: 10.0,
+            ldns: vec![(ResolverId(0), 0.9), (ResolverId(1), 0.1)],
+        }
+    }
+
+    #[test]
+    fn ips_are_inside_the_prefix() {
+        let b = block();
+        assert!(b.prefix.contains(b.client_ip()));
+        assert!(b.prefix.contains(b.host_ip(200)));
+        assert_eq!(b.client_ip(), Ipv4Addr::new(11, 2, 3, 1));
+        assert_eq!(b.host_ip(200), Ipv4Addr::new(11, 2, 3, 200));
+    }
+
+    #[test]
+    fn primary_ldns_is_heaviest() {
+        assert_eq!(block().primary_ldns(), ResolverId(0));
+    }
+
+    #[test]
+    fn demand_via_splits_by_weight() {
+        let b = block();
+        assert!((b.demand_via(ResolverId(0)) - 9.0).abs() < 1e-12);
+        assert!((b.demand_via(ResolverId(1)) - 1.0).abs() < 1e-12);
+        assert_eq!(b.demand_via(ResolverId(9)), 0.0);
+    }
+
+    #[test]
+    fn endpoint_carries_block_attributes() {
+        let b = block();
+        let e = b.endpoint();
+        assert_eq!(e.ip, b.client_ip());
+        assert_eq!(e.access_ms, 8.0);
+        assert_eq!(e.asn, Asn(100));
+    }
+}

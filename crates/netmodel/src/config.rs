@@ -1,0 +1,315 @@
+//! Configuration for the synthetic Internet generator.
+//!
+//! The per-country tables below are calibrated so the generated population
+//! reproduces the paper's §3 measurements in *shape*: demand concentrated
+//! in the US/EU/JP; public-resolver adoption highest in Vietnam and Turkey
+//! and lowest in Japan/Korea (Fig 9); access latency higher in developing
+//! markets (which drives the absolute RTT levels of Figs 15/16).
+
+use eum_geo::Country;
+use serde::{Deserialize, Serialize};
+
+/// Relative share of global client demand originating in a country.
+/// Loosely follows 2014-era CDN traffic distribution; only ratios matter.
+pub fn demand_weight(c: Country) -> f64 {
+    use Country::*;
+    match c {
+        UnitedStates => 25.0,
+        Japan => 9.0,
+        UnitedKingdom => 6.0,
+        Germany => 5.0,
+        France => 4.0,
+        Brazil => 4.0,
+        India => 4.0,
+        Italy => 3.0,
+        Canada => 3.0,
+        Australia => 3.0,
+        Russia => 3.0,
+        SouthKorea => 3.0,
+        Spain => 2.0,
+        Netherlands => 2.0,
+        Mexico => 2.0,
+        Turkey => 2.0,
+        Indonesia => 2.0,
+        Taiwan => 1.5,
+        Switzerland => 1.5,
+        HongKong => 1.5,
+        Thailand => 1.5,
+        Vietnam => 1.5,
+        Argentina => 1.5,
+        Singapore => 1.0,
+        Malaysia => 1.0,
+        Chile => 0.5,
+        Colombia => 0.5,
+        Peru => 0.4,
+        Poland => 0.8,
+        Sweden => 0.8,
+        SouthAfrica => 0.5,
+        Egypt => 0.5,
+    }
+}
+
+/// Fraction of a country's client demand that uses a public resolver
+/// (Fig 9 shape: Vietnam/Turkey heaviest, Japan/Korea lightest; ~8%
+/// worldwide when demand-weighted).
+pub fn public_adoption(c: Country) -> f64 {
+    use Country::*;
+    match c {
+        Vietnam => 0.45,
+        Turkey => 0.40,
+        Italy => 0.22,
+        Indonesia => 0.20,
+        Malaysia => 0.18,
+        Brazil => 0.16,
+        Argentina => 0.15,
+        India => 0.14,
+        Russia => 0.12,
+        Mexico => 0.11,
+        Thailand => 0.10,
+        Spain => 0.09,
+        Taiwan => 0.08,
+        UnitedStates => 0.07,
+        UnitedKingdom => 0.06,
+        HongKong => 0.06,
+        Canada => 0.05,
+        Switzerland => 0.05,
+        France => 0.045,
+        Netherlands => 0.045,
+        Germany => 0.04,
+        Singapore => 0.035,
+        Australia => 0.03,
+        Japan => 0.02,
+        SouthKorea => 0.015,
+        Chile => 0.15,
+        Colombia => 0.15,
+        Peru => 0.15,
+        Poland => 0.08,
+        Sweden => 0.04,
+        SouthAfrica => 0.12,
+        Egypt => 0.15,
+    }
+}
+
+/// Mean one-way access-network latency for clients in a country, in ms.
+/// Developed markets ride fiber/cable; developing markets skew toward
+/// DSL/cellular. These levels set the RTT floors of Figures 15/16.
+pub fn access_ms(c: Country) -> f64 {
+    use Country::*;
+    match c {
+        SouthKorea | Japan | Singapore | HongKong | Taiwan => 4.0,
+        Netherlands | Switzerland | Sweden | Germany | France | UnitedKingdom => 7.0,
+        UnitedStates | Canada | Spain | Italy | Poland => 9.0,
+        Australia => 10.0,
+        Russia => 12.0,
+        Malaysia | Thailand => 14.0,
+        Turkey | Mexico | Chile => 16.0,
+        Brazil | Argentina | Colombia | Peru | SouthAfrica => 18.0,
+        India | Vietnam | Indonesia | Egypt => 22.0,
+    }
+}
+
+/// A public resolver provider template: where its anycast sites are and
+/// whether it forwards ECS.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProviderTemplate {
+    /// Display name.
+    pub name: String,
+    /// Gazetteer city names hosting anycast sites.
+    pub site_cities: Vec<String>,
+    /// Whether the provider sends EDNS0 Client Subnet upstream.
+    pub supports_ecs: bool,
+    /// Relative popularity among public-resolver users.
+    pub popularity: f64,
+}
+
+impl ProviderTemplate {
+    fn new(name: &str, cities: &[&str], supports_ecs: bool, popularity: f64) -> Self {
+        ProviderTemplate {
+            name: name.to_string(),
+            site_cities: cities.iter().map(|s| s.to_string()).collect(),
+            supports_ecs,
+            popularity,
+        }
+    }
+
+    /// The default three providers, modeled on the 2014 landscape the paper
+    /// describes:
+    ///
+    /// * `PublicA` — the largest provider (Google Public DNS analogue):
+    ///   wide presence in North America, Europe, and Asia/Oceania, but
+    ///   **no South American or Indian sites** — the root cause of the
+    ///   worst client–LDNS distances in Figure 8.
+    /// * `PublicB` — a mid-size provider (OpenDNS analogue), ECS-capable.
+    /// * `PublicC` — a US-centric provider that does **not** support ECS
+    ///   (Level 3 / UltraDNS analogue); its clients never benefit from
+    ///   end-user mapping.
+    pub fn default_providers() -> Vec<ProviderTemplate> {
+        vec![
+            ProviderTemplate::new(
+                "PublicA",
+                &[
+                    "New York",
+                    "Dallas",
+                    "San Jose",
+                    "Seattle",
+                    "London",
+                    "Frankfurt",
+                    "Amsterdam",
+                    "Singapore",
+                    "Taipei",
+                    "Tokyo",
+                    "Sydney",
+                ],
+                true,
+                0.62,
+            ),
+            ProviderTemplate::new(
+                "PublicB",
+                &[
+                    "Chicago",
+                    "Los Angeles",
+                    "London",
+                    "Amsterdam",
+                    "Singapore",
+                    "Hong Kong",
+                ],
+                true,
+                0.26,
+            ),
+            ProviderTemplate::new("PublicC", &["New York", "Dallas", "Denver"], false, 0.12),
+        ]
+    }
+}
+
+/// Size and behaviour knobs for the generated Internet.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InternetConfig {
+    /// Master seed; every derived structure and noise stream is a pure
+    /// function of this.
+    pub seed: u64,
+    /// Number of large national ISPs (self-hosted anycast LDNS).
+    pub n_large_isps: usize,
+    /// Number of small regional ISPs (often outsourced LDNS).
+    pub n_small_isps: usize,
+    /// Number of enterprises (centralized LDNS, multi-country branches).
+    pub n_enterprises: usize,
+    /// Multiplier on per-AS client-block counts.
+    pub block_scale: f64,
+    /// Probability a small ISP outsources DNS to a public provider (§3.2:
+    /// "smaller AS'es include small local ISPs who are more likely to
+    /// 'outsource' their name server infrastructure").
+    pub small_isp_outsource_prob: f64,
+    /// Anycast misroute probability (paper §3.2: anycast "has many known
+    /// limitations").
+    pub misroute_prob: f64,
+    /// Probability that an (AS, provider) pair is pinned to a remote site
+    /// by a peering quirk (§3.2 Singapore/Malaysia example).
+    pub peering_quirk_prob: f64,
+    /// Public resolver providers.
+    pub providers: Vec<ProviderTemplate>,
+}
+
+impl InternetConfig {
+    /// Tiny Internet for unit tests: a few hundred blocks, built in
+    /// milliseconds.
+    pub fn tiny(seed: u64) -> Self {
+        InternetConfig {
+            seed,
+            n_large_isps: 4,
+            n_small_isps: 12,
+            n_enterprises: 4,
+            block_scale: 0.05,
+            small_isp_outsource_prob: 0.40,
+            misroute_prob: 0.06,
+            peering_quirk_prob: 0.08,
+            providers: ProviderTemplate::default_providers(),
+        }
+    }
+
+    /// Small Internet for examples and integration tests: a few thousand
+    /// blocks.
+    pub fn small(seed: u64) -> Self {
+        InternetConfig {
+            seed,
+            n_large_isps: 12,
+            n_small_isps: 80,
+            n_enterprises: 24,
+            block_scale: 0.25,
+            ..InternetConfig::tiny(seed)
+        }
+    }
+
+    /// The scale used by the reproduction binaries: tens of thousands of
+    /// blocks, hundreds of ASes — large enough for every figure's shape to
+    /// be stable, small enough to run all figures in minutes.
+    pub fn paper(seed: u64) -> Self {
+        InternetConfig {
+            seed,
+            n_large_isps: 40,
+            n_small_isps: 420,
+            n_enterprises: 100,
+            block_scale: 1.0,
+            ..InternetConfig::tiny(seed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_country_has_positive_tables() {
+        for c in Country::ALL {
+            assert!(demand_weight(*c) > 0.0);
+            assert!((0.0..=1.0).contains(&public_adoption(*c)));
+            assert!(access_ms(*c) > 0.0);
+        }
+    }
+
+    #[test]
+    fn adoption_extremes_match_paper_ordering() {
+        // Fig 9: Vietnam and Turkey heaviest; Japan and Korea lightest.
+        assert!(public_adoption(Country::Vietnam) > public_adoption(Country::UnitedStates));
+        assert!(public_adoption(Country::Turkey) > public_adoption(Country::Germany));
+        assert!(public_adoption(Country::Japan) < public_adoption(Country::UnitedStates));
+        assert!(public_adoption(Country::SouthKorea) < 0.05);
+    }
+
+    #[test]
+    fn default_providers_have_known_gaps() {
+        let provs = ProviderTemplate::default_providers();
+        assert_eq!(provs.len(), 3);
+        let a = &provs[0];
+        assert!(a.supports_ecs);
+        // No South American site for the big provider — §3.2's key fact.
+        for city in ["Sao Paulo", "Buenos Aires", "Santiago", "Lima", "Bogota"] {
+            assert!(!a.site_cities.iter().any(|c| c == city));
+        }
+        // PublicC does not support ECS.
+        assert!(!provs[2].supports_ecs);
+        let pop_sum: f64 = provs.iter().map(|p| p.popularity).sum();
+        assert!((pop_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn provider_cities_exist_in_gazetteer() {
+        for prov in ProviderTemplate::default_providers() {
+            for city in &prov.site_cities {
+                assert!(
+                    eum_geo::GAZETTEER.iter().any(|g| g.name == city),
+                    "unknown city {city}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn presets_grow_monotonically() {
+        let t = InternetConfig::tiny(1);
+        let s = InternetConfig::small(1);
+        let p = InternetConfig::paper(1);
+        assert!(t.n_large_isps < s.n_large_isps && s.n_large_isps < p.n_large_isps);
+        assert!(t.block_scale < s.block_scale && s.block_scale < p.block_scale);
+    }
+}

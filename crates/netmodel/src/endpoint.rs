@@ -1,0 +1,66 @@
+//! Network endpoints: anything with an IP, a location, and a last-mile.
+//!
+//! The latency model works over [`Endpoint`]s so that clients, resolvers,
+//! authoritative name servers, and CDN servers all share one RTT function —
+//! mirroring how the paper's network-measurement component treats "points
+//! on the Internet" uniformly (§2.2 (iv)).
+
+use eum_geo::{Asn, Country, GeoPoint};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// A point on the modeled Internet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// The endpoint's (representative) IP.
+    pub ip: Ipv4Addr,
+    /// Geographic fix.
+    pub loc: GeoPoint,
+    /// Country.
+    pub country: Country,
+    /// Autonomous system.
+    pub asn: Asn,
+    /// One-way last-mile latency contribution in milliseconds. Client
+    /// blocks carry their access-network latency here (DSL/cable/cellular);
+    /// infrastructure endpoints (resolvers, CDN servers) are well-connected
+    /// and carry ≤ 1 ms.
+    pub access_ms: f64,
+}
+
+impl Endpoint {
+    /// An infrastructure endpoint: negligible last-mile.
+    pub fn infra(ip: Ipv4Addr, loc: GeoPoint, country: Country, asn: Asn) -> Self {
+        Endpoint {
+            ip,
+            loc,
+            country,
+            asn,
+            access_ms: 0.5,
+        }
+    }
+
+    /// A client-side endpoint with an explicit access latency.
+    pub fn client(ip: Ipv4Addr, loc: GeoPoint, country: Country, asn: Asn, access_ms: f64) -> Self {
+        Endpoint {
+            ip,
+            loc,
+            country,
+            asn,
+            access_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_access() {
+        let p = GeoPoint::new(0.0, 0.0);
+        let e = Endpoint::infra(Ipv4Addr::new(1, 1, 1, 1), p, Country::UnitedStates, Asn(1));
+        assert_eq!(e.access_ms, 0.5);
+        let c = Endpoint::client(Ipv4Addr::new(2, 2, 2, 2), p, Country::India, Asn(2), 25.0);
+        assert_eq!(c.access_ms, 25.0);
+    }
+}

@@ -1,0 +1,640 @@
+//! The synthetic Internet generator.
+//!
+//! Builds, from a single seed, the full population the paper measures:
+//! autonomous systems of three tiers, /24 client blocks with heavy-tailed
+//! demand placed around real city centers, resolver infrastructure
+//! (self-hosted anycast, outsourced, enterprise-centralized, and public
+//! anycast providers), client→LDNS usage weights, a BGP CIDR table, and a
+//! populated geolocation database.
+//!
+//! Design notes on fidelity:
+//!
+//! * Per-block demand is Pareto(α ≈ 1.1), which yields the strong demand
+//!   concentration of Figure 21 (a small fraction of blocks/LDNSes carry
+//!   most demand).
+//! * Large ISPs get one resolver site per selected city and clients reach
+//!   them by modeled anycast, so intra-ISP client–LDNS distances are small
+//!   but non-zero — the bulk of Figure 5's mass near metro scale.
+//! * Small ISPs outsource DNS with configurable probability; enterprises
+//!   centralize; both create the long tail of Figures 5 and 10.
+//! * Public providers route by global anycast with misroutes and per-AS
+//!   peering quirks; their site maps omit South America and India, so
+//!   clients there land on other continents — the Figure 8 extremes.
+
+use crate::asys::{AsInfo, AsTier, ResolverPolicy};
+use crate::block::ClientBlock;
+use crate::config::{access_ms, demand_weight, public_adoption, InternetConfig};
+use crate::ids::{AsId, BlockId, ProviderId, ResolverId};
+use crate::resolver::{AnycastRouter, PublicProvider, Resolver, ResolverKind};
+use crate::{BgpTable, Endpoint, Internet, LatencyModel};
+use eum_geo::city::cities_of;
+use eum_geo::{Asn, Country, GeoDb, GeoInfo, GeoPoint, Prefix};
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// First /24 index of the client block space (11.0.0.0).
+const CLIENT_BASE_24: u32 = 11 << 16;
+/// First /24 index of the infrastructure space (192.0.0.0).
+const INFRA_BASE_24: u32 = 192 << 16;
+
+/// SplitMix64 mixer for stable non-RNG noise channels.
+fn mix(seed: u64, a: u64, b: u64, salt: u64) -> u64 {
+    let mut x =
+        seed ^ a.rotate_left(17) ^ b.rotate_left(40) ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Samples an index proportional to `weights`. Panics on an empty slice;
+/// treats non-positive totals as uniform.
+fn pick_index(rng: &mut ChaCha12Rng, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "pick_index over empty weights");
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return rng.random_range(0..weights.len());
+    }
+    let mut r = rng.random_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        r -= w;
+        if r <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+struct Builder {
+    cfg: InternetConfig,
+    rng: ChaCha12Rng,
+    latency: LatencyModel,
+    next_client_24: u32,
+    next_infra_24: u32,
+    ases: Vec<AsInfo>,
+    blocks: Vec<ClientBlock>,
+    resolvers: Vec<Resolver>,
+    providers: Vec<PublicProvider>,
+    bgp: BgpTable,
+    geodb: GeoDb,
+    country_list: Vec<Country>,
+    country_weights: Vec<f64>,
+}
+
+impl Builder {
+    fn new(cfg: InternetConfig) -> Self {
+        let rng = ChaCha12Rng::seed_from_u64(cfg.seed);
+        let latency = LatencyModel::new(cfg.seed ^ 0x004C_4154_454E_4359_u64);
+        let country_list: Vec<Country> = Country::ALL.to_vec();
+        let country_weights: Vec<f64> = country_list.iter().map(|c| demand_weight(*c)).collect();
+        Builder {
+            cfg,
+            rng,
+            latency,
+            next_client_24: CLIENT_BASE_24,
+            next_infra_24: INFRA_BASE_24,
+            ases: Vec::new(),
+            blocks: Vec::new(),
+            resolvers: Vec::new(),
+            providers: Vec::new(),
+            bgp: BgpTable::new(),
+            geodb: GeoDb::new(),
+            country_list,
+            country_weights,
+        }
+    }
+
+    fn alloc_infra_24(&mut self) -> Prefix {
+        let p = Prefix::new(self.next_infra_24 << 8, 24);
+        self.next_infra_24 += 1;
+        p
+    }
+
+    fn add_resolver(
+        &mut self,
+        loc: GeoPoint,
+        country: Country,
+        asn: Asn,
+        kind: ResolverKind,
+    ) -> ResolverId {
+        let id = ResolverId::from(self.resolvers.len());
+        let prefix = self.alloc_infra_24();
+        // Resolvers answer on .53 of their /24.
+        let ip = std::net::Ipv4Addr::from(prefix.addr() | 53);
+        self.geodb.insert(
+            prefix,
+            GeoInfo {
+                point: loc,
+                country,
+                asn,
+            },
+        );
+        self.bgp.announce(prefix, asn);
+        self.resolvers.push(Resolver {
+            id,
+            ip,
+            loc,
+            country,
+            asn,
+            kind,
+        });
+        id
+    }
+
+    /// Places a location near a city: exponential distance (mean
+    /// `mean_miles`), uniform direction.
+    fn scatter(&mut self, center: GeoPoint, mean_miles: f64) -> GeoPoint {
+        let u: f64 = self.rng.random_range(0.0f64..1.0);
+        let dist = -(1.0 - u).ln() * mean_miles;
+        let theta: f64 = self.rng.random_range(0.0..std::f64::consts::TAU);
+        center.offset_miles(dist * theta.sin(), dist * theta.cos())
+    }
+
+    fn sample_country(&mut self) -> Country {
+        let weights = self.country_weights.clone();
+        self.country_list[pick_index(&mut self.rng, &weights)]
+    }
+
+    /// Samples a city of `country` by weight.
+    fn sample_city(&mut self, country: Country) -> &'static eum_geo::City {
+        let cities: Vec<&'static eum_geo::City> = cities_of(country).collect();
+        let weights: Vec<f64> = cities.iter().map(|c| c.weight).collect();
+        cities[pick_index(&mut self.rng, &weights)]
+    }
+
+    fn sample_provider(&mut self) -> ProviderId {
+        let weights: Vec<f64> = self.providers.iter().map(|p| p.popularity).collect();
+        self.providers[pick_index(&mut self.rng, &weights)].id
+    }
+
+    fn build_providers(&mut self) {
+        for (pi, tpl) in self.cfg.providers.clone().into_iter().enumerate() {
+            let provider = ProviderId(pi as u32);
+            let asn = Asn(30_000 + pi as u32);
+            let mut sites = Vec::new();
+            for (si, city_name) in tpl.site_cities.iter().enumerate() {
+                let city = eum_geo::GAZETTEER
+                    .iter()
+                    .find(|c| c.name == city_name)
+                    .unwrap_or_else(|| panic!("provider city {city_name} not in gazetteer"));
+                let id = self.add_resolver(
+                    city.point(),
+                    city.country,
+                    asn,
+                    ResolverKind::PublicSite {
+                        provider,
+                        site: si as u16,
+                    },
+                );
+                sites.push(id);
+            }
+            self.providers.push(PublicProvider {
+                id: provider,
+                name: tpl.name,
+                sites,
+                supports_ecs: tpl.supports_ecs,
+                popularity: tpl.popularity,
+            });
+        }
+    }
+
+    /// Routes a client endpoint to a public provider site, honoring per-AS
+    /// peering quirks and anycast misroutes.
+    fn provider_catchment(
+        &self,
+        block_prefix: Prefix,
+        block_ep: &Endpoint,
+        as_asn: Asn,
+        provider: ProviderId,
+    ) -> ResolverId {
+        let prov = &self.providers[provider.0 as usize];
+        let site_eps: Vec<Endpoint> = prov
+            .sites
+            .iter()
+            .map(|r| self.resolvers[r.index()].endpoint())
+            .collect();
+        let quirk = unit(mix(self.cfg.seed, as_asn.0 as u64, provider.0 as u64, 0xF0))
+            < self.cfg.peering_quirk_prob;
+        if quirk {
+            // Peering pins the whole AS to the nearest site *outside* the
+            // client's region (or falls through to anycast if none exists).
+            let region = block_ep.country.region();
+            let mut best: Option<(usize, f64)> = None;
+            for (i, s) in site_eps.iter().enumerate() {
+                if s.country.region() == region {
+                    continue;
+                }
+                let r = self.latency.rtt_ms(block_ep, s);
+                if best.is_none_or(|(_, b)| r < b) {
+                    best = Some((i, r));
+                }
+            }
+            if let Some((i, _)) = best {
+                return prov.sites[i];
+            }
+        }
+        let router = AnycastRouter::new(self.latency, self.cfg.misroute_prob);
+        let noise = unit(mix(
+            self.cfg.seed,
+            block_prefix.addr() as u64,
+            provider.0 as u64,
+            0xF1,
+        ));
+        let idx = router.route(block_ep, &site_eps, noise);
+        prov.sites[idx]
+    }
+
+    /// Creates one AS's blocks: allocates a contiguous /24 range, places
+    /// each block near a sampled placement center, assigns demand. Returns
+    /// the block-arena index range.
+    fn create_blocks(
+        &mut self,
+        as_id: AsId,
+        asn: Asn,
+        count: usize,
+        placement: &[(GeoPoint, Country, f64)],
+        metro_mean_miles: f64,
+    ) -> std::ops::Range<u32> {
+        let start = self.blocks.len() as u32;
+        let start_24 = self.next_client_24;
+        self.next_client_24 += count as u32;
+        let weights: Vec<f64> = placement.iter().map(|p| p.2).collect();
+        for i in 0..count {
+            let id = BlockId::from(self.blocks.len());
+            let prefix = Prefix::new((start_24 + i as u32) << 8, 24);
+            let (center, country, _) = placement[pick_index(&mut self.rng, &weights)];
+            // 10% of blocks are exurban/rural: much farther from center.
+            let mean = if self.rng.random_bool(0.10) {
+                metro_mean_miles * 6.0
+            } else {
+                metro_mean_miles
+            };
+            let loc = self.scatter(center, mean);
+            let access = access_ms(country) * self.rng.random_range(0.6..1.6);
+            // Pareto(α = 1.5) demand. Calibrated to Figure 21's block-side
+            // concentration: roughly half of total demand comes from the
+            // top ~10% of /24 blocks (paper: 430K of 3.76M).
+            let u: f64 = self.rng.random_range(0.0f64..1.0);
+            let demand = (1.0 / (1.0 - u)).powf(1.0 / 1.5).min(5e4);
+            self.geodb.insert(
+                prefix,
+                GeoInfo {
+                    point: loc,
+                    country,
+                    asn,
+                },
+            );
+            self.blocks.push(ClientBlock {
+                id,
+                prefix,
+                as_id,
+                asn,
+                loc,
+                country,
+                access_ms: access,
+                demand,
+                ldns: Vec::new(), // filled by assign_ldns
+            });
+        }
+        // Announce the range as aligned CIDRs, occasionally deaggregated.
+        for (idx24, len) in cover_range(start_24, start_24 + count as u32) {
+            let deagg = unit(mix(self.cfg.seed, idx24 as u64, len as u64, 0xB6)) < 0.3 && len < 24;
+            if deagg {
+                let half = 1u32 << (24 - len - 1) as u32;
+                self.bgp.announce(Prefix::new(idx24 << 8, len + 1), asn);
+                self.bgp
+                    .announce(Prefix::new((idx24 + half) << 8, len + 1), asn);
+            } else {
+                self.bgp.announce(Prefix::new(idx24 << 8, len), asn);
+            }
+        }
+        start..start + count as u32
+    }
+
+    fn city_placement(country: Country) -> Vec<(GeoPoint, Country, f64)> {
+        cities_of(country)
+            .map(|c| (c.point(), country, c.weight))
+            .collect()
+    }
+
+    fn build_large_isps(&mut self) {
+        // Every major country gets a national ISP before extras are
+        // sampled by demand weight — without this floor, countries that
+        // randomly miss out on large ISPs would look implausibly
+        // public-resolver-heavy in Figure 9.
+        let top = Country::paper_top25();
+        for i in 0..self.cfg.n_large_isps {
+            let as_id = AsId::from(self.ases.len());
+            let asn = Asn(1_000 + i as u32);
+            let country = if i < top.len() {
+                top[i]
+            } else {
+                self.sample_country()
+            };
+            let cities: Vec<_> = cities_of(country).collect();
+            // National ISPs run resolver sites in (nearly) every metro they
+            // serve — that per-metro anycast presence is why the paper's
+            // Figure 10 shows small distances for the largest ASes.
+            let n_sites = cities
+                .len()
+                .saturating_sub(self.rng.random_range(0..=1usize))
+                .max(1);
+            // Resolver sites at the n_sites heaviest cities.
+            let mut by_weight = cities.clone();
+            by_weight.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("finite"));
+            let site_points: Vec<GeoPoint> =
+                by_weight.iter().take(n_sites).map(|c| c.point()).collect();
+            let mut sites = Vec::new();
+            for pt in site_points {
+                let loc = self.scatter(pt, 5.0);
+                let id =
+                    self.add_resolver(loc, country, asn, ResolverKind::IspSite { owner: as_id });
+                sites.push(id);
+            }
+            let u: f64 = self.rng.random_range(0.0f64..1.0);
+            let raw = 100.0 + 1400.0 * u.powf(2.5);
+            let count = ((raw * self.cfg.block_scale) as usize).max(4);
+            let placement = Self::city_placement(country);
+            let blocks = self.create_blocks(as_id, asn, count, &placement, 55.0);
+            self.ases.push(AsInfo {
+                id: as_id,
+                asn,
+                tier: AsTier::LargeIsp,
+                country,
+                blocks,
+                policy: ResolverPolicy::SelfHosted { sites },
+                demand: 0.0,
+            });
+        }
+    }
+
+    fn build_small_isps(&mut self) {
+        for i in 0..self.cfg.n_small_isps {
+            let as_id = AsId::from(self.ases.len());
+            let asn = Asn(5_000 + i as u32);
+            let country = self.sample_country();
+            let city = self.sample_city(country);
+            let city_point = city.point();
+            let u: f64 = self.rng.random_range(0.0f64..1.0);
+            let raw = 1.0 + 29.0 * u * u;
+            let count = ((raw * self.cfg.block_scale) as usize).max(1);
+            // Outsourcing is an economic decision; it correlates with the
+            // same markets where clients adopt public resolvers directly
+            // and is strongest for the smallest ISPs (§3.2's "smaller
+            // AS'es include small local ISPs who are more likely to
+            // 'outsource' their name server infrastructure") — this size
+            // gradient is what Figure 10 measures.
+            let size_factor = (2.2 - raw / 8.0).clamp(0.4, 2.0);
+            let outsource_prob = (self.cfg.small_isp_outsource_prob
+                * (0.4 + 4.0 * public_adoption(country))
+                * size_factor)
+                .clamp(0.05, 0.85);
+            let outsourced = self.rng.random_bool(outsource_prob);
+            let policy = if outsourced {
+                let provider = self.sample_provider();
+                ResolverPolicy::Outsourced { provider }
+            } else {
+                let loc = self.scatter(city_point, 5.0);
+                let site =
+                    self.add_resolver(loc, country, asn, ResolverKind::IspSite { owner: as_id });
+                ResolverPolicy::SelfHosted { sites: vec![site] }
+            };
+            let placement = vec![(city_point, country, 1.0)];
+            let blocks = self.create_blocks(as_id, asn, count, &placement, 60.0);
+            self.ases.push(AsInfo {
+                id: as_id,
+                asn,
+                tier: AsTier::SmallIsp,
+                country,
+                blocks,
+                policy,
+                demand: 0.0,
+            });
+        }
+    }
+
+    fn build_enterprises(&mut self) {
+        for i in 0..self.cfg.n_enterprises {
+            let as_id = AsId::from(self.ases.len());
+            let asn = Asn(20_000 + i as u32);
+            let hq_country = self.sample_country();
+            let hq_city = self.sample_city(hq_country);
+            let hq_point = hq_city.point();
+            // Branch offices in 1–4 other countries.
+            let mut placement = vec![(hq_point, hq_country, 2.0)];
+            let n_branches = self.rng.random_range(1..=4usize);
+            for _ in 0..n_branches {
+                let bc = self.sample_country();
+                let bcity = self.sample_city(bc);
+                placement.push((bcity.point(), bc, 1.0));
+            }
+            let hq_loc = self.scatter(hq_point, 3.0);
+            let resolver = self.add_resolver(
+                hq_loc,
+                hq_country,
+                asn,
+                ResolverKind::EnterpriseCentral { owner: as_id },
+            );
+            let u: f64 = self.rng.random_range(0.0f64..1.0);
+            let raw = 4.0 + 36.0 * u * u;
+            let count = ((raw * self.cfg.block_scale) as usize).max(1);
+            let blocks = self.create_blocks(as_id, asn, count, &placement, 5.0);
+            self.ases.push(AsInfo {
+                id: as_id,
+                asn,
+                tier: AsTier::Enterprise,
+                country: hq_country,
+                blocks,
+                policy: ResolverPolicy::Centralized { resolver },
+                demand: 0.0,
+            });
+        }
+    }
+
+    /// Fills every block's LDNS usage vector from its AS's policy plus
+    /// direct per-client public resolver adoption (Fig 9).
+    fn assign_ldns(&mut self) {
+        let router = AnycastRouter::new(self.latency, self.cfg.misroute_prob);
+        for ai in 0..self.ases.len() {
+            let (policy, asn) = (self.ases[ai].policy.clone(), self.ases[ai].asn);
+            let block_range = self.ases[ai].blocks.clone();
+            for bi in block_range {
+                let block_ep = self.blocks[bi as usize].endpoint();
+                let prefix = self.blocks[bi as usize].prefix;
+                let country = self.blocks[bi as usize].country;
+                let (base, base_is_public) = match &policy {
+                    ResolverPolicy::SelfHosted { sites } => {
+                        let eps: Vec<Endpoint> = sites
+                            .iter()
+                            .map(|r| self.resolvers[r.index()].endpoint())
+                            .collect();
+                        let noise =
+                            unit(mix(self.cfg.seed, prefix.addr() as u64, asn.0 as u64, 0xA0));
+                        (sites[router.route(&block_ep, &eps, noise)], false)
+                    }
+                    ResolverPolicy::Outsourced { provider } => (
+                        self.provider_catchment(prefix, &block_ep, asn, *provider),
+                        true,
+                    ),
+                    ResolverPolicy::Centralized { resolver } => (*resolver, false),
+                };
+                let mut ldns: Vec<(ResolverId, f64)> = Vec::with_capacity(2);
+                if base_is_public {
+                    ldns.push((base, 1.0));
+                } else {
+                    // Per-AS adoption modifier keeps adoption from being
+                    // uniform within a country.
+                    let modifier = 0.6 + 0.8 * unit(mix(self.cfg.seed, asn.0 as u64, 0, 0xA1));
+                    let adoption = (public_adoption(country) * modifier).min(0.95);
+                    if adoption > 0.005 {
+                        let pid = self.sample_provider();
+                        let site = self.provider_catchment(prefix, &block_ep, asn, pid);
+                        if site == base {
+                            ldns.push((base, 1.0));
+                        } else {
+                            ldns.push((base, 1.0 - adoption));
+                            ldns.push((site, adoption));
+                        }
+                    } else {
+                        ldns.push((base, 1.0));
+                    }
+                }
+                self.blocks[bi as usize].ldns = ldns;
+            }
+        }
+    }
+
+    fn fill_as_demand(&mut self) {
+        for info in &mut self.ases {
+            info.demand = info
+                .blocks
+                .clone()
+                .map(|b| self.blocks[b as usize].demand)
+                .sum();
+        }
+    }
+
+    fn finish(mut self) -> Internet {
+        self.build_providers();
+        self.build_large_isps();
+        self.build_small_isps();
+        self.build_enterprises();
+        self.assign_ldns();
+        self.fill_as_demand();
+        Internet {
+            cfg: self.cfg,
+            latency: self.latency,
+            ases: self.ases,
+            blocks: self.blocks,
+            resolvers: self.resolvers,
+            providers: self.providers,
+            bgp: self.bgp,
+            geodb: self.geodb,
+            next_infra_24: self.next_infra_24,
+        }
+    }
+}
+
+/// Greedy cover of a /24-index range `[start, end)` with aligned
+/// power-of-two CIDRs. Returns (first /24 index, prefix length ≤ 24).
+pub(crate) fn cover_range(mut start: u32, end: u32) -> Vec<(u32, u8)> {
+    let mut out = Vec::new();
+    while start < end {
+        let align = if start == 0 {
+            24
+        } else {
+            start.trailing_zeros().min(24)
+        };
+        let remaining = end - start;
+        let mut size = 1u32 << align;
+        while size > remaining {
+            size >>= 1;
+        }
+        let bits = size.trailing_zeros() as u8;
+        out.push((start, 24 - bits));
+        start += size;
+    }
+    out
+}
+
+/// Generates the Internet described by `cfg`. Deterministic in `cfg.seed`.
+pub fn generate(cfg: InternetConfig) -> Internet {
+    Builder::new(cfg).finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cover_range_is_exact_partition() {
+        for (start, end) in [
+            (0u32, 7u32),
+            (5, 21),
+            (16, 48),
+            (1, 2),
+            (0, 1024),
+            (700, 701),
+        ] {
+            let parts = cover_range(start, end);
+            let mut covered = Vec::new();
+            for (s, len) in &parts {
+                let size = 1u32 << (24 - len);
+                assert_eq!(s % size, 0, "CIDR at {s} not aligned to {size}");
+                covered.extend(*s..*s + size);
+            }
+            let expect: Vec<u32> = (start..end).collect();
+            assert_eq!(covered, expect, "range {start}..{end}");
+        }
+    }
+
+    #[test]
+    fn cover_range_of_empty_is_empty() {
+        assert!(cover_range(5, 5).is_empty());
+    }
+
+    mod prop_tests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// cover_range always yields an exact, aligned partition.
+            #[test]
+            fn cover_range_partitions_any_range(start in 0u32..5000, len in 1u32..2000) {
+                let end = start + len;
+                let parts = cover_range(start, end);
+                let mut pos = start;
+                for (s, plen) in parts {
+                    prop_assert_eq!(s, pos, "gap or overlap at {}", pos);
+                    let size = 1u32 << (24 - plen);
+                    prop_assert_eq!(s % size, 0, "misaligned CIDR");
+                    pos += size;
+                }
+                prop_assert_eq!(pos, end);
+            }
+        }
+    }
+
+    #[test]
+    fn pick_index_respects_weights() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let weights = [0.0, 10.0, 0.0];
+        for _ in 0..50 {
+            assert_eq!(pick_index(&mut rng, &weights), 1);
+        }
+    }
+
+    #[test]
+    fn pick_index_uniform_on_zero_total() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let weights = [0.0, 0.0];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(pick_index(&mut rng, &weights));
+        }
+        assert_eq!(seen.len(), 2);
+    }
+}

@@ -1,0 +1,77 @@
+//! Typed indices into the [`Internet`](crate::Internet) arenas.
+//!
+//! Using newtypes instead of raw `usize` keeps the cross-crate API honest:
+//! a block index cannot be confused with a resolver index, and IDs are
+//! `Copy + Ord + Hash` so they work as map keys everywhere.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The index as a usize, for arena access.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                $name(u32::try_from(v).expect("arena index fits in u32"))
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}#{}", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+id_type! {
+    /// Index of an autonomous system in [`Internet::ases`](crate::Internet::ases).
+    AsId
+}
+id_type! {
+    /// Index of a /24 client block in [`Internet::blocks`](crate::Internet::blocks).
+    BlockId
+}
+id_type! {
+    /// Index of a recursive resolver (LDNS) endpoint in
+    /// [`Internet::resolvers`](crate::Internet::resolvers).
+    ResolverId
+}
+id_type! {
+    /// Index of a public resolver provider in
+    /// [`Internet::providers`](crate::Internet::providers).
+    ProviderId
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_usize() {
+        let id = BlockId::from(42usize);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, BlockId(42));
+    }
+
+    #[test]
+    fn display_includes_kind() {
+        assert_eq!(AsId(7).to_string(), "AsId#7");
+        assert_eq!(ResolverId(0).to_string(), "ResolverId#0");
+    }
+
+    #[test]
+    #[should_panic(expected = "fits in u32")]
+    fn from_huge_usize_panics() {
+        let _ = BlockId::from(u32::MAX as usize + 1);
+    }
+}

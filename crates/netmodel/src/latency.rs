@@ -1,0 +1,289 @@
+//! The latency and loss model.
+//!
+//! Stands in for the paper's network-level measurements ("path information,
+//! latency, loss, and throughput between different points on the Internet",
+//! §2.2 (iv)). RTT between two endpoints decomposes as:
+//!
+//! ```text
+//! rtt = propagation(distance) · path_inflation + region_penalty
+//!       + access(a) + access(b) + jitter
+//! ```
+//!
+//! * **propagation** — light in fiber travels at ≈ 0.62 c, so a round trip
+//!   costs ≈ 0.0173 ms per great-circle mile.
+//! * **path_inflation** — real paths are not great circles; a stable
+//!   per-pair factor in `[1.25, 2.0]` models AS-path stretch.
+//! * **region_penalty** — crossing a continental boundary adds a submarine
+//!   cable / peering detour.
+//! * **access** — each endpoint's last-mile contribution (×2 for the round
+//!   trip).
+//! * **jitter** — a stable ±8% per-pair factor (queueing variance).
+//!
+//! Everything is **deterministic**: the "randomness" is a hash of the
+//! endpoint pair and the model seed, so repeated queries agree, and the
+//! function is symmetric in its arguments. This is essential — the mapping
+//! system's scoring and the simulator's transfers must see the same network.
+
+use crate::Endpoint;
+use eum_geo::great_circle_miles;
+use serde::{Deserialize, Serialize};
+
+/// Round-trip propagation cost per great-circle mile, in milliseconds
+/// (speed of light in fiber ≈ 0.62 c ≈ 115,500 mi/s, both directions).
+pub const RTT_MS_PER_MILE: f64 = 0.0173;
+
+/// Deterministic latency/loss model, parameterized only by a seed.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LatencyModel {
+    seed: u64,
+}
+
+/// SplitMix64 — tiny, high-quality bit mixer for stable per-pair noise.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Maps a hash to a uniform f64 in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl LatencyModel {
+    /// Creates a model with the given seed.
+    pub fn new(seed: u64) -> Self {
+        LatencyModel { seed }
+    }
+
+    /// Stable, symmetric per-pair hash with a salt to derive independent
+    /// noise channels (inflation vs. jitter vs. loss).
+    fn pair_hash(&self, a: &Endpoint, b: &Endpoint, salt: u64) -> u64 {
+        let (x, y) = {
+            let (ai, bi) = (u32::from(a.ip), u32::from(b.ip));
+            if ai <= bi {
+                (ai, bi)
+            } else {
+                (bi, ai)
+            }
+        };
+        splitmix64(
+            self.seed ^ salt.wrapping_mul(0xA5A5_A5A5_A5A5_A5A5) ^ ((x as u64) << 32 | y as u64),
+        )
+    }
+
+    /// Round-trip time between two endpoints in milliseconds.
+    ///
+    /// Symmetric, deterministic, ≥ 1 ms between distinct endpoints, and
+    /// monotone-ish in distance (per-pair noise can reorder pairs whose
+    /// distances differ by less than ~25%; that is intentional — a
+    /// slightly-farther cluster can genuinely be faster, which is why the
+    /// paper's mapping system scores on measured latency rather than
+    /// geography).
+    pub fn rtt_ms(&self, a: &Endpoint, b: &Endpoint) -> f64 {
+        if a.ip == b.ip {
+            return 0.2;
+        }
+        let d = great_circle_miles(&a.loc, &b.loc);
+        let prop = d * RTT_MS_PER_MILE;
+        let inflation = 1.25 + 0.75 * unit(self.pair_hash(a, b, 1));
+        let region_penalty = if a.country == b.country {
+            0.0
+        } else if a.country.region() == b.country.region() {
+            2.0 + 4.0 * unit(self.pair_hash(a, b, 2))
+        } else {
+            8.0 + 24.0 * unit(self.pair_hash(a, b, 3))
+        };
+        let access = a.access_ms + b.access_ms;
+        let jitter = 1.0 + 0.16 * (unit(self.pair_hash(a, b, 4)) - 0.5);
+        ((prop * inflation + region_penalty + 2.0 * access) * jitter).max(1.0)
+    }
+
+    /// Packet loss rate on the path between two endpoints, in `[0, 0.05]`.
+    ///
+    /// Base 0.05% plus a distance-dependent term (long paths cross more
+    /// congested interconnects) plus a stable per-pair component.
+    pub fn loss_rate(&self, a: &Endpoint, b: &Endpoint) -> f64 {
+        if a.ip == b.ip {
+            return 0.0;
+        }
+        let d = great_circle_miles(&a.loc, &b.loc);
+        let base = 0.0005;
+        let dist_term = (d / 1000.0) * 0.0015;
+        let pair_term = 0.004 * unit(self.pair_hash(a, b, 5)).powi(2);
+        (base + dist_term + pair_term).min(0.05)
+    }
+
+    /// One-way latency estimate (half the RTT). Used for staged DNS
+    /// timelines in the simulator.
+    pub fn one_way_ms(&self, a: &Endpoint, b: &Endpoint) -> f64 {
+        self.rtt_ms(a, b) / 2.0
+    }
+
+    /// A "ping" measurement as taken by the mapping system's measurement
+    /// component toward a ping target (§6): the RTT with the *client* access
+    /// component removed, because pings hit a router enroute, not the end
+    /// host. The paper notes these underestimate true client RTT.
+    pub fn ping_ms(&self, server: &Endpoint, target: &Endpoint) -> f64 {
+        let stripped = Endpoint {
+            access_ms: 0.5,
+            ..*target
+        };
+        self.rtt_ms(server, &stripped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eum_geo::{Asn, Country, GeoPoint};
+    use std::net::Ipv4Addr;
+
+    fn ep(ip: [u8; 4], lat: f64, lon: f64, country: Country, access: f64) -> Endpoint {
+        Endpoint::client(
+            Ipv4Addr::new(ip[0], ip[1], ip[2], ip[3]),
+            GeoPoint::new(lat, lon),
+            country,
+            Asn(1),
+            access,
+        )
+    }
+
+    fn nyc_client() -> Endpoint {
+        ep([10, 0, 0, 1], 40.7, -74.0, Country::UnitedStates, 8.0)
+    }
+    fn nyc_server() -> Endpoint {
+        ep([96, 0, 0, 1], 40.7, -74.0, Country::UnitedStates, 0.5)
+    }
+    fn la_server() -> Endpoint {
+        ep([96, 0, 1, 1], 34.05, -118.24, Country::UnitedStates, 0.5)
+    }
+    fn tokyo_server() -> Endpoint {
+        ep([96, 0, 2, 1], 35.68, 139.69, Country::Japan, 0.5)
+    }
+
+    #[test]
+    fn rtt_is_symmetric_and_deterministic() {
+        let m = LatencyModel::new(7);
+        let a = nyc_client();
+        let b = tokyo_server();
+        assert_eq!(m.rtt_ms(&a, &b), m.rtt_ms(&b, &a));
+        assert_eq!(m.rtt_ms(&a, &b), m.rtt_ms(&a, &b));
+    }
+
+    #[test]
+    fn same_ip_is_near_zero() {
+        let m = LatencyModel::new(7);
+        let a = nyc_client();
+        assert!(m.rtt_ms(&a, &a) < 1.0);
+        assert_eq!(m.loss_rate(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn same_city_beats_cross_country_beats_cross_ocean() {
+        let m = LatencyModel::new(7);
+        let c = nyc_client();
+        let near = m.rtt_ms(&c, &nyc_server());
+        let far = m.rtt_ms(&c, &la_server());
+        let ocean = m.rtt_ms(&c, &tokyo_server());
+        assert!(near < far, "near {near} vs far {far}");
+        assert!(far < ocean, "far {far} vs ocean {ocean}");
+    }
+
+    #[test]
+    fn same_city_rtt_is_tens_of_ms_with_access() {
+        let m = LatencyModel::new(7);
+        // ~8ms access each way ⇒ ≥ 16ms even in the same city.
+        let r = m.rtt_ms(&nyc_client(), &nyc_server());
+        assert!(r > 15.0 && r < 40.0, "got {r}");
+    }
+
+    #[test]
+    fn transpacific_rtt_is_realistic() {
+        let m = LatencyModel::new(7);
+        // NYC–Tokyo is ~6740 miles; expect roughly 130–260 ms.
+        let r = m.rtt_ms(&nyc_client(), &tokyo_server());
+        assert!(r > 120.0 && r < 300.0, "got {r}");
+    }
+
+    #[test]
+    fn different_seeds_change_noise_not_magnitude() {
+        let a = nyc_client();
+        let b = la_server();
+        let r1 = LatencyModel::new(1).rtt_ms(&a, &b);
+        let r2 = LatencyModel::new(2).rtt_ms(&a, &b);
+        assert_ne!(r1, r2);
+        assert!((r1 - r2).abs() < 0.8 * r1.min(r2));
+    }
+
+    #[test]
+    fn loss_rate_bounded_and_grows_with_distance() {
+        let m = LatencyModel::new(7);
+        let near = m.loss_rate(&nyc_client(), &nyc_server());
+        let far = m.loss_rate(&nyc_client(), &tokyo_server());
+        assert!((0.0..=0.05).contains(&near));
+        assert!((0.0..=0.05).contains(&far));
+        assert!(far > near);
+    }
+
+    #[test]
+    fn ping_strips_target_access() {
+        let m = LatencyModel::new(7);
+        let server = nyc_server();
+        let target = ep([10, 0, 0, 9], 40.7, -74.0, Country::UnitedStates, 30.0);
+        let ping = m.ping_ms(&server, &target);
+        let rtt = m.rtt_ms(&server, &target);
+        assert!(ping < rtt, "ping {ping} should underestimate rtt {rtt}");
+    }
+
+    #[test]
+    fn floor_of_one_ms_between_distinct_endpoints() {
+        let m = LatencyModel::new(7);
+        let a = ep([1, 0, 0, 1], 0.0, 0.0, Country::UnitedStates, 0.0);
+        let b = ep([1, 0, 0, 2], 0.0, 0.0, Country::UnitedStates, 0.0);
+        assert!(m.rtt_ms(&a, &b) >= 1.0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use eum_geo::{Asn, Country, GeoPoint};
+    use proptest::prelude::*;
+    use std::net::Ipv4Addr;
+
+    fn arb_endpoint() -> impl Strategy<Value = Endpoint> {
+        (any::<u32>(), -60f64..70.0, -180f64..180.0, 0f64..40.0).prop_map(|(ip, lat, lon, acc)| {
+            Endpoint::client(
+                Ipv4Addr::from(ip),
+                GeoPoint::new(lat, lon),
+                Country::UnitedStates,
+                Asn(1),
+                acc,
+            )
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn rtt_symmetric_positive_finite(a in arb_endpoint(), b in arb_endpoint(), seed in any::<u64>()) {
+            let m = LatencyModel::new(seed);
+            let r1 = m.rtt_ms(&a, &b);
+            let r2 = m.rtt_ms(&b, &a);
+            prop_assert_eq!(r1, r2);
+            prop_assert!(r1.is_finite());
+            prop_assert!(r1 > 0.0);
+            // Upper bound: half circumference at max inflation + penalties + access.
+            prop_assert!(r1 < 12_500.0 * RTT_MS_PER_MILE * 2.0 * 1.1 + 32.0 + 2.0 * 80.0 + 50.0);
+        }
+
+        #[test]
+        fn loss_in_bounds(a in arb_endpoint(), b in arb_endpoint(), seed in any::<u64>()) {
+            let m = LatencyModel::new(seed);
+            let l = m.loss_rate(&a, &b);
+            prop_assert!((0.0..=0.05).contains(&l));
+            prop_assert_eq!(l, m.loss_rate(&b, &a));
+        }
+    }
+}

@@ -1,0 +1,354 @@
+#![warn(missing_docs)]
+
+//! The seeded synthetic Internet.
+//!
+//! Everything the paper's measurement pipelines observe about the real
+//! Internet — autonomous systems, /24 client blocks with demand, recursive
+//! resolver (LDNS) infrastructure, public anycast resolver providers, BGP
+//! CIDR announcements, geolocation data, and inter-point latency/loss — is
+//! generated here as a pure function of an [`InternetConfig`] (see
+//! DESIGN.md for the substitution rationale).
+//!
+//! The central type is [`Internet`]; build one with [`Internet::generate`]:
+//!
+//! ```
+//! use eum_netmodel::{Internet, InternetConfig};
+//!
+//! let net = Internet::generate(InternetConfig::tiny(42));
+//! assert!(net.blocks.len() > 50);
+//! // Same seed ⇒ identical Internet.
+//! let again = Internet::generate(InternetConfig::tiny(42));
+//! assert_eq!(net.blocks.len(), again.blocks.len());
+//! ```
+
+pub mod asys;
+pub mod bgp;
+pub mod block;
+pub mod config;
+pub mod endpoint;
+mod generate;
+pub mod ids;
+pub mod latency;
+pub mod resolver;
+
+pub use asys::{AsInfo, AsTier, ResolverPolicy};
+pub use bgp::BgpTable;
+pub use block::ClientBlock;
+pub use config::{InternetConfig, ProviderTemplate};
+pub use endpoint::Endpoint;
+pub use ids::{AsId, BlockId, ProviderId, ResolverId};
+pub use latency::LatencyModel;
+pub use resolver::{AnycastRouter, PublicProvider, Resolver, ResolverKind};
+
+use eum_geo::{GeoDb, GeoInfo, Prefix};
+use std::collections::HashMap;
+
+/// A fully generated synthetic Internet.
+///
+/// All arenas are indexed by their typed IDs ([`AsId`], [`BlockId`],
+/// [`ResolverId`], [`ProviderId`]). The structure is immutable after
+/// generation except for infrastructure registration
+/// ([`Internet::alloc_infra_block`], used by the CDN crate to place
+/// servers into the same address/geo/BGP universe).
+#[derive(Debug, Clone)]
+pub struct Internet {
+    /// The configuration that produced this Internet.
+    pub cfg: InternetConfig,
+    /// The latency/loss model (deterministic, shared by all consumers).
+    pub latency: LatencyModel,
+    /// Autonomous systems.
+    pub ases: Vec<AsInfo>,
+    /// /24 client blocks.
+    pub blocks: Vec<ClientBlock>,
+    /// Recursive resolver endpoints (ISP sites, enterprise centrals, and
+    /// public provider anycast sites).
+    pub resolvers: Vec<Resolver>,
+    /// Public resolver providers.
+    pub providers: Vec<PublicProvider>,
+    /// The BGP table (client CIDRs + infrastructure announcements).
+    pub bgp: BgpTable,
+    /// The Edgescape-style geolocation database, populated for every
+    /// client block and infrastructure prefix.
+    pub geodb: GeoDb,
+    /// Next free /24 index in the infrastructure space.
+    next_infra_24: u32,
+}
+
+impl Internet {
+    /// Generates an Internet from a configuration. Deterministic in
+    /// `cfg.seed`.
+    pub fn generate(cfg: InternetConfig) -> Internet {
+        generate::generate(cfg)
+    }
+
+    /// The block with the given ID.
+    pub fn block(&self, id: BlockId) -> &ClientBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// The resolver with the given ID.
+    pub fn resolver(&self, id: ResolverId) -> &Resolver {
+        &self.resolvers[id.index()]
+    }
+
+    /// The AS with the given ID.
+    pub fn as_info(&self, id: AsId) -> &AsInfo {
+        &self.ases[id.index()]
+    }
+
+    /// The provider with the given ID.
+    pub fn provider(&self, id: ProviderId) -> &PublicProvider {
+        &self.providers[id.index()]
+    }
+
+    /// True when `id` is a public-provider anycast site.
+    pub fn is_public_resolver(&self, id: ResolverId) -> bool {
+        self.resolver(id).kind.is_public()
+    }
+
+    /// Total client demand across all blocks.
+    pub fn total_demand(&self) -> f64 {
+        self.blocks.iter().map(|b| b.demand).sum()
+    }
+
+    /// Demand arriving at each LDNS: for every block, its demand is split
+    /// across its LDNSes by usage weight — the "LDNS demand" of §5.1.
+    pub fn ldns_demand(&self) -> HashMap<ResolverId, f64> {
+        let mut out: HashMap<ResolverId, f64> = HashMap::new();
+        for b in &self.blocks {
+            for (r, w) in &b.ldns {
+                *out.entry(*r).or_insert(0.0) += w * b.demand;
+            }
+        }
+        out
+    }
+
+    /// Fraction of total demand that flows through public resolvers.
+    pub fn public_demand_fraction(&self) -> f64 {
+        let total = self.total_demand();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let public: f64 = self
+            .blocks
+            .iter()
+            .flat_map(|b| b.ldns.iter().map(move |(r, w)| (b, r, w)))
+            .filter(|(_, r, _)| self.is_public_resolver(**r))
+            .map(|(b, _, w)| b.demand * w)
+            .sum();
+        public / total
+    }
+
+    /// Allocates a fresh infrastructure /24 (for CDN deployments etc.),
+    /// registering it in the geolocation DB and BGP table.
+    pub fn alloc_infra_block(&mut self, info: GeoInfo) -> Prefix {
+        let p = Prefix::new(self.next_infra_24 << 8, 24);
+        self.next_infra_24 += 1;
+        self.geodb.insert(p, info);
+        self.bgp.announce(p, info.asn);
+        p
+    }
+
+    /// Demand-weighted great-circle distance between each block and each of
+    /// its LDNSes — the §3.2 client–LDNS distance observations, restricted
+    /// by an LDNS filter. Returns `(distance_miles, demand)` pairs.
+    pub fn client_ldns_distances(
+        &self,
+        mut ldns_filter: impl FnMut(&Resolver) -> bool,
+    ) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        for b in &self.blocks {
+            for (rid, w) in &b.ldns {
+                let r = self.resolver(*rid);
+                if !ldns_filter(r) {
+                    continue;
+                }
+                let d = b.loc.distance_miles(&r.loc);
+                out.push((d, b.demand * w));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eum_geo::{Asn, Country, GeoPoint};
+
+    fn tiny() -> Internet {
+        Internet::generate(InternetConfig::tiny(0x5EED))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.blocks.len(), b.blocks.len());
+        assert_eq!(a.resolvers.len(), b.resolvers.len());
+        for (x, y) in a.blocks.iter().zip(&b.blocks) {
+            assert_eq!(x.prefix, y.prefix);
+            assert_eq!(x.demand, y.demand);
+            assert_eq!(x.ldns, y.ldns);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Internet::generate(InternetConfig::tiny(1));
+        let b = Internet::generate(InternetConfig::tiny(2));
+        let same = a.blocks.len() == b.blocks.len()
+            && a.blocks
+                .iter()
+                .zip(&b.blocks)
+                .all(|(x, y)| x.demand == y.demand);
+        assert!(!same, "seeds 1 and 2 produced identical Internets");
+    }
+
+    #[test]
+    fn every_block_has_ldns_with_unit_weight() {
+        let net = tiny();
+        for b in &net.blocks {
+            assert!(!b.ldns.is_empty(), "block {} has no LDNS", b.prefix);
+            let sum: f64 = b.ldns.iter().map(|(_, w)| w).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "weights sum to {sum}");
+            for (r, w) in &b.ldns {
+                assert!(*w > 0.0);
+                assert!(r.index() < net.resolvers.len());
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_are_geolocatable_and_routable() {
+        let net = tiny();
+        for b in &net.blocks {
+            let gi = net.geodb.lookup(b.client_ip()).expect("block in geodb");
+            assert_eq!(gi.asn, b.asn);
+            assert_eq!(gi.country, b.country);
+            let origin = net.bgp.origin(b.prefix).expect("block covered by BGP");
+            assert_eq!(origin, b.asn);
+        }
+    }
+
+    #[test]
+    fn resolvers_are_geolocatable() {
+        let net = tiny();
+        for r in &net.resolvers {
+            let gi = net.geodb.lookup(r.ip).expect("resolver in geodb");
+            assert_eq!(gi.asn, r.asn);
+        }
+    }
+
+    #[test]
+    fn public_demand_fraction_is_plausible() {
+        // Paper §3.2: "percent of client demand from public resolvers
+        // approaches 8 percent worldwide". The tiny universe is noisy;
+        // accept a broad band around that.
+        let net = Internet::generate(InternetConfig::small(7));
+        let f = net.public_demand_fraction();
+        assert!((0.02..0.40).contains(&f), "public demand fraction {f}");
+    }
+
+    #[test]
+    fn public_clients_are_farther_from_their_ldns() {
+        // The core §3.2 finding: median client–LDNS distance is several
+        // times larger for public-resolver users than overall.
+        let net = Internet::generate(InternetConfig::small(7));
+        let all: eum_stats_free::Ws = net.client_ldns_distances(|_| true).into();
+        let public: eum_stats_free::Ws = net.client_ldns_distances(|r| r.kind.is_public()).into();
+        let m_all = all.median();
+        let m_public = public.median();
+        assert!(
+            m_public > 2.0 * m_all,
+            "public median {m_public} vs overall {m_all}"
+        );
+    }
+
+    /// Minimal weighted-median helper so this crate's tests do not depend
+    /// on eum-stats (which would create a dependency cycle in dev-deps).
+    mod eum_stats_free {
+        pub struct Ws(Vec<(f64, f64)>);
+
+        impl From<Vec<(f64, f64)>> for Ws {
+            fn from(v: Vec<(f64, f64)>) -> Self {
+                Ws(v)
+            }
+        }
+
+        impl Ws {
+            pub fn median(mut self) -> f64 {
+                self.0.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                let total: f64 = self.0.iter().map(|(_, w)| w).sum();
+                let mut cum = 0.0;
+                for (v, w) in &self.0 {
+                    cum += w;
+                    if cum >= total / 2.0 {
+                        return *v;
+                    }
+                }
+                f64::NAN
+            }
+        }
+    }
+
+    #[test]
+    fn enterprise_blocks_span_countries() {
+        let net = Internet::generate(InternetConfig::small(3));
+        let multi = net
+            .ases
+            .iter()
+            .filter(|a| a.tier == AsTier::Enterprise)
+            .filter(|a| {
+                let countries: std::collections::BTreeSet<_> =
+                    a.block_ids().map(|b| net.block(b).country).collect();
+                countries.len() > 1
+            })
+            .count();
+        assert!(multi > 0, "no multi-country enterprise found");
+    }
+
+    #[test]
+    fn ldns_demand_accounts_for_all_demand() {
+        let net = tiny();
+        let by_ldns: f64 = net.ldns_demand().values().sum();
+        let total = net.total_demand();
+        assert!((by_ldns - total).abs() / total < 1e-9);
+    }
+
+    #[test]
+    fn alloc_infra_block_registers_everywhere() {
+        let mut net = tiny();
+        let info = GeoInfo {
+            point: GeoPoint::new(50.0, 8.0),
+            country: Country::Germany,
+            asn: Asn(65_000),
+        };
+        let p = net.alloc_infra_block(info);
+        let q = net.alloc_infra_block(info);
+        assert_ne!(p, q, "allocations must be distinct");
+        assert_eq!(net.geodb.lookup_block(p).unwrap().asn, Asn(65_000));
+        assert_eq!(net.bgp.origin(p), Some(Asn(65_000)));
+    }
+
+    #[test]
+    fn as_demand_matches_block_sum() {
+        let net = tiny();
+        for a in &net.ases {
+            let sum: f64 = a.block_ids().map(|b| net.block(b).demand).sum();
+            assert!((a.demand - sum).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn small_universe_has_all_tiers_and_providers() {
+        let net = tiny();
+        for tier in AsTier::ALL {
+            assert!(net.ases.iter().any(|a| a.tier == *tier), "missing {tier:?}");
+        }
+        assert_eq!(net.providers.len(), 3);
+        for p in &net.providers {
+            assert!(!p.sites.is_empty());
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Recursive resolvers (LDNS) and public resolver providers.
+//!
+//! A *resolver* here is one LDNS endpoint as seen by the authoritative
+//! side: an ISP's regional resolver, an enterprise's central resolver, or
+//! one *site* of a public provider's anycast deployment. Public providers
+//! "use their unicast addresses when communicating with Akamai's
+//! authoritative name servers" (§3.2), so each site is its own endpoint
+//! and can be geolocated — exactly as the paper does.
+
+use crate::ids::{AsId, ProviderId, ResolverId};
+use crate::{Endpoint, LatencyModel};
+use eum_geo::{Asn, Country, GeoPoint};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// What kind of LDNS this endpoint is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResolverKind {
+    /// A resolver site operated by an ISP for its own clients.
+    IspSite {
+        /// The operating AS.
+        owner: AsId,
+    },
+    /// One anycast site of a public resolver provider.
+    PublicSite {
+        /// The provider.
+        provider: ProviderId,
+        /// Site ordinal within the provider.
+        site: u16,
+    },
+    /// An enterprise's centralized resolver.
+    EnterpriseCentral {
+        /// The enterprise AS.
+        owner: AsId,
+    },
+}
+
+impl ResolverKind {
+    /// True when this LDNS belongs to a public resolver provider.
+    pub fn is_public(&self) -> bool {
+        matches!(self, ResolverKind::PublicSite { .. })
+    }
+}
+
+/// One recursive resolver endpoint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Resolver {
+    /// Arena index.
+    pub id: ResolverId,
+    /// Unicast IP the authoritative side sees.
+    pub ip: Ipv4Addr,
+    /// Site location.
+    pub loc: GeoPoint,
+    /// Country of the site.
+    pub country: Country,
+    /// AS announcing the resolver's prefix.
+    pub asn: Asn,
+    /// Kind of LDNS.
+    pub kind: ResolverKind,
+}
+
+impl Resolver {
+    /// The resolver as a latency-model endpoint (infrastructure-grade
+    /// last-mile).
+    pub fn endpoint(&self) -> Endpoint {
+        Endpoint::infra(self.ip, self.loc, self.country, self.asn)
+    }
+}
+
+/// A public resolver provider (Google Public DNS / OpenDNS analogue).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PublicProvider {
+    /// Arena index.
+    pub id: ProviderId,
+    /// Display name.
+    pub name: String,
+    /// The provider's anycast sites (resolver IDs into the resolver arena).
+    pub sites: Vec<ResolverId>,
+    /// Whether the provider forwards EDNS0 Client Subnet. In 2014 Google
+    /// Public DNS and OpenDNS did; many others did not (§4).
+    pub supports_ecs: bool,
+    /// Relative popularity among clients who choose a public resolver.
+    pub popularity: f64,
+}
+
+/// Anycast catchment: routes a client endpoint to one of a provider's (or
+/// ISP's) resolver sites.
+///
+/// IP anycast routes by BGP path selection, which usually — but not always —
+/// matches the nearest site; the paper cites its "many known limitations"
+/// (§3.2, reference \[23\]). The router picks the latency-nearest site except
+/// for a deterministic per-(client-block, site-set) fraction of clients who
+/// are misrouted to the second or third nearest site, and an optional
+/// per-AS "peering quirk" that pins a whole AS to a remote site (modeling
+/// the Singapore/Malaysia example of §3.2).
+#[derive(Debug, Clone, Copy)]
+pub struct AnycastRouter {
+    latency: LatencyModel,
+    /// Probability that a client is not routed to its nearest site.
+    pub misroute_prob: f64,
+}
+
+impl AnycastRouter {
+    /// Creates a router over a latency model with the given misroute rate.
+    pub fn new(latency: LatencyModel, misroute_prob: f64) -> Self {
+        AnycastRouter {
+            latency,
+            misroute_prob: misroute_prob.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Chooses the site index in `sites` the client is routed to.
+    ///
+    /// `noise` must be a stable uniform sample in `[0, 1)` derived from the
+    /// client block (the caller owns hashing), so catchments are stable
+    /// across queries — an anycast catchment does not flap per packet.
+    pub fn route(&self, client: &Endpoint, sites: &[Endpoint], noise: f64) -> usize {
+        assert!(!sites.is_empty(), "anycast route over empty site set");
+        if sites.len() == 1 {
+            return 0;
+        }
+        // Rank sites by RTT.
+        let mut ranked: Vec<(usize, f64)> = sites
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, self.latency.rtt_ms(client, s)))
+            .collect();
+        ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite rtt"));
+        if noise < self.misroute_prob {
+            // Misrouted: second nearest, or third for the unluckiest tenth.
+            let sub = noise / self.misroute_prob;
+            let pick = if sub < 0.9 || ranked.len() < 3 { 1 } else { 2 };
+            ranked[pick.min(ranked.len() - 1)].0
+        } else {
+            ranked[0].0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eum_geo::{Asn, Country, GeoPoint};
+
+    fn ep(ip: u32, lat: f64, lon: f64) -> Endpoint {
+        Endpoint::infra(
+            Ipv4Addr::from(ip),
+            GeoPoint::new(lat, lon),
+            Country::UnitedStates,
+            Asn(1),
+        )
+    }
+
+    fn sites() -> Vec<Endpoint> {
+        vec![
+            ep(0x01000001, 40.7, -74.0),  // NYC
+            ep(0x01000002, 34.0, -118.2), // LA
+            ep(0x01000003, 51.5, -0.1),   // London
+        ]
+    }
+
+    #[test]
+    fn routes_to_nearest_without_noise() {
+        let r = AnycastRouter::new(LatencyModel::new(1), 0.1);
+        let boston = ep(0x02000001, 42.36, -71.06);
+        assert_eq!(r.route(&boston, &sites(), 0.99), 0);
+        let sf = ep(0x02000002, 37.77, -122.42);
+        assert_eq!(r.route(&sf, &sites(), 0.99), 1);
+    }
+
+    #[test]
+    fn misroute_picks_second_nearest() {
+        let r = AnycastRouter::new(LatencyModel::new(1), 0.1);
+        let boston = ep(0x02000001, 42.36, -71.06);
+        // noise < misroute_prob and sub-noise < 0.9 ⇒ second nearest (LA).
+        assert_eq!(r.route(&boston, &sites(), 0.05), 1);
+        // Unluckiest tail ⇒ third nearest (London).
+        assert_eq!(r.route(&boston, &sites(), 0.099), 2);
+    }
+
+    #[test]
+    fn single_site_always_wins() {
+        let r = AnycastRouter::new(LatencyModel::new(1), 1.0);
+        let c = ep(0x02000001, 0.0, 0.0);
+        assert_eq!(r.route(&c, &sites()[..1], 0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty site set")]
+    fn empty_site_set_panics() {
+        let r = AnycastRouter::new(LatencyModel::new(1), 0.0);
+        let c = ep(0x02000001, 0.0, 0.0);
+        let _ = r.route(&c, &[], 0.5);
+    }
+
+    #[test]
+    fn route_is_deterministic() {
+        let r = AnycastRouter::new(LatencyModel::new(1), 0.2);
+        let c = ep(0x02000001, 48.8, 2.3);
+        let s = sites();
+        assert_eq!(r.route(&c, &s, 0.42), r.route(&c, &s, 0.42));
+    }
+}

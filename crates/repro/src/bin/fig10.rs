@@ -1,0 +1,9 @@
+//! Reproduces Figure 10 of the paper. Pass `--quick` for a smaller world.
+
+use eum_repro::{build_world3, figures3, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let w = build_world3(scale);
+    print!("{}", figures3::fig10(&w, scale));
+}

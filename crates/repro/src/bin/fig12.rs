@@ -1,0 +1,9 @@
+//! Reproduces Figure 12 of the paper. Pass `--quick` for a smaller world.
+
+use eum_repro::{figures4, rollout_report, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let r = rollout_report(scale);
+    print!("{}", figures4::fig12(&r, scale));
+}

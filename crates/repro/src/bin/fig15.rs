@@ -1,0 +1,13 @@
+//! Reproduces Figure 15 of the paper. Pass `--quick` for a smaller world.
+
+use eum_repro::{figures4, rollout_report, Scale};
+use eum_sim::Metric;
+
+fn main() {
+    let scale = Scale::from_args();
+    let r = rollout_report(scale);
+    print!(
+        "{}",
+        figures4::fig_daily(&r, Metric::Rtt, "Figure 15", scale)
+    );
+}

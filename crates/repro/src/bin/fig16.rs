@@ -1,0 +1,10 @@
+//! Reproduces Figure 16 of the paper. Pass `--quick` for a smaller world.
+
+use eum_repro::{figures4, rollout_report, Scale};
+use eum_sim::Metric;
+
+fn main() {
+    let scale = Scale::from_args();
+    let r = rollout_report(scale);
+    print!("{}", figures4::fig_cdf(&r, Metric::Rtt, "Figure 16", scale));
+}

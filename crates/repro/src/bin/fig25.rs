@@ -1,0 +1,10 @@
+//! Reproduces Figure 25 of the paper. Pass `--quick` for a smaller world.
+
+use eum_netmodel::Internet;
+use eum_repro::{figures56, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let net = Internet::generate(scale.internet_config());
+    print!("{}", figures56::fig25(&net, scale));
+}

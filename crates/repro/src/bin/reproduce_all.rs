@@ -1,0 +1,97 @@
+//! Regenerates every figure of the paper in one run.
+//!
+//! Builds the §3 world, replays the roll-out once, runs the §6 study, and
+//! prints all figures; each figure is also written to `results/figXX.txt`
+//! alongside a `results/summary.txt` digest. Pass `--quick` for a smaller
+//! world (minutes instead of tens of minutes).
+
+use eum_netmodel::Internet;
+use eum_repro::{build_world3, figures3, figures4, figures56, rollout_report, Scale};
+use eum_sim::Metric;
+use std::fs;
+use std::path::Path;
+
+fn emit(dir: &Path, name: &str, content: &str) {
+    println!("{content}");
+    let path = dir.join(format!("{name}.txt"));
+    if let Err(e) = fs::write(&path, content) {
+        eprintln!("[repro] could not write {}: {e}", path.display());
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let dir = Path::new("results");
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("[repro] could not create {}: {e}", dir.display());
+    }
+
+    eprintln!("[repro] §3: building the synthetic Internet and NetSession dataset…");
+    let w = build_world3(scale);
+    emit(dir, "fig05", &figures3::fig05(&w, scale));
+    emit(dir, "fig06", &figures3::fig06(&w, scale));
+    emit(dir, "fig07", &figures3::fig07(&w, scale));
+    emit(dir, "fig08", &figures3::fig08(&w, scale));
+    emit(dir, "fig09", &figures3::fig09(&w, scale));
+    emit(dir, "fig10", &figures3::fig10(&w, scale));
+    emit(dir, "fig11", &figures3::fig11(&w, scale));
+    emit(dir, "fig21", &figures3::fig21(&w, scale));
+    emit(dir, "fig22", &figures3::fig22(&w, scale));
+
+    eprintln!("[repro] §4/§5: replaying the roll-out…");
+    let r = rollout_report(scale);
+    emit(dir, "fig02", &figures4::fig02(&r, scale));
+    emit(dir, "fig12", &figures4::fig12(&r, scale));
+    emit(
+        dir,
+        "fig13",
+        &figures4::fig_daily(&r, Metric::MappingDistance, "Figure 13", scale),
+    );
+    emit(
+        dir,
+        "fig14",
+        &figures4::fig_cdf(&r, Metric::MappingDistance, "Figure 14", scale),
+    );
+    emit(
+        dir,
+        "fig15",
+        &figures4::fig_daily(&r, Metric::Rtt, "Figure 15", scale),
+    );
+    emit(
+        dir,
+        "fig16",
+        &figures4::fig_cdf(&r, Metric::Rtt, "Figure 16", scale),
+    );
+    emit(
+        dir,
+        "fig17",
+        &figures4::fig_daily(&r, Metric::Ttfb, "Figure 17", scale),
+    );
+    emit(
+        dir,
+        "fig18",
+        &figures4::fig_cdf(&r, Metric::Ttfb, "Figure 18", scale),
+    );
+    emit(
+        dir,
+        "fig19",
+        &figures4::fig_daily(&r, Metric::Download, "Figure 19", scale),
+    );
+    emit(
+        dir,
+        "fig20",
+        &figures4::fig_cdf(&r, Metric::Download, "Figure 20", scale),
+    );
+    emit(dir, "fig23", &figures4::fig23(&r, scale));
+    emit(dir, "fig24", &figures4::fig24(&r, scale));
+    emit(dir, "summary", &r.summary());
+    if let Err(e) = fs::write(dir.join("summary.json"), r.summary_json()) {
+        eprintln!("[repro] could not write summary.json: {e}");
+    }
+
+    eprintln!("[repro] §6: deployment study…");
+    let net = Internet::generate(scale.internet_config());
+    emit(dir, "fig25", &figures56::fig25(&net, scale));
+
+    eprintln!("[repro] done — outputs in {}/", dir.display());
+}

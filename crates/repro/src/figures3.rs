@@ -1,0 +1,383 @@
+//! §3 figures: clients and their name servers (Figures 5–11) and the
+//! §5.1 mapping-unit analyses (Figures 21–22).
+
+use crate::{f, header, Scale, World3};
+use eum_geo::Country;
+use eum_mapping::{client_clusters, MapUnits};
+use eum_stats::{Cdf, Histogram, LogBins, Table, WeightedSample};
+
+/// Figure 5: histogram of client–LDNS distance (% of client demand).
+pub fn fig05(w: &World3, scale: Scale) -> String {
+    let mut out = header(
+        "Figure 5",
+        "Histogram of client-LDNS distance for clients across the global Internet.",
+        scale,
+    );
+    let sample = w.ds.distance_sample(&w.net, |_, _| true);
+    out.push_str(&distance_histogram(&sample));
+    let mut s = sample.clone();
+    out.push_str(&format!(
+        "\nclients: {} /24 blocks, {} LDNSes; demand-weighted median distance: {} miles\n",
+        w.ds.block_count(),
+        w.ds.ldns_count(),
+        f(s.median().unwrap_or(f64::NAN)),
+    ));
+    out.push_str("paper: ~half of demand within metro distance; bumps at ~250 mi and ~5000 mi; median 162 mi\n");
+    out
+}
+
+/// Figure 6: client–LDNS distance box plots by country (all clients).
+pub fn fig06(w: &World3, scale: Scale) -> String {
+    let mut out = header(
+        "Figure 6",
+        "Client-LDNS distances by country (5/25/50/75/95th percentiles).",
+        scale,
+    );
+    out.push_str(&country_boxplot_table(w, false));
+    out.push_str(
+        "paper: IN/TR/VN/MX medians >1000 mi; KR/TW smallest; JP small median, long tail\n",
+    );
+    out
+}
+
+/// Figure 7: distance histogram for clients of public resolvers.
+pub fn fig07(w: &World3, scale: Scale) -> String {
+    let mut out = header(
+        "Figure 7",
+        "Histogram of the client-LDNS distance for clients who use public resolvers.",
+        scale,
+    );
+    let sample =
+        w.ds.distance_sample(&w.net, |n, r| n.is_public_resolver(r.ldns));
+    out.push_str(&distance_histogram(&sample));
+    let mut s = sample.clone();
+    let mut all = w.ds.distance_sample(&w.net, |_, _| true);
+    out.push_str(&format!(
+        "\npublic-resolver median: {} miles vs overall {} miles\n",
+        f(s.median().unwrap_or(f64::NAN)),
+        f(all.median().unwrap_or(f64::NAN)),
+    ));
+    out.push_str("paper: public median 1028 mi vs 162 mi overall\n");
+    out
+}
+
+/// Figure 8: per-country box plots for public-resolver clients.
+pub fn fig08(w: &World3, scale: Scale) -> String {
+    let mut out = header(
+        "Figure 8",
+        "Client-LDNS distance for clients who use public resolvers.",
+        scale,
+    );
+    out.push_str(&country_boxplot_table(w, true));
+    out.push_str("paper: AR/BR largest (no public-resolver presence in South America); SG/MY partially rerouted by peering; Western Europe / HK / TW relatively close\n");
+    out
+}
+
+/// Figure 9: percent of client demand from public resolvers by country,
+/// plus the §4.5 adoption extrapolation.
+pub fn fig09(w: &World3, scale: Scale) -> String {
+    let mut out = header(
+        "Figure 9",
+        "Percent of client demand originating from public resolvers, by country.",
+        scale,
+    );
+    let mut rows = w.ds.public_demand_percent_by_country(&w.net);
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    let mut t = Table::new(["country", "% public demand"]);
+    for (c, pct) in rows
+        .iter()
+        .filter(|(c, _)| Country::paper_top25().contains(c))
+    {
+        t.row([c.code().to_string(), f(*pct)]);
+    }
+    out.push_str(&t.render());
+    let total_public = 100.0
+        * w.ds
+            .records
+            .iter()
+            .filter(|r| w.net.is_public_resolver(r.ldns))
+            .map(|r| r.weight)
+            .sum::<f64>()
+        / w.ds.total_weight();
+    out.push_str(&format!(
+        "\nworldwide public-resolver demand share: {}%\n",
+        f(total_public)
+    ));
+    out.push_str("paper: VN and TR heaviest; ~8% worldwide\n\n");
+
+    // §4.5: the adoption case for ISPs, computed over non-public pairs.
+    let non_public_total: f64 =
+        w.ds.records
+            .iter()
+            .filter(|r| !w.net.is_public_resolver(r.ldns))
+            .map(|r| r.weight)
+            .sum();
+    let share = |lo: f64, hi: f64| -> f64 {
+        100.0
+            * w.ds
+                .records
+                .iter()
+                .filter(|r| !w.net.is_public_resolver(r.ldns))
+                .filter(|r| r.distance_miles >= lo && r.distance_miles < hi)
+                .map(|r| r.weight)
+                .sum::<f64>()
+            / non_public_total
+    };
+    out.push_str("§4.5 extrapolation (non-public demand by client-LDNS distance):\n");
+    out.push_str(&format!(
+        "  >= 1000 miles: {}% (paper: 6.2%)\n",
+        f(share(1000.0, f64::INFINITY))
+    ));
+    out.push_str(&format!(
+        "  500-1000 miles: {}% (paper: 5.3%)\n",
+        f(share(500.0, 1000.0))
+    ));
+    out.push_str(&format!(
+        "  < 100 miles (little benefit): {}% (paper: ~54% with local LDNS)\n",
+        f(share(0.0, 100.0))
+    ));
+    out
+}
+
+/// Figure 10: median client–LDNS distance vs AS size.
+pub fn fig10(w: &World3, scale: Scale) -> String {
+    let mut out = header(
+        "Figure 10",
+        "Client-LDNS distance as a function of AS size (share of total demand).",
+        scale,
+    );
+    let rows = w.ds.distance_by_as_size(&w.net);
+    let mut t = Table::new(["AS size bucket", "median miles", "ASes"]);
+    for (exp, median, n) in &rows {
+        t.row([format!("2^{exp}"), f(*median), n.to_string()]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "paper: small ASes (who outsource DNS) show much larger distances than large ISPs\n",
+    );
+    out
+}
+
+/// Figure 11: CDFs of cluster radius and mean client–LDNS distance, for
+/// all LDNSes and for public resolvers.
+pub fn fig11(w: &World3, scale: Scale) -> String {
+    let mut out = header(
+        "Figure 11",
+        "CDFs of mean client-LDNS distance and cluster radius, all LDNSes vs public resolvers.",
+        scale,
+    );
+    let clusters = client_clusters(&w.net);
+    let build = |public: Option<bool>, radius: bool| -> Option<Cdf> {
+        let sample: WeightedSample = clusters
+            .iter()
+            .filter(|c| match public {
+                Some(p) => w.net.is_public_resolver(c.ldns) == p,
+                None => true,
+            })
+            .map(|c| {
+                (
+                    if radius {
+                        c.radius
+                    } else {
+                        c.mean_client_ldns_miles
+                    },
+                    c.demand,
+                )
+            })
+            .collect();
+        Cdf::from_sample(&sample)
+    };
+    let series = [
+        ("cluster radius (all LDNS)", build(None, true)),
+        ("client-LDNS mean distance (all LDNS)", build(None, false)),
+        ("cluster radius (public)", build(Some(true), true)),
+        (
+            "client-LDNS mean distance (public)",
+            build(Some(true), false),
+        ),
+    ];
+    let mut t = Table::new([
+        "percentile",
+        "radius all",
+        "dist all",
+        "radius public",
+        "dist public",
+    ]);
+    for q in [0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99] {
+        let cells: Vec<String> = series
+            .iter()
+            .map(|(_, c)| {
+                c.as_ref()
+                    .map(|c| f(c.value_at(q)))
+                    .unwrap_or_else(|| "-".into())
+            })
+            .collect();
+        t.row([
+            format!("p{:02.0}", q * 100.0),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+            cells[3].clone(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\npaper: 99% of public demand comes from clusters with radius 470-3800 mi; public cluster-LDNS distance exceeds the radius (LDNS off-center)\n");
+    out
+}
+
+/// Figure 21: cumulative demand coverage vs number of top units (LDNS vs
+/// /24 client blocks), plus the §5.1 coverage counts.
+pub fn fig21(w: &World3, scale: Scale) -> String {
+    let mut out = header(
+        "Figure 21",
+        "Number of /24 client IP blocks or LDNSes that produce a given percent of total demand.",
+        scale,
+    );
+    let ldns = MapUnits::ldns_units(&w.net);
+    let blocks = MapUnits::block_units(&w.net, 24, false);
+    let mut t = Table::new(["% of demand", "top LDNSes", "top /24 blocks"]);
+    for pct in [10, 25, 50, 75, 90, 95, 99] {
+        t.row([
+            format!("{pct}%"),
+            ldns.units_for_demand_fraction(pct as f64 / 100.0)
+                .to_string(),
+            blocks
+                .units_for_demand_fraction(pct as f64 / 100.0)
+                .to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\ntotals: {} LDNSes, {} /24 blocks with non-zero demand (paper: 584K and 3.76M)\n",
+        ldns.len(),
+        blocks.len()
+    ));
+    out.push_str(
+        "paper: 95% coverage needs 25K LDNSes but 2.2M /24 blocks; 50% needs 1.8K vs 430K\n",
+    );
+    out
+}
+
+/// Figure 22: (a) cluster-radius CDF per /x prefix length and (b) the
+/// number of units per prefix length, with BGP aggregation.
+pub fn fig22(w: &World3, scale: Scale) -> String {
+    let mut out = header(
+        "Figure 22",
+        "Unit-count vs accuracy tradeoff across /x mapping-unit granularities.",
+        scale,
+    );
+    let lens: [u8; 9] = [8, 10, 12, 14, 16, 18, 20, 22, 24];
+    // (a) percent of demand in units with radius <= threshold.
+    let mut ta = Table::new([
+        "prefix",
+        "units",
+        "p50 radius",
+        "p90 radius",
+        "% demand radius<=100mi",
+    ]);
+    let mut counts: Vec<(u8, usize, usize)> = Vec::new();
+    for len in lens {
+        let units = MapUnits::block_units(&w.net, len, false);
+        let agg = MapUnits::block_units(&w.net, len, true);
+        let sample: WeightedSample = units.units.iter().map(|u| (u.radius, u.demand)).collect();
+        let cdf = Cdf::from_sample(&sample).expect("non-empty");
+        ta.row([
+            format!("/{len}"),
+            units.len().to_string(),
+            f(cdf.value_at(0.5)),
+            f(cdf.value_at(0.9)),
+            f(cdf.percent_at(100.0)),
+        ]);
+        counts.push((len, units.len(), agg.len()));
+    }
+    out.push_str("(a) cluster radius per prefix length (demand-weighted):\n");
+    out.push_str(&ta.render());
+    out.push_str("\n(b) number of units (plain vs BGP-aggregated):\n");
+    let mut tb = Table::new(["prefix", "units", "after BGP aggregation"]);
+    for (len, plain, agg) in counts {
+        tb.row([format!("/{len}"), plain.to_string(), agg.to_string()]);
+    }
+    out.push_str(&tb.render());
+    out.push_str(&format!(
+        "\nBGP table: {} announced CIDRs (paper: 517K CIDRs reduce 3.76M /24s to 444K units)\n",
+        w.net.bgp.len()
+    ));
+    out.push_str("paper: /20 is a worthy option — 3x fewer units than /24 with 87.3% of clusters under 100 mi radius\n");
+    out
+}
+
+fn distance_histogram(sample: &WeightedSample) -> String {
+    let mut h = Histogram::log(LogBins::paper_distance_miles());
+    for (v, w) in sample.pairs() {
+        h.add(*v, *w);
+    }
+    let mut t = Table::new(["distance (miles)", "% of demand", "bar"]);
+    for bar in h.bars() {
+        let blocks = "#".repeat((bar.percent.round() as usize).min(60));
+        t.row([
+            format!("{:.0}-{:.0}", bar.lo, bar.hi),
+            f(bar.percent),
+            blocks,
+        ]);
+    }
+    t.render()
+}
+
+fn country_boxplot_table(w: &World3, public_only: bool) -> String {
+    let mut rows =
+        w.ds.country_boxplots(&w.net, Country::paper_top25(), public_only);
+    rows.sort_by(|a, b| b.1.p50.partial_cmp(&a.1.p50).expect("finite"));
+    let mut t = Table::new(["country", "p5", "p25", "p50", "p75", "p95"]);
+    for (c, b) in rows {
+        t.row([
+            c.code().to_string(),
+            f(b.p5),
+            f(b.p25),
+            f(b.p50),
+            f(b.p75),
+            f(b.p95),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_world3;
+
+    fn world() -> World3 {
+        // Quick scale keeps these smoke tests fast.
+        build_world3(Scale::Quick)
+    }
+
+    #[test]
+    fn section3_figures_render_nonempty() {
+        let w = world();
+        for (name, s) in [
+            ("fig05", fig05(&w, Scale::Quick)),
+            ("fig06", fig06(&w, Scale::Quick)),
+            ("fig07", fig07(&w, Scale::Quick)),
+            ("fig08", fig08(&w, Scale::Quick)),
+            ("fig09", fig09(&w, Scale::Quick)),
+            ("fig10", fig10(&w, Scale::Quick)),
+            ("fig11", fig11(&w, Scale::Quick)),
+            ("fig21", fig21(&w, Scale::Quick)),
+            ("fig22", fig22(&w, Scale::Quick)),
+        ] {
+            assert!(s.lines().count() > 6, "{name} output too short:\n{s}");
+            assert!(
+                s.contains("paper:"),
+                "{name} lacks the paper reference line"
+            );
+        }
+    }
+
+    #[test]
+    fn fig22_unit_counts_decrease_with_coarser_prefixes() {
+        let w = world();
+        let s = fig22(&w, Scale::Quick);
+        // The (b) table should show /8 producing fewer units than /24.
+        assert!(s.contains("/8") && s.contains("/24"));
+    }
+}

@@ -1,0 +1,101 @@
+//! §6: the role of server deployments (Figure 25), plus the design-choice
+//! ablations DESIGN.md calls out.
+
+use crate::{f, header, Scale, SEED};
+use eum_mapping::{run_study, Scheme, StudyConfig, StudyRow};
+use eum_netmodel::Internet;
+use eum_stats::Table;
+
+/// The study configuration at a given scale. Paper scale uses the full
+/// 2642-location universe; target count and run count are reduced from
+/// the paper's 8000/100 to keep the runtime in minutes (the averages are
+/// stable well before 100 runs — documented in EXPERIMENTS.md).
+pub fn study_config(scale: Scale) -> StudyConfig {
+    match scale {
+        Scale::Paper => StudyConfig {
+            seed: SEED,
+            universe_size: 2642,
+            ping_targets: 2000,
+            target_cover_miles: 40.0,
+            deployment_counts: vec![40, 80, 160, 320, 640, 1280, 2560],
+            runs: 30,
+        },
+        Scale::Quick => StudyConfig {
+            seed: SEED,
+            universe_size: 400,
+            ping_targets: 400,
+            target_cover_miles: 80.0,
+            deployment_counts: vec![40, 80, 160, 320],
+            runs: 8,
+        },
+    }
+}
+
+/// Figure 25: mean/95th/99th percentile ping latency for NS, EU, and
+/// CANS mapping as a function of deployment count.
+pub fn fig25(net: &Internet, scale: Scale) -> String {
+    let mut out = header(
+        "Figure 25",
+        "Latencies achieved by EU, CANS, and NS mapping as a function of CDN deployment locations.",
+        scale,
+    );
+    let rows = run_study(net, &study_config(scale));
+    out.push_str(&render_rows(&rows));
+    out.push_str("\npaper: all schemes improve with more deployments; means nearly identical; EU clearly best at p95/p99; NS's p99 flattens beyond ~160 locations (stuck near 186 ms) while EU keeps dropping; CANS sits between\n");
+    out
+}
+
+/// Renders study rows as a table with one row per deployment count.
+pub fn render_rows(rows: &[StudyRow]) -> String {
+    let mut t = Table::new([
+        "deployments",
+        "NS mean",
+        "NS p95",
+        "NS p99",
+        "CANS mean",
+        "CANS p95",
+        "CANS p99",
+        "EU mean",
+        "EU p95",
+        "EU p99",
+    ]);
+    let mut counts: Vec<usize> = rows.iter().map(|r| r.deployments).collect();
+    counts.sort_unstable();
+    counts.dedup();
+    for n in counts {
+        let get = |s: Scheme| {
+            rows.iter()
+                .find(|r| r.scheme == s && r.deployments == n)
+                .expect("row exists")
+        };
+        let (ns, cans, eu) = (get(Scheme::Ns), get(Scheme::Cans), get(Scheme::Eu));
+        t.row([
+            n.to_string(),
+            f(ns.mean_ms),
+            f(ns.p95_ms),
+            f(ns.p99_ms),
+            f(cans.mean_ms),
+            f(cans.p95_ms),
+            f(cans.p99_ms),
+            f(eu.mean_ms),
+            f(eu.p95_ms),
+            f(eu.p99_ms),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eum_netmodel::InternetConfig;
+
+    #[test]
+    fn fig25_renders_with_quick_study() {
+        let net = Internet::generate(InternetConfig::tiny(SEED));
+        let s = fig25(&net, Scale::Quick);
+        assert!(s.contains("deployments"));
+        assert!(s.contains("paper:"));
+        assert!(s.lines().count() > 6);
+    }
+}

@@ -1,0 +1,143 @@
+#![warn(missing_docs)]
+
+//! Reproduction harness: one function per figure of the paper.
+//!
+//! Every figure in the evaluation (Figures 2 and 5–25) has a rendering
+//! function here that regenerates the same rows/series from the simulated
+//! world, plus a thin binary (`src/bin/figXX.rs`) that builds the
+//! prerequisites and prints it. `reproduce-all` runs everything off one
+//! shared world/roll-out and writes the outputs under `results/`.
+//!
+//! Figures fall into three prerequisite groups:
+//!
+//! * **§3 figures (5–11, 21, 22)** need only the synthetic Internet and
+//!   the NetSession pair dataset — [`World3`];
+//! * **§4/§5 figures (2, 12–20, 23, 24)** need a full roll-out run —
+//!   [`rollout_report`];
+//! * **§6 (25)** runs the deployment study — [`figures56::fig25`].
+
+pub mod figures3;
+pub mod figures4;
+pub mod figures56;
+
+use eum_netmodel::{Internet, InternetConfig};
+use eum_sim::{PairDataset, RolloutReport, Scenario, ScenarioConfig};
+
+/// The standard seed used by every reproduction binary.
+pub const SEED: u64 = 0x5EED;
+
+/// The effective seed: `--seed <value>` (decimal or 0x-hex) overrides the
+/// default, so sensitivity to the random universe can be checked without
+/// recompiling.
+pub fn effective_seed() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--seed" {
+            let v = &w[1];
+            let parsed = if let Some(hex) = v.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16).ok()
+            } else {
+                v.parse().ok()
+            };
+            match parsed {
+                Some(seed) => return seed,
+                None => eprintln!("[repro] ignoring unparsable --seed {v}"),
+            }
+        }
+    }
+    SEED
+}
+
+/// Scale selector: `Paper` is the default reproduction scale (tens of
+/// thousands of client blocks, 100 clusters, 181 simulated days); `Quick`
+/// is a smaller world for smoke runs (`--quick`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reproduction scale (default).
+    Paper,
+    /// Fast smoke-test scale.
+    Quick,
+}
+
+impl Scale {
+    /// Parses process arguments: `--quick` selects [`Scale::Quick`].
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--quick" || a == "-q") {
+            Scale::Quick
+        } else {
+            Scale::Paper
+        }
+    }
+
+    /// The Internet configuration at this scale (honors `--seed`).
+    pub fn internet_config(&self) -> InternetConfig {
+        match self {
+            Scale::Paper => InternetConfig::paper(effective_seed()),
+            Scale::Quick => InternetConfig::small(effective_seed()),
+        }
+    }
+
+    /// The scenario configuration at this scale (honors `--seed`).
+    pub fn scenario_config(&self) -> ScenarioConfig {
+        match self {
+            Scale::Paper => ScenarioConfig::paper(effective_seed()),
+            Scale::Quick => ScenarioConfig::small(effective_seed()),
+        }
+    }
+
+    /// Short label for output headers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Quick => "quick",
+        }
+    }
+}
+
+/// The §3 world: the synthetic Internet plus the NetSession dataset.
+pub struct World3 {
+    /// The synthetic Internet.
+    pub net: Internet,
+    /// The client–LDNS pair dataset.
+    pub ds: PairDataset,
+}
+
+/// Builds the §3 world at the given scale.
+pub fn build_world3(scale: Scale) -> World3 {
+    let net = Internet::generate(scale.internet_config());
+    let ds = PairDataset::collect(&net);
+    World3 { net, ds }
+}
+
+/// Runs the §4 roll-out scenario at the given scale (minutes at paper
+/// scale; progress goes to stderr).
+pub fn rollout_report(scale: Scale) -> RolloutReport {
+    eprintln!(
+        "[repro] building scenario ({}) and replaying the roll-out; this takes a while…",
+        scale.label()
+    );
+    let scenario = Scenario::build(scale.scenario_config());
+    let report = scenario.run_rollout();
+    eprintln!("[repro] roll-out done: {} RUM samples", report.rum.len());
+    report
+}
+
+/// Renders a standard figure header.
+pub fn header(fig: &str, caption: &str, scale: Scale) -> String {
+    format!(
+        "=== {fig} ({} scale, seed {:#x}) ===\n{caption}\n\n",
+        scale.label(),
+        effective_seed(),
+    )
+}
+
+/// Formats a float with sensible width for tables.
+pub fn f(v: f64) -> String {
+    if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}

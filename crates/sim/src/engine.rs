@@ -1,0 +1,213 @@
+//! A minimal discrete-event simulation engine.
+//!
+//! Time is milliseconds from scenario start ([`SimTime`]). The queue is a
+//! stable priority queue: events at equal times dequeue in insertion
+//! order, which keeps the whole simulation deterministic — a property
+//! every reproduction binary depends on (same seed ⇒ same figures).
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation time in milliseconds since scenario start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Milliseconds per simulated day.
+    pub const DAY_MS: u64 = 24 * 60 * 60 * 1000;
+
+    /// Start of a given day index.
+    pub fn from_days(days: u32) -> SimTime {
+        SimTime(days as u64 * Self::DAY_MS)
+    }
+
+    /// The day index containing this instant.
+    pub fn day(&self) -> u32 {
+        (self.0 / Self::DAY_MS) as u32
+    }
+
+    /// Milliseconds value.
+    pub fn ms(&self) -> u64 {
+        self.0
+    }
+
+    /// This instant plus `ms` milliseconds.
+    pub fn plus_ms(&self, ms: u64) -> SimTime {
+        SimTime(self.0 + ms)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    time: SimTime,
+    seq: u64,
+}
+
+/// A deterministic min-time event queue.
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(Key, EventSlot)>>,
+    events: Vec<Option<E>>,
+    free: Vec<usize>,
+    seq: u64,
+}
+
+/// Index into the event arena (keeps `E: Ord` off the requirements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EventSlot(usize);
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            events: Vec::new(),
+            free: Vec::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.events[i] = Some(event);
+                i
+            }
+            None => {
+                self.events.push(Some(event));
+                self.events.len() - 1
+            }
+        };
+        let key = Key {
+            time,
+            seq: self.seq,
+        };
+        self.seq += 1;
+        self.heap.push(Reverse((key, EventSlot(slot))));
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse((key, slot)) = self.heap.pop()?;
+        let event = self.events[slot.0]
+            .take()
+            .expect("slot holds the scheduled event");
+        self.free.push(slot.0);
+        Some((key.time, event))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((k, _))| k.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simtime_day_arithmetic() {
+        let t = SimTime::from_days(3).plus_ms(5_000);
+        assert_eq!(t.day(), 3);
+        assert_eq!(t.ms(), 3 * SimTime::DAY_MS + 5_000);
+        assert_eq!(SimTime(SimTime::DAY_MS - 1).day(), 0);
+        assert_eq!(SimTime(SimTime::DAY_MS).day(), 1);
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(30), "c");
+        q.schedule(SimTime(10), "a");
+        q.schedule(SimTime(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime(42), ());
+        assert_eq!(q.peek_time(), Some(SimTime(42)));
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime(42));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut q = EventQueue::new();
+        for round in 0..50 {
+            q.schedule(SimTime(round), round);
+            let _ = q.pop();
+        }
+        assert!(q.events.len() <= 2, "arena grew to {}", q.events.len());
+    }
+
+    mod prop_tests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The queue dequeues in (time, insertion order) against a
+            /// reference stable sort, under arbitrary interleavings.
+            #[test]
+            fn matches_stable_sort(times in proptest::collection::vec(0u64..100, 0..80)) {
+                let mut q = EventQueue::new();
+                for (i, t) in times.iter().enumerate() {
+                    q.schedule(SimTime(*t), i);
+                }
+                let mut expect: Vec<(u64, usize)> =
+                    times.iter().enumerate().map(|(i, t)| (*t, i)).collect();
+                expect.sort_by_key(|(t, i)| (*t, *i));
+                let got: Vec<(u64, usize)> =
+                    std::iter::from_fn(|| q.pop().map(|(t, e)| (t.0, e))).collect();
+                prop_assert_eq!(got, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), 1);
+        q.schedule(SimTime(30), 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.schedule(SimTime(20), 2);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop(), None);
+    }
+}

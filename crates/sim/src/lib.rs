@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Simulation: workload, measurement substrates, and the roll-out.
+//!
+//! This crate drives everything the paper *measures*:
+//!
+//! * [`engine`] — a deterministic discrete-event queue and simulated time;
+//! * [`workload`] — page-view generation (alias-method demand sampling,
+//!   Zipf domains, weekly/growth modulation);
+//! * [`network`] — the authoritative-DNS transport with query metering;
+//! * [`client`] — the HTTP side of a page load against the CDN;
+//! * [`netsession`] — the §3.1 client–LDNS pair collection and all §3
+//!   analyses;
+//! * [`rum`] — the §4.2 real-user-measurement stream and its slicing;
+//! * [`rollout`] / [`scenario`] — the §4 roll-out timeline: build the
+//!   world, replay January–June 2014, flip ECS on for public resolvers in
+//!   the March 28 – April 15 window, and report every figure's inputs.
+
+pub mod client;
+pub mod engine;
+pub mod netsession;
+pub mod network;
+pub mod rollout;
+pub mod rum;
+pub mod scenario;
+pub mod workload;
+
+pub use client::{fetch_page, FetchOutcome};
+pub use engine::{EventQueue, SimTime};
+pub use netsession::{PairDataset, PairRecord};
+pub use network::{AuthNet, QueryCounters};
+pub use rollout::{AmplificationBucket, RolloutConfig, RolloutReport};
+pub use rum::{Metric, RumCollector, RumSample};
+pub use scenario::{Scenario, ScenarioConfig};
+pub use workload::{AliasTable, PageView, Workload, WorkloadConfig};

@@ -1,0 +1,263 @@
+//! The Real User Measurement (RUM) substrate (§4.2).
+//!
+//! The paper's client-side metrics come from JavaScript injected into
+//! delivered pages, reporting navigation-timing milestones to a backend.
+//! Here, every simulated page load emits a [`RumSample`] with the four
+//! §4.1 metrics plus the grouping attributes the analysis sections slice
+//! by (day, country, expectation group, public-resolver usage).
+
+use eum_geo::Country;
+use eum_stats::{Cdf, DailySeries, WeightedSample};
+use serde::{Deserialize, Serialize};
+
+/// The metric being analyzed (paper §4.1's four metrics, plus DNS time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Great-circle client ↔ assigned-server distance, miles.
+    MappingDistance,
+    /// TCP round-trip time between client and assigned server, ms.
+    Rtt,
+    /// Time to first byte, ms.
+    Ttfb,
+    /// Content download time, ms.
+    Download,
+    /// DNS resolution time observed by the client, ms.
+    Dns,
+}
+
+impl Metric {
+    /// Display name matching the paper's figure captions.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Metric::MappingDistance => "Mapping distance (miles)",
+            Metric::Rtt => "RTT (ms)",
+            Metric::Ttfb => "Time to first byte (ms)",
+            Metric::Download => "Content download time (ms)",
+            Metric::Dns => "DNS resolution time (ms)",
+        }
+    }
+}
+
+/// One page-load measurement.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RumSample {
+    /// Day index from scenario start.
+    pub day: u32,
+    /// Client country.
+    pub country: Country,
+    /// Whether the client's country is in the high-expectation group
+    /// (§4.1.1).
+    pub high_expectation: bool,
+    /// Whether this load's LDNS was a public resolver.
+    pub public_resolver: bool,
+    /// Whether this load's LDNS belongs to an ECS-capable provider — the
+    /// paper's "qualified clients" are users of the providers the roll-out
+    /// actually reached (Google Public DNS / OpenDNS analogues).
+    pub ecs_capable_resolver: bool,
+    /// Mapping distance, miles.
+    pub mapping_distance_miles: f64,
+    /// Client↔server RTT, ms.
+    pub rtt_ms: f64,
+    /// Time to first byte, ms.
+    pub ttfb_ms: f64,
+    /// Content download time, ms.
+    pub download_ms: f64,
+    /// DNS resolution time, ms.
+    pub dns_ms: f64,
+    /// Catalog domain loaded.
+    pub domain: u32,
+    /// Great-circle distance from the client block to the LDNS used for
+    /// this load, miles (for §4.5's distance-band extrapolation).
+    pub client_ldns_miles: f64,
+}
+
+impl RumSample {
+    /// Extracts a metric value.
+    pub fn metric(&self, m: Metric) -> f64 {
+        match m {
+            Metric::MappingDistance => self.mapping_distance_miles,
+            Metric::Rtt => self.rtt_ms,
+            Metric::Ttfb => self.ttfb_ms,
+            Metric::Download => self.download_ms,
+            Metric::Dns => self.dns_ms,
+        }
+    }
+}
+
+/// Cumulative month boundaries for the simulated Jan–Jun 2014 window:
+/// day indices at which each month ends (exclusive).
+pub const MONTH_ENDS_2014H1: [u32; 6] = [31, 59, 90, 120, 151, 181];
+
+/// Month names for reporting.
+pub const MONTH_NAMES_2014H1: [&str; 6] = ["Jan", "Feb", "Mar", "Apr", "May", "Jun"];
+
+/// The month index (0 = January) containing a day, or `None` past June.
+pub fn month_of_day(day: u32) -> Option<usize> {
+    MONTH_ENDS_2014H1.iter().position(|end| day < *end)
+}
+
+/// The collected RUM stream with the slicing operations the §4 figures
+/// need.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RumCollector {
+    /// All samples in arrival order.
+    pub samples: Vec<RumSample>,
+}
+
+impl RumCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a sample.
+    pub fn push(&mut self, sample: RumSample) {
+        self.samples.push(sample);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Daily mean series of a metric over samples passing `filter`
+    /// (Figures 13, 15, 17, 19).
+    pub fn daily_series(
+        &self,
+        metric: Metric,
+        mut filter: impl FnMut(&RumSample) -> bool,
+    ) -> DailySeries {
+        let mut s = DailySeries::new();
+        for r in self.samples.iter().filter(|r| filter(r)) {
+            s.add(r.day, r.metric(metric));
+        }
+        s
+    }
+
+    /// CDF of a metric over samples within `[from_day, to_day)` passing
+    /// `filter` (Figures 14, 16, 18, 20).
+    pub fn cdf(
+        &self,
+        metric: Metric,
+        from_day: u32,
+        to_day: u32,
+        mut filter: impl FnMut(&RumSample) -> bool,
+    ) -> Option<Cdf> {
+        let sample: WeightedSample = self
+            .samples
+            .iter()
+            .filter(|r| r.day >= from_day && r.day < to_day && filter(r))
+            .map(|r| r.metric(metric))
+            .collect();
+        Cdf::from_sample(&sample)
+    }
+
+    /// Sample counts per month split by expectation group (Figure 12):
+    /// returns `(month name, high count, low count)` rows.
+    pub fn monthly_counts(&self) -> Vec<(&'static str, u64, u64)> {
+        let mut high = [0u64; 6];
+        let mut low = [0u64; 6];
+        for r in &self.samples {
+            if let Some(m) = month_of_day(r.day) {
+                if r.high_expectation {
+                    high[m] += 1;
+                } else {
+                    low[m] += 1;
+                }
+            }
+        }
+        MONTH_NAMES_2014H1
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (*n, high[i], low[i]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(day: u32, high: bool, rtt: f64) -> RumSample {
+        RumSample {
+            day,
+            country: Country::India,
+            high_expectation: high,
+            public_resolver: true,
+            ecs_capable_resolver: true,
+            mapping_distance_miles: 100.0,
+            rtt_ms: rtt,
+            ttfb_ms: 500.0,
+            download_ms: 200.0,
+            dns_ms: 30.0,
+            domain: 0,
+            client_ldns_miles: 500.0,
+        }
+    }
+
+    #[test]
+    fn month_boundaries_follow_2014_calendar() {
+        assert_eq!(month_of_day(0), Some(0)); // Jan 1
+        assert_eq!(month_of_day(30), Some(0)); // Jan 31
+        assert_eq!(month_of_day(31), Some(1)); // Feb 1
+        assert_eq!(month_of_day(86), Some(2)); // Mar 28 (roll-out start)
+        assert_eq!(month_of_day(104), Some(3)); // Apr 15 (roll-out end)
+        assert_eq!(month_of_day(180), Some(5)); // Jun 30
+        assert_eq!(month_of_day(181), None);
+    }
+
+    #[test]
+    fn metric_extraction() {
+        let s = sample(0, true, 120.0);
+        assert_eq!(s.metric(Metric::Rtt), 120.0);
+        assert_eq!(s.metric(Metric::Ttfb), 500.0);
+        assert_eq!(s.metric(Metric::MappingDistance), 100.0);
+        assert_eq!(s.metric(Metric::Download), 200.0);
+        assert_eq!(s.metric(Metric::Dns), 30.0);
+    }
+
+    #[test]
+    fn daily_series_filters_and_averages() {
+        let mut c = RumCollector::new();
+        c.push(sample(0, true, 100.0));
+        c.push(sample(0, true, 200.0));
+        c.push(sample(0, false, 999.0));
+        c.push(sample(2, true, 50.0));
+        let s = c.daily_series(Metric::Rtt, |r| r.high_expectation);
+        let pts = s.points();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].mean, 150.0);
+        assert_eq!(pts[1].mean, 50.0);
+    }
+
+    #[test]
+    fn cdf_respects_day_window() {
+        let mut c = RumCollector::new();
+        for day in 0..10 {
+            c.push(sample(day, true, day as f64));
+        }
+        let cdf = c.cdf(Metric::Rtt, 5, 10, |_| true).unwrap();
+        assert_eq!(cdf.value_at(0.0), 5.0);
+        assert_eq!(cdf.value_at(1.0), 9.0);
+        assert!(c.cdf(Metric::Rtt, 20, 30, |_| true).is_none());
+    }
+
+    #[test]
+    fn monthly_counts_split_groups() {
+        let mut c = RumCollector::new();
+        c.push(sample(0, true, 1.0)); // Jan high
+        c.push(sample(0, false, 1.0)); // Jan low
+        c.push(sample(40, true, 1.0)); // Feb high
+        c.push(sample(200, true, 1.0)); // past June: dropped
+        let rows = c.monthly_counts();
+        assert_eq!(rows[0], ("Jan", 1, 1));
+        assert_eq!(rows[1], ("Feb", 1, 0));
+        let total: u64 = rows.iter().map(|(_, h, l)| h + l).sum();
+        assert_eq!(total, 3);
+    }
+}

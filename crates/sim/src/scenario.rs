@@ -1,0 +1,650 @@
+//! Scenario assembly: one call builds the entire world of the paper.
+//!
+//! [`Scenario::build`] generates the synthetic Internet, the content
+//! catalog, the CDN deployment, the mapping system, one caching recursive
+//! resolver per LDNS, the content providers' own DNS (which CNAMEs their
+//! `www` names into the CDN domain, §2.2), and a root name server that
+//! glues the zones together. [`Scenario::run_rollout`] then replays the
+//! §4 timeline and returns the [`RolloutReport`].
+
+use crate::client::fetch_page;
+use crate::engine::{EventQueue, SimTime};
+use crate::netsession::PairDataset;
+use crate::network::{AuthNet, QueryCounters};
+use crate::rollout::{RolloutConfig, RolloutReport};
+use crate::rum::{RumCollector, RumSample};
+use crate::workload::{Workload, WorkloadConfig};
+use eum_cdn::{deployment_universe, CatalogConfig, CdnPlatform, ContentCatalog, DeployConfig};
+use eum_dns::name::name;
+use eum_dns::{EcsMode, Rcode, Record, RecursiveResolver, ResolverConfig, StaticAuthority};
+use eum_geo::GeoInfo;
+use eum_mapping::{MappingConfig, MappingSystem};
+use eum_netmodel::{Endpoint, Internet, InternetConfig, ResolverId};
+use rand::{RngExt, SeedableRng};
+use std::collections::{BTreeSet, HashMap};
+use std::net::Ipv4Addr;
+
+/// Everything needed to build a scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Synthetic-Internet parameters.
+    pub internet: InternetConfig,
+    /// Content-catalog parameters.
+    pub catalog: CatalogConfig,
+    /// Number of CDN deployment locations.
+    pub n_clusters: usize,
+    /// Servers per cluster.
+    pub servers_per_cluster: usize,
+    /// Cache objects per server.
+    pub cache_objects: usize,
+    /// Capacity headroom: total cluster capacity = headroom × demand.
+    pub capacity_headroom: f64,
+    /// Mapping-system parameters.
+    pub mapping: MappingConfig,
+    /// Roll-out timeline.
+    pub rollout: RolloutConfig,
+}
+
+impl ScenarioConfig {
+    /// Minimal scenario for unit tests (runs in under a second).
+    pub fn tiny(seed: u64) -> ScenarioConfig {
+        ScenarioConfig {
+            seed,
+            internet: InternetConfig::tiny(seed),
+            catalog: CatalogConfig {
+                seed,
+                n_domains: 6,
+                zipf_s: 0.9,
+            },
+            n_clusters: 10,
+            servers_per_cluster: 3,
+            cache_objects: 512,
+            capacity_headroom: 1.5,
+            mapping: MappingConfig {
+                max_ping_targets: 60,
+                ..MappingConfig::default()
+            },
+            rollout: RolloutConfig::quick(),
+        }
+    }
+
+    /// Mid-size scenario for examples and integration tests.
+    pub fn small(seed: u64) -> ScenarioConfig {
+        ScenarioConfig {
+            seed,
+            internet: InternetConfig::small(seed),
+            catalog: CatalogConfig {
+                seed,
+                n_domains: 40,
+                zipf_s: 0.9,
+            },
+            n_clusters: 40,
+            servers_per_cluster: 4,
+            cache_objects: 2048,
+            capacity_headroom: 1.5,
+            mapping: MappingConfig {
+                max_ping_targets: 400,
+                ..MappingConfig::default()
+            },
+            rollout: RolloutConfig {
+                workload: WorkloadConfig {
+                    views_per_day: 4_000.0,
+                    ..WorkloadConfig::default()
+                },
+                ..RolloutConfig::paper()
+            },
+        }
+    }
+
+    /// The scale used by the reproduction binaries.
+    pub fn paper(seed: u64) -> ScenarioConfig {
+        ScenarioConfig {
+            seed,
+            internet: InternetConfig::paper(seed),
+            catalog: CatalogConfig::paper(seed),
+            n_clusters: 160,
+            servers_per_cluster: 6,
+            cache_objects: 4096,
+            capacity_headroom: 1.5,
+            mapping: MappingConfig {
+                max_ping_targets: 2000,
+                ..MappingConfig::default()
+            },
+            rollout: RolloutConfig {
+                workload: WorkloadConfig {
+                    views_per_day: 15_000.0,
+                    ..WorkloadConfig::default()
+                },
+                ..RolloutConfig::paper()
+            },
+        }
+    }
+}
+
+/// A fully built world.
+pub struct Scenario {
+    /// The configuration.
+    pub cfg: ScenarioConfig,
+    /// The synthetic Internet.
+    pub net: Internet,
+    /// The hosted-content catalog.
+    pub catalog: ContentCatalog,
+    /// The CDN platform.
+    pub cdn: CdnPlatform,
+    /// The mapping system.
+    pub mapping: MappingSystem,
+    /// One caching recursive resolver per LDNS (indexed by `ResolverId`).
+    pub resolvers: Vec<RecursiveResolver>,
+    /// Static authorities by server IP (root + provider DNS).
+    pub static_auths: HashMap<Ipv4Addr, StaticAuthority>,
+    /// Endpoints of all authoritative server IPs.
+    pub endpoints: HashMap<Ipv4Addr, Endpoint>,
+    /// The root name server's IP.
+    pub root_ip: Ipv4Addr,
+    /// Public resolver sites eligible for the ECS roll-out (providers
+    /// that support ECS), in deterministic flip order.
+    pub ecs_eligible: Vec<ResolverId>,
+}
+
+impl Scenario {
+    /// Builds the world. Deterministic in `cfg.seed`.
+    pub fn build(cfg: ScenarioConfig) -> Scenario {
+        let mut net = Internet::generate(cfg.internet.clone());
+        let catalog = ContentCatalog::generate(&cfg.catalog);
+
+        // CDN deployment. Capacity is provisioned where demand is: each
+        // block contributes to its nearest cluster, and a cluster's
+        // capacity is `headroom ×` the demand in its catchment (plus a
+        // floor so cold-region clusters can still absorb failover). A
+        // uniform split would starve hot metros and force the load
+        // balancer to scatter their mapping units across the globe.
+        let sites = deployment_universe(cfg.seed, cfg.n_clusters);
+        let mut cdn = CdnPlatform::deploy(
+            &mut net,
+            &sites,
+            &DeployConfig {
+                servers_per_cluster: cfg.servers_per_cluster,
+                cache_objects_per_server: cfg.cache_objects,
+                cluster_capacity: 0.0, // set per cluster below
+            },
+        );
+        {
+            let mut catchment = vec![0.0f64; cdn.cluster_count()];
+            for b in &net.blocks {
+                let nearest = cdn
+                    .clusters
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, x), (_, y)| {
+                        x.loc
+                            .distance_miles(&b.loc)
+                            .partial_cmp(&y.loc.distance_miles(&b.loc))
+                            .expect("finite distances")
+                    })
+                    .expect("clusters exist")
+                    .0;
+                catchment[nearest] += b.demand;
+            }
+            let floor = net.total_demand() * 0.2 / cdn.cluster_count() as f64;
+            for (i, c) in cdn.clusters.iter_mut().enumerate() {
+                c.capacity = cfg.capacity_headroom * catchment[i] + floor;
+            }
+        }
+
+        // Mapping system over the CDN.
+        let mapping = MappingSystem::build(
+            &mut net,
+            &cdn,
+            &catalog,
+            name("cdn.example"),
+            cfg.mapping.clone(),
+        );
+
+        let mut endpoints: HashMap<Ipv4Addr, Endpoint> = HashMap::new();
+        // Mapping NS endpoints: top-level at the first cluster, low-level
+        // NS inside each cluster.
+        let top_ip = mapping.top_level_ip();
+        endpoints.insert(
+            top_ip,
+            Endpoint::infra(
+                top_ip,
+                cdn.cluster(eum_cdn::ClusterId(0)).loc,
+                cdn.cluster(eum_cdn::ClusterId(0)).country,
+                eum_cdn::CDN_ASN,
+            ),
+        );
+        for c in &cdn.clusters {
+            let ns_ip = Ipv4Addr::from(c.prefix.addr() | 2);
+            endpoints.insert(ns_ip, Endpoint::infra(ns_ip, c.loc, c.country, c.asn));
+        }
+
+        // Content providers' DNS: one authority per distinct origin city
+        // hosting the CNAMEs of every domain originating there.
+        let mut static_auths: HashMap<Ipv4Addr, StaticAuthority> = HashMap::new();
+        let mut origin_ns: HashMap<(u64, u64), Ipv4Addr> = HashMap::new();
+        let mut root = StaticAuthority::new();
+        // Root name server placed at a US east-coast interconnect.
+        let root_prefix = net.alloc_infra_block(GeoInfo {
+            point: eum_geo::GeoPoint::new(38.9, -77.0),
+            country: eum_geo::Country::UnitedStates,
+            asn: eum_geo::Asn(42),
+        });
+        let root_ip = Ipv4Addr::from(root_prefix.addr() | 1);
+        endpoints.insert(
+            root_ip,
+            Endpoint::infra(
+                root_ip,
+                eum_geo::GeoPoint::new(38.9, -77.0),
+                eum_geo::Country::UnitedStates,
+                eum_geo::Asn(42),
+            ),
+        );
+
+        for d in &catalog.domains {
+            // Locate (or create) the origin city's provider-DNS server.
+            let key = (d.origin_loc.lat().to_bits(), d.origin_loc.lon().to_bits());
+            let ns_ip = match origin_ns.get(&key) {
+                Some(ip) => *ip,
+                None => {
+                    let p = net.alloc_infra_block(GeoInfo {
+                        point: d.origin_loc,
+                        country: d.origin_country,
+                        asn: eum_geo::Asn(43),
+                    });
+                    let ip = Ipv4Addr::from(p.addr() | 53);
+                    origin_ns.insert(key, ip);
+                    endpoints.insert(
+                        ip,
+                        Endpoint::infra(ip, d.origin_loc, d.origin_country, eum_geo::Asn(43)),
+                    );
+                    static_auths.insert(ip, StaticAuthority::new());
+                    ip
+                }
+            };
+            let auth = static_auths
+                .get_mut(&ns_ip)
+                .expect("authority just ensured");
+            auth.add(Record::cname(
+                d.www_name.clone(),
+                86_400,
+                d.cdn_name.clone(),
+            ));
+            // Root delegates the provider zone (siteN.example) to it.
+            let zone = d.www_name.parent().expect("www names have parents");
+            root.delegate(
+                zone.clone(),
+                zone.child("ns").expect("valid label"),
+                ns_ip,
+                86_400,
+            );
+        }
+        // Root delegates the CDN zone to the mapping top-level.
+        root.delegate(name("cdn.example"), name("top.cdn.example"), top_ip, 86_400);
+        static_auths.insert(root_ip, root);
+
+        // One caching recursive resolver per LDNS, ECS off initially.
+        let resolvers: Vec<RecursiveResolver> = net
+            .resolvers
+            .iter()
+            .map(|r| RecursiveResolver::new(r.ip, ResolverConfig::default()))
+            .collect();
+
+        // ECS-eligible public sites, in provider/site order.
+        let ecs_eligible: Vec<ResolverId> = net
+            .providers
+            .iter()
+            .filter(|p| p.supports_ecs)
+            .flat_map(|p| p.sites.iter().copied())
+            .collect();
+
+        Scenario {
+            cfg,
+            net,
+            catalog,
+            cdn,
+            mapping,
+            resolvers,
+            static_auths,
+            endpoints,
+            root_ip,
+            ecs_eligible,
+        }
+    }
+
+    /// Collects the NetSession client–LDNS dataset *through the protocol*
+    /// (§3.1): every client block probes `whoami.cdn.example` via each of
+    /// its LDNSes; the mapping system's name servers answer with the
+    /// unicast IP of the querying resolver, which the client reports.
+    ///
+    /// This is the end-to-end counterpart of [`PairDataset::collect`]
+    /// (which reads the generator's ground truth); the two must agree —
+    /// asserted by the `whoami_collection` integration test.
+    pub fn collect_netsession_via_whoami(&mut self) -> PairDataset {
+        let latency = self.net.latency;
+        let by_ip: HashMap<Ipv4Addr, eum_netmodel::ResolverId> =
+            self.net.resolvers.iter().map(|r| (r.ip, r.id)).collect();
+        let mut counters = QueryCounters::new();
+        let mut records = Vec::new();
+        let mut now_ms = 0u64;
+        let whoami = self.mapping.whoami_name();
+        for bi in 0..self.net.blocks.len() {
+            let block = self.net.blocks[bi].clone();
+            for (rid, w) in &block.ldns {
+                let weight = block.demand * w;
+                if weight <= 0.0 {
+                    continue;
+                }
+                let resolver_info = self.net.resolver(*rid).clone();
+                // whoami answers are TTL-0; space probes past the 1s
+                // minimum cache lifetime so each probe reaches the
+                // authority.
+                now_ms += 2_000;
+                let mut authnet = AuthNet {
+                    mapping: &mut self.mapping,
+                    static_auths: &self.static_auths,
+                    endpoints: &self.endpoints,
+                    latency: &latency,
+                    resolver_ep: resolver_info.endpoint(),
+                    resolver_is_public: resolver_info.kind.is_public(),
+                    root_ip: self.root_ip,
+                    counters: &mut counters,
+                    day: 0,
+                };
+                let res = self.resolvers[rid.index()].resolve(
+                    &whoami,
+                    block.client_ip(),
+                    now_ms,
+                    &mut authnet,
+                );
+                let Some(learned_ip) = res.ips.first() else {
+                    continue;
+                };
+                let Some(learned) = by_ip.get(learned_ip) else {
+                    continue;
+                };
+                let ldns_loc = self.net.resolver(*learned).loc;
+                records.push(crate::netsession::PairRecord {
+                    block: block.id,
+                    ldns: *learned,
+                    weight,
+                    distance_miles: block.loc.distance_miles(&ldns_loc),
+                });
+            }
+        }
+        PairDataset { records }
+    }
+
+    /// Replays the §4 roll-out timeline and returns the report.
+    pub fn run_rollout(mut self) -> RolloutReport {
+        let rollout = self.cfg.rollout.clone();
+        let netsession = PairDataset::collect(&self.net);
+        let high_expectation = netsession.high_expectation_countries(&self.net, 1000.0);
+        let latency = self.net.latency;
+        // The generated stream carries full client demand (measured views
+        // plus unmeasured background lookups); each lookup is RUM-measured
+        // with probability 1/(1+multiplier).
+        let multiplier = rollout.workload.dns_background_multiplier.max(0.0);
+        let measured_prob = 1.0 / (1.0 + multiplier);
+        let full_rate = WorkloadConfig {
+            views_per_day: rollout.workload.views_per_day * (1.0 + multiplier),
+            ..rollout.workload.clone()
+        };
+        let mut workload = Workload::new(&self.net, &self.catalog, full_rate, self.cfg.seed);
+        let mut measure_rng = rand_chacha::ChaCha12Rng::seed_from_u64(self.cfg.seed ^ 0x4D_EA_5E);
+
+        let mut counters = QueryCounters::new();
+        let mut rum = RumCollector::new();
+        let mut failed_views = 0u64;
+        let mut queue: EventQueue<crate::workload::PageView> = EventQueue::new();
+
+        // Snapshot days for the Figure-24 windows.
+        let (pre_from, pre_to) = rollout.pre_window();
+        let (post_from, post_to) = rollout.post_window();
+        let mut snapshots: HashMap<u32, HashMap<(u32, Ipv4Addr), u64>> = HashMap::new();
+        let snapshot_days: BTreeSet<u32> =
+            [pre_from, pre_to, post_from, post_to].into_iter().collect();
+
+        self.mapping.refresh_liveness(&self.cdn);
+
+        let Scenario {
+            ref net,
+            ref catalog,
+            ref mut cdn,
+            ref mut mapping,
+            ref mut resolvers,
+            ref static_auths,
+            ref endpoints,
+            root_ip,
+            ref ecs_eligible,
+            ..
+        } = self;
+
+        for day in 0..rollout.days {
+            if day % 30 == 0 && day > 0 {
+                eprintln!(
+                    "[rollout] day {day}/{}: {} RUM samples, {} mapping queries so far",
+                    rollout.days,
+                    rum.len(),
+                    mapping.stats.queries
+                );
+            }
+            if snapshot_days.contains(&day) {
+                snapshots.insert(day, mapping.stats.per_domain_ldns.clone());
+            }
+            // ECS ramp: flip the first `k` eligible public sites on.
+            let k = (rollout.ramp_fraction(day) * ecs_eligible.len() as f64).round() as usize;
+            for (i, rid) in ecs_eligible.iter().enumerate() {
+                let mode = if i < k {
+                    EcsMode::On {
+                        source_prefix: rollout.ecs_source_prefix,
+                    }
+                } else {
+                    EcsMode::Off
+                };
+                resolvers[rid.index()].set_ecs(mode);
+            }
+            // §8 extension: broad ISP/enterprise adoption from a given day.
+            if rollout.isp_ecs_day.is_some_and(|d| day >= d) {
+                for (i, r) in resolvers.iter_mut().enumerate() {
+                    if !ecs_eligible.contains(&eum_netmodel::ResolverId(i as u32)) {
+                        r.set_ecs(EcsMode::On {
+                            source_prefix: rollout.ecs_source_prefix,
+                        });
+                    }
+                }
+            }
+
+            for view in workload.generate_day(net, day) {
+                queue.schedule(SimTime::from_days(day).plus_ms(view.offset_ms), view);
+            }
+            while let Some((t, view)) = queue.pop() {
+                counters.add_view(day);
+                let block = net.block(view.block);
+                let resolver_info = net.resolver(view.ldns);
+                let resolver_ep = resolver_info.endpoint();
+                let is_public = resolver_info.kind.is_public();
+                let is_ecs_capable = match resolver_info.kind {
+                    eum_netmodel::ResolverKind::PublicSite { provider, .. } => {
+                        net.provider(provider).supports_ecs
+                    }
+                    _ => false,
+                };
+                let domain = &catalog.domains[view.domain as usize];
+
+                // DNS resolution through the LDNS.
+                let mut authnet = AuthNet {
+                    mapping,
+                    static_auths,
+                    endpoints,
+                    latency: &latency,
+                    resolver_ep,
+                    resolver_is_public: is_public,
+                    root_ip,
+                    counters: &mut counters,
+                    day,
+                };
+                let resolution = resolvers[view.ldns.index()].resolve(
+                    &domain.www_name,
+                    block.client_ip(),
+                    t.ms(),
+                    &mut authnet,
+                );
+                if resolution.rcode != Rcode::NoError || resolution.ips.is_empty() {
+                    failed_views += 1;
+                    continue;
+                }
+                // Unmeasured background load stops at DNS: it keeps the
+                // LDNS caches at realistic occupancy but is not a RUM
+                // page view.
+                if !measure_rng.random_bool(measured_prob) {
+                    continue;
+                }
+                let stub_rtt = latency.rtt_ms(&block.endpoint(), &resolver_ep);
+                let dns_ms = stub_rtt + resolution.elapsed_ms;
+
+                // HTTP fetch.
+                match fetch_page(cdn, catalog, &latency, block, view.domain, &resolution.ips) {
+                    Some(outcome) => rum.push(RumSample {
+                        day,
+                        country: block.country,
+                        high_expectation: high_expectation.contains(&block.country),
+                        public_resolver: is_public,
+                        ecs_capable_resolver: is_ecs_capable,
+                        mapping_distance_miles: outcome.mapping_distance_miles,
+                        rtt_ms: outcome.rtt_ms,
+                        ttfb_ms: outcome.ttfb_ms,
+                        download_ms: outcome.download_ms,
+                        dns_ms,
+                        domain: view.domain,
+                        client_ldns_miles: block.loc.distance_miles(&resolver_info.loc),
+                    }),
+                    None => failed_views += 1,
+                }
+            }
+        }
+        // Final snapshot in case a window ends at `days`.
+        snapshots
+            .entry(rollout.days)
+            .or_insert_with(|| mapping.stats.per_domain_ldns.clone());
+
+        let window_counts = |from: u32, to: u32| -> HashMap<(u32, Ipv4Addr), u64> {
+            let start = snapshots.get(&from).cloned().unwrap_or_default();
+            let end = snapshots
+                .get(&to)
+                .cloned()
+                .unwrap_or_else(|| mapping.stats.per_domain_ldns.clone());
+            end.into_iter()
+                .filter_map(|(k, v)| {
+                    let before = start.get(&k).copied().unwrap_or(0);
+                    let delta = v.saturating_sub(before);
+                    (delta > 0).then_some((k, delta))
+                })
+                .collect()
+        };
+        let pair_pre = window_counts(pre_from, pre_to);
+        let pair_post = window_counts(post_from, post_to);
+
+        let public_ldns_ips: BTreeSet<Ipv4Addr> = self
+            .net
+            .resolvers
+            .iter()
+            .filter(|r| r.kind.is_public())
+            .map(|r| r.ip)
+            .collect();
+        let domain_ttls: Vec<u32> = self.catalog.domains.iter().map(|d| d.ttl_s).collect();
+
+        RolloutReport {
+            cfg: rollout,
+            rum,
+            counters,
+            netsession,
+            high_expectation,
+            pair_pre,
+            pair_post,
+            public_ldns_ips,
+            domain_ttls,
+            failed_views,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rum::Metric;
+
+    /// One shared roll-out run: the tests below all read from the same
+    /// report (the run is deterministic, so sharing loses nothing).
+    fn report() -> &'static RolloutReport {
+        static REPORT: std::sync::OnceLock<RolloutReport> = std::sync::OnceLock::new();
+        REPORT.get_or_init(|| Scenario::build(ScenarioConfig::tiny(0x5EED)).run_rollout())
+    }
+
+    #[test]
+    fn tiny_rollout_completes_with_samples() {
+        let r = report();
+        assert!(r.rum.len() > 10_000, "only {} samples", r.rum.len());
+        assert_eq!(r.failed_views, 0, "views failed in a healthy world");
+        assert!(!r.high_expectation.is_empty());
+    }
+
+    #[test]
+    fn public_query_rate_rises_after_rollout() {
+        let r = report();
+        let ((pre_total, pre_public), (post_total, post_public)) = r.query_rate_change();
+        assert!(pre_public > 0.0);
+        // The tiny universe has too few client blocks per public site for
+        // the paper's full 8× step, but the rise must be clear, and the
+        // relative rise of the public share must dominate the total's.
+        assert!(
+            post_public > 1.3 * pre_public,
+            "public queries/day {pre_public:.0} -> {post_public:.0}"
+        );
+        assert!(
+            post_public / pre_public > post_total / pre_total,
+            "public rise must outpace total rise"
+        );
+    }
+
+    #[test]
+    fn mapping_distance_improves_for_high_expectation_group() {
+        let r = report();
+        let (pre, post) = r.before_after(Metric::MappingDistance, true);
+        assert!(pre.is_finite() && post.is_finite());
+        assert!(post < pre, "mapping distance {pre:.0} -> {post:.0}");
+    }
+
+    #[test]
+    fn amplification_buckets_exist_and_popular_pairs_amplify_more() {
+        let r = report();
+        let buckets = r.amplification_buckets();
+        assert!(!buckets.is_empty());
+        let first = buckets.first().unwrap();
+        let last = buckets.last().unwrap();
+        assert!(
+            last.factor >= first.factor,
+            "popular pairs should amplify more: {first:?} vs {last:?}"
+        );
+    }
+
+    #[test]
+    fn summary_mentions_key_numbers() {
+        let r = report();
+        let s = r.summary();
+        assert!(s.contains("RUM samples"));
+        assert!(s.contains("mapping distance"));
+        assert!(s.contains("queries/day"));
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = Scenario::build(ScenarioConfig::tiny(7));
+        let b = Scenario::build(ScenarioConfig::tiny(7));
+        assert_eq!(a.net.blocks.len(), b.net.blocks.len());
+        assert_eq!(a.root_ip, b.root_ip);
+        assert_eq!(a.ecs_eligible, b.ecs_eligible);
+        assert_eq!(a.mapping.top_level_ip(), b.mapping.top_level_ip());
+    }
+}

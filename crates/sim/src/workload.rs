@@ -1,0 +1,313 @@
+//! Workload generation: who loads which page when.
+//!
+//! Page views are drawn per simulated day: the day's view count follows
+//! the configured base rate with week-scale modulation and a linear
+//! growth trend (the paper's measurement volume grows month over month,
+//! Figure 12; total traffic grows through the period, Figures 2 and 23).
+//! Each view samples a client block proportionally to demand (Walker's
+//! alias method — O(1) per draw over tens of thousands of blocks), an
+//! LDNS by the block's usage weights, and a domain by Zipf popularity.
+
+use eum_cdn::ContentCatalog;
+use eum_netmodel::{BlockId, Internet, ResolverId};
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// Walker's alias method for O(1) weighted sampling.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds a table from non-negative weights (at least one positive).
+    pub fn new(weights: &[f64]) -> AliasTable {
+        assert!(!weights.is_empty(), "alias table needs weights");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "alias table needs positive total weight");
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, p) in prob.iter().enumerate() {
+            if *p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Remaining entries are exactly 1 up to rounding.
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when there are no entries (cannot happen after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws an index.
+    pub fn sample(&self, rng: &mut ChaCha12Rng) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random_range(0.0..1.0) < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// One scheduled page view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageView {
+    /// Millisecond offset within the day.
+    pub offset_ms: u64,
+    /// The client block loading the page.
+    pub block: BlockId,
+    /// The LDNS the client uses for this load.
+    pub ldns: ResolverId,
+    /// The catalog domain being loaded.
+    pub domain: u32,
+}
+
+/// Workload parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Mean *measured* (RUM-sampled) page views on day 0.
+    pub views_per_day: f64,
+    /// Linear growth: day `d` has `views_per_day * (1 + growth * d)`.
+    pub daily_growth: f64,
+    /// Weekly modulation amplitude (weekends dip).
+    pub weekly_amplitude: f64,
+    /// Unmeasured client requests per measured view. RUM instruments a
+    /// thin sample of page loads, but *every* load exercises the client's
+    /// LDNS — pre-roll-out cache saturation (≈ 1 query per TTL for popular
+    /// pairs, §5.2) only exists at full demand. The paper's own ratio of
+    /// client requests to DNS queries is ~19:1 (Figure 2: 30M rps vs 1.6M
+    /// qps), which is the default here.
+    pub dns_background_multiplier: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            views_per_day: 5_000.0,
+            daily_growth: 0.004,
+            weekly_amplitude: 0.15,
+            dns_background_multiplier: 19.0,
+        }
+    }
+}
+
+/// The workload generator.
+pub struct Workload {
+    cfg: WorkloadConfig,
+    blocks: AliasTable,
+    domains: AliasTable,
+    rng: ChaCha12Rng,
+}
+
+impl Workload {
+    /// Builds a generator over an Internet and catalog.
+    pub fn new(
+        net: &Internet,
+        catalog: &ContentCatalog,
+        cfg: WorkloadConfig,
+        seed: u64,
+    ) -> Workload {
+        let block_weights: Vec<f64> = net.blocks.iter().map(|b| b.demand).collect();
+        Workload {
+            cfg,
+            blocks: AliasTable::new(&block_weights),
+            domains: AliasTable::new(&catalog.popularity_weights()),
+            rng: ChaCha12Rng::seed_from_u64(seed ^ 0x0030_17AD),
+        }
+    }
+
+    /// Expected views on a given day.
+    pub fn day_rate(&self, day: u32) -> f64 {
+        let weekly = 1.0 - self.cfg.weekly_amplitude * if day % 7 >= 5 { 1.0 } else { 0.0 };
+        self.cfg.views_per_day * (1.0 + self.cfg.daily_growth * day as f64) * weekly
+    }
+
+    /// Generates one day of page views, sorted by time offset.
+    pub fn generate_day(&mut self, net: &Internet, day: u32) -> Vec<PageView> {
+        let expect = self.day_rate(day);
+        // Poisson(expect) via normal approximation for large rates.
+        let count = if expect > 200.0 {
+            let u1: f64 = self.rng.random_range(1e-12..1.0);
+            let u2: f64 = self.rng.random_range(0.0..std::f64::consts::TAU);
+            let z = (-2.0 * u1.ln()).sqrt() * u2.cos();
+            (expect + z * expect.sqrt()).round().max(0.0) as usize
+        } else {
+            // Direct Poisson for small rates.
+            let l = (-expect).exp();
+            let mut k = 0usize;
+            let mut p = 1.0;
+            loop {
+                p *= self.rng.random_range(0.0..1.0);
+                if p <= l {
+                    break k;
+                }
+                k += 1;
+            }
+        };
+        let mut views = Vec::with_capacity(count);
+        for _ in 0..count {
+            let block = BlockId(self.blocks.sample(&mut self.rng) as u32);
+            let info = net.block(block);
+            // LDNS by usage weight.
+            let r: f64 = self.rng.random_range(0.0..1.0);
+            let mut cum = 0.0;
+            let mut ldns = info.ldns[0].0;
+            for (rid, w) in &info.ldns {
+                cum += w;
+                if r <= cum {
+                    ldns = *rid;
+                    break;
+                }
+            }
+            let domain = self.domains.sample(&mut self.rng) as u32;
+            let offset_ms = self.rng.random_range(0..crate::engine::SimTime::DAY_MS);
+            views.push(PageView {
+                offset_ms,
+                block,
+                ldns,
+                domain,
+            });
+        }
+        views.sort_by_key(|v| v.offset_ms);
+        views
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eum_cdn::CatalogConfig;
+    use eum_netmodel::InternetConfig;
+
+    #[test]
+    fn alias_table_matches_weights() {
+        let weights = [1.0, 3.0, 6.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let mut counts = [0usize; 3];
+        let n = 60_000;
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for (i, w) in weights.iter().enumerate() {
+            let expect = w / 10.0;
+            let got = counts[i] as f64 / n as f64;
+            assert!((got - expect).abs() < 0.01, "index {i}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn alias_table_handles_zero_weights() {
+        let table = AliasTable::new(&[0.0, 5.0, 0.0]);
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert_eq!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total")]
+    fn alias_table_rejects_all_zero() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn single_entry_table() {
+        let table = AliasTable::new(&[7.5]);
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        assert_eq!(table.sample(&mut rng), 0);
+    }
+
+    fn workload() -> (Internet, Workload) {
+        let net = Internet::generate(InternetConfig::tiny(0x30));
+        let catalog = ContentCatalog::generate(&CatalogConfig::tiny(0x30));
+        let w = Workload::new(
+            &net,
+            &catalog,
+            WorkloadConfig {
+                views_per_day: 500.0,
+                ..WorkloadConfig::default()
+            },
+            0x30,
+        );
+        (net, w)
+    }
+
+    #[test]
+    fn day_generation_is_sorted_and_plausible() {
+        let (net, mut w) = workload();
+        let views = w.generate_day(&net, 0);
+        assert!(
+            views.len() > 300 && views.len() < 700,
+            "got {}",
+            views.len()
+        );
+        for pair in views.windows(2) {
+            assert!(pair[0].offset_ms <= pair[1].offset_ms);
+        }
+        for v in &views {
+            assert!(v.offset_ms < crate::engine::SimTime::DAY_MS);
+            // LDNS actually belongs to the block.
+            let b = net.block(v.block);
+            assert!(b.ldns.iter().any(|(r, _)| *r == v.ldns));
+        }
+    }
+
+    #[test]
+    fn rate_grows_over_time_and_dips_on_weekends() {
+        let (_, w) = workload();
+        assert!(w.day_rate(100) > w.day_rate(0));
+        // Day 5 and 6 are the weekend of week 0.
+        assert!(w.day_rate(5) < w.day_rate(4));
+    }
+
+    #[test]
+    fn popular_domains_get_more_views() {
+        let (net, mut w) = workload();
+        let mut counts = std::collections::HashMap::new();
+        for day in 0..20 {
+            for v in w.generate_day(&net, day) {
+                *counts.entry(v.domain).or_insert(0usize) += 1;
+            }
+        }
+        let top = counts.get(&0).copied().unwrap_or(0);
+        let tail = counts.get(&11).copied().unwrap_or(0);
+        assert!(
+            top > tail,
+            "domain 0 ({top}) should beat domain 11 ({tail})"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (net, mut w1) = workload();
+        let (_, mut w2) = workload();
+        assert_eq!(w1.generate_day(&net, 0), w2.generate_day(&net, 0));
+    }
+}

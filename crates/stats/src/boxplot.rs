@@ -1,0 +1,82 @@
+//! Box-plot summaries.
+//!
+//! "All box plots in this paper show 5th, 25th, 50th, 75th and 95th
+//! percentiles" (paper, footnote 6). [`BoxPlot`] captures exactly those
+//! five numbers, demand-weighted, and renders the per-country rows of
+//! Figures 6 and 8.
+
+use crate::WeightedSample;
+use serde::{Deserialize, Serialize};
+
+/// The five percentiles the paper draws for every box plot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxPlot {
+    /// 5th percentile (lower whisker).
+    pub p5: f64,
+    /// 25th percentile (box bottom).
+    pub p25: f64,
+    /// 50th percentile (median line).
+    pub p50: f64,
+    /// 75th percentile (box top).
+    pub p75: f64,
+    /// 95th percentile (upper whisker).
+    pub p95: f64,
+}
+
+impl BoxPlot {
+    /// Computes the five-number summary of a weighted sample, or `None`
+    /// when the sample is empty.
+    pub fn from_sample(sample: &WeightedSample) -> Option<BoxPlot> {
+        let mut s = sample.clone();
+        Some(BoxPlot {
+            p5: s.quantile(0.05)?,
+            p25: s.quantile(0.25)?,
+            p50: s.quantile(0.50)?,
+            p75: s.quantile(0.75)?,
+            p95: s.quantile(0.95)?,
+        })
+    }
+
+    /// A compact one-line rendering used in reproduction output.
+    pub fn render(&self) -> String {
+        format!(
+            "p5={:>8.1} p25={:>8.1} p50={:>8.1} p75={:>8.1} p95={:>8.1}",
+            self.p5, self.p25, self.p50, self.p75, self.p95
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_gives_none() {
+        assert!(BoxPlot::from_sample(&WeightedSample::new()).is_none());
+    }
+
+    #[test]
+    fn five_numbers_are_ordered() {
+        let s: WeightedSample = (0..100).map(|i| i as f64).collect();
+        let b = BoxPlot::from_sample(&s).unwrap();
+        assert!(b.p5 <= b.p25 && b.p25 <= b.p50 && b.p50 <= b.p75 && b.p75 <= b.p95);
+        assert_eq!(b.p50, 49.0);
+    }
+
+    #[test]
+    fn degenerate_single_value() {
+        let s: WeightedSample = [7.0].into_iter().collect();
+        let b = BoxPlot::from_sample(&s).unwrap();
+        assert_eq!(b.p5, 7.0);
+        assert_eq!(b.p95, 7.0);
+    }
+
+    #[test]
+    fn render_contains_all_fields() {
+        let s: WeightedSample = [1.0, 2.0, 3.0].into_iter().collect();
+        let r = BoxPlot::from_sample(&s).unwrap().render();
+        for label in ["p5=", "p25=", "p50=", "p75=", "p95="] {
+            assert!(r.contains(label), "missing {label} in {r}");
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Weighted empirical CDFs.
+//!
+//! Used for the paper's cumulative views: Figure 11 (cluster radius /
+//! client–LDNS distance), Figures 14/16/18/20 (before/after roll-out), and
+//! Figures 21/22a (demand coverage and radius per prefix length).
+
+use crate::WeightedSample;
+use serde::{Deserialize, Serialize};
+
+/// An immutable weighted empirical CDF built from a [`WeightedSample`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cdf {
+    /// Sorted (value, cumulative weight) steps; cumulative weight is
+    /// strictly increasing and ends at `total`.
+    steps: Vec<(f64, f64)>,
+    total: f64,
+}
+
+impl Cdf {
+    /// Builds a CDF from a sample. Returns `None` when the sample is empty.
+    pub fn from_sample(sample: &WeightedSample) -> Option<Cdf> {
+        if sample.is_empty() {
+            return None;
+        }
+        let mut pairs: Vec<(f64, f64)> = sample.pairs().to_vec();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite values"));
+        let mut steps: Vec<(f64, f64)> = Vec::with_capacity(pairs.len());
+        let mut cum = 0.0;
+        for (v, w) in pairs {
+            cum += w;
+            match steps.last_mut() {
+                // Merge equal values into one step.
+                Some(last) if last.0 == v => last.1 = cum,
+                _ => steps.push((v, cum)),
+            }
+        }
+        let total = cum;
+        Some(Cdf { steps, total })
+    }
+
+    /// Builds directly from `(value, weight)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (f64, f64)>) -> Option<Cdf> {
+        let sample: WeightedSample = pairs.into_iter().collect();
+        Cdf::from_sample(&sample)
+    }
+
+    /// Total weight.
+    pub fn total_weight(&self) -> f64 {
+        self.total
+    }
+
+    /// Fraction (0..=1) of weight at values `≤ x`.
+    pub fn fraction_at(&self, x: f64) -> f64 {
+        // Binary search for the last step with value <= x.
+        let idx = self.steps.partition_point(|(v, _)| *v <= x);
+        if idx == 0 {
+            0.0
+        } else {
+            self.steps[idx - 1].1 / self.total
+        }
+    }
+
+    /// Percent (0..=100) of weight at values `≤ x`.
+    pub fn percent_at(&self, x: f64) -> f64 {
+        100.0 * self.fraction_at(x)
+    }
+
+    /// Inverse CDF: smallest value with cumulative fraction `≥ q`.
+    pub fn value_at(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.total;
+        let idx = self.steps.partition_point(|(_, c)| *c < target - 1e-12);
+        self.steps[idx.min(self.steps.len() - 1)].0
+    }
+
+    /// Samples the CDF at `n` evenly spaced quantiles (for plotting): the
+    /// returned pairs are `(value, percent ≤ value)`.
+    pub fn percentile_series(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2, "need at least 2 points");
+        (0..n)
+            .map(|i| {
+                let q = i as f64 / (n - 1) as f64;
+                (self.value_at(q), 100.0 * q)
+            })
+            .collect()
+    }
+
+    /// The distinct step values (sorted ascending).
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.steps.iter().map(|(v, _)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> Cdf {
+        Cdf::from_pairs([(1.0, 1.0), (2.0, 1.0), (3.0, 2.0)]).unwrap()
+    }
+
+    #[test]
+    fn empty_sample_gives_none() {
+        assert!(Cdf::from_sample(&WeightedSample::new()).is_none());
+    }
+
+    #[test]
+    fn fraction_at_steps() {
+        let c = simple();
+        assert_eq!(c.fraction_at(0.5), 0.0);
+        assert_eq!(c.fraction_at(1.0), 0.25);
+        assert_eq!(c.fraction_at(2.5), 0.5);
+        assert_eq!(c.fraction_at(3.0), 1.0);
+        assert_eq!(c.fraction_at(99.0), 1.0);
+    }
+
+    #[test]
+    fn value_at_inverts() {
+        let c = simple();
+        assert_eq!(c.value_at(0.0), 1.0);
+        assert_eq!(c.value_at(0.25), 1.0);
+        assert_eq!(c.value_at(0.26), 2.0);
+        assert_eq!(c.value_at(0.5), 2.0);
+        assert_eq!(c.value_at(0.51), 3.0);
+        assert_eq!(c.value_at(1.0), 3.0);
+    }
+
+    #[test]
+    fn equal_values_merge_into_one_step() {
+        let c = Cdf::from_pairs([(5.0, 1.0), (5.0, 3.0)]).unwrap();
+        assert_eq!(c.values().count(), 1);
+        assert_eq!(c.fraction_at(5.0), 1.0);
+    }
+
+    #[test]
+    fn percentile_series_is_monotone() {
+        let c = Cdf::from_pairs((0..100).map(|i| (i as f64, 1.0))).unwrap();
+        let series = c.percentile_series(11);
+        assert_eq!(series.len(), 11);
+        for w in series.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(series[0].1, 0.0);
+        assert_eq!(series[10].1, 100.0);
+    }
+
+    #[test]
+    fn round_trip_fraction_value() {
+        let c = simple();
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let v = c.value_at(q);
+            assert!(c.fraction_at(v) + 1e-12 >= q, "q={q} v={v}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// fraction_at is a monotone non-decreasing step function from 0 to 1.
+        #[test]
+        fn cdf_is_monotone(
+            pairs in proptest::collection::vec((-1e5f64..1e5, 0.01f64..10.0), 1..60),
+            probes in proptest::collection::vec(-2e5f64..2e5, 2..20),
+        ) {
+            let c = Cdf::from_pairs(pairs).unwrap();
+            let mut sorted = probes;
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut prev = 0.0;
+            for x in sorted {
+                let f = c.fraction_at(x);
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&f));
+                prop_assert!(f + 1e-12 >= prev);
+                prev = f;
+            }
+        }
+
+        /// value_at(fraction_at(v)) never exceeds v for values in the support.
+        #[test]
+        fn inverse_consistency(
+            pairs in proptest::collection::vec((-1e5f64..1e5, 0.01f64..10.0), 1..60),
+        ) {
+            let c = Cdf::from_pairs(pairs).unwrap();
+            for v in c.values().collect::<Vec<_>>() {
+                let q = c.fraction_at(v);
+                prop_assert!(c.value_at(q) <= v + 1e-9);
+            }
+        }
+    }
+}

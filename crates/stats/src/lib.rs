@@ -1,0 +1,101 @@
+#![warn(missing_docs)]
+
+//! Statistics helpers shared by the measurement, analysis, and reproduction
+//! crates.
+//!
+//! The paper reports every result as one of a handful of statistical views:
+//! demand-weighted histograms over log-scaled distance (Figs 5, 7), box
+//! plots of 5/25/50/75/95th percentiles (Figs 6, 8), demand-weighted CDFs
+//! (Figs 11, 14, 16, 18, 20, 21, 22a), daily-mean time series (Figs 13, 15,
+//! 17, 19, 23), and bucketed factor plots (Figs 10, 24). This crate
+//! implements those views once, exactly, so that each `repro` binary is a
+//! thin driver.
+
+pub mod boxplot;
+pub mod cdf;
+pub mod hist;
+pub mod quantile;
+pub mod series;
+pub mod table;
+
+pub use boxplot::BoxPlot;
+pub use cdf::Cdf;
+pub use hist::{Histogram, LogBins};
+pub use quantile::WeightedSample;
+pub use series::DailySeries;
+pub use table::Table;
+
+/// Numerically stable (Kahan) mean of an iterator of values.
+///
+/// Returns `None` for an empty iterator.
+pub fn mean(values: impl IntoIterator<Item = f64>) -> Option<f64> {
+    let mut sum = 0.0f64;
+    let mut comp = 0.0f64;
+    let mut n = 0u64;
+    for v in values {
+        let y = v - comp;
+        let t = sum + y;
+        comp = (t - sum) - y;
+        sum = t;
+        n += 1;
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(sum / n as f64)
+    }
+}
+
+/// Weighted mean; ignores non-positive weights. Returns `None` when the
+/// total weight is zero.
+pub fn weighted_mean(pairs: impl IntoIterator<Item = (f64, f64)>) -> Option<f64> {
+    let mut sum = 0.0f64;
+    let mut total = 0.0f64;
+    for (v, w) in pairs {
+        if w > 0.0 {
+            sum += v * w;
+            total += w;
+        }
+    }
+    if total > 0.0 {
+        Some(sum / total)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_none() {
+        assert_eq!(mean(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean([1.0, 2.0, 3.0]), Some(2.0));
+    }
+
+    #[test]
+    fn mean_is_stable_for_large_offsets() {
+        let vals: Vec<f64> = (0..1000).map(|i| 1e9 + (i % 10) as f64 * 0.1).collect();
+        let m = mean(vals.iter().copied()).unwrap();
+        assert!((m - (1e9 + 0.45)).abs() < 1e-6, "got {m}");
+    }
+
+    #[test]
+    fn weighted_mean_basic() {
+        assert_eq!(weighted_mean([(1.0, 1.0), (3.0, 3.0)]), Some(2.5));
+    }
+
+    #[test]
+    fn weighted_mean_ignores_nonpositive_weights() {
+        assert_eq!(
+            weighted_mean([(1.0, 1.0), (100.0, 0.0), (100.0, -5.0)]),
+            Some(1.0)
+        );
+        assert_eq!(weighted_mean([(1.0, 0.0)]), None);
+    }
+}

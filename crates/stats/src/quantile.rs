@@ -1,0 +1,278 @@
+//! Weighted samples and exact weighted quantiles.
+//!
+//! Every distribution in the paper is weighted by *client demand* ("Client
+//! demand is a measure of the amount of content traffic downloaded by a
+//! client", §3.1 fn. 5), so the base abstraction is a collection of
+//! `(value, weight)` pairs with exact quantile extraction.
+
+use serde::{Deserialize, Serialize};
+
+/// A collection of `(value, weight)` observations supporting exact weighted
+/// quantiles, weighted mean, and total weight.
+///
+/// Non-finite values and non-positive weights are silently skipped on
+/// insertion so that one bad sample cannot poison a whole figure.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WeightedSample {
+    pairs: Vec<(f64, f64)>,
+    sorted: bool,
+}
+
+impl WeightedSample {
+    /// Creates an empty sample.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation with weight 1.
+    pub fn push(&mut self, value: f64) {
+        self.push_weighted(value, 1.0);
+    }
+
+    /// Adds a weighted observation. Skips NaN/infinite values and
+    /// non-positive weights.
+    pub fn push_weighted(&mut self, value: f64, weight: f64) {
+        if value.is_finite() && weight > 0.0 && weight.is_finite() {
+            self.pairs.push((value, weight));
+            self.sorted = false;
+        }
+    }
+
+    /// Merges another sample into this one.
+    pub fn extend_from(&mut self, other: &WeightedSample) {
+        self.pairs.extend_from_slice(&other.pairs);
+        self.sorted = false;
+    }
+
+    /// Number of (retained) observations.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when no observations are present.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Total weight.
+    pub fn total_weight(&self) -> f64 {
+        self.pairs.iter().map(|(_, w)| w).sum()
+    }
+
+    /// Weighted mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        crate::weighted_mean(self.pairs.iter().copied())
+    }
+
+    /// Minimum value, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.pairs.iter().map(|(v, _)| *v).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(a) => a.min(v),
+            })
+        })
+    }
+
+    /// Maximum value, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.pairs.iter().map(|(v, _)| *v).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(a) => a.max(v),
+            })
+        })
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.pairs.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .expect("values are finite by construction")
+            });
+            self.sorted = true;
+        }
+    }
+
+    /// Exact weighted quantile for `q` in `[0, 1]`.
+    ///
+    /// Returns the smallest value `v` such that the cumulative weight of
+    /// observations `≤ v` is at least `q` of the total weight — the inverse
+    /// of the weighted empirical CDF. `q = 0` gives the minimum, `q = 1` the
+    /// maximum. Returns `None` when the sample is empty or `q` is out of
+    /// range.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.pairs.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        self.ensure_sorted();
+        let total = self.total_weight();
+        if q == 0.0 {
+            return Some(self.pairs[0].0);
+        }
+        let target = q * total;
+        let mut cum = 0.0;
+        for (v, w) in &self.pairs {
+            cum += w;
+            if cum >= target - 1e-12 {
+                return Some(*v);
+            }
+        }
+        Some(self.pairs.last().expect("non-empty").0)
+    }
+
+    /// Convenience: the weighted median.
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// The raw (value, weight) pairs, unsorted order unspecified.
+    pub fn pairs(&self) -> &[(f64, f64)] {
+        &self.pairs
+    }
+}
+
+impl FromIterator<f64> for WeightedSample {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = WeightedSample::new();
+        for v in iter {
+            s.push(v);
+        }
+        s
+    }
+}
+
+impl FromIterator<(f64, f64)> for WeightedSample {
+    fn from_iter<I: IntoIterator<Item = (f64, f64)>>(iter: I) -> Self {
+        let mut s = WeightedSample::new();
+        for (v, w) in iter {
+            s.push_weighted(v, w);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_yields_none() {
+        let mut s = WeightedSample::new();
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.mean(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn unweighted_median_of_odd_sample() {
+        let mut s: WeightedSample = [3.0, 1.0, 2.0].into_iter().collect();
+        assert_eq!(s.median(), Some(2.0));
+    }
+
+    #[test]
+    fn quantile_extremes_are_min_and_max() {
+        let mut s: WeightedSample = [5.0, 1.0, 9.0, 3.0].into_iter().collect();
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(1.0), Some(9.0));
+    }
+
+    #[test]
+    fn weights_shift_the_median() {
+        // 1.0 carries 90% of the weight, so every quantile up to 0.9 is 1.0.
+        let mut s: WeightedSample = [(1.0, 9.0), (100.0, 1.0)].into_iter().collect();
+        assert_eq!(s.quantile(0.5), Some(1.0));
+        assert_eq!(s.quantile(0.89), Some(1.0));
+        assert_eq!(s.quantile(0.95), Some(100.0));
+    }
+
+    #[test]
+    fn out_of_range_q_is_none() {
+        let mut s: WeightedSample = [1.0].into_iter().collect();
+        assert_eq!(s.quantile(-0.1), None);
+        assert_eq!(s.quantile(1.1), None);
+    }
+
+    #[test]
+    fn bad_observations_are_skipped() {
+        let mut s = WeightedSample::new();
+        s.push_weighted(f64::NAN, 1.0);
+        s.push_weighted(1.0, 0.0);
+        s.push_weighted(1.0, -3.0);
+        s.push_weighted(f64::INFINITY, 1.0);
+        s.push_weighted(2.0, f64::NAN);
+        assert!(s.is_empty());
+        s.push_weighted(7.0, 2.0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.median(), Some(7.0));
+    }
+
+    #[test]
+    fn extend_from_merges() {
+        let mut a: WeightedSample = [1.0, 2.0].into_iter().collect();
+        let b: WeightedSample = [3.0].into_iter().collect();
+        a.extend_from(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.max(), Some(3.0));
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let s: WeightedSample = [(2.0, 1.0), (4.0, 3.0)].into_iter().collect();
+        assert_eq!(s.mean(), Some(3.5));
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(4.0));
+        assert_eq!(s.total_weight(), 4.0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Quantiles are monotone non-decreasing in q.
+        #[test]
+        fn quantiles_are_monotone(
+            values in proptest::collection::vec((-1e6f64..1e6, 0.001f64..100.0), 1..50),
+            qs in proptest::collection::vec(0.0f64..=1.0, 2..10),
+        ) {
+            let mut s: WeightedSample = values.into_iter().collect();
+            let mut sorted_qs = qs.clone();
+            sorted_qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut prev = f64::NEG_INFINITY;
+            for q in sorted_qs {
+                let v = s.quantile(q).unwrap();
+                prop_assert!(v >= prev, "quantile({q}) = {v} < {prev}");
+                prev = v;
+            }
+        }
+
+        /// Every quantile is within [min, max] of the sample.
+        #[test]
+        fn quantiles_within_range(
+            values in proptest::collection::vec((-1e6f64..1e6, 0.001f64..100.0), 1..50),
+            q in 0.0f64..=1.0,
+        ) {
+            let mut s: WeightedSample = values.into_iter().collect();
+            let v = s.quantile(q).unwrap();
+            prop_assert!(v >= s.min().unwrap() && v <= s.max().unwrap());
+        }
+
+        /// With unit weights the weighted quantile matches the classic
+        /// "smallest v with rank ≥ ceil(q·n)" definition.
+        #[test]
+        fn unit_weights_match_rank_definition(
+            values in proptest::collection::vec(-1e6f64..1e6, 1..40),
+            q in 0.01f64..=1.0,
+        ) {
+            let mut s: WeightedSample = values.clone().into_iter().collect();
+            let got = s.quantile(q).unwrap();
+            let mut sorted = values;
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            prop_assert_eq!(got, sorted[rank - 1]);
+        }
+    }
+}

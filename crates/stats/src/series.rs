@@ -1,0 +1,165 @@
+//! Daily time series.
+//!
+//! The roll-out figures (13, 15, 17, 19, 23) plot a daily mean of a metric
+//! over the simulated January–June window. [`DailySeries`] accumulates
+//! observations keyed by day index and renders `(day, mean)` rows.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Accumulates per-day observations and reports daily aggregates.
+///
+/// Days are integer indices (day 0 = scenario start); the caller owns the
+/// mapping from simulation time to day index.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DailySeries {
+    days: BTreeMap<u32, DayAccum>,
+}
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct DayAccum {
+    sum: f64,
+    weight: f64,
+    count: u64,
+}
+
+/// One rendered day of a series.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DayPoint {
+    /// Day index from scenario start.
+    pub day: u32,
+    /// Weighted mean of the metric across the day's observations.
+    pub mean: f64,
+    /// Number of observations.
+    pub count: u64,
+    /// Total weight of observations.
+    pub weight: f64,
+}
+
+impl DailySeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `value` with weight 1 on `day`.
+    pub fn add(&mut self, day: u32, value: f64) {
+        self.add_weighted(day, value, 1.0);
+    }
+
+    /// Records a weighted observation on `day`. Skips non-finite values and
+    /// non-positive weights.
+    pub fn add_weighted(&mut self, day: u32, value: f64, weight: f64) {
+        if !value.is_finite() || weight <= 0.0 {
+            return;
+        }
+        let acc = self.days.entry(day).or_default();
+        acc.sum += value * weight;
+        acc.weight += weight;
+        acc.count += 1;
+    }
+
+    /// Number of days with at least one observation.
+    pub fn len(&self) -> usize {
+        self.days.len()
+    }
+
+    /// True when no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.days.is_empty()
+    }
+
+    /// The daily means in day order.
+    pub fn points(&self) -> Vec<DayPoint> {
+        self.days
+            .iter()
+            .map(|(day, acc)| DayPoint {
+                day: *day,
+                mean: acc.sum / acc.weight,
+                count: acc.count,
+                weight: acc.weight,
+            })
+            .collect()
+    }
+
+    /// Mean of the daily means over an inclusive day range (e.g. "before
+    /// roll-out" vs "after roll-out" aggregates).
+    pub fn window_mean(&self, from_day: u32, to_day: u32) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .days
+            .range(from_day..=to_day)
+            .map(|(_, a)| a.sum / a.weight)
+            .collect();
+        crate::mean(vals)
+    }
+
+    /// Total observation count over all days.
+    pub fn total_count(&self) -> u64 {
+        self.days.values().map(|a| a.count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_series() {
+        let s = DailySeries::new();
+        assert!(s.is_empty());
+        assert!(s.points().is_empty());
+        assert_eq!(s.window_mean(0, 10), None);
+    }
+
+    #[test]
+    fn daily_means_are_per_day() {
+        let mut s = DailySeries::new();
+        s.add(0, 10.0);
+        s.add(0, 20.0);
+        s.add(2, 5.0);
+        let pts = s.points();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].day, 0);
+        assert_eq!(pts[0].mean, 15.0);
+        assert_eq!(pts[0].count, 2);
+        assert_eq!(pts[1].day, 2);
+        assert_eq!(pts[1].mean, 5.0);
+    }
+
+    #[test]
+    fn weights_affect_the_mean() {
+        let mut s = DailySeries::new();
+        s.add_weighted(1, 0.0, 3.0);
+        s.add_weighted(1, 10.0, 1.0);
+        assert_eq!(s.points()[0].mean, 2.5);
+    }
+
+    #[test]
+    fn window_mean_averages_daily_means() {
+        let mut s = DailySeries::new();
+        s.add(0, 10.0);
+        s.add(1, 20.0);
+        s.add(5, 1000.0); // outside window
+        assert_eq!(s.window_mean(0, 1), Some(15.0));
+        assert_eq!(s.window_mean(0, 5), Some(1030.0 / 3.0));
+        assert_eq!(s.window_mean(2, 4), None);
+    }
+
+    #[test]
+    fn bad_observations_are_skipped() {
+        let mut s = DailySeries::new();
+        s.add(0, f64::NAN);
+        s.add_weighted(0, 1.0, 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn days_render_in_order() {
+        let mut s = DailySeries::new();
+        s.add(9, 1.0);
+        s.add(3, 1.0);
+        s.add(7, 1.0);
+        let days: Vec<u32> = s.points().iter().map(|p| p.day).collect();
+        assert_eq!(days, vec![3, 7, 9]);
+    }
+}

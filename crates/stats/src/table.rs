@@ -1,0 +1,145 @@
+//! Fixed-width text tables.
+//!
+//! Every `repro` binary prints its figure's series as an aligned text table
+//! so the output can be eyeballed against the paper and diffed between
+//! runs. Alignment is computed per column; numbers are typically
+//! pre-formatted by the caller.
+
+/// A simple fixed-width table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are right-padded with
+    /// empty cells; longer rows extend the column count.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table: header, separator, rows; columns padded to the
+    /// widest cell, two spaces between columns.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        let measure = |widths: &mut Vec<usize>, row: &[String]| {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        };
+        measure(&mut widths, &self.header);
+        for r in &self.rows {
+            measure(&mut widths, r);
+        }
+
+        let render_row = |row: &[String]| -> String {
+            let mut out = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                let pad = width - cell.chars().count();
+                out.push_str(cell);
+                if i + 1 < ncols {
+                    out.extend(std::iter::repeat_n(' ', pad + 2));
+                }
+            }
+            // Trailing spaces on the last column are never emitted.
+            out
+        };
+
+        let mut s = String::new();
+        s.push_str(&render_row(&self.header));
+        s.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * ncols.saturating_sub(1);
+        s.extend(std::iter::repeat_n('-', total));
+        s.push('\n');
+        for r in &self.rows {
+            s.push_str(&render_row(r));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["country", "median"]);
+        t.row(["IN", "1523.4"]);
+        t.row(["US", "88.0"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("country"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Both data rows start their second column at the same offset.
+        let col = |line: &str| line.find("1523").or_else(|| line.find("88.0")).unwrap();
+        assert_eq!(col(lines[2]), col(lines[3]));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["1"]);
+        let out = t.render();
+        assert!(out.lines().count() == 3);
+    }
+
+    #[test]
+    fn long_rows_extend_columns() {
+        let mut t = Table::new(["a"]);
+        t.row(["1", "2", "3"]);
+        assert!(t.render().lines().nth(2).unwrap().contains('3'));
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(["x", "y"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+
+    #[test]
+    fn no_trailing_whitespace_on_rows() {
+        let mut t = Table::new(["col", "x"]);
+        t.row(["a", "b"]);
+        for line in t.render().lines() {
+            assert_eq!(line, line.trim_end());
+        }
+    }
+}

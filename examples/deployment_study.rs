@@ -1,0 +1,62 @@
+//! Runs the §6 deployment study (Figure 25): how many deployment
+//! locations does each mapping scheme need, and who wins at the tail?
+//!
+//! Run with: `cargo run --release --example deployment_study`
+
+use end_user_mapping::mapping::{run_study, Scheme, StudyConfig};
+use end_user_mapping::netmodel::{Internet, InternetConfig};
+use end_user_mapping::stats::Table;
+
+fn main() {
+    let net = Internet::generate(InternetConfig::small(0x5EED));
+    let cfg = StudyConfig {
+        seed: 0x5EED,
+        universe_size: 800,
+        ping_targets: 800,
+        target_cover_miles: 60.0,
+        deployment_counts: vec![40, 80, 160, 320, 640],
+        runs: 12,
+    };
+    eprintln!(
+        "universe of {} candidate locations, {} ping targets, {} random orderings…",
+        cfg.universe_size, cfg.ping_targets, cfg.runs
+    );
+    let rows = run_study(&net, &cfg);
+
+    let mut t = Table::new(["deployments", "scheme", "mean ms", "p95 ms", "p99 ms"]);
+    for row in &rows {
+        t.row([
+            row.deployments.to_string(),
+            row.scheme.label().to_string(),
+            format!("{:.1}", row.mean_ms),
+            format!("{:.1}", row.p95_ms),
+            format!("{:.1}", row.p99_ms),
+        ]);
+    }
+    println!("{t}");
+
+    // The paper's two key readings of the figure.
+    let max_n = rows.iter().map(|r| r.deployments).max().unwrap();
+    let min_n = rows.iter().map(|r| r.deployments).min().unwrap();
+    let p99 = |s: Scheme, n: usize| {
+        rows.iter()
+            .find(|r| r.scheme == s && r.deployments == n)
+            .unwrap()
+            .p99_ms
+    };
+    println!(
+        "EU-over-NS p99 gain: {:.1} ms at {} locations vs {:.1} ms at {} locations",
+        p99(Scheme::Ns, min_n) - p99(Scheme::Eu, min_n),
+        min_n,
+        p99(Scheme::Ns, max_n) - p99(Scheme::Eu, max_n),
+        max_n,
+    );
+    println!(
+        "NS p99 improves only {:.1} ms from {}x more deployments ({:.1} -> {:.1} ms) — \
+         the paper's 'NS-based mapping provides diminishing benefits' result",
+        p99(Scheme::Ns, min_n) - p99(Scheme::Ns, max_n),
+        max_n / min_n,
+        p99(Scheme::Ns, min_n),
+        p99(Scheme::Ns, max_n),
+    );
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # end-user-mapping
+//!
+//! A full-system Rust reproduction of *"End-User Mapping: Next Generation
+//! Request Routing for Content Delivery"* (Chen, Sitaraman, Torres —
+//! SIGCOMM 2015).
+//!
+//! This facade crate re-exports every workspace crate under one roof so that
+//! examples, integration tests, and downstream users can depend on a single
+//! package:
+//!
+//! * [`geo`] — geographic primitives and the Edgescape-style geolocation DB.
+//! * [`stats`] — weighted quantiles, histograms, CDFs, and table rendering.
+//! * [`netmodel`] — the seeded synthetic Internet (ASes, client blocks,
+//!   resolver infrastructure, anycast, BGP, latency/loss model).
+//! * [`dns`] — DNS wire protocol with EDNS0 Client Subnet (RFC 7871), an
+//!   ECS-aware recursive resolver, and authority traits.
+//! * [`cdn`] — the CDN platform model (deployments, clusters, caches,
+//!   origin/overlay, TCP transfer model).
+//! * [`mapping`] — the paper's contribution: the mapping system with
+//!   NS-based, end-user, and client-aware-NS policies.
+//! * [`sim`] — discrete-event simulation, workload, NetSession and RUM
+//!   measurement substrates, and the §4 roll-out scenario.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use end_user_mapping::sim::scenario::{Scenario, ScenarioConfig};
+//!
+//! let scenario = Scenario::build(ScenarioConfig::small(0x5EED));
+//! let report = scenario.run_rollout();
+//! println!("{}", report.summary());
+//! ```
+//!
+//! See `examples/quickstart.rs` for a guided tour and `crates/repro` for the
+//! binaries that regenerate every figure in the paper.
+
+pub use eum_cdn as cdn;
+pub use eum_dns as dns;
+pub use eum_geo as geo;
+pub use eum_mapping as mapping;
+pub use eum_netmodel as netmodel;
+pub use eum_sim as sim;
+pub use eum_stats as stats;

@@ -1,0 +1,68 @@
+//! Integration: reproducibility — every figure is a pure function of the
+//! seed. This is the property that makes EXPERIMENTS.md's recorded
+//! numbers re-checkable.
+
+use end_user_mapping::mapping::{run_study, StudyConfig};
+use end_user_mapping::netmodel::{Internet, InternetConfig};
+use end_user_mapping::sim::scenario::{Scenario, ScenarioConfig};
+use end_user_mapping::sim::{Metric, PairDataset};
+
+#[test]
+fn netsession_analyses_are_identical_across_runs() {
+    let build = || {
+        let net = Internet::generate(InternetConfig::tiny(0xDE7));
+        let ds = PairDataset::collect(&net);
+        let mut s = ds.distance_sample(&net, |_, _| true);
+        (ds.len(), ds.total_weight(), s.median().unwrap())
+    };
+    assert_eq!(build(), build());
+}
+
+#[test]
+fn deploy_study_is_identical_across_runs() {
+    let net = Internet::generate(InternetConfig::tiny(0xDE8));
+    let a = run_study(&net, &StudyConfig::quick(5));
+    let b = run_study(&net, &StudyConfig::quick(5));
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.mean_ms, y.mean_ms);
+        assert_eq!(x.p95_ms, y.p95_ms);
+        assert_eq!(x.p99_ms, y.p99_ms);
+    }
+}
+
+#[test]
+fn rollout_report_is_identical_across_runs() {
+    let run = || {
+        let mut cfg = ScenarioConfig::tiny(0xDE9);
+        // Shorten for test budget: 10 days with the ramp inside.
+        cfg.rollout.days = 10;
+        cfg.rollout.start_day = 4;
+        cfg.rollout.end_day = 6;
+        cfg.rollout.window_days = 4;
+        let r = Scenario::build(cfg).run_rollout();
+        (
+            r.rum.len(),
+            r.failed_views,
+            r.counters.rows(),
+            r.before_after(Metric::Rtt, true),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+    assert_eq!(a.3, b.3);
+}
+
+#[test]
+fn different_seeds_give_different_worlds() {
+    let a = Internet::generate(InternetConfig::tiny(1));
+    let b = Internet::generate(InternetConfig::tiny(2));
+    let same_blocks = a.blocks.len() == b.blocks.len()
+        && a.blocks
+            .iter()
+            .zip(&b.blocks)
+            .all(|(x, y)| x.demand == y.demand);
+    assert!(!same_blocks);
+}

@@ -1,0 +1,197 @@
+//! Integration: the full DNS resolution path across all crates — client →
+//! LDNS (eum-dns) → root/static authorities (eum-sim glue) → mapping
+//! system's two-level hierarchy (eum-mapping) → CDN servers (eum-cdn) on
+//! the synthetic Internet (eum-netmodel).
+
+use end_user_mapping::dns::{EcsMode, Rcode};
+use end_user_mapping::sim::scenario::{Scenario, ScenarioConfig};
+use end_user_mapping::sim::{AuthNet, QueryCounters};
+
+fn world() -> Scenario {
+    Scenario::build(ScenarioConfig::tiny(0xE2E))
+}
+
+/// Resolves `domain_idx`'s www name for `block_idx`'s representative
+/// client via `ldns`, returning (resolution, counters).
+fn resolve(
+    world: &mut Scenario,
+    block_idx: usize,
+    domain_idx: usize,
+    now_ms: u64,
+) -> (end_user_mapping::dns::Resolution, QueryCounters) {
+    let block = world.net.blocks[block_idx].clone();
+    let ldns = block.primary_ldns();
+    let resolver_info = world.net.resolver(ldns).clone();
+    let latency = world.net.latency;
+    let mut counters = QueryCounters::new();
+    let domain = world.catalog.domains[domain_idx].clone();
+    let mut authnet = AuthNet {
+        mapping: &mut world.mapping,
+        static_auths: &world.static_auths,
+        endpoints: &world.endpoints,
+        latency: &latency,
+        resolver_ep: resolver_info.endpoint(),
+        resolver_is_public: resolver_info.kind.is_public(),
+        root_ip: world.root_ip,
+        counters: &mut counters,
+        day: 0,
+    };
+    let res = world.resolvers[ldns.index()].resolve(
+        &domain.www_name,
+        block.client_ip(),
+        now_ms,
+        &mut authnet,
+    );
+    (res, counters)
+}
+
+#[test]
+fn cold_resolution_traverses_the_whole_hierarchy() {
+    let mut w = world();
+    let (res, counters) = resolve(&mut w, 0, 0, 0);
+    assert_eq!(res.rcode, Rcode::NoError);
+    assert_eq!(res.ips.len(), 2, "the CDN returns two server IPs");
+    assert!(!res.from_cache);
+    // Cold path: root (provider referral) + provider CNAME + root (cdn
+    // referral) + top-level (delegation) + low-level (A) = 5 queries.
+    assert_eq!(res.upstream_queries, 5);
+    assert!(res.elapsed_ms > 0.0);
+    // Two of those queries hit the mapping system.
+    let (_, total, _, _) = counters.rows()[0];
+    assert_eq!(total, 2);
+}
+
+#[test]
+fn answered_servers_are_live_cdn_servers_in_one_cluster() {
+    let mut w = world();
+    let (res, _) = resolve(&mut w, 0, 0, 0);
+    let clusters: Vec<_> = res
+        .ips
+        .iter()
+        .map(|ip| {
+            let sid = w
+                .cdn
+                .server_by_ip(*ip)
+                .expect("answered IP is a CDN server");
+            assert!(w.cdn.server(sid).alive);
+            w.cdn.server(sid).cluster
+        })
+        .collect();
+    assert_eq!(
+        clusters[0], clusters[1],
+        "both answers come from the assigned cluster"
+    );
+}
+
+#[test]
+fn warm_resolution_is_free_and_identical() {
+    let mut w = world();
+    let (cold, _) = resolve(&mut w, 0, 0, 0);
+    let (warm, counters) = resolve(&mut w, 0, 0, 60_000);
+    assert!(warm.from_cache);
+    assert_eq!(warm.upstream_queries, 0);
+    assert_eq!(warm.ips, cold.ips, "cached answer must match");
+    assert!(counters.rows().is_empty() || counters.rows()[0].1 == 0);
+}
+
+#[test]
+fn different_clients_of_one_ecs_ldns_get_scoped_answers() {
+    let mut w = world();
+    // Use the public LDNS serving the most client blocks.
+    let ldns = w
+        .net
+        .resolvers
+        .iter()
+        .filter(|r| r.kind.is_public())
+        .max_by_key(|r| {
+            w.net
+                .blocks
+                .iter()
+                .filter(|b| b.ldns.iter().any(|(rid, _)| *rid == r.id))
+                .count()
+        })
+        .expect("public resolver exists")
+        .id;
+    w.resolvers[ldns.index()].set_ecs(EcsMode::On { source_prefix: 24 });
+    let clients: Vec<usize> = w
+        .net
+        .blocks
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| b.ldns.iter().any(|(r, _)| *r == ldns))
+        .map(|(i, _)| i)
+        .take(8)
+        .collect();
+    assert!(
+        clients.len() >= 2,
+        "need at least two client blocks on this LDNS"
+    );
+
+    let latency = w.net.latency;
+    let resolver_info = w.net.resolver(ldns).clone();
+    let domain = w.catalog.domains[0].clone();
+    let mut upstream_total = 0;
+    for (k, bi) in clients.iter().enumerate() {
+        let block = w.net.blocks[*bi].clone();
+        let mut counters = QueryCounters::new();
+        let mut authnet = AuthNet {
+            mapping: &mut w.mapping,
+            static_auths: &w.static_auths,
+            endpoints: &w.endpoints,
+            latency: &latency,
+            resolver_ep: resolver_info.endpoint(),
+            resolver_is_public: true,
+            root_ip: w.root_ip,
+            counters: &mut counters,
+            day: 0,
+        };
+        let res = w.resolvers[ldns.index()].resolve(
+            &domain.www_name,
+            block.client_ip(),
+            k as u64,
+            &mut authnet,
+        );
+        assert_eq!(res.rcode, Rcode::NoError);
+        upstream_total += res.upstream_queries;
+    }
+    // With ECS on, blocks in different scopes cannot share the terminal
+    // answer: strictly more upstream queries than the one cold chain.
+    assert!(
+        upstream_total > 5,
+        "expected per-scope upstream queries, got {upstream_total}"
+    );
+    // And the cache holds several scoped entries for the CDN name.
+    let entries = w.resolvers[ldns.index()]
+        .cache()
+        .entries_for(&domain.cdn_name, end_user_mapping::dns::RrType::A);
+    assert!(entries >= 2, "only {entries} scoped entries");
+}
+
+#[test]
+fn unknown_domain_resolves_to_nxdomain_through_the_chain() {
+    let mut w = world();
+    let block = w.net.blocks[0].clone();
+    let ldns = block.primary_ldns();
+    let resolver_info = w.net.resolver(ldns).clone();
+    let latency = w.net.latency;
+    let mut counters = QueryCounters::new();
+    let mut authnet = AuthNet {
+        mapping: &mut w.mapping,
+        static_auths: &w.static_auths,
+        endpoints: &w.endpoints,
+        latency: &latency,
+        resolver_ep: resolver_info.endpoint(),
+        resolver_is_public: false,
+        root_ip: w.root_ip,
+        counters: &mut counters,
+        day: 0,
+    };
+    let res = w.resolvers[ldns.index()].resolve(
+        &"www.never-hosted.example".parse().unwrap(),
+        block.client_ip(),
+        0,
+        &mut authnet,
+    );
+    assert_eq!(res.rcode, Rcode::NxDomain);
+    assert!(res.ips.is_empty());
+}

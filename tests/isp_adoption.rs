@@ -1,0 +1,82 @@
+//! Integration: the §8 broad-adoption extension — flipping ECS on for ISP
+//! and enterprise resolvers benefits exactly the clients the paper's §4.5
+//! extrapolation predicts: those whose LDNS is far away.
+
+use end_user_mapping::sim::scenario::{Scenario, ScenarioConfig};
+use end_user_mapping::sim::{Metric, RolloutReport, RumSample};
+
+fn report() -> &'static RolloutReport {
+    static REPORT: std::sync::OnceLock<RolloutReport> = std::sync::OnceLock::new();
+    REPORT.get_or_init(|| {
+        let mut cfg = ScenarioConfig::tiny(0x45);
+        cfg.rollout.isp_ecs_day = Some(cfg.rollout.end_day);
+        Scenario::build(cfg).run_rollout()
+    })
+}
+
+fn band_mean(r: &RolloutReport, metric: Metric, lo: f64, hi: f64, from: u32, to: u32) -> f64 {
+    let pick = |s: &&RumSample| {
+        !s.public_resolver
+            && s.day >= from
+            && s.day < to
+            && s.client_ldns_miles >= lo
+            && s.client_ldns_miles < hi
+    };
+    let vals: Vec<f64> = r
+        .rum
+        .samples
+        .iter()
+        .filter(pick)
+        .map(|s| s.metric(metric))
+        .collect();
+    end_user_mapping::stats::mean(vals).unwrap_or(f64::NAN)
+}
+
+#[test]
+fn distant_ldns_clients_gain_most_from_isp_adoption() {
+    let r = report();
+    let (pre_from, pre_to) = r.cfg.pre_window();
+    let (post_from, post_to) = r.cfg.post_window();
+
+    let gain = |lo: f64, hi: f64| -> f64 {
+        let pre = band_mean(r, Metric::Rtt, lo, hi, pre_from, pre_to);
+        let post = band_mean(r, Metric::Rtt, lo, hi, post_from, post_to);
+        (pre - post) / pre
+    };
+    let far = gain(1000.0, f64::INFINITY);
+    let local = gain(0.0, 100.0);
+    assert!(
+        far > 0.10,
+        "far-LDNS clients gained only {:.0}%",
+        far * 100.0
+    );
+    assert!(
+        far > local + 0.05,
+        "far gain {:.0}% should exceed local gain {:.0}%",
+        far * 100.0,
+        local * 100.0
+    );
+    // Local clients must not regress meaningfully.
+    assert!(
+        local > -0.10,
+        "local clients regressed {:.0}%",
+        -local * 100.0
+    );
+}
+
+#[test]
+fn isp_adoption_lifts_nonpublic_query_rate_too() {
+    // Once ISP resolvers send ECS, their caches fragment per scope and
+    // their query rate rises — the §5 cost applies to them as well.
+    let r = report();
+    let (pre_from, pre_to) = r.cfg.pre_window();
+    let (post_from, post_to) = r.cfg.post_window();
+    let pre = r.counters.window_means(pre_from, pre_to - 1);
+    let post = r.counters.window_means(post_from, post_to - 1);
+    let pre_nonpublic = pre.0 - pre.1;
+    let post_nonpublic = post.0 - post.1;
+    assert!(
+        post_nonpublic > 1.2 * pre_nonpublic,
+        "non-public queries/day {pre_nonpublic:.0} -> {post_nonpublic:.0}"
+    );
+}
