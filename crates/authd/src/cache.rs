@@ -1,0 +1,486 @@
+//! The authoritative-side answer cache, ECS-scope aware.
+//!
+//! Computing an answer means routing through the snapshot's candidate
+//! tables and consistent-hash rings. For a hot domain the result is
+//! identical for every client inside the answer's ECS *scope* (the `/y`
+//! of Figure 4's `/y ≤ /x` narrowing), so each serving shard memoizes
+//! finished answers and replays them for equivalent queries.
+//!
+//! Two strictly separated tables keep the RFC 7871 reuse rules honest:
+//!
+//! * **Scoped answers** (`scope > 0`, the end-user path) are keyed by
+//!   `(qname, qtype, scope block)`. A lookup probes the client's address
+//!   truncated to each scope length present in the cache, longest first,
+//!   so an entry is only ever reused for clients *inside* the stored
+//!   scope.
+//! * **Resolver answers** (no ECS in the query, a policy that ignores
+//!   it, or a top-level delegation) are keyed by `(qname, qtype,
+//!   resolver ip, serving ip)`. They are never consulted for ECS queries
+//!   on the end-user path, so a `/0` answer cannot leak to a client the
+//!   map would have steered elsewhere.
+//!
+//! Entries expire with the answer's record TTL, capacity is bounded with
+//! FIFO eviction, and hits/misses/evictions are counted per shard (each
+//! shard owns its cache outright — no cross-shard locking).
+
+use eum_dns::{DnsName, Message, Rcode, Record, RrType};
+use eum_geo::Prefix;
+use std::collections::{HashMap, VecDeque};
+use std::net::Ipv4Addr;
+use std::time::{Duration, Instant};
+
+/// Cache sizing and policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Maximum entries across both tables (FIFO eviction beyond this).
+    pub max_entries: usize,
+    /// Cap on any entry's lifetime, seconds, regardless of record TTL —
+    /// bounds how long a control-plane change can be masked by the cache
+    /// when the generation does not change.
+    pub max_ttl_s: u32,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            max_entries: 65_536,
+            max_ttl_s: 300,
+        }
+    }
+}
+
+/// Per-shard cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnswerCacheStats {
+    /// Lookups served from cache.
+    pub hits: u64,
+    /// Lookups that had to compute the answer.
+    pub misses: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+}
+
+/// A memoized answer: the sections of the response minus the per-query
+/// parts (ID, echoed question, echoed ECS), which are rebuilt per hit.
+#[derive(Debug, Clone)]
+pub struct CachedAnswer {
+    /// Response code.
+    pub rcode: Rcode,
+    /// Answer-section records.
+    pub answers: Vec<Record>,
+    /// Authority-section records (top-level delegations).
+    pub authorities: Vec<Record>,
+    /// Additional-section records minus OPT (delegation glue).
+    pub additionals: Vec<Record>,
+    /// The answered ECS scope (`None` for resolver-keyed entries).
+    pub scope: Option<u8>,
+    expires: Instant,
+}
+
+impl CachedAnswer {
+    /// Captures the cacheable parts of a computed response.
+    pub fn from_response(resp: &Message, ttl_s: u32, now: Instant) -> CachedAnswer {
+        CachedAnswer {
+            rcode: resp.flags.rcode,
+            answers: resp.answers.clone(),
+            authorities: resp.authorities.clone(),
+            additionals: resp
+                .additionals
+                .iter()
+                .filter(|r| !matches!(r.rdata, eum_dns::RData::Opt(_)))
+                .cloned()
+                .collect(),
+            scope: resp.ecs().map(|e| e.scope_prefix),
+            expires: now + Duration::from_secs(ttl_s as u64),
+        }
+    }
+
+    /// True once the entry's TTL has run out.
+    pub fn expired(&self, now: Instant) -> bool {
+        now >= self.expires
+    }
+}
+
+/// Which table an entry lives in.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    /// End-user answers, valid inside a scope block. Low-level answers do
+    /// not depend on which cluster NS received the query, so the serving
+    /// IP is not part of the key.
+    Scoped(DnsName, RrType, Prefix),
+    /// Resolver-derived answers, valid for one LDNS *at one serving IP* —
+    /// the same name yields a delegation at the top level but an A answer
+    /// at a low level, so the server IP must split those entries.
+    Resolver(DnsName, RrType, Ipv4Addr, Ipv4Addr),
+}
+
+/// The per-shard answer cache.
+pub struct AnswerCache {
+    cfg: CacheConfig,
+    map: HashMap<Key, CachedAnswer>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<Key>,
+    /// How many live entries use each scope length — lookups probe only
+    /// lengths actually present.
+    scope_lens: [u32; 33],
+    stats: AnswerCacheStats,
+}
+
+impl AnswerCache {
+    /// An empty cache with the given bounds.
+    pub fn new(cfg: CacheConfig) -> AnswerCache {
+        AnswerCache {
+            cfg,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            scope_lens: [0; 33],
+            stats: AnswerCacheStats::default(),
+        }
+    }
+
+    /// Looks up a scoped (end-user) answer for `client`, probing the scope
+    /// lengths present in the cache from most to least specific. Scopes
+    /// longer than `max_scope` (the query's ECS source prefix) are never
+    /// reused — the answer's `/y ≤ /x` guarantee must survive caching.
+    /// Counts a hit or miss.
+    pub fn lookup_scoped(
+        &mut self,
+        qname: &DnsName,
+        qtype: RrType,
+        client: Ipv4Addr,
+        max_scope: u8,
+        now: Instant,
+    ) -> Option<CachedAnswer> {
+        for len in (1..=max_scope.min(32)).rev() {
+            if self.scope_lens[len as usize] == 0 {
+                continue;
+            }
+            let key = Key::Scoped(qname.clone(), qtype, Prefix::of(client, len));
+            match self.map.get(&key) {
+                Some(e) if !e.expired(now) => {
+                    self.stats.hits += 1;
+                    return Some(e.clone());
+                }
+                Some(_) => self.remove(&key),
+                None => {}
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Looks up a resolver-keyed answer for queries `resolver` sent to
+    /// the authoritative IP `server`. Counts a hit or miss.
+    pub fn lookup_resolver(
+        &mut self,
+        qname: &DnsName,
+        qtype: RrType,
+        resolver: Ipv4Addr,
+        server: Ipv4Addr,
+        now: Instant,
+    ) -> Option<CachedAnswer> {
+        let key = Key::Resolver(qname.clone(), qtype, resolver, server);
+        match self.map.get(&key) {
+            Some(e) if !e.expired(now) => {
+                self.stats.hits += 1;
+                return Some(e.clone());
+            }
+            Some(_) => self.remove(&key),
+            None => {}
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Inserts a scoped answer valid for `scope_block`.
+    pub fn insert_scoped(
+        &mut self,
+        qname: DnsName,
+        qtype: RrType,
+        scope_block: Prefix,
+        answer: CachedAnswer,
+    ) {
+        self.insert(Key::Scoped(qname, qtype, scope_block), answer);
+    }
+
+    /// Inserts a resolver-keyed answer for the given serving IP.
+    pub fn insert_resolver(
+        &mut self,
+        qname: DnsName,
+        qtype: RrType,
+        resolver: Ipv4Addr,
+        server: Ipv4Addr,
+        answer: CachedAnswer,
+    ) {
+        self.insert(Key::Resolver(qname, qtype, resolver, server), answer);
+    }
+
+    fn insert(&mut self, key: Key, mut answer: CachedAnswer) {
+        let cap = Instant::now() + Duration::from_secs(self.cfg.max_ttl_s as u64);
+        if answer.expires > cap {
+            answer.expires = cap;
+        }
+        while self.map.len() >= self.cfg.max_entries.max(1) {
+            match self.order.pop_front() {
+                Some(oldest) => {
+                    if self.map.remove(&oldest).is_some() {
+                        self.on_removed(&oldest);
+                        self.stats.evictions += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+        if let Key::Scoped(_, _, p) = &key {
+            self.scope_lens[p.len() as usize] += 1;
+        }
+        if self.map.insert(key.clone(), answer).is_none() {
+            self.order.push_back(key);
+        } else if let Key::Scoped(_, _, p) = &key {
+            // Replaced in place: undo the double count.
+            self.scope_lens[p.len() as usize] -= 1;
+        }
+        self.stats.insertions += 1;
+    }
+
+    fn remove(&mut self, key: &Key) {
+        if self.map.remove(key).is_some() {
+            self.on_removed(key);
+            self.order.retain(|k| k != key);
+        }
+    }
+
+    fn on_removed(&mut self, key: &Key) {
+        if let Key::Scoped(_, _, p) = key {
+            self.scope_lens[p.len() as usize] -= 1;
+        }
+    }
+
+    /// Drops every entry (used when a new snapshot generation lands).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+        self.scope_lens = [0; 33];
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> AnswerCacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eum_dns::name::name;
+
+    fn ns() -> Ipv4Addr {
+        "192.0.2.2".parse().unwrap()
+    }
+
+    fn entry(ttl_s: u32) -> CachedAnswer {
+        CachedAnswer {
+            rcode: Rcode::NoError,
+            answers: vec![Record::a(
+                name("e0.cdn.example"),
+                ttl_s,
+                [9, 9, 9, 9].into(),
+            )],
+            authorities: vec![],
+            additionals: vec![],
+            scope: Some(24),
+            expires: Instant::now() + Duration::from_secs(ttl_s as u64),
+        }
+    }
+
+    #[test]
+    fn scoped_hit_requires_client_inside_scope() {
+        let mut c = AnswerCache::new(CacheConfig::default());
+        let now = Instant::now();
+        c.insert_scoped(
+            name("e0.cdn.example"),
+            RrType::A,
+            "10.1.2.0/24".parse().unwrap(),
+            entry(30),
+        );
+        assert!(c
+            .lookup_scoped(
+                &name("e0.cdn.example"),
+                RrType::A,
+                "10.1.2.77".parse().unwrap(),
+                24,
+                now
+            )
+            .is_some());
+        assert!(c
+            .lookup_scoped(
+                &name("e0.cdn.example"),
+                RrType::A,
+                "10.1.3.77".parse().unwrap(),
+                24,
+                now
+            )
+            .is_none());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn longest_scope_wins_over_broader_one() {
+        let mut c = AnswerCache::new(CacheConfig::default());
+        let now = Instant::now();
+        let mut broad = entry(30);
+        broad.scope = Some(16);
+        c.insert_scoped(
+            name("e0.cdn.example"),
+            RrType::A,
+            "10.1.0.0/16".parse().unwrap(),
+            broad,
+        );
+        let mut narrow = entry(30);
+        narrow.scope = Some(24);
+        c.insert_scoped(
+            name("e0.cdn.example"),
+            RrType::A,
+            "10.1.2.0/24".parse().unwrap(),
+            narrow,
+        );
+        let got = c
+            .lookup_scoped(
+                &name("e0.cdn.example"),
+                RrType::A,
+                "10.1.2.5".parse().unwrap(),
+                24,
+                now,
+            )
+            .unwrap();
+        assert_eq!(got.scope, Some(24));
+        let got = c
+            .lookup_scoped(
+                &name("e0.cdn.example"),
+                RrType::A,
+                "10.1.9.5".parse().unwrap(),
+                24,
+                now,
+            )
+            .unwrap();
+        assert_eq!(got.scope, Some(16));
+    }
+
+    #[test]
+    fn resolver_entries_do_not_answer_scoped_lookups() {
+        let mut c = AnswerCache::new(CacheConfig::default());
+        let now = Instant::now();
+        let ldns: Ipv4Addr = "8.8.8.8".parse().unwrap();
+        c.insert_resolver(name("e0.cdn.example"), RrType::A, ldns, ns(), entry(30));
+        // The very client the resolver serves still misses the scoped path.
+        assert!(c
+            .lookup_scoped(
+                &name("e0.cdn.example"),
+                RrType::A,
+                "10.1.2.77".parse().unwrap(),
+                24,
+                now
+            )
+            .is_none());
+        assert!(c
+            .lookup_resolver(&name("e0.cdn.example"), RrType::A, ldns, ns(), now)
+            .is_some());
+    }
+
+    #[test]
+    fn expiry_removes_entries() {
+        let mut c = AnswerCache::new(CacheConfig::default());
+        c.insert_resolver(
+            name("e0.cdn.example"),
+            RrType::A,
+            "8.8.8.8".parse().unwrap(),
+            ns(),
+            entry(0),
+        );
+        let later = Instant::now() + Duration::from_millis(1);
+        assert!(c
+            .lookup_resolver(
+                &name("e0.cdn.example"),
+                RrType::A,
+                "8.8.8.8".parse().unwrap(),
+                ns(),
+                later
+            )
+            .is_none());
+        assert!(c.is_empty(), "expired entry must be dropped on lookup");
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest_first() {
+        let mut c = AnswerCache::new(CacheConfig {
+            max_entries: 2,
+            max_ttl_s: 300,
+        });
+        let now = Instant::now();
+        for i in 0..3u8 {
+            c.insert_resolver(
+                name(&format!("e{i}.cdn.example")),
+                RrType::A,
+                "8.8.8.8".parse().unwrap(),
+                ns(),
+                entry(30),
+            );
+        }
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c
+            .lookup_resolver(
+                &name("e0.cdn.example"),
+                RrType::A,
+                "8.8.8.8".parse().unwrap(),
+                ns(),
+                now
+            )
+            .is_none());
+        assert!(c
+            .lookup_resolver(
+                &name("e2.cdn.example"),
+                RrType::A,
+                "8.8.8.8".parse().unwrap(),
+                ns(),
+                now
+            )
+            .is_some());
+    }
+
+    #[test]
+    fn clear_resets_scope_probe_table() {
+        let mut c = AnswerCache::new(CacheConfig::default());
+        let now = Instant::now();
+        c.insert_scoped(
+            name("e0.cdn.example"),
+            RrType::A,
+            "10.1.2.0/24".parse().unwrap(),
+            entry(30),
+        );
+        c.clear();
+        assert!(c.is_empty());
+        assert!(c
+            .lookup_scoped(
+                &name("e0.cdn.example"),
+                RrType::A,
+                "10.1.2.77".parse().unwrap(),
+                24,
+                now
+            )
+            .is_none());
+    }
+}

@@ -1,0 +1,37 @@
+//! eum-authd: a concurrent authoritative DNS serving subsystem.
+//!
+//! This crate puts the repo's mapping system behind a real serving loop,
+//! the shape §3 of the paper describes for Akamai's authoritative
+//! infrastructure: sharded worker threads answering RFC 1035 wire-format
+//! queries, a read-mostly snapshot layer so the control plane can publish
+//! new map generations without stalling answers, an ECS-scope-aware
+//! answer cache honoring RFC 7871 §7.3.1 reuse rules, and a closed-loop
+//! load generator that replays the netmodel's resolver/client population.
+//!
+//! Layers, bottom up:
+//!
+//! - [`transport`] — pluggable datagram endpoints: an in-process channel
+//!   pair for deterministic tests/benches and a loopback UDP socket per
+//!   shard for end-to-end runs.
+//! - [`snapshot`] — atomically swappable `Arc<MappingSystem>` with
+//!   generation numbers.
+//! - [`cache`] — bounded per-shard answer cache keyed by
+//!   `(qname, qtype, ECS scope block)` with `/y ≤ /x` narrowing.
+//! - [`server`] — the sharded worker-pool loop tying the above together.
+//! - [`loadgen`] — multi-threaded closed-loop clients with latency
+//!   percentiles and verification of every response.
+
+pub mod cache;
+pub mod loadgen;
+pub mod server;
+pub mod snapshot;
+pub mod transport;
+
+pub use cache::{AnswerCache, AnswerCacheStats, CacheConfig, CachedAnswer};
+pub use loadgen::{LoadGenConfig, LoadReport};
+pub use server::{AuthServer, ServerConfig, ShardCounters, ShardReport};
+pub use snapshot::{Snapshot, SnapshotHandle};
+pub use transport::{
+    channel_transports, ChannelClient, ChannelConnector, ChannelTransport, ClientTransport,
+    Datagram, ServerTransport, UdpClient, UdpTransport, MAX_DATAGRAM,
+};

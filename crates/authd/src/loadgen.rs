@@ -1,0 +1,271 @@
+//! Closed-loop load generation against a running [`crate::AuthServer`].
+//!
+//! Each client thread replays the netmodel's demand distribution: it
+//! samples a `(client block, LDNS)` pair from
+//! [`eum_netmodel::QueryPopulation`] and a hosted domain by Zipf
+//! popularity, builds a real RFC 1035 query (with an ECS option carrying
+//! the block's /24, like a public resolver would), sends it to the shard
+//! the block hashes to — the stickiness ECMP gives a production
+//! deployment — and waits for the response before issuing the next query
+//! (closed loop, so offered load adapts to service rate). Every response
+//! is verified: matching ID, NOERROR, at least one A answer, and an ECS
+//! scope honoring `/y ≤ /x`.
+//!
+//! Latency is recorded per exchange; [`LoadReport`] aggregates
+//! throughput, p50/p99, and error counts across threads.
+
+use crate::transport::ClientTransport;
+use eum_cdn::ContentCatalog;
+use eum_dns::edns::{EcsOption, OptData};
+use eum_dns::{decode_message, encode_message, DnsName, Message, Question, Rcode};
+use eum_netmodel::{Internet, QueryPopulation};
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Concurrent closed-loop client threads.
+    pub clients: usize,
+    /// Queries each client issues.
+    pub queries_per_client: usize,
+    /// Fraction of queries sent without ECS (resolvers that do not
+    /// support it — the NS-mapped remainder of the population).
+    pub no_ecs_fraction: f64,
+    /// Per-exchange timeout.
+    pub timeout: Duration,
+    /// Seed for the demand sampling streams.
+    pub seed: u64,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig {
+            clients: 4,
+            queries_per_client: 2_000,
+            no_ecs_fraction: 0.1,
+            timeout: Duration::from_secs(2),
+            seed: 0x10ad,
+        }
+    }
+}
+
+/// Aggregated outcome of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Exchanges that completed and verified.
+    pub ok: u64,
+    /// Transport-level failures (timeouts, send errors).
+    pub transport_errors: u64,
+    /// Responses that decoded but failed verification (wrong ID, bad
+    /// rcode, empty answer, scope violation).
+    pub bad_responses: u64,
+    /// Wall-clock for the whole run.
+    pub elapsed: Duration,
+    /// Per-exchange latencies, sorted ascending, nanoseconds.
+    latencies_ns: Vec<u64>,
+}
+
+impl LoadReport {
+    /// Completed queries per second of wall-clock.
+    pub fn qps(&self) -> f64 {
+        self.ok as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// The `q`-quantile latency in microseconds (q in [0, 1]).
+    pub fn latency_us(&self, q: f64) -> f64 {
+        if self.latencies_ns.is_empty() {
+            return 0.0;
+        }
+        let idx = ((self.latencies_ns.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        self.latencies_ns[idx] as f64 / 1_000.0
+    }
+
+    /// Median latency, µs.
+    pub fn p50_us(&self) -> f64 {
+        self.latency_us(0.50)
+    }
+
+    /// Tail latency, µs.
+    pub fn p99_us(&self) -> f64 {
+        self.latency_us(0.99)
+    }
+}
+
+/// Immutable tables every client thread shares.
+struct LoadTables {
+    population: QueryPopulation,
+    /// Representative client IP per block, indexed by `BlockId`.
+    block_ips: Vec<Ipv4Addr>,
+    /// Resolver IP per `ResolverId`.
+    resolver_ips: Vec<Ipv4Addr>,
+    /// Hosted domains with cumulative popularity for weighted sampling.
+    domains: Vec<DnsName>,
+    cum_popularity: Vec<f64>,
+    /// The authoritative IP to target (a low-level NS).
+    server_ip: Ipv4Addr,
+}
+
+impl LoadTables {
+    fn build(net: &Internet, catalog: &ContentCatalog, server_ip: Ipv4Addr) -> LoadTables {
+        let mut cum = 0.0;
+        let mut cum_popularity = Vec::with_capacity(catalog.domains.len());
+        let mut domains = Vec::with_capacity(catalog.domains.len());
+        for d in &catalog.domains {
+            cum += d.popularity.max(0.0);
+            domains.push(d.cdn_name.clone());
+            cum_popularity.push(cum);
+        }
+        LoadTables {
+            population: QueryPopulation::build(net),
+            block_ips: net.blocks.iter().map(|b| b.client_ip()).collect(),
+            resolver_ips: net.resolvers.iter().map(|r| r.ip).collect(),
+            domains,
+            cum_popularity,
+            server_ip,
+        }
+    }
+
+    fn sample_domain(&self, rng: &mut ChaCha12Rng) -> &DnsName {
+        let total = *self.cum_popularity.last().expect("non-empty catalog");
+        let needle = rng.random_range(0.0..total);
+        let idx = self.cum_popularity.partition_point(|&c| c <= needle);
+        &self.domains[idx.min(self.domains.len() - 1)]
+    }
+}
+
+/// Runs the closed loop with one [`ClientTransport`] per client thread.
+///
+/// `make_client` is called once per client index to build its endpoint
+/// (e.g. a fresh UDP socket, or a channel client sharing the connector).
+/// Queries target `server_ip` — a low-level NS, the serving hot path.
+pub fn run<C, F>(
+    net: &Internet,
+    catalog: &ContentCatalog,
+    server_ip: Ipv4Addr,
+    cfg: &LoadGenConfig,
+    mut make_client: F,
+) -> LoadReport
+where
+    C: ClientTransport + 'static,
+    F: FnMut(usize) -> C,
+{
+    let tables = Arc::new(LoadTables::build(net, catalog, server_ip));
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for client_idx in 0..cfg.clients.max(1) {
+        let mut transport = make_client(client_idx);
+        let tables = tables.clone();
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || {
+            client_loop(client_idx, &mut transport, &tables, &cfg)
+        }));
+    }
+    let mut ok = 0u64;
+    let mut transport_errors = 0u64;
+    let mut bad_responses = 0u64;
+    let mut latencies_ns = Vec::new();
+    for h in handles {
+        let out = h.join().expect("client thread panicked");
+        ok += out.ok;
+        transport_errors += out.transport_errors;
+        bad_responses += out.bad_responses;
+        latencies_ns.extend(out.latencies_ns);
+    }
+    latencies_ns.sort_unstable();
+    LoadReport {
+        ok,
+        transport_errors,
+        bad_responses,
+        elapsed: start.elapsed(),
+        latencies_ns,
+    }
+}
+
+struct ClientOutcome {
+    ok: u64,
+    transport_errors: u64,
+    bad_responses: u64,
+    latencies_ns: Vec<u64>,
+}
+
+fn client_loop<C: ClientTransport>(
+    client_idx: usize,
+    transport: &mut C,
+    tables: &LoadTables,
+    cfg: &LoadGenConfig,
+) -> ClientOutcome {
+    let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed ^ (client_idx as u64).wrapping_mul(0x9E37));
+    let shards = transport.num_shards().max(1);
+    let mut out = ClientOutcome {
+        ok: 0,
+        transport_errors: 0,
+        bad_responses: 0,
+        latencies_ns: Vec::with_capacity(cfg.queries_per_client),
+    };
+    for i in 0..cfg.queries_per_client {
+        let origin = tables.population.sample(&mut rng);
+        let client_ip = tables.block_ips[origin.block.index()];
+        let resolver_ip = tables.resolver_ips[origin.resolver.index()];
+        let qname = tables.sample_domain(&mut rng).clone();
+        let with_ecs = !rng.random_bool(cfg.no_ecs_fraction);
+        let id = (client_idx as u16)
+            .wrapping_mul(31)
+            .wrapping_add(i as u16)
+            .wrapping_mul(2654435761u32 as u16 | 1);
+        let ecs = with_ecs.then(|| EcsOption::query(client_ip, 24));
+        let query = Message::query(id, Question::a(qname.clone()), ecs.map(OptData::with_ecs));
+        let payload = encode_message(&query);
+        // Sticky sharding by block, like ECMP hashing the source flow.
+        let shard = origin.block.index() % shards;
+
+        let t0 = Instant::now();
+        let resp = transport.exchange(shard, tables.server_ip, resolver_ip, &payload, cfg.timeout);
+        let dt = t0.elapsed();
+        let bytes = match resp {
+            Ok(b) => b,
+            Err(_) => {
+                out.transport_errors += 1;
+                continue;
+            }
+        };
+        match verify(&bytes, id, &qname, ecs.as_ref()) {
+            true => {
+                out.ok += 1;
+                out.latencies_ns.push(dt.as_nanos() as u64);
+            }
+            false => out.bad_responses += 1,
+        }
+    }
+    out
+}
+
+/// A response is good when it decodes, echoes the ID and question, says
+/// NOERROR with at least one A answer, and — if ECS was sent — echoes the
+/// option with scope ≤ source.
+fn verify(bytes: &[u8], id: u16, qname: &DnsName, sent_ecs: Option<&EcsOption>) -> bool {
+    let Ok(resp) = decode_message(bytes) else {
+        return false;
+    };
+    if resp.id != id || !resp.flags.qr || resp.flags.rcode != Rcode::NoError {
+        return false;
+    }
+    if resp.questions.first().map(|q| &q.name) != Some(qname) {
+        return false;
+    }
+    if resp.answer_ips().is_empty() {
+        return false;
+    }
+    if let Some(sent) = sent_ecs {
+        let Some(echo) = resp.ecs() else {
+            return false;
+        };
+        if echo.scope_prefix > sent.source_prefix || echo.addr != sent.addr {
+            return false;
+        }
+    }
+    true
+}

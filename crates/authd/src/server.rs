@@ -1,0 +1,346 @@
+//! The sharded authoritative serving loop.
+//!
+//! [`AuthServer::spawn`] starts one OS thread per transport shard. Each
+//! shard owns its transport endpoint and its [`AnswerCache`] outright —
+//! the only shared state is the [`SnapshotHandle`] (cloned `Arc` per
+//! query) and the relaxed live counters, so shards never contend on a
+//! lock in the steady state. Per query a shard:
+//!
+//! 1. receives one RFC 1035 datagram,
+//! 2. grabs the current map snapshot (clearing its cache if the
+//!    generation changed since the last query),
+//! 3. decodes, consults the ECS-aware cache, computes the answer through
+//!    [`eum_mapping::MappingSystem::answer`] on a miss,
+//! 4. encodes and replies.
+//!
+//! Malformed packets get a FORMERR when the header is intact (so the ID
+//! can be echoed) and are dropped otherwise, like a production server.
+
+use crate::cache::{AnswerCache, AnswerCacheStats, CacheConfig, CachedAnswer};
+use crate::snapshot::SnapshotHandle;
+use crate::transport::ServerTransport;
+use eum_dns::edns::{EcsOption, OptData};
+use eum_dns::{decode_message, encode_message, DnsName, Message, QueryContext, Rcode};
+use eum_geo::Prefix;
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The authoritative IP a shard serves when the transport does not
+    /// carry one per datagram (UDP mode).
+    pub default_server_ip: Ipv4Addr,
+    /// Per-shard answer-cache bounds; `None` disables caching entirely
+    /// (every query routes through the snapshot).
+    pub cache: Option<CacheConfig>,
+    /// How long `recv` blocks before re-checking the stop flag.
+    pub recv_timeout: Duration,
+}
+
+impl ServerConfig {
+    /// Defaults with the given fallback server IP.
+    pub fn new(default_server_ip: Ipv4Addr) -> ServerConfig {
+        ServerConfig {
+            default_server_ip,
+            cache: Some(CacheConfig::default()),
+            recv_timeout: Duration::from_millis(20),
+        }
+    }
+
+    /// Same config with caching disabled.
+    pub fn without_cache(mut self) -> ServerConfig {
+        self.cache = None;
+        self
+    }
+}
+
+/// Live counters one shard exposes while running (relaxed atomics; read
+/// by reporters, written only by the owning shard).
+#[derive(Debug, Default)]
+pub struct ShardCounters {
+    /// Datagrams answered.
+    pub queries: AtomicU64,
+    /// Answers served from the shard cache.
+    pub cache_hits: AtomicU64,
+    /// Datagrams that failed to decode.
+    pub malformed: AtomicU64,
+}
+
+/// What a shard reports when joined.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Datagrams answered (including FORMERR replies).
+    pub queries: u64,
+    /// Datagrams dropped as undecodable without a usable header.
+    pub dropped: u64,
+    /// Datagrams answered FORMERR.
+    pub malformed: u64,
+    /// Cache counters (zeros when the cache is disabled).
+    pub cache: AnswerCacheStats,
+    /// Snapshot generations this shard served from.
+    pub generations_seen: u64,
+}
+
+/// A running sharded server; join with [`AuthServer::stop_join`].
+pub struct AuthServer {
+    stop: Arc<AtomicBool>,
+    counters: Vec<Arc<ShardCounters>>,
+    handles: Vec<JoinHandle<ShardReport>>,
+}
+
+impl AuthServer {
+    /// Spawns one serving thread per transport in `transports`.
+    pub fn spawn<T: ServerTransport>(
+        transports: Vec<T>,
+        snapshots: SnapshotHandle,
+        cfg: ServerConfig,
+    ) -> AuthServer {
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut counters = Vec::new();
+        let mut handles = Vec::new();
+        for (shard, transport) in transports.into_iter().enumerate() {
+            let c = Arc::new(ShardCounters::default());
+            counters.push(c.clone());
+            let stop = stop.clone();
+            let snapshots = snapshots.clone();
+            let cfg = cfg.clone();
+            handles.push(std::thread::spawn(move || {
+                run_shard(shard, transport, snapshots, cfg, stop, c)
+            }));
+        }
+        AuthServer {
+            stop,
+            counters,
+            handles,
+        }
+    }
+
+    /// Live per-shard counters (for mid-run reporting).
+    pub fn counters(&self) -> &[Arc<ShardCounters>] {
+        &self.counters
+    }
+
+    /// Total queries answered so far across shards.
+    pub fn total_queries(&self) -> u64 {
+        self.counters
+            .iter()
+            .map(|c| c.queries.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Signals every shard to stop and collects their reports.
+    pub fn stop_join(self) -> Vec<ShardReport> {
+        self.stop.store(true, Ordering::SeqCst);
+        self.handles
+            .into_iter()
+            .map(|h| h.join().expect("shard thread panicked"))
+            .collect()
+    }
+}
+
+/// Per-generation state a shard derives once per snapshot swap instead of
+/// per query.
+struct GenState {
+    generation: u64,
+    whoami: DnsName,
+    uses_ecs: bool,
+    top_ip: Ipv4Addr,
+}
+
+fn run_shard<T: ServerTransport>(
+    shard: usize,
+    mut transport: T,
+    snapshots: SnapshotHandle,
+    cfg: ServerConfig,
+    stop: Arc<AtomicBool>,
+    counters: Arc<ShardCounters>,
+) -> ShardReport {
+    let mut cache = cfg.cache.map(AnswerCache::new);
+    let mut gen_state: Option<GenState> = None;
+    let mut generations_seen = 0u64;
+    let mut dropped = 0u64;
+    let mut malformed = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        let dg = match transport.recv(cfg.recv_timeout) {
+            Ok(Some(dg)) => dg,
+            Ok(None) => continue,
+            Err(_) => continue,
+        };
+        let snap = snapshots.current();
+        if gen_state.as_ref().map(|g| g.generation) != Some(snap.generation) {
+            // New map generation: cached answers may route to clusters the
+            // new map no longer picks. Drop them all.
+            if let Some(c) = cache.as_mut() {
+                c.clear();
+            }
+            gen_state = Some(GenState {
+                generation: snap.generation,
+                whoami: snap.map.whoami_name(),
+                uses_ecs: snap.map.policy().uses_ecs(),
+                top_ip: snap.map.top_level_ip(),
+            });
+            generations_seen += 1;
+        }
+        let gen = gen_state.as_ref().expect("generation state set above");
+
+        let query = match decode_message(&dg.payload) {
+            Ok(m) => m,
+            Err(_) => {
+                counters.malformed.fetch_add(1, Ordering::Relaxed);
+                malformed += 1;
+                match formerr_reply(&dg.payload) {
+                    Some(reply) => {
+                        counters.queries.fetch_add(1, Ordering::Relaxed);
+                        let _ = transport.send(&dg.peer, &reply);
+                    }
+                    None => dropped += 1,
+                }
+                continue;
+            }
+        };
+        let server_ip = dg.server_ip.unwrap_or(cfg.default_server_ip);
+        let ctx = QueryContext {
+            resolver_ip: dg.resolver_ip,
+            now_ms: 0,
+        };
+        let resp = answer_query(
+            &snap.map,
+            gen,
+            cache.as_mut(),
+            server_ip,
+            &query,
+            &ctx,
+            &counters,
+        );
+        counters.queries.fetch_add(1, Ordering::Relaxed);
+        let _ = transport.send(&dg.peer, &encode_message(&resp));
+    }
+    ShardReport {
+        shard,
+        queries: counters.queries.load(Ordering::Relaxed),
+        dropped,
+        malformed,
+        cache: cache.map(|c| c.stats()).unwrap_or_default(),
+        generations_seen,
+    }
+}
+
+/// Answers one decoded query, going through the shard cache when possible.
+fn answer_query(
+    map: &eum_mapping::MappingSystem,
+    gen: &GenState,
+    cache: Option<&mut AnswerCache>,
+    server_ip: Ipv4Addr,
+    query: &Message,
+    ctx: &QueryContext,
+    counters: &ShardCounters,
+) -> Message {
+    let Some(cache) = cache else {
+        return map.answer(server_ip, query, ctx);
+    };
+    // Only catalog-name queries are memoizable: whoami is TTL-0 by design
+    // and error responses are cheap to recompute.
+    let Some(q) = query.questions.first() else {
+        return map.answer(server_ip, query, ctx);
+    };
+    if q.name == gen.whoami {
+        return map.answer(server_ip, query, ctx);
+    }
+    let now = Instant::now();
+    let ecs = query.ecs().copied();
+    // The end-user (scoped) path exists only at low-level servers; the
+    // top level always delegates per resolver, whatever the query carries.
+    let eu_path = gen.uses_ecs && ecs.is_some() && server_ip != gen.top_ip;
+
+    let hit = if let (true, Some(e)) = (eu_path, ecs.as_ref()) {
+        cache.lookup_scoped(&q.name, q.rtype, e.addr, e.source_prefix, now)
+    } else {
+        cache.lookup_resolver(&q.name, q.rtype, ctx.resolver_ip, server_ip, now)
+    };
+    if let Some(entry) = hit {
+        counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+        return replay(&entry, query, ecs.as_ref());
+    }
+
+    let resp = map.answer(server_ip, query, ctx);
+    // Cache only clean answers with a real TTL; the minimum spans every
+    // returned record (delegations live in authorities/additionals).
+    let min_ttl = resp
+        .answers
+        .iter()
+        .chain(resp.authorities.iter())
+        .chain(
+            resp.additionals
+                .iter()
+                .filter(|r| !matches!(r.rdata, eum_dns::RData::Opt(_))),
+        )
+        .map(|r| r.ttl)
+        .min();
+    let cacheable = resp.flags.rcode == Rcode::NoError && min_ttl.is_some_and(|t| t > 0);
+    if cacheable {
+        let entry = CachedAnswer::from_response(&resp, min_ttl.expect("checked"), now);
+        match (eu_path, resp.ecs().map(|e| e.scope_prefix)) {
+            // End-user answer with a real scope: valid for the whole
+            // scope block.
+            (true, Some(scope)) if scope > 0 => {
+                let e = ecs.as_ref().expect("eu_path implies ecs");
+                cache.insert_scoped(q.name.clone(), q.rtype, Prefix::of(e.addr, scope), entry);
+            }
+            // Scope-0 answer to an ECS query (unknown block fallback):
+            // not cached. It must not enter the scoped table (a /0 entry
+            // would shadow real blocks) and the resolver table is for
+            // queries that will probe it again — ECS queries never do.
+            (true, _) => {}
+            // NS path (no ECS, policy ignores it, or top-level
+            // delegation): per-resolver at this serving IP.
+            (false, _) => {
+                cache.insert_resolver(q.name.clone(), q.rtype, ctx.resolver_ip, server_ip, entry);
+            }
+        }
+    }
+    resp
+}
+
+/// Rebuilds a response from a cached entry for this specific query.
+fn replay(entry: &CachedAnswer, query: &Message, ecs: Option<&EcsOption>) -> Message {
+    let mut resp = Message::response_to(query, entry.rcode);
+    if !entry.authorities.is_empty() {
+        // Delegations are not authoritative data.
+        resp.flags.aa = false;
+    }
+    resp.answers = entry.answers.clone();
+    resp.authorities = entry.authorities.clone();
+    resp.additionals = entry.additionals.clone();
+    if let Some(e) = ecs {
+        let scope = entry.scope.unwrap_or(0).min(e.source_prefix);
+        resp.set_opt(OptData::with_ecs(EcsOption::response(e, scope)));
+    }
+    resp
+}
+
+/// A minimal FORMERR reply when at least the 12-byte header survived.
+fn formerr_reply(payload: &[u8]) -> Option<Vec<u8>> {
+    if payload.len() < 12 {
+        return None;
+    }
+    let id = u16::from_be_bytes([payload[0], payload[1]]);
+    let resp = Message {
+        id,
+        flags: eum_dns::Flags {
+            qr: true,
+            rcode: Rcode::FormErr,
+            ..eum_dns::Flags::default()
+        },
+        questions: Vec::new(),
+        answers: Vec::new(),
+        authorities: Vec::new(),
+        additionals: Vec::new(),
+    };
+    Some(encode_message(&resp))
+}

@@ -1,0 +1,76 @@
+//! Read-mostly snapshot publication for the serving plane.
+//!
+//! The paper's mapping system recomputes its map every 10–30 seconds
+//! (§2.2) while the authoritative servers answer hundreds of thousands of
+//! queries per second. The serving plane must therefore read a *consistent*
+//! map without ever blocking on the control plane's recompute. The classic
+//! shape is read-copy-update: the control plane builds a complete new
+//! [`MappingSystem`] off to the side and publishes it with one atomic
+//! pointer swap; answer threads grab an `Arc` to whichever generation is
+//! current and keep using it for the duration of one query, so a query
+//! never observes half of one map and half of another.
+//!
+//! `std::sync::RwLock<Arc<…>>` is the publication cell: readers hold the
+//! lock only long enough to clone the `Arc` (a few nanoseconds, never
+//! across the actual answer computation), writers only long enough to
+//! store a pointer. Generations are numbered so per-shard caches can
+//! detect a swap and drop answers computed against the old map.
+
+use eum_mapping::MappingSystem;
+use std::sync::{Arc, RwLock};
+
+/// One published generation of the mapping system.
+pub struct Snapshot {
+    /// Monotonic generation number; starts at 1 for the initial map.
+    pub generation: u64,
+    /// The immutable map this generation serves from.
+    pub map: MappingSystem,
+}
+
+// The serving plane shares snapshots across shard threads. This holds
+// because `MappingSystem`'s serve path is `&self` (interior mutability is
+// limited to one relaxed atomic); a compile error here means a non-Sync
+// type crept into the map's serving state.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Snapshot>();
+};
+
+/// The swappable cell the control plane publishes into and every serving
+/// shard reads from. Cloning the handle is cheap; all clones observe the
+/// same publications.
+#[derive(Clone)]
+pub struct SnapshotHandle {
+    cell: Arc<RwLock<Arc<Snapshot>>>,
+}
+
+impl SnapshotHandle {
+    /// Wraps the initial map as generation 1.
+    pub fn new(map: MappingSystem) -> SnapshotHandle {
+        SnapshotHandle {
+            cell: Arc::new(RwLock::new(Arc::new(Snapshot { generation: 1, map }))),
+        }
+    }
+
+    /// The current generation's snapshot. The internal lock is held only
+    /// for the `Arc` clone; callers answer queries against the returned
+    /// snapshot without synchronization.
+    pub fn current(&self) -> Arc<Snapshot> {
+        self.cell.read().expect("snapshot cell poisoned").clone()
+    }
+
+    /// Publishes `map` as the next generation and returns its number.
+    /// In-flight queries keep the generation they already cloned; new
+    /// queries see the new map immediately.
+    pub fn publish(&self, map: MappingSystem) -> u64 {
+        let mut cell = self.cell.write().expect("snapshot cell poisoned");
+        let generation = cell.generation + 1;
+        *cell = Arc::new(Snapshot { generation, map });
+        generation
+    }
+
+    /// The current generation number without keeping the snapshot alive.
+    pub fn generation(&self) -> u64 {
+        self.cell.read().expect("snapshot cell poisoned").generation
+    }
+}

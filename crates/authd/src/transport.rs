@@ -1,0 +1,367 @@
+//! Pluggable datagram transports for the serving loop.
+//!
+//! The server loop is written against [`ServerTransport`] so the same
+//! shard code runs over two substrates:
+//!
+//! * [`ChannelTransport`] — in-process `std::sync::mpsc` queues. Fully
+//!   deterministic (no kernel scheduling, no socket buffers), so offline
+//!   tests and benches exercise decode → route → encode without network
+//!   noise. Each datagram carries the resolver IP the sender claims and
+//!   the authoritative server IP it targets, which lets one logical
+//!   server answer for its whole NS set (top-level + every cluster NS).
+//! * [`UdpTransport`] — one `std::net::UdpSocket` bound to loopback per
+//!   shard, the ECMP-style scale-out a production deployment uses. The
+//!   peer address comes from the kernel; queries are raw RFC 1035 wire
+//!   format with nothing wrapped around them, so the server's identity is
+//!   the socket itself (each shard serves the server IP it was spawned
+//!   with).
+//!
+//! `recv` returns `Ok(None)` on timeout so shards can poll their shutdown
+//! flag without busy-waiting.
+
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// One received query, addressed for reply.
+pub struct Datagram<P> {
+    /// Raw RFC 1035 message bytes.
+    pub payload: Vec<u8>,
+    /// The recursive resolver the query came from (NS-based mapping keys
+    /// on this). Loopback for UDP peers, declared for channel peers.
+    pub resolver_ip: Ipv4Addr,
+    /// Which of the server's authoritative IPs the query targets; `None`
+    /// means the shard's configured default.
+    pub server_ip: Option<Ipv4Addr>,
+    /// Opaque reply address.
+    pub peer: P,
+}
+
+/// A shard-side datagram endpoint.
+pub trait ServerTransport: Send + 'static {
+    /// Reply-address type.
+    type Peer: Send;
+    /// Waits up to `timeout` for one datagram. `Ok(None)` means timeout.
+    fn recv(&mut self, timeout: Duration) -> io::Result<Option<Datagram<Self::Peer>>>;
+    /// Sends a response back to `peer`.
+    fn send(&mut self, peer: &Self::Peer, payload: &[u8]) -> io::Result<()>;
+}
+
+/// A client-side endpoint the load generator drives: one blocking
+/// query/response exchange per call (the closed loop).
+pub trait ClientTransport: Send {
+    /// Sends `payload` to shard `shard` as `resolver_ip` targeting
+    /// `server_ip`, and waits for the response. Transports that cannot
+    /// carry the addressing (UDP) ignore it — the server's configured
+    /// default applies and the kernel supplies the source.
+    fn exchange(
+        &mut self,
+        shard: usize,
+        server_ip: Ipv4Addr,
+        resolver_ip: Ipv4Addr,
+        payload: &[u8],
+        timeout: Duration,
+    ) -> io::Result<Vec<u8>>;
+    /// How many shards this client can address.
+    fn num_shards(&self) -> usize;
+}
+
+// ---------------------------------------------------------------------
+// In-process channel transport.
+// ---------------------------------------------------------------------
+
+/// What travels client → shard over the channel substrate.
+struct ChannelQuery {
+    payload: Vec<u8>,
+    resolver_ip: Ipv4Addr,
+    server_ip: Ipv4Addr,
+    reply: Sender<Vec<u8>>,
+}
+
+/// Shard-side receiver for the in-process substrate.
+pub struct ChannelTransport {
+    rx: Receiver<ChannelQuery>,
+}
+
+/// Cloneable client-side sender set addressing every shard.
+#[derive(Clone)]
+pub struct ChannelConnector {
+    txs: Vec<Sender<ChannelQuery>>,
+}
+
+/// Builds `shards` paired channel endpoints: the transports go to the
+/// server, the connector is cloned into each load-generator client.
+pub fn channel_transports(shards: usize) -> (Vec<ChannelTransport>, ChannelConnector) {
+    let mut transports = Vec::with_capacity(shards);
+    let mut txs = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = channel();
+        txs.push(tx);
+        transports.push(ChannelTransport { rx });
+    }
+    (transports, ChannelConnector { txs })
+}
+
+impl ServerTransport for ChannelTransport {
+    type Peer = Sender<Vec<u8>>;
+
+    fn recv(&mut self, timeout: Duration) -> io::Result<Option<Datagram<Self::Peer>>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(q) => Ok(Some(Datagram {
+                payload: q.payload,
+                resolver_ip: q.resolver_ip,
+                server_ip: Some(q.server_ip),
+                peer: q.reply,
+            })),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            // Every client hung up: treat as a quiet socket; the shard
+            // exits when its stop flag is set.
+            Err(RecvTimeoutError::Disconnected) => Ok(None),
+        }
+    }
+
+    fn send(&mut self, peer: &Self::Peer, payload: &[u8]) -> io::Result<()> {
+        // A client that timed out and dropped its receiver is not a
+        // server error (matches UDP fire-and-forget semantics).
+        let _ = peer.send(payload.to_vec());
+        Ok(())
+    }
+}
+
+/// One load-generator client's view of the channel substrate.
+pub struct ChannelClient {
+    connector: ChannelConnector,
+    reply_tx: Sender<Vec<u8>>,
+    reply_rx: Receiver<Vec<u8>>,
+}
+
+impl ChannelClient {
+    /// A client endpoint with its own reply queue.
+    pub fn new(connector: ChannelConnector) -> ChannelClient {
+        let (reply_tx, reply_rx) = channel();
+        ChannelClient {
+            connector,
+            reply_tx,
+            reply_rx,
+        }
+    }
+}
+
+impl ClientTransport for ChannelClient {
+    fn exchange(
+        &mut self,
+        shard: usize,
+        server_ip: Ipv4Addr,
+        resolver_ip: Ipv4Addr,
+        payload: &[u8],
+        timeout: Duration,
+    ) -> io::Result<Vec<u8>> {
+        // Drain any stale reply from a previously timed-out exchange so
+        // responses cannot ever pair with the wrong query.
+        while self.reply_rx.try_recv().is_ok() {}
+        let tx = &self.connector.txs[shard % self.connector.txs.len()];
+        tx.send(ChannelQuery {
+            payload: payload.to_vec(),
+            resolver_ip,
+            server_ip,
+            reply: self.reply_tx.clone(),
+        })
+        .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "shard gone"))?;
+        self.reply_rx
+            .recv_timeout(timeout)
+            .map_err(|_| io::Error::new(io::ErrorKind::TimedOut, "no response"))
+    }
+
+    fn num_shards(&self) -> usize {
+        self.connector.txs.len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Loopback UDP transport.
+// ---------------------------------------------------------------------
+
+/// Largest datagram either side will read. EDNS0 advertises up to 4096
+/// in practice; our messages are far smaller.
+pub const MAX_DATAGRAM: usize = 4096;
+
+/// One shard's UDP socket.
+pub struct UdpTransport {
+    socket: UdpSocket,
+    buf: Box<[u8; MAX_DATAGRAM]>,
+}
+
+impl UdpTransport {
+    /// Binds an ephemeral loopback socket for one shard.
+    pub fn bind() -> io::Result<UdpTransport> {
+        let socket = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?;
+        Ok(UdpTransport {
+            socket,
+            buf: Box::new([0; MAX_DATAGRAM]),
+        })
+    }
+
+    /// Where clients should send.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+}
+
+impl ServerTransport for UdpTransport {
+    type Peer = SocketAddr;
+
+    fn recv(&mut self, timeout: Duration) -> io::Result<Option<Datagram<Self::Peer>>> {
+        self.socket.set_read_timeout(Some(timeout))?;
+        match self.socket.recv_from(&mut self.buf[..]) {
+            Ok((n, peer)) => {
+                let resolver_ip = match peer.ip() {
+                    std::net::IpAddr::V4(v4) => v4,
+                    std::net::IpAddr::V6(_) => Ipv4Addr::LOCALHOST,
+                };
+                Ok(Some(Datagram {
+                    payload: self.buf[..n].to_vec(),
+                    resolver_ip,
+                    server_ip: None,
+                    peer,
+                }))
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn send(&mut self, peer: &Self::Peer, payload: &[u8]) -> io::Result<()> {
+        self.socket.send_to(payload, peer)?;
+        Ok(())
+    }
+}
+
+/// A load-generator client with one socket, spreading queries over the
+/// shard sockets it was given.
+pub struct UdpClient {
+    socket: UdpSocket,
+    shard_addrs: Vec<SocketAddr>,
+    buf: Box<[u8; MAX_DATAGRAM]>,
+}
+
+impl UdpClient {
+    /// Binds an ephemeral loopback client socket.
+    pub fn connect(shard_addrs: Vec<SocketAddr>) -> io::Result<UdpClient> {
+        assert!(!shard_addrs.is_empty(), "need at least one shard address");
+        let socket = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?;
+        Ok(UdpClient {
+            socket,
+            shard_addrs,
+            buf: Box::new([0; MAX_DATAGRAM]),
+        })
+    }
+}
+
+impl ClientTransport for UdpClient {
+    fn exchange(
+        &mut self,
+        shard: usize,
+        _server_ip: Ipv4Addr,
+        _resolver_ip: Ipv4Addr,
+        payload: &[u8],
+        timeout: Duration,
+    ) -> io::Result<Vec<u8>> {
+        let dest = self.shard_addrs[shard % self.shard_addrs.len()];
+        self.socket.send_to(payload, dest)?;
+        self.socket.set_read_timeout(Some(timeout))?;
+        loop {
+            let (n, from) = self.socket.recv_from(&mut self.buf[..]).map_err(|e| {
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) {
+                    io::Error::new(io::ErrorKind::TimedOut, "no response")
+                } else {
+                    e
+                }
+            })?;
+            // A straggler from a timed-out earlier exchange may arrive
+            // from a different shard; only accept the queried peer.
+            if from == dest {
+                return Ok(self.buf[..n].to_vec());
+            }
+        }
+    }
+
+    fn num_shards(&self) -> usize {
+        self.shard_addrs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_round_trip() {
+        let (mut transports, connector) = channel_transports(2);
+        let mut client = ChannelClient::new(connector);
+        let payload = vec![1, 2, 3];
+        let h = std::thread::spawn({
+            let p = payload.clone();
+            move || {
+                let t = &mut transports[1];
+                let dg = t.recv(Duration::from_secs(1)).unwrap().unwrap();
+                assert_eq!(dg.payload, p);
+                assert_eq!(dg.resolver_ip, Ipv4Addr::new(9, 8, 7, 6));
+                assert_eq!(dg.server_ip, Some(Ipv4Addr::new(1, 2, 3, 4)));
+                t.send(&dg.peer, &[4, 5]).unwrap();
+            }
+        });
+        let resp = client
+            .exchange(
+                1,
+                Ipv4Addr::new(1, 2, 3, 4),
+                Ipv4Addr::new(9, 8, 7, 6),
+                &payload,
+                Duration::from_secs(1),
+            )
+            .unwrap();
+        assert_eq!(resp, vec![4, 5]);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn channel_recv_times_out_quietly() {
+        let (mut transports, _connector) = channel_transports(1);
+        let got = transports[0].recv(Duration::from_millis(10)).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn udp_round_trip_over_loopback() {
+        let mut server = UdpTransport::bind().unwrap();
+        let addr = server.local_addr().unwrap();
+        let mut client = UdpClient::connect(vec![addr]).unwrap();
+        let h = std::thread::spawn(move || {
+            let dg = server.recv(Duration::from_secs(2)).unwrap().unwrap();
+            assert_eq!(dg.payload, vec![7, 7]);
+            assert!(dg.server_ip.is_none());
+            server.send(&dg.peer, &[9]).unwrap();
+        });
+        let resp = client
+            .exchange(
+                0,
+                Ipv4Addr::UNSPECIFIED,
+                Ipv4Addr::UNSPECIFIED,
+                &[7, 7],
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert_eq!(resp, vec![9]);
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the ECS-scope-aware answer cache: RFC 7871 §7.3.1
+//! reuse rules must hold for every interleaving of inserts and lookups.
+
+use eum_authd::{AnswerCache, CacheConfig, CachedAnswer};
+use eum_dns::{DnsName, Message, Question, Rcode, Record, RrType};
+use eum_geo::Prefix;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+fn qname() -> DnsName {
+    "e0.cdn.example".parse().unwrap()
+}
+
+/// A cache entry whose answer IP encodes `marker`, so a hit can be traced
+/// back to the exact insertion that produced it.
+fn entry(marker: u32) -> CachedAnswer {
+    let q = Message::query(0, Question::a(qname()), None);
+    let mut resp = Message::response_to(&q, Rcode::NoError);
+    resp.answers
+        .push(Record::a(qname(), 60, Ipv4Addr::from(marker)));
+    CachedAnswer::from_response(&resp, 60, Instant::now())
+}
+
+fn marker_of(e: &CachedAnswer) -> u32 {
+    match e.answers.first().expect("marker record").rdata {
+        eum_dns::RData::A(ip) => u32::from(ip),
+        ref other => panic!("marker record is not an A record: {other:?}"),
+    }
+}
+
+proptest! {
+    /// Any scoped hit must come from an inserted block that (a) contains
+    /// the querying client and (b) is no longer than the query's ECS
+    /// source prefix — and among such blocks, the longest one.
+    #[test]
+    fn scoped_hits_respect_containment_and_narrowing(
+        inserts in proptest::collection::vec((any::<u32>(), 1u8..=32), 1..24),
+        probes in proptest::collection::vec((any::<u32>(), 0u8..=32), 1..32),
+    ) {
+        let mut cache = AnswerCache::new(CacheConfig::default());
+        let now = Instant::now();
+        // Model: block -> marker, replace on duplicate key like the cache.
+        let mut model: Vec<(Prefix, u32)> = Vec::new();
+        for (i, (addr, len)) in inserts.iter().enumerate() {
+            let block = Prefix::of(Ipv4Addr::from(*addr), *len);
+            cache.insert_scoped(qname(), RrType::A, block, entry(i as u32));
+            match model.iter_mut().find(|(b, _)| *b == block) {
+                Some(slot) => slot.1 = i as u32,
+                None => model.push((block, i as u32)),
+            }
+        }
+        for (addr, max_scope) in probes {
+            let client = Ipv4Addr::from(addr);
+            let hit = cache.lookup_scoped(&qname(), RrType::A, client, max_scope, now);
+            let expect = model
+                .iter()
+                .filter(|(b, _)| b.len() <= max_scope && b.contains(client))
+                .max_by_key(|(b, _)| b.len());
+            match (hit, expect) {
+                (Some(e), Some((block, marker))) => {
+                    prop_assert_eq!(marker_of(&e), *marker);
+                    prop_assert!(block.contains(client));
+                    prop_assert!(block.len() <= max_scope);
+                }
+                (None, None) => {}
+                (Some(e), None) => panic!(
+                    "hit marker {} for client {client}/{max_scope} with no eligible block",
+                    marker_of(&e)
+                ),
+                (None, Some((block, _))) => panic!(
+                    "missed eligible block {block:?} for client {client}/{max_scope}"
+                ),
+            }
+        }
+    }
+
+    /// Answers stored without ECS scope — per-resolver entries and /0
+    /// (global) answers — must never be returned to a scoped (ECS) lookup,
+    /// whatever the client or source prefix.
+    #[test]
+    fn unscoped_answers_never_leak_to_ecs_queries(
+        resolver_inserts in proptest::collection::vec((any::<u32>(), any::<u32>()), 1..16),
+        global_inserts in 1usize..4,
+        probes in proptest::collection::vec((any::<u32>(), 0u8..=32), 1..32),
+    ) {
+        let mut cache = AnswerCache::new(CacheConfig::default());
+        let now = Instant::now();
+        for (i, (resolver, server)) in resolver_inserts.iter().enumerate() {
+            cache.insert_resolver(
+                qname(),
+                RrType::A,
+                Ipv4Addr::from(*resolver),
+                Ipv4Addr::from(*server),
+                entry(i as u32),
+            );
+        }
+        // A hostile /0 scoped insert (the server never does this; the
+        // probe order must still never surface it).
+        for i in 0..global_inserts {
+            cache.insert_scoped(qname(), RrType::A, Prefix::ALL, entry(1000 + i as u32));
+        }
+        for (addr, max_scope) in probes {
+            let client = Ipv4Addr::from(addr);
+            let hit = cache.lookup_scoped(&qname(), RrType::A, client, max_scope, now);
+            prop_assert!(
+                hit.is_none(),
+                "ECS lookup for {}/{} must miss, got marker {:?}",
+                client,
+                max_scope,
+                hit.map(|e| marker_of(&e)),
+            );
+        }
+        // The resolver entries are still there and still served on the
+        // resolver path.
+        let (resolver, server) = resolver_inserts[resolver_inserts.len() - 1];
+        let got = cache.lookup_resolver(
+            &qname(),
+            RrType::A,
+            Ipv4Addr::from(resolver),
+            Ipv4Addr::from(server),
+            now,
+        );
+        prop_assert!(got.is_some());
+    }
+}

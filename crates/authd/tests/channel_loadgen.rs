@@ -1,0 +1,73 @@
+//! The closed-loop load generator against the in-process channel
+//! transport: every exchange must verify, and the ECS answer cache must
+//! actually absorb repeat traffic.
+
+use eum_authd::loadgen::{self, LoadGenConfig};
+use eum_authd::{channel_transports, AuthServer, ChannelClient, ServerConfig, SnapshotHandle};
+use eum_cdn::{deployment_universe, CatalogConfig, CdnPlatform, ContentCatalog, DeployConfig};
+use eum_mapping::{MappingConfig, MappingSystem};
+use eum_netmodel::{Internet, InternetConfig};
+use std::time::Duration;
+
+const SEED: u64 = 0xC4A2;
+
+#[test]
+fn loadgen_over_channels_verifies_every_response() {
+    let mut net = Internet::generate(InternetConfig::tiny(SEED));
+    let sites = deployment_universe(SEED, 16);
+    let cdn = CdnPlatform::deploy(
+        &mut net,
+        &sites,
+        &DeployConfig {
+            servers_per_cluster: 4,
+            cache_objects_per_server: 256,
+            cluster_capacity: f64::INFINITY,
+        },
+    );
+    let catalog = ContentCatalog::generate(&CatalogConfig::tiny(SEED));
+    let map = MappingSystem::build(
+        &mut net,
+        &cdn,
+        &catalog,
+        "cdn.example".parse().unwrap(),
+        MappingConfig {
+            max_ping_targets: 50,
+            ..MappingConfig::default()
+        },
+    );
+    let low = map.ns_ips()[1];
+
+    let (transports, connector) = channel_transports(2);
+    let server = AuthServer::spawn(transports, SnapshotHandle::new(map), ServerConfig::new(low));
+
+    let cfg = LoadGenConfig {
+        clients: 3,
+        queries_per_client: 400,
+        no_ecs_fraction: 0.2,
+        timeout: Duration::from_secs(5),
+        seed: SEED,
+    };
+    let report = loadgen::run(&net, &catalog, low, &cfg, |_| {
+        ChannelClient::new(connector.clone())
+    });
+
+    assert_eq!(report.ok, 3 * 400, "every exchange must verify");
+    assert_eq!(report.transport_errors, 0);
+    assert_eq!(report.bad_responses, 0);
+    assert!(report.qps() > 0.0);
+    assert!(report.p99_us() >= report.p50_us());
+
+    let reports = server.stop_join();
+    let queries: u64 = reports.iter().map(|r| r.queries).sum();
+    assert_eq!(queries, 3 * 400);
+    let hits: u64 = reports.iter().map(|r| r.cache.hits).sum();
+    let insertions: u64 = reports.iter().map(|r| r.cache.insertions).sum();
+    assert!(
+        hits > 0,
+        "repeat traffic over few blocks/domains must hit the cache (insertions={insertions})"
+    );
+    for r in &reports {
+        assert_eq!(r.dropped, 0);
+        assert_eq!(r.malformed, 0);
+    }
+}

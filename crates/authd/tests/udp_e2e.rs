@@ -1,0 +1,232 @@
+//! End-to-end: real RFC 1035 queries over loopback UDP against a sharded
+//! server, with a map-generation swap published mid-run.
+//!
+//! Several client threads hammer fixed probe queries while the main
+//! thread publishes a second map generation (one cluster failed). Every
+//! response must be well-formed and match the answer one of the two
+//! generations computes — never a mix — and once the publish has
+//! completed, every later response must come from the new generation.
+
+use eum_authd::{AuthServer, ServerConfig, SnapshotHandle, UdpClient, UdpTransport};
+use eum_cdn::{deployment_universe, CatalogConfig, CdnPlatform, ContentCatalog, DeployConfig};
+use eum_dns::edns::{EcsOption, OptData};
+use eum_dns::{decode_message, encode_message, Message, QueryContext, Question, Rcode};
+use eum_mapping::{MappingConfig, MappingSystem};
+use eum_netmodel::{Internet, InternetConfig};
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 0xE2E;
+
+/// Deterministic world; called twice to get two identical map copies.
+fn world() -> (Internet, CdnPlatform, MappingSystem) {
+    let mut net = Internet::generate(InternetConfig::tiny(SEED));
+    let sites = deployment_universe(SEED, 16);
+    let cdn = CdnPlatform::deploy(
+        &mut net,
+        &sites,
+        &DeployConfig {
+            servers_per_cluster: 4,
+            cache_objects_per_server: 256,
+            cluster_capacity: f64::INFINITY,
+        },
+    );
+    let catalog = ContentCatalog::generate(&CatalogConfig::tiny(SEED));
+    let map = MappingSystem::build(
+        &mut net,
+        &cdn,
+        &catalog,
+        "cdn.example".parse().unwrap(),
+        MappingConfig {
+            max_ping_targets: 50,
+            ..MappingConfig::default()
+        },
+    );
+    (net, cdn, map)
+}
+
+/// One fixed probe: an ECS or plain A query for a hosted domain.
+struct Probe {
+    payload: Vec<u8>,
+    id: u16,
+    sent_ecs: Option<EcsOption>,
+    /// Answer IPs generation 1 / generation 2 compute for this probe.
+    expect1: Vec<Ipv4Addr>,
+    expect2: Vec<Ipv4Addr>,
+}
+
+fn answer_ips(map: &MappingSystem, server: Ipv4Addr, query: &Message) -> Vec<Ipv4Addr> {
+    // The UDP transport reports the kernel peer address as the resolver,
+    // which on loopback is always 127.0.0.1 — mirror that here.
+    let ctx = QueryContext {
+        resolver_ip: Ipv4Addr::LOCALHOST,
+        now_ms: 0,
+    };
+    let resp = map.answer(server, query, &ctx);
+    assert_eq!(resp.flags.rcode, Rcode::NoError);
+    let mut ips = resp.answer_ips();
+    ips.sort_unstable();
+    ips
+}
+
+#[test]
+fn loopback_udp_serving_survives_generation_swap() {
+    let (net, _cdn, map1) = world();
+    let (_net2, mut cdn2, mut map2) = world();
+    let low = map1.ns_ips()[1];
+
+    // Generation 2: the first cluster that actually serves one of our
+    // probe blocks goes down, so its units move elsewhere.
+    let probe_blocks: Vec<_> = net.blocks.iter().take(24).map(|b| b.client_ip()).collect();
+    let victim = probe_blocks
+        .iter()
+        .find_map(|ip| map1.assigned_cluster_for_block(eum_geo::Prefix::of(*ip, 24)))
+        .expect("some probe block maps to a cluster");
+    cdn2.set_cluster_alive(victim, false);
+    map2.refresh_liveness(&cdn2);
+
+    // Fixed probe set: ECS queries for a handful of client blocks plus one
+    // plain (resolver-path) query.
+    let mut probes = Vec::new();
+    for (i, client) in probe_blocks.iter().take(8).enumerate() {
+        let id = 0x4000 + i as u16;
+        let ecs = EcsOption::query(*client, 24);
+        let q = Message::query(
+            id,
+            Question::a("e0.cdn.example".parse().unwrap()),
+            Some(OptData::with_ecs(ecs)),
+        );
+        probes.push(Probe {
+            payload: encode_message(&q),
+            id,
+            sent_ecs: Some(ecs),
+            expect1: answer_ips(&map1, low, &q),
+            expect2: answer_ips(&map2, low, &q),
+        });
+    }
+    let plain = Message::query(0x5000, Question::a("e1.cdn.example".parse().unwrap()), None);
+    probes.push(Probe {
+        payload: encode_message(&plain),
+        id: 0x5000,
+        sent_ecs: None,
+        expect1: answer_ips(&map1, low, &plain),
+        expect2: answer_ips(&map2, low, &plain),
+    });
+    assert!(
+        probes.iter().any(|p| p.expect1 != p.expect2),
+        "the killed cluster must change at least one probe's answer"
+    );
+    let probes = Arc::new(probes);
+
+    // Sharded server over loopback UDP.
+    let shards = 2;
+    let mut transports = Vec::new();
+    let mut addrs = Vec::new();
+    for _ in 0..shards {
+        let t = UdpTransport::bind().expect("bind loopback");
+        addrs.push(t.local_addr().expect("local addr"));
+        transports.push(t);
+    }
+    let snapshots = SnapshotHandle::new(map1);
+    let server = AuthServer::spawn(transports, snapshots.clone(), ServerConfig::new(low));
+
+    // Client threads: keep cycling the probes; after `published` flips,
+    // run one more full pass that must see only generation 2.
+    let published = Arc::new(AtomicBool::new(false));
+    let mut clients = Vec::new();
+    for t in 0..3usize {
+        let probes = probes.clone();
+        let published = published.clone();
+        let addrs = addrs.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut client = UdpClient::connect(addrs).expect("bind client");
+            let mut rounds_after_publish = 0u32;
+            let mut round = 0u32;
+            while rounds_after_publish < 3 {
+                let after = published.load(Ordering::SeqCst);
+                for (i, probe) in probes.iter().enumerate() {
+                    let shard = (t + i) % shards;
+                    let bytes = exchange(&mut client, shard, &probe.payload);
+                    check_response(probe, &bytes, after);
+                }
+                round += 1;
+                if after {
+                    rounds_after_publish += 1;
+                }
+            }
+            round
+        }));
+    }
+
+    // Let generation 1 serve some full rounds, then swap mid-run.
+    std::thread::sleep(Duration::from_millis(50));
+    let generation = snapshots.publish(map2);
+    assert_eq!(generation, 2);
+    published.store(true, Ordering::SeqCst);
+
+    for c in clients {
+        let rounds = c.join().expect("client thread");
+        assert!(rounds >= 3, "each client should complete several rounds");
+    }
+    let reports = server.stop_join();
+    let total: u64 = reports.iter().map(|r| r.queries).sum();
+    assert!(total > 0, "server answered nothing");
+    for r in &reports {
+        assert_eq!(r.dropped, 0, "shard {} dropped datagrams", r.shard);
+        assert_eq!(r.malformed, 0, "shard {} saw malformed queries", r.shard);
+        assert!(
+            r.generations_seen >= 1,
+            "shard {} never derived generation state",
+            r.shard
+        );
+    }
+}
+
+fn exchange(client: &mut UdpClient, shard: usize, payload: &[u8]) -> Vec<u8> {
+    use eum_authd::ClientTransport;
+    client
+        .exchange(
+            shard,
+            Ipv4Addr::UNSPECIFIED,
+            Ipv4Addr::UNSPECIFIED,
+            payload,
+            Duration::from_secs(5),
+        )
+        .expect("query timed out")
+}
+
+/// Well-formedness plus generation consistency for one response.
+fn check_response(probe: &Probe, bytes: &[u8], sent_after_publish: bool) {
+    let resp = decode_message(bytes).expect("response must decode");
+    assert_eq!(resp.id, probe.id);
+    assert!(resp.flags.qr);
+    assert_eq!(resp.flags.rcode, Rcode::NoError);
+    if let Some(sent) = &probe.sent_ecs {
+        let echo = resp.ecs().expect("ECS query must get an ECS echo");
+        assert_eq!(echo.addr, sent.addr);
+        assert!(
+            echo.scope_prefix <= sent.source_prefix,
+            "scope /{} wider-than-source /{} violates RFC 7871",
+            echo.scope_prefix,
+            sent.source_prefix
+        );
+    }
+    let mut ips = resp.answer_ips();
+    ips.sort_unstable();
+    assert!(!ips.is_empty(), "A answer must carry addresses");
+    if sent_after_publish {
+        assert_eq!(
+            ips, probe.expect2,
+            "query sent after publish must be answered by generation 2"
+        );
+    } else {
+        assert!(
+            ips == probe.expect1 || ips == probe.expect2,
+            "answer {ips:?} matches neither generation ({:?} / {:?})",
+            probe.expect1,
+            probe.expect2
+        );
+    }
+}

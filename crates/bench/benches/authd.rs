@@ -1,0 +1,163 @@
+//! Benchmark the serving subsystem: the full decode → route → encode
+//! path a shard executes per query, and the closed-loop exchange cost
+//! through the in-process channel transport with and without the answer
+//! cache, at one and four shards.
+//!
+//! Shard scaling caveat: this box may be single-core; extra shards then
+//! time-slice instead of parallelizing, so the 4-shard number measures
+//! scheduling overhead, not speedup. On an N-core machine the shards are
+//! share-nothing and scale with cores.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eum_authd::loadgen::LoadGenConfig;
+use eum_authd::{
+    channel_transports, AuthServer, ChannelClient, ClientTransport, ServerConfig, SnapshotHandle,
+};
+use eum_bench::{tiny_internet, BENCH_SEED};
+use eum_cdn::{deployment_universe, CatalogConfig, CdnPlatform, ContentCatalog, DeployConfig};
+use eum_dns::edns::{EcsOption, OptData};
+use eum_dns::{decode_message, encode_message, Message, QueryContext, Question};
+use eum_mapping::{MappingConfig, MappingSystem};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+fn world() -> (eum_netmodel::Internet, ContentCatalog, MappingSystem) {
+    let mut net = tiny_internet();
+    let sites = deployment_universe(BENCH_SEED, 16);
+    let cdn = CdnPlatform::deploy(
+        &mut net,
+        &sites,
+        &DeployConfig {
+            servers_per_cluster: 4,
+            cache_objects_per_server: 256,
+            cluster_capacity: f64::INFINITY,
+        },
+    );
+    let catalog = ContentCatalog::generate(&CatalogConfig::tiny(BENCH_SEED));
+    let mapping = MappingSystem::build(
+        &mut net,
+        &cdn,
+        &catalog,
+        "cdn.example".parse().unwrap(),
+        MappingConfig {
+            max_ping_targets: 50,
+            ..MappingConfig::default()
+        },
+    );
+    (net, catalog, mapping)
+}
+
+/// The wire-format ECS query every benchmark serves.
+fn ecs_query(client: Ipv4Addr) -> Vec<u8> {
+    encode_message(&Message::query(
+        7,
+        Question::a("e0.cdn.example".parse().unwrap()),
+        Some(OptData::with_ecs(EcsOption::query(client, 24))),
+    ))
+}
+
+/// The shard's per-query work without any transport: decode the wire
+/// bytes, route through the snapshot's map, encode the response.
+fn bench_decode_route_encode(c: &mut Criterion) {
+    let (net, _catalog, mapping) = world();
+    let client = net.blocks[0].client_ip();
+    let resolver = net.resolvers[0].ip;
+    let low = mapping.ns_ips()[1];
+    let payload = ecs_query(client);
+    let ctx = QueryContext {
+        resolver_ip: resolver,
+        now_ms: 0,
+    };
+    c.bench_function("authd_decode_route_encode", |b| {
+        b.iter(|| {
+            let query = decode_message(black_box(&payload)).expect("valid query");
+            let resp = mapping.answer(low, &query, &ctx);
+            black_box(encode_message(&resp))
+        })
+    });
+}
+
+/// One closed-loop exchange through the channel substrate: client send,
+/// shard decode → cache/route → encode, client receive.
+fn bench_channel_exchange(c: &mut Criterion) {
+    let (net, _catalog, mapping) = world();
+    let client_ip = net.blocks[0].client_ip();
+    let resolver = net.resolvers[0].ip;
+    let low = mapping.ns_ips()[1];
+    let payload = ecs_query(client_ip);
+    let snapshots = SnapshotHandle::new(mapping);
+
+    for (label, shards, cached) in [
+        ("authd_exchange_1shard_cached", 1, true),
+        ("authd_exchange_1shard_uncached", 1, false),
+        ("authd_exchange_4shard_cached", 4, true),
+    ] {
+        let (transports, connector) = channel_transports(shards);
+        let cfg = if cached {
+            ServerConfig::new(low)
+        } else {
+            ServerConfig::new(low).without_cache()
+        };
+        let server = AuthServer::spawn(transports, snapshots.clone(), cfg);
+        let mut client = ChannelClient::new(connector);
+        let mut shard = 0usize;
+        c.bench_function(label, |b| {
+            b.iter(|| {
+                shard = (shard + 1) % shards;
+                let resp = client
+                    .exchange(
+                        black_box(shard),
+                        low,
+                        resolver,
+                        &payload,
+                        Duration::from_secs(5),
+                    )
+                    .expect("exchange");
+                black_box(resp)
+            })
+        });
+        drop(client);
+        server.stop_join();
+    }
+}
+
+/// Aggregate throughput of the whole subsystem under the closed-loop load
+/// generator, 1 vs 4 shards (see the module caveat about core counts).
+fn bench_loadgen_throughput(c: &mut Criterion) {
+    let (net, catalog, mapping) = world();
+    let low = mapping.ns_ips()[1];
+    let snapshots = SnapshotHandle::new(mapping);
+    let mut group = c.benchmark_group("authd_loadgen");
+    group.sample_size(10);
+    for (label, shards) in [("run_1shard", 1usize), ("run_4shard", 4usize)] {
+        let (transports, connector) = channel_transports(shards);
+        let server = AuthServer::spawn(transports, snapshots.clone(), ServerConfig::new(low));
+        let cfg = LoadGenConfig {
+            clients: shards,
+            queries_per_client: 1_000,
+            no_ecs_fraction: 0.1,
+            timeout: Duration::from_secs(5),
+            seed: BENCH_SEED,
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let report = eum_authd::loadgen::run(&net, &catalog, low, &cfg, |_| {
+                    ChannelClient::new(connector.clone())
+                });
+                assert_eq!(report.transport_errors + report.bad_responses, 0);
+                black_box(report.ok)
+            })
+        });
+        server.stop_join();
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decode_route_encode,
+    bench_channel_exchange,
+    bench_loadgen_throughput
+);
+criterion_main!(benches);

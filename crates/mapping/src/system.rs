@@ -30,6 +30,7 @@ use eum_netmodel::{Endpoint, Internet};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How servers are picked within the chosen cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -147,6 +148,10 @@ pub struct MappingSystem {
     /// End-user units (only under `MappingPolicy::EndUser`).
     eu_units: Option<MapUnits>,
     eu_candidates: [Vec<Vec<u32>>; 3],
+    /// Round-robin rotation for [`LocalLbPolicy::RoundRobin`]. Atomic so
+    /// the lock-free [`MappingSystem::answer`] path can rotate while the
+    /// system is shared immutably across serving shards.
+    rr_counter: AtomicU64,
     /// Runtime counters.
     pub stats: MappingStats,
 }
@@ -206,6 +211,7 @@ impl MappingSystem {
             ldns_by_ip: computed.ldns_by_ip,
             eu_units: computed.eu_units,
             eu_candidates: computed.eu_candidates,
+            rr_counter: AtomicU64::new(0),
             stats: MappingStats::default(),
         }
     }
@@ -501,12 +507,39 @@ impl MappingSystem {
             .map(|c| self.clusters[c].id)
     }
 
-    /// Handles one authoritative query arriving at `server_ip`.
+    /// Handles one authoritative query arriving at `server_ip`, updating
+    /// the runtime counters. Single-owner entry point; the serving shards
+    /// use the lock-free [`MappingSystem::answer`] instead and keep their
+    /// own statistics.
     pub fn handle(&mut self, server_ip: Ipv4Addr, query: &Message, ctx: &QueryContext) -> Message {
         self.stats.queries += 1;
         if query.ecs().is_some() {
             self.stats.ecs_queries += 1;
         }
+        if let Some(q) = query.questions.first() {
+            if q.name.is_within(&self.suffix) && q.name != self.whoami_name() {
+                if let Some(idx) = self.catalog.by_cdn_name(&q.name).map(|(i, _)| i) {
+                    if server_ip == self.top_ip {
+                        self.stats.top_level_queries += 1;
+                    } else if self.ns_by_ip.contains_key(&server_ip) {
+                        self.stats.a_queries += 1;
+                        *self
+                            .stats
+                            .per_domain_ldns
+                            .entry((idx, ctx.resolver_ip))
+                            .or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        self.answer(server_ip, query, ctx)
+    }
+
+    /// Answers one authoritative query arriving at `server_ip` without
+    /// touching any counters: the pure serving path, callable through a
+    /// shared reference from many threads at once (the only interior
+    /// mutation is the relaxed round-robin rotation).
+    pub fn answer(&self, server_ip: Ipv4Addr, query: &Message, ctx: &QueryContext) -> Message {
         let question = match query.questions.first() {
             Some(q) => q.clone(),
             None => return Message::response_to(query, Rcode::FormErr),
@@ -540,19 +573,10 @@ impl MappingSystem {
         };
 
         if server_ip == self.top_ip {
-            self.stats.top_level_queries += 1;
             return self.handle_top_level(query, &question.name, domain.2, ctx);
         }
         match self.ns_by_ip.get(&server_ip).copied() {
-            Some(_) => {
-                self.stats.a_queries += 1;
-                *self
-                    .stats
-                    .per_domain_ldns
-                    .entry((domain.0, ctx.resolver_ip))
-                    .or_insert(0) += 1;
-                self.handle_low_level(query, &question.name, domain, ctx)
-            }
+            Some(_) => self.handle_low_level(query, &question.name, domain, ctx),
             None => Message::response_to(query, Rcode::Refused),
         }
     }
@@ -634,10 +658,14 @@ impl MappingSystem {
                     .pick(domain_key(domain_idx), self.cfg.servers_per_answer, alive)
             }
             LocalLbPolicy::RoundRobin => {
-                // Per-query rotation keyed by the query counter: load is
+                // Per-query rotation keyed by an atomic tick: load is
                 // spread evenly but each domain touches every server.
+                let tick = self
+                    .rr_counter
+                    .fetch_add(1, Ordering::Relaxed)
+                    .wrapping_add(1);
                 view.ring.pick(
-                    domain_key(domain_idx) ^ self.stats.a_queries.wrapping_mul(0x9E37_79B9),
+                    domain_key(domain_idx) ^ tick.wrapping_mul(0x9E37_79B9),
                     self.cfg.servers_per_answer,
                     alive,
                 )

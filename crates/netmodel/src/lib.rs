@@ -30,6 +30,7 @@ mod generate;
 pub mod ids;
 pub mod latency;
 pub mod resolver;
+pub mod sample;
 
 pub use asys::{AsInfo, AsTier, ResolverPolicy};
 pub use bgp::BgpTable;
@@ -39,6 +40,7 @@ pub use endpoint::Endpoint;
 pub use ids::{AsId, BlockId, ProviderId, ResolverId};
 pub use latency::LatencyModel;
 pub use resolver::{AnycastRouter, PublicProvider, Resolver, ResolverKind};
+pub use sample::{QueryOrigin, QueryPopulation};
 
 use eum_geo::{GeoDb, GeoInfo, Prefix};
 use std::collections::HashMap;

@@ -1,0 +1,160 @@
+//! Demand-weighted query-population sampling.
+//!
+//! The serving-layer load generator replays "the Internet asking the CDN
+//! questions": each authoritative query originates from a client block and
+//! travels through one of that block's LDNSes, with probability
+//! proportional to the block's demand times the block→LDNS usage weight —
+//! the same demand split as [`crate::Internet::ldns_demand`] (§3.1's
+//! per-block aggregates). [`QueryPopulation`] flattens that joint
+//! distribution once and then samples `(block, resolver)` pairs in
+//! `O(log n)` with no allocation, so many load-generator threads can each
+//! hold a clone of the (cheap, `Arc`-shareable) table and their own RNG.
+
+use crate::ids::{BlockId, ResolverId};
+use crate::Internet;
+use rand::{RngCore, RngExt};
+
+/// A sampled query origin: the client block the query is about and the
+/// recursive resolver that forwards it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryOrigin {
+    /// The /24 client block whose clients issued the lookup.
+    pub block: BlockId,
+    /// The LDNS that carries it to the authoritative.
+    pub resolver: ResolverId,
+}
+
+/// The joint (block, LDNS) demand distribution, preprocessed for sampling.
+#[derive(Debug, Clone)]
+pub struct QueryPopulation {
+    /// `(block, resolver)` pairs in generation order.
+    pairs: Vec<QueryOrigin>,
+    /// Cumulative demand weight per pair (strictly increasing; last entry
+    /// equals [`QueryPopulation::total_demand`]).
+    cumulative: Vec<f64>,
+}
+
+impl QueryPopulation {
+    /// Flattens the network's block→LDNS usage into a sampling table.
+    /// Pairs with non-positive weight are dropped.
+    pub fn build(net: &Internet) -> QueryPopulation {
+        let mut pairs = Vec::new();
+        let mut cumulative = Vec::new();
+        let mut acc = 0.0f64;
+        for b in &net.blocks {
+            for (r, w) in &b.ldns {
+                let weight = w * b.demand;
+                if weight > 0.0 {
+                    acc += weight;
+                    pairs.push(QueryOrigin {
+                        block: b.id,
+                        resolver: *r,
+                    });
+                    cumulative.push(acc);
+                }
+            }
+        }
+        assert!(!pairs.is_empty(), "network has no demand to sample");
+        QueryPopulation { pairs, cumulative }
+    }
+
+    /// Number of distinct `(block, resolver)` pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when the table is empty (never, post-`build`; kept for the
+    /// `len`/`is_empty` pairing).
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Total demand mass across all pairs.
+    pub fn total_demand(&self) -> f64 {
+        *self.cumulative.last().expect("non-empty table")
+    }
+
+    /// Draws one query origin with probability proportional to demand.
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> QueryOrigin {
+        let needle = rng.random_range(0.0..self.total_demand());
+        // First pair whose cumulative weight exceeds the needle.
+        let idx = self.cumulative.partition_point(|&c| c <= needle);
+        self.pairs[idx.min(self.pairs.len() - 1)]
+    }
+
+    /// All pairs with their individual weights (testing/inspection).
+    pub fn pairs(&self) -> impl Iterator<Item = (QueryOrigin, f64)> + '_ {
+        self.pairs.iter().enumerate().map(|(i, p)| {
+            let prev = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
+            (*p, self.cumulative[i] - prev)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InternetConfig;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn every_sampled_pair_is_a_real_block_ldns_edge() {
+        let net = Internet::generate(InternetConfig::tiny(7));
+        let pop = QueryPopulation::build(&net);
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        for _ in 0..500 {
+            let o = pop.sample(&mut rng);
+            let block = net.block(o.block);
+            assert!(
+                block.ldns.iter().any(|(r, _)| *r == o.resolver),
+                "sampled resolver not used by block"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_frequency_tracks_demand() {
+        let net = Internet::generate(InternetConfig::tiny(7));
+        let pop = QueryPopulation::build(&net);
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let n = 40_000usize;
+        let mut by_resolver: HashMap<ResolverId, usize> = HashMap::new();
+        for _ in 0..n {
+            *by_resolver
+                .entry(pop.sample(&mut rng).resolver)
+                .or_insert(0) += 1;
+        }
+        // The heaviest LDNS by demand should also be sampled most.
+        let demand = net.ldns_demand();
+        let heaviest = demand
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(r, _)| *r)
+            .unwrap();
+        let most_sampled = by_resolver
+            .iter()
+            .max_by_key(|(_, c)| **c)
+            .map(|(r, _)| *r)
+            .unwrap();
+        assert_eq!(most_sampled, heaviest);
+        // And its empirical share should be within a few points of its
+        // demand share.
+        let share = by_resolver[&heaviest] as f64 / n as f64;
+        let expect = demand[&heaviest] / pop.total_demand();
+        assert!(
+            (share - expect).abs() < 0.03,
+            "share {share:.3} vs demand {expect:.3}"
+        );
+    }
+
+    #[test]
+    fn total_demand_matches_network() {
+        let net = Internet::generate(InternetConfig::tiny(9));
+        let pop = QueryPopulation::build(&net);
+        assert!((pop.total_demand() - net.total_demand()).abs() / net.total_demand() < 1e-9);
+        assert_eq!(pop.len(), pop.pairs().count());
+        assert!(!pop.is_empty());
+    }
+}

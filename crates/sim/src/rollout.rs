@@ -241,37 +241,44 @@ impl RolloutReport {
     /// The headline numbers as a machine-readable JSON object (what
     /// `reproduce_all` writes to `results/summary.json`).
     pub fn summary_json(&self) -> String {
-        #[derive(Serialize)]
-        struct Headline {
-            rum_samples: usize,
-            days: u32,
-            failed_views: u64,
-            high_expectation_countries: Vec<String>,
-            mapping_distance_high_before_after: (f64, f64),
-            rtt_high_before_after: (f64, f64),
-            ttfb_high_before_after: (f64, f64),
-            download_high_before_after: (f64, f64),
-            queries_total_before_after: (f64, f64),
-            queries_public_before_after: (f64, f64),
+        fn pair((a, b): (f64, f64)) -> String {
+            format!("[{a}, {b}]")
         }
         let ((qt_pre, qp_pre), (qt_post, qp_post)) = self.query_rate_change();
-        let h = Headline {
-            rum_samples: self.rum.len(),
-            days: self.cfg.days,
-            failed_views: self.failed_views,
-            high_expectation_countries: self
-                .high_expectation
-                .iter()
-                .map(|c| c.code().to_string())
-                .collect(),
-            mapping_distance_high_before_after: self.before_after(Metric::MappingDistance, true),
-            rtt_high_before_after: self.before_after(Metric::Rtt, true),
-            ttfb_high_before_after: self.before_after(Metric::Ttfb, true),
-            download_high_before_after: self.before_after(Metric::Download, true),
-            queries_total_before_after: (qt_pre, qt_post),
-            queries_public_before_after: (qp_pre, qp_post),
-        };
-        serde_json::to_string_pretty(&h).expect("headline serializes")
+        let countries = self
+            .high_expectation
+            .iter()
+            .map(|c| format!("\"{}\"", c.code()))
+            .collect::<Vec<_>>()
+            .join(", ");
+        // Hand-rendered (the offline serde stub cannot serialize); every
+        // value is a number, string literal, or pair, so this stays exact.
+        format!(
+            concat!(
+                "{{\n",
+                "  \"rum_samples\": {},\n",
+                "  \"days\": {},\n",
+                "  \"failed_views\": {},\n",
+                "  \"high_expectation_countries\": [{}],\n",
+                "  \"mapping_distance_high_before_after\": {},\n",
+                "  \"rtt_high_before_after\": {},\n",
+                "  \"ttfb_high_before_after\": {},\n",
+                "  \"download_high_before_after\": {},\n",
+                "  \"queries_total_before_after\": {},\n",
+                "  \"queries_public_before_after\": {}\n",
+                "}}"
+            ),
+            self.rum.len(),
+            self.cfg.days,
+            self.failed_views,
+            countries,
+            pair(self.before_after(Metric::MappingDistance, true)),
+            pair(self.before_after(Metric::Rtt, true)),
+            pair(self.before_after(Metric::Ttfb, true)),
+            pair(self.before_after(Metric::Download, true)),
+            pair((qt_pre, qt_post)),
+            pair((qp_pre, qp_post)),
+        )
     }
 
     /// A human-readable digest of the run.

@@ -8,7 +8,7 @@ use end_user_mapping::sim::{Metric, RolloutReport};
 
 fn report() -> &'static RolloutReport {
     static REPORT: std::sync::OnceLock<RolloutReport> = std::sync::OnceLock::new();
-    REPORT.get_or_init(|| Scenario::build(ScenarioConfig::tiny(0x401)).run_rollout())
+    REPORT.get_or_init(|| Scenario::build(ScenarioConfig::tiny(0x402)).run_rollout())
 }
 
 #[test]

@@ -1,0 +1,19 @@
+//! Offline stub of `serde`.
+//!
+//! The build environment has no crates.io access, so the real serde cannot
+//! be fetched. The workspace uses serde only through `#[derive(Serialize,
+//! Deserialize)]` as forward-looking annotations — no call site performs
+//! real (de)serialization (the one former `serde_json` consumer renders
+//! its JSON by hand). The traits are therefore empty markers and the
+//! derives (from the sibling `serde_derive` stub) emit empty impls.
+
+#![warn(missing_docs)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

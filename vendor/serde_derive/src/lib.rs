@@ -1,0 +1,137 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the real serde is
+//! unavailable. The workspace only ever *derives* `Serialize` /
+//! `Deserialize` (the traits are marker-only in the sibling `serde` stub);
+//! nothing performs real serialization. These derives parse just enough of
+//! the item — name and generics — to emit empty trait impls, and accept
+//! `#[serde(...)]` helper attributes so existing annotations keep
+//! compiling.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// The parsed shape of a derive target: its name and raw generics tokens.
+struct Target {
+    name: String,
+    /// Full generic parameter list including bounds, e.g. `<T: Clone, 'a>`.
+    decl: String,
+    /// Generic arguments for the type position, bounds stripped, e.g.
+    /// `<T, 'a>`.
+    args: String,
+}
+
+/// Extracts (name, generics-decl, generics-args) from a derive input.
+fn describe(input: TokenStream) -> Target {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Find the item keyword at top level (attributes are single groups
+    // preceded by '#', so a bare `struct`/`enum` ident is unambiguous).
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                break;
+            }
+        }
+        i += 1;
+    }
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => panic!("derive target has no name"),
+    };
+    i += 1;
+    // Optional generics: consume `<` ... matching `>` tracking depth.
+    let mut decl = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            while i < tokens.len() {
+                let t = &tokens[i];
+                if let TokenTree::Punct(p) = t {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                decl.push_str(&t.to_string());
+                decl.push(' ');
+                i += 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+    }
+    let args = strip_bounds(&decl);
+    Target { name, decl, args }
+}
+
+/// Turns `<T: Clone, const N: usize>` into `<T, N>` for the type position.
+fn strip_bounds(decl: &str) -> String {
+    let inner = decl
+        .trim()
+        .trim_start_matches('<')
+        .trim_end_matches('>')
+        .trim();
+    if inner.is_empty() {
+        return String::new();
+    }
+    let mut args = Vec::new();
+    let mut depth = 0i32;
+    let mut current = String::new();
+    for ch in inner.chars() {
+        match ch {
+            '<' | '(' | '[' => {
+                depth += 1;
+                current.push(ch);
+            }
+            '>' | ')' | ']' => {
+                depth -= 1;
+                current.push(ch);
+            }
+            ',' if depth == 0 => {
+                args.push(std::mem::take(&mut current));
+            }
+            _ => current.push(ch),
+        }
+    }
+    if !current.trim().is_empty() {
+        args.push(current);
+    }
+    let cleaned: Vec<String> = args
+        .iter()
+        .map(|a| {
+            let head = a.split(':').next().unwrap_or(a).trim();
+            // `const N : usize` → `N`.
+            head.trim_start_matches("const").trim().to_string()
+        })
+        .collect();
+    format!("<{}>", cleaned.join(", "))
+}
+
+fn empty_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    let t = describe(input);
+    format!(
+        "impl {decl} {tr} for {name} {args} {{}}",
+        decl = t.decl,
+        tr = trait_path,
+        name = t.name,
+        args = t.args
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "::serde::Serialize")
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "::serde::Deserialize")
+}
