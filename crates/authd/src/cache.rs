@@ -49,7 +49,10 @@ impl Default for CacheConfig {
     }
 }
 
-/// Per-shard cache counters.
+/// Per-shard cache counters. Counters are **cumulative over the cache's
+/// lifetime**: [`AnswerCache::clear`] drops the entries but never the
+/// stats, so hit ratios stay meaningful across snapshot-generation swaps
+/// (each swap is itself counted in `generation_clears`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AnswerCacheStats {
     /// Lookups served from cache.
@@ -60,6 +63,11 @@ pub struct AnswerCacheStats {
     pub evictions: u64,
     /// Entries inserted.
     pub insertions: u64,
+    /// Subset of `insertions` keyed by ECS scope block (the end-user
+    /// path); the rest were resolver-keyed.
+    pub scoped_insertions: u64,
+    /// Times the cache was wholesale-cleared for a new map generation.
+    pub generation_clears: u64,
 }
 
 /// A memoized answer: the sections of the response minus the per-query
@@ -235,6 +243,7 @@ impl AnswerCache {
         }
         if let Key::Scoped(_, _, p) = &key {
             self.scope_lens[p.len() as usize] += 1;
+            self.stats.scoped_insertions += 1;
         }
         if self.map.insert(key.clone(), answer).is_none() {
             self.order.push_back(key);
@@ -259,10 +268,13 @@ impl AnswerCache {
     }
 
     /// Drops every entry (used when a new snapshot generation lands).
+    /// Stats survive — they are cumulative across generations — and the
+    /// clear itself is counted.
     pub fn clear(&mut self) {
         self.map.clear();
         self.order.clear();
         self.scope_lens = [0; 33];
+        self.stats.generation_clears += 1;
     }
 
     /// Live entry count.
@@ -459,6 +471,46 @@ mod tests {
                 now
             )
             .is_some());
+    }
+
+    #[test]
+    fn stats_accumulate_across_generation_clears() {
+        let mut c = AnswerCache::new(CacheConfig::default());
+        let now = Instant::now();
+        c.insert_scoped(
+            name("e0.cdn.example"),
+            RrType::A,
+            "10.1.2.0/24".parse().unwrap(),
+            entry(30),
+        );
+        let _ = c.lookup_scoped(
+            &name("e0.cdn.example"),
+            RrType::A,
+            "10.1.2.77".parse().unwrap(),
+            24,
+            now,
+        );
+        c.clear();
+        c.insert_resolver(
+            name("e0.cdn.example"),
+            RrType::A,
+            "8.8.8.8".parse().unwrap(),
+            ns(),
+            entry(30),
+        );
+        let _ = c.lookup_resolver(
+            &name("e0.cdn.example"),
+            RrType::A,
+            "8.8.8.8".parse().unwrap(),
+            ns(),
+            now,
+        );
+        c.clear();
+        let s = c.stats();
+        assert_eq!(s.hits, 2, "hits must survive clears");
+        assert_eq!(s.insertions, 2);
+        assert_eq!(s.scoped_insertions, 1);
+        assert_eq!(s.generation_clears, 2);
     }
 
     #[test]

@@ -20,17 +20,22 @@
 //! - [`server`] — the sharded worker-pool loop tying the above together.
 //! - [`loadgen`] — multi-threaded closed-loop clients with latency
 //!   percentiles and verification of every response.
+//! - [`telemetry`] — observability wiring: per-shard counters and stage
+//!   histograms in a shared `eum_telemetry::Registry`, plus sampled
+//!   per-query traces, with zero locks added to the serve path.
 
 pub mod cache;
 pub mod loadgen;
 pub mod server;
 pub mod snapshot;
+pub mod telemetry;
 pub mod transport;
 
 pub use cache::{AnswerCache, AnswerCacheStats, CacheConfig, CachedAnswer};
 pub use loadgen::{LoadGenConfig, LoadReport};
 pub use server::{AuthServer, ServerConfig, ShardCounters, ShardReport};
 pub use snapshot::{Snapshot, SnapshotHandle};
+pub use telemetry::TelemetryConfig;
 pub use transport::{
     channel_transports, ChannelClient, ChannelConnector, ChannelTransport, ClientTransport,
     Datagram, ServerTransport, UdpClient, UdpTransport, MAX_DATAGRAM,

@@ -11,14 +11,19 @@
 //! is verified: matching ID, NOERROR, at least one A answer, and an ECS
 //! scope honoring `/y ≤ /x`.
 //!
-//! Latency is recorded per exchange; [`LoadReport`] aggregates
-//! throughput, p50/p99, and error counts across threads.
+//! Latency is recorded per exchange into a telemetry histogram (one
+//! stripe per client thread); [`LoadReport`] aggregates throughput,
+//! histogram-backed p50/p99, and error counts across threads. Pass a
+//! shared registry in [`LoadGenConfig::telemetry`] and the same
+//! distribution is exported as `eum_loadgen_exchange_ns` — the report and
+//! the scrape read literally the same buckets.
 
 use crate::transport::ClientTransport;
 use eum_cdn::ContentCatalog;
 use eum_dns::edns::{EcsOption, OptData};
 use eum_dns::{decode_message, encode_message, DnsName, Message, Question, Rcode};
 use eum_netmodel::{Internet, QueryPopulation};
+use eum_telemetry::{Histogram, HistogramSnapshot, Registry};
 use rand::{RngExt, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use std::net::Ipv4Addr;
@@ -39,6 +44,10 @@ pub struct LoadGenConfig {
     pub timeout: Duration,
     /// Seed for the demand sampling streams.
     pub seed: u64,
+    /// When set, exchange latencies are recorded into this registry's
+    /// `eum_loadgen_exchange_ns` histogram (and the ok/error counts into
+    /// `eum_loadgen_*_total`) in addition to the returned [`LoadReport`].
+    pub telemetry: Option<Arc<Registry>>,
 }
 
 impl Default for LoadGenConfig {
@@ -49,6 +58,7 @@ impl Default for LoadGenConfig {
             no_ecs_fraction: 0.1,
             timeout: Duration::from_secs(2),
             seed: 0x10ad,
+            telemetry: None,
         }
     }
 }
@@ -65,8 +75,8 @@ pub struct LoadReport {
     pub bad_responses: u64,
     /// Wall-clock for the whole run.
     pub elapsed: Duration,
-    /// Per-exchange latencies, sorted ascending, nanoseconds.
-    latencies_ns: Vec<u64>,
+    /// Merged per-exchange latency distribution, nanoseconds.
+    pub latencies: HistogramSnapshot,
 }
 
 impl LoadReport {
@@ -75,13 +85,10 @@ impl LoadReport {
         self.ok as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
 
-    /// The `q`-quantile latency in microseconds (q in [0, 1]).
+    /// The `q`-quantile latency in microseconds (q in [0, 1]), read from
+    /// the merged histogram (within one bucket width of exact).
     pub fn latency_us(&self, q: f64) -> f64 {
-        if self.latencies_ns.is_empty() {
-            return 0.0;
-        }
-        let idx = ((self.latencies_ns.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        self.latencies_ns[idx] as f64 / 1_000.0
+        self.latencies.quantile(q) / 1_000.0
     }
 
     /// Median latency, µs.
@@ -154,34 +161,65 @@ where
     F: FnMut(usize) -> C,
 {
     let tables = Arc::new(LoadTables::build(net, catalog, server_ip));
+    let clients = cfg.clients.max(1);
+    // One stripe per client thread; with a registry configured the very
+    // same histogram backs the `eum_loadgen_exchange_ns` export, so the
+    // report's percentiles and a scrape can never disagree.
+    let latencies = match cfg.telemetry.as_ref() {
+        Some(reg) => reg.histogram_striped(
+            "eum_loadgen_exchange_ns",
+            "Closed-loop exchange latency, send to verified response",
+            &[],
+            clients,
+        ),
+        None => Arc::new(Histogram::striped(clients)),
+    };
     let start = Instant::now();
     let mut handles = Vec::new();
-    for client_idx in 0..cfg.clients.max(1) {
+    for client_idx in 0..clients {
         let mut transport = make_client(client_idx);
         let tables = tables.clone();
         let cfg = cfg.clone();
+        let latencies = latencies.clone();
         handles.push(std::thread::spawn(move || {
-            client_loop(client_idx, &mut transport, &tables, &cfg)
+            client_loop(client_idx, &mut transport, &tables, &cfg, &latencies)
         }));
     }
     let mut ok = 0u64;
     let mut transport_errors = 0u64;
     let mut bad_responses = 0u64;
-    let mut latencies_ns = Vec::new();
     for h in handles {
         let out = h.join().expect("client thread panicked");
         ok += out.ok;
         transport_errors += out.transport_errors;
         bad_responses += out.bad_responses;
-        latencies_ns.extend(out.latencies_ns);
     }
-    latencies_ns.sort_unstable();
+    if let Some(reg) = cfg.telemetry.as_ref() {
+        reg.counter(
+            "eum_loadgen_ok_total",
+            "Exchanges completed and verified",
+            &[],
+        )
+        .add(ok);
+        reg.counter(
+            "eum_loadgen_transport_errors_total",
+            "Exchanges lost to timeouts or send errors",
+            &[],
+        )
+        .add(transport_errors);
+        reg.counter(
+            "eum_loadgen_bad_responses_total",
+            "Responses that decoded but failed verification",
+            &[],
+        )
+        .add(bad_responses);
+    }
     LoadReport {
         ok,
         transport_errors,
         bad_responses,
         elapsed: start.elapsed(),
-        latencies_ns,
+        latencies: latencies.snapshot(),
     }
 }
 
@@ -189,7 +227,6 @@ struct ClientOutcome {
     ok: u64,
     transport_errors: u64,
     bad_responses: u64,
-    latencies_ns: Vec<u64>,
 }
 
 fn client_loop<C: ClientTransport>(
@@ -197,6 +234,7 @@ fn client_loop<C: ClientTransport>(
     transport: &mut C,
     tables: &LoadTables,
     cfg: &LoadGenConfig,
+    latencies: &Histogram,
 ) -> ClientOutcome {
     let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed ^ (client_idx as u64).wrapping_mul(0x9E37));
     let shards = transport.num_shards().max(1);
@@ -204,7 +242,6 @@ fn client_loop<C: ClientTransport>(
         ok: 0,
         transport_errors: 0,
         bad_responses: 0,
-        latencies_ns: Vec::with_capacity(cfg.queries_per_client),
     };
     for i in 0..cfg.queries_per_client {
         let origin = tables.population.sample(&mut rng);
@@ -235,7 +272,7 @@ fn client_loop<C: ClientTransport>(
         match verify(&bytes, id, &qname, ecs.as_ref()) {
             true => {
                 out.ok += 1;
-                out.latencies_ns.push(dt.as_nanos() as u64);
+                latencies.record_at(client_idx, dt.as_nanos() as u64);
             }
             false => out.bad_responses += 1,
         }

@@ -18,10 +18,12 @@
 
 use crate::cache::{AnswerCache, AnswerCacheStats, CacheConfig, CachedAnswer};
 use crate::snapshot::SnapshotHandle;
+use crate::telemetry::{ShardInstruments, TelemetryConfig};
 use crate::transport::ServerTransport;
 use eum_dns::edns::{EcsOption, OptData};
 use eum_dns::{decode_message, encode_message, DnsName, Message, QueryContext, Rcode};
 use eum_geo::Prefix;
+use eum_telemetry::{QueryTrace, TraceOutcome};
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -39,6 +41,9 @@ pub struct ServerConfig {
     pub cache: Option<CacheConfig>,
     /// How long `recv` blocks before re-checking the stop flag.
     pub recv_timeout: Duration,
+    /// Metrics registry and trace ring; `None` serves unobserved. Stage
+    /// timestamps are only taken when this is set.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl ServerConfig {
@@ -48,12 +53,19 @@ impl ServerConfig {
             default_server_ip,
             cache: Some(CacheConfig::default()),
             recv_timeout: Duration::from_millis(20),
+            telemetry: None,
         }
     }
 
     /// Same config with caching disabled.
     pub fn without_cache(mut self) -> ServerConfig {
         self.cache = None;
+        self
+    }
+
+    /// Same config with the given observability wiring.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> ServerConfig {
+        self.telemetry = Some(telemetry);
         self
     }
 }
@@ -102,6 +114,7 @@ impl AuthServer {
         cfg: ServerConfig,
     ) -> AuthServer {
         let stop = Arc::new(AtomicBool::new(false));
+        let shards = transports.len();
         let mut counters = Vec::new();
         let mut handles = Vec::new();
         for (shard, transport) in transports.into_iter().enumerate() {
@@ -111,7 +124,7 @@ impl AuthServer {
             let snapshots = snapshots.clone();
             let cfg = cfg.clone();
             handles.push(std::thread::spawn(move || {
-                run_shard(shard, transport, snapshots, cfg, stop, c)
+                run_shard(shard, shards, transport, snapshots, cfg, stop, c)
             }));
         }
         AuthServer {
@@ -153,8 +166,23 @@ struct GenState {
     top_ip: Ipv4Addr,
 }
 
+/// Per-query stage capture filled in by [`answer_query`]. Timestamps are
+/// only taken when `timed` is set (telemetry configured), so unobserved
+/// servers pay nothing beyond the branch.
+struct QueryStages {
+    timed: bool,
+    cache_ns: u64,
+    route_ns: u64,
+    outcome: TraceOutcome,
+}
+
+fn elapsed_ns(since: Option<Instant>) -> u64 {
+    since.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0)
+}
+
 fn run_shard<T: ServerTransport>(
     shard: usize,
+    shards: usize,
     mut transport: T,
     snapshots: SnapshotHandle,
     cfg: ServerConfig,
@@ -162,22 +190,42 @@ fn run_shard<T: ServerTransport>(
     counters: Arc<ShardCounters>,
 ) -> ShardReport {
     let mut cache = cfg.cache.map(AnswerCache::new);
+    let mut tel = cfg
+        .telemetry
+        .as_ref()
+        .map(|t| ShardInstruments::register(&t.registry, shard, shards));
+    let trace = cfg.telemetry.as_ref().and_then(|t| {
+        (t.trace_sample_every > 0)
+            .then(|| t.trace.clone().map(|ring| (ring, t.trace_sample_every)))
+            .flatten()
+    });
     let mut gen_state: Option<GenState> = None;
     let mut generations_seen = 0u64;
     let mut dropped = 0u64;
     let mut malformed = 0u64;
+    let mut received = 0u64;
     while !stop.load(Ordering::Relaxed) {
         let dg = match transport.recv(cfg.recv_timeout) {
             Ok(Some(dg)) => dg,
             Ok(None) => continue,
             Err(_) => continue,
         };
+        received += 1;
+        let sampled = trace
+            .as_ref()
+            .is_some_and(|(_, every)| received.is_multiple_of(*every));
+        let timed = tel.is_some();
+        let t_start = timed.then(Instant::now);
+
         let snap = snapshots.current();
         if gen_state.as_ref().map(|g| g.generation) != Some(snap.generation) {
             // New map generation: cached answers may route to clusters the
-            // new map no longer picks. Drop them all.
-            if let Some(c) = cache.as_mut() {
-                c.clear();
+            // new map no longer picks. Drop them all. A shard's very first
+            // query only initializes state — nothing to clear yet.
+            if gen_state.is_some() {
+                if let Some(c) = cache.as_mut() {
+                    c.clear();
+                }
             }
             gen_state = Some(GenState {
                 generation: snap.generation,
@@ -186,28 +234,65 @@ fn run_shard<T: ServerTransport>(
                 top_ip: snap.map.top_level_ip(),
             });
             generations_seen += 1;
+            if let Some(t) = tel.as_ref() {
+                t.generation.set(snap.generation as f64);
+            }
         }
         let gen = gen_state.as_ref().expect("generation state set above");
 
+        let t_decode = timed.then(Instant::now);
         let query = match decode_message(&dg.payload) {
             Ok(m) => m,
             Err(_) => {
+                let decode_ns = elapsed_ns(t_decode);
                 counters.malformed.fetch_add(1, Ordering::Relaxed);
                 malformed += 1;
                 match formerr_reply(&dg.payload) {
                     Some(reply) => {
                         counters.queries.fetch_add(1, Ordering::Relaxed);
                         let _ = transport.send(&dg.peer, &reply);
+                        if let Some(t) = tel.as_ref() {
+                            t.queries.inc();
+                            t.formerr.inc();
+                        }
                     }
-                    None => dropped += 1,
+                    None => {
+                        dropped += 1;
+                        if let Some(t) = tel.as_ref() {
+                            t.dropped.inc();
+                        }
+                    }
+                }
+                if sampled {
+                    if let Some((ring, _)) = trace.as_ref() {
+                        ring.push(&QueryTrace {
+                            seq: 0,
+                            shard: shard as u16,
+                            generation: gen.generation,
+                            ecs_scope: None,
+                            outcome: TraceOutcome::Malformed,
+                            decode_ns: decode_ns.min(u32::MAX as u64) as u32,
+                            cache_ns: 0,
+                            route_ns: 0,
+                            encode_ns: 0,
+                            total_ns: elapsed_ns(t_start).min(u32::MAX as u64) as u32,
+                        });
+                    }
                 }
                 continue;
             }
         };
+        let decode_ns = elapsed_ns(t_decode);
         let server_ip = dg.server_ip.unwrap_or(cfg.default_server_ip);
         let ctx = QueryContext {
             resolver_ip: dg.resolver_ip,
             now_ms: 0,
+        };
+        let mut stages = QueryStages {
+            timed,
+            cache_ns: 0,
+            route_ns: 0,
+            outcome: TraceOutcome::Uncached,
         };
         let resp = answer_query(
             &snap.map,
@@ -217,9 +302,44 @@ fn run_shard<T: ServerTransport>(
             &query,
             &ctx,
             &counters,
+            &mut stages,
         );
         counters.queries.fetch_add(1, Ordering::Relaxed);
-        let _ = transport.send(&dg.peer, &encode_message(&resp));
+        let t_encode = timed.then(Instant::now);
+        let wire = encode_message(&resp);
+        let encode_ns = elapsed_ns(t_encode);
+        let _ = transport.send(&dg.peer, &wire);
+        let total_ns = elapsed_ns(t_start);
+
+        if let Some(t) = tel.as_mut() {
+            t.queries.inc();
+            t.record_stages(
+                decode_ns,
+                stages.cache_ns,
+                stages.route_ns,
+                encode_ns,
+                total_ns,
+            );
+            if let Some(c) = cache.as_ref() {
+                t.sync_cache(c.stats(), c.len());
+            }
+        }
+        if sampled {
+            if let Some((ring, _)) = trace.as_ref() {
+                ring.push(&QueryTrace {
+                    seq: 0,
+                    shard: shard as u16,
+                    generation: gen.generation,
+                    ecs_scope: query.ecs().map(|e| e.source_prefix),
+                    outcome: stages.outcome,
+                    decode_ns: decode_ns.min(u32::MAX as u64) as u32,
+                    cache_ns: stages.cache_ns.min(u32::MAX as u64) as u32,
+                    route_ns: stages.route_ns.min(u32::MAX as u64) as u32,
+                    encode_ns: encode_ns.min(u32::MAX as u64) as u32,
+                    total_ns: total_ns.min(u32::MAX as u64) as u32,
+                });
+            }
+        }
     }
     ShardReport {
         shard,
@@ -231,7 +351,22 @@ fn run_shard<T: ServerTransport>(
     }
 }
 
+/// Routes through the snapshot, attributing the time to the route stage.
+fn timed_route(
+    map: &eum_mapping::MappingSystem,
+    server_ip: Ipv4Addr,
+    query: &Message,
+    ctx: &QueryContext,
+    stages: &mut QueryStages,
+) -> Message {
+    let t = stages.timed.then(Instant::now);
+    let resp = map.answer(server_ip, query, ctx);
+    stages.route_ns = elapsed_ns(t);
+    resp
+}
+
 /// Answers one decoded query, going through the shard cache when possible.
+#[allow(clippy::too_many_arguments)]
 fn answer_query(
     map: &eum_mapping::MappingSystem,
     gen: &GenState,
@@ -240,17 +375,18 @@ fn answer_query(
     query: &Message,
     ctx: &QueryContext,
     counters: &ShardCounters,
+    stages: &mut QueryStages,
 ) -> Message {
     let Some(cache) = cache else {
-        return map.answer(server_ip, query, ctx);
+        return timed_route(map, server_ip, query, ctx, stages);
     };
     // Only catalog-name queries are memoizable: whoami is TTL-0 by design
     // and error responses are cheap to recompute.
     let Some(q) = query.questions.first() else {
-        return map.answer(server_ip, query, ctx);
+        return timed_route(map, server_ip, query, ctx, stages);
     };
     if q.name == gen.whoami {
-        return map.answer(server_ip, query, ctx);
+        return timed_route(map, server_ip, query, ctx, stages);
     }
     let now = Instant::now();
     let ecs = query.ecs().copied();
@@ -265,10 +401,22 @@ fn answer_query(
     };
     if let Some(entry) = hit {
         counters.cache_hits.fetch_add(1, Ordering::Relaxed);
-        return replay(&entry, query, ecs.as_ref());
+        stages.outcome = TraceOutcome::CacheHit;
+        let resp = replay(&entry, query, ecs.as_ref());
+        // Probe and replay together are "what the cache saved us".
+        if stages.timed {
+            stages.cache_ns = now.elapsed().as_nanos() as u64;
+        }
+        return resp;
     }
+    if stages.timed {
+        stages.cache_ns = now.elapsed().as_nanos() as u64;
+    }
+    stages.outcome = TraceOutcome::Computed;
 
+    let t_route = stages.timed.then(Instant::now);
     let resp = map.answer(server_ip, query, ctx);
+    stages.route_ns = elapsed_ns(t_route);
     // Cache only clean answers with a real TTL; the minimum spans every
     // returned record (delegations live in authorities/additionals).
     let min_ttl = resp

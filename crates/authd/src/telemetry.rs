@@ -1,0 +1,180 @@
+//! Serving-path instrumentation.
+//!
+//! [`TelemetryConfig`] hangs a shared [`Registry`] (and optionally a
+//! [`TraceRing`]) off [`crate::ServerConfig`]. Each shard registers its
+//! handles once at spawn — counters and gauges labeled `shard="<idx>"`,
+//! stage histograms striped one stripe per shard — and from then on the
+//! per-query path touches nothing but `&self` atomics through `Arc`s: no
+//! lock is ever taken while serving.
+//!
+//! Cache counters are bridged by delta: the [`crate::AnswerCache`] keeps
+//! its own cumulative [`crate::AnswerCacheStats`] (it is single-owner,
+//! plain `u64`s), and after every query the shard adds the difference
+//! since the previous query to the registry counters. That keeps the
+//! cache free of atomics while the exported counters stay cumulative
+//! across generation swaps.
+
+use crate::cache::AnswerCacheStats;
+use eum_telemetry::{Counter, Gauge, Histogram, Registry, TraceRing};
+use std::sync::Arc;
+
+/// Observability knobs for [`crate::ServerConfig`].
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Registry every shard registers its instruments in.
+    pub registry: Arc<Registry>,
+    /// Ring receiving sampled per-query traces (`None`: no tracing).
+    pub trace: Option<Arc<TraceRing>>,
+    /// Sample one query trace out of every this many received datagrams
+    /// per shard (0 disables sampling even with a ring configured).
+    pub trace_sample_every: u64,
+}
+
+impl TelemetryConfig {
+    /// Metrics only, no tracing.
+    pub fn metrics(registry: Arc<Registry>) -> TelemetryConfig {
+        TelemetryConfig {
+            registry,
+            trace: None,
+            trace_sample_every: 0,
+        }
+    }
+
+    /// Adds a trace ring sampling every `every`-th query per shard.
+    pub fn with_trace(mut self, ring: Arc<TraceRing>, every: u64) -> TelemetryConfig {
+        self.trace = Some(ring);
+        self.trace_sample_every = every;
+        self
+    }
+}
+
+/// The serve-path stage histograms, one family per stage, striped one
+/// stripe per shard so concurrent shards never share a cache line.
+pub(crate) struct StageHistograms {
+    pub decode: Arc<Histogram>,
+    pub cache: Arc<Histogram>,
+    pub route: Arc<Histogram>,
+    pub encode: Arc<Histogram>,
+    pub serve: Arc<Histogram>,
+}
+
+/// One shard's registered instrument handles plus the last cache-stats
+/// snapshot used for delta bridging.
+pub(crate) struct ShardInstruments {
+    pub shard: usize,
+    pub queries: Arc<Counter>,
+    pub formerr: Arc<Counter>,
+    pub dropped: Arc<Counter>,
+    pub cache_hits: Arc<Counter>,
+    pub cache_misses: Arc<Counter>,
+    pub cache_evictions: Arc<Counter>,
+    pub cache_insertions: Arc<Counter>,
+    pub cache_scoped_insertions: Arc<Counter>,
+    pub cache_generation_clears: Arc<Counter>,
+    pub cache_entries: Arc<Gauge>,
+    /// Global (unlabeled): every shard sets the same published generation.
+    pub generation: Arc<Gauge>,
+    pub stages: StageHistograms,
+    prev_cache: AnswerCacheStats,
+}
+
+impl ShardInstruments {
+    /// Registers (or re-fetches — registration is idempotent) every
+    /// instrument shard `shard` of `shards` uses.
+    pub fn register(reg: &Registry, shard: usize, shards: usize) -> ShardInstruments {
+        let s = shard.to_string();
+        let l: &[(&str, &str)] = &[("shard", &s)];
+        let stage = |name: &str, help: &str| reg.histogram_striped(name, help, &[], shards);
+        ShardInstruments {
+            shard,
+            queries: reg.counter("eum_authd_queries_total", "Datagrams answered", l),
+            formerr: reg.counter("eum_authd_formerr_total", "Datagrams answered FORMERR", l),
+            dropped: reg.counter(
+                "eum_authd_dropped_total",
+                "Datagrams dropped as undecodable",
+                l,
+            ),
+            cache_hits: reg.counter(
+                "eum_authd_cache_hits_total",
+                "Answer-cache lookups served from cache",
+                l,
+            ),
+            cache_misses: reg.counter(
+                "eum_authd_cache_misses_total",
+                "Answer-cache lookups that computed the answer",
+                l,
+            ),
+            cache_evictions: reg.counter(
+                "eum_authd_cache_evictions_total",
+                "Answer-cache entries evicted by the capacity bound",
+                l,
+            ),
+            cache_insertions: reg.counter(
+                "eum_authd_cache_insertions_total",
+                "Answer-cache entries inserted",
+                l,
+            ),
+            cache_scoped_insertions: reg.counter(
+                "eum_authd_cache_scoped_insertions_total",
+                "Answer-cache insertions keyed by ECS scope block",
+                l,
+            ),
+            cache_generation_clears: reg.counter(
+                "eum_authd_cache_generation_clears_total",
+                "Cache clears forced by snapshot generation swaps",
+                l,
+            ),
+            cache_entries: reg.gauge("eum_authd_cache_entries", "Live answer-cache entries", l),
+            generation: reg.gauge(
+                "eum_authd_snapshot_generation",
+                "Published map snapshot generation being served",
+                &[],
+            ),
+            stages: StageHistograms {
+                decode: stage("eum_authd_stage_decode_ns", "Wire-decode time per query"),
+                cache: stage(
+                    "eum_authd_stage_cache_ns",
+                    "Answer-cache probe time per query",
+                ),
+                route: stage(
+                    "eum_authd_stage_route_ns",
+                    "Snapshot route (mapping answer) time per query",
+                ),
+                encode: stage(
+                    "eum_authd_stage_encode_ns",
+                    "Response encode time per query",
+                ),
+                serve: stage(
+                    "eum_authd_serve_ns",
+                    "Whole serve path per query, receive to send",
+                ),
+            },
+            prev_cache: AnswerCacheStats::default(),
+        }
+    }
+
+    /// Adds the change since the last call to the exported cache counters
+    /// and refreshes the live-entry gauge.
+    pub fn sync_cache(&mut self, now: AnswerCacheStats, entries: usize) {
+        let prev = self.prev_cache;
+        self.cache_hits.add(now.hits - prev.hits);
+        self.cache_misses.add(now.misses - prev.misses);
+        self.cache_evictions.add(now.evictions - prev.evictions);
+        self.cache_insertions.add(now.insertions - prev.insertions);
+        self.cache_scoped_insertions
+            .add(now.scoped_insertions - prev.scoped_insertions);
+        self.cache_generation_clears
+            .add(now.generation_clears - prev.generation_clears);
+        self.prev_cache = now;
+        self.cache_entries.set(entries as f64);
+    }
+
+    /// Records one query's stage timings into the shard's stripes.
+    pub fn record_stages(&self, decode: u64, cache: u64, route: u64, encode: u64, total: u64) {
+        self.stages.decode.record_at(self.shard, decode);
+        self.stages.cache.record_at(self.shard, cache);
+        self.stages.route.record_at(self.shard, route);
+        self.stages.encode.record_at(self.shard, encode);
+        self.stages.serve.record_at(self.shard, total);
+    }
+}

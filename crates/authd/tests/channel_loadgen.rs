@@ -46,6 +46,7 @@ fn loadgen_over_channels_verifies_every_response() {
         no_ecs_fraction: 0.2,
         timeout: Duration::from_secs(5),
         seed: SEED,
+        telemetry: None,
     };
     let report = loadgen::run(&net, &catalog, low, &cfg, |_| {
         ChannelClient::new(connector.clone())

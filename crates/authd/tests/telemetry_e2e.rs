@@ -1,0 +1,216 @@
+//! End-to-end telemetry: a sharded server plus the load generator, both
+//! attached to one shared registry. Everything the scrape shows must
+//! reconcile with the server's own shard reports and the load
+//! generator's report — the counters, the generation gauge, the latency
+//! histograms, and the sampled trace ring.
+
+use eum_authd::loadgen::{self, LoadGenConfig};
+use eum_authd::{
+    channel_transports, AuthServer, ChannelClient, ServerConfig, SnapshotHandle, TelemetryConfig,
+};
+use eum_cdn::{deployment_universe, CatalogConfig, CdnPlatform, ContentCatalog, DeployConfig};
+use eum_mapping::{MappingConfig, MappingSystem};
+use eum_netmodel::{Internet, InternetConfig};
+use eum_telemetry::{Registry, TraceRing};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 0x7E1E;
+const SHARDS: usize = 2;
+const CLIENTS: usize = 3;
+const QUERIES: usize = 300;
+
+struct World {
+    net: Internet,
+    catalog: ContentCatalog,
+}
+
+fn build_map(net: &mut Internet, cdn: &CdnPlatform, catalog: &ContentCatalog) -> MappingSystem {
+    MappingSystem::build(
+        net,
+        cdn,
+        catalog,
+        "cdn.example".parse().unwrap(),
+        MappingConfig {
+            max_ping_targets: 50,
+            ..MappingConfig::default()
+        },
+    )
+}
+
+fn world() -> (World, MappingSystem, MappingSystem) {
+    let mut net = Internet::generate(InternetConfig::tiny(SEED));
+    let sites = deployment_universe(SEED, 16);
+    let cdn = CdnPlatform::deploy(
+        &mut net,
+        &sites,
+        &DeployConfig {
+            servers_per_cluster: 4,
+            cache_objects_per_server: 256,
+            cluster_capacity: f64::INFINITY,
+        },
+    );
+    let catalog = ContentCatalog::generate(&CatalogConfig::tiny(SEED));
+    let map = build_map(&mut net, &cdn, &catalog);
+    let next_map = build_map(&mut net, &cdn, &catalog);
+    (World { net, catalog }, map, next_map)
+}
+
+#[test]
+fn scrape_reconciles_with_reports_across_a_generation_swap() {
+    let (w, map, next_map) = world();
+    let low = map.ns_ips()[1];
+    let registry = Arc::new(Registry::new());
+    let ring = Arc::new(TraceRing::new(4096));
+    // Sample every query: the ring must explain all of the traffic.
+    let tel = TelemetryConfig::metrics(registry.clone()).with_trace(ring.clone(), 1);
+
+    let (transports, connector) = channel_transports(SHARDS);
+    let snapshots = SnapshotHandle::new(map);
+    let server = AuthServer::spawn(
+        transports,
+        snapshots.clone(),
+        ServerConfig::new(low).with_telemetry(tel),
+    );
+
+    let cfg = LoadGenConfig {
+        clients: CLIENTS,
+        queries_per_client: QUERIES,
+        no_ecs_fraction: 0.2,
+        timeout: Duration::from_secs(5),
+        seed: SEED,
+        telemetry: Some(registry.clone()),
+    };
+    let run = |seed_bump: u64| {
+        loadgen::run(
+            &w.net,
+            &w.catalog,
+            low,
+            &LoadGenConfig {
+                seed: SEED + seed_bump,
+                ..cfg.clone()
+            },
+            |_| ChannelClient::new(connector.clone()),
+        )
+    };
+    let report1 = run(0);
+    let generation = snapshots.publish(next_map);
+    assert_eq!(generation, 2);
+    let report2 = run(1);
+    let reports = server.stop_join();
+
+    let total = (2 * CLIENTS * QUERIES) as u64;
+    assert_eq!(report1.ok + report2.ok, total, "every exchange verifies");
+
+    // Every family the serving path and the load generator register.
+    let families = registry.family_names();
+    for family in [
+        "eum_authd_queries_total",
+        "eum_authd_formerr_total",
+        "eum_authd_dropped_total",
+        "eum_authd_cache_hits_total",
+        "eum_authd_cache_misses_total",
+        "eum_authd_cache_evictions_total",
+        "eum_authd_cache_insertions_total",
+        "eum_authd_cache_scoped_insertions_total",
+        "eum_authd_cache_generation_clears_total",
+        "eum_authd_cache_entries",
+        "eum_authd_snapshot_generation",
+        "eum_authd_stage_decode_ns",
+        "eum_authd_stage_cache_ns",
+        "eum_authd_stage_route_ns",
+        "eum_authd_stage_encode_ns",
+        "eum_authd_serve_ns",
+        "eum_loadgen_exchange_ns",
+        "eum_loadgen_ok_total",
+        "eum_loadgen_transport_errors_total",
+        "eum_loadgen_bad_responses_total",
+    ] {
+        assert!(
+            families.iter().any(|f| f == family),
+            "family {family} missing from a running server's registry: {families:?}"
+        );
+    }
+
+    // Counters reconcile with the shard reports, shard by shard.
+    let shard_counter = |name: &str, shard: usize| {
+        registry
+            .counter(name, "", &[("shard", &shard.to_string())])
+            .get()
+    };
+    for r in &reports {
+        assert_eq!(shard_counter("eum_authd_queries_total", r.shard), r.queries);
+        assert_eq!(
+            shard_counter("eum_authd_formerr_total", r.shard),
+            r.malformed
+        );
+        assert_eq!(
+            shard_counter("eum_authd_cache_hits_total", r.shard),
+            r.cache.hits
+        );
+        assert_eq!(
+            shard_counter("eum_authd_cache_insertions_total", r.shard),
+            r.cache.insertions
+        );
+        assert_eq!(
+            shard_counter("eum_authd_cache_generation_clears_total", r.shard),
+            r.cache.generation_clears
+        );
+    }
+    let queries_scraped: u64 = (0..SHARDS)
+        .map(|s| shard_counter("eum_authd_queries_total", s))
+        .sum();
+    assert_eq!(queries_scraped, total, "scrape explains all the traffic");
+
+    // The generation gauge tracks the published snapshot, and each shard
+    // that served post-swap traffic cleared its cache exactly once.
+    let generation_gauge = registry
+        .gauge("eum_authd_snapshot_generation", "", &[])
+        .get();
+    assert_eq!(generation_gauge, 2.0);
+    let clears: u64 = reports.iter().map(|r| r.cache.generation_clears).sum();
+    assert!(
+        clears >= 1,
+        "at least one shard must observe the swap and clear"
+    );
+    assert!(clears <= SHARDS as u64, "one clear per shard per swap");
+
+    // Both runs recorded into the registry's exchange histogram, so the
+    // second report's snapshot is cumulative and the scrape reads the
+    // exact same buckets — the percentiles agree bit for bit.
+    let exchange = registry
+        .histogram_striped("eum_loadgen_exchange_ns", "", &[], CLIENTS)
+        .snapshot();
+    assert_eq!(report1.latencies.count(), total / 2);
+    assert_eq!(report2.latencies.count(), total, "registry runs accumulate");
+    assert_eq!(exchange.count(), total);
+    for q in [0.5, 0.9, 0.99] {
+        assert!(report2.latency_us(q) > 0.0);
+        assert_eq!(
+            report2.latencies.quantile(q),
+            exchange.quantile(q),
+            "loadgen report and the scrape read the same buckets (q={q})"
+        );
+    }
+
+    // The serve-path histogram saw one sample per query.
+    let serve = registry
+        .histogram_striped("eum_authd_serve_ns", "", &[], SHARDS)
+        .snapshot();
+    assert_eq!(serve.count(), total);
+    assert!(serve.quantile(0.99) >= serve.quantile(0.5));
+
+    // Sampling every query, the ring was pushed once per query and the
+    // retained tail spans both generations' traffic.
+    assert_eq!(ring.pushed(), total);
+    let traces = ring.dump();
+    assert!(!traces.is_empty());
+    assert!(traces
+        .iter()
+        .all(|t| t.generation == 1 || t.generation == 2));
+    assert!(
+        traces.iter().any(|t| t.generation == 2),
+        "post-swap queries must appear in the trace tail"
+    );
+    assert!(traces.windows(2).all(|w| w[0].seq < w[1].seq));
+}

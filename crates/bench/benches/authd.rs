@@ -137,6 +137,7 @@ fn bench_loadgen_throughput(c: &mut Criterion) {
             clients: shards,
             queries_per_client: 1_000,
             no_ecs_fraction: 0.1,
+            telemetry: None,
             timeout: Duration::from_secs(5),
             seed: BENCH_SEED,
         };

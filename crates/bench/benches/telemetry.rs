@@ -1,0 +1,87 @@
+//! Benchmarks for the telemetry layer's hot-path primitives — the costs
+//! the serving path pays per query when observed: a counter increment, a
+//! striped histogram record, a sampled trace push — plus the read-side
+//! costs a scrape pays (snapshot, quantile, render_text).
+//!
+//! The per-query operations must stay in the few-nanosecond range: the
+//! acceptance bar for wiring telemetry through `authd` is zero added
+//! locks and negligible added latency on the serve path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eum_telemetry::{Histogram, QueryTrace, Registry, TraceOutcome, TraceRing};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_record(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry/record");
+    let counter = Registry::new().counter("eum_bench_total", "bench", &[]);
+    g.bench_function("counter_inc", |b| b.iter(|| black_box(&counter).inc()));
+    for stripes in [1usize, 4] {
+        let h = Histogram::striped(stripes);
+        let mut v = 0u64;
+        g.bench_with_input(
+            BenchmarkId::new("histogram_record", stripes),
+            &stripes,
+            |b, &s| {
+                b.iter(|| {
+                    v = v.wrapping_add(0x9E37_79B9);
+                    h.record_at(v as usize % s, black_box(v >> 40));
+                })
+            },
+        );
+    }
+    let ring = Arc::new(TraceRing::new(4096));
+    let trace = QueryTrace {
+        seq: 0,
+        shard: 1,
+        generation: 3,
+        ecs_scope: Some(24),
+        outcome: TraceOutcome::CacheHit,
+        decode_ns: 120,
+        cache_ns: 80,
+        route_ns: 0,
+        encode_ns: 240,
+        total_ns: 600,
+    };
+    g.bench_function("trace_push", |b| b.iter(|| ring.push(black_box(&trace))));
+    g.finish();
+}
+
+fn bench_read_side(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry/read");
+    let h = Histogram::striped(4);
+    let mut v = 1u64;
+    for _ in 0..100_000 {
+        v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+        h.record_at((v % 4) as usize, v >> 44);
+    }
+    g.bench_function("snapshot_100k", |b| b.iter(|| black_box(h.snapshot())));
+    let snap = h.snapshot();
+    g.bench_function("quantile_p99", |b| {
+        b.iter(|| black_box(snap.quantile(0.99)))
+    });
+
+    // A registry shaped like a running 4-shard authd server.
+    let reg = Registry::new();
+    for shard in 0..4 {
+        let s = shard.to_string();
+        for name in [
+            "eum_authd_queries_total",
+            "eum_authd_cache_hits_total",
+            "eum_authd_cache_misses_total",
+        ] {
+            reg.counter(name, "bench", &[("shard", &s)]).add(shard);
+        }
+    }
+    for name in ["eum_authd_serve_ns", "eum_authd_stage_route_ns"] {
+        let h = reg.histogram_striped(name, "bench", &[], 4);
+        for i in 0..1000u64 {
+            h.record_at((i % 4) as usize, i * 97);
+        }
+    }
+    g.bench_function("render_text", |b| b.iter(|| black_box(reg.render_text())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_record, bench_read_side);
+criterion_main!(benches);

@@ -16,6 +16,9 @@
 //! * [`policy`] — NS-based, end-user, and client-aware-NS policies;
 //! * [`system`] — [`MappingSystem`]: the two-level authoritative DNS
 //!   frontend that serves the computed map (§2.2 "Name Servers");
+//! * [`telemetry`] — serving-path instruments (answer paths, liveness
+//!   fallback depth, per-unit query counts) attachable to a shared
+//!   `eum_telemetry::Registry`;
 //! * [`clusters`] — client-cluster analytics (§3.3);
 //! * [`deploy_study`] — the §6 deployment simulation (Figure 25).
 //!
@@ -55,6 +58,7 @@ pub mod measure;
 pub mod policy;
 pub mod score;
 pub mod system;
+pub mod telemetry;
 pub mod units;
 
 pub use clusters::{client_clusters, ClientCluster};
@@ -65,4 +69,5 @@ pub use measure::{PingMatrix, PingTargets, TargetId};
 pub use policy::MappingPolicy;
 pub use score::{ScoreBasis, ScoreTable, ScoringWeights};
 pub use system::{LocalLbPolicy, MappingConfig, MappingStats, MappingSystem};
+pub use telemetry::MappingTelemetry;
 pub use units::{MapUnitInfo, MapUnits, UnitId, UnitKey};

@@ -21,16 +21,19 @@ use crate::local_lb::{domain_key, ConsistentRing};
 use crate::measure::{PingMatrix, PingTargets};
 use crate::policy::MappingPolicy;
 use crate::score::{ScoreBasis, ScoreTable, ScoringWeights};
+use crate::telemetry::{AnswerPath, MappingTelemetry};
 use crate::units::{MapUnits, UnitId, UnitKey};
 use eum_cdn::{CdnPlatform, ClusterId, ContentCatalog, ServerId, TrafficClass};
 use eum_dns::edns::{EcsOption, OptData};
 use eum_dns::{DnsName, Message, QueryContext, Rcode, Record};
 use eum_geo::{GeoInfo, Prefix};
 use eum_netmodel::{Endpoint, Internet};
+use eum_telemetry::Registry;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// How servers are picked within the chosen cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -154,6 +157,10 @@ pub struct MappingSystem {
     rr_counter: AtomicU64,
     /// Runtime counters.
     pub stats: MappingStats,
+    /// Registered instruments (None until
+    /// [`MappingSystem::attach_telemetry`]); all recording goes through
+    /// `&self` atomics, keeping [`MappingSystem::answer`] lock-free.
+    telemetry: Option<MappingTelemetry>,
 }
 
 /// The output of one measurement → scoring → load-balancing pass.
@@ -213,7 +220,26 @@ impl MappingSystem {
             eu_candidates: computed.eu_candidates,
             rr_counter: AtomicU64::new(0),
             stats: MappingStats::default(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches (or re-attaches) instrumentation backed by `registry`.
+    /// Registration is idempotent, so repeated attaches — including the
+    /// automatic one in [`MappingSystem::rebuild`] — keep accumulating
+    /// into the same counters while the per-unit arrays are sized for the
+    /// current map.
+    pub fn attach_telemetry(&mut self, registry: Arc<Registry>) {
+        self.telemetry = Some(MappingTelemetry::new(
+            registry,
+            self.ns_units.len(),
+            self.eu_units.as_ref().map(|u| u.len()).unwrap_or(0),
+        ));
+    }
+
+    /// The attached instrumentation, if any.
+    pub fn telemetry(&self) -> Option<&MappingTelemetry> {
+        self.telemetry.as_ref()
     }
 
     /// Recomputes the whole map against the CDN's *current* state — the
@@ -230,6 +256,11 @@ impl MappingSystem {
         self.ldns_by_ip = computed.ldns_by_ip;
         self.eu_units = computed.eu_units;
         self.eu_candidates = computed.eu_candidates;
+        // Unit counts may have changed shape; re-attach so the per-unit
+        // arrays match while the registry counters keep accumulating.
+        if let Some(t) = self.telemetry.take() {
+            self.attach_telemetry(t.registry().clone());
+        }
     }
 
     /// Runs measurement → scoring → load balancing and returns the
@@ -438,20 +469,38 @@ impl MappingSystem {
     }
 
     /// First live cluster from a unit's ranked candidates, falling back to
-    /// the nearest live cluster if every candidate is down.
+    /// the nearest live cluster if every candidate is down. The walk depth
+    /// (primary / ranked alternate / any-live escape) is recorded when
+    /// telemetry is attached.
     fn pick_live(&self, candidates: &[u32]) -> Option<usize> {
-        candidates
+        let found = candidates
             .iter()
-            .map(|c| *c as usize)
-            .find(|c| self.clusters[*c].alive)
-            .or_else(|| self.clusters.iter().position(|c| c.alive))
+            .enumerate()
+            .map(|(depth, c)| (depth, *c as usize))
+            .find(|(_, c)| self.clusters[*c].alive);
+        if let Some((depth, c)) = found {
+            if let Some(t) = &self.telemetry {
+                t.count_fallback(Some(depth));
+            }
+            return Some(c);
+        }
+        let escape = self.clusters.iter().position(|c| c.alive);
+        if let (Some(t), Some(_)) = (&self.telemetry, escape) {
+            t.count_fallback(None);
+        }
+        escape
     }
 
     /// The cluster index for an LDNS (NS-based path), under the scoring
     /// of the given traffic class.
     fn cluster_for_ldns(&self, ldns_ip: Ipv4Addr, class: TrafficClass) -> Option<usize> {
         match self.ldns_by_ip.get(&ldns_ip) {
-            Some(u) => self.pick_live(&self.ns_candidates[class_slot(class)][u.index()]),
+            Some(u) => {
+                if let Some(t) = &self.telemetry {
+                    t.count_ns_unit(u.index());
+                }
+                self.pick_live(&self.ns_candidates[class_slot(class)][u.index()])
+            }
             None => self.clusters.iter().position(|c| c.alive),
         }
     }
@@ -461,6 +510,9 @@ impl MappingSystem {
     fn cluster_for_block(&self, client_block: Prefix, class: TrafficClass) -> Option<(usize, u8)> {
         let units = self.eu_units.as_ref()?;
         let unit = units.unit_for_block24(client_block)?;
+        if let Some(t) = &self.telemetry {
+            t.count_eu_unit(unit.index());
+        }
         let cluster = self.pick_live(&self.eu_candidates[class_slot(class)][unit.index()])?;
         let unit_len = match units.unit(unit).key {
             UnitKey::Block(p) => p.len(),
@@ -542,15 +594,20 @@ impl MappingSystem {
     pub fn answer(&self, server_ip: Ipv4Addr, query: &Message, ctx: &QueryContext) -> Message {
         let question = match query.questions.first() {
             Some(q) => q.clone(),
-            None => return Message::response_to(query, Rcode::FormErr),
+            None => {
+                self.note(AnswerPath::Error);
+                return Message::response_to(query, Rcode::FormErr);
+            }
         };
         if !question.name.is_within(&self.suffix) {
+            self.note(AnswerPath::Error);
             return Message::response_to(query, Rcode::Refused);
         }
         // The NetSession LDNS-discovery probe (§3.1): `whoami.<suffix>`
         // answers with the unicast IP of the querying resolver, letting a
         // client learn which LDNS serves it. TTL 0: never cacheable.
         if question.name == self.whoami_name() {
+            self.note(AnswerPath::Whoami);
             let mut resp = Message::response_to(query, Rcode::NoError);
             resp.answers
                 .push(Record::a(question.name.clone(), 0, ctx.resolver_ip));
@@ -564,6 +621,7 @@ impl MappingSystem {
         let domain = match self.catalog.by_cdn_name(&question.name) {
             Some((idx, d)) => (idx, d.ttl_s, d.class),
             None => {
+                self.note(AnswerPath::Error);
                 let mut resp = Message::response_to(query, Rcode::NxDomain);
                 if let Some(ecs) = query.ecs() {
                     resp.set_opt(OptData::with_ecs(EcsOption::response(ecs, 0)));
@@ -577,7 +635,17 @@ impl MappingSystem {
         }
         match self.ns_by_ip.get(&server_ip).copied() {
             Some(_) => self.handle_low_level(query, &question.name, domain, ctx),
-            None => Message::response_to(query, Rcode::Refused),
+            None => {
+                self.note(AnswerPath::Error);
+                Message::response_to(query, Rcode::Refused)
+            }
+        }
+    }
+
+    /// Records an answer-path count when telemetry is attached.
+    fn note(&self, path: AnswerPath) {
+        if let Some(t) = &self.telemetry {
+            t.count_answer(path);
         }
     }
 
@@ -593,8 +661,12 @@ impl MappingSystem {
         resp.flags.aa = false;
         let cluster = match self.cluster_for_ldns(ctx.resolver_ip, class) {
             Some(c) => c,
-            None => return Message::response_to(query, Rcode::ServFail),
+            None => {
+                self.note(AnswerPath::Error);
+                return Message::response_to(query, Rcode::ServFail);
+            }
         };
+        self.note(AnswerPath::TopLevel);
         let view = &self.clusters[cluster];
         let ns_name = qname
             .child(&format!("n{}", view.id.0))
@@ -633,12 +705,19 @@ impl MappingSystem {
             _ => None,
         };
         let (cluster, scope_for_response) = match ecs_path {
-            Some((c, scope, ecs)) => (c, Some((ecs, scope.min(ecs.source_prefix)))),
+            Some((c, scope, ecs)) => {
+                self.note(AnswerPath::EndUser);
+                (c, Some((ecs, scope.min(ecs.source_prefix))))
+            }
             None => {
                 let c = match self.cluster_for_ldns(ctx.resolver_ip, class) {
                     Some(c) => c,
-                    None => return Message::response_to(query, Rcode::ServFail),
+                    None => {
+                        self.note(AnswerPath::Error);
+                        return Message::response_to(query, Rcode::ServFail);
+                    }
                 };
+                self.note(AnswerPath::Ns);
                 // NS-derived answers are client-independent: scope 0.
                 (c, query.ecs().map(|e| (*e, 0)))
             }
@@ -660,6 +739,9 @@ impl MappingSystem {
             LocalLbPolicy::RoundRobin => {
                 // Per-query rotation keyed by an atomic tick: load is
                 // spread evenly but each domain touches every server.
+                if let Some(t) = &self.telemetry {
+                    t.count_rr_rotation();
+                }
                 let tick = self
                     .rr_counter
                     .fetch_add(1, Ordering::Relaxed)
@@ -1121,5 +1203,83 @@ mod tests {
             0,
             "fallback answers are global"
         );
+    }
+
+    #[test]
+    fn telemetry_counts_answer_paths_and_survives_rebuild() {
+        let mut w = world(MappingPolicy::end_user_default());
+        let registry = Arc::new(Registry::new());
+        w.map.attach_telemetry(registry.clone());
+        let ldns = w.net.resolvers[0].ip;
+        let top = w.map.top_level_ip();
+        let low = w.map.ns_ips()[1];
+
+        // One query down each serving path.
+        let plain = Message::query(1, Question::a(name("e0.cdn.example")), None);
+        let _ = w.map.handle(top, &plain, &ctx(ldns));
+        let _ = w.map.handle(low, &plain, &ctx(ldns));
+        let ecs = EcsOption::query(w.net.blocks[0].client_ip(), 24);
+        let scoped = Message::query(
+            2,
+            Question::a(name("e0.cdn.example")),
+            Some(OptData::with_ecs(ecs)),
+        );
+        let _ = w.map.handle(low, &scoped, &ctx(ldns));
+        let _ = w.map.handle(
+            low,
+            &Message::query(3, Question::a(w.map.whoami_name()), None),
+            &ctx(ldns),
+        );
+        let _ = w.map.handle(
+            top,
+            &Message::query(4, Question::a(name("nope.cdn.example")), None),
+            &ctx(ldns),
+        );
+
+        let by_path = |path: &str| {
+            registry
+                .counter("eum_mapping_answers_total", "", &[("path", path)])
+                .get()
+        };
+        assert_eq!(by_path("top"), 1);
+        assert_eq!(by_path("ns"), 1);
+        assert_eq!(by_path("eu"), 1);
+        assert_eq!(by_path("whoami"), 1);
+        assert_eq!(by_path("error"), 1);
+
+        // Every delegation and A answer walked the liveness ranking once:
+        // the top-level referral plus the NS and EU low-level answers.
+        let fallbacks: u64 = ["primary", "ranked", "any_live"]
+            .iter()
+            .map(|r| {
+                registry
+                    .counter("eum_mapping_fallback_depth_total", "", &[("rank", r)])
+                    .get()
+            })
+            .sum();
+        assert_eq!(fallbacks, 3, "top-level referral + NS and EU answers");
+
+        let t = w.map.telemetry().unwrap();
+        assert_eq!(t.ns_unit_queries().iter().sum::<u64>(), 2);
+        assert_eq!(t.eu_unit_queries().iter().sum::<u64>(), 1);
+        t.publish_unit_stats();
+        assert_eq!(
+            registry
+                .gauge("eum_mapping_units_queried", "", &[("kind", "ns")])
+                .get(),
+            1.0
+        );
+        assert_eq!(
+            registry
+                .gauge("eum_mapping_unit_queries_max", "", &[("kind", "eu")])
+                .get(),
+            1.0
+        );
+
+        // Rebuild re-attaches to the same registry; totals keep accumulating.
+        w.map.rebuild(&w.net, &w.cdn);
+        assert!(w.map.telemetry().is_some(), "rebuild must re-attach");
+        let _ = w.map.handle(low, &plain, &ctx(ldns));
+        assert_eq!(by_path("ns"), 2, "counters are cumulative across rebuilds");
     }
 }

@@ -13,6 +13,7 @@ use crate::network::QueryCounters;
 use crate::rum::{Metric, RumCollector};
 use crate::workload::WorkloadConfig;
 use eum_geo::Country;
+use eum_telemetry::Registry;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 use std::net::Ipv4Addr;
@@ -135,6 +136,11 @@ pub struct RolloutReport {
     pub domain_ttls: Vec<u32>,
     /// Views that failed (no live server / resolution failure).
     pub failed_views: u64,
+    /// NS (per-LDNS) mapping units in the final map.
+    pub ns_unit_count: usize,
+    /// End-user mapping units in the final map (0 until the roll-out
+    /// builds them).
+    pub eu_unit_count: usize,
 }
 
 impl RolloutReport {
@@ -236,6 +242,58 @@ impl RolloutReport {
                 },
             })
             .collect()
+    }
+
+    /// Exports the report's headline numbers into a telemetry registry —
+    /// the same instrument set the serving path uses, so one scrape of a
+    /// long run shows the §4 story: the public-resolver query-rate step
+    /// and its amplification factor (Figures 23/24) plus the mapping-unit
+    /// growth the end-user tables bring (§5.1).
+    pub fn record_metrics(&self, registry: &Registry) {
+        let ((qt_pre, qp_pre), (qt_post, qp_post)) = self.query_rate_change();
+        let rate = |window: &str, source: &str, v: f64| {
+            registry
+                .gauge(
+                    "eum_sim_rollout_queries_per_day",
+                    "Mean daily mapping-DNS queries in the matched windows",
+                    &[("window", window), ("source", source)],
+                )
+                .set(v);
+        };
+        rate("pre", "total", qt_pre);
+        rate("pre", "public", qp_pre);
+        rate("post", "total", qt_post);
+        rate("post", "public", qp_post);
+        registry
+            .gauge(
+                "eum_sim_rollout_query_amplification",
+                "Public-resolver query-rate factor, post window over pre",
+                &[],
+            )
+            .set(if qp_pre > 0.0 { qp_post / qp_pre } else { 0.0 });
+        for (kind, n) in [("ns", self.ns_unit_count), ("eu", self.eu_unit_count)] {
+            registry
+                .gauge(
+                    "eum_sim_rollout_mapping_units",
+                    "Mapping units in the final map, by kind",
+                    &[("kind", kind)],
+                )
+                .set(n as f64);
+        }
+        registry
+            .counter(
+                "eum_sim_rollout_rum_samples_total",
+                "RUM samples collected across recorded roll-outs",
+                &[],
+            )
+            .add(self.rum.len() as u64);
+        registry
+            .counter(
+                "eum_sim_rollout_failed_views_total",
+                "Page views that failed (no live server / resolution failure)",
+                &[],
+            )
+            .add(self.failed_views);
     }
 
     /// The headline numbers as a machine-readable JSON object (what

@@ -554,6 +554,8 @@ impl Scenario {
             .map(|r| r.ip)
             .collect();
         let domain_ttls: Vec<u32> = self.catalog.domains.iter().map(|d| d.ttl_s).collect();
+        let ns_unit_count = self.mapping.ns_units().len();
+        let eu_unit_count = self.mapping.eu_units().map(|u| u.len()).unwrap_or(0);
 
         RolloutReport {
             cfg: rollout,
@@ -566,6 +568,8 @@ impl Scenario {
             public_ldns_ips,
             domain_ttls,
             failed_views,
+            ns_unit_count,
+            eu_unit_count,
         }
     }
 }
@@ -614,6 +618,32 @@ mod tests {
         let (pre, post) = r.before_after(Metric::MappingDistance, true);
         assert!(pre.is_finite() && post.is_finite());
         assert!(post < pre, "mapping distance {pre:.0} -> {post:.0}");
+    }
+
+    #[test]
+    fn record_metrics_exports_amplification_and_unit_counts() {
+        let r = report();
+        assert!(r.ns_unit_count > 0, "every map has NS units");
+        assert!(
+            r.eu_unit_count > 0,
+            "the roll-out ends with end-user units built"
+        );
+        let registry = eum_telemetry::Registry::new();
+        r.record_metrics(&registry);
+        let amp = registry
+            .gauge("eum_sim_rollout_query_amplification", "", &[])
+            .get();
+        assert!(amp > 1.3, "roll-out must amplify public queries: {amp}");
+        let units = |kind: &str| {
+            registry
+                .gauge("eum_sim_rollout_mapping_units", "", &[("kind", kind)])
+                .get()
+        };
+        assert_eq!(units("ns"), r.ns_unit_count as f64);
+        assert_eq!(units("eu"), r.eu_unit_count as f64);
+        let text = registry.render_text();
+        assert!(text.contains("eum_sim_rollout_queries_per_day"));
+        assert!(text.contains("eum_sim_rollout_rum_samples_total"));
     }
 
     #[test]

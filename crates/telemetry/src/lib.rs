@@ -1,0 +1,52 @@
+//! eum-telemetry: the workspace's observability layer.
+//!
+//! The paper's roll-out is a *monitored* one — Akamai watched DNS query
+//! amplification, mapping-unit growth, cache-hit-ratio shifts, and
+//! per-query latency percentiles continuously while flipping resolvers to
+//! ECS (§§6–8). This crate is the measurement substrate that lets the
+//! reproduction see the same quantities while serving, without adding a
+//! single lock to the per-query hot path:
+//!
+//! - [`metrics`] — [`Counter`] and [`Gauge`]: single relaxed atomics.
+//! - [`hist`] — [`Histogram`]: log-bucketed latency histograms with
+//!   per-shard stripes (each stripe its own allocation, so concurrent
+//!   recorders never share a cache line), cheap [`HistogramSnapshot`]
+//!   extraction, exact merge, and bounded-relative-error quantiles.
+//! - [`registry`] — [`Registry`]: named metric families with labels and
+//!   Prometheus-style text exposition via [`Registry::render_text`].
+//!   Registration takes a short internal lock; the returned handles are
+//!   `Arc`s touched with `&self` atomics only.
+//! - [`trace`] — [`TraceRing`]: a bounded, lock-free ring of sampled
+//!   [`QueryTrace`] events (per-stage nanosecond timings, generation, ECS
+//!   scope, shard) dumpable on demand.
+//! - [`report`] — [`Reporter`]: a periodic background thread driving any
+//!   reporting closure (typically one that renders the registry).
+//!
+//! # Metric naming conventions
+//!
+//! Every metric this workspace registers follows these rules, which all
+//! future subsystems should keep to:
+//!
+//! - names are `eum_<crate>_<subsystem>_<quantity>`, lowercase snake case;
+//! - monotone counters end in `_total`; gauges carry no suffix;
+//! - histograms carry a unit suffix (`_ns` for nanoseconds — the
+//!   workspace measures latencies in integer nanoseconds);
+//! - per-shard series use a `shard="<idx>"` label so the hot path owns its
+//!   series outright and cross-shard aggregation happens at read time;
+//! - low-cardinality dimensions (cache table, answer path, traffic
+//!   window) are labels; unbounded dimensions (client IPs, domain names)
+//!   are never labels.
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod metrics;
+pub mod registry;
+pub mod report;
+pub mod trace;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use metrics::{Counter, Gauge};
+pub use registry::{MetricKind, Registry};
+pub use report::Reporter;
+pub use trace::{QueryTrace, TraceOutcome, TraceRing};

@@ -1,0 +1,327 @@
+//! The metric registry and its Prometheus-style text exposition.
+//!
+//! A [`Registry`] owns named metric *families*; each family has a kind
+//! (counter, gauge, histogram), a help string, and one series per label
+//! set. Registration (`counter` / `gauge` / `histogram`) takes a short
+//! internal mutex and is idempotent — asking for an existing
+//! `(name, labels)` pair returns the same handle — so subsystems can be
+//! wired independently against one shared registry. The handles are
+//! `Arc`s backed purely by atomics: once a shard holds its handles, the
+//! per-query path never touches the registry again, and never takes a
+//! lock.
+//!
+//! [`Registry::render_text`] emits the classic text exposition format:
+//! one `# HELP` and one `# TYPE` line per family, then one sample line
+//! per series, families sorted by name and series by label value, so the
+//! output is stable for golden-file tests and scrapable by standard
+//! tooling. Histograms render cumulative `_bucket{le="…"}` series for
+//! their non-empty buckets (upper edges are exclusive), plus `_sum`,
+//! `_count`, and a final `le="+Inf"` bucket.
+
+use crate::hist::Histogram;
+use crate::metrics::{format_value, Counter, Gauge};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// What a metric family measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone counter (`_total` names).
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+    /// Log-bucketed distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(&self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Series {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Family {
+    kind: MetricKind,
+    help: String,
+    /// Rendered label string (e.g. `{shard="0"}`) → series, sorted for
+    /// stable exposition.
+    series: BTreeMap<String, Series>,
+}
+
+/// A registry of named metric families.
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.families.lock().expect("registry poisoned").len();
+        f.debug_struct("Registry").field("families", &n).finish()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry {
+            families: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
+/// `[a-zA-Z_][a-zA-Z0-9_]*` — metric and label names.
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Renders a label set as `{k="v",…}` (empty string for no labels),
+/// escaping `\`, `"`, and newlines in values.
+fn label_string(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        assert!(valid_name(k), "invalid label name {k:?}");
+        if i > 0 {
+            out.push(',');
+        }
+        let escaped = v
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n");
+        let _ = write!(out, "{k}=\"{escaped}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Splices extra labels (e.g. `le`) into an already-rendered label string.
+fn with_extra_label(labels: &str, key: &str, value: &str) -> String {
+    if labels.is_empty() {
+        format!("{{{key}=\"{value}\"}}")
+    } else {
+        format!("{},{key}=\"{value}\"}}", &labels[..labels.len() - 1])
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn get_or_insert<T>(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        make: impl FnOnce() -> Series,
+        unwrap: impl Fn(&Series) -> Option<Arc<T>>,
+    ) -> Arc<T> {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        let key = label_string(labels);
+        let mut families = self.families.lock().expect("registry poisoned");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            kind,
+            help: help.to_string(),
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name} registered as {:?}, requested as {kind:?}",
+            family.kind
+        );
+        let series = family.series.entry(key).or_insert_with(make);
+        unwrap(series)
+            .unwrap_or_else(|| unreachable!("family kind checked above; series kind cannot differ"))
+    }
+
+    /// Gets or creates a counter series.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.get_or_insert(
+            name,
+            help,
+            labels,
+            MetricKind::Counter,
+            || Series::Counter(Arc::new(Counter::new())),
+            |s| match s {
+                Series::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Gets or creates a gauge series.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.get_or_insert(
+            name,
+            help,
+            labels,
+            MetricKind::Gauge,
+            || Series::Gauge(Arc::new(Gauge::new())),
+            |s| match s {
+                Series::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Gets or creates a single-stripe histogram series.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histogram_striped(name, help, labels, 1)
+    }
+
+    /// Gets or creates a histogram series with `stripes` stripes (the
+    /// stripe count of an existing series is left as it was).
+    pub fn histogram_striped(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        stripes: usize,
+    ) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            help,
+            labels,
+            MetricKind::Histogram,
+            || Series::Histogram(Arc::new(Histogram::striped(stripes))),
+            |s| match s {
+                Series::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Family names currently registered (sorted).
+    pub fn family_names(&self) -> Vec<String> {
+        self.families
+            .lock()
+            .expect("registry poisoned")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Renders every family in the Prometheus text exposition format.
+    pub fn render_text(&self) -> String {
+        let families = self.families.lock().expect("registry poisoned");
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", family.help);
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind.as_str());
+            for (labels, series) in &family.series {
+                match series {
+                    Series::Counter(c) => {
+                        let _ = writeln!(out, "{name}{labels} {}", c.get());
+                    }
+                    Series::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{labels} {}", format_value(g.get()));
+                    }
+                    Series::Histogram(h) => {
+                        let snap = h.snapshot();
+                        for (le, cum) in snap.cumulative_buckets() {
+                            let lab = with_extra_label(labels, "le", &format_value(le));
+                            let _ = writeln!(out, "{name}_bucket{lab} {cum}");
+                        }
+                        let lab = with_extra_label(labels, "le", "+Inf");
+                        let _ = writeln!(out, "{name}_bucket{lab} {}", snap.count());
+                        let _ = writeln!(out, "{name}_sum{labels} {}", snap.sum());
+                        let _ = writeln!(out, "{name}_count{labels} {}", snap.count());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_idempotent() {
+        let reg = Registry::new();
+        let a = reg.counter("eum_test_total", "help", &[("shard", "0")]);
+        let b = reg.counter("eum_test_total", "help", &[("shard", "0")]);
+        a.inc();
+        assert_eq!(b.get(), 1, "same (name, labels) must share the series");
+        let other = reg.counter("eum_test_total", "help", &[("shard", "1")]);
+        assert_eq!(other.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("eum_test_total", "help", &[]);
+        let _ = reg.gauge("eum_test_total", "help", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_names_rejected() {
+        let reg = Registry::new();
+        let _ = reg.counter("9starts_with_digit", "help", &[]);
+    }
+
+    #[test]
+    fn render_is_sorted_and_labeled() {
+        let reg = Registry::new();
+        reg.counter("eum_b_total", "second", &[("shard", "1")])
+            .add(2);
+        reg.counter("eum_b_total", "second", &[("shard", "0")])
+            .add(1);
+        reg.gauge("eum_a_gauge", "first", &[]).set(2.5);
+        let text = reg.render_text();
+        let a = text.find("eum_a_gauge").unwrap();
+        let b = text.find("eum_b_total").unwrap();
+        assert!(a < b, "families must render in sorted order");
+        assert!(text.contains("eum_a_gauge 2.5"));
+        let s0 = text.find("eum_b_total{shard=\"0\"} 1").unwrap();
+        let s1 = text.find("eum_b_total{shard=\"1\"} 2").unwrap();
+        assert!(s0 < s1, "series must render in label order");
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("eum_lat_ns", "latency", &[("shard", "0")]);
+        h.record(3);
+        h.record(3);
+        h.record(100);
+        let text = reg.render_text();
+        assert!(text.contains("# TYPE eum_lat_ns histogram"));
+        assert!(text.contains("eum_lat_ns_bucket{shard=\"0\",le=\"4\"} 2"));
+        assert!(text.contains("eum_lat_ns_bucket{shard=\"0\",le=\"+Inf\"} 3"));
+        assert!(text.contains("eum_lat_ns_sum{shard=\"0\"} 106"));
+        assert!(text.contains("eum_lat_ns_count{shard=\"0\"} 3"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(
+            label_string(&[("k", "a\"b\\c\nd")]),
+            "{k=\"a\\\"b\\\\c\\nd\"}"
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! A periodic reporter thread.
+//!
+//! [`Reporter::spawn`] runs a closure every `interval` on a background
+//! thread — typically one that snapshots a [`crate::Registry`] and prints
+//! or ships its [`crate::Registry::render_text`] output. The thread
+//! sleeps in short increments so `stop()` (or drop) returns promptly
+//! instead of waiting out a long interval, and the closure runs one final
+//! time on shutdown so the last partial interval is never silently lost.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A background thread invoking a closure at a fixed interval.
+#[derive(Debug)]
+pub struct Reporter {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Reporter {
+    /// Spawns a thread that calls `tick` every `interval` until
+    /// [`Reporter::stop`] (or drop), then once more before exiting.
+    pub fn spawn(interval: Duration, mut tick: impl FnMut() + Send + 'static) -> Reporter {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let handle = std::thread::spawn(move || {
+            let mut next = Instant::now() + interval;
+            while !flag.load(Ordering::Relaxed) {
+                let now = Instant::now();
+                if now >= next {
+                    tick();
+                    next = now + interval;
+                    continue;
+                }
+                std::thread::sleep((next - now).min(Duration::from_millis(25)));
+            }
+            tick();
+        });
+        Reporter {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signals the thread, waits for the final tick, and joins it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Reporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn ticks_and_stops() {
+        let ticks = Arc::new(AtomicU64::new(0));
+        let t = ticks.clone();
+        let rep = Reporter::spawn(Duration::from_millis(10), move || {
+            t.fetch_add(1, Ordering::Relaxed);
+        });
+        std::thread::sleep(Duration::from_millis(60));
+        rep.stop();
+        let n = ticks.load(Ordering::Relaxed);
+        assert!(n >= 2, "expected periodic ticks, got {n}");
+    }
+
+    #[test]
+    fn final_tick_runs_even_if_stopped_early() {
+        let ticks = Arc::new(AtomicU64::new(0));
+        let t = ticks.clone();
+        let rep = Reporter::spawn(Duration::from_secs(3600), move || {
+            t.fetch_add(1, Ordering::Relaxed);
+        });
+        rep.stop();
+        assert_eq!(ticks.load(Ordering::Relaxed), 1);
+    }
+}

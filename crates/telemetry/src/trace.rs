@@ -1,0 +1,289 @@
+//! Sampled per-query structured traces in a bounded, lock-free ring.
+//!
+//! The serving path cannot afford allocation or locking per query, but a
+//! dump of "what did the last few thousand queries actually do, stage by
+//! stage" is exactly what the paper's operators leaned on during the
+//! roll-out. The compromise is a fixed ring of [`QueryTrace`] slots, each
+//! a handful of atomic words guarded by a per-slot sequence number
+//! (seqlock discipline): a writer claims a slot with one `fetch_add` on
+//! the ring head, marks the slot odd, stores the packed words, and marks
+//! it even; a reader copies the words and accepts them only if the
+//! sequence was even and unchanged across the copy. Writers never wait,
+//! readers simply skip slots being written. If the ring wraps a full lap
+//! while one writer is mid-store, a garbled (but type-safe) entry could
+//! in principle survive the check — with sampling in the hundreds and
+//! rings in the thousands that needs two samples racing the same slot a
+//! lap apart; traces are diagnostics, so best-effort is the right trade.
+//!
+//! Stage timings are saturated into `u32` nanoseconds (4.29 s caps —
+//! far above any serve-path stage) to pack a whole trace into four words.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What the serve path did with a traced query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOutcome {
+    /// Answered from the shard's answer cache.
+    CacheHit = 0,
+    /// Computed through the snapshot's mapping tables.
+    Computed = 1,
+    /// Served uncached by design (whoami, cacheless config, TTL-0).
+    Uncached = 2,
+    /// Rejected as malformed (FORMERR or drop).
+    Malformed = 3,
+}
+
+impl TraceOutcome {
+    fn from_u8(v: u8) -> TraceOutcome {
+        match v {
+            0 => TraceOutcome::CacheHit,
+            1 => TraceOutcome::Computed,
+            2 => TraceOutcome::Uncached,
+            _ => TraceOutcome::Malformed,
+        }
+    }
+
+    /// Short label for dumps.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceOutcome::CacheHit => "hit",
+            TraceOutcome::Computed => "computed",
+            TraceOutcome::Uncached => "uncached",
+            TraceOutcome::Malformed => "malformed",
+        }
+    }
+}
+
+/// One sampled query, stage by stage. All timings in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryTrace {
+    /// Ring-assigned sequence (global sample order).
+    pub seq: u64,
+    /// Serving shard index.
+    pub shard: u16,
+    /// Map snapshot generation the query was answered from.
+    pub generation: u64,
+    /// ECS source prefix length carried by the query (`None`: no ECS).
+    pub ecs_scope: Option<u8>,
+    /// How the answer was produced.
+    pub outcome: TraceOutcome,
+    /// Wire-decode time.
+    pub decode_ns: u32,
+    /// Answer-cache probe (and replay, on a hit).
+    pub cache_ns: u32,
+    /// Snapshot route (mapping-table answer computation; 0 on a hit).
+    pub route_ns: u32,
+    /// Response encode time.
+    pub encode_ns: u32,
+    /// Whole serve path, receive to send.
+    pub total_ns: u32,
+}
+
+impl QueryTrace {
+    fn pack(&self) -> [u64; 4] {
+        let scope = self.ecs_scope.map(|s| s as u64).unwrap_or(0xFF);
+        [
+            self.generation,
+            (self.decode_ns as u64) << 32 | self.cache_ns as u64,
+            (self.route_ns as u64) << 32 | self.encode_ns as u64,
+            (self.total_ns as u64) << 32
+                | (self.shard as u64) << 16
+                | (self.outcome as u64) << 8
+                | scope,
+        ]
+    }
+
+    fn unpack(seq: u64, w: [u64; 4]) -> QueryTrace {
+        let scope = (w[3] & 0xFF) as u8;
+        QueryTrace {
+            seq,
+            shard: (w[3] >> 16) as u16,
+            generation: w[0],
+            ecs_scope: (scope != 0xFF).then_some(scope),
+            outcome: TraceOutcome::from_u8((w[3] >> 8) as u8),
+            decode_ns: (w[1] >> 32) as u32,
+            cache_ns: w[1] as u32,
+            route_ns: (w[2] >> 32) as u32,
+            encode_ns: w[2] as u32,
+            total_ns: (w[3] >> 32) as u32,
+        }
+    }
+
+    /// One-line rendering for dumps.
+    pub fn render(&self) -> String {
+        let scope = match self.ecs_scope {
+            Some(s) => format!("/{s}"),
+            None => "-".to_string(),
+        };
+        format!(
+            "#{:<6} shard {} gen {} ecs {:<4} {:<9} decode {:>6}ns cache {:>6}ns route {:>6}ns encode {:>6}ns total {:>7}ns",
+            self.seq,
+            self.shard,
+            self.generation,
+            scope,
+            self.outcome.label(),
+            self.decode_ns,
+            self.cache_ns,
+            self.route_ns,
+            self.encode_ns,
+            self.total_ns,
+        )
+    }
+}
+
+struct Slot {
+    /// 0: never written. Odd: write in progress. Even `2(h+1)`: slot
+    /// holds the trace claimed with head value `h`.
+    seq: AtomicU64,
+    words: [AtomicU64; 4],
+}
+
+/// A bounded lock-free ring of sampled query traces.
+pub struct TraceRing {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRing")
+            .field("capacity", &self.slots.len())
+            .field("pushed", &self.pushed())
+            .finish()
+    }
+}
+
+impl TraceRing {
+    /// A ring holding the most recent `capacity` sampled traces.
+    pub fn new(capacity: usize) -> TraceRing {
+        TraceRing {
+            slots: (0..capacity.max(1))
+                .map(|_| Slot {
+                    seq: AtomicU64::new(0),
+                    words: Default::default(),
+                })
+                .collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Traces pushed since creation (≥ what a dump can return).
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Records one trace, overwriting the oldest slot. `trace.seq` is
+    /// ignored; the ring assigns sample order.
+    pub fn push(&self, trace: &QueryTrace) {
+        let h = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(h % self.slots.len() as u64) as usize];
+        let words = trace.pack();
+        slot.seq.store(2 * h + 1, Ordering::Release);
+        for (w, v) in slot.words.iter().zip(words) {
+            w.store(v, Ordering::Relaxed);
+        }
+        slot.seq.store(2 * (h + 1), Ordering::Release);
+    }
+
+    /// Copies out every readable trace, oldest first. Slots mid-write are
+    /// skipped.
+    pub fn dump(&self) -> Vec<QueryTrace> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 == 0 || s1 % 2 == 1 {
+                continue;
+            }
+            let mut words = [0u64; 4];
+            for (w, v) in words.iter_mut().zip(slot.words.iter()) {
+                *w = v.load(Ordering::Relaxed);
+            }
+            if slot.seq.load(Ordering::Acquire) != s1 {
+                continue;
+            }
+            out.push(QueryTrace::unpack(s1 / 2 - 1, words));
+        }
+        out.sort_by_key(|t| t.seq);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(i: u32) -> QueryTrace {
+        QueryTrace {
+            seq: 0,
+            shard: (i % 7) as u16,
+            generation: 3,
+            ecs_scope: i.is_multiple_of(2).then_some(24),
+            outcome: if i.is_multiple_of(3) {
+                TraceOutcome::CacheHit
+            } else {
+                TraceOutcome::Computed
+            },
+            decode_ns: 100 + i,
+            cache_ns: 50,
+            route_ns: 900,
+            encode_ns: 120,
+            total_ns: 1200 + i,
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_packing() {
+        let t = trace(4);
+        let ring = TraceRing::new(8);
+        ring.push(&t);
+        let got = ring.dump();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0], QueryTrace { seq: 0, ..t });
+        let t2 = QueryTrace {
+            ecs_scope: None,
+            outcome: TraceOutcome::Uncached,
+            ..trace(9)
+        };
+        ring.push(&t2);
+        let got = ring.dump();
+        assert_eq!(got[1], QueryTrace { seq: 1, ..t2 });
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_capacity() {
+        let ring = TraceRing::new(4);
+        for i in 0..10 {
+            ring.push(&trace(i));
+        }
+        let got = ring.dump();
+        assert_eq!(got.len(), 4);
+        let seqs: Vec<u64> = got.iter().map(|t| t.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(ring.pushed(), 10);
+    }
+
+    #[test]
+    fn concurrent_pushes_all_land() {
+        let ring = std::sync::Arc::new(TraceRing::new(1024));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let ring = ring.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200 {
+                    ring.push(&trace(i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let got = ring.dump();
+        assert_eq!(got.len(), 800);
+        assert!(got.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+}

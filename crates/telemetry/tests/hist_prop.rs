@@ -1,0 +1,66 @@
+//! Property tests pinning the two guarantees the histogram docs promise:
+//!
+//! * any quantile is within one bucket (≤ 6.25% relative error) of the
+//!   exact sorted-sample quantile at the same rank;
+//! * merging two snapshots is exactly equivalent to having recorded both
+//!   sample streams into one histogram.
+
+use eum_telemetry::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+proptest! {
+    /// The histogram quantile and the exact sample quantile share a
+    /// bucket, so they differ by at most one bucket's width: 1 for the
+    /// exact low buckets, `exact/16` once buckets turn logarithmic.
+    #[test]
+    fn quantile_within_one_bucket_of_exact(
+        values in proptest::collection::vec(0u64..1_000_000_000_000, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+        let exact = sorted[rank];
+        let approx = h.snapshot().quantile(q);
+        let (lo, hi) = HistogramSnapshot::bucket_of(exact);
+        prop_assert!(
+            (approx - exact as f64).abs() <= hi - lo,
+            "quantile({q}) = {approx} vs exact {exact}, bucket [{lo}, {hi})"
+        );
+        prop_assert!(
+            (approx - exact as f64).abs() <= (exact as f64 / 16.0).max(1.0),
+            "relative error above one bucket: {approx} vs {exact}"
+        );
+    }
+
+    /// merge(a, b) is indistinguishable from one histogram that recorded
+    /// both streams — counts, sums, max, every bucket, every quantile.
+    #[test]
+    fn merge_equals_recording_both_streams(
+        a in proptest::collection::vec(0u64..u64::MAX, 0..150),
+        b in proptest::collection::vec(0u64..u64::MAX, 0..150),
+    ) {
+        let ha = Histogram::new();
+        let hb = Histogram::striped(3);
+        let hboth = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            hboth.record(v);
+        }
+        for (i, &v) in b.iter().enumerate() {
+            hb.record_at(i % 3, v);
+            hboth.record(v);
+        }
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+        prop_assert_eq!(&merged, &hboth.snapshot());
+        // Merging in the other order gives the same result.
+        let mut flipped = hb.snapshot();
+        flipped.merge(&ha.snapshot());
+        prop_assert_eq!(&flipped, &merged);
+    }
+}

@@ -1,0 +1,133 @@
+//! Golden-file and structural tests for the text exposition format.
+//!
+//! The golden file pins `render_text` output byte for byte, so any
+//! accidental format change (ordering, float formatting, label escaping)
+//! shows up as a readable diff. Regenerate after an intentional change
+//! with `BLESS=1 cargo test -p eum-telemetry --test render_golden`.
+
+use eum_telemetry::Registry;
+use std::collections::BTreeMap;
+
+/// A registry with one family of each kind, deterministic values, and
+/// the label shapes the serving path actually uses.
+fn sample_registry() -> Registry {
+    let reg = Registry::new();
+    for (shard, n) in [("0", 7u64), ("1", 11)] {
+        reg.counter(
+            "eum_authd_queries_total",
+            "Queries received",
+            &[("shard", shard)],
+        )
+        .add(n);
+    }
+    reg.gauge("eum_authd_generation", "Published snapshot generation", &[])
+        .set(3.0);
+    reg.gauge(
+        "eum_mapping_units",
+        "Mapping units in the current map",
+        &[("kind", "eu")],
+    )
+    .set(120.0);
+    let h = reg.histogram("eum_authd_serve_ns", "Serve latency", &[]);
+    for v in [3, 17, 17, 900, 6_000_000] {
+        h.record(v);
+    }
+    reg
+}
+
+#[test]
+fn render_matches_golden() {
+    let text = sample_registry().render_text();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/render.txt");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(path, &text).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(path).expect("golden file exists; BLESS=1 regenerates");
+    assert_eq!(
+        text, golden,
+        "render_text drifted from the golden file; run with BLESS=1 if intentional"
+    );
+}
+
+#[test]
+fn render_is_structurally_valid_prometheus_text() {
+    let text = sample_registry().render_text();
+    let mut type_lines: BTreeMap<String, usize> = BTreeMap::new();
+    let mut current_family: Option<String> = None;
+    for line in text.lines() {
+        assert!(!line.trim().is_empty(), "no blank lines in the exposition");
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let family = rest.split(' ').next().unwrap().to_string();
+            current_family = Some(family);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let family = parts.next().unwrap().to_string();
+            let kind = parts.next().unwrap();
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "unknown TYPE {kind} for {family}"
+            );
+            assert_eq!(
+                current_family.as_deref(),
+                Some(family.as_str()),
+                "TYPE must follow its own HELP line"
+            );
+            *type_lines.entry(family).or_default() += 1;
+            continue;
+        }
+        // Sample line: name[{labels}] value — value parses as a float,
+        // and the name extends the family the preceding TYPE declared.
+        let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|_| panic!("unparseable value in {line:?}"));
+        let name = series.split('{').next().unwrap();
+        let family = current_family.as_deref().expect("sample before any TYPE");
+        assert!(
+            name == family
+                || name == format!("{family}_bucket")
+                || name == format!("{family}_sum")
+                || name == format!("{family}_count"),
+            "sample {name} does not belong to family {family}"
+        );
+        if let Some(labels) = series.strip_prefix(&format!("{name}{{")) {
+            let labels = labels.strip_suffix('}').expect("balanced label braces");
+            for pair in labels.split(',') {
+                let (k, v) = pair.split_once('=').expect("label is key=\"value\"");
+                assert!(!k.is_empty());
+                assert!(
+                    v.starts_with('"') && v.ends_with('"'),
+                    "unquoted label {pair:?}"
+                );
+            }
+        }
+    }
+    for (family, n) in &type_lines {
+        assert_eq!(
+            *n, 1,
+            "family {family} has {n} TYPE lines; exactly one expected"
+        );
+    }
+    assert_eq!(type_lines.len(), 4, "all four families present");
+}
+
+#[test]
+fn histogram_buckets_are_cumulative_and_end_at_inf() {
+    let text = sample_registry().render_text();
+    let mut last = 0u64;
+    let mut saw_inf = false;
+    for line in text
+        .lines()
+        .filter(|l| l.starts_with("eum_authd_serve_ns_bucket"))
+    {
+        let cum: u64 = line.rsplit_once(' ').unwrap().1.parse().unwrap();
+        assert!(cum >= last, "bucket counts must be cumulative: {line}");
+        last = cum;
+        saw_inf = line.contains("le=\"+Inf\"");
+    }
+    assert!(saw_inf, "the +Inf bucket must come last");
+    assert_eq!(last, 5, "+Inf bucket equals the sample count");
+}

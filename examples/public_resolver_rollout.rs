@@ -8,6 +8,7 @@
 use end_user_mapping::sim::scenario::{Scenario, ScenarioConfig};
 use end_user_mapping::sim::Metric;
 use end_user_mapping::stats::Table;
+use end_user_mapping::telemetry::Registry;
 
 fn main() {
     let cfg = if std::env::args().any(|a| a == "--tiny") {
@@ -47,6 +48,18 @@ fn main() {
         post_total / pre_total.max(1e-9),
         post_public / pre_public.max(1e-9),
     );
+    // The report also exports its headline numbers through the shared
+    // telemetry layer — the same registry/scrape format the authd serving
+    // path uses (see examples/authd_serve.rs).
+    let registry = Registry::new();
+    report.record_metrics(&registry);
+    println!("\ntelemetry scrape of the roll-out:");
+    for line in registry.render_text().lines() {
+        if !line.starts_with('#') {
+            println!("  {line}");
+        }
+    }
+
     println!(
         "\npaper shape: distance ~8x better, RTT and download ~2x, TTFB ~30%, public queries ~8x more"
     );

@@ -22,6 +22,11 @@
 //!   NS-based, end-user, and client-aware-NS policies.
 //! * [`sim`] — discrete-event simulation, workload, NetSession and RUM
 //!   measurement substrates, and the §4 roll-out scenario.
+//! * [`authd`] — the concurrent authoritative DNS serving subsystem
+//!   (sharded server, ECS-aware answer cache, closed-loop load generator).
+//! * [`telemetry`] — the lock-free metrics registry, latency histograms,
+//!   per-query trace ring, and Prometheus-style text exposition wired
+//!   through the serving path.
 //!
 //! ## Quickstart
 //!
@@ -36,6 +41,7 @@
 //! See `examples/quickstart.rs` for a guided tour and `crates/repro` for the
 //! binaries that regenerate every figure in the paper.
 
+pub use eum_authd as authd;
 pub use eum_cdn as cdn;
 pub use eum_dns as dns;
 pub use eum_geo as geo;
@@ -43,3 +49,4 @@ pub use eum_mapping as mapping;
 pub use eum_netmodel as netmodel;
 pub use eum_sim as sim;
 pub use eum_stats as stats;
+pub use eum_telemetry as telemetry;
