@@ -6,6 +6,14 @@
 //! of Figure 4's `/y ≤ /x` narrowing), so each serving shard memoizes
 //! finished answers and replays them for equivalent queries.
 //!
+//! Entries store the answer **already encoded**: [`CachedAnswer`] holds
+//! the full wire bytes of a response template (transaction ID zero, no
+//! OPT record). A hit replays by copying those bytes into the shard's
+//! reply buffer and patching the per-query parts in place — the ID, the
+//! RD flag, and (for ECS queries) an appended OPT record echoing the
+//! querier's subnet with the stored scope. No `Message` is rebuilt, no
+//! record is cloned, and nothing allocates.
+//!
 //! Two strictly separated tables keep the RFC 7871 reuse rules honest:
 //!
 //! * **Scoped answers** (`scope > 0`, the end-user path) are keyed by
@@ -23,7 +31,8 @@
 //! FIFO eviction, and hits/misses/evictions are counted per shard (each
 //! shard owns its cache outright — no cross-shard locking).
 
-use eum_dns::{DnsName, Message, Rcode, Record, RrType};
+use eum_dns::edns::EcsOption;
+use eum_dns::{encode_message, DnsName, Flags, Message, RData, RrType};
 use eum_geo::Prefix;
 use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
@@ -70,38 +79,92 @@ pub struct AnswerCacheStats {
     pub generation_clears: u64,
 }
 
-/// A memoized answer: the sections of the response minus the per-query
-/// parts (ID, echoed question, echoed ECS), which are rebuilt per hit.
+/// A memoized answer, stored as encoded wire bytes.
+///
+/// The template is a complete response with transaction ID 0, RD clear,
+/// and no OPT record; [`CachedAnswer::replay_into`] memcpys it and
+/// patches the per-query parts in place.
 #[derive(Debug, Clone)]
 pub struct CachedAnswer {
-    /// Response code.
-    pub rcode: Rcode,
-    /// Answer-section records.
-    pub answers: Vec<Record>,
-    /// Authority-section records (top-level delegations).
-    pub authorities: Vec<Record>,
-    /// Additional-section records minus OPT (delegation glue).
-    pub additionals: Vec<Record>,
+    /// The encoded response template.
+    wire: Vec<u8>,
     /// The answered ECS scope (`None` for resolver-keyed entries).
-    pub scope: Option<u8>,
+    scope: Option<u8>,
     expires: Instant,
 }
 
 impl CachedAnswer {
-    /// Captures the cacheable parts of a computed response.
+    /// Captures the cacheable parts of a computed response: everything
+    /// except the per-query transaction ID, RD flag, and OPT/ECS record,
+    /// pre-encoded so a hit is a copy, not an encode.
     pub fn from_response(resp: &Message, ttl_s: u32, now: Instant) -> CachedAnswer {
-        CachedAnswer {
-            rcode: resp.flags.rcode,
+        let template = Message {
+            id: 0,
+            flags: Flags {
+                qr: true,
+                // Delegations are not authoritative data.
+                aa: resp.authorities.is_empty(),
+                rcode: resp.flags.rcode,
+                ..Flags::default()
+            },
+            questions: resp.questions.clone(),
             answers: resp.answers.clone(),
             authorities: resp.authorities.clone(),
             additionals: resp
                 .additionals
                 .iter()
-                .filter(|r| !matches!(r.rdata, eum_dns::RData::Opt(_)))
+                .filter(|r| !matches!(r.rdata, RData::Opt(_)))
                 .cloned()
                 .collect(),
+        };
+        CachedAnswer {
+            wire: encode_message(&template),
             scope: resp.ecs().map(|e| e.scope_prefix),
             expires: now + Duration::from_secs(ttl_s as u64),
+        }
+    }
+
+    /// The stored response template bytes (ID 0, RD clear, no OPT).
+    pub fn wire(&self) -> &[u8] {
+        &self.wire
+    }
+
+    /// The stored ECS scope (`None` for resolver-keyed entries).
+    pub fn scope(&self) -> Option<u8> {
+        self.scope
+    }
+
+    /// Replays the entry into `out` for one specific query: memcpy the
+    /// template, patch the transaction ID and RD bit in place, and — when
+    /// the query carried ECS — append an OPT record echoing the querier's
+    /// subnet with the stored scope (clamped to `/y ≤ /x`). Allocation-free
+    /// once `out` has warmed capacity.
+    pub fn replay_into(&self, id: u16, rd: bool, ecs: Option<&EcsOption>, out: &mut Vec<u8>) {
+        out.clear();
+        out.extend_from_slice(&self.wire);
+        out[0] = (id >> 8) as u8;
+        out[1] = (id & 0xFF) as u8;
+        if rd {
+            out[2] |= 0x01; // RD is the low bit of header byte 2
+        }
+        if let Some(e) = ecs {
+            // ARCOUNT += 1 for the appended OPT.
+            let ar = u16::from_be_bytes([out[10], out[11]]) + 1;
+            out[10..12].copy_from_slice(&ar.to_be_bytes());
+            // OPT pseudo-RR: root owner, TYPE 41, CLASS = UDP size,
+            // TTL = extended fields (all zero).
+            out.push(0);
+            out.extend_from_slice(&41u16.to_be_bytes());
+            out.extend_from_slice(&4096u16.to_be_bytes());
+            out.extend_from_slice(&0u32.to_be_bytes());
+            let octets = e.addr_octets();
+            out.extend_from_slice(&((4 + 4 + octets) as u16).to_be_bytes()); // RDLEN
+            out.extend_from_slice(&8u16.to_be_bytes()); // OPTION-CODE: ECS
+            out.extend_from_slice(&((4 + octets) as u16).to_be_bytes());
+            out.extend_from_slice(&1u16.to_be_bytes()); // FAMILY: IPv4
+            out.push(e.source_prefix);
+            out.push(self.scope.unwrap_or(0).min(e.source_prefix));
+            out.extend_from_slice(&e.addr.octets()[..octets]);
         }
     }
 
@@ -152,7 +215,8 @@ impl AnswerCache {
     /// lengths present in the cache from most to least specific. Scopes
     /// longer than `max_scope` (the query's ECS source prefix) are never
     /// reused — the answer's `/y ≤ /x` guarantee must survive caching.
-    /// Counts a hit or miss.
+    /// Counts a hit or miss. Returns a reference — replaying borrows the
+    /// entry's bytes instead of cloning records.
     pub fn lookup_scoped(
         &mut self,
         qname: &DnsName,
@@ -160,23 +224,34 @@ impl AnswerCache {
         client: Ipv4Addr,
         max_scope: u8,
         now: Instant,
-    ) -> Option<CachedAnswer> {
+    ) -> Option<&CachedAnswer> {
+        let mut hit: Option<Key> = None;
         for len in (1..=max_scope.min(32)).rev() {
             if self.scope_lens[len as usize] == 0 {
                 continue;
             }
+            // DnsName is inline, so cloning it into a probe key is a flat
+            // copy, not a heap allocation.
             let key = Key::Scoped(qname.clone(), qtype, Prefix::of(client, len));
             match self.map.get(&key) {
                 Some(e) if !e.expired(now) => {
-                    self.stats.hits += 1;
-                    return Some(e.clone());
+                    hit = Some(key);
+                    break;
                 }
                 Some(_) => self.remove(&key),
                 None => {}
             }
         }
-        self.stats.misses += 1;
-        None
+        match hit {
+            Some(key) => {
+                self.stats.hits += 1;
+                self.map.get(&key)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
     }
 
     /// Looks up a resolver-keyed answer for queries `resolver` sent to
@@ -188,18 +263,23 @@ impl AnswerCache {
         resolver: Ipv4Addr,
         server: Ipv4Addr,
         now: Instant,
-    ) -> Option<CachedAnswer> {
+    ) -> Option<&CachedAnswer> {
         let key = Key::Resolver(qname.clone(), qtype, resolver, server);
         match self.map.get(&key) {
             Some(e) if !e.expired(now) => {
                 self.stats.hits += 1;
-                return Some(e.clone());
             }
-            Some(_) => self.remove(&key),
-            None => {}
+            Some(_) => {
+                self.remove(&key);
+                self.stats.misses += 1;
+                return None;
+            }
+            None => {
+                self.stats.misses += 1;
+                return None;
+            }
         }
-        self.stats.misses += 1;
-        None
+        self.map.get(&key)
     }
 
     /// Inserts a scoped answer valid for `scope_block`.
@@ -296,25 +376,88 @@ impl AnswerCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eum_dns::edns::OptData;
     use eum_dns::name::name;
+    use eum_dns::{decode_message, Message, Question, Rcode, Record};
 
     fn ns() -> Ipv4Addr {
         "192.0.2.2".parse().unwrap()
     }
 
+    /// A cached entry carrying one A answer with the given TTL and an ECS
+    /// response scope of /24.
     fn entry(ttl_s: u32) -> CachedAnswer {
-        CachedAnswer {
-            rcode: Rcode::NoError,
-            answers: vec![Record::a(
-                name("e0.cdn.example"),
-                ttl_s,
-                [9, 9, 9, 9].into(),
-            )],
-            authorities: vec![],
-            additionals: vec![],
-            scope: Some(24),
-            expires: Instant::now() + Duration::from_secs(ttl_s as u64),
+        let q = Message::query(
+            7,
+            Question::a(name("e0.cdn.example")),
+            Some(OptData::with_ecs(EcsOption::query(
+                "10.1.2.3".parse().unwrap(),
+                24,
+            ))),
+        );
+        let mut resp = Message::response_to(&q, Rcode::NoError);
+        resp.answers.push(Record::a(
+            name("e0.cdn.example"),
+            ttl_s,
+            [9, 9, 9, 9].into(),
+        ));
+        resp.set_opt(OptData::with_ecs(EcsOption::response(q.ecs().unwrap(), 24)));
+        CachedAnswer::from_response(&resp, ttl_s, Instant::now())
+    }
+
+    #[test]
+    fn template_strips_per_query_parts() {
+        let e = entry(30);
+        let template = decode_message(e.wire()).unwrap();
+        assert_eq!(template.id, 0);
+        assert!(!template.flags.rd, "RD is patched per query");
+        assert!(template.opt().is_none(), "OPT is appended per query");
+        assert_eq!(template.answer_ips(), vec![Ipv4Addr::new(9, 9, 9, 9)]);
+        assert_eq!(e.scope(), Some(24));
+    }
+
+    #[test]
+    fn replay_patches_id_rd_and_appends_ecs() {
+        let e = entry(30);
+        let ecs = EcsOption::query("10.1.2.200".parse().unwrap(), 28);
+        let mut out = Vec::new();
+        e.replay_into(0xBEEF, true, Some(&ecs), &mut out);
+        let resp = decode_message(&out).expect("replayed bytes decode");
+        assert_eq!(resp.id, 0xBEEF);
+        assert!(resp.flags.qr && resp.flags.rd);
+        assert_eq!(resp.answer_ips(), vec![Ipv4Addr::new(9, 9, 9, 9)]);
+        let echo = resp.ecs().expect("ECS echoed");
+        // RFC 7871 §7.1.3: family/source/address echo the query; the
+        // scope is the stored one clamped to the source.
+        assert_eq!(echo.addr, Ipv4Addr::new(10, 1, 2, 192));
+        assert_eq!(echo.source_prefix, 28);
+        assert_eq!(echo.scope_prefix, 24);
+    }
+
+    #[test]
+    fn replay_without_ecs_appends_nothing() {
+        let e = entry(30);
+        let mut out = Vec::new();
+        e.replay_into(42, false, None, &mut out);
+        let resp = decode_message(&out).expect("replayed bytes decode");
+        assert_eq!(resp.id, 42);
+        assert!(!resp.flags.rd);
+        assert!(resp.opt().is_none());
+        assert_eq!(out.len(), e.wire().len());
+    }
+
+    #[test]
+    fn replay_reuses_buffer_capacity() {
+        let e = entry(30);
+        let mut out = Vec::new();
+        e.replay_into(1, false, None, &mut out);
+        let cap = out.capacity();
+        let ptr = out.as_ptr();
+        for id in 2..50u16 {
+            e.replay_into(id, true, None, &mut out);
         }
+        assert_eq!(out.capacity(), cap, "replay must not reallocate");
+        assert_eq!(out.as_ptr(), ptr, "replay must not move the buffer");
     }
 
     #[test]
@@ -353,16 +496,22 @@ mod tests {
     fn longest_scope_wins_over_broader_one() {
         let mut c = AnswerCache::new(CacheConfig::default());
         let now = Instant::now();
-        let mut broad = entry(30);
-        broad.scope = Some(16);
+        let broad = {
+            let mut e = entry(30);
+            e.scope = Some(16);
+            e
+        };
         c.insert_scoped(
             name("e0.cdn.example"),
             RrType::A,
             "10.1.0.0/16".parse().unwrap(),
             broad,
         );
-        let mut narrow = entry(30);
-        narrow.scope = Some(24);
+        let narrow = {
+            let mut e = entry(30);
+            e.scope = Some(24);
+            e
+        };
         c.insert_scoped(
             name("e0.cdn.example"),
             RrType::A,
@@ -378,7 +527,7 @@ mod tests {
                 now,
             )
             .unwrap();
-        assert_eq!(got.scope, Some(24));
+        assert_eq!(got.scope(), Some(24));
         let got = c
             .lookup_scoped(
                 &name("e0.cdn.example"),
@@ -388,7 +537,7 @@ mod tests {
                 now,
             )
             .unwrap();
-        assert_eq!(got.scope, Some(16));
+        assert_eq!(got.scope(), Some(16));
     }
 
     #[test]

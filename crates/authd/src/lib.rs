@@ -33,7 +33,10 @@ pub mod transport;
 
 pub use cache::{AnswerCache, AnswerCacheStats, CacheConfig, CachedAnswer};
 pub use loadgen::{LoadGenConfig, LoadReport};
-pub use server::{AuthServer, ServerConfig, ShardCounters, ShardReport};
+pub use server::{
+    AuthServer, QueryStages, ScratchBuffers, ServeOutcome, ServerConfig, ShardCounters,
+    ShardReport, ShardState,
+};
 pub use snapshot::{Snapshot, SnapshotHandle};
 pub use telemetry::TelemetryConfig;
 pub use transport::{

@@ -1,27 +1,33 @@
 //! The sharded authoritative serving loop.
 //!
 //! [`AuthServer::spawn`] starts one OS thread per transport shard. Each
-//! shard owns its transport endpoint and its [`AnswerCache`] outright —
-//! the only shared state is the [`SnapshotHandle`] (cloned `Arc` per
-//! query) and the relaxed live counters, so shards never contend on a
-//! lock in the steady state. Per query a shard:
+//! shard owns its transport endpoint and a [`ShardState`] outright — the
+//! decode scratch, the reply buffer, and the [`AnswerCache`] all live for
+//! the shard's lifetime, so the steady-state serve path never allocates.
+//! The only shared state is the [`SnapshotHandle`] (cloned `Arc` per
+//! query) and the relaxed live counters; shards never contend on a lock.
+//! Per query a shard:
 //!
 //! 1. receives one RFC 1035 datagram,
 //! 2. grabs the current map snapshot (clearing its cache if the
 //!    generation changed since the last query),
-//! 3. decodes, consults the ECS-aware cache, computes the answer through
-//!    [`eum_mapping::MappingSystem::answer`] on a miss,
-//! 4. encodes and replies.
+//! 3. decodes into the shard's persistent [`Message`] scratch, consults
+//!    the ECS-aware cache — a hit memcpys the stored wire bytes and
+//!    patches them in place; a miss computes through
+//!    [`eum_mapping::MappingSystem::answer`] and encodes into the reused
+//!    reply buffer,
+//! 4. sends the reply buffer.
 //!
 //! Malformed packets get a FORMERR when the header is intact (so the ID
 //! can be echoed) and are dropped otherwise, like a production server.
+//! The FORMERR is stamped straight into the reply buffer too — twelve
+//! bytes, no encode.
 
 use crate::cache::{AnswerCache, AnswerCacheStats, CacheConfig, CachedAnswer};
-use crate::snapshot::SnapshotHandle;
+use crate::snapshot::{Snapshot, SnapshotHandle};
 use crate::telemetry::{ShardInstruments, TelemetryConfig};
 use crate::transport::ServerTransport;
-use eum_dns::edns::{EcsOption, OptData};
-use eum_dns::{decode_message, encode_message, DnsName, Message, QueryContext, Rcode};
+use eum_dns::{decode_message_into, encode_message_into, DnsName, Message, QueryContext, Rcode};
 use eum_geo::Prefix;
 use eum_telemetry::{QueryTrace, TraceOutcome};
 use std::net::Ipv4Addr;
@@ -166,14 +172,261 @@ struct GenState {
     top_ip: Ipv4Addr,
 }
 
-/// Per-query stage capture filled in by [`answer_query`]. Timestamps are
-/// only taken when `timed` is set (telemetry configured), so unobserved
-/// servers pay nothing beyond the branch.
-struct QueryStages {
-    timed: bool,
-    cache_ns: u64,
-    route_ns: u64,
-    outcome: TraceOutcome,
+/// Per-query stage capture filled in by [`ShardState::serve`]. Timestamps
+/// are only taken when `timed` is set (telemetry configured), so
+/// unobserved servers pay nothing beyond the branch.
+#[derive(Debug)]
+pub struct QueryStages {
+    /// Whether stage timestamps are taken at all.
+    pub timed: bool,
+    /// Wire-decode time.
+    pub decode_ns: u64,
+    /// Cache probe time; on a hit this includes the replay (probe plus
+    /// patch together are "what the cache saved us").
+    pub cache_ns: u64,
+    /// Snapshot-routing time on a miss.
+    pub route_ns: u64,
+    /// Wire-encode time on a miss (a hit writes the reply during the
+    /// cache stage).
+    pub encode_ns: u64,
+    /// How the query was resolved.
+    pub outcome: TraceOutcome,
+}
+
+impl QueryStages {
+    /// Fresh per-query stages; timestamps are taken only when `timed`.
+    pub fn new(timed: bool) -> QueryStages {
+        QueryStages {
+            timed,
+            decode_ns: 0,
+            cache_ns: 0,
+            route_ns: 0,
+            encode_ns: 0,
+            outcome: TraceOutcome::Uncached,
+        }
+    }
+}
+
+/// How [`ShardState::serve`] disposed of one datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// A full response is in [`ShardState::reply`].
+    Replied {
+        /// Whether it was replayed from the answer cache.
+        cache_hit: bool,
+    },
+    /// The datagram did not decode but the header survived; a FORMERR
+    /// echoing its ID is in [`ShardState::reply`].
+    FormErr,
+    /// The datagram did not even carry a usable header; nothing to send.
+    Dropped,
+}
+
+/// The buffers a shard reuses across queries. `query` keeps its section
+/// `Vec`s' capacity between decodes; `reply` keeps its bytes' capacity
+/// between encodes/replays — after warm-up neither touches the allocator.
+#[derive(Default)]
+pub struct ScratchBuffers {
+    query: Message,
+    reply: Vec<u8>,
+}
+
+/// Everything one shard owns: scratch buffers, the answer cache, and the
+/// derived per-generation state. [`AuthServer`] drives one per thread;
+/// benchmarks and allocation tests can drive one directly with
+/// [`ShardState::serve`].
+pub struct ShardState {
+    scratch: ScratchBuffers,
+    cache: Option<AnswerCache>,
+    gen: Option<GenState>,
+    generations_seen: u64,
+}
+
+impl ShardState {
+    /// Fresh shard state; `cache` bounds the answer cache (`None`
+    /// disables it).
+    pub fn new(cache: Option<CacheConfig>) -> ShardState {
+        ShardState {
+            scratch: ScratchBuffers::default(),
+            cache: cache.map(AnswerCache::new),
+            gen: None,
+            generations_seen: 0,
+        }
+    }
+
+    /// Syncs the shard to `snap`'s generation: on a swap, drops every
+    /// cached answer (they may route to clusters the new map no longer
+    /// picks) and re-derives the per-generation constants. Returns true
+    /// when the generation changed (the first observation counts).
+    pub fn observe(&mut self, snap: &Snapshot) -> bool {
+        if self.gen.as_ref().map(|g| g.generation) == Some(snap.generation) {
+            return false;
+        }
+        // A shard's very first observation only initializes state —
+        // nothing to clear yet.
+        if self.gen.is_some() {
+            if let Some(c) = self.cache.as_mut() {
+                c.clear();
+            }
+        }
+        self.gen = Some(GenState {
+            generation: snap.generation,
+            whoami: snap.map.whoami_name(),
+            uses_ecs: snap.map.policy().uses_ecs(),
+            top_ip: snap.map.top_level_ip(),
+        });
+        self.generations_seen += 1;
+        true
+    }
+
+    /// Serves one datagram end to end: decode into the shard scratch,
+    /// consult the cache, compute-and-encode or replay-and-patch into the
+    /// reply buffer. Requires a prior [`ShardState::observe`] call for
+    /// the snapshot `map` came from. Allocation-free on the cached-hit
+    /// path once the buffers are warm.
+    pub fn serve(
+        &mut self,
+        map: &eum_mapping::MappingSystem,
+        server_ip: Ipv4Addr,
+        resolver_ip: Ipv4Addr,
+        payload: &[u8],
+        stages: &mut QueryStages,
+    ) -> ServeOutcome {
+        let gen = self.gen.as_ref().expect("observe() must precede serve()");
+        let ScratchBuffers { query, reply } = &mut self.scratch;
+
+        let t_decode = stages.timed.then(Instant::now);
+        if decode_message_into(payload, query).is_err() {
+            stages.decode_ns = elapsed_ns(t_decode);
+            stages.outcome = TraceOutcome::Malformed;
+            return if formerr_into(payload, reply) {
+                ServeOutcome::FormErr
+            } else {
+                ServeOutcome::Dropped
+            };
+        }
+        stages.decode_ns = elapsed_ns(t_decode);
+
+        let ctx = QueryContext {
+            resolver_ip,
+            now_ms: 0,
+        };
+
+        // Only single-question catalog-name queries are memoizable (the
+        // cached wire echoes the question section verbatim): whoami is
+        // TTL-0 by design and error responses are cheap to recompute.
+        let cacheable_shape = self.cache.is_some()
+            && query.questions.len() == 1
+            && query.questions[0].name != gen.whoami;
+        if !cacheable_shape {
+            let t_route = stages.timed.then(Instant::now);
+            let resp = map.answer(server_ip, query, &ctx);
+            stages.route_ns = elapsed_ns(t_route);
+            let t_encode = stages.timed.then(Instant::now);
+            encode_message_into(&resp, reply);
+            stages.encode_ns = elapsed_ns(t_encode);
+            return ServeOutcome::Replied { cache_hit: false };
+        }
+        let cache = self.cache.as_mut().expect("checked above");
+        let q = &query.questions[0];
+        let now = Instant::now();
+        let ecs = query.ecs().copied();
+        // The end-user (scoped) path exists only at low-level servers; the
+        // top level always delegates per resolver, whatever the query
+        // carries.
+        let eu_path = gen.uses_ecs && ecs.is_some() && server_ip != gen.top_ip;
+
+        let hit = if let (true, Some(e)) = (eu_path, ecs.as_ref()) {
+            cache.lookup_scoped(&q.name, q.rtype, e.addr, e.source_prefix, now)
+        } else {
+            cache.lookup_resolver(&q.name, q.rtype, ctx.resolver_ip, server_ip, now)
+        };
+        if let Some(entry) = hit {
+            entry.replay_into(query.id, query.flags.rd, ecs.as_ref(), reply);
+            stages.outcome = TraceOutcome::CacheHit;
+            if stages.timed {
+                stages.cache_ns = now.elapsed().as_nanos() as u64;
+            }
+            return ServeOutcome::Replied { cache_hit: true };
+        }
+        if stages.timed {
+            stages.cache_ns = now.elapsed().as_nanos() as u64;
+        }
+        stages.outcome = TraceOutcome::Computed;
+
+        let t_route = stages.timed.then(Instant::now);
+        let resp = map.answer(server_ip, query, &ctx);
+        stages.route_ns = elapsed_ns(t_route);
+        // Cache only clean answers with a real TTL; the minimum spans
+        // every returned record (delegations live in
+        // authorities/additionals).
+        let min_ttl = resp
+            .answers
+            .iter()
+            .chain(resp.authorities.iter())
+            .chain(
+                resp.additionals
+                    .iter()
+                    .filter(|r| !matches!(r.rdata, eum_dns::RData::Opt(_))),
+            )
+            .map(|r| r.ttl)
+            .min();
+        let cacheable = resp.flags.rcode == Rcode::NoError && min_ttl.is_some_and(|t| t > 0);
+        if cacheable {
+            let entry = CachedAnswer::from_response(&resp, min_ttl.expect("checked"), now);
+            match (eu_path, resp.ecs().map(|e| e.scope_prefix)) {
+                // End-user answer with a real scope: valid for the whole
+                // scope block.
+                (true, Some(scope)) if scope > 0 => {
+                    let e = ecs.as_ref().expect("eu_path implies ecs");
+                    cache.insert_scoped(q.name.clone(), q.rtype, Prefix::of(e.addr, scope), entry);
+                }
+                // Scope-0 answer to an ECS query (unknown block fallback):
+                // not cached. It must not enter the scoped table (a /0
+                // entry would shadow real blocks) and the resolver table
+                // is for queries that will probe it again — ECS queries
+                // never do.
+                (true, _) => {}
+                // NS path (no ECS, policy ignores it, or top-level
+                // delegation): per-resolver at this serving IP.
+                (false, _) => {
+                    cache.insert_resolver(
+                        q.name.clone(),
+                        q.rtype,
+                        ctx.resolver_ip,
+                        server_ip,
+                        entry,
+                    );
+                }
+            }
+        }
+        let t_encode = stages.timed.then(Instant::now);
+        encode_message_into(&resp, reply);
+        stages.encode_ns = elapsed_ns(t_encode);
+        ServeOutcome::Replied { cache_hit: false }
+    }
+
+    /// The bytes to send for the last [`ShardState::serve`] that returned
+    /// [`ServeOutcome::Replied`] or [`ServeOutcome::FormErr`].
+    pub fn reply(&self) -> &[u8] {
+        &self.scratch.reply
+    }
+
+    /// The last successfully decoded query (valid after a
+    /// [`ServeOutcome::Replied`]; used for trace fields).
+    pub fn last_query(&self) -> &Message {
+        &self.scratch.query
+    }
+
+    /// The shard's answer cache, when enabled.
+    pub fn cache(&self) -> Option<&AnswerCache> {
+        self.cache.as_ref()
+    }
+
+    /// How many snapshot generations this shard has observed.
+    pub fn generations_seen(&self) -> u64 {
+        self.generations_seen
+    }
 }
 
 fn elapsed_ns(since: Option<Instant>) -> u64 {
@@ -189,7 +442,7 @@ fn run_shard<T: ServerTransport>(
     stop: Arc<AtomicBool>,
     counters: Arc<ShardCounters>,
 ) -> ShardReport {
-    let mut cache = cfg.cache.map(AnswerCache::new);
+    let mut state = ShardState::new(cfg.cache);
     let mut tel = cfg
         .telemetry
         .as_ref()
@@ -199,8 +452,6 @@ fn run_shard<T: ServerTransport>(
             .then(|| t.trace.clone().map(|ring| (ring, t.trace_sample_every)))
             .flatten()
     });
-    let mut gen_state: Option<GenState> = None;
-    let mut generations_seen = 0u64;
     let mut dropped = 0u64;
     let mut malformed = 0u64;
     let mut received = 0u64;
@@ -218,49 +469,39 @@ fn run_shard<T: ServerTransport>(
         let t_start = timed.then(Instant::now);
 
         let snap = snapshots.current();
-        if gen_state.as_ref().map(|g| g.generation) != Some(snap.generation) {
-            // New map generation: cached answers may route to clusters the
-            // new map no longer picks. Drop them all. A shard's very first
-            // query only initializes state — nothing to clear yet.
-            if gen_state.is_some() {
-                if let Some(c) = cache.as_mut() {
-                    c.clear();
-                }
-            }
-            gen_state = Some(GenState {
-                generation: snap.generation,
-                whoami: snap.map.whoami_name(),
-                uses_ecs: snap.map.policy().uses_ecs(),
-                top_ip: snap.map.top_level_ip(),
-            });
-            generations_seen += 1;
+        if state.observe(&snap) {
             if let Some(t) = tel.as_ref() {
                 t.generation.set(snap.generation as f64);
             }
         }
-        let gen = gen_state.as_ref().expect("generation state set above");
-
-        let t_decode = timed.then(Instant::now);
-        let query = match decode_message(&dg.payload) {
-            Ok(m) => m,
-            Err(_) => {
-                let decode_ns = elapsed_ns(t_decode);
-                counters.malformed.fetch_add(1, Ordering::Relaxed);
-                malformed += 1;
-                match formerr_reply(&dg.payload) {
-                    Some(reply) => {
-                        counters.queries.fetch_add(1, Ordering::Relaxed);
-                        let _ = transport.send(&dg.peer, &reply);
-                        if let Some(t) = tel.as_ref() {
-                            t.queries.inc();
-                            t.formerr.inc();
-                        }
-                    }
-                    None => {
-                        dropped += 1;
-                        if let Some(t) = tel.as_ref() {
-                            t.dropped.inc();
-                        }
+        let server_ip = dg.server_ip.unwrap_or(cfg.default_server_ip);
+        let mut stages = QueryStages::new(timed);
+        let outcome = state.serve(
+            &snap.map,
+            server_ip,
+            dg.resolver_ip,
+            &dg.payload,
+            &mut stages,
+        );
+        let total_ns = elapsed_ns(t_start);
+        match outcome {
+            ServeOutcome::Replied { cache_hit } => {
+                counters.queries.fetch_add(1, Ordering::Relaxed);
+                if cache_hit {
+                    counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                let _ = transport.send(&dg.peer, state.reply());
+                if let Some(t) = tel.as_mut() {
+                    t.queries.inc();
+                    t.record_stages(
+                        stages.decode_ns,
+                        stages.cache_ns,
+                        stages.route_ns,
+                        stages.encode_ns,
+                        total_ns,
+                    );
+                    if let Some(c) = state.cache() {
+                        t.sync_cache(c.stats(), c.len());
                     }
                 }
                 if sampled {
@@ -268,76 +509,45 @@ fn run_shard<T: ServerTransport>(
                         ring.push(&QueryTrace {
                             seq: 0,
                             shard: shard as u16,
-                            generation: gen.generation,
-                            ecs_scope: None,
-                            outcome: TraceOutcome::Malformed,
-                            decode_ns: decode_ns.min(u32::MAX as u64) as u32,
-                            cache_ns: 0,
-                            route_ns: 0,
-                            encode_ns: 0,
-                            total_ns: elapsed_ns(t_start).min(u32::MAX as u64) as u32,
+                            generation: snap.generation,
+                            ecs_scope: state.last_query().ecs().map(|e| e.source_prefix),
+                            outcome: stages.outcome,
+                            decode_ns: stages.decode_ns.min(u32::MAX as u64) as u32,
+                            cache_ns: stages.cache_ns.min(u32::MAX as u64) as u32,
+                            route_ns: stages.route_ns.min(u32::MAX as u64) as u32,
+                            encode_ns: stages.encode_ns.min(u32::MAX as u64) as u32,
+                            total_ns: total_ns.min(u32::MAX as u64) as u32,
                         });
                     }
                 }
-                continue;
             }
-        };
-        let decode_ns = elapsed_ns(t_decode);
-        let server_ip = dg.server_ip.unwrap_or(cfg.default_server_ip);
-        let ctx = QueryContext {
-            resolver_ip: dg.resolver_ip,
-            now_ms: 0,
-        };
-        let mut stages = QueryStages {
-            timed,
-            cache_ns: 0,
-            route_ns: 0,
-            outcome: TraceOutcome::Uncached,
-        };
-        let resp = answer_query(
-            &snap.map,
-            gen,
-            cache.as_mut(),
-            server_ip,
-            &query,
-            &ctx,
-            &counters,
-            &mut stages,
-        );
-        counters.queries.fetch_add(1, Ordering::Relaxed);
-        let t_encode = timed.then(Instant::now);
-        let wire = encode_message(&resp);
-        let encode_ns = elapsed_ns(t_encode);
-        let _ = transport.send(&dg.peer, &wire);
-        let total_ns = elapsed_ns(t_start);
-
-        if let Some(t) = tel.as_mut() {
-            t.queries.inc();
-            t.record_stages(
-                decode_ns,
-                stages.cache_ns,
-                stages.route_ns,
-                encode_ns,
-                total_ns,
-            );
-            if let Some(c) = cache.as_ref() {
-                t.sync_cache(c.stats(), c.len());
+            ServeOutcome::FormErr => {
+                counters.malformed.fetch_add(1, Ordering::Relaxed);
+                malformed += 1;
+                counters.queries.fetch_add(1, Ordering::Relaxed);
+                let _ = transport.send(&dg.peer, state.reply());
+                if let Some(t) = tel.as_ref() {
+                    t.queries.inc();
+                    t.formerr.inc();
+                }
+                if sampled {
+                    if let Some((ring, _)) = trace.as_ref() {
+                        push_malformed_trace(ring, shard, snap.generation, &stages, total_ns);
+                    }
+                }
             }
-        }
-        if sampled {
-            if let Some((ring, _)) = trace.as_ref() {
-                ring.push(&QueryTrace {
-                    seq: 0,
-                    shard: shard as u16,
-                    generation: gen.generation,
-                    ecs_scope: query.ecs().map(|e| e.source_prefix),
-                    outcome: stages.outcome,
-                    decode_ns: decode_ns.min(u32::MAX as u64) as u32,
-                    cache_ns: stages.cache_ns.min(u32::MAX as u64) as u32,
-                    route_ns: stages.route_ns.min(u32::MAX as u64) as u32,
-                    encode_ns: encode_ns.min(u32::MAX as u64) as u32,
-                    total_ns: total_ns.min(u32::MAX as u64) as u32,
-                });
+            ServeOutcome::Dropped => {
+                counters.malformed.fetch_add(1, Ordering::Relaxed);
+                malformed += 1;
+                dropped += 1;
+                if let Some(t) = tel.as_ref() {
+                    t.dropped.inc();
+                }
+                if sampled {
+                    if let Some((ring, _)) = trace.as_ref() {
+                        push_malformed_trace(ring, shard, snap.generation, &stages, total_ns);
+                    }
+                }
             }
         }
     }
@@ -346,149 +556,43 @@ fn run_shard<T: ServerTransport>(
         queries: counters.queries.load(Ordering::Relaxed),
         dropped,
         malformed,
-        cache: cache.map(|c| c.stats()).unwrap_or_default(),
-        generations_seen,
+        cache: state.cache().map(|c| c.stats()).unwrap_or_default(),
+        generations_seen: state.generations_seen(),
     }
 }
 
-/// Routes through the snapshot, attributing the time to the route stage.
-fn timed_route(
-    map: &eum_mapping::MappingSystem,
-    server_ip: Ipv4Addr,
-    query: &Message,
-    ctx: &QueryContext,
-    stages: &mut QueryStages,
-) -> Message {
-    let t = stages.timed.then(Instant::now);
-    let resp = map.answer(server_ip, query, ctx);
-    stages.route_ns = elapsed_ns(t);
-    resp
+fn push_malformed_trace(
+    ring: &eum_telemetry::TraceRing,
+    shard: usize,
+    generation: u64,
+    stages: &QueryStages,
+    total_ns: u64,
+) {
+    ring.push(&QueryTrace {
+        seq: 0,
+        shard: shard as u16,
+        generation,
+        ecs_scope: None,
+        outcome: TraceOutcome::Malformed,
+        decode_ns: stages.decode_ns.min(u32::MAX as u64) as u32,
+        cache_ns: 0,
+        route_ns: 0,
+        encode_ns: 0,
+        total_ns: total_ns.min(u32::MAX as u64) as u32,
+    });
 }
 
-/// Answers one decoded query, going through the shard cache when possible.
-#[allow(clippy::too_many_arguments)]
-fn answer_query(
-    map: &eum_mapping::MappingSystem,
-    gen: &GenState,
-    cache: Option<&mut AnswerCache>,
-    server_ip: Ipv4Addr,
-    query: &Message,
-    ctx: &QueryContext,
-    counters: &ShardCounters,
-    stages: &mut QueryStages,
-) -> Message {
-    let Some(cache) = cache else {
-        return timed_route(map, server_ip, query, ctx, stages);
-    };
-    // Only catalog-name queries are memoizable: whoami is TTL-0 by design
-    // and error responses are cheap to recompute.
-    let Some(q) = query.questions.first() else {
-        return timed_route(map, server_ip, query, ctx, stages);
-    };
-    if q.name == gen.whoami {
-        return timed_route(map, server_ip, query, ctx, stages);
-    }
-    let now = Instant::now();
-    let ecs = query.ecs().copied();
-    // The end-user (scoped) path exists only at low-level servers; the
-    // top level always delegates per resolver, whatever the query carries.
-    let eu_path = gen.uses_ecs && ecs.is_some() && server_ip != gen.top_ip;
-
-    let hit = if let (true, Some(e)) = (eu_path, ecs.as_ref()) {
-        cache.lookup_scoped(&q.name, q.rtype, e.addr, e.source_prefix, now)
-    } else {
-        cache.lookup_resolver(&q.name, q.rtype, ctx.resolver_ip, server_ip, now)
-    };
-    if let Some(entry) = hit {
-        counters.cache_hits.fetch_add(1, Ordering::Relaxed);
-        stages.outcome = TraceOutcome::CacheHit;
-        let resp = replay(&entry, query, ecs.as_ref());
-        // Probe and replay together are "what the cache saved us".
-        if stages.timed {
-            stages.cache_ns = now.elapsed().as_nanos() as u64;
-        }
-        return resp;
-    }
-    if stages.timed {
-        stages.cache_ns = now.elapsed().as_nanos() as u64;
-    }
-    stages.outcome = TraceOutcome::Computed;
-
-    let t_route = stages.timed.then(Instant::now);
-    let resp = map.answer(server_ip, query, ctx);
-    stages.route_ns = elapsed_ns(t_route);
-    // Cache only clean answers with a real TTL; the minimum spans every
-    // returned record (delegations live in authorities/additionals).
-    let min_ttl = resp
-        .answers
-        .iter()
-        .chain(resp.authorities.iter())
-        .chain(
-            resp.additionals
-                .iter()
-                .filter(|r| !matches!(r.rdata, eum_dns::RData::Opt(_))),
-        )
-        .map(|r| r.ttl)
-        .min();
-    let cacheable = resp.flags.rcode == Rcode::NoError && min_ttl.is_some_and(|t| t > 0);
-    if cacheable {
-        let entry = CachedAnswer::from_response(&resp, min_ttl.expect("checked"), now);
-        match (eu_path, resp.ecs().map(|e| e.scope_prefix)) {
-            // End-user answer with a real scope: valid for the whole
-            // scope block.
-            (true, Some(scope)) if scope > 0 => {
-                let e = ecs.as_ref().expect("eu_path implies ecs");
-                cache.insert_scoped(q.name.clone(), q.rtype, Prefix::of(e.addr, scope), entry);
-            }
-            // Scope-0 answer to an ECS query (unknown block fallback):
-            // not cached. It must not enter the scoped table (a /0 entry
-            // would shadow real blocks) and the resolver table is for
-            // queries that will probe it again — ECS queries never do.
-            (true, _) => {}
-            // NS path (no ECS, policy ignores it, or top-level
-            // delegation): per-resolver at this serving IP.
-            (false, _) => {
-                cache.insert_resolver(q.name.clone(), q.rtype, ctx.resolver_ip, server_ip, entry);
-            }
-        }
-    }
-    resp
-}
-
-/// Rebuilds a response from a cached entry for this specific query.
-fn replay(entry: &CachedAnswer, query: &Message, ecs: Option<&EcsOption>) -> Message {
-    let mut resp = Message::response_to(query, entry.rcode);
-    if !entry.authorities.is_empty() {
-        // Delegations are not authoritative data.
-        resp.flags.aa = false;
-    }
-    resp.answers = entry.answers.clone();
-    resp.authorities = entry.authorities.clone();
-    resp.additionals = entry.additionals.clone();
-    if let Some(e) = ecs {
-        let scope = entry.scope.unwrap_or(0).min(e.source_prefix);
-        resp.set_opt(OptData::with_ecs(EcsOption::response(e, scope)));
-    }
-    resp
-}
-
-/// A minimal FORMERR reply when at least the 12-byte header survived.
-fn formerr_reply(payload: &[u8]) -> Option<Vec<u8>> {
+/// Stamps a minimal FORMERR into `out` when at least the 12-byte header
+/// survived: the two ID bytes are echoed, QR is set, the RCODE is
+/// FORMERR, and every count is zero. No `Message` is built and nothing
+/// allocates once `out` has capacity.
+fn formerr_into(payload: &[u8], out: &mut Vec<u8>) -> bool {
     if payload.len() < 12 {
-        return None;
+        return false;
     }
-    let id = u16::from_be_bytes([payload[0], payload[1]]);
-    let resp = Message {
-        id,
-        flags: eum_dns::Flags {
-            qr: true,
-            rcode: Rcode::FormErr,
-            ..eum_dns::Flags::default()
-        },
-        questions: Vec::new(),
-        answers: Vec::new(),
-        authorities: Vec::new(),
-        additionals: Vec::new(),
-    };
-    Some(encode_message(&resp))
+    out.clear();
+    out.extend_from_slice(&payload[..2]);
+    out.extend_from_slice(&[0x80, 0x01]); // QR=1, opcode 0, RCODE=FORMERR
+    out.extend_from_slice(&[0; 8]); // QD/AN/NS/AR counts all zero
+    true
 }

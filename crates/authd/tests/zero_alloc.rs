@@ -1,0 +1,137 @@
+//! Proof of the serve path's allocation budget: once a shard's buffers
+//! are warm, a cached-hit query — decode into the persistent scratch,
+//! scoped cache probe, memcpy-and-patch replay — touches the heap zero
+//! times. A counting `#[global_allocator]` makes the claim checkable: the
+//! allocation count across thousands of hits must not move at all.
+//!
+//! This file holds exactly one `#[test]` on purpose: the counter is
+//! global, so a second test running on a sibling thread would pollute it.
+
+use eum_authd::{CacheConfig, QueryStages, ServeOutcome, ShardState, SnapshotHandle};
+use eum_cdn::{deployment_universe, CatalogConfig, CdnPlatform, ContentCatalog, DeployConfig};
+use eum_dns::edns::{EcsOption, OptData};
+use eum_dns::{decode_message, encode_message, Message, Question, Rcode};
+use eum_mapping::{MappingConfig, MappingSystem};
+use eum_netmodel::{Internet, InternetConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SEED: u64 = 0xA110C;
+
+/// Counts every path into the heap; frees are uncounted (a zero-alloc
+/// steady state cannot free what it never allocated).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn world() -> (Internet, MappingSystem) {
+    let mut net = Internet::generate(InternetConfig::tiny(SEED));
+    let sites = deployment_universe(SEED, 16);
+    let cdn = CdnPlatform::deploy(
+        &mut net,
+        &sites,
+        &DeployConfig {
+            servers_per_cluster: 4,
+            cache_objects_per_server: 256,
+            cluster_capacity: f64::INFINITY,
+        },
+    );
+    let catalog = ContentCatalog::generate(&CatalogConfig::tiny(SEED));
+    let map = MappingSystem::build(
+        &mut net,
+        &cdn,
+        &catalog,
+        "cdn.example".parse().unwrap(),
+        MappingConfig {
+            max_ping_targets: 50,
+            ..MappingConfig::default()
+        },
+    );
+    (net, map)
+}
+
+fn query(id: u16, client: Option<Ipv4Addr>) -> Vec<u8> {
+    encode_message(&Message::query(
+        id,
+        Question::a("e0.cdn.example".parse().unwrap()),
+        client.map(|c| OptData::with_ecs(EcsOption::query(c, 24))),
+    ))
+}
+
+#[test]
+fn cached_hits_do_not_allocate() {
+    let (net, mapping) = world();
+    let client = net.blocks[0].client_ip();
+    let resolver = net.resolvers[0].ip;
+    let low = mapping.ns_ips()[1];
+    let ecs_payload = query(7, Some(client));
+    let plain_payload = query(8, None);
+    let snapshots = SnapshotHandle::new(mapping);
+    let snap = snapshots.current();
+
+    let mut state = ShardState::new(Some(CacheConfig::default()));
+    state.observe(&snap);
+
+    // Warm-up: first serve of each shape computes and inserts; replays
+    // after that settle every buffer's capacity.
+    for payload in [&ecs_payload, &plain_payload] {
+        let mut stages = QueryStages::new(false);
+        let first = state.serve(&snap.map, low, resolver, payload, &mut stages);
+        assert_eq!(first, ServeOutcome::Replied { cache_hit: false });
+        let again = state.serve(&snap.map, low, resolver, payload, &mut stages);
+        assert_eq!(again, ServeOutcome::Replied { cache_hit: true });
+    }
+    // Sanity: the replayed reply is a well-formed answer for the query.
+    let replayed = decode_message(state.reply()).expect("replay decodes");
+    assert_eq!(replayed.id, 8);
+    assert_eq!(replayed.flags.rcode, Rcode::NoError);
+    assert!(!replayed.answer_ips().is_empty());
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for round in 0..2_000u32 {
+        for payload in [&ecs_payload, &plain_payload] {
+            let mut stages = QueryStages::new(false);
+            let out = state.serve(&snap.map, low, resolver, payload, &mut stages);
+            assert_eq!(out, ServeOutcome::Replied { cache_hit: true });
+            assert!(!state.reply().is_empty());
+        }
+        // Interleave a malformed datagram: the FORMERR path must be
+        // allocation-free too.
+        if round % 64 == 0 {
+            let mut stages = QueryStages::new(false);
+            let garbage = [0u8; 16];
+            let out = state.serve(&snap.map, low, resolver, &garbage, &mut stages);
+            assert_eq!(out, ServeOutcome::FormErr);
+        }
+    }
+    let delta = ALLOCS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        delta, 0,
+        "cached-hit serve path allocated {delta} times over 4000 hits"
+    );
+}

@@ -15,8 +15,13 @@
 //! | SOURCE PREFIX-LEN | SCOPE PREFIX-LEN |
 //! |  ADDRESS... (ceil(source/8) bytes, trailing bits zero) |
 //! ```
+//!
+//! Decoding is slice-based and allocation-free for the serve path's only
+//! hot case (a single IPv4 ECS option): [`OptData::options`] stores up to
+//! two options inline and only spills to the heap beyond that, and opaque
+//! payload copies are made only for options we pass through verbatim.
 
-use bytes::{Buf, BufMut};
+use bytes::BufMut;
 use eum_geo::Prefix;
 use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
@@ -102,34 +107,29 @@ impl EcsOption {
         self.put_payload(buf);
     }
 
-    /// Decodes an option payload of `len` bytes (after code/length).
+    /// Decodes an option payload (the bytes after code/length).
     /// Enforces RFC 7871 §6 validity: family 1 (IPv4 — the reproduction's
     /// address plan is IPv4), prefix lengths ≤ 32, exactly
     /// `ceil(source/8)` address octets, and zero padding bits.
-    pub fn decode_payload(buf: &mut impl Buf, len: usize) -> Result<EcsOption, WireError> {
-        if len < 4 {
+    pub fn decode_payload(payload: &[u8]) -> Result<EcsOption, WireError> {
+        if payload.len() < 4 {
             return Err(WireError::Truncated);
         }
-        let family = buf.get_u16();
+        let family = u16::from_be_bytes([payload[0], payload[1]]);
         if family != FAMILY_IPV4 {
             return Err(WireError::BadEcs("unsupported address family"));
         }
-        let source_prefix = buf.get_u8();
-        let scope_prefix = buf.get_u8();
+        let source_prefix = payload[2];
+        let scope_prefix = payload[3];
         if source_prefix > 32 || scope_prefix > 32 {
             return Err(WireError::BadEcs("prefix length exceeds 32"));
         }
         let want = (source_prefix as usize).div_ceil(8);
-        if len != 4 + want {
+        if payload.len() != 4 + want {
             return Err(WireError::BadEcs("address length mismatch"));
         }
-        if buf.remaining() < want {
-            return Err(WireError::Truncated);
-        }
         let mut octets = [0u8; 4];
-        for o in octets.iter_mut().take(want) {
-            *o = buf.get_u8();
-        }
+        octets[..want].copy_from_slice(&payload[4..4 + want]);
         let addr = Ipv4Addr::from(octets);
         // RFC 7871 §6: trailing (padding) bits MUST be zero.
         if Prefix::of(addr, source_prefix).network() != addr {
@@ -158,6 +158,102 @@ pub enum EdnsOption {
     },
 }
 
+/// A small-vector of EDNS options: the first two live inline, the rest
+/// spill to the heap.
+///
+/// Real traffic carries zero or one option (ECS), so the spill vector is
+/// `Vec::new()` — which never allocates — in steady state. This is what
+/// makes decoding an ECS query allocation-free end to end.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EdnsOptions {
+    inline: [Option<EdnsOption>; 2],
+    spill: Vec<EdnsOption>,
+}
+
+impl EdnsOptions {
+    /// An empty option list (allocation-free).
+    pub const fn new() -> EdnsOptions {
+        EdnsOptions {
+            inline: [None, None],
+            spill: Vec::new(),
+        }
+    }
+
+    /// Appends an option, spilling to the heap past two.
+    pub fn push(&mut self, opt: EdnsOption) {
+        for slot in &mut self.inline {
+            if slot.is_none() {
+                *slot = Some(opt);
+                return;
+            }
+        }
+        self.spill.push(opt);
+    }
+
+    /// Number of options.
+    pub fn len(&self) -> usize {
+        self.inline.iter().filter(|s| s.is_some()).count() + self.spill.len()
+    }
+
+    /// True when no options are present.
+    pub fn is_empty(&self) -> bool {
+        self.inline[0].is_none() && self.spill.is_empty()
+    }
+
+    /// Removes all options (keeps spill capacity).
+    pub fn clear(&mut self) {
+        self.inline = [None, None];
+        self.spill.clear();
+    }
+
+    /// Iterates the options in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &EdnsOption> {
+        self.inline
+            .iter()
+            .filter_map(Option::as_ref)
+            .chain(self.spill.iter())
+    }
+}
+
+impl Default for EdnsOptions {
+    fn default() -> Self {
+        EdnsOptions::new()
+    }
+}
+
+impl PartialEq for EdnsOptions {
+    fn eq(&self, other: &Self) -> bool {
+        self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for EdnsOptions {}
+
+impl From<Vec<EdnsOption>> for EdnsOptions {
+    fn from(v: Vec<EdnsOption>) -> Self {
+        v.into_iter().collect()
+    }
+}
+
+impl FromIterator<EdnsOption> for EdnsOptions {
+    fn from_iter<T: IntoIterator<Item = EdnsOption>>(iter: T) -> Self {
+        let mut out = EdnsOptions::new();
+        for opt in iter {
+            out.push(opt);
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a EdnsOptions {
+    type Item = &'a EdnsOption;
+    type IntoIter = Box<dyn Iterator<Item = &'a EdnsOption> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
 /// The variable part of the OPT pseudo-RR (RFC 6891).
 ///
 /// On the wire, `udp_payload_size` rides in the CLASS field and
@@ -174,7 +270,7 @@ pub struct OptData {
     /// The DO (DNSSEC OK) flag (TTL bit 16).
     pub dnssec_ok: bool,
     /// Options carried in RDATA.
-    pub options: Vec<EdnsOption>,
+    pub options: EdnsOptions,
 }
 
 impl Default for OptData {
@@ -184,7 +280,7 @@ impl Default for OptData {
             ext_rcode: 0,
             version: 0,
             dnssec_ok: false,
-            options: Vec::new(),
+            options: EdnsOptions::new(),
         }
     }
 }
@@ -192,8 +288,10 @@ impl Default for OptData {
 impl OptData {
     /// An OPT carrying a single ECS option.
     pub fn with_ecs(ecs: EcsOption) -> OptData {
+        let mut options = EdnsOptions::new();
+        options.push(EdnsOption::ClientSubnet(ecs));
         OptData {
-            options: vec![EdnsOption::ClientSubnet(ecs)],
+            options,
             ..OptData::default()
         }
     }
@@ -208,7 +306,7 @@ impl OptData {
 
     /// Encodes RDATA (the options sequence).
     pub fn encode_rdata(&self, buf: &mut impl BufMut) {
-        for opt in &self.options {
+        for opt in self.options.iter() {
             match opt {
                 EdnsOption::ClientSubnet(e) => e.encode_option(buf),
                 EdnsOption::Other { code, data } => {
@@ -220,42 +318,43 @@ impl OptData {
         }
     }
 
-    /// Decodes RDATA of `rdlen` bytes into the options sequence.
-    pub fn decode_rdata(buf: &mut impl Buf, rdlen: usize) -> Result<Vec<EdnsOption>, WireError> {
-        let mut remaining = rdlen;
-        let mut options = Vec::new();
-        while remaining > 0 {
-            if remaining < 4 || buf.remaining() < 4 {
+    /// Decodes RDATA into the options sequence. Only opaque pass-through
+    /// options copy bytes to the heap; an IPv4 ECS option parses in place.
+    pub fn decode_rdata(rdata: &[u8]) -> Result<EdnsOptions, WireError> {
+        let mut options = EdnsOptions::new();
+        let mut pos = 0usize;
+        while pos < rdata.len() {
+            if rdata.len() - pos < 4 {
                 return Err(WireError::Truncated);
             }
-            let code = buf.get_u16();
-            let len = buf.get_u16() as usize;
-            remaining -= 4;
-            if len > remaining || buf.remaining() < len {
+            let code = u16::from_be_bytes([rdata[pos], rdata[pos + 1]]);
+            let len = u16::from_be_bytes([rdata[pos + 2], rdata[pos + 3]]) as usize;
+            pos += 4;
+            let Some(payload) = rdata.get(pos..pos + len) else {
                 return Err(WireError::Truncated);
-            }
+            };
             if code == OPTION_CODE_ECS {
-                // Parse from a copy so an unsupported (but well-formed)
-                // family can be preserved verbatim instead of erroring:
-                // this system's address plan is IPv4, and RFC 7871 §7.1.2
-                // lets a server treat a family it does not support as if
-                // the option were absent.
-                let mut data = vec![0u8; len];
-                buf.copy_to_slice(&mut data);
-                let mut view = &data[..];
-                match EcsOption::decode_payload(&mut view, len) {
+                match EcsOption::decode_payload(payload) {
                     Ok(ecs) => options.push(EdnsOption::ClientSubnet(ecs)),
+                    // An unsupported (but well-formed) family is preserved
+                    // verbatim: this system's address plan is IPv4, and
+                    // RFC 7871 §7.1.2 lets a server treat a family it does
+                    // not support as if the option were absent.
                     Err(WireError::BadEcs("unsupported address family")) => {
-                        options.push(EdnsOption::Other { code, data })
+                        options.push(EdnsOption::Other {
+                            code,
+                            data: payload.to_vec(),
+                        })
                     }
                     Err(e) => return Err(e),
                 }
             } else {
-                let mut data = vec![0u8; len];
-                buf.copy_to_slice(&mut data);
-                options.push(EdnsOption::Other { code, data });
+                options.push(EdnsOption::Other {
+                    code,
+                    data: payload.to_vec(),
+                });
             }
-            remaining -= len;
+            pos += len;
         }
         Ok(options)
     }
@@ -264,7 +363,6 @@ impl OptData {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::BytesMut;
 
     #[test]
     fn query_constructor_truncates_address() {
@@ -298,13 +396,12 @@ mod tests {
                 source_prefix: src,
                 scope_prefix: scope,
             };
-            let mut buf = BytesMut::new();
+            let mut buf: Vec<u8> = Vec::new();
             e.encode_option(&mut buf);
-            let mut rd = buf.freeze();
-            let code = rd.get_u16();
-            let len = rd.get_u16() as usize;
+            let code = u16::from_be_bytes([buf[0], buf[1]]);
+            let len = u16::from_be_bytes([buf[2], buf[3]]) as usize;
             assert_eq!(code, OPTION_CODE_ECS);
-            let back = EcsOption::decode_payload(&mut rd, len).unwrap();
+            let back = EcsOption::decode_payload(&buf[4..4 + len]).unwrap();
             assert_eq!(back, e);
         }
     }
@@ -312,41 +409,19 @@ mod tests {
     #[test]
     fn nonzero_padding_bits_are_rejected() {
         // /20 with a set bit in the 4 padding bits of the third octet.
-        let mut buf = BytesMut::new();
-        buf.put_u16(FAMILY_IPV4);
-        buf.put_u8(20);
-        buf.put_u8(0);
-        buf.put_slice(&[10, 1, 0x0F]); // 10.1.15.0/20 — low 4 bits must be 0
-        let mut b = buf.freeze();
-        let err = EcsOption::decode_payload(&mut b, 7).unwrap_err();
+        let payload = [0, 1, 20, 0, 10, 1, 0x0F]; // 10.1.15.0/20 — low 4 bits must be 0
+        let err = EcsOption::decode_payload(&payload).unwrap_err();
         assert!(matches!(err, WireError::BadEcs("non-zero padding bits")));
     }
 
     #[test]
     fn wrong_family_and_lengths_rejected() {
-        let mut buf = BytesMut::new();
-        buf.put_u16(2); // IPv6 family — unsupported here
-        buf.put_u8(24);
-        buf.put_u8(0);
-        buf.put_slice(&[1, 2, 3]);
-        let mut b = buf.freeze();
-        assert!(EcsOption::decode_payload(&mut b, 7).is_err());
-
-        let mut buf = BytesMut::new();
-        buf.put_u16(FAMILY_IPV4);
-        buf.put_u8(33); // prefix too long
-        buf.put_u8(0);
-        buf.put_slice(&[1, 2, 3, 4, 5]);
-        let mut b = buf.freeze();
-        assert!(EcsOption::decode_payload(&mut b, 9).is_err());
-
-        let mut buf = BytesMut::new();
-        buf.put_u16(FAMILY_IPV4);
-        buf.put_u8(24);
-        buf.put_u8(0);
-        buf.put_slice(&[1, 2]); // one octet short for /24
-        let mut b = buf.freeze();
-        assert!(EcsOption::decode_payload(&mut b, 6).is_err());
+        // IPv6 family — unsupported here.
+        assert!(EcsOption::decode_payload(&[0, 2, 24, 0, 1, 2, 3]).is_err());
+        // Prefix too long.
+        assert!(EcsOption::decode_payload(&[0, 1, 33, 0, 1, 2, 3, 4, 5]).is_err());
+        // One octet short for /24.
+        assert!(EcsOption::decode_payload(&[0, 1, 24, 0, 1, 2]).is_err());
     }
 
     #[test]
@@ -358,15 +433,34 @@ mod tests {
                     code: 10,
                     data: vec![1, 2, 3, 4],
                 }, // COOKIE
-            ],
+            ]
+            .into(),
             ..OptData::default()
         };
-        let mut buf = BytesMut::new();
+        let mut buf: Vec<u8> = Vec::new();
         opt.encode_rdata(&mut buf);
-        let len = buf.len();
-        let mut b = buf.freeze();
-        let back = OptData::decode_rdata(&mut b, len).unwrap();
+        let back = OptData::decode_rdata(&buf).unwrap();
         assert_eq!(back, opt.options);
+    }
+
+    #[test]
+    fn options_spill_past_two_and_preserve_order() {
+        let opts: Vec<EdnsOption> = (0..5)
+            .map(|i| EdnsOption::Other {
+                code: 100 + i,
+                data: vec![i as u8],
+            })
+            .collect();
+        let small: EdnsOptions = opts.clone().into();
+        assert_eq!(small.len(), 5);
+        assert!(!small.is_empty());
+        let back: Vec<EdnsOption> = small.iter().cloned().collect();
+        assert_eq!(back, opts);
+        let mut cleared = small.clone();
+        cleared.clear();
+        assert!(cleared.is_empty());
+        assert_eq!(cleared.len(), 0);
+        assert_eq!(cleared, EdnsOptions::new());
     }
 
     #[test]
@@ -382,18 +476,16 @@ mod tests {
         // An IPv6 (family 2) client-subnet option: RFC 7871 §7.1.2 lets a
         // v4-only server treat it as absent; we keep it byte-for-byte so
         // re-encoding round-trips.
-        let mut buf = BytesMut::new();
+        let mut buf: Vec<u8> = Vec::new();
         buf.put_u16(OPTION_CODE_ECS);
         buf.put_u16(4 + 6);
         buf.put_u16(2); // family 2 = IPv6
         buf.put_u8(48);
         buf.put_u8(0);
         buf.put_slice(&[0x20, 0x01, 0x0d, 0xb8, 0x12, 0x34]);
-        let len = buf.len();
-        let mut b = buf.freeze();
-        let opts = OptData::decode_rdata(&mut b, len).unwrap();
+        let opts = OptData::decode_rdata(&buf).unwrap();
         assert_eq!(opts.len(), 1);
-        match &opts[0] {
+        match opts.iter().next().unwrap() {
             EdnsOption::Other { code, data } => {
                 assert_eq!(*code, OPTION_CODE_ECS);
                 assert_eq!(data.len(), 10);
@@ -402,23 +494,21 @@ mod tests {
             other => panic!("expected opaque option, got {other:?}"),
         }
         // And a malformed *IPv4* option still errors.
-        let mut buf = BytesMut::new();
+        let mut buf: Vec<u8> = Vec::new();
         buf.put_u16(OPTION_CODE_ECS);
         buf.put_u16(4 + 3);
         buf.put_u16(FAMILY_IPV4);
         buf.put_u8(20);
         buf.put_u8(0);
         buf.put_slice(&[10, 1, 0x0F]); // non-zero padding bits
-        let len = buf.len();
-        let mut b = buf.freeze();
-        assert!(OptData::decode_rdata(&mut b, len).is_err());
+        assert!(OptData::decode_rdata(&buf).is_err());
     }
 
     #[test]
     fn truncated_rdata_errors() {
-        let mut b = bytes::Bytes::from_static(&[0, 8, 0, 10]); // claims 10-byte option
+        // Claims a 10-byte option with no payload present.
         assert!(matches!(
-            OptData::decode_rdata(&mut b, 4).unwrap_err(),
+            OptData::decode_rdata(&[0, 8, 0, 10]).unwrap_err(),
             WireError::Truncated
         ));
     }

@@ -44,10 +44,12 @@ pub mod wire;
 
 pub use authority::{Authority, QueryContext, StaticAuthority};
 pub use cache::{CacheStats, CachedAnswer, EcsCache};
-pub use edns::{EcsOption, EdnsOption, OptData};
+pub use edns::{EcsOption, EdnsOption, EdnsOptions, OptData};
 pub use message::{Flags, Message, Question, RData, Rcode, Record, RrType, SoaData};
 pub use name::{DnsName, NameError};
 pub use resolver::{
     EcsMode, RecursiveResolver, Resolution, ResolverConfig, ResolverStats, Upstream,
 };
-pub use wire::{decode_message, encode_message, WireError};
+pub use wire::{
+    decode_message, decode_message_into, encode_message, encode_message_into, WireError,
+};

@@ -201,6 +201,10 @@ pub struct SoaData {
 }
 
 /// Record data.
+// Variants embed the inline `DnsName` (256 bytes), so the enum is large
+// by design: the footprint buys allocation-free decode into reused
+// record Vecs, and records are stored in bulk nowhere latency-critical.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RData {
     /// IPv4 address.
@@ -296,7 +300,27 @@ pub struct Message {
     pub additionals: Vec<Record>,
 }
 
+impl Default for Message {
+    fn default() -> Self {
+        Message::empty()
+    }
+}
+
 impl Message {
+    /// An empty message (id 0, default flags, no sections). Used as
+    /// reusable decode scratch: [`crate::decode_message_into`] refills it
+    /// while keeping the section vectors' capacity.
+    pub fn empty() -> Message {
+        Message {
+            id: 0,
+            flags: Flags::default(),
+            questions: Vec::new(),
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
     /// A query for `question`, optionally carrying an OPT record.
     pub fn query(id: u16, question: Question, opt: Option<OptData>) -> Message {
         let mut additionals = Vec::new();

@@ -1,18 +1,37 @@
 //! Domain names.
 //!
-//! [`DnsName`] stores a fully-qualified domain name as a sequence of
-//! lowercase labels (DNS names are case-insensitive per RFC 1035 §2.3.3;
-//! normalizing at construction makes equality, hashing, and compression
-//! simple and correct). Enforces RFC 1035 size limits: labels of 1–63
-//! octets and a total wire length of at most 255 octets.
+//! [`DnsName`] stores a fully-qualified domain name directly in the
+//! RFC 1035 *wire form* — a fixed inline buffer of length-prefixed,
+//! lowercase labels — instead of a heap `Vec<String>`. The serve path
+//! encodes, decodes, hashes, and compares names millions of times per
+//! second; keeping the bytes inline makes all of those a slice operation
+//! with zero heap traffic, and encoding a name is a straight `memcpy` of
+//! [`DnsName::wire`].
+//!
+//! Names are lowercased at construction (DNS is case-insensitive per
+//! RFC 1035 §2.3.3; normalizing once makes equality, hashing, and
+//! compression simple and correct) and validated against the RFC 1035
+//! size limits: labels of 1–63 octets and a total wire length of at most
+//! 255 octets (including the terminating root byte, which is *not*
+//! stored).
 
-use serde::{Deserialize, Serialize};
 use std::str::FromStr;
 
+/// Maximum stored octets: 255 wire octets minus the implicit root byte.
+const MAX_STORED: usize = 254;
+
 /// A fully-qualified domain name (the trailing root dot is implicit).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+///
+/// Stored as RFC 1035 length-prefixed labels in a fixed inline buffer —
+/// no heap allocation, ever. `Clone` is a flat copy.
+#[derive(Clone)]
 pub struct DnsName {
-    labels: Vec<String>,
+    /// Octets of `buf` in use (excludes the implicit root byte).
+    len: u8,
+    /// Number of labels (for O(1) [`DnsName::label_count`]).
+    labels: u8,
+    /// `len` octets of length-prefixed lowercase labels.
+    buf: [u8; MAX_STORED],
 }
 
 /// Errors from constructing a [`DnsName`].
@@ -41,84 +60,181 @@ impl std::error::Error for NameError {}
 impl DnsName {
     /// The root name (zero labels).
     pub fn root() -> DnsName {
-        DnsName { labels: Vec::new() }
+        DnsName {
+            len: 0,
+            labels: 0,
+            buf: [0; MAX_STORED],
+        }
     }
 
     /// Builds a name from labels, validating and lowercasing each.
     pub fn from_labels<S: AsRef<str>>(
         labels: impl IntoIterator<Item = S>,
     ) -> Result<DnsName, NameError> {
-        let mut out = Vec::new();
-        let mut wire_len = 1usize; // root byte
+        let mut out = DnsName::root();
         for l in labels {
-            let l = l.as_ref();
-            if l.is_empty() || l.len() > 63 {
-                return Err(NameError::BadLabel);
-            }
-            if !l
-                .bytes()
-                .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
-            {
-                return Err(NameError::BadCharacter);
-            }
-            wire_len += 1 + l.len();
-            out.push(l.to_ascii_lowercase());
+            out.push_label(l.as_ref().as_bytes())?;
         }
-        if wire_len > 255 {
+        Ok(out)
+    }
+
+    /// Appends one label (validated, lowercased) at the least-significant
+    /// end: `example.com` + `push_label("www")` is **not** `www.example.com`
+    /// but `example.com.www` — this is the decoder's front-to-back order.
+    /// Use [`DnsName::child`] to prepend.
+    pub(crate) fn push_label(&mut self, label: &[u8]) -> Result<(), NameError> {
+        if label.is_empty() || label.len() > 63 {
+            return Err(NameError::BadLabel);
+        }
+        if !label
+            .iter()
+            .all(|b| b.is_ascii_alphanumeric() || *b == b'-' || *b == b'_')
+        {
+            return Err(NameError::BadCharacter);
+        }
+        let len = self.len as usize;
+        if len + 1 + label.len() > MAX_STORED {
             return Err(NameError::TooLong);
         }
-        Ok(DnsName { labels: out })
+        self.buf[len] = label.len() as u8;
+        for (dst, src) in self.buf[len + 1..].iter_mut().zip(label) {
+            *dst = src.to_ascii_lowercase();
+        }
+        self.len = (len + 1 + label.len()) as u8;
+        self.labels += 1;
+        Ok(())
+    }
+
+    /// The wire encoding (length-prefixed labels, *without* the
+    /// terminating root byte). Encoding a name is a memcpy of this slice.
+    pub fn wire(&self) -> &[u8] {
+        &self.buf[..self.len as usize]
     }
 
     /// The labels, most-significant last (`www`, `example`, `com`).
-    pub fn labels(&self) -> &[String] {
-        &self.labels
+    pub fn labels(&self) -> Labels<'_> {
+        Labels { rest: self.wire() }
     }
 
     /// Number of labels.
     pub fn label_count(&self) -> usize {
-        self.labels.len()
+        self.labels as usize
     }
 
     /// True for the root name.
     pub fn is_root(&self) -> bool {
-        self.labels.is_empty()
+        self.len == 0
     }
 
-    /// Length of the wire encoding in octets (uncompressed).
+    /// Length of the wire encoding in octets (uncompressed, including the
+    /// terminating root byte).
     pub fn wire_len(&self) -> usize {
-        1 + self.labels.iter().map(|l| 1 + l.len()).sum::<usize>()
+        1 + self.len as usize
     }
 
     /// The parent domain (one label removed from the front), or `None`
     /// at the root.
     pub fn parent(&self) -> Option<DnsName> {
-        if self.labels.is_empty() {
-            None
-        } else {
-            Some(DnsName {
-                labels: self.labels[1..].to_vec(),
-            })
+        if self.is_root() {
+            return None;
         }
+        let skip = 1 + self.buf[0] as usize;
+        let mut out = DnsName::root();
+        out.len = self.len - skip as u8;
+        out.labels = self.labels - 1;
+        out.buf[..out.len as usize].copy_from_slice(&self.buf[skip..self.len as usize]);
+        Some(out)
     }
 
     /// Prepends a label: `label.self`.
     pub fn child(&self, label: &str) -> Result<DnsName, NameError> {
-        let mut labels = vec![label.to_string()];
-        labels.extend(self.labels.iter().cloned());
-        DnsName::from_labels(labels)
+        let mut out = DnsName::root();
+        out.push_label(label.as_bytes())?;
+        let head = out.len as usize;
+        if head + self.len as usize > MAX_STORED {
+            return Err(NameError::TooLong);
+        }
+        out.buf[head..head + self.len as usize].copy_from_slice(self.wire());
+        out.len += self.len;
+        out.labels += self.labels;
+        Ok(out)
     }
 
     /// True when `self` is `other` or a subdomain of it
     /// (`a.b.example.com` is within `example.com` and within the root).
     pub fn is_within(&self, other: &DnsName) -> bool {
-        if other.labels.len() > self.labels.len() {
+        if other.len > self.len {
             return false;
         }
-        let offset = self.labels.len() - other.labels.len();
-        self.labels[offset..] == other.labels[..]
+        let offset = (self.len - other.len) as usize;
+        if self.buf[offset..self.len as usize] != *other.wire() {
+            return false;
+        }
+        // The suffix must start on a label boundary.
+        let mut pos = 0usize;
+        while pos < offset {
+            pos += 1 + self.buf[pos] as usize;
+        }
+        pos == offset
     }
 }
+
+/// Iterator over a name's labels as `&str`, front (most specific) first.
+pub struct Labels<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Iterator for Labels<'a> {
+    type Item = &'a str;
+
+    fn next(&mut self) -> Option<&'a str> {
+        let (&len, rest) = self.rest.split_first()?;
+        let (label, rest) = rest.split_at(len as usize);
+        self.rest = rest;
+        // Labels are validated ASCII at construction.
+        Some(std::str::from_utf8(label).expect("labels are ASCII"))
+    }
+}
+
+impl PartialEq for DnsName {
+    fn eq(&self, other: &Self) -> bool {
+        self.wire() == other.wire()
+    }
+}
+
+impl Eq for DnsName {}
+
+impl std::hash::Hash for DnsName {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.wire().hash(state);
+    }
+}
+
+impl PartialOrd for DnsName {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DnsName {
+    /// Label-wise lexicographic order (the order a `Vec<String>` of
+    /// labels would sort in), kept so sorted-name outputs are stable
+    /// across the inline-representation change.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.labels().cmp(other.labels())
+    }
+}
+
+impl std::fmt::Debug for DnsName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DnsName({self})")
+    }
+}
+
+// The workspace's serde is an offline marker stub (see `vendor/serde`);
+// a real integration would (de)serialize names as dotted strings.
+impl serde::Serialize for DnsName {}
+impl serde::Deserialize for DnsName {}
 
 impl FromStr for DnsName {
     type Err = NameError;
@@ -136,10 +252,16 @@ impl FromStr for DnsName {
 
 impl std::fmt::Display for DnsName {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        if self.labels.is_empty() {
+        if self.is_root() {
             return f.write_str(".");
         }
-        f.write_str(&self.labels.join("."))
+        for (i, label) in self.labels().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            f.write_str(label)?;
+        }
+        Ok(())
     }
 }
 
@@ -211,10 +333,37 @@ mod tests {
 
     #[test]
     fn wire_len_counts_length_bytes_and_root() {
-        assert_eq!(name("example.com").wire_len(), 1 + 8 + 1 + 4 + 1 - 2);
         // "example" = 7+1, "com" = 3+1, root = 1 ⇒ 13.
         assert_eq!(name("example.com").wire_len(), 13);
         assert_eq!(DnsName::root().wire_len(), 1);
+    }
+
+    #[test]
+    fn wire_is_length_prefixed_labels() {
+        assert_eq!(name("www.Example.com").wire(), b"\x03www\x07example\x03com");
+        assert_eq!(DnsName::root().wire(), b"");
+    }
+
+    #[test]
+    fn labels_iterate_front_first() {
+        let n = name("www.example.com");
+        let got: Vec<&str> = n.labels().collect();
+        assert_eq!(got, ["www", "example", "com"]);
+        assert_eq!(name("www.example.com").label_count(), 3);
+        assert_eq!(DnsName::root().labels().count(), 0);
+    }
+
+    #[test]
+    fn a_full_255_octet_name_round_trips() {
+        // 3 × 63-octet labels + 1 × 61-octet label: 64*3 + 62 + 1 = 255.
+        let l63 = "x".repeat(63);
+        let l61 = "y".repeat(61);
+        let n = DnsName::from_labels([&l63, &l63, &l63, &l61]).unwrap();
+        assert_eq!(n.wire_len(), 255);
+        let back: DnsName = n.to_string().parse().unwrap();
+        assert_eq!(back, n);
+        // One more octet is too many.
+        assert!(n.child("z").is_err());
     }
 
     #[test]
@@ -224,6 +373,25 @@ mod tests {
         assert_eq!(DnsName::root().parent(), None);
         assert_eq!(name("example.com").child("www").unwrap(), n);
         assert!(name("example.com").child("bad label").is_err());
+    }
+
+    #[test]
+    fn ordering_matches_label_vectors() {
+        let mut got = [
+            name("b.example"),
+            name("a.example"),
+            name("aa.example"),
+            name("z"),
+            DnsName::root(),
+        ];
+        got.sort();
+        let mut reference: Vec<Vec<String>> = got
+            .iter()
+            .map(|n| n.labels().map(str::to_string).collect())
+            .collect();
+        let sorted = reference.clone();
+        reference.sort();
+        assert_eq!(reference, sorted, "DnsName order must match label order");
     }
 
     mod prop_tests {
@@ -255,6 +423,22 @@ mod tests {
                     prop_assert_eq!(child.parent().unwrap(), parent.clone());
                     prop_assert_eq!(child.wire_len(), parent.wire_len() + label.len() + 1);
                 }
+            }
+
+            /// The inline representation agrees with the reference
+            /// `Vec<String>` model for equality, ordering, and label
+            /// iteration.
+            #[test]
+            fn inline_matches_label_vector_model(
+                a in proptest::collection::vec("[a-z0-9_-]{1,12}", 0..5),
+                b in proptest::collection::vec("[a-z0-9_-]{1,12}", 0..5),
+            ) {
+                let na = DnsName::from_labels(a.clone()).unwrap();
+                let nb = DnsName::from_labels(b.clone()).unwrap();
+                prop_assert_eq!(na.labels().collect::<Vec<_>>(), a.iter().map(String::as_str).collect::<Vec<_>>());
+                prop_assert_eq!(na == nb, a == b);
+                prop_assert_eq!(na.cmp(&nb), a.cmp(&b));
+                prop_assert_eq!(na.label_count(), a.len());
             }
         }
     }

@@ -3,10 +3,24 @@
 //!
 //! The codec is exercised on every authoritative query in the simulator so
 //! the system's DNS traffic is real protocol bytes, not structs passed by
-//! reference. Robustness rules:
+//! reference. It is also the per-query cost floor of the serve path, so it
+//! is written to be allocation-free:
 //!
-//! * compression pointers are followed with a hop limit (malformed loops
-//!   return [`WireError::PointerLoop`] instead of spinning);
+//! * [`encode_message_into`] / [`decode_message_into`] reuse caller-owned
+//!   buffers; in steady state (warmed capacities) neither touches the heap
+//!   for A/ECS traffic. The by-value [`encode_message`] / [`decode_message`]
+//!   wrappers remain for one-shot call sites and tests.
+//! * name compression uses a small open-addressed offset table keyed by a
+//!   hash of the suffix wire bytes — candidate offsets are verified by
+//!   walking the already-encoded buffer, so there is no per-label cloning
+//!   and no `HashMap` (the old encoder cloned `labels[i..]` into a fresh
+//!   `Vec<String>` for *every* label of *every* name).
+//!
+//! Robustness rules:
+//!
+//! * compression pointers must point strictly backward; forward and
+//!   self-pointers are rejected as [`WireError::PointerLoop`], and a hop
+//!   limit bounds adversarial backward chains;
 //! * records of unknown type are *skipped*, as a real resolver would do,
 //!   rather than failing the whole message;
 //! * all length fields are validated against the actual buffer.
@@ -15,7 +29,6 @@ use crate::edns::OptData;
 use crate::message::{Flags, Message, Question, RData, Record, RrType, SoaData};
 use crate::name::DnsName;
 use bytes::BufMut;
-use std::collections::HashMap;
 use std::net::{Ipv4Addr, Ipv6Addr};
 
 /// Errors from decoding (or, rarely, encoding) a DNS message.
@@ -25,7 +38,8 @@ pub enum WireError {
     Truncated,
     /// A label length byte was invalid (0x40/0x80 prefixes are reserved).
     BadLabel,
-    /// Compression pointers exceeded the hop limit.
+    /// Compression pointers looped, pointed forward, or exceeded the hop
+    /// limit.
     PointerLoop,
     /// A decoded name violated RFC 1035 limits.
     BadName,
@@ -53,34 +67,129 @@ impl std::error::Error for WireError {}
 /// Maximum compression-pointer hops while reading one name.
 const MAX_POINTER_HOPS: usize = 32;
 
-struct Encoder {
-    buf: Vec<u8>,
-    /// Suffix → offset map for name compression.
-    names: HashMap<Vec<String>, u16>,
+/// Slots in the compression offset table. A message rarely holds more than
+/// a dozen distinct names of a handful of labels each, so 128 suffix slots
+/// give a low load factor; when the table does fill, the encoder simply
+/// stops compressing new suffixes (correct, just larger output).
+const NAME_TABLE_SLOTS: usize = 128;
+
+/// Open-addressed suffix → buffer-offset table for name compression.
+///
+/// Each slot holds `(hash of suffix wire bytes, offset)`; hash 0 marks an
+/// empty slot (the hash function never returns 0). A hash match is only a
+/// *candidate* — the encoder verifies it by walking the labels already in
+/// the output buffer, so collisions cost a comparison, never correctness.
+struct NameTable {
+    slots: [(u32, u16); NAME_TABLE_SLOTS],
 }
 
-impl Encoder {
-    fn new() -> Self {
-        Encoder {
-            buf: Vec::with_capacity(512),
-            names: HashMap::new(),
+/// FNV-1a over the suffix wire bytes, folded to a nonzero u32.
+fn suffix_hash(bytes: &[u8]) -> u32 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let folded = (h ^ (h >> 32)) as u32;
+    if folded == 0 {
+        1
+    } else {
+        folded
+    }
+}
+
+/// Does the name encoded at `pos` in `buf` (following backward compression
+/// pointers) spell exactly the labels in `suffix` (length-prefixed, no
+/// terminator)?
+fn suffix_matches_at(buf: &[u8], mut pos: usize, suffix: &[u8]) -> bool {
+    let mut matched = 0usize;
+    let mut hops = 0usize;
+    loop {
+        let Some(&b) = buf.get(pos) else {
+            return false;
+        };
+        if b & 0xC0 == 0xC0 {
+            let Some(&b2) = buf.get(pos + 1) else {
+                return false;
+            };
+            let target = (((b & 0x3F) as usize) << 8) | b2 as usize;
+            if target >= pos {
+                return false;
+            }
+            pos = target;
+            hops += 1;
+            if hops > MAX_POINTER_HOPS {
+                return false;
+            }
+        } else if b == 0 {
+            return matched == suffix.len();
+        } else if b & 0xC0 != 0 {
+            return false;
+        } else {
+            let l = 1 + b as usize;
+            let Some(chunk) = buf.get(pos..pos + l) else {
+                return false;
+            };
+            if suffix.len() < matched + l || &suffix[matched..matched + l] != chunk {
+                return false;
+            }
+            matched += l;
+            pos += l;
+        }
+    }
+}
+
+impl NameTable {
+    fn new() -> NameTable {
+        NameTable {
+            slots: [(0, 0); NAME_TABLE_SLOTS],
         }
     }
 
+    /// Looks up `suffix`; on a verified hit returns its offset. On a miss,
+    /// registers `suffix` at `offset` (when it is pointer-addressable and a
+    /// free slot exists) and returns `None`.
+    fn offset_or_insert(&mut self, buf: &[u8], suffix: &[u8], offset: usize) -> Option<u16> {
+        let h = suffix_hash(suffix);
+        let mut idx = h as usize % NAME_TABLE_SLOTS;
+        for _ in 0..NAME_TABLE_SLOTS {
+            let (slot_hash, slot_off) = self.slots[idx];
+            if slot_hash == 0 {
+                if offset <= 0x3FFF {
+                    self.slots[idx] = (h, offset as u16);
+                }
+                return None;
+            }
+            if slot_hash == h && suffix_matches_at(buf, slot_off as usize, suffix) {
+                return Some(slot_off);
+            }
+            idx = (idx + 1) % NAME_TABLE_SLOTS;
+        }
+        None // table full: skip compression for this suffix
+    }
+}
+
+struct Encoder<'a> {
+    buf: &'a mut Vec<u8>,
+    table: NameTable,
+}
+
+impl Encoder<'_> {
     fn put_name(&mut self, name: &DnsName) {
-        let labels = name.labels();
-        for i in 0..labels.len() {
-            let suffix: Vec<String> = labels[i..].to_vec();
-            if let Some(&off) = self.names.get(&suffix) {
+        let wire = name.wire();
+        let mut i = 0usize;
+        while i < wire.len() {
+            let suffix = &wire[i..];
+            if let Some(off) = self
+                .table
+                .offset_or_insert(self.buf, suffix, self.buf.len())
+            {
                 self.buf.put_u16(0xC000 | off);
                 return;
             }
-            if self.buf.len() <= 0x3FFF {
-                self.names.insert(suffix, self.buf.len() as u16);
-            }
-            let l = &labels[i];
-            self.buf.put_u8(l.len() as u8);
-            self.buf.put_slice(l.as_bytes());
+            let l = 1 + wire[i] as usize;
+            self.buf.put_slice(&wire[i..i + l]);
+            i += l;
         }
         self.buf.put_u8(0);
     }
@@ -104,7 +213,7 @@ impl Encoder {
                 self.buf.put_u32(ttl);
                 let len_pos = self.buf.len();
                 self.buf.put_u16(0);
-                opt.encode_rdata(&mut self.buf);
+                opt.encode_rdata(self.buf);
                 self.patch_len(len_pos);
             }
             _ => {
@@ -151,9 +260,14 @@ impl Encoder {
     }
 }
 
-/// Encodes a message to wire bytes.
-pub fn encode_message(msg: &Message) -> Vec<u8> {
-    let mut e = Encoder::new();
+/// Encodes a message into `buf`, clearing it first. Reusing `buf` across
+/// calls makes encoding allocation-free once its capacity has warmed up.
+pub fn encode_message_into(msg: &Message, buf: &mut Vec<u8>) {
+    buf.clear();
+    let mut e = Encoder {
+        buf,
+        table: NameTable::new(),
+    };
     e.buf.put_u16(msg.id);
     e.buf.put_u16(msg.flags.to_u16());
     e.buf.put_u16(msg.questions.len() as u16);
@@ -172,7 +286,13 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
     for r in &msg.additionals {
         e.put_record(r);
     }
-    e.buf
+}
+
+/// Encodes a message to freshly allocated wire bytes.
+pub fn encode_message(msg: &Message) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(512);
+    encode_message_into(msg, &mut buf);
+    buf
 }
 
 struct Decoder<'a> {
@@ -222,8 +342,12 @@ impl<'a> Decoder<'a> {
         Ok(s)
     }
 
+    /// Reads a (possibly compressed) name directly into an inline
+    /// [`DnsName`] — no intermediate `Vec<String>`. Pointers must point
+    /// strictly backward; a forward or self-pointer is malformed (no sane
+    /// encoder emits one, and accepting them admits decompression loops).
     fn name(&mut self) -> Result<DnsName, WireError> {
-        let mut labels: Vec<String> = Vec::new();
+        let mut out = DnsName::root();
         let mut p = self.pos;
         let mut jumped = false;
         let mut hops = 0;
@@ -235,7 +359,11 @@ impl<'a> Decoder<'a> {
                     self.pos = p + 2;
                     jumped = true;
                 }
-                p = (((b & 0x3F) as usize) << 8) | b2 as usize;
+                let target = (((b & 0x3F) as usize) << 8) | b2 as usize;
+                if target >= p {
+                    return Err(WireError::PointerLoop);
+                }
+                p = target;
                 hops += 1;
                 if hops > MAX_POINTER_HOPS {
                     return Err(WireError::PointerLoop);
@@ -251,12 +379,11 @@ impl<'a> Decoder<'a> {
                 let len = b as usize;
                 let end = p + 1 + len;
                 let bytes = self.buf.get(p + 1..end).ok_or(WireError::Truncated)?;
-                let s = std::str::from_utf8(bytes).map_err(|_| WireError::BadName)?;
-                labels.push(s.to_string());
+                out.push_label(bytes).map_err(|_| WireError::BadName)?;
                 p = end;
             }
         }
-        DnsName::from_labels(labels).map_err(|_| WireError::BadName)
+        Ok(out)
     }
 
     fn question(&mut self) -> Result<Option<Question>, WireError> {
@@ -322,9 +449,7 @@ impl<'a> Decoder<'a> {
                 RData::Txt(out)
             }
             Some(RrType::Opt) => {
-                let mut view = &self.buf[self.pos..self.pos + rdlen];
-                let options = OptData::decode_rdata(&mut view, rdlen)?;
-                self.pos += rdlen;
+                let options = OptData::decode_rdata(self.bytes(rdlen)?)?;
                 RData::Opt(OptData {
                     udp_payload_size: class,
                     ext_rcode: (ttl >> 24) as u8,
@@ -347,44 +472,47 @@ impl<'a> Decoder<'a> {
     }
 }
 
-/// Decodes a message from wire bytes.
-pub fn decode_message(bytes: &[u8]) -> Result<Message, WireError> {
+/// Decodes a message from wire bytes into `out`, reusing its section
+/// vectors' capacity. On error the contents of `out` are unspecified.
+pub fn decode_message_into(bytes: &[u8], out: &mut Message) -> Result<(), WireError> {
+    out.questions.clear();
+    out.answers.clear();
+    out.authorities.clear();
+    out.additionals.clear();
     let mut d = Decoder { buf: bytes, pos: 0 };
-    let id = d.u16()?;
-    let flags = Flags::from_u16(d.u16()?);
+    out.id = d.u16()?;
+    out.flags = Flags::from_u16(d.u16()?);
     let qd = d.u16()? as usize;
     let an = d.u16()? as usize;
     let ns = d.u16()? as usize;
     let ar = d.u16()? as usize;
-    let mut questions = Vec::with_capacity(qd);
     for _ in 0..qd {
         if let Some(q) = d.question()? {
-            questions.push(q);
+            out.questions.push(q);
         }
     }
-    let read_records = |d: &mut Decoder, n: usize| -> Result<Vec<Record>, WireError> {
-        let mut out = Vec::with_capacity(n);
+    let read_records = |d: &mut Decoder, n: usize, out: &mut Vec<Record>| {
         for _ in 0..n {
             if let Some(r) = d.record()? {
                 out.push(r);
             }
         }
-        Ok(out)
+        Ok::<(), WireError>(())
     };
-    let answers = read_records(&mut d, an)?;
-    let authorities = read_records(&mut d, ns)?;
-    let additionals = read_records(&mut d, ar)?;
+    read_records(&mut d, an, &mut out.answers)?;
+    read_records(&mut d, ns, &mut out.authorities)?;
+    read_records(&mut d, ar, &mut out.additionals)?;
     if d.pos != bytes.len() {
         return Err(WireError::TrailingBytes);
     }
-    Ok(Message {
-        id,
-        flags,
-        questions,
-        answers,
-        authorities,
-        additionals,
-    })
+    Ok(())
+}
+
+/// Decodes a message from wire bytes into a fresh [`Message`].
+pub fn decode_message(bytes: &[u8]) -> Result<Message, WireError> {
+    let mut out = Message::empty();
+    decode_message_into(bytes, &mut out)?;
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -452,6 +580,25 @@ mod tests {
         };
         r.set_opt(OptData::with_ecs(ecs));
         assert_eq!(round_trip(&r), r);
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers_and_agree_with_wrappers() {
+        let q = Message::query(11, Question::a(name("reuse.example.com")), None);
+        let mut r = Message::response_to(&q, Rcode::NoError);
+        r.answers.push(Record::a(
+            name("reuse.example.com"),
+            20,
+            "10.0.0.1".parse().unwrap(),
+        ));
+        let mut buf = Vec::new();
+        let mut scratch = Message::empty();
+        for msg in [&q, &r] {
+            encode_message_into(msg, &mut buf);
+            assert_eq!(buf, encode_message(msg));
+            decode_message_into(&buf, &mut scratch).unwrap();
+            assert_eq!(&scratch, msg);
+        }
     }
 
     #[test]
@@ -549,12 +696,46 @@ mod tests {
     }
 
     #[test]
+    fn compression_reuses_partial_suffixes() {
+        // Sibling names must share their common suffix via one pointer.
+        let q = Message::query(12, Question::a(name("a.example.com")), None);
+        let mut r = Message::response_to(&q, Rcode::NoError);
+        r.answers.push(Record::a(
+            name("a.example.com"),
+            20,
+            Ipv4Addr::new(10, 0, 0, 1),
+        ));
+        r.answers.push(Record::a(
+            name("b.example.com"),
+            20,
+            Ipv4Addr::new(10, 0, 0, 2),
+        ));
+        let bytes = encode_message(&r);
+        // "b.example.com" should encode as "b" + pointer: 2 + 2 octets.
+        let full = name("b.example.com").wire_len();
+        let both_full = 12 + (full + 4) + 2 * (full + 14);
+        assert!(bytes.len() <= both_full - 2 * (full - 4));
+        assert_eq!(decode_message(&bytes).unwrap(), r);
+    }
+
+    #[test]
     fn pointer_loop_is_detected() {
         // Hand-craft: header + question whose name is a pointer to itself.
         let mut buf = vec![0u8; 12];
         buf[5] = 1; // QDCOUNT = 1
         buf.extend_from_slice(&[0xC0, 12]); // pointer to offset 12 (itself)
         buf.extend_from_slice(&[0, 1, 0, 1]); // type A, class IN
+        assert_eq!(decode_message(&buf), Err(WireError::PointerLoop));
+    }
+
+    #[test]
+    fn forward_pointer_is_rejected() {
+        // A pointer to a position *after* itself: decompression of such a
+        // name can oscillate; we reject it outright.
+        let mut buf = vec![0u8; 12];
+        buf[5] = 1; // QDCOUNT = 1
+        buf.extend_from_slice(&[0xC0, 14]); // pointer past itself
+        buf.extend_from_slice(&[0, 1, 0, 1]);
         assert_eq!(decode_message(&buf), Err(WireError::PointerLoop));
     }
 
@@ -611,7 +792,8 @@ mod tests {
             options: vec![EdnsOption::Other {
                 code: 10,
                 data: vec![9, 9],
-            }],
+            }]
+            .into(),
         });
         let back = round_trip(&m);
         let opt = back.opt().unwrap();

@@ -1,0 +1,182 @@
+//! Codec equivalence properties for the alloc-free wire implementation:
+//! the encoder/decoder pair is an identity on the message model, the
+//! buffer-reusing `*_into` variants agree byte-for-byte with the
+//! allocating wrappers even across reuse, and the decoder is total —
+//! arbitrary and corrupted bytes produce `Err`, never a panic.
+
+use eum_dns::edns::{EcsOption, OptData};
+use eum_dns::{
+    decode_message, decode_message_into, encode_message, encode_message_into, DnsName, Flags,
+    Message, Question, RData, Rcode, Record, SoaData,
+};
+use proptest::prelude::*;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+fn arb_name() -> impl Strategy<Value = DnsName> {
+    proptest::collection::vec("[a-z0-9_-]{1,12}", 1..5)
+        .prop_map(|labels| DnsName::from_labels(labels).unwrap())
+}
+
+fn arb_rdata() -> impl Strategy<Value = RData> {
+    (
+        0u8..6,
+        arb_name(),
+        arb_name(),
+        any::<u32>(),
+        any::<u64>(),
+        "[ -~]{0,40}",
+    )
+        .prop_map(|(kind, n1, n2, word, wide, text)| match kind {
+            0 => RData::A(Ipv4Addr::from(word)),
+            1 => RData::Aaaa(Ipv6Addr::from((wide as u128) << 64 | word as u128)),
+            2 => RData::Ns(n1),
+            3 => RData::Cname(n1),
+            4 => RData::Txt(text),
+            _ => RData::Soa(SoaData {
+                mname: n1,
+                rname: n2,
+                serial: word,
+                refresh: (wide & 0xFFFF) as u32,
+                retry: (wide >> 16 & 0xFFFF) as u32,
+                expire: (wide >> 32 & 0xFFFF) as u32,
+                minimum: word % 3600,
+            }),
+        })
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (arb_name(), any::<u32>(), arb_rdata()).prop_map(|(name, ttl, rdata)| Record {
+        name,
+        ttl,
+        rdata,
+    })
+}
+
+fn arb_flags() -> impl Strategy<Value = Flags> {
+    (
+        (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()),
+        0u8..4,
+    )
+        .prop_map(|((qr, aa, rd, ra), rcode)| Flags {
+            qr,
+            opcode: 0,
+            aa,
+            tc: false,
+            rd,
+            ra,
+            rcode: match rcode {
+                0 => Rcode::NoError,
+                1 => Rcode::FormErr,
+                2 => Rcode::NxDomain,
+                _ => Rcode::Refused,
+            },
+        })
+}
+
+fn arb_ecs() -> impl Strategy<Value = Option<EcsOption>> {
+    proptest::option::of(
+        (any::<u32>(), 0u8..=32, 0u8..=32).prop_map(|(addr, src, scope)| {
+            EcsOption {
+                // query() masks the address to the source prefix, as any
+                // well-formed sender does.
+                addr: EcsOption::query(Ipv4Addr::from(addr), src).addr,
+                source_prefix: src,
+                scope_prefix: scope.min(src),
+            }
+        }),
+    )
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        (
+            any::<u16>(),
+            arb_flags(),
+            proptest::collection::vec(arb_name(), 0..3),
+        ),
+        (
+            proptest::collection::vec(arb_record(), 0..4),
+            proptest::collection::vec(arb_record(), 0..3),
+            proptest::collection::vec(arb_record(), 0..3),
+            arb_ecs(),
+        ),
+    )
+        .prop_map(|((id, flags, qnames), (ans, auth, add, ecs))| {
+            let mut m = Message {
+                id,
+                flags,
+                questions: qnames.into_iter().map(Question::a).collect(),
+                answers: ans,
+                authorities: auth,
+                additionals: add,
+            };
+            if let Some(e) = ecs {
+                m.set_opt(OptData::with_ecs(e));
+            }
+            m
+        })
+}
+
+proptest! {
+    /// decode ∘ encode is the identity on the message model.
+    #[test]
+    fn round_trip_is_identity(m in arb_message()) {
+        let bytes = encode_message(&m);
+        let back = decode_message(&bytes).unwrap();
+        prop_assert_eq!(back, m);
+    }
+
+    /// The buffer-reusing variants agree byte-for-byte with the
+    /// allocating wrappers — including when one scratch pair is reused
+    /// across many different messages (stale state must never leak).
+    #[test]
+    fn into_variants_agree_across_reuse(msgs in proptest::collection::vec(arb_message(), 1..6)) {
+        let mut buf = Vec::new();
+        let mut scratch = Message::empty();
+        for m in &msgs {
+            encode_message_into(m, &mut buf);
+            prop_assert_eq!(&buf, &encode_message(m));
+            decode_message_into(&buf, &mut scratch).unwrap();
+            prop_assert_eq!(&scratch, m);
+        }
+    }
+
+    /// The decoder is total on arbitrary input: garbage in, `Err` out,
+    /// never a panic or a hang.
+    #[test]
+    fn decoder_is_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let _ = decode_message(&bytes);
+    }
+
+    /// The decoder is total on corrupted real messages: flip any one byte
+    /// of a valid encoding, or truncate it anywhere, and decoding either
+    /// succeeds or fails cleanly.
+    #[test]
+    fn decoder_is_total_on_corruption(
+        m in arb_message(),
+        pos in any::<u16>(),
+        bit in 0u8..8,
+        cut in any::<u16>(),
+    ) {
+        let bytes = encode_message(&m);
+        if !bytes.is_empty() {
+            let mut flipped = bytes.clone();
+            let i = pos as usize % flipped.len();
+            flipped[i] ^= 1 << bit;
+            let _ = decode_message(&flipped);
+            let _ = decode_message(&bytes[..cut as usize % (bytes.len() + 1)]);
+        }
+    }
+
+    /// The inline name's equality and ordering match its label sequence.
+    #[test]
+    fn name_order_matches_label_vectors(
+        a in proptest::collection::vec("[a-z0-9_-]{1,10}", 1..5),
+        b in proptest::collection::vec("[a-z0-9_-]{1,10}", 1..5),
+    ) {
+        let na = DnsName::from_labels(a.clone()).unwrap();
+        let nb = DnsName::from_labels(b.clone()).unwrap();
+        prop_assert_eq!(na.cmp(&nb), a.cmp(&b));
+        prop_assert_eq!(na == nb, a == b);
+    }
+}

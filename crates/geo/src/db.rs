@@ -44,16 +44,49 @@ impl Node {
     }
 }
 
+/// One entry of the stride-8 root jump table: where to resume the bitwise
+/// walk for addresses whose top octet selects this slot, and the best
+/// short-prefix (< /8) match covering the slot so the skipped levels still
+/// contribute to longest-prefix-match.
+#[derive(Debug, Clone, Copy)]
+struct RootSlot {
+    /// The depth-8 trie node for this top octet, or `NIL`.
+    node: NodeIdx,
+    /// Index into `values` of the longest stored prefix shorter than /8
+    /// containing this slot, or `NIL`.
+    value: NodeIdx,
+    /// Length of that prefix (meaningful only when `value != NIL`).
+    value_len: u8,
+}
+
+impl RootSlot {
+    const EMPTY: RootSlot = RootSlot {
+        node: NIL,
+        value: NIL,
+        value_len: 0,
+    };
+}
+
 /// A longest-prefix-match IP → [`GeoInfo`] database.
 ///
 /// Implemented as an uncompressed binary trie over address bits, arena-
-/// allocated for cache-friendly lookups. Inserting the same prefix twice
-/// replaces the previous value (the database is rebuilt wholesale by the
+/// allocated for cache-friendly lookups, with an 8-bit-stride jump table
+/// over the top octet: a lookup indexes `root8` once and resumes the
+/// bitwise walk at depth 8, skipping the seven hottest (and least
+/// discriminating) node hops. Inserting the same prefix twice replaces
+/// the previous value (the database is rebuilt wholesale by the
 /// generator, so last-write-wins is the right semantics).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct GeoDb {
     nodes: Vec<Node>,
     values: Vec<(Prefix, GeoInfo)>,
+    root8: Vec<RootSlot>,
+}
+
+impl Default for GeoDb {
+    fn default() -> Self {
+        GeoDb::new()
+    }
 }
 
 impl GeoDb {
@@ -62,6 +95,7 @@ impl GeoDb {
         GeoDb {
             nodes: vec![Node::new()],
             values: Vec::new(),
+            root8: vec![RootSlot::EMPTY; 256],
         }
     }
 
@@ -89,13 +123,34 @@ impl GeoDb {
             } else {
                 child as usize
             };
+            if depth == 7 {
+                // Just reached depth 8: this is the jump-table entry point
+                // for the prefix's top octet.
+                self.root8[(prefix.addr() >> 24) as usize].node = node as NodeIdx;
+            }
         }
         let slot = self.nodes[node].value;
-        if slot == NIL {
-            self.nodes[node].value = self.values.len() as NodeIdx;
+        let vidx = if slot == NIL {
+            let idx = self.values.len() as NodeIdx;
+            self.nodes[node].value = idx;
             self.values.push((prefix, info));
+            idx
         } else {
             self.values[slot as usize] = (prefix, info);
+            slot
+        };
+        if prefix.len() < 8 {
+            // A short prefix covers 2^(8-len) consecutive slots; record it
+            // wherever no longer short prefix already does. Equal length
+            // means the very same prefix (same leading bits), i.e. replace.
+            let base = (prefix.addr() >> 24) as usize;
+            let span = 1usize << (8 - prefix.len());
+            for s in &mut self.root8[base..base + span] {
+                if s.value == NIL || s.value_len <= prefix.len() {
+                    s.value = vidx;
+                    s.value_len = prefix.len();
+                }
+            }
         }
     }
 
@@ -108,17 +163,25 @@ impl GeoDb {
     /// Like [`Self::lookup`] but also returns the matched prefix.
     pub fn lookup_entry(&self, ip: Ipv4Addr) -> Option<(Prefix, &GeoInfo)> {
         let addr = u32::from(ip);
-        let mut node = 0usize;
-        let mut best = self.nodes[0].value;
-        for depth in 0..32u32 {
-            let bit = ((addr >> (31 - depth)) & 1) as usize;
-            let child = self.nodes[node].children[bit];
-            if child == NIL {
-                break;
-            }
-            node = child as usize;
+        // One table index replaces the first eight node hops; the slot
+        // carries the best sub-/8 match so skipping them loses nothing.
+        let slot = &self.root8[(addr >> 24) as usize];
+        let mut best = slot.value;
+        if slot.node != NIL {
+            let mut node = slot.node as usize;
             if self.nodes[node].value != NIL {
                 best = self.nodes[node].value;
+            }
+            for depth in 8..32u32 {
+                let bit = ((addr >> (31 - depth)) & 1) as usize;
+                let child = self.nodes[node].children[bit];
+                if child == NIL {
+                    break;
+                }
+                node = child as usize;
+                if self.nodes[node].value != NIL {
+                    best = self.nodes[node].value;
+                }
             }
         }
         if best == NIL {

@@ -20,8 +20,9 @@ pub struct BgpTable {
     /// All announcements keyed by prefix (one origin per prefix; the
     /// synthetic Internet has no MOAS conflicts).
     entries: HashMap<Prefix, Asn>,
-    /// The set of announced prefix lengths, for bounded covering lookups.
-    lengths: Vec<u8>,
+    /// Bit `l` set when some announced prefix has length `l` (lengths
+    /// 0..=32 fit a u64), for bounded covering lookups without a sort.
+    len_mask: u64,
 }
 
 impl BgpTable {
@@ -33,10 +34,8 @@ impl BgpTable {
     /// Announces `prefix` with origin `asn`. Re-announcing replaces the
     /// origin.
     pub fn announce(&mut self, prefix: Prefix, asn: Asn) {
-        if self.entries.insert(prefix, asn).is_none() && !self.lengths.contains(&prefix.len()) {
-            self.lengths.push(prefix.len());
-            self.lengths.sort_unstable();
-        }
+        self.entries.insert(prefix, asn);
+        self.len_mask |= 1u64 << prefix.len();
     }
 
     /// Number of announced CIDRs.
@@ -53,11 +52,12 @@ impl BgpTable {
     /// itself), with its origin.
     pub fn covering(&self, p: Prefix) -> Option<(Prefix, Asn)> {
         // Walk announced lengths from most to least specific, but no more
-        // specific than p itself (a /28 announcement cannot cover a /24).
-        for &len in self.lengths.iter().rev() {
-            if len > p.len() {
-                continue;
-            }
+        // specific than p itself (a /28 announcement cannot cover a /24):
+        // mask off bits above p.len(), then peel the highest set bit.
+        let mut mask = self.len_mask & (((1u64 << p.len()) << 1) - 1);
+        while mask != 0 {
+            let len = (63 - mask.leading_zeros()) as u8;
+            mask &= !(1u64 << len);
             let candidate = p.truncate(len);
             if let Some(asn) = self.entries.get(&candidate) {
                 return Some((candidate, *asn));
