@@ -142,14 +142,19 @@ impl CachedAnswer {
     pub fn replay_into(&self, id: u16, rd: bool, ecs: Option<&EcsOption>, out: &mut Vec<u8>) {
         out.clear();
         out.extend_from_slice(&self.wire);
+        // lint: allow(serve-index) — the template always starts with a 12-byte header
         out[0] = (id >> 8) as u8;
+        // lint: allow(serve-index) — header byte, see above
         out[1] = (id & 0xFF) as u8;
         if rd {
+            // lint: allow(serve-index) — header byte, see above
             out[2] |= 0x01; // RD is the low bit of header byte 2
         }
         if let Some(e) = ecs {
             // ARCOUNT += 1 for the appended OPT.
+            // lint: allow(serve-index) — ARCOUNT lives inside the 12-byte header
             let ar = u16::from_be_bytes([out[10], out[11]]) + 1;
+            // lint: allow(serve-index) — header bytes, see above
             out[10..12].copy_from_slice(&ar.to_be_bytes());
             // OPT pseudo-RR: root owner, TYPE 41, CLASS = UDP size,
             // TTL = extended fields (all zero).
@@ -164,6 +169,7 @@ impl CachedAnswer {
             out.extend_from_slice(&1u16.to_be_bytes()); // FAMILY: IPv4
             out.push(e.source_prefix);
             out.push(self.scope.unwrap_or(0).min(e.source_prefix));
+            // lint: allow(serve-index) — octets ≤ 4 = the length of an IPv4 address
             out.extend_from_slice(&e.addr.octets()[..octets]);
         }
     }
@@ -227,6 +233,7 @@ impl AnswerCache {
     ) -> Option<&CachedAnswer> {
         let mut hit: Option<Key> = None;
         for len in (1..=max_scope.min(32)).rev() {
+            // lint: allow(serve-index) — len ≤ 32 by the loop bound; the table has 33 slots
             if self.scope_lens[len as usize] == 0 {
                 continue;
             }

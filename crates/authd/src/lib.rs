@@ -24,6 +24,8 @@
 //!   histograms in a shared `eum_telemetry::Registry`, plus sampled
 //!   per-query traces, with zero locks added to the serve path.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod loadgen;
 pub mod server;

@@ -149,6 +149,8 @@ impl AuthServer {
     pub fn total_queries(&self) -> u64 {
         self.counters
             .iter()
+            // relaxed-ok: monotonic counter read for reporting; no data
+            // is published through it
             .map(|c| c.queries.load(Ordering::Relaxed))
             .sum()
     }
@@ -292,6 +294,8 @@ impl ShardState {
         payload: &[u8],
         stages: &mut QueryStages,
     ) -> ServeOutcome {
+        // lint: allow(serve-panic) — API precondition, documented on serve(); every
+        // caller observes the snapshot first
         let gen = self.gen.as_ref().expect("observe() must precede serve()");
         let ScratchBuffers { query, reply } = &mut self.scratch;
 
@@ -317,6 +321,7 @@ impl ShardState {
         // TTL-0 by design and error responses are cheap to recompute.
         let cacheable_shape = self.cache.is_some()
             && query.questions.len() == 1
+            // lint: allow(serve-index) — questions.len() == 1 checked on the previous arm
             && query.questions[0].name != gen.whoami;
         if !cacheable_shape {
             let t_route = stages.timed.then(Instant::now);
@@ -327,7 +332,9 @@ impl ShardState {
             stages.encode_ns = elapsed_ns(t_encode);
             return ServeOutcome::Replied { cache_hit: false };
         }
+        // lint: allow(serve-panic) — cacheable_shape implies cache.is_some()
         let cache = self.cache.as_mut().expect("checked above");
+        // lint: allow(serve-index) — cacheable_shape implies exactly one question
         let q = &query.questions[0];
         let now = Instant::now();
         let ecs = query.ecs().copied();
@@ -373,11 +380,13 @@ impl ShardState {
             .min();
         let cacheable = resp.flags.rcode == Rcode::NoError && min_ttl.is_some_and(|t| t > 0);
         if cacheable {
+            // lint: allow(serve-panic) — cacheable implies min_ttl.is_some()
             let entry = CachedAnswer::from_response(&resp, min_ttl.expect("checked"), now);
             match (eu_path, resp.ecs().map(|e| e.scope_prefix)) {
                 // End-user answer with a real scope: valid for the whole
                 // scope block.
                 (true, Some(scope)) if scope > 0 => {
+                    // lint: allow(serve-panic) — eu_path is only true when ecs.is_some()
                     let e = ecs.as_ref().expect("eu_path implies ecs");
                     cache.insert_scoped(q.name.clone(), q.rtype, Prefix::of(e.addr, scope), entry);
                 }
@@ -455,6 +464,9 @@ fn run_shard<T: ServerTransport>(
     let mut dropped = 0u64;
     let mut malformed = 0u64;
     let mut received = 0u64;
+    // relaxed-ok: the stop flag carries no data; shards only need to see
+    // it eventually, and stop_join's SeqCst store plus thread join gives
+    // the final synchronization
     while !stop.load(Ordering::Relaxed) {
         let dg = match transport.recv(cfg.recv_timeout) {
             Ok(Some(dg)) => dg,
@@ -486,8 +498,10 @@ fn run_shard<T: ServerTransport>(
         let total_ns = elapsed_ns(t_start);
         match outcome {
             ServeOutcome::Replied { cache_hit } => {
+                // relaxed-ok: per-shard monotonic counters; readers only sum
                 counters.queries.fetch_add(1, Ordering::Relaxed);
                 if cache_hit {
+                    // relaxed-ok: per-shard monotonic counter
                     counters.cache_hits.fetch_add(1, Ordering::Relaxed);
                 }
                 let _ = transport.send(&dg.peer, state.reply());
@@ -522,8 +536,10 @@ fn run_shard<T: ServerTransport>(
                 }
             }
             ServeOutcome::FormErr => {
+                // relaxed-ok: per-shard monotonic counter
                 counters.malformed.fetch_add(1, Ordering::Relaxed);
                 malformed += 1;
+                // relaxed-ok: per-shard monotonic counter
                 counters.queries.fetch_add(1, Ordering::Relaxed);
                 let _ = transport.send(&dg.peer, state.reply());
                 if let Some(t) = tel.as_ref() {
@@ -537,6 +553,7 @@ fn run_shard<T: ServerTransport>(
                 }
             }
             ServeOutcome::Dropped => {
+                // relaxed-ok: per-shard monotonic counter
                 counters.malformed.fetch_add(1, Ordering::Relaxed);
                 malformed += 1;
                 dropped += 1;
@@ -553,6 +570,7 @@ fn run_shard<T: ServerTransport>(
     }
     ShardReport {
         shard,
+        // relaxed-ok: the shard thread itself wrote every increment
         queries: counters.queries.load(Ordering::Relaxed),
         dropped,
         malformed,
@@ -591,6 +609,7 @@ fn formerr_into(payload: &[u8], out: &mut Vec<u8>) -> bool {
         return false;
     }
     out.clear();
+    // lint: allow(serve-index) — payload.len() ≥ 12 checked above
     out.extend_from_slice(&payload[..2]);
     out.extend_from_slice(&[0x80, 0x01]); // QR=1, opcode 0, RCODE=FORMERR
     out.extend_from_slice(&[0; 8]); // QD/AN/NS/AR counts all zero

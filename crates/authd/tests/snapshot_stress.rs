@@ -1,0 +1,188 @@
+//! Snapshot generation-swap stress: serving threads drive [`ShardState`]
+//! directly (no sockets) while the main thread publishes new map
+//! generations through the shared [`SnapshotHandle`]. Each thread pins
+//! that every reply is well-formed, matches exactly the answer the
+//! generation it grabbed computes, and that observed generations never go
+//! backwards — a torn publish, a cache surviving a swap, or an answer
+//! mixing two maps all fail these assertions.
+
+use eum_authd::{CacheConfig, QueryStages, ServeOutcome, ShardState, Snapshot, SnapshotHandle};
+use eum_cdn::{deployment_universe, CatalogConfig, CdnPlatform, ContentCatalog, DeployConfig};
+use eum_dns::edns::{EcsOption, OptData};
+use eum_dns::{decode_message, encode_message, Message, QueryContext, Question, Rcode};
+use eum_mapping::{MappingConfig, MappingSystem};
+use eum_netmodel::{Internet, InternetConfig};
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 0x5AB;
+
+/// Deterministic world; every call yields an identical map.
+fn world() -> (Internet, CdnPlatform, MappingSystem) {
+    let mut net = Internet::generate(InternetConfig::tiny(SEED));
+    let sites = deployment_universe(SEED, 16);
+    let cdn = CdnPlatform::deploy(
+        &mut net,
+        &sites,
+        &DeployConfig {
+            servers_per_cluster: 4,
+            cache_objects_per_server: 256,
+            cluster_capacity: f64::INFINITY,
+        },
+    );
+    let catalog = ContentCatalog::generate(&CatalogConfig::tiny(SEED));
+    let map = MappingSystem::build(
+        &mut net,
+        &cdn,
+        &catalog,
+        "cdn.example".parse().unwrap(),
+        MappingConfig {
+            max_ping_targets: 50,
+            ..MappingConfig::default()
+        },
+    );
+    (net, cdn, map)
+}
+
+fn answer_ips(map: &MappingSystem, server: Ipv4Addr, query: &Message) -> Vec<Ipv4Addr> {
+    let ctx = QueryContext {
+        resolver_ip: Ipv4Addr::LOCALHOST,
+        now_ms: 0,
+    };
+    let resp = map.answer(server, query, &ctx);
+    assert_eq!(resp.flags.rcode, Rcode::NoError);
+    let mut ips = resp.answer_ips();
+    ips.sort_unstable();
+    ips
+}
+
+/// One probe plus the exact answer each published generation computes.
+struct Probe {
+    payload: Vec<u8>,
+    id: u16,
+    /// `expect[g - 1]` is the sorted answer set generation `g` serves.
+    expect: Vec<Vec<Ipv4Addr>>,
+}
+
+#[test]
+fn generation_swaps_under_concurrent_serving_stay_consistent() {
+    // Four identical worlds: one to serve as generation 1, one (with a
+    // cluster killed) as generation 2, one as generation 3, and one kept
+    // aside purely to precompute what generations 1/3 answer.
+    let (net, _cdn, map1) = world();
+    let (_n2, mut cdn2, mut map2) = world();
+    let (_n3, _c3, map3) = world();
+    let low = map1.ns_ips()[1];
+
+    let probe_blocks: Vec<_> = net.blocks.iter().take(24).map(|b| b.client_ip()).collect();
+    let victim = probe_blocks
+        .iter()
+        .find_map(|ip| map1.assigned_cluster_for_block(eum_geo::Prefix::of(*ip, 24)))
+        .expect("some probe block maps to a cluster");
+    cdn2.set_cluster_alive(victim, false);
+    map2.refresh_liveness(&cdn2);
+
+    let mut probes = Vec::new();
+    for (i, client) in probe_blocks.iter().take(6).enumerate() {
+        let id = 0x6000 + i as u16;
+        let q = Message::query(
+            id,
+            Question::a("e0.cdn.example".parse().unwrap()),
+            Some(OptData::with_ecs(EcsOption::query(*client, 24))),
+        );
+        let e1 = answer_ips(&map1, low, &q);
+        let e2 = answer_ips(&map2, low, &q);
+        probes.push(Probe {
+            payload: encode_message(&q),
+            id,
+            // Generation 3 republishes a fresh identical world, so its
+            // answers equal generation 1's.
+            expect: vec![e1.clone(), e2, e1],
+        });
+    }
+    assert!(
+        probes.iter().any(|p| p.expect[0] != p.expect[1]),
+        "the killed cluster must change at least one probe's answer"
+    );
+    let probes = Arc::new(probes);
+
+    let snapshots = SnapshotHandle::new(map1);
+    let done = Arc::new(AtomicBool::new(false));
+
+    let mut workers = Vec::new();
+    for t in 0..4usize {
+        let probes = probes.clone();
+        let snapshots = snapshots.clone();
+        let done = done.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut state = ShardState::new(Some(CacheConfig::default()));
+            let mut stages = QueryStages::new(false);
+            let mut last_gen = 0u64;
+            let mut served = 0u64;
+            let mut pass = 0usize;
+            while !done.load(Ordering::Acquire) || last_gen < 3 {
+                let snap: Arc<Snapshot> = snapshots.current();
+                assert!(
+                    snap.generation >= last_gen,
+                    "generation went backwards: {} after {last_gen}",
+                    snap.generation
+                );
+                last_gen = snap.generation;
+                state.observe(&snap);
+                // Stagger the probe order per thread and per pass so the
+                // cache sees both hits and misses around each swap.
+                for i in 0..probes.len() {
+                    let probe = &probes[(t + pass + i) % probes.len()];
+                    let outcome = state.serve(
+                        &snap.map,
+                        low,
+                        Ipv4Addr::LOCALHOST,
+                        &probe.payload,
+                        &mut stages,
+                    );
+                    assert!(
+                        matches!(outcome, ServeOutcome::Replied { .. }),
+                        "probe {:#06x} got {outcome:?}",
+                        probe.id
+                    );
+                    let resp = decode_message(state.reply()).expect("reply must decode");
+                    assert_eq!(resp.id, probe.id);
+                    assert_eq!(resp.flags.rcode, Rcode::NoError);
+                    let mut ips = resp.answer_ips();
+                    ips.sort_unstable();
+                    let want = &probe.expect[(snap.generation - 1) as usize];
+                    assert_eq!(
+                        ips, *want,
+                        "generation {} answered {ips:?}, expected {want:?}",
+                        snap.generation
+                    );
+                    served += 1;
+                }
+                pass += 1;
+            }
+            assert!(
+                state.generations_seen() >= 2,
+                "worker never observed a swap (saw {})",
+                state.generations_seen()
+            );
+            served
+        }));
+    }
+
+    // Let generation 1 serve, then swap twice under load.
+    std::thread::sleep(Duration::from_millis(30));
+    assert_eq!(snapshots.publish(map2), 2);
+    std::thread::sleep(Duration::from_millis(30));
+    assert_eq!(snapshots.publish(map3), 3);
+    std::thread::sleep(Duration::from_millis(30));
+    done.store(true, Ordering::Release);
+
+    let mut total = 0u64;
+    for w in workers {
+        total += w.join().expect("worker thread");
+    }
+    assert!(total > 0, "workers served nothing");
+    assert_eq!(snapshots.generation(), 3);
+}

@@ -25,23 +25,34 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: every method forwards verbatim to the System allocator, so the
+// GlobalAlloc contract (layout validity, no unwinding, pointer ownership)
+// is exactly System's; the counter increment touches only an atomic.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same layout contract as System::alloc; forwarded unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller upholds GlobalAlloc's contract; layout passed through.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: same contract as System::dealloc; forwarded unchanged.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: ptr was produced by the System forwards above with this layout.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: same contract as System::realloc; forwarded unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: ptr/layout originate from this allocator's System forwards.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
+    // SAFETY: same contract as System::alloc_zeroed; forwarded unchanged.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller upholds GlobalAlloc's contract; layout passed through.
         unsafe { System.alloc_zeroed(layout) }
     }
 }

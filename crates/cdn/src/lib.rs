@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! The CDN platform model: deployments, server caches, content, origins,
 //! and transfer timing.

@@ -96,7 +96,9 @@ impl DnsName {
         if len + 1 + label.len() > MAX_STORED {
             return Err(NameError::TooLong);
         }
+        // lint: allow(serve-index) — len + 1 + label.len() ≤ MAX_STORED checked above
         self.buf[len] = label.len() as u8;
+        // lint: allow(serve-index) — same bound; zip stops at the shorter side
         for (dst, src) in self.buf[len + 1..].iter_mut().zip(label) {
             *dst = src.to_ascii_lowercase();
         }
@@ -108,6 +110,7 @@ impl DnsName {
     /// The wire encoding (length-prefixed labels, *without* the
     /// terminating root byte). Encoding a name is a memcpy of this slice.
     pub fn wire(&self) -> &[u8] {
+        // lint: allow(serve-index) — len ≤ MAX_STORED is a struct invariant
         &self.buf[..self.len as usize]
     }
 
@@ -138,10 +141,12 @@ impl DnsName {
         if self.is_root() {
             return None;
         }
+        // lint: allow(serve-index) — non-root checked above, so buf[0] is a label length
         let skip = 1 + self.buf[0] as usize;
         let mut out = DnsName::root();
         out.len = self.len - skip as u8;
         out.labels = self.labels - 1;
+        // lint: allow(serve-index) — skip ≤ len: a label never extends past the stored bytes
         out.buf[..out.len as usize].copy_from_slice(&self.buf[skip..self.len as usize]);
         Some(out)
     }
@@ -154,6 +159,7 @@ impl DnsName {
         if head + self.len as usize > MAX_STORED {
             return Err(NameError::TooLong);
         }
+        // lint: allow(serve-index) — head + len ≤ MAX_STORED checked above
         out.buf[head..head + self.len as usize].copy_from_slice(self.wire());
         out.len += self.len;
         out.labels += self.labels;
@@ -167,12 +173,14 @@ impl DnsName {
             return false;
         }
         let offset = (self.len - other.len) as usize;
+        // lint: allow(serve-index) — offset = len − other.len ≥ 0, both ≤ MAX_STORED
         if self.buf[offset..self.len as usize] != *other.wire() {
             return false;
         }
         // The suffix must start on a label boundary.
         let mut pos = 0usize;
         while pos < offset {
+            // lint: allow(serve-index) — pos < offset < len inside the loop
             pos += 1 + self.buf[pos] as usize;
         }
         pos == offset
@@ -192,6 +200,7 @@ impl<'a> Iterator for Labels<'a> {
         let (label, rest) = rest.split_at(len as usize);
         self.rest = rest;
         // Labels are validated ASCII at construction.
+        // lint: allow(serve-panic) — push_label validated every byte as ASCII
         Some(std::str::from_utf8(label).expect("labels are ASCII"))
     }
 }
@@ -269,6 +278,7 @@ impl std::fmt::Display for DnsName {
 /// invalid name.
 pub fn name(s: &str) -> DnsName {
     s.parse()
+        // lint: allow(serve-panic) — test/example convenience constructor, not serve-path code
         .unwrap_or_else(|e| panic!("invalid DNS name {s:?}: {e}"))
 }
 

@@ -1,0 +1,9 @@
+// Fixture for the config rule's tag validation.
+
+fn f(v: Option<u32>) -> u32 {
+    // lint: allow(not-a-real-rule) — typo'd rule names must be errors
+    let a = v.unwrap_or(1);
+    // lint: allow(serve-panic)
+    let b = v.unwrap_or(2);
+    a + b
+}

@@ -1,0 +1,27 @@
+// Fixture for the relaxed-ordering rule.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn violating(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed) // line 6: fires relaxed-ordering
+}
+
+fn justified(c: &AtomicU64) {
+    // relaxed-ok: monotonic counter, no data published through it
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+fn clean(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Acquire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exempt_in_tests() {
+        let c = AtomicU64::new(0);
+        assert_eq!(c.load(Ordering::Relaxed), 0);
+    }
+}

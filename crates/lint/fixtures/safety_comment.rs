@@ -1,0 +1,16 @@
+// Fixture for the safety-comment and unsafe-budget rules. Three `unsafe`
+// occurrences total; exactly one lacks a SAFETY comment.
+
+fn violating(p: *const u8) -> u8 {
+    unsafe { *p } // line 5: fires safety-comment
+}
+
+fn justified(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p points to a live, aligned byte.
+    unsafe { *p }
+}
+
+// SAFETY: the fn's contract requires a valid pointer; documented here.
+unsafe fn documented_fn(p: *const u8) -> u8 {
+    *p
+}

@@ -1,0 +1,50 @@
+// Fixture for the seqlock-pairing rule: `seq` is loaded with Acquire by
+// the reader, so every store to it must be Release (or stronger).
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+struct Cell {
+    seq: AtomicU64,
+    word: AtomicU64,
+}
+
+fn reader(c: &Cell) -> Option<u64> {
+    let s1 = c.seq.load(Ordering::Acquire);
+    if s1 % 2 == 1 {
+        return None;
+    }
+    // relaxed-ok: seqlock read side, fenced below
+    let w = c.word.load(Ordering::Relaxed);
+    fence(Ordering::Acquire);
+    // relaxed-ok: the fence above orders the data load
+    if c.seq.load(Ordering::Relaxed) != s1 {
+        return None;
+    }
+    Some(w)
+}
+
+fn violating_writer(c: &Cell, s: u64, v: u64) {
+    c.seq.store(s + 1, Ordering::Relaxed); // line 27: fires seqlock-pairing
+    fence(Ordering::Release);
+    // relaxed-ok: seqlock write side, fenced above and released below
+    c.word.store(v, Ordering::Relaxed);
+    c.seq.store(s + 2, Ordering::Release);
+}
+
+fn justified_writer(c: &Cell, s: u64, v: u64) {
+    // lint: allow(seqlock-pairing) — relaxed-ok: the release fence below
+    // publishes the odd marker before the data stores
+    c.seq.store(s + 1, Ordering::Relaxed);
+    fence(Ordering::Release);
+    // relaxed-ok: seqlock write side, fenced above and released below
+    c.word.store(v, Ordering::Relaxed);
+    c.seq.store(s + 2, Ordering::Release);
+}
+
+fn clean_writer(c: &Cell, s: u64, v: u64) {
+    c.seq.store(s + 1, Ordering::Release);
+    fence(Ordering::Release);
+    // relaxed-ok: seqlock write side, fenced above and released below
+    c.word.store(v, Ordering::Relaxed);
+    c.seq.store(s + 2, Ordering::Release);
+}

@@ -1,0 +1,21 @@
+// Fixture for the serve-alloc rule. Scanned by tests/fixtures.rs, never
+// compiled: the file only needs to tokenize.
+
+fn violating(n: u32) -> String {
+    format!("q{n}") // line 5: fires serve-alloc
+}
+
+fn justified(n: u32) -> String {
+    // lint: allow(serve-alloc) — cold error path, once per malformed config
+    format!("q{n}")
+}
+
+fn clean(buf: &mut Vec<u8>, n: u8) {
+    buf.clear();
+    buf.push(n);
+}
+
+fn outside_hot() -> String {
+    // Not in the configured hot set: allocating freely is fine here.
+    "ok".to_string()
+}

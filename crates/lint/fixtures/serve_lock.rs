@@ -1,0 +1,14 @@
+// Fixture for the serve-lock rule.
+
+fn violating(m: &std::sync::Mutex<u64>) -> u64 {
+    *m.lock().unwrap_or_else(|e| e.into_inner()) // line 4: fires serve-lock
+}
+
+fn justified(m: &std::sync::RwLock<u64>) -> u64 {
+    // lint: allow(serve-lock) — held for one word copy during shutdown only
+    *m.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn clean(v: &std::sync::atomic::AtomicU64) -> u64 {
+    v.load(std::sync::atomic::Ordering::Acquire)
+}

@@ -1,0 +1,21 @@
+// Fixture for the serve-panic rule.
+
+fn violating(v: Option<u32>) -> u32 {
+    v.unwrap() // line 4: fires serve-panic
+}
+
+fn violating_macro(v: Option<u32>) -> u32 {
+    match v {
+        Some(x) => x,
+        None => panic!("no value"), // line 10: fires serve-panic
+    }
+}
+
+fn justified(v: Option<u32>) -> u32 {
+    // lint: allow(serve-panic) — v is Some by construction two lines up
+    v.expect("set above")
+}
+
+fn clean(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}

@@ -1,0 +1,268 @@
+//! `lint.toml` parsing and self-checking.
+//!
+//! The config is a small TOML subset — tables, arrays-of-tables, string
+//! and integer values, single- or multi-line string arrays — parsed by
+//! hand because the linter must be zero-dependency (the container's
+//! vendored crates are offline stubs). Unknown sections or keys are hard
+//! errors: a typo in the config must fail the gate, not silently disable
+//! a rule.
+
+use std::collections::BTreeMap;
+
+/// One serve-path-pure region: a file plus the fn names (with `*` glob
+/// support) the purity rules apply to.
+#[derive(Debug, Clone)]
+pub struct HotPath {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Fn name patterns: `*` alone matches every fn; a leading or
+    /// trailing `*` matches a suffix or prefix.
+    pub fns: Vec<String>,
+}
+
+/// The parsed `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Directories to walk for `.rs` files, workspace-relative.
+    pub roots: Vec<String>,
+    /// Path prefixes to skip (fixtures, generated code).
+    pub exclude: Vec<String>,
+    /// Files whose `Ordering::Relaxed` uses are bulk counter traffic and
+    /// need no per-line justification.
+    pub counter_paths: Vec<String>,
+    /// Files holding seqlock/publication protocols, subject to the
+    /// Acquire-load/Release-store pairing audit.
+    pub seqlock_files: Vec<String>,
+    /// Pinned `unsafe` occurrence count per crate (keyed by the directory
+    /// name under `crates/`, or `root` for the workspace package).
+    pub unsafe_budget: BTreeMap<String, u64>,
+    /// Serve-path purity regions.
+    pub hot: Vec<HotPath>,
+}
+
+impl Config {
+    /// Parses config text; errors carry a 1-based line number.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((ln, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+                let name = name.trim();
+                if name != "hot" {
+                    return Err(format!("line {}: unknown array table [[{name}]]", ln + 1));
+                }
+                cfg.hot.push(HotPath {
+                    file: String::new(),
+                    fns: Vec::new(),
+                });
+                section = "hot".to_string();
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                let name = name.trim();
+                if !matches!(name, "scan" | "atomics" | "unsafe_budget") {
+                    return Err(format!("line {}: unknown table [{name}]", ln + 1));
+                }
+                section = name.to_string();
+                continue;
+            }
+            let (key, mut val) = line
+                .split_once('=')
+                .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+                .ok_or_else(|| format!("line {}: expected `key = value`", ln + 1))?;
+            // Multi-line arrays: keep consuming until the closing bracket.
+            if val.starts_with('[') && !balanced_array(&val) {
+                for (_, cont) in lines.by_ref() {
+                    val.push(' ');
+                    val.push_str(strip_comment(cont).trim());
+                    if balanced_array(&val) {
+                        break;
+                    }
+                }
+                if !balanced_array(&val) {
+                    return Err(format!("line {}: unterminated array for `{key}`", ln + 1));
+                }
+            }
+            match (section.as_str(), key.as_str()) {
+                ("scan", "roots") => cfg.roots = parse_string_array(&val, ln)?,
+                ("scan", "exclude") => cfg.exclude = parse_string_array(&val, ln)?,
+                ("atomics", "counter_paths") => cfg.counter_paths = parse_string_array(&val, ln)?,
+                ("atomics", "seqlock_files") => cfg.seqlock_files = parse_string_array(&val, ln)?,
+                ("unsafe_budget", crate_name) => {
+                    let n: u64 = val.parse().map_err(|_| {
+                        format!("line {}: `{crate_name}` budget must be an integer", ln + 1)
+                    })?;
+                    cfg.unsafe_budget.insert(crate_name.to_string(), n);
+                }
+                ("hot", "file") => {
+                    let entry = cfg
+                        .hot
+                        .last_mut()
+                        .ok_or_else(|| format!("line {}: `file` outside [[hot]]", ln + 1))?;
+                    entry.file = parse_string(&val, ln)?;
+                }
+                ("hot", "fns") => {
+                    let entry = cfg
+                        .hot
+                        .last_mut()
+                        .ok_or_else(|| format!("line {}: `fns` outside [[hot]]", ln + 1))?;
+                    entry.fns = parse_string_array(&val, ln)?;
+                }
+                (sec, k) => {
+                    return Err(format!("line {}: unknown key `{k}` in [{sec}]", ln + 1));
+                }
+            }
+        }
+        for (i, h) in cfg.hot.iter().enumerate() {
+            if h.file.is_empty() {
+                return Err(format!("[[hot]] entry {} is missing `file`", i + 1));
+            }
+            if h.fns.is_empty() {
+                return Err(format!("[[hot]] {} is missing `fns`", h.file));
+            }
+        }
+        if cfg.roots.is_empty() {
+            return Err("[scan] roots must list at least one directory".to_string());
+        }
+        Ok(cfg)
+    }
+
+    /// Reads and parses the file at `path`.
+    pub fn load(path: &std::path::Path) -> Result<Config, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Config::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// True when `file` (workspace-relative) matches an exclude prefix.
+    pub fn is_excluded(&self, file: &str) -> bool {
+        self.exclude.iter().any(|p| file.starts_with(p.as_str()))
+    }
+
+    /// Hot entries whose `file` equals `file`.
+    pub fn hot_for<'a>(&'a self, file: &'a str) -> impl Iterator<Item = &'a HotPath> + 'a {
+        self.hot.iter().filter(move |h| h.file == file)
+    }
+}
+
+/// Does `pattern` (supporting a single leading or trailing `*`) match
+/// `name`?
+pub fn fn_pattern_matches(pattern: &str, name: &str) -> bool {
+    if pattern == "*" {
+        return true;
+    }
+    if let Some(suffix) = pattern.strip_prefix('*') {
+        return name.ends_with(suffix);
+    }
+    if let Some(prefix) = pattern.strip_suffix('*') {
+        return name.starts_with(prefix);
+    }
+    pattern == name
+}
+
+/// Strips a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// True when `val` has balanced `[` / `]` (quotes ignored — config paths
+/// never contain brackets).
+fn balanced_array(val: &str) -> bool {
+    val.matches('[').count() == val.matches(']').count()
+}
+
+fn parse_string(val: &str, ln: usize) -> Result<String, String> {
+    val.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("line {}: expected a quoted string, got `{val}`", ln + 1))
+}
+
+fn parse_string_array(val: &str, ln: usize) -> Result<Vec<String>, String> {
+    let inner = val
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("line {}: expected an array, got `{val}`", ln + 1))?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        out.push(parse_string(part, ln)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# comment
+[scan]
+roots = ["crates", "src"]
+exclude = ["crates/lint/fixtures"]
+
+[atomics]
+counter_paths = [
+    "a.rs",
+    "b.rs", # trailing comment
+]
+seqlock_files = ["c.rs"]
+
+[unsafe_budget]
+authd = 9
+dns = 0
+
+[[hot]]
+file = "crates/dns/src/wire.rs"
+fns = ["*_into", "put_*", "name"]
+"#;
+
+    #[test]
+    fn parses_the_full_shape() {
+        let c = Config::parse(SAMPLE).expect("parses");
+        assert_eq!(c.roots, ["crates", "src"]);
+        assert_eq!(c.counter_paths, ["a.rs", "b.rs"]);
+        assert_eq!(c.unsafe_budget["authd"], 9);
+        assert_eq!(c.hot.len(), 1);
+        assert_eq!(c.hot[0].fns.len(), 3);
+        assert!(c.is_excluded("crates/lint/fixtures/x.rs"));
+    }
+
+    #[test]
+    fn unknown_sections_and_keys_error() {
+        assert!(Config::parse("[wat]\n").is_err());
+        assert!(Config::parse("[scan]\nroots = [\"a\"]\nbogus = 1\n").is_err());
+        assert!(Config::parse("[scan]\nroots = []\n").is_err());
+    }
+
+    #[test]
+    fn hot_requires_file_and_fns() {
+        assert!(Config::parse("[scan]\nroots = [\"a\"]\n[[hot]]\nfns = [\"*\"]\n").is_err());
+        assert!(Config::parse("[scan]\nroots = [\"a\"]\n[[hot]]\nfile = \"x.rs\"\n").is_err());
+    }
+
+    #[test]
+    fn fn_patterns_glob() {
+        assert!(fn_pattern_matches("*", "anything"));
+        assert!(fn_pattern_matches("*_into", "encode_message_into"));
+        assert!(fn_pattern_matches("put_*", "put_name"));
+        assert!(fn_pattern_matches("serve", "serve"));
+        assert!(!fn_pattern_matches("serve", "observe"));
+    }
+}

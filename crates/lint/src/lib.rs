@@ -1,0 +1,19 @@
+//! eum-lint: the workspace's self-hosted invariant checker.
+//!
+//! The EUM repo's performance story rests on properties rustc cannot see:
+//! the authoritative serve path allocates nothing, takes no locks, and
+//! never panics; every relaxed atomic is a deliberate choice; unsafe code
+//! exists only where the zero-allocation proof needs a counting
+//! allocator. This crate walks the workspace with a lightweight,
+//! dependency-free scanner ([`scan`]), applies the rules ([`rules`])
+//! declared in `lint.toml` ([`config`]), and reports rustc-style
+//! diagnostics ([`runner`]). `scripts/check.sh` runs it between clippy
+//! and the tests, so a violation fails the gate with a `file:line:col`
+//! pointer instead of a benchmark regression three PRs later.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod rules;
+pub mod runner;
+pub mod scan;

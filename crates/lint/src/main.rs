@@ -1,0 +1,147 @@
+//! CLI for eum-lint.
+//!
+//! ```text
+//! eum-lint [--config lint.toml] [--root .]   # run all rules, exit 1 on findings
+//! eum-lint --explain <rule>                  # print a rule's rationale
+//! eum-lint --fix-budget                      # re-pin [unsafe_budget] to measured counts
+//! ```
+
+#![forbid(unsafe_code)]
+
+use eum_lint::config::Config;
+use eum_lint::rules::RULES;
+use eum_lint::runner;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    config: PathBuf,
+    root: PathBuf,
+    explain: Option<String>,
+    fix_budget: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        config: PathBuf::from("lint.toml"),
+        root: PathBuf::from("."),
+        explain: None,
+        fix_budget: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--config" => {
+                opts.config = PathBuf::from(args.next().ok_or("--config needs a path")?);
+            }
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a path")?);
+            }
+            "--explain" => {
+                opts.explain = Some(args.next().ok_or("--explain needs a rule name")?);
+            }
+            "--fix-budget" => opts.fix_budget = true,
+            "--help" | "-h" => {
+                println!(
+                    "eum-lint: workspace invariant checker\n\n\
+                     usage: eum-lint [--config lint.toml] [--root .] [--explain <rule>] [--fix-budget]\n\n\
+                     rules: {}",
+                    RULES.iter().map(|(r, _)| *r).collect::<Vec<_>>().join(", ")
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("eum-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(rule) = opts.explain {
+        return match RULES.iter().find(|(r, _)| *r == rule) {
+            Some((r, text)) => {
+                println!(
+                    "{r}:\n  {}",
+                    text.split_whitespace().collect::<Vec<_>>().join(" ")
+                );
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "eum-lint: unknown rule `{rule}`; known rules: {}",
+                    RULES.iter().map(|(r, _)| *r).collect::<Vec<_>>().join(", ")
+                );
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let config_path = opts.root.join(&opts.config);
+    let cfg = match Config::load(&config_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("eum-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match runner::run(&cfg, &opts.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("eum-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.fix_budget {
+        let text = match std::fs::read_to_string(&config_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("eum-lint: cannot read {}: {e}", config_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let new = match runner::rewrite_budget(&text, &report.unsafe_counts) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("eum-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = std::fs::write(&config_path, new) {
+            eprintln!("eum-lint: cannot write {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+        for (krate, n) in &report.unsafe_counts {
+            println!("{krate} = {n}");
+        }
+        println!("re-pinned [unsafe_budget] in {}", config_path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    for d in &report.diags {
+        println!("{}\n", d.render());
+    }
+    if report.diags.is_empty() {
+        println!(
+            "eum-lint: {} files scanned, 0 violations",
+            report.files_scanned
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "eum-lint: {} files scanned, {} violation(s)",
+            report.files_scanned,
+            report.diags.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,164 @@
+//! Workspace walking, report assembly, and `--fix-budget` rewriting.
+
+use crate::config::Config;
+use crate::rules::{self, Diagnostic};
+use crate::scan::FileScan;
+use std::collections::{BTreeMap, HashSet};
+use std::path::Path;
+
+/// The outcome of a full workspace run.
+#[derive(Debug)]
+pub struct Report {
+    /// Every finding, sorted by `(file, line, col)`.
+    pub diags: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Measured `unsafe` occurrences per crate key.
+    pub unsafe_counts: BTreeMap<String, u64>,
+}
+
+/// Collects workspace-relative `.rs` paths under the configured roots,
+/// skipping excludes, `target/`, and hidden directories. Sorted so runs
+/// are deterministic.
+pub fn collect_files(cfg: &Config, root: &Path) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    for r in &cfg.roots {
+        let dir = root.join(r);
+        if !dir.is_dir() {
+            return Err(format!(
+                "[scan] root `{r}` is not a directory under {}",
+                root.display()
+            ));
+        }
+        walk(&dir, root, cfg, &mut out)?;
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, root: &Path, cfg: &Config, out: &mut Vec<String>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|_| format!("{} escapes the workspace root", path.display()))?
+            .to_string_lossy()
+            .replace('\\', "/");
+        if cfg.is_excluded(&rel) {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, root, cfg, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Runs every rule over the workspace rooted at `root`.
+pub fn run(cfg: &Config, root: &Path) -> Result<Report, String> {
+    let files = collect_files(cfg, root)?;
+    let mut diags = Vec::new();
+
+    // Config self-check: every file the config names must exist in the
+    // scan, so a moved module can't silently drop out of enforcement.
+    let fileset: HashSet<&str> = files.iter().map(String::as_str).collect();
+    let named = cfg
+        .hot
+        .iter()
+        .map(|h| (&h.file, "[[hot]]"))
+        .chain(cfg.counter_paths.iter().map(|p| (p, "counter_paths")))
+        .chain(cfg.seqlock_files.iter().map(|p| (p, "seqlock_files")));
+    for (file, origin) in named {
+        if !fileset.contains(file.as_str()) {
+            diags.push(Diagnostic {
+                file: "lint.toml".to_string(),
+                line: 1,
+                col: 1,
+                rule: "config".to_string(),
+                msg: format!("{origin} names `{file}`, which is not in the scanned set"),
+                snippet: String::new(),
+            });
+        }
+    }
+
+    let mut unsafe_counts: BTreeMap<String, u64> = BTreeMap::new();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("cannot read {rel}: {e}"))?;
+        let scan = FileScan::parse(rel, &src);
+        let n = rules::check_file(cfg, &scan, &mut diags);
+        *unsafe_counts.entry(rules::crate_key(rel)).or_insert(0) += n;
+    }
+    rules::check_budget(cfg, &unsafe_counts, &mut diags);
+
+    diags.sort_by(|a, b| (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule)));
+    Ok(Report {
+        diags,
+        files_scanned: files.len(),
+        unsafe_counts,
+    })
+}
+
+/// Rewrites the `[unsafe_budget]` table in `config_text` with the
+/// measured `counts`, preserving everything else byte-for-byte. Returns
+/// the new text.
+pub fn rewrite_budget(config_text: &str, counts: &BTreeMap<String, u64>) -> Result<String, String> {
+    let mut out = String::with_capacity(config_text.len());
+    let mut in_budget = false;
+    let mut wrote = false;
+    for line in config_text.lines() {
+        let trimmed = line.trim();
+        if trimmed == "[unsafe_budget]" {
+            in_budget = true;
+            wrote = true;
+            out.push_str(line);
+            out.push('\n');
+            for (krate, n) in counts {
+                out.push_str(&format!("{krate} = {n}\n"));
+            }
+            continue;
+        }
+        if in_budget {
+            // Swallow the old entries; the table ends at the next header
+            // (or a comment/blank line after the entries is kept).
+            if trimmed.starts_with('[') || trimmed.is_empty() {
+                in_budget = false;
+            } else {
+                continue;
+            }
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    if !wrote {
+        return Err("config has no [unsafe_budget] table to rewrite".to_string());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_rewrite_replaces_only_the_table() {
+        let text = "[scan]\nroots = [\"crates\"]\n\n[unsafe_budget]\nauthd = 3\nold = 1\n\n[[hot]]\nfile = \"x.rs\"\nfns = [\"*\"]\n";
+        let counts = BTreeMap::from([("authd".to_string(), 9u64), ("dns".to_string(), 0u64)]);
+        let new = rewrite_budget(text, &counts).expect("rewrites");
+        assert!(new.contains("authd = 9\n"));
+        assert!(new.contains("dns = 0\n"));
+        assert!(!new.contains("old = 1"));
+        assert!(new.contains("[[hot]]"));
+        assert!(new.contains("roots = [\"crates\"]"));
+    }
+}

@@ -1,0 +1,473 @@
+//! Lightweight Rust source scanning: comment/string-aware line blanking,
+//! function-span and `#[cfg(test)]`-region tracking.
+//!
+//! This is *not* a parser. The linter only needs to know, for every line
+//! of a file: (a) what the line's code text is with comment and string
+//! contents blanked out (so `"format!"` inside a string never matches a
+//! deny pattern), (b) what comment text rides on the line (justification
+//! tags live there), (c) which `fn` body the line belongs to, and
+//! (d) whether the line sits inside test-only code. A character-level
+//! state machine plus a brace-depth token walk recovers all four without
+//! any dependency on `syn` — the container has no crates.io access, and
+//! the invariants checked here are token-shaped anyway.
+
+/// One function item found in a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSpan {
+    /// The function's bare name (no path, no generics).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub sig_line: usize,
+    /// 1-based last line of the body (inclusive).
+    pub end_line: usize,
+    /// True when the fn sits inside a `#[cfg(test)]` module or carries a
+    /// `#[test]` / `#[cfg(test)]` attribute itself.
+    pub in_test: bool,
+}
+
+/// A scanned file: raw lines plus the derived per-line views.
+#[derive(Debug)]
+pub struct FileScan {
+    /// Path label used in diagnostics (workspace-relative).
+    pub path: String,
+    /// The raw source lines.
+    pub raw: Vec<String>,
+    /// Source lines with comments and string/char contents blanked to
+    /// spaces (delimiters kept, so token boundaries survive).
+    pub code: Vec<String>,
+    /// Comment text found on each line (block and line comments merged).
+    pub comments: Vec<String>,
+    /// True when the line's comment is a doc comment (`///` or `//!`).
+    /// Justification tags are directives and only count in plain
+    /// comments, so docs can *describe* the tag syntax without enacting it.
+    pub comment_is_doc: Vec<bool>,
+    /// Every `fn` item, in source order.
+    pub fns: Vec<FnSpan>,
+    /// For each line, the innermost enclosing fn (index into `fns`).
+    line_fn: Vec<Option<usize>>,
+    /// For each line, whether it sits inside test-only code.
+    line_test: Vec<bool>,
+}
+
+impl FileScan {
+    /// Scans `src`, labeling diagnostics with `path`.
+    pub fn parse(path: &str, src: &str) -> FileScan {
+        let (code, comments, comment_is_doc) = blank_comments_and_strings(src);
+        let raw: Vec<String> = src.lines().map(str::to_string).collect();
+        let n = raw.len();
+        let (fns, line_test) = walk_items(&code);
+        let mut line_fn = vec![None; n];
+        // Innermost fn wins: later spans are either disjoint or nested
+        // inside earlier ones, so assigning in span order and letting
+        // narrower (nested, necessarily later-starting) spans overwrite
+        // produces the innermost mapping.
+        let mut order: Vec<usize> = (0..fns.len()).collect();
+        order.sort_by_key(|&i| (fns[i].sig_line, std::cmp::Reverse(fns[i].end_line)));
+        for i in order {
+            let f = &fns[i];
+            for l in f.sig_line..=f.end_line.min(n) {
+                line_fn[l - 1] = Some(i);
+            }
+        }
+        FileScan {
+            path: path.to_string(),
+            raw,
+            code,
+            comments,
+            comment_is_doc,
+            fns,
+            line_fn,
+            line_test,
+        }
+    }
+
+    /// The innermost fn containing 1-based `line`, if any.
+    pub fn fn_at(&self, line: usize) -> Option<&FnSpan> {
+        self.fn_index_at(line).map(|i| &self.fns[i])
+    }
+
+    /// Index into [`FileScan::fns`] of the innermost fn containing `line`.
+    pub fn fn_index_at(&self, line: usize) -> Option<usize> {
+        self.line_fn.get(line - 1).copied().flatten()
+    }
+
+    /// True when 1-based `line` is inside test-only code.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.line_test.get(line - 1).copied().unwrap_or(false)
+            || self.fn_at(line).is_some_and(|f| f.in_test)
+    }
+}
+
+/// Character-level pass: returns, per line, the code text with comments
+/// and string/char-literal contents blanked, and the comment text.
+fn blank_comments_and_strings(src: &str) -> (Vec<String>, Vec<String>, Vec<bool>) {
+    #[derive(Clone, Copy, PartialEq)]
+    enum St {
+        Code,
+        Block(u32),
+        Str,
+        RawStr(u8),
+    }
+    let mut state = St::Code;
+    let mut code_lines = Vec::new();
+    let mut comment_lines = Vec::new();
+    let mut doc_flags = Vec::new();
+    for line in src.lines() {
+        let b: Vec<char> = line.chars().collect();
+        let mut code = String::with_capacity(b.len());
+        let mut comment = String::new();
+        let mut is_doc = false;
+        let mut i = 0usize;
+        while i < b.len() {
+            match state {
+                St::Block(depth) => {
+                    if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                        state = St::Block(depth + 1);
+                        code.push_str("  ");
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                        state = if depth == 1 {
+                            St::Code
+                        } else {
+                            St::Block(depth - 1)
+                        };
+                        code.push_str("  ");
+                        i += 2;
+                    } else {
+                        comment.push(b[i]);
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                St::Str => {
+                    if b[i] == '\\' {
+                        code.push_str("  ");
+                        i += 2; // skip the escaped char (may run past EOL)
+                    } else if b[i] == '"' {
+                        state = St::Code;
+                        code.push('"');
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                St::RawStr(hashes) => {
+                    if b[i] == '"'
+                        && b[i + 1..]
+                            .iter()
+                            .take(hashes as usize)
+                            .filter(|&&c| c == '#')
+                            .count()
+                            == hashes as usize
+                    {
+                        state = St::Code;
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                St::Code => {
+                    let c = b[i];
+                    if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+                        is_doc = i + 2 < b.len() && (b[i + 2] == '/' || b[i + 2] == '!');
+                        comment.push_str(&line.chars().skip(i + 2).collect::<String>());
+                        for _ in i..b.len() {
+                            code.push(' ');
+                        }
+                        i = b.len();
+                    } else if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                        state = St::Block(1);
+                        code.push_str("  ");
+                        i += 2;
+                    } else if c == '"' {
+                        state = St::Str;
+                        code.push('"');
+                        i += 1;
+                    } else if (c == 'r' || c == 'b')
+                        && !prev_is_ident(&b, i)
+                        && raw_str_hashes(&b, i).is_some()
+                    {
+                        let (hashes, skip) = raw_str_hashes(&b, i).expect("checked");
+                        state = St::RawStr(hashes);
+                        for _ in 0..skip {
+                            code.push(' ');
+                        }
+                        code.push('"');
+                        i += skip + 1;
+                    } else if c == '\'' {
+                        // Char literal vs lifetime: a literal is 'x' or an
+                        // escape; anything else ('a in generics) is a
+                        // lifetime tick and stays code.
+                        if i + 1 < b.len() && b[i + 1] == '\\' {
+                            code.push('\'');
+                            let mut j = i + 2;
+                            while j < b.len() && b[j] != '\'' {
+                                code.push(' ');
+                                j += 1;
+                            }
+                            code.push_str(" '");
+                            i = (j + 1).min(b.len());
+                        } else if i + 2 < b.len() && b[i + 2] == '\'' {
+                            code.push_str("'  ");
+                            i += 3;
+                        } else {
+                            code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        code_lines.push(code);
+        comment_lines.push(comment);
+        doc_flags.push(is_doc);
+    }
+    (code_lines, comment_lines, doc_flags)
+}
+
+fn prev_is_ident(b: &[char], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_')
+}
+
+/// If `b[i..]` starts a raw (or raw-byte) string literal, returns
+/// `(hash_count, chars before the opening quote)`.
+fn raw_str_hashes(b: &[char], i: usize) -> Option<(u8, usize)> {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != 'r' {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u8;
+    while j < b.len() && b[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < b.len() && b[j] == '"' {
+        Some((hashes, j - i))
+    } else {
+        None
+    }
+}
+
+/// Token walk over blanked code: recovers fn spans and test regions.
+fn walk_items(code: &[String]) -> (Vec<FnSpan>, Vec<bool>) {
+    let mut fns: Vec<FnSpan> = Vec::new();
+    let mut line_test = vec![false; code.len()];
+
+    let mut depth: i32 = 0;
+    // Depths at which a #[cfg(test)] mod body opened.
+    let mut test_depths: Vec<i32> = Vec::new();
+    // Open fn bodies: (fns index, depth at which the body opened).
+    let mut open_fns: Vec<(usize, i32)> = Vec::new();
+    // Attribute state: a pending cfg(test)/test attribute applies to the
+    // next `mod` or `fn` item.
+    let mut pending_test_attr = false;
+    // A `fn` whose name was read but whose body `{` (or `;`) has not
+    // appeared yet: (fns index, true once we are between name and body).
+    let mut pending_fn: Option<usize> = None;
+    // A `mod` keyword seen, waiting for its `{` or `;`.
+    let mut pending_mod = false;
+    let mut pending_mod_test = false;
+    // Set while the previous token was `fn`, to capture the name.
+    let mut after_fn_kw = false;
+
+    for (li, line) in code.iter().enumerate() {
+        line_test[li] = !test_depths.is_empty();
+        let trimmed = line.trim_start();
+        if trimmed.starts_with('#') && trimmed.contains("cfg(") && trimmed.contains("test") {
+            pending_test_attr = true;
+        }
+        if trimmed.starts_with("#[test]") || trimmed.starts_with("#[should_panic") {
+            pending_test_attr = true;
+        }
+        for (ci, tok) in tokens(line) {
+            match tok {
+                Tok::Ident(w) => {
+                    if after_fn_kw {
+                        let in_test = !test_depths.is_empty()
+                            || pending_test_attr
+                            || open_fns.last().is_some_and(|&(i, _)| fns[i].in_test);
+                        fns.push(FnSpan {
+                            name: w.to_string(),
+                            sig_line: li + 1,
+                            end_line: li + 1,
+                            in_test,
+                        });
+                        pending_fn = Some(fns.len() - 1);
+                        pending_test_attr = false;
+                        after_fn_kw = false;
+                    } else if w == "fn" {
+                        after_fn_kw = true;
+                    } else if w == "mod" {
+                        pending_mod = true;
+                        pending_mod_test = pending_test_attr;
+                        pending_test_attr = false;
+                    }
+                    let _ = ci;
+                }
+                Tok::Punct('{') => {
+                    after_fn_kw = false;
+                    depth += 1;
+                    if let Some(fi) = pending_fn.take() {
+                        open_fns.push((fi, depth));
+                    } else if pending_mod {
+                        if pending_mod_test {
+                            test_depths.push(depth);
+                        }
+                        pending_mod = false;
+                        pending_mod_test = false;
+                    }
+                }
+                Tok::Punct('}') => {
+                    if let Some(&(fi, d)) = open_fns.last() {
+                        if d == depth {
+                            fns[fi].end_line = li + 1;
+                            open_fns.pop();
+                        }
+                    }
+                    if test_depths.last() == Some(&depth) {
+                        test_depths.pop();
+                    }
+                    depth -= 1;
+                }
+                Tok::Punct(';') => {
+                    // Trait method without a body, or `mod foo;`.
+                    pending_fn = None;
+                    pending_mod = false;
+                    pending_mod_test = false;
+                    after_fn_kw = false;
+                }
+                Tok::Punct(_) => {
+                    after_fn_kw = false;
+                }
+            }
+        }
+    }
+    // Close anything left open at EOF.
+    while let Some((fi, _)) = open_fns.pop() {
+        fns[fi].end_line = code.len();
+    }
+    (fns, line_test)
+}
+
+enum Tok<'a> {
+    Ident(&'a str),
+    Punct(char),
+}
+
+/// Word/punct tokens of a blanked code line with byte columns (0-based).
+/// Every non-identifier, non-space byte is a punct token so keyword state
+/// (e.g. "the token right after `fn`") resets on any punctuation.
+fn tokens(line: &str) -> impl Iterator<Item = (usize, Tok<'_>)> {
+    let b = line.as_bytes();
+    let mut i = 0usize;
+    std::iter::from_fn(move || {
+        while i < b.len() && (b[i] == b' ' || b[i] == b'\t') {
+            i += 1;
+        }
+        if i >= b.len() {
+            return None;
+        }
+        let start = i;
+        if !(b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+            return Some((start, Tok::Punct(b[start] as char)));
+        }
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+        Some((start, Tok::Ident(&line[start..i])))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = r#"let x = "format!(no)"; // vec! here
+let y = 'a'; /* .lock() */ let z = 1;"#;
+        let s = FileScan::parse("t.rs", src);
+        assert!(!s.code[0].contains("format!"));
+        assert!(!s.code[0].contains("vec!"));
+        assert!(s.comments[0].contains("vec! here"));
+        assert!(!s.code[1].contains(".lock()"));
+        assert!(s.code[1].contains("let z = 1;"));
+        assert!(s.comments[1].contains(".lock()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = FileScan::parse("t.rs", "fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(s.code[0].contains("str"));
+        assert_eq!(s.fns.len(), 1);
+        assert_eq!(s.fns[0].name, "f");
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let s = FileScan::parse("t.rs", "let x = r#\"panic!(\"no\")\"#; let ok = 2;");
+        assert!(!s.code[0].contains("panic!"));
+        assert!(s.code[0].contains("let ok = 2;"));
+    }
+
+    #[test]
+    fn fn_spans_cover_bodies() {
+        let src = "fn a() {\n    inner();\n}\n\nfn b() -> u32 {\n    7\n}\n";
+        let s = FileScan::parse("t.rs", src);
+        assert_eq!(s.fns.len(), 2);
+        assert_eq!(s.fn_at(2).map(|f| f.name.as_str()), Some("a"));
+        assert_eq!(s.fn_at(6).map(|f| f.name.as_str()), Some("b"));
+        assert_eq!(s.fn_at(4), None);
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_lines() {
+        let src = "fn hot() { x(); }\n#[cfg(test)]\nmod tests {\n    fn helper() { y(); }\n}\n";
+        let s = FileScan::parse("t.rs", src);
+        assert!(!s.is_test_line(1));
+        assert!(s.is_test_line(4));
+        let helper = s.fns.iter().find(|f| f.name == "helper").expect("found");
+        assert!(helper.in_test);
+    }
+
+    #[test]
+    fn test_attr_marks_fn() {
+        let src = "#[test]\nfn check() { assert!(true); }\nfn hot() {}\n";
+        let s = FileScan::parse("t.rs", src);
+        assert!(
+            s.fns
+                .iter()
+                .find(|f| f.name == "check")
+                .expect("found")
+                .in_test
+        );
+        assert!(
+            !s.fns
+                .iter()
+                .find(|f| f.name == "hot")
+                .expect("found")
+                .in_test
+        );
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let s = FileScan::parse("t.rs", "type F = fn(u32) -> u32;\nfn real() {}\n");
+        assert_eq!(s.fns.len(), 1);
+        assert_eq!(s.fns[0].name, "real");
+    }
+}

@@ -1,0 +1,293 @@
+//! Proves every eum-lint rule is live: each fixture under `fixtures/`
+//! carries a minimal violating case, a justified-allow case, and a clean
+//! case, and the assertions here pin the exact rule and line each
+//! violation fires on.
+
+use eum_lint::config::Config;
+use eum_lint::rules::{self, known_rule, Diagnostic};
+use eum_lint::runner;
+use eum_lint::scan::FileScan;
+use std::path::Path;
+
+/// A config whose hot set points at the fixture files.
+const FIXTURE_CONFIG: &str = r#"
+[scan]
+roots = ["fixtures"]
+
+[atomics]
+counter_paths = []
+seqlock_files = ["fixtures/seqlock.rs"]
+
+[unsafe_budget]
+root = 3
+
+[[hot]]
+file = "fixtures/serve_alloc.rs"
+fns = ["violating", "justified", "clean"]
+
+[[hot]]
+file = "fixtures/serve_lock.rs"
+fns = ["violating", "justified", "clean"]
+
+[[hot]]
+file = "fixtures/serve_panic.rs"
+fns = ["violating*", "justified", "clean"]
+
+[[hot]]
+file = "fixtures/serve_index.rs"
+fns = ["violating", "justified", "clean", "not_indexing"]
+"#;
+
+fn fixture_config() -> Config {
+    Config::parse(FIXTURE_CONFIG).expect("fixture config parses")
+}
+
+fn scan_fixture(name: &str) -> FileScan {
+    let rel = format!("fixtures/{name}");
+    let full = Path::new(env!("CARGO_MANIFEST_DIR")).join(&rel);
+    let src = std::fs::read_to_string(&full)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", full.display()));
+    FileScan::parse(&rel, &src)
+}
+
+fn diags_for(name: &str) -> Vec<Diagnostic> {
+    let cfg = fixture_config();
+    let mut diags = Vec::new();
+    rules::check_file(&cfg, &scan_fixture(name), &mut diags);
+    diags
+}
+
+fn rule_lines(diags: &[Diagnostic], rule: &str) -> Vec<usize> {
+    diags
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.line)
+        .collect()
+}
+
+#[test]
+fn serve_alloc_fires_once_and_only_on_the_violating_fn() {
+    let diags = diags_for("serve_alloc.rs");
+    assert_eq!(
+        rule_lines(&diags, "serve-alloc"),
+        vec![5],
+        "diags: {diags:?}"
+    );
+    assert_eq!(
+        diags.len(),
+        1,
+        "justified/clean/outside-hot cases must pass: {diags:?}"
+    );
+}
+
+#[test]
+fn serve_lock_fires_on_lock_acquisition() {
+    let diags = diags_for("serve_lock.rs");
+    assert_eq!(
+        rule_lines(&diags, "serve-lock"),
+        vec![4],
+        "diags: {diags:?}"
+    );
+    assert_eq!(diags.len(), 1, "{diags:?}");
+}
+
+#[test]
+fn serve_panic_fires_on_unwrap_and_panic_macro() {
+    let diags = diags_for("serve_panic.rs");
+    assert_eq!(
+        rule_lines(&diags, "serve-panic"),
+        vec![4, 10],
+        "diags: {diags:?}"
+    );
+    assert_eq!(diags.len(), 2, "{diags:?}");
+}
+
+#[test]
+fn serve_index_fires_on_expression_indexing_only() {
+    let diags = diags_for("serve_index.rs");
+    assert_eq!(
+        rule_lines(&diags, "serve-index"),
+        vec![4],
+        "diags: {diags:?}"
+    );
+    assert_eq!(
+        diags.len(),
+        1,
+        "array literals and .get() must pass: {diags:?}"
+    );
+}
+
+#[test]
+fn relaxed_ordering_requires_justification_outside_tests() {
+    let diags = diags_for("relaxed_ordering.rs");
+    assert_eq!(
+        rule_lines(&diags, "relaxed-ordering"),
+        vec![6],
+        "diags: {diags:?}"
+    );
+    assert_eq!(
+        diags.len(),
+        1,
+        "relaxed-ok and #[cfg(test)] uses must pass: {diags:?}"
+    );
+}
+
+#[test]
+fn counter_path_whitelist_exempts_a_file() {
+    let cfg = Config::parse(
+        "[scan]\nroots = [\"fixtures\"]\n[atomics]\ncounter_paths = [\"fixtures/relaxed_ordering.rs\"]\n",
+    )
+    .expect("parses");
+    let mut diags = Vec::new();
+    rules::check_file(&cfg, &scan_fixture("relaxed_ordering.rs"), &mut diags);
+    assert!(
+        diags.is_empty(),
+        "whitelisted counter file must pass: {diags:?}"
+    );
+}
+
+#[test]
+fn seqlock_pairing_flags_relaxed_store_to_acquire_loaded_field() {
+    let diags = diags_for("seqlock.rs");
+    assert_eq!(
+        rule_lines(&diags, "seqlock-pairing"),
+        vec![27],
+        "diags: {diags:?}"
+    );
+    // The same line also lacks a relaxed-ok marker, so both audits fire;
+    // the justified and clean writers pass both.
+    assert_eq!(
+        rule_lines(&diags, "relaxed-ordering"),
+        vec![27],
+        "diags: {diags:?}"
+    );
+    assert_eq!(diags.len(), 2, "{diags:?}");
+}
+
+#[test]
+fn safety_comment_fires_only_on_undocumented_unsafe() {
+    let cfg = fixture_config();
+    let mut diags = Vec::new();
+    let count = rules::check_file(&cfg, &scan_fixture("safety_comment.rs"), &mut diags);
+    assert_eq!(
+        rule_lines(&diags, "safety-comment"),
+        vec![5],
+        "diags: {diags:?}"
+    );
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(count, 3, "three unsafe occurrences in the fixture");
+}
+
+#[test]
+fn unsafe_budget_pins_exactly() {
+    let mut diags = Vec::new();
+    let counts = std::collections::BTreeMap::from([("root".to_string(), 3u64)]);
+    rules::check_budget(&fixture_config(), &counts, &mut diags);
+    assert!(diags.is_empty(), "exact pin must pass: {diags:?}");
+
+    // One unsafe above the pin fails…
+    let mut diags = Vec::new();
+    let counts = std::collections::BTreeMap::from([("root".to_string(), 4u64)]);
+    rules::check_budget(&fixture_config(), &counts, &mut diags);
+    assert_eq!(rule_lines(&diags, "unsafe-budget").len(), 1, "{diags:?}");
+
+    // …and so does a stale pin (fewer unsafe than budgeted).
+    let mut diags = Vec::new();
+    let counts = std::collections::BTreeMap::from([("root".to_string(), 2u64)]);
+    rules::check_budget(&fixture_config(), &counts, &mut diags);
+    assert_eq!(rule_lines(&diags, "unsafe-budget").len(), 1, "{diags:?}");
+    assert!(diags[0].msg.contains("stale"), "{diags:?}");
+}
+
+#[test]
+fn unknown_rule_and_missing_reason_in_tags_are_config_errors() {
+    let diags = diags_for("bad_tags.rs");
+    assert_eq!(rule_lines(&diags, "config"), vec![4, 6], "diags: {diags:?}");
+    assert!(diags[0].msg.contains("not-a-real-rule"), "{diags:?}");
+    assert!(diags[1].msg.contains("no reason"), "{diags:?}");
+}
+
+#[test]
+fn hot_pattern_matching_nothing_is_a_config_error() {
+    let cfg = Config::parse(
+        "[scan]\nroots = [\"fixtures\"]\n[[hot]]\nfile = \"fixtures/serve_alloc.rs\"\nfns = [\"no_such_fn\"]\n",
+    )
+    .expect("parses");
+    let mut diags = Vec::new();
+    rules::check_file(&cfg, &scan_fixture("serve_alloc.rs"), &mut diags);
+    assert_eq!(rule_lines(&diags, "config").len(), 1, "{diags:?}");
+}
+
+#[test]
+fn every_emitted_rule_is_explainable() {
+    for name in [
+        "serve_alloc.rs",
+        "serve_lock.rs",
+        "serve_panic.rs",
+        "serve_index.rs",
+        "relaxed_ordering.rs",
+        "seqlock.rs",
+        "safety_comment.rs",
+        "bad_tags.rs",
+    ] {
+        for d in diags_for(name) {
+            assert!(known_rule(&d.rule), "diagnostic names unknown rule {d:?}");
+        }
+    }
+}
+
+#[test]
+fn runner_walks_fixtures_end_to_end() {
+    let cfg = fixture_config();
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = runner::run(&cfg, root).expect("runs");
+    assert_eq!(report.unsafe_counts.get("root"), Some(&3));
+    // Every violating fixture case surfaces through the full walk.
+    for rule in [
+        "serve-alloc",
+        "serve-lock",
+        "serve-panic",
+        "serve-index",
+        "relaxed-ordering",
+        "seqlock-pairing",
+        "safety-comment",
+        "config",
+    ] {
+        assert!(
+            report.diags.iter().any(|d| d.rule == rule),
+            "rule {rule} missing from the end-to-end report"
+        );
+    }
+    // The budget matches exactly, so no unsafe-budget diagnostics.
+    assert!(!report.diags.iter().any(|d| d.rule == "unsafe-budget"));
+}
+
+#[test]
+fn config_naming_a_missing_file_is_an_error() {
+    let cfg = Config::parse(
+        "[scan]\nroots = [\"fixtures\"]\n[[hot]]\nfile = \"fixtures/no_such_file.rs\"\nfns = [\"*\"]\n",
+    )
+    .expect("parses");
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = runner::run(&cfg, root).expect("runs");
+    assert!(
+        report
+            .diags
+            .iter()
+            .any(|d| d.rule == "config" && d.msg.contains("no_such_file.rs")),
+        "{:?}",
+        report.diags
+    );
+}
+
+#[test]
+fn diagnostics_render_rustc_style() {
+    let d = &diags_for("serve_alloc.rs")[0];
+    let rendered = d.render();
+    assert!(rendered.contains("error[serve-alloc]"), "{rendered}");
+    assert!(
+        rendered.contains("fixtures/serve_alloc.rs:5:"),
+        "{rendered}"
+    );
+    assert!(rendered.contains("format!"), "{rendered}");
+}

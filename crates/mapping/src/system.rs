@@ -744,6 +744,8 @@ impl MappingSystem {
                 }
                 let tick = self
                     .rr_counter
+                    // relaxed-ok: round-robin tick; only uniqueness of the
+                    // draw matters, not ordering against other memory
                     .fetch_add(1, Ordering::Relaxed)
                     .wrapping_add(1);
                 view.ring.pick(

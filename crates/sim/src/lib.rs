@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Simulation: workload, measurement substrates, and the roll-out.
 //!

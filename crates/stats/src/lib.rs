@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Statistics helpers shared by the measurement, analysis, and reproduction
 //! crates.

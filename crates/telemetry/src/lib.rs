@@ -37,6 +37,7 @@
 //!   window) are labels; unbounded dimensions (client IPs, domain names)
 //!   are never labels.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod hist;

@@ -27,6 +27,8 @@ impl Reporter {
         let flag = stop.clone();
         let handle = std::thread::spawn(move || {
             let mut next = Instant::now() + interval;
+            // relaxed-ok: the stop flag carries no data; the ticker only
+            // needs to see it eventually and join() synchronizes shutdown
             while !flag.load(Ordering::Relaxed) {
                 let now = Instant::now();
                 if now >= next {
@@ -50,6 +52,8 @@ impl Reporter {
     }
 
     fn shutdown(&mut self) {
+        // relaxed-ok: paired with the Relaxed poll above; join() below is
+        // the actual synchronization point
         self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.handle.take() {
             let _ = h.join();

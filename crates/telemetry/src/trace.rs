@@ -18,7 +18,7 @@
 //! Stage timings are saturated into `u32` nanoseconds (4.29 s caps —
 //! far above any serve-path stage) to pack a whole trace into four words.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
 
 /// What the serve path did with a traced query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -174,17 +174,29 @@ impl TraceRing {
 
     /// Traces pushed since creation (≥ what a dump can return).
     pub fn pushed(&self) -> u64 {
+        // relaxed-ok: a monotonic counter read for reporting; no data is
+        // published through it.
         self.head.load(Ordering::Relaxed)
     }
 
     /// Records one trace, overwriting the oldest slot. `trace.seq` is
     /// ignored; the ring assigns sample order.
     pub fn push(&self, trace: &QueryTrace) {
+        // relaxed-ok: fetch_add only needs a unique claim on the head
+        // value; publication ordering is the per-slot seqlock's job.
         let h = self.head.fetch_add(1, Ordering::Relaxed);
+        // lint: allow(serve-index) — h % slots.len() is in range by construction
         let slot = &self.slots[(h % self.slots.len() as u64) as usize];
         let words = trace.pack();
         slot.seq.store(2 * h + 1, Ordering::Release);
+        // The Release store above keeps *earlier* accesses before it but
+        // does not stop the word stores below from floating up past it; a
+        // release fence pins the odd marker before the data for any
+        // reader whose first seq load acquires.
+        fence(Ordering::Release);
         for (w, v) in slot.words.iter().zip(words) {
+            // relaxed-ok: ordered by the fence above and the Release
+            // store of the even sequence below (seqlock write side).
             w.store(v, Ordering::Relaxed);
         }
         slot.seq.store(2 * (h + 1), Ordering::Release);
@@ -201,9 +213,17 @@ impl TraceRing {
             }
             let mut words = [0u64; 4];
             for (w, v) in words.iter_mut().zip(slot.words.iter()) {
+                // relaxed-ok: sandwiched between the Acquire load of seq
+                // and the acquire fence below (seqlock read side).
                 *w = v.load(Ordering::Relaxed);
             }
-            if slot.seq.load(Ordering::Acquire) != s1 {
+            // An Acquire re-load alone would not stop the word loads
+            // above from sinking below it; the acquire fence pins them
+            // before the re-check, after which a Relaxed re-load suffices.
+            fence(Ordering::Acquire);
+            // relaxed-ok: the fence above orders the word loads; the
+            // re-load only needs to observe a changed value eventually.
+            if slot.seq.load(Ordering::Relaxed) != s1 {
                 continue;
             }
             out.push(QueryTrace::unpack(s1 / 2 - 1, words));

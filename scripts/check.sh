@@ -10,6 +10,9 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> eum-lint (workspace invariants: lint.toml)"
+cargo run -q -p eum-lint
+
 echo "==> cargo test -q"
 cargo test -q
 

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Standalone entry point for the workspace invariant checker (eum-lint).
+# Scans the tree against lint.toml: serve-path alloc/lock/panic/indexing
+# freedom, Relaxed-ordering justifications, seqlock pairing, SAFETY
+# comments, and the exact per-crate unsafe budget. Non-zero exit on any
+# violation. Extra arguments are forwarded (e.g. --explain serve-alloc,
+# --fix-budget).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run -q -p eum-lint -- "$@"
