@@ -83,7 +83,9 @@ pub struct AnswerCacheStats {
 ///
 /// The template is a complete response with transaction ID 0, RD clear,
 /// and no OPT record; [`CachedAnswer::replay_into`] memcpys it and
-/// patches the per-query parts in place.
+/// patches the per-query parts in place — including every record's TTL
+/// field, rewritten to the *remaining* TTL so downstream resolvers see
+/// decrementing values instead of a frozen insert-time snapshot.
 #[derive(Debug, Clone)]
 pub struct CachedAnswer {
     /// The encoded response template.
@@ -91,6 +93,12 @@ pub struct CachedAnswer {
     /// The answered ECS scope (`None` for resolver-keyed entries).
     scope: Option<u8>,
     expires: Instant,
+    /// When the template was captured; TTLs decrement from this instant.
+    created: Instant,
+    /// Byte offset of each record's 4-byte TTL field in `wire`, paired
+    /// with the TTL value at capture time. Built once at insert (the
+    /// cold path), replayed alloc-free on every hit.
+    ttl_offsets: Vec<(u16, u32)>,
 }
 
 impl CachedAnswer {
@@ -117,10 +125,14 @@ impl CachedAnswer {
                 .cloned()
                 .collect(),
         };
+        let wire = encode_message(&template);
+        let ttl_offsets = record_ttl_offsets(&wire);
         CachedAnswer {
-            wire: encode_message(&template),
+            wire,
             scope: resp.ecs().map(|e| e.scope_prefix),
             expires: now + Duration::from_secs(ttl_s as u64),
+            created: now,
+            ttl_offsets,
         }
     }
 
@@ -135,17 +147,36 @@ impl CachedAnswer {
     }
 
     /// Replays the entry into `out` for one specific query: memcpy the
-    /// template, patch the transaction ID and RD bit in place, and — when
-    /// the query carried ECS — append an OPT record echoing the querier's
-    /// subnet with the stored scope (clamped to `/y ≤ /x`). Allocation-free
-    /// once `out` has warmed capacity.
-    pub fn replay_into(&self, id: u16, rd: bool, ecs: Option<&EcsOption>, out: &mut Vec<u8>) {
+    /// template, patch the transaction ID, RD bit, and every record's
+    /// remaining TTL in place, and — when the query carried ECS — append
+    /// an OPT record echoing the querier's subnet with the stored scope
+    /// (clamped to `/y ≤ /x`). Allocation-free once `out` has warmed
+    /// capacity.
+    pub fn replay_into(
+        &self,
+        id: u16,
+        rd: bool,
+        ecs: Option<&EcsOption>,
+        now: Instant,
+        out: &mut Vec<u8>,
+    ) {
         out.clear();
         out.extend_from_slice(&self.wire);
         // lint: allow(serve-index) — the template always starts with a 12-byte header
         out[0] = (id >> 8) as u8;
         // lint: allow(serve-index) — header byte, see above
         out[1] = (id & 0xFF) as u8;
+        // Decrement TTLs by the entry's age. Entries expire at the
+        // answer's minimum TTL (or sooner), so remaining TTLs never
+        // underflow on a live hit — saturating_sub only guards the
+        // lookup-at-deadline race.
+        let age_s = now.saturating_duration_since(self.created).as_secs() as u32;
+        for &(off, orig) in &self.ttl_offsets {
+            let off = off as usize;
+            let remaining = orig.saturating_sub(age_s);
+            // lint: allow(serve-index) — offsets were computed against this same template at insert
+            out[off..off + 4].copy_from_slice(&remaining.to_be_bytes());
+        }
         if rd {
             // lint: allow(serve-index) — header byte, see above
             out[2] |= 0x01; // RD is the low bit of header byte 2
@@ -178,6 +209,68 @@ impl CachedAnswer {
     pub fn expired(&self, now: Instant) -> bool {
         now >= self.expires
     }
+}
+
+/// Skips an encoded owner name starting at `pos`, returning the offset
+/// just past it. Handles both label sequences and RFC 1035 §4.1.4
+/// compression pointers (the template encoder compresses repeated
+/// owner names).
+fn skip_name(wire: &[u8], mut pos: usize) -> Option<usize> {
+    loop {
+        let b = *wire.get(pos)?;
+        if b & 0xC0 == 0xC0 {
+            // A pointer terminates the name; it is two bytes long.
+            return Some(pos + 2);
+        }
+        if b == 0 {
+            return Some(pos + 1);
+        }
+        pos += 1 + b as usize;
+    }
+}
+
+/// Walks a freshly encoded response template and records the byte offset
+/// and capture-time value of every record's TTL field, so replays can
+/// patch remaining TTLs in place without re-encoding. Runs once per
+/// cache insert (the cold path); the walk trusts nothing — a malformed
+/// template (impossible for self-encoded bytes) just yields fewer
+/// offsets, never a panic.
+fn record_ttl_offsets(wire: &[u8]) -> Vec<(u16, u32)> {
+    let mut offsets = Vec::new();
+    let rd_u16 = |pos: usize| -> Option<u16> {
+        Some(u16::from_be_bytes([*wire.get(pos)?, *wire.get(pos + 1)?]))
+    };
+    let Some(qdcount) = rd_u16(4) else {
+        return offsets;
+    };
+    let records = [rd_u16(6), rd_u16(8), rd_u16(10)]
+        .iter()
+        .map(|c| c.unwrap_or(0) as usize)
+        .sum::<usize>();
+    let mut pos = 12usize;
+    for _ in 0..qdcount {
+        let Some(past_name) = skip_name(wire, pos) else {
+            return offsets;
+        };
+        pos = past_name + 4; // QTYPE + QCLASS
+    }
+    for _ in 0..records {
+        let Some(past_name) = skip_name(wire, pos) else {
+            return offsets;
+        };
+        let ttl_at = past_name + 4; // past TYPE + CLASS
+        let (Some(hi), Some(lo)) = (rd_u16(ttl_at), rd_u16(ttl_at + 2)) else {
+            return offsets;
+        };
+        let Some(rdlen) = rd_u16(ttl_at + 4) else {
+            return offsets;
+        };
+        if let Ok(off) = u16::try_from(ttl_at) {
+            offsets.push((off, ((hi as u32) << 16) | lo as u32));
+        }
+        pos = ttl_at + 6 + rdlen as usize;
+    }
+    offsets
 }
 
 /// Which table an entry lives in.
@@ -428,7 +521,7 @@ mod tests {
         let e = entry(30);
         let ecs = EcsOption::query("10.1.2.200".parse().unwrap(), 28);
         let mut out = Vec::new();
-        e.replay_into(0xBEEF, true, Some(&ecs), &mut out);
+        e.replay_into(0xBEEF, true, Some(&ecs), Instant::now(), &mut out);
         let resp = decode_message(&out).expect("replayed bytes decode");
         assert_eq!(resp.id, 0xBEEF);
         assert!(resp.flags.qr && resp.flags.rd);
@@ -445,7 +538,7 @@ mod tests {
     fn replay_without_ecs_appends_nothing() {
         let e = entry(30);
         let mut out = Vec::new();
-        e.replay_into(42, false, None, &mut out);
+        e.replay_into(42, false, None, Instant::now(), &mut out);
         let resp = decode_message(&out).expect("replayed bytes decode");
         assert_eq!(resp.id, 42);
         assert!(!resp.flags.rd);
@@ -457,14 +550,83 @@ mod tests {
     fn replay_reuses_buffer_capacity() {
         let e = entry(30);
         let mut out = Vec::new();
-        e.replay_into(1, false, None, &mut out);
+        let now = Instant::now();
+        e.replay_into(1, false, None, now, &mut out);
         let cap = out.capacity();
         let ptr = out.as_ptr();
         for id in 2..50u16 {
-            e.replay_into(id, true, None, &mut out);
+            e.replay_into(
+                id,
+                true,
+                None,
+                now + Duration::from_secs(id as u64),
+                &mut out,
+            );
         }
         assert_eq!(out.capacity(), cap, "replay must not reallocate");
         assert_eq!(out.as_ptr(), ptr, "replay must not move the buffer");
+    }
+
+    #[test]
+    fn replay_decrements_record_ttls() {
+        let t0 = Instant::now();
+        let q = Message::query(7, Question::a(name("e0.cdn.example")), None);
+        let mut resp = Message::response_to(&q, Rcode::NoError);
+        resp.answers
+            .push(Record::a(name("e0.cdn.example"), 30, [9, 9, 9, 9].into()));
+        resp.answers
+            .push(Record::a(name("e0.cdn.example"), 45, [9, 9, 9, 8].into()));
+        let e = CachedAnswer::from_response(&resp, 30, t0);
+        let ttls = |out: &[u8]| {
+            let m = decode_message(out).expect("replayed bytes decode");
+            m.answers.iter().map(|r| r.ttl).collect::<Vec<_>>()
+        };
+        let mut out = Vec::new();
+        e.replay_into(1, false, None, t0, &mut out);
+        assert_eq!(ttls(&out), vec![30, 45], "fresh replay keeps full TTLs");
+        e.replay_into(2, false, None, t0 + Duration::from_secs(10), &mut out);
+        assert_eq!(ttls(&out), vec![20, 35], "TTLs decrement with entry age");
+        // Way past the record TTL the patch saturates at zero rather
+        // than wrapping (only reachable through the expiry race).
+        e.replay_into(3, false, None, t0 + Duration::from_secs(1000), &mut out);
+        assert_eq!(ttls(&out), vec![0, 0]);
+    }
+
+    #[test]
+    fn ttl_patching_handles_compressed_owner_names() {
+        // A delegation-shaped response: NS authorities plus glue, all
+        // sharing suffixes, so the encoded template contains RFC 1035
+        // compression pointers in owner names. The offset walk must step
+        // over them correctly.
+        let t0 = Instant::now();
+        let q = Message::query(7, Question::a(name("www.cdn.example")), None);
+        let mut resp = Message::response_to(&q, Rcode::NoError);
+        resp.authorities.push(Record::ns(
+            name("cdn.example"),
+            600,
+            name("ns1.cdn.example"),
+        ));
+        resp.authorities.push(Record::ns(
+            name("cdn.example"),
+            600,
+            name("ns2.cdn.example"),
+        ));
+        resp.additionals
+            .push(Record::a(name("ns1.cdn.example"), 300, [9, 0, 0, 1].into()));
+        resp.additionals
+            .push(Record::a(name("ns2.cdn.example"), 300, [9, 0, 0, 2].into()));
+        let e = CachedAnswer::from_response(&resp, 300, t0);
+        let mut out = Vec::new();
+        e.replay_into(9, false, None, t0 + Duration::from_secs(100), &mut out);
+        let m = decode_message(&out).expect("replayed bytes decode");
+        assert_eq!(
+            m.authorities.iter().map(|r| r.ttl).collect::<Vec<_>>(),
+            vec![500, 500]
+        );
+        assert_eq!(
+            m.additionals.iter().map(|r| r.ttl).collect::<Vec<_>>(),
+            vec![200, 200]
+        );
     }
 
     #[test]

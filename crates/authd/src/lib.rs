@@ -43,5 +43,5 @@ pub use snapshot::{Snapshot, SnapshotHandle};
 pub use telemetry::TelemetryConfig;
 pub use transport::{
     channel_transports, ChannelClient, ChannelConnector, ChannelTransport, ClientTransport,
-    Datagram, ServerTransport, UdpClient, UdpTransport, MAX_DATAGRAM,
+    Datagram, FaultConfig, FaultInjector, ServerTransport, UdpClient, UdpTransport, MAX_DATAGRAM,
 };

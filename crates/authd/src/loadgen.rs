@@ -15,8 +15,16 @@
 //! stripe per client thread); [`LoadReport`] aggregates throughput,
 //! histogram-backed p50/p99, and error counts across threads. Pass a
 //! shared registry in [`LoadGenConfig::telemetry`] and the same
-//! distribution is exported as `eum_loadgen_exchange_ns` — the report and
-//! the scrape read literally the same buckets.
+//! distribution is exported as `eum_loadgen_upstream_exchange_ns` — the
+//! report and the scrape read literally the same buckets.
+//!
+//! Metric names carry the `upstream_` qualifier because these exchanges
+//! are the resolver→authoritative leg: the generator plays the LDNS
+//! population's *upstream* traffic, the same leg `eum-ldns` counts in
+//! `eum_ldns_upstream_queries_total`. The resolver fleet's client-facing
+//! rate lives in the `eum_ldns_downstream_*` series — keeping the two
+//! directions distinct in one scrape is what makes a measured
+//! amplification (upstream over downstream) readable off a dashboard.
 
 use crate::transport::ClientTransport;
 use eum_cdn::ContentCatalog;
@@ -45,7 +53,7 @@ pub struct LoadGenConfig {
     /// Seed for the demand sampling streams.
     pub seed: u64,
     /// When set, exchange latencies are recorded into this registry's
-    /// `eum_loadgen_exchange_ns` histogram (and the ok/error counts into
+    /// `eum_loadgen_upstream_exchange_ns` histogram (and the ok/error counts into
     /// `eum_loadgen_*_total`) in addition to the returned [`LoadReport`].
     pub telemetry: Option<Arc<Registry>>,
 }
@@ -163,11 +171,11 @@ where
     let tables = Arc::new(LoadTables::build(net, catalog, server_ip));
     let clients = cfg.clients.max(1);
     // One stripe per client thread; with a registry configured the very
-    // same histogram backs the `eum_loadgen_exchange_ns` export, so the
+    // same histogram backs the `eum_loadgen_upstream_exchange_ns` export, so the
     // report's percentiles and a scrape can never disagree.
     let latencies = match cfg.telemetry.as_ref() {
         Some(reg) => reg.histogram_striped(
-            "eum_loadgen_exchange_ns",
+            "eum_loadgen_upstream_exchange_ns",
             "Closed-loop exchange latency, send to verified response",
             &[],
             clients,
@@ -196,19 +204,19 @@ where
     }
     if let Some(reg) = cfg.telemetry.as_ref() {
         reg.counter(
-            "eum_loadgen_ok_total",
+            "eum_loadgen_upstream_ok_total",
             "Exchanges completed and verified",
             &[],
         )
         .add(ok);
         reg.counter(
-            "eum_loadgen_transport_errors_total",
+            "eum_loadgen_upstream_transport_errors_total",
             "Exchanges lost to timeouts or send errors",
             &[],
         )
         .add(transport_errors);
         reg.counter(
-            "eum_loadgen_bad_responses_total",
+            "eum_loadgen_upstream_bad_responses_total",
             "Responses that decoded but failed verification",
             &[],
         )

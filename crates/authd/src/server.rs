@@ -349,7 +349,7 @@ impl ShardState {
             cache.lookup_resolver(&q.name, q.rtype, ctx.resolver_ip, server_ip, now)
         };
         if let Some(entry) = hit {
-            entry.replay_into(query.id, query.flags.rd, ecs.as_ref(), reply);
+            entry.replay_into(query.id, query.flags.rd, ecs.as_ref(), now, reply);
             stages.outcome = TraceOutcome::CacheHit;
             if stages.timed {
                 stages.cache_ns = now.elapsed().as_nanos() as u64;

@@ -19,6 +19,8 @@
 //! `recv` returns `Ok(None)` on timeout so shards can poll their shutdown
 //! flag without busy-waiting.
 
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha12Rng;
 use std::io;
 use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -175,6 +177,112 @@ impl ClientTransport for ChannelClient {
 
     fn num_shards(&self) -> usize {
         self.connector.txs.len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault injection.
+// ---------------------------------------------------------------------
+
+/// Failure rates for [`FaultInjector`], all in `[0, 1]`. Rates are
+/// evaluated per exchange in order: first the timeout draw, then the
+/// SERVFAIL draw on the remainder.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Probability an exchange times out (the query is dropped without
+    /// reaching the server and `ErrorKind::TimedOut` is returned).
+    pub timeout_rate: f64,
+    /// Probability an exchange is answered with a synthesized SERVFAIL
+    /// (RFC 1035 RCODE 2) echoing the query's ID and question, without
+    /// reaching the server.
+    pub servfail_rate: f64,
+    /// RNG seed; the fault sequence is a pure function of this.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// A fault-free configuration (useful as a baseline).
+    pub fn none(seed: u64) -> FaultConfig {
+        FaultConfig {
+            timeout_rate: 0.0,
+            servfail_rate: 0.0,
+            seed,
+        }
+    }
+}
+
+/// Wraps any [`ClientTransport`] with seeded, rate-configured upstream
+/// failures so resolver retry/backoff and negative-cache paths are
+/// exercisable deterministically: a drawn *timeout* swallows the query
+/// and returns `ErrorKind::TimedOut`; a drawn *SERVFAIL* flips the
+/// query bytes into a server-failure response (QR set, RCODE 2, counts
+/// untouched so the question section still echoes back).
+pub struct FaultInjector<C> {
+    inner: C,
+    cfg: FaultConfig,
+    rng: ChaCha12Rng,
+    injected_timeouts: u64,
+    injected_servfails: u64,
+}
+
+impl<C: ClientTransport> FaultInjector<C> {
+    /// Wraps `inner`, drawing faults from a ChaCha12 stream seeded with
+    /// `cfg.seed`.
+    pub fn new(inner: C, cfg: FaultConfig) -> FaultInjector<C> {
+        FaultInjector {
+            inner,
+            cfg,
+            rng: ChaCha12Rng::seed_from_u64(cfg.seed),
+            injected_timeouts: 0,
+            injected_servfails: 0,
+        }
+    }
+
+    /// How many exchanges were failed as timeouts so far.
+    pub fn injected_timeouts(&self) -> u64 {
+        self.injected_timeouts
+    }
+
+    /// How many exchanges were answered with a synthesized SERVFAIL.
+    pub fn injected_servfails(&self) -> u64 {
+        self.injected_servfails
+    }
+
+    /// Consumes the wrapper, returning the inner transport.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<C: ClientTransport> ClientTransport for FaultInjector<C> {
+    fn exchange(
+        &mut self,
+        shard: usize,
+        server_ip: Ipv4Addr,
+        resolver_ip: Ipv4Addr,
+        payload: &[u8],
+        timeout: Duration,
+    ) -> io::Result<Vec<u8>> {
+        if self.rng.random_bool(self.cfg.timeout_rate) {
+            self.injected_timeouts += 1;
+            return Err(io::Error::new(io::ErrorKind::TimedOut, "injected timeout"));
+        }
+        if self.rng.random_bool(self.cfg.servfail_rate) {
+            self.injected_servfails += 1;
+            let mut resp = payload.to_vec();
+            if resp.len() >= 4 {
+                resp[2] |= 0x80; // QR: this is a response
+                resp[2] &= !0x02; // TC clear
+                resp[3] = (resp[3] & 0xF0) | 0x02; // RCODE 2: SERVFAIL
+            }
+            return Ok(resp);
+        }
+        self.inner
+            .exchange(shard, server_ip, resolver_ip, payload, timeout)
+    }
+
+    fn num_shards(&self) -> usize {
+        self.inner.num_shards()
     }
 }
 
@@ -339,6 +447,90 @@ mod tests {
         let (mut transports, _connector) = channel_transports(1);
         let got = transports[0].recv(Duration::from_millis(10)).unwrap();
         assert!(got.is_none());
+    }
+
+    /// A loopback ClientTransport answering every exchange with `[0xAA]`.
+    struct EchoOk;
+
+    impl ClientTransport for EchoOk {
+        fn exchange(
+            &mut self,
+            _shard: usize,
+            _server_ip: Ipv4Addr,
+            _resolver_ip: Ipv4Addr,
+            _payload: &[u8],
+            _timeout: Duration,
+        ) -> io::Result<Vec<u8>> {
+            Ok(vec![0xAA])
+        }
+
+        fn num_shards(&self) -> usize {
+            1
+        }
+    }
+
+    fn drive(cfg: FaultConfig, n: usize) -> (Vec<u8>, u64, u64) {
+        // A syntactically valid query header: ID 0x1234, RD set, QDCOUNT 1.
+        let query = [
+            0x12, 0x34, 0x01, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let mut t = FaultInjector::new(EchoOk, cfg);
+        let mut outcomes = Vec::with_capacity(n);
+        for _ in 0..n {
+            outcomes.push(
+                match t.exchange(
+                    0,
+                    Ipv4Addr::UNSPECIFIED,
+                    Ipv4Addr::UNSPECIFIED,
+                    &query,
+                    Duration::from_millis(1),
+                ) {
+                    Ok(resp) if resp == [0xAA] => 0u8,
+                    Ok(resp) => {
+                        // Synthesized SERVFAIL: same ID, QR set, RCODE 2.
+                        assert_eq!(&resp[..2], &query[..2]);
+                        assert_eq!(resp[2] & 0x80, 0x80);
+                        assert_eq!(resp[3] & 0x0F, 0x02);
+                        1
+                    }
+                    Err(e) => {
+                        assert_eq!(e.kind(), io::ErrorKind::TimedOut);
+                        2
+                    }
+                },
+            );
+        }
+        (outcomes, t.injected_timeouts(), t.injected_servfails())
+    }
+
+    #[test]
+    fn fault_injector_respects_rates_and_seed() {
+        let cfg = FaultConfig {
+            timeout_rate: 0.25,
+            servfail_rate: 0.25,
+            seed: 0xFA17,
+        };
+        let (a, timeouts, servfails) = drive(cfg, 2000);
+        let (b, ..) = drive(cfg, 2000);
+        assert_eq!(a, b, "same seed must give the same fault sequence");
+        // 25% timeout, then 25% of the remainder SERVFAIL ≈ 18.75%.
+        assert!((400..600).contains(&(timeouts as usize)), "{timeouts}");
+        assert!((275..475).contains(&(servfails as usize)), "{servfails}");
+        let (c, ..) = drive(
+            FaultConfig {
+                seed: 0xFA18,
+                ..cfg
+            },
+            2000,
+        );
+        assert_ne!(a, c, "different seeds must diverge");
+    }
+
+    #[test]
+    fn fault_free_injector_is_transparent() {
+        let (outcomes, timeouts, servfails) = drive(FaultConfig::none(7), 200);
+        assert!(outcomes.iter().all(|&o| o == 0));
+        assert_eq!((timeouts, servfails), (0, 0));
     }
 
     #[test]

@@ -121,10 +121,10 @@ fn scrape_reconciles_with_reports_across_a_generation_swap() {
         "eum_authd_stage_route_ns",
         "eum_authd_stage_encode_ns",
         "eum_authd_serve_ns",
-        "eum_loadgen_exchange_ns",
-        "eum_loadgen_ok_total",
-        "eum_loadgen_transport_errors_total",
-        "eum_loadgen_bad_responses_total",
+        "eum_loadgen_upstream_exchange_ns",
+        "eum_loadgen_upstream_ok_total",
+        "eum_loadgen_upstream_transport_errors_total",
+        "eum_loadgen_upstream_bad_responses_total",
     ] {
         assert!(
             families.iter().any(|f| f == family),
@@ -179,7 +179,7 @@ fn scrape_reconciles_with_reports_across_a_generation_swap() {
     // second report's snapshot is cumulative and the scrape reads the
     // exact same buckets — the percentiles agree bit for bit.
     let exchange = registry
-        .histogram_striped("eum_loadgen_exchange_ns", "", &[], CLIENTS)
+        .histogram_striped("eum_loadgen_upstream_exchange_ns", "", &[], CLIENTS)
         .snapshot();
     assert_eq!(report1.latencies.count(), total / 2);
     assert_eq!(report2.latencies.count(), total, "registry runs accumulate");

@@ -117,11 +117,18 @@ fn cached_hits_do_not_allocate() {
         let again = state.serve(&snap.map, low, resolver, payload, &mut stages);
         assert_eq!(again, ServeOutcome::Replied { cache_hit: true });
     }
-    // Sanity: the replayed reply is a well-formed answer for the query.
+    // Sanity: the replayed reply is a well-formed answer for the query,
+    // and its TTLs were patched to the remaining lifetime — present and
+    // no larger than the catalog's configured record TTLs.
     let replayed = decode_message(state.reply()).expect("replay decodes");
     assert_eq!(replayed.id, 8);
     assert_eq!(replayed.flags.rcode, Rcode::NoError);
     assert!(!replayed.answer_ips().is_empty());
+    let max_ttl = replayed.answers.iter().map(|r| r.ttl).max().unwrap_or(0);
+    assert!(
+        (1..=86_400).contains(&max_ttl),
+        "replayed TTLs must be live remaining values, got {max_ttl}"
+    );
 
     let before = ALLOCS.load(Ordering::SeqCst);
     for round in 0..2_000u32 {

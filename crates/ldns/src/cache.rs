@@ -1,0 +1,609 @@
+//! The resolver-side answer cache, ECS-partitioned per RFC 7871 §7.3.
+//!
+//! This is the other half of the cache pair whose authoritative side
+//! lives in `eum_authd::cache`: where the authoritative memoizes what it
+//! *announced* per scope block, the resolver must partition what it
+//! *received* by the same blocks — an answer tagged scope `/y` may only
+//! be served to clients inside the `/y` block it was fetched for
+//! (§7.3.1), and a scope-0 answer is globally reusable. The reuse
+//! semantics are deliberately identical to the authd-side cache and are
+//! checked against the same oracle in `tests/cache_prop.rs`.
+//!
+//! Three answer shapes share one table ([`AnswerBody`]):
+//!
+//! * **Addresses** — positive A answers, expiring at the record TTL.
+//! * **Negative** — NXDOMAIN / NODATA per RFC 2308, expiring at the SOA
+//!   minimum (clamped by configuration).
+//! * **Failure** — upstream SERVFAIL or exhausted retries, cached for a
+//!   short fixed TTL (RFC 2308 §7.1) so a dead authoritative is not
+//!   hammered.
+//!
+//! Expiry is driven by the hierarchical [`TimerWheel`](crate::wheel):
+//! every insert arms the entry's key, [`ResolverCache::advance`] reaps
+//! due keys in O(elapsed + expired), and lookups still double-check the
+//! deadline so a stale answer can never leave the resolver even between
+//! advances. The lookup/insert/advance trio is under `lint.toml` hot-fn
+//! discipline like the authd serve path.
+
+use crate::wheel::TimerWheel;
+use eum_dns::{DnsName, Rcode, RrType};
+use eum_geo::Prefix;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::time::{Duration, Instant};
+
+/// Cache sizing and negative-TTL policy.
+#[derive(Debug, Clone, Copy)]
+pub struct LdnsCacheConfig {
+    /// Maximum entries (FIFO eviction beyond this).
+    pub max_entries: usize,
+    /// TTL for cached upstream failures, seconds (RFC 2308 §7.1 caps
+    /// SERVFAIL caching at 5 minutes).
+    pub servfail_ttl_s: u32,
+    /// Upper bound on negative-answer TTLs, seconds — an SOA minimum
+    /// above this is clamped (RFC 2308 §5 recommends 1–3 h tops).
+    pub max_negative_ttl_s: u32,
+}
+
+impl Default for LdnsCacheConfig {
+    fn default() -> Self {
+        LdnsCacheConfig {
+            max_entries: 65_536,
+            servfail_ttl_s: 30,
+            max_negative_ttl_s: 3_600,
+        }
+    }
+}
+
+/// What a cached entry answers with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnswerBody {
+    /// Positive answer: the A records' addresses.
+    Addresses(Vec<Ipv4Addr>),
+    /// RFC 2308 negative answer (`NxDomain`, or `NoError` for NODATA).
+    Negative(Rcode),
+    /// Upstream failure (SERVFAIL / retries exhausted), briefly cached.
+    Failure,
+}
+
+/// One cached answer with its expiry bookkeeping.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// The answer itself.
+    pub body: AnswerBody,
+    /// The announced ECS scope this entry was partitioned by (0 for
+    /// global entries).
+    pub scope: u8,
+    created: Instant,
+    expires: Instant,
+    orig_ttl_s: u32,
+}
+
+impl CacheEntry {
+    /// An entry expiring `ttl_s` after `now`.
+    pub fn new(body: AnswerBody, scope: u8, ttl_s: u32, now: Instant) -> CacheEntry {
+        CacheEntry {
+            body,
+            scope,
+            created: now,
+            expires: now + Duration::from_secs(ttl_s as u64),
+            orig_ttl_s: ttl_s,
+        }
+    }
+
+    /// True once the TTL has run out.
+    pub fn expired(&self, now: Instant) -> bool {
+        now >= self.expires
+    }
+
+    /// Seconds of TTL left (0 when expired) — what a downstream client
+    /// would see in a served answer.
+    pub fn remaining_ttl_s(&self, now: Instant) -> u32 {
+        self.orig_ttl_s
+            .saturating_sub(now.saturating_duration_since(self.created).as_secs() as u32)
+    }
+
+    /// When the entry expires (the wheel arms on this).
+    pub fn expires_at(&self) -> Instant {
+        self.expires
+    }
+}
+
+/// Cache key: global entries answer any client, scoped entries only
+/// clients inside their block.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CacheKey {
+    /// Scope-0 / no-ECS answers, negatives, failures, and delegations.
+    Global(DnsName, RrType),
+    /// Positive answers partitioned by announced scope block.
+    Scoped(DnsName, RrType, Prefix),
+}
+
+/// Per-cache counters, cumulative over the cache's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LdnsCacheStats {
+    /// Hits by the hit entry's scope length (`[0]` counts global hits).
+    pub hits_by_scope: [u64; 33],
+    /// Lookups that found nothing usable.
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries reaped by the timer wheel (TTL-expiry churn).
+    pub expirations: u64,
+    /// Lookups that found only an expired entry between wheel advances
+    /// (dropped on the spot, counted in `misses` too).
+    pub stale_drops: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+}
+
+impl Default for LdnsCacheStats {
+    fn default() -> LdnsCacheStats {
+        LdnsCacheStats {
+            hits_by_scope: [0; 33],
+            misses: 0,
+            insertions: 0,
+            expirations: 0,
+            stale_drops: 0,
+            evictions: 0,
+        }
+    }
+}
+
+impl LdnsCacheStats {
+    /// Total hits across all scope lengths.
+    pub fn hits(&self) -> u64 {
+        self.hits_by_scope.iter().sum()
+    }
+
+    /// Hits over lookups, 0.0 when nothing was looked up.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits() + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits() as f64 / total as f64
+    }
+}
+
+/// The ECS-partitioned resolver cache with timer-wheel expiry.
+pub struct ResolverCache {
+    cfg: LdnsCacheConfig,
+    map: HashMap<CacheKey, CacheEntry>,
+    wheel: TimerWheel<CacheKey>,
+    /// Insertion order for FIFO capacity eviction.
+    order: std::collections::VecDeque<CacheKey>,
+    /// Live scoped-entry count per scope length; lookups probe only
+    /// lengths actually present.
+    scope_lens: [u32; 33],
+    stats: LdnsCacheStats,
+}
+
+impl ResolverCache {
+    /// An empty cache whose wheel epoch is `now`.
+    pub fn new(cfg: LdnsCacheConfig, now: Instant) -> ResolverCache {
+        ResolverCache {
+            cfg,
+            map: HashMap::new(),
+            wheel: TimerWheel::new(now),
+            order: std::collections::VecDeque::new(),
+            scope_lens: [0; 33],
+            stats: LdnsCacheStats::default(),
+        }
+    }
+
+    /// Looks up an answer for `client`, probing scoped entries from the
+    /// most to the least specific length present — but never longer than
+    /// `source_prefix` (the prefix this resolver would announce; 0 when
+    /// ECS is off, which skips the scoped table entirely) — and falling
+    /// back to the global entry. Expired entries are dropped, never
+    /// served.
+    pub fn lookup(
+        &mut self,
+        qname: &DnsName,
+        qtype: RrType,
+        client: Ipv4Addr,
+        source_prefix: u8,
+        now: Instant,
+    ) -> Option<&CacheEntry> {
+        let mut hit: Option<CacheKey> = None;
+        for len in (1..=source_prefix.min(32)).rev() {
+            // lint: allow(serve-index) — len ≤ 32 by the loop bound; the table has 33 slots
+            if self.scope_lens[len as usize] == 0 {
+                continue;
+            }
+            // DnsName is inline; cloning into a probe key is a flat copy.
+            let key = CacheKey::Scoped(qname.clone(), qtype, Prefix::of(client, len));
+            match self.map.get(&key) {
+                Some(e) if !e.expired(now) => {
+                    hit = Some(key);
+                    break;
+                }
+                Some(_) => self.drop_stale(&key),
+                None => {}
+            }
+        }
+        if hit.is_none() {
+            let key = CacheKey::Global(qname.clone(), qtype);
+            match self.map.get(&key) {
+                Some(e) if !e.expired(now) => hit = Some(key),
+                Some(_) => self.drop_stale(&key),
+                None => {}
+            }
+        }
+        match hit {
+            Some(key) => {
+                let entry = self.map.get(&key);
+                if let Some(e) = entry {
+                    // lint: allow(serve-index) — scope ≤ 32 by construction; the table has 33 slots
+                    self.stats.hits_by_scope[e.scope.min(32) as usize] += 1;
+                }
+                entry
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts an answer: `scope_block` carries the announced-scope
+    /// partition for positive ECS answers; `None` stores a global entry
+    /// (scope 0, no ECS, negatives, failures, delegations). The entry's
+    /// key is armed on the timer wheel at its deadline.
+    pub fn insert(
+        &mut self,
+        qname: DnsName,
+        qtype: RrType,
+        scope_block: Option<Prefix>,
+        entry: CacheEntry,
+    ) {
+        while self.map.len() >= self.cfg.max_entries.max(1) {
+            match self.order.pop_front() {
+                Some(oldest) => {
+                    if self.map.remove(&oldest).is_some() {
+                        self.on_removed(&oldest);
+                        self.stats.evictions += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+        let key = match scope_block {
+            Some(p) => CacheKey::Scoped(qname, qtype, p),
+            None => CacheKey::Global(qname, qtype),
+        };
+        if let CacheKey::Scoped(_, _, p) = &key {
+            // lint: allow(serve-index) — prefix length ≤ 32; the table has 33 slots
+            self.scope_lens[p.len() as usize] += 1;
+        }
+        self.wheel.insert(entry.expires, key.clone());
+        if self.map.insert(key.clone(), entry).is_none() {
+            self.order.push_back(key);
+        } else if let CacheKey::Scoped(_, _, p) = &key {
+            // Replaced in place: undo the double count.
+            // lint: allow(serve-index) — prefix length ≤ 32; the table has 33 slots
+            self.scope_lens[p.len() as usize] -= 1;
+        }
+        self.stats.insertions += 1;
+    }
+
+    /// Reaps entries whose wheel deadline has passed, using `scratch` as
+    /// the reusable drain buffer. An entry that was refreshed since its
+    /// key was armed is re-armed at its new deadline instead of dropped.
+    /// Returns how many entries actually expired.
+    pub fn advance(&mut self, now: Instant, scratch: &mut Vec<CacheKey>) -> u64 {
+        scratch.clear();
+        self.wheel.advance(now, scratch);
+        let mut reaped = 0u64;
+        for key in scratch.drain(..) {
+            match self.map.get(&key) {
+                Some(e) if e.expired(now) => {
+                    self.map.remove(&key);
+                    self.on_removed(&key);
+                    self.order.retain(|k| k != &key);
+                    reaped += 1;
+                }
+                // Refreshed after arming: fire again at the new deadline.
+                Some(e) => {
+                    let expires = e.expires;
+                    self.wheel.insert(expires, key);
+                }
+                // Already evicted or stale-dropped.
+                None => {}
+            }
+        }
+        self.stats.expirations += reaped;
+        reaped
+    }
+
+    /// Drops an entry found expired during a lookup.
+    fn drop_stale(&mut self, key: &CacheKey) {
+        if self.map.remove(key).is_some() {
+            self.on_removed(key);
+            self.order.retain(|k| k != key);
+            self.stats.stale_drops += 1;
+        }
+    }
+
+    fn on_removed(&mut self, key: &CacheKey) {
+        if let CacheKey::Scoped(_, _, p) = key {
+            // lint: allow(serve-index) — prefix length ≤ 32; the table has 33 slots
+            self.scope_lens[p.len() as usize] -= 1;
+        }
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> LdnsCacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eum_dns::name::name;
+
+    fn addrs(ip: [u8; 4]) -> AnswerBody {
+        AnswerBody::Addresses(vec![ip.into()])
+    }
+
+    fn cache(now: Instant) -> ResolverCache {
+        ResolverCache::new(LdnsCacheConfig::default(), now)
+    }
+
+    #[test]
+    fn scoped_entry_serves_only_its_block() {
+        let t0 = Instant::now();
+        let mut c = cache(t0);
+        c.insert(
+            name("e0.cdn.example"),
+            RrType::A,
+            Some("10.1.2.0/24".parse().unwrap()),
+            CacheEntry::new(addrs([9, 9, 9, 9]), 24, 60, t0),
+        );
+        assert!(c
+            .lookup(
+                &name("e0.cdn.example"),
+                RrType::A,
+                "10.1.2.77".parse().unwrap(),
+                24,
+                t0
+            )
+            .is_some());
+        assert!(c
+            .lookup(
+                &name("e0.cdn.example"),
+                RrType::A,
+                "10.1.3.77".parse().unwrap(),
+                24,
+                t0
+            )
+            .is_none());
+        assert_eq!(c.stats().hits_by_scope[24], 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn global_entry_serves_every_client_even_with_ecs_off() {
+        let t0 = Instant::now();
+        let mut c = cache(t0);
+        c.insert(
+            name("e0.cdn.example"),
+            RrType::A,
+            None,
+            CacheEntry::new(addrs([9, 9, 9, 9]), 0, 60, t0),
+        );
+        for (client, sp) in [("10.1.2.3", 24u8), ("172.16.9.9", 0)] {
+            assert!(c
+                .lookup(
+                    &name("e0.cdn.example"),
+                    RrType::A,
+                    client.parse().unwrap(),
+                    sp,
+                    t0
+                )
+                .is_some());
+        }
+        assert_eq!(c.stats().hits_by_scope[0], 2);
+    }
+
+    #[test]
+    fn longest_containing_scope_wins() {
+        let t0 = Instant::now();
+        let mut c = cache(t0);
+        c.insert(
+            name("e0.cdn.example"),
+            RrType::A,
+            Some("10.1.0.0/16".parse().unwrap()),
+            CacheEntry::new(addrs([1, 1, 1, 1]), 16, 60, t0),
+        );
+        c.insert(
+            name("e0.cdn.example"),
+            RrType::A,
+            Some("10.1.2.0/24".parse().unwrap()),
+            CacheEntry::new(addrs([2, 2, 2, 2]), 24, 60, t0),
+        );
+        let got = c
+            .lookup(
+                &name("e0.cdn.example"),
+                RrType::A,
+                "10.1.2.5".parse().unwrap(),
+                24,
+                t0,
+            )
+            .unwrap();
+        assert_eq!(got.scope, 24);
+        let got = c
+            .lookup(
+                &name("e0.cdn.example"),
+                RrType::A,
+                "10.1.9.5".parse().unwrap(),
+                24,
+                t0,
+            )
+            .unwrap();
+        assert_eq!(got.scope, 16);
+    }
+
+    #[test]
+    fn source_prefix_bounds_the_probe() {
+        // A /24-scoped entry must not serve a resolver announcing /16 —
+        // the §7.3.1 `/y ≤ /x` guarantee survives caching.
+        let t0 = Instant::now();
+        let mut c = cache(t0);
+        c.insert(
+            name("e0.cdn.example"),
+            RrType::A,
+            Some("10.1.2.0/24".parse().unwrap()),
+            CacheEntry::new(addrs([9, 9, 9, 9]), 24, 60, t0),
+        );
+        assert!(c
+            .lookup(
+                &name("e0.cdn.example"),
+                RrType::A,
+                "10.1.2.77".parse().unwrap(),
+                16,
+                t0
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn wheel_advance_reaps_expired_entries() {
+        let t0 = Instant::now();
+        let mut c = cache(t0);
+        c.insert(
+            name("e0.cdn.example"),
+            RrType::A,
+            None,
+            CacheEntry::new(addrs([9, 9, 9, 9]), 0, 5, t0),
+        );
+        c.insert(
+            name("e1.cdn.example"),
+            RrType::A,
+            None,
+            CacheEntry::new(addrs([8, 8, 8, 8]), 0, 500, t0),
+        );
+        let mut scratch = Vec::new();
+        assert_eq!(c.advance(t0 + Duration::from_secs(4), &mut scratch), 0);
+        assert_eq!(c.advance(t0 + Duration::from_secs(10), &mut scratch), 1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().expirations, 1);
+    }
+
+    #[test]
+    fn lookup_never_serves_stale_between_advances() {
+        let t0 = Instant::now();
+        let mut c = cache(t0);
+        c.insert(
+            name("e0.cdn.example"),
+            RrType::A,
+            None,
+            CacheEntry::new(addrs([9, 9, 9, 9]), 0, 5, t0),
+        );
+        // No advance has run; the entry is past deadline anyway.
+        let got = c.lookup(
+            &name("e0.cdn.example"),
+            RrType::A,
+            "10.0.0.1".parse().unwrap(),
+            0,
+            t0 + Duration::from_secs(6),
+        );
+        assert!(got.is_none());
+        assert_eq!(c.stats().stale_drops, 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn refreshed_entry_survives_its_old_deadline() {
+        let t0 = Instant::now();
+        let mut c = cache(t0);
+        c.insert(
+            name("e0.cdn.example"),
+            RrType::A,
+            None,
+            CacheEntry::new(addrs([9, 9, 9, 9]), 0, 5, t0),
+        );
+        // Refreshed with a longer TTL before the old deadline fires.
+        c.insert(
+            name("e0.cdn.example"),
+            RrType::A,
+            None,
+            CacheEntry::new(addrs([9, 9, 9, 9]), 0, 60, t0 + Duration::from_secs(2)),
+        );
+        let mut scratch = Vec::new();
+        assert_eq!(c.advance(t0 + Duration::from_secs(10), &mut scratch), 0);
+        assert!(c
+            .lookup(
+                &name("e0.cdn.example"),
+                RrType::A,
+                "10.0.0.1".parse().unwrap(),
+                0,
+                t0 + Duration::from_secs(10)
+            )
+            .is_some());
+        // The re-armed deadline still fires.
+        assert_eq!(c.advance(t0 + Duration::from_secs(70), &mut scratch), 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn remaining_ttl_decrements_and_saturates() {
+        let t0 = Instant::now();
+        let e = CacheEntry::new(addrs([9, 9, 9, 9]), 0, 60, t0);
+        assert_eq!(e.remaining_ttl_s(t0), 60);
+        assert_eq!(e.remaining_ttl_s(t0 + Duration::from_secs(10)), 50);
+        assert_eq!(e.remaining_ttl_s(t0 + Duration::from_secs(1000)), 0);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest_first() {
+        let t0 = Instant::now();
+        let mut c = ResolverCache::new(
+            LdnsCacheConfig {
+                max_entries: 2,
+                ..LdnsCacheConfig::default()
+            },
+            t0,
+        );
+        for i in 0..3u8 {
+            c.insert(
+                name(&format!("e{i}.cdn.example")),
+                RrType::A,
+                None,
+                CacheEntry::new(addrs([i, i, i, i]), 0, 60, t0),
+            );
+        }
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c
+            .lookup(
+                &name("e0.cdn.example"),
+                RrType::A,
+                "10.0.0.1".parse().unwrap(),
+                0,
+                t0
+            )
+            .is_none());
+        assert!(c
+            .lookup(
+                &name("e2.cdn.example"),
+                RrType::A,
+                "10.0.0.1".parse().unwrap(),
+                0,
+                t0
+            )
+            .is_some());
+    }
+}

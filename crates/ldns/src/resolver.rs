@@ -1,0 +1,506 @@
+//! One recursive resolver over a real transport.
+//!
+//! Where `eum_dns::RecursiveResolver` is the *model* — an analytic
+//! resolver driven by a millisecond clock inside the simulator — this is
+//! the *system*: an LDNS instance that exchanges RFC 1035 wire bytes
+//! with a live `eum-authd` over any [`ClientTransport`] (in-process
+//! channels, loopback UDP, or a fault-injecting wrapper), owns an
+//! ECS-partitioned [`ResolverCache`] with timer-wheel expiry, and
+//! implements the paper's staged roll-out knob as a per-resolver
+//! [`EcsPolicy`]: off, whitelist-only (Google/OpenDNS sent ECS only to
+//! opted-in authorities), or always.
+//!
+//! A resolution follows the CDN's two-level hierarchy exactly as a real
+//! LDNS would: answer cache → cached delegation → top-level query
+//! (delegation, scope 0, long TTL) → low-level query (A answer, scoped
+//! when ECS is on). Upstream exchanges get bounded retries with a
+//! per-attempt timeout; exhausted retries and SERVFAILs are negatively
+//! cached (RFC 2308 §7), NXDOMAIN/NODATA honor the SOA minimum (§5).
+
+use crate::cache::{AnswerBody, CacheEntry, CacheKey, LdnsCacheConfig, ResolverCache};
+use eum_authd::ClientTransport;
+use eum_dns::edns::{EcsOption, OptData};
+use eum_dns::{decode_message, encode_message, DnsName, Message, Question, RData, Rcode, RrType};
+use eum_geo::Prefix;
+use std::io;
+use std::net::Ipv4Addr;
+use std::time::{Duration, Instant};
+
+/// Whether (and to whom) this resolver forwards EDNS0 Client Subnet —
+/// the paper's staged public-resolver roll-out, per resolver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EcsPolicy {
+    /// Never send ECS; the authoritative maps on the resolver IP.
+    Off,
+    /// Send ECS only for names inside one of these zones (the opt-in
+    /// whitelists Google Public DNS and OpenDNS ran during the roll-out).
+    Whitelist(Vec<DnsName>),
+    /// Send ECS for every query.
+    Always,
+}
+
+impl EcsPolicy {
+    /// True when a query for `qname` carries ECS under this policy.
+    pub fn sends_for(&self, qname: &DnsName) -> bool {
+        match self {
+            EcsPolicy::Off => false,
+            EcsPolicy::Whitelist(zones) => zones.iter().any(|z| qname.is_within(z)),
+            EcsPolicy::Always => true,
+        }
+    }
+}
+
+/// Per-resolver configuration.
+#[derive(Debug, Clone)]
+pub struct LdnsConfig {
+    /// The resolver's unicast IP (the source the authoritative sees).
+    pub ip: Ipv4Addr,
+    /// ECS forwarding policy.
+    pub ecs: EcsPolicy,
+    /// Source prefix length announced when ECS is sent (/24 per the
+    /// paper's privacy footnote).
+    pub source_prefix: u8,
+    /// Upstream attempts per exchange before giving up (bounded fan-out).
+    pub attempts: u32,
+    /// Per-attempt upstream timeout.
+    pub upstream_timeout: Duration,
+    /// Negative TTL when a negative answer carries no SOA (RFC 2308
+    /// leaves this to local policy).
+    pub default_negative_ttl_s: u32,
+    /// Cache bounds and negative-TTL clamps.
+    pub cache: LdnsCacheConfig,
+}
+
+impl LdnsConfig {
+    /// Defaults for a resolver at `ip` with the given policy.
+    pub fn new(ip: Ipv4Addr, ecs: EcsPolicy) -> LdnsConfig {
+        LdnsConfig {
+            ip,
+            ecs,
+            source_prefix: 24,
+            attempts: 3,
+            upstream_timeout: Duration::from_millis(250),
+            default_negative_ttl_s: 30,
+            cache: LdnsCacheConfig::default(),
+        }
+    }
+}
+
+/// Per-resolver counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LdnsStats {
+    /// Client (downstream) resolutions served.
+    pub downstream_queries: u64,
+    /// Downstream resolutions answered entirely from cache.
+    pub downstream_cache_hits: u64,
+    /// Queries sent toward the authoritative (upstream), including
+    /// retries.
+    pub upstream_queries: u64,
+    /// Upstream attempts that timed out.
+    pub upstream_timeouts: u64,
+    /// Upstream SERVFAIL responses received.
+    pub upstream_servfails: u64,
+    /// Resolutions that ended in failure (SERVFAIL to the client).
+    pub failures: u64,
+    /// Negative (NXDOMAIN/NODATA) answers served, cached or fresh.
+    pub negative_answers: u64,
+}
+
+/// The outcome of one downstream resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resolved {
+    /// Final A addresses (empty unless `rcode` is `NoError`).
+    pub ips: Vec<Ipv4Addr>,
+    /// Response code toward the client.
+    pub rcode: Rcode,
+    /// True when no upstream query was needed.
+    pub from_cache: bool,
+    /// Upstream queries this resolution cost (retries included).
+    pub upstream_queries: u32,
+    /// Remaining TTL toward the client, seconds.
+    pub ttl_s: u32,
+}
+
+/// What one upstream exchange (with retries) produced.
+enum Exchange {
+    Response(Message),
+    Failed,
+}
+
+/// What the top level said about a name.
+enum Delegation {
+    /// Glue address of the low-level NS to follow.
+    Found(Ipv4Addr),
+    /// Authoritative negative: the name does not exist (already cached).
+    Negative(u32),
+    /// No usable referral (transport failure or malformed response).
+    Failed,
+}
+
+/// A recursive resolver instance bound to real transports.
+pub struct Ldns {
+    cfg: LdnsConfig,
+    cache: ResolverCache,
+    /// Scratch for the timer-wheel drain, reused across resolutions.
+    wheel_scratch: Vec<CacheKey>,
+    next_id: u16,
+    stats: LdnsStats,
+}
+
+impl Ldns {
+    /// A resolver whose cache epoch is `now`.
+    pub fn new(cfg: LdnsConfig, now: Instant) -> Ldns {
+        Ldns {
+            cache: ResolverCache::new(cfg.cache, now),
+            cfg,
+            wheel_scratch: Vec::new(),
+            next_id: 0,
+            stats: LdnsStats::default(),
+        }
+    }
+
+    /// The resolver's unicast IP.
+    pub fn ip(&self) -> Ipv4Addr {
+        self.cfg.ip
+    }
+
+    /// Current ECS policy.
+    pub fn policy(&self) -> &EcsPolicy {
+        &self.cfg.ecs
+    }
+
+    /// Flips the ECS policy (the roll-out's per-site switch).
+    pub fn set_policy(&mut self, ecs: EcsPolicy) {
+        self.cfg.ecs = ecs;
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> LdnsStats {
+        self.stats
+    }
+
+    /// Cache access (entry counts, hit ratios by scope, churn).
+    pub fn cache(&self) -> &ResolverCache {
+        &self.cache
+    }
+
+    fn fresh_id(&mut self) -> u16 {
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        self.next_id
+    }
+
+    /// Resolves `qname` (type A) on behalf of `client`, walking the
+    /// two-level authoritative hierarchy rooted at `top_ip` through
+    /// `transport` shard `shard`.
+    pub fn resolve<C: ClientTransport>(
+        &mut self,
+        transport: &mut C,
+        shard: usize,
+        top_ip: Ipv4Addr,
+        qname: &DnsName,
+        client: Ipv4Addr,
+        now: Instant,
+    ) -> Resolved {
+        self.stats.downstream_queries += 1;
+        // Reap TTL-expired entries up to now; churn shows up in stats.
+        self.cache.advance(now, &mut self.wheel_scratch);
+
+        let ecs_on = self.cfg.ecs.sends_for(qname);
+        let lookup_prefix = if ecs_on { self.cfg.source_prefix } else { 0 };
+
+        if let Some(hit) = self
+            .cache
+            .lookup(qname, RrType::A, client, lookup_prefix, now)
+        {
+            let ttl_s = hit.remaining_ttl_s(now);
+            let out = match &hit.body {
+                AnswerBody::Addresses(ips) => Resolved {
+                    ips: ips.clone(),
+                    rcode: Rcode::NoError,
+                    from_cache: true,
+                    upstream_queries: 0,
+                    ttl_s,
+                },
+                AnswerBody::Negative(rcode) => Resolved {
+                    ips: Vec::new(),
+                    rcode: *rcode,
+                    from_cache: true,
+                    upstream_queries: 0,
+                    ttl_s,
+                },
+                AnswerBody::Failure => Resolved {
+                    ips: Vec::new(),
+                    rcode: Rcode::ServFail,
+                    from_cache: true,
+                    upstream_queries: 0,
+                    ttl_s,
+                },
+            };
+            self.stats.downstream_cache_hits += 1;
+            match out.rcode {
+                Rcode::NoError if out.ips.is_empty() => self.stats.negative_answers += 1,
+                Rcode::NxDomain => self.stats.negative_answers += 1,
+                _ => {}
+            }
+            return out;
+        }
+
+        let mut upstream = 0u32;
+
+        // Delegation: which low-level NS serves this name for us? The
+        // top level answers per resolver with scope 0, so the entry is
+        // global and long-lived.
+        let low_ip = match self.cache.lookup(qname, RrType::Ns, client, 0, now) {
+            Some(CacheEntry {
+                body: AnswerBody::Addresses(ips),
+                ..
+            }) => ips.first().copied(),
+            _ => None,
+        };
+        let low_ip = match low_ip {
+            Some(ip) => ip,
+            None => {
+                match self.fetch_delegation(
+                    transport,
+                    shard,
+                    top_ip,
+                    qname,
+                    client,
+                    &mut upstream,
+                    now,
+                ) {
+                    Delegation::Found(ip) => ip,
+                    Delegation::Negative(ttl_s) => {
+                        self.stats.negative_answers += 1;
+                        return Resolved {
+                            ips: Vec::new(),
+                            rcode: Rcode::NxDomain,
+                            from_cache: false,
+                            upstream_queries: upstream,
+                            ttl_s,
+                        };
+                    }
+                    Delegation::Failed => return self.fail(qname, upstream, now),
+                }
+            }
+        };
+
+        // Low level: the A answer, scoped when ECS is on.
+        let resp = match self.exchange(
+            transport,
+            shard,
+            low_ip,
+            qname,
+            client,
+            ecs_on,
+            &mut upstream,
+        ) {
+            Exchange::Response(m) => m,
+            Exchange::Failed => return self.fail(qname, upstream, now),
+        };
+        match resp.flags.rcode {
+            Rcode::NoError if !resp.answers.is_empty() => {
+                let ips: Vec<Ipv4Addr> = resp
+                    .answers
+                    .iter()
+                    .filter_map(|r| match r.rdata {
+                        RData::A(ip) => Some(ip),
+                        _ => None,
+                    })
+                    .collect();
+                if ips.is_empty() {
+                    return self.fail(qname, upstream, now);
+                }
+                let ttl_s = resp.min_answer_ttl().unwrap_or(0).max(1);
+                // RFC 7871 §7.3.1: partition by the announced scope,
+                // clamped to the source we asked about; scope 0 (or no
+                // ECS at all) makes the entry global.
+                let scope = resp
+                    .ecs()
+                    .map(|e| e.scope_prefix.min(e.source_prefix))
+                    .unwrap_or(0);
+                let block = (ecs_on && scope > 0).then(|| Prefix::of(client, scope));
+                self.cache.insert(
+                    qname.clone(),
+                    RrType::A,
+                    block,
+                    CacheEntry::new(AnswerBody::Addresses(ips.clone()), scope, ttl_s, now),
+                );
+                Resolved {
+                    ips,
+                    rcode: Rcode::NoError,
+                    from_cache: false,
+                    upstream_queries: upstream,
+                    ttl_s,
+                }
+            }
+            Rcode::NxDomain | Rcode::NoError => {
+                // Negative answer (NXDOMAIN, or NODATA when NoError with
+                // an empty answer section): RFC 2308 caching.
+                let rcode = resp.flags.rcode;
+                let ttl_s = self.negative_ttl(&resp);
+                self.cache.insert(
+                    qname.clone(),
+                    RrType::A,
+                    None,
+                    CacheEntry::new(AnswerBody::Negative(rcode), 0, ttl_s, now),
+                );
+                self.stats.negative_answers += 1;
+                Resolved {
+                    ips: Vec::new(),
+                    rcode,
+                    from_cache: false,
+                    upstream_queries: upstream,
+                    ttl_s,
+                }
+            }
+            _ => self.fail(qname, upstream, now),
+        }
+    }
+
+    /// Queries the top level for `qname`'s delegation, caching the glue
+    /// under `(qname, NS)` with the referral TTL.
+    #[allow(clippy::too_many_arguments)] // one upstream leg's full context, clearer spelled out
+    fn fetch_delegation<C: ClientTransport>(
+        &mut self,
+        transport: &mut C,
+        shard: usize,
+        top_ip: Ipv4Addr,
+        qname: &DnsName,
+        client: Ipv4Addr,
+        upstream: &mut u32,
+        now: Instant,
+    ) -> Delegation {
+        let ecs_on = self.cfg.ecs.sends_for(qname);
+        let resp = match self.exchange(transport, shard, top_ip, qname, client, ecs_on, upstream) {
+            Exchange::Response(m) => m,
+            Exchange::Failed => return Delegation::Failed,
+        };
+        if resp.flags.rcode != Rcode::NoError {
+            // NXDOMAIN at the top is a real negative for the name.
+            if resp.flags.rcode == Rcode::NxDomain {
+                let ttl_s = self.negative_ttl(&resp);
+                self.cache.insert(
+                    qname.clone(),
+                    RrType::A,
+                    None,
+                    CacheEntry::new(AnswerBody::Negative(Rcode::NxDomain), 0, ttl_s, now),
+                );
+                return Delegation::Negative(ttl_s);
+            }
+            return Delegation::Failed;
+        }
+        let ns_name = resp.authorities.iter().find_map(|r| match &r.rdata {
+            RData::Ns(target) => Some((target.clone(), r.ttl)),
+            _ => None,
+        });
+        let (ns_name, ttl) = match ns_name {
+            Some(v) => v,
+            None => return Delegation::Failed,
+        };
+        let glue = resp.additionals.iter().find_map(|g| {
+            if g.name == ns_name {
+                if let RData::A(ip) = g.rdata {
+                    return Some(ip);
+                }
+            }
+            None
+        });
+        let glue = match glue {
+            Some(ip) => ip,
+            None => return Delegation::Failed,
+        };
+        self.cache.insert(
+            qname.clone(),
+            RrType::Ns,
+            None,
+            CacheEntry::new(AnswerBody::Addresses(vec![glue]), 0, ttl.max(1), now),
+        );
+        Delegation::Found(glue)
+    }
+
+    /// One upstream exchange with bounded retries: encode, send, decode,
+    /// verify. Timeouts retry; SERVFAIL retries (the next attempt could
+    /// hit a healthy path); other transport errors fail immediately.
+    #[allow(clippy::too_many_arguments)] // one upstream leg's full context, clearer spelled out
+    fn exchange<C: ClientTransport>(
+        &mut self,
+        transport: &mut C,
+        shard: usize,
+        server_ip: Ipv4Addr,
+        qname: &DnsName,
+        client: Ipv4Addr,
+        ecs_on: bool,
+        upstream: &mut u32,
+    ) -> Exchange {
+        for _ in 0..self.cfg.attempts.max(1) {
+            let id = self.fresh_id();
+            let opt =
+                ecs_on.then(|| OptData::with_ecs(EcsOption::query(client, self.cfg.source_prefix)));
+            let query = Message::query(id, Question::a(qname.clone()), opt);
+            let bytes = encode_message(&query);
+            *upstream += 1;
+            self.stats.upstream_queries += 1;
+            match transport.exchange(
+                shard,
+                server_ip,
+                self.cfg.ip,
+                &bytes,
+                self.cfg.upstream_timeout,
+            ) {
+                Ok(resp_bytes) => {
+                    let resp = match decode_message(&resp_bytes) {
+                        Ok(m) => m,
+                        Err(_) => continue,
+                    };
+                    if resp.id != id || !resp.flags.qr {
+                        continue;
+                    }
+                    if resp.flags.rcode == Rcode::ServFail {
+                        self.stats.upstream_servfails += 1;
+                        continue;
+                    }
+                    return Exchange::Response(resp);
+                }
+                Err(e) if e.kind() == io::ErrorKind::TimedOut => {
+                    self.stats.upstream_timeouts += 1;
+                    continue;
+                }
+                Err(_) => break,
+            }
+        }
+        Exchange::Failed
+    }
+
+    /// RFC 2308 §5 negative TTL: `min(SOA TTL, SOA minimum)` when the
+    /// authority section carries an SOA, the configured default
+    /// otherwise, clamped by the cache's maximum.
+    fn negative_ttl(&self, resp: &Message) -> u32 {
+        let soa = resp.authorities.iter().find_map(|r| match &r.rdata {
+            RData::Soa(soa) => Some(r.ttl.min(soa.minimum)),
+            _ => None,
+        });
+        soa.unwrap_or(self.cfg.default_negative_ttl_s)
+            .clamp(1, self.cfg.cache.max_negative_ttl_s)
+    }
+
+    /// Ends a resolution in SERVFAIL, caching the failure briefly so a
+    /// dead upstream is not hammered (RFC 2308 §7.1).
+    fn fail(&mut self, qname: &DnsName, upstream: u32, now: Instant) -> Resolved {
+        self.stats.failures += 1;
+        let ttl_s = self.cfg.cache.servfail_ttl_s.max(1);
+        self.cache.insert(
+            qname.clone(),
+            RrType::A,
+            None,
+            CacheEntry::new(AnswerBody::Failure, 0, ttl_s, now),
+        );
+        Resolved {
+            ips: Vec::new(),
+            rcode: Rcode::ServFail,
+            from_cache: false,
+            upstream_queries: upstream,
+            ttl_s,
+        }
+    }
+}

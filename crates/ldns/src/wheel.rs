@@ -1,0 +1,232 @@
+//! A hierarchical timer wheel for TTL expiry.
+//!
+//! A recursive resolver holds entries whose TTLs span four orders of
+//! magnitude — seconds for end-user A records, hours for delegations —
+//! and must expire them without scanning the whole cache. The classic
+//! answer (Varghese & Lauck) is a hierarchy of circular slot arrays:
+//!
+//! * **Level 0**: [`SLOTS0`] slots of 1 s each — entries due within the
+//!   next ~4 minutes sit in the exact second they expire.
+//! * **Level 1**: [`SLOTS1`] slots of [`SLOTS0`] s each — entries due
+//!   within ~4.5 h wait here and *cascade* down to level 0 when the
+//!   cursor enters their window.
+//! * **Overflow**: everything further out, re-distributed each time the
+//!   cursor wraps a full level-1 revolution.
+//!
+//! [`TimerWheel::advance`] walks the cursor from the last processed
+//! second to `now`, draining due slots into a caller-owned scratch
+//! vector; cost is O(elapsed seconds + expired entries), independent of
+//! live entry count. Deadlines round *up* to the next tick, so the wheel
+//! never reports an entry expired before its deadline — the cache
+//! double-checks real expiry anyway (stale answers must never leave the
+//! resolver, RFC 2308 §2).
+
+use std::time::{Duration, Instant};
+
+/// Level-0 slot count (1 s granularity).
+pub const SLOTS0: u64 = 256;
+/// Level-1 slot count (each [`SLOTS0`] s wide).
+pub const SLOTS1: u64 = 64;
+/// One full level-1 revolution, seconds.
+const REVOLUTION: u64 = SLOTS0 * SLOTS1;
+
+/// A two-level hierarchical timer wheel over an [`Instant`] epoch.
+#[derive(Debug)]
+pub struct TimerWheel<T> {
+    epoch: Instant,
+    /// The next tick (second since `epoch`) not yet processed.
+    cursor: u64,
+    l0: Vec<Vec<T>>,
+    l1: Vec<Vec<(u64, T)>>,
+    overflow: Vec<(u64, T)>,
+    len: usize,
+}
+
+impl<T> TimerWheel<T> {
+    /// An empty wheel whose tick 0 is `epoch`.
+    pub fn new(epoch: Instant) -> TimerWheel<T> {
+        TimerWheel {
+            epoch,
+            cursor: 0,
+            l0: (0..SLOTS0).map(|_| Vec::new()).collect(),
+            l1: (0..SLOTS1).map(|_| Vec::new()).collect(),
+            overflow: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Entries currently armed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is armed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The tick a deadline lands on: seconds since epoch, rounded up so
+    /// the wheel fires at or after the deadline, never before.
+    fn tick_of(&self, deadline: Instant) -> u64 {
+        let since = deadline.saturating_duration_since(self.epoch);
+        let mut tick = since.as_secs();
+        if since > Duration::from_secs(tick) {
+            tick += 1;
+        }
+        tick
+    }
+
+    /// Arms `item` to fire at `deadline` (clamped to the next advance
+    /// when already past).
+    pub fn insert(&mut self, deadline: Instant, item: T) {
+        let tick = self.tick_of(deadline).max(self.cursor);
+        self.place(tick, item);
+        self.len += 1;
+    }
+
+    /// Files an item into the level holding its tick. `tick` must be
+    /// `>= self.cursor`.
+    fn place(&mut self, tick: u64, item: T) {
+        let horizon = tick - self.cursor;
+        if horizon < SLOTS0 {
+            // lint: allow(serve-index) — slot index is modulo the vec length fixed at construction
+            self.l0[(tick % SLOTS0) as usize].push(item);
+        } else if horizon < REVOLUTION {
+            // lint: allow(serve-index) — slot index is modulo the vec length fixed at construction
+            self.l1[((tick / SLOTS0) % SLOTS1) as usize].push((tick, item));
+        } else {
+            self.overflow.push((tick, item));
+        }
+    }
+
+    /// Walks the cursor up to `now`, draining every due entry into
+    /// `expired` (a caller-owned scratch vector, reused across calls so
+    /// steady-state advances allocate nothing). Returns how many entries
+    /// fired.
+    pub fn advance(&mut self, now: Instant, expired: &mut Vec<T>) -> usize {
+        let before = expired.len();
+        let now_tick = now.saturating_duration_since(self.epoch).as_secs();
+        while self.cursor <= now_tick {
+            let tick = self.cursor;
+            if tick.is_multiple_of(SLOTS0) {
+                // Entering a new level-1 window: cascade its slot down.
+                // lint: allow(serve-index) — slot index is modulo the vec length fixed at construction
+                let pending = std::mem::take(&mut self.l1[((tick / SLOTS0) % SLOTS1) as usize]);
+                for (t, item) in pending {
+                    self.place(t.max(tick), item);
+                }
+                if tick.is_multiple_of(REVOLUTION) && !self.overflow.is_empty() {
+                    let far = std::mem::take(&mut self.overflow);
+                    for (t, item) in far {
+                        self.place(t.max(tick), item);
+                    }
+                }
+            }
+            // lint: allow(serve-index) — slot index is modulo the vec length fixed at construction
+            expired.append(&mut self.l0[(tick % SLOTS0) as usize]);
+            self.cursor += 1;
+        }
+        let fired = expired.len() - before;
+        self.len -= fired;
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wheel() -> (TimerWheel<u32>, Instant) {
+        let epoch = Instant::now();
+        (TimerWheel::new(epoch), epoch)
+    }
+
+    fn at(epoch: Instant, s: u64) -> Instant {
+        epoch + Duration::from_secs(s)
+    }
+
+    #[test]
+    fn fires_at_or_after_deadline_never_before() {
+        let (mut w, t0) = wheel();
+        w.insert(at(t0, 10), 1);
+        let mut out = Vec::new();
+        assert_eq!(w.advance(at(t0, 9), &mut out), 0);
+        assert!(out.is_empty());
+        assert_eq!(w.advance(at(t0, 10), &mut out), 1);
+        assert_eq!(out, vec![1]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn subsecond_deadlines_round_up() {
+        let (mut w, t0) = wheel();
+        w.insert(t0 + Duration::from_millis(1500), 7);
+        let mut out = Vec::new();
+        // 1.5 s rounds up to tick 2: not due at t=1.
+        w.advance(at(t0, 1), &mut out);
+        assert!(out.is_empty());
+        w.advance(at(t0, 2), &mut out);
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn level1_entries_cascade_to_the_right_second() {
+        let (mut w, t0) = wheel();
+        // Past level 0's horizon: lands in level 1, then cascades.
+        w.insert(at(t0, 300), 42);
+        w.insert(at(t0, 301), 43);
+        let mut out = Vec::new();
+        w.advance(at(t0, 299), &mut out);
+        assert!(out.is_empty());
+        w.advance(at(t0, 300), &mut out);
+        assert_eq!(out, vec![42]);
+        w.advance(at(t0, 301), &mut out);
+        assert_eq!(out, vec![42, 43]);
+    }
+
+    #[test]
+    fn overflow_entries_survive_revolutions() {
+        let (mut w, t0) = wheel();
+        let far = REVOLUTION + 77; // ~4.5 h out
+        w.insert(at(t0, far), 9);
+        let mut out = Vec::new();
+        w.advance(at(t0, far - 1), &mut out);
+        assert!(out.is_empty());
+        w.advance(at(t0, far), &mut out);
+        assert_eq!(out, vec![9]);
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_next_advance() {
+        let (mut w, t0) = wheel();
+        let mut out = Vec::new();
+        w.advance(at(t0, 50), &mut out);
+        // Deadline in the already-processed past: clamped to the next
+        // unprocessed tick, so it fires as soon as time moves again.
+        w.insert(at(t0, 10), 5);
+        w.advance(at(t0, 51), &mut out);
+        assert_eq!(out, vec![5]);
+    }
+
+    #[test]
+    fn dense_spread_all_fire_exactly_once() {
+        let (mut w, t0) = wheel();
+        for i in 0..2_000u32 {
+            // Deadlines spread over ~33 min, crossing many cascades.
+            w.insert(at(t0, (i as u64 * 7919) % 2_000), i);
+        }
+        assert_eq!(w.len(), 2_000);
+        let mut out = Vec::new();
+        let mut fired = 0;
+        for step in (0..=2_000u64).step_by(13) {
+            fired += w.advance(at(t0, step), &mut out);
+        }
+        fired += w.advance(at(t0, 2_000), &mut out);
+        assert_eq!(fired, 2_000);
+        let mut seen = out.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 2_000, "every entry fires exactly once");
+        assert!(w.is_empty());
+    }
+}

@@ -1,0 +1,237 @@
+//! Property tests for the resolver-side ECS cache: the RFC 7871 §7.3.1
+//! reuse rules must hold against the same oracle the authd-side cache is
+//! tested with, TTL expiry must never serve a stale answer, and negative
+//! caching must honor RFC 2308's SOA-minimum rule end to end.
+
+use eum_authd::ClientTransport;
+use eum_dns::{
+    decode_message, encode_message, DnsName, Message, RData, Rcode, Record, RrType, SoaData,
+};
+use eum_geo::Prefix;
+use eum_ldns::{
+    AnswerBody, CacheEntry, EcsPolicy, Ldns, LdnsCacheConfig, LdnsConfig, ResolverCache,
+};
+use proptest::prelude::*;
+use std::io;
+use std::net::Ipv4Addr;
+use std::time::{Duration, Instant};
+
+fn qname() -> DnsName {
+    "e0.cdn.example".parse().unwrap()
+}
+
+/// An entry whose first answer address encodes `marker`.
+fn entry(marker: u32, scope: u8, ttl_s: u32, now: Instant) -> CacheEntry {
+    CacheEntry::new(
+        AnswerBody::Addresses(vec![Ipv4Addr::from(marker)]),
+        scope,
+        ttl_s,
+        now,
+    )
+}
+
+/// Recovers the marker.
+fn marker_of(e: &CacheEntry) -> u32 {
+    match &e.body {
+        AnswerBody::Addresses(ips) => u32::from(ips[0]),
+        other => panic!("marker entry is not an address answer: {other:?}"),
+    }
+}
+
+proptest! {
+    /// The resolver cache must implement the same §7.3.1 rule as the
+    /// authoritative-side cache: a hit comes from the longest inserted
+    /// scope block that contains the client and is no longer than the
+    /// query's source prefix — with the global (scope-0) entry as the
+    /// fallback eligible at any source prefix.
+    #[test]
+    fn scoped_reuse_matches_the_7871_oracle(
+        inserts in proptest::collection::vec((any::<u32>(), 0u8..=32), 1..24),
+        probes in proptest::collection::vec((any::<u32>(), 0u8..=32), 1..32),
+    ) {
+        let now = Instant::now();
+        let mut cache = ResolverCache::new(LdnsCacheConfig::default(), now);
+        // Model: block -> marker (None = the global entry), replace on
+        // duplicate key exactly like the cache.
+        let mut model: Vec<(Option<Prefix>, u32)> = Vec::new();
+        for (i, (addr, len)) in inserts.iter().enumerate() {
+            let block = (*len > 0).then(|| Prefix::of(Ipv4Addr::from(*addr), *len));
+            cache.insert(qname(), RrType::A, block, entry(i as u32, *len, 3600, now));
+            match model.iter_mut().find(|(b, _)| *b == block) {
+                Some(slot) => slot.1 = i as u32,
+                None => model.push((block, i as u32)),
+            }
+        }
+        for (addr, source_prefix) in probes {
+            let client = Ipv4Addr::from(addr);
+            let hit = cache
+                .lookup(&qname(), RrType::A, client, source_prefix, now)
+                .map(marker_of);
+            let expect = model
+                .iter()
+                .filter(|(b, _)| match b {
+                    Some(b) => b.len() <= source_prefix && b.contains(client),
+                    None => true, // global: eligible for every client
+                })
+                .max_by_key(|(b, _)| b.map(|b| b.len()).unwrap_or(0))
+                .map(|(_, m)| *m);
+            prop_assert_eq!(
+                hit, expect,
+                "client {}/{} hit {:?}, oracle says {:?}",
+                client, source_prefix, hit, expect
+            );
+        }
+    }
+
+    /// A lookup must never return an entry past its TTL — whether or not
+    /// the timer wheel has been advanced past the deadline — and the
+    /// wheel must account for every insertion exactly once.
+    #[test]
+    fn expiry_never_serves_stale(
+        inserts in proptest::collection::vec((0u8..200, 1u32..120), 1..32),
+        probe_times in proptest::collection::vec(0u64..260, 1..40),
+        advance_to in 0u64..260,
+    ) {
+        let t0 = Instant::now();
+        let mut cache = ResolverCache::new(LdnsCacheConfig::default(), t0);
+        // host byte -> (marker, ttl); distinct qnames via distinct hosts.
+        let mut model: Vec<(DnsName, u32)> = Vec::new();
+        for (i, (host, ttl_s)) in inserts.iter().enumerate() {
+            let name: DnsName = format!("h{host}.cdn.example").parse().unwrap();
+            cache.insert(name.clone(), RrType::A, None, entry(i as u32, 0, *ttl_s, t0));
+            match model.iter_mut().find(|(n, _)| *n == name) {
+                Some(slot) => slot.1 = *ttl_s,
+                None => model.push((name, *ttl_s)),
+            }
+        }
+        let inserted = model.len();
+
+        let mut scratch = Vec::new();
+        cache.advance(t0 + Duration::from_secs(advance_to), &mut scratch);
+
+        // Probes run at/after the advance point, in time order: a
+        // resolver's clock never runs backwards.
+        let mut probes: Vec<u64> = probe_times.iter().map(|p| advance_to.max(*p)).collect();
+        probes.sort_unstable();
+        for at in probes {
+            let now = t0 + Duration::from_secs(at);
+            for (name, ttl_s) in &model {
+                let hit = cache.lookup(name, RrType::A, Ipv4Addr::new(10, 0, 0, 1), 0, now);
+                if at >= u64::from(*ttl_s) {
+                    prop_assert!(
+                        hit.is_none(),
+                        "{name} served {}s past a {}s TTL",
+                        at - u64::from(*ttl_s),
+                        ttl_s
+                    );
+                } else {
+                    // Not yet expired: still served, with a live TTL.
+                    let e = hit.expect("live entry must be served");
+                    prop_assert!(e.remaining_ttl_s(now) > 0);
+                }
+            }
+        }
+        // Conservation: everything inserted is either still live or was
+        // counted out by the wheel / stale-drop path.
+        let s = cache.stats();
+        prop_assert_eq!(
+            cache.len() as u64 + s.expirations + s.stale_drops,
+            inserted as u64
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// RFC 2308: negative answers honor the SOA minimum, end to end.
+// ---------------------------------------------------------------------
+
+/// An upstream that answers every query NXDOMAIN, optionally with an SOA
+/// whose TTL/minimum it controls.
+struct NegativeUpstream {
+    soa: Option<(u32, u32)>,
+}
+
+impl ClientTransport for NegativeUpstream {
+    fn exchange(
+        &mut self,
+        _shard: usize,
+        _server_ip: Ipv4Addr,
+        _resolver_ip: Ipv4Addr,
+        payload: &[u8],
+        _timeout: Duration,
+    ) -> io::Result<Vec<u8>> {
+        let query = decode_message(payload).expect("resolver sends well-formed queries");
+        let mut resp = Message::response_to(&query, Rcode::NxDomain);
+        if let Some((ttl, minimum)) = self.soa {
+            resp.authorities.push(Record {
+                name: "cdn.example".parse().unwrap(),
+                ttl,
+                rdata: RData::Soa(SoaData {
+                    mname: "ns.cdn.example".parse().unwrap(),
+                    rname: "ops.cdn.example".parse().unwrap(),
+                    serial: 1,
+                    refresh: 300,
+                    retry: 60,
+                    expire: 86_400,
+                    minimum,
+                }),
+            });
+        }
+        Ok(encode_message(&resp))
+    }
+
+    fn num_shards(&self) -> usize {
+        1
+    }
+}
+
+proptest! {
+    /// The negative TTL the resolver caches (and reports downstream) is
+    /// `min(SOA record TTL, SOA MINIMUM)` clamped to the configured
+    /// ceiling — and the configured default when no SOA is present.
+    #[test]
+    fn negative_ttl_honors_soa_minimum(
+        soa_ttl in 0u32..10_000,
+        soa_minimum in 0u32..10_000,
+        with_soa in any::<bool>(),
+    ) {
+        let t0 = Instant::now();
+        let cfg = LdnsConfig::new(Ipv4Addr::new(192, 0, 2, 53), EcsPolicy::Off);
+        let max_neg = cfg.cache.max_negative_ttl_s;
+        let default_neg = cfg.default_negative_ttl_s;
+        let mut ldns = Ldns::new(cfg, t0);
+        let mut upstream = NegativeUpstream {
+            soa: with_soa.then_some((soa_ttl, soa_minimum)),
+        };
+
+        let res = ldns.resolve(
+            &mut upstream,
+            0,
+            Ipv4Addr::new(198, 51, 100, 1),
+            &qname(),
+            Ipv4Addr::new(10, 0, 0, 1),
+            t0,
+        );
+        prop_assert_eq!(res.rcode, Rcode::NxDomain);
+        let expect = if with_soa {
+            soa_ttl.min(soa_minimum).clamp(1, max_neg)
+        } else {
+            default_neg.clamp(1, max_neg)
+        };
+        prop_assert_eq!(res.ttl_s, expect);
+
+        // The negative entry is actually cached: a repeat within the TTL
+        // costs no upstream query.
+        let again = ldns.resolve(
+            &mut upstream,
+            0,
+            Ipv4Addr::new(198, 51, 100, 1),
+            &qname(),
+            Ipv4Addr::new(10, 0, 0, 99),
+            t0,
+        );
+        prop_assert_eq!(again.rcode, Rcode::NxDomain);
+        prop_assert!(again.from_cache);
+        prop_assert_eq!(again.upstream_queries, 0);
+    }
+}

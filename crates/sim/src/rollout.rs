@@ -113,6 +113,85 @@ pub struct AmplificationBucket {
     pub pre_query_share: f64,
 }
 
+/// Measured-vs-analytic DNS amplification from the live resolver fleet.
+///
+/// After the roll-out timeline completes, the scenario replays one
+/// seeded demand-weighted query plan through a real `eum-ldns`
+/// [`ResolverFleet`](eum_ldns::ResolverFleet) against a live `eum-authd`
+/// serving the final map — once with every resolver's ECS off, once with
+/// the post-roll-out policy (ECS-capable public sites on). The upstream
+/// query counts are *measured*; the `analytic_*` fields are the
+/// cache-key set-counting estimate (delegations + distinct answer-cache
+/// keys) the analytic simulator reasons with. The two must agree — the
+/// `rollout_behaviour` integration test pins them within 25%.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetMeasurement {
+    /// Resolver sites in the fleet.
+    pub resolvers: usize,
+    /// Downstream queries replayed in each run.
+    pub downstream_queries: u64,
+    /// Measured upstream queries with ECS off everywhere.
+    pub upstream_ecs_off: u64,
+    /// Measured upstream queries with the post-roll-out ECS policy.
+    pub upstream_ecs_on: u64,
+    /// Analytic estimate for the ECS-off run.
+    pub analytic_ecs_off: u64,
+    /// Analytic estimate for the ECS-on run.
+    pub analytic_ecs_on: u64,
+}
+
+impl FleetMeasurement {
+    /// An empty measurement (used when the fleet replay is skipped).
+    pub fn empty() -> FleetMeasurement {
+        FleetMeasurement {
+            resolvers: 0,
+            downstream_queries: 0,
+            upstream_ecs_off: 0,
+            upstream_ecs_on: 0,
+            analytic_ecs_off: 0,
+            analytic_ecs_on: 0,
+        }
+    }
+
+    fn ratio(num: u64, den: u64) -> f64 {
+        if den == 0 {
+            return 0.0;
+        }
+        num as f64 / den as f64
+    }
+
+    /// Measured amplification (upstream per downstream), ECS off.
+    pub fn measured_amplification_off(&self) -> f64 {
+        Self::ratio(self.upstream_ecs_off, self.downstream_queries)
+    }
+
+    /// Measured amplification (upstream per downstream), ECS on.
+    pub fn measured_amplification_on(&self) -> f64 {
+        Self::ratio(self.upstream_ecs_on, self.downstream_queries)
+    }
+
+    /// Analytic amplification estimate, ECS off.
+    pub fn analytic_amplification_off(&self) -> f64 {
+        Self::ratio(self.analytic_ecs_off, self.downstream_queries)
+    }
+
+    /// Analytic amplification estimate, ECS on.
+    pub fn analytic_amplification_on(&self) -> f64 {
+        Self::ratio(self.analytic_ecs_on, self.downstream_queries)
+    }
+
+    /// Measured ECS scaling factor: upstream queries with the roll-out's
+    /// policy over the ECS-off baseline (the paper's §6.3 concern).
+    pub fn measured_scaling(&self) -> f64 {
+        Self::ratio(self.upstream_ecs_on, self.upstream_ecs_off)
+    }
+
+    /// Analytic ECS scaling estimate.
+    pub fn analytic_scaling(&self) -> f64 {
+        Self::ratio(self.analytic_ecs_on, self.analytic_ecs_off)
+    }
+}
+
 /// Everything the §4/§5 analyses read.
 #[derive(Debug, Clone)]
 pub struct RolloutReport {
@@ -141,6 +220,8 @@ pub struct RolloutReport {
     /// End-user mapping units in the final map (0 until the roll-out
     /// builds them).
     pub eu_unit_count: usize,
+    /// Measured-vs-analytic amplification from the live resolver fleet.
+    pub fleet: FleetMeasurement,
 }
 
 impl RolloutReport {
@@ -280,6 +361,40 @@ impl RolloutReport {
                 )
                 .set(n as f64);
         }
+        for (mode, off, on) in [
+            (
+                "measured",
+                self.fleet.measured_amplification_off(),
+                self.fleet.measured_amplification_on(),
+            ),
+            (
+                "analytic",
+                self.fleet.analytic_amplification_off(),
+                self.fleet.analytic_amplification_on(),
+            ),
+        ] {
+            for (ecs, v) in [("off", off), ("on", on)] {
+                registry
+                    .gauge(
+                        "eum_sim_rollout_fleet_amplification",
+                        "Resolver-fleet upstream queries per downstream query",
+                        &[("mode", mode), ("ecs", ecs)],
+                    )
+                    .set(v);
+            }
+        }
+        for (mode, v) in [
+            ("measured", self.fleet.measured_scaling()),
+            ("analytic", self.fleet.analytic_scaling()),
+        ] {
+            registry
+                .gauge(
+                    "eum_sim_rollout_fleet_scaling",
+                    "Resolver-fleet ECS query-scaling factor, ECS-on over ECS-off",
+                    &[("mode", mode)],
+                )
+                .set(v);
+        }
         registry
             .counter(
                 "eum_sim_rollout_rum_samples_total",
@@ -323,7 +438,11 @@ impl RolloutReport {
                 "  \"ttfb_high_before_after\": {},\n",
                 "  \"download_high_before_after\": {},\n",
                 "  \"queries_total_before_after\": {},\n",
-                "  \"queries_public_before_after\": {}\n",
+                "  \"queries_public_before_after\": {},\n",
+                "  \"fleet_amplification_measured\": {},\n",
+                "  \"fleet_amplification_analytic\": {},\n",
+                "  \"fleet_scaling_measured\": {},\n",
+                "  \"fleet_scaling_analytic\": {}\n",
                 "}}"
             ),
             self.rum.len(),
@@ -336,6 +455,16 @@ impl RolloutReport {
             pair(self.before_after(Metric::Download, true)),
             pair((qt_pre, qt_post)),
             pair((qp_pre, qp_post)),
+            pair((
+                self.fleet.measured_amplification_off(),
+                self.fleet.measured_amplification_on(),
+            )),
+            pair((
+                self.fleet.analytic_amplification_off(),
+                self.fleet.analytic_amplification_on(),
+            )),
+            self.fleet.measured_scaling(),
+            self.fleet.analytic_scaling(),
         )
     }
 
@@ -382,6 +511,21 @@ impl RolloutReport {
             "mapping DNS queries/day: total {q_pre:.0} -> {q_post:.0}, public {qp_pre:.0} -> {qp_post:.0} ({:.1}x)\n",
             qp_post / qp_pre.max(1e-9)
         ));
+        let f = &self.fleet;
+        if f.downstream_queries > 0 {
+            s.push_str(&format!(
+                "LDNS fleet ({} resolvers, {} queries): amplification \
+                 measured {:.3} -> {:.3} ({:.2}x), analytic {:.3} -> {:.3} ({:.2}x)\n",
+                f.resolvers,
+                f.downstream_queries,
+                f.measured_amplification_off(),
+                f.measured_amplification_on(),
+                f.measured_scaling(),
+                f.analytic_amplification_off(),
+                f.analytic_amplification_on(),
+                f.analytic_scaling(),
+            ));
+        }
         s
     }
 }

@@ -11,18 +11,24 @@ use crate::client::fetch_page;
 use crate::engine::{EventQueue, SimTime};
 use crate::netsession::PairDataset;
 use crate::network::{AuthNet, QueryCounters};
-use crate::rollout::{RolloutConfig, RolloutReport};
+use crate::rollout::{FleetMeasurement, RolloutConfig, RolloutReport};
 use crate::rum::{RumCollector, RumSample};
 use crate::workload::{Workload, WorkloadConfig};
+use eum_authd::{channel_transports, AuthServer, ChannelClient, ServerConfig, SnapshotHandle};
 use eum_cdn::{deployment_universe, CatalogConfig, CdnPlatform, ContentCatalog, DeployConfig};
 use eum_dns::name::name;
-use eum_dns::{EcsMode, Rcode, Record, RecursiveResolver, ResolverConfig, StaticAuthority};
-use eum_geo::GeoInfo;
+use eum_dns::{
+    DnsName, EcsMode, EcsOption, Message, OptData, QueryContext, Question, RData, Rcode, Record,
+    RecursiveResolver, ResolverConfig, StaticAuthority,
+};
+use eum_geo::{GeoInfo, Prefix};
+use eum_ldns::{EcsPolicy, LdnsConfig, QueryPlan, ResolverFleet, RunConfig};
 use eum_mapping::{MappingConfig, MappingSystem};
 use eum_netmodel::{Endpoint, Internet, InternetConfig, ResolverId};
 use rand::{RngExt, SeedableRng};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::net::Ipv4Addr;
+use std::time::Instant;
 
 /// Everything needed to build a scenario.
 #[derive(Debug, Clone)]
@@ -557,6 +563,19 @@ impl Scenario {
         let ns_unit_count = self.mapping.ns_units().len();
         let eu_unit_count = self.mapping.eu_units().map(|u| u.len()).unwrap_or(0);
 
+        // Close the loop on the final map: hand it to a live `eum-authd`
+        // and replay a query plan through a real `eum-ldns` fleet, so the
+        // report carries *measured* amplification next to the analytic
+        // estimate above.
+        let fleet = measure_fleet(
+            &self.net,
+            &self.catalog,
+            self.mapping,
+            &self.ecs_eligible,
+            &rollout,
+            self.cfg.seed,
+        );
+
         RolloutReport {
             cfg: rollout,
             rum,
@@ -570,7 +589,166 @@ impl Scenario {
             failed_views,
             ns_unit_count,
             eu_unit_count,
+            fleet,
         }
+    }
+}
+
+/// Queries replayed through the live fleet per run.
+const FLEET_QUERIES: usize = 4_000;
+/// Worker threads (and channel shards) for the fleet replay.
+const FLEET_WORKERS: usize = 4;
+
+/// The ECS scope the mapping system announces for `qname` asked on
+/// behalf of `client` at `source_prefix`: the top-level delegation's
+/// glue picks the low-level server, whose A answer carries the scope.
+fn announced_scope(
+    mapping: &MappingSystem,
+    top: Ipv4Addr,
+    qname: &DnsName,
+    client: Ipv4Addr,
+    source_prefix: u8,
+    resolver_ip: Ipv4Addr,
+) -> u8 {
+    let ctx = QueryContext {
+        resolver_ip,
+        now_ms: 0,
+    };
+    let ecs = || Some(OptData::with_ecs(EcsOption::query(client, source_prefix)));
+    let referral = mapping.answer(
+        top,
+        &Message::query(1, Question::a(qname.clone()), ecs()),
+        &ctx,
+    );
+    let glue = referral
+        .additionals
+        .iter()
+        .find_map(|rec| match rec.rdata {
+            RData::A(ip) => Some(ip),
+            _ => None,
+        })
+        .unwrap_or(top);
+    let answer = mapping.answer(
+        glue,
+        &Message::query(2, Question::a(qname.clone()), ecs()),
+        &ctx,
+    );
+    answer
+        .ecs()
+        .map(|e| e.scope_prefix.min(e.source_prefix))
+        .unwrap_or(0)
+}
+
+/// Closes the loop the analytic day-loop only estimates: replays one
+/// seeded demand-weighted [`QueryPlan`] through a real `eum-ldns`
+/// [`ResolverFleet`] against a live `eum-authd` serving the final map —
+/// once with ECS off everywhere, once with the post-roll-out policy —
+/// and pairs the measured upstream query counts with the analytic
+/// cache-key estimate: one delegation fetch per distinct
+/// (resolver, qname) plus one answer fetch per distinct answer-cache
+/// key under RFC 7871 §7.3.1 (global per (resolver, qname) with ECS
+/// off; fragmented by the announced scope block with ECS on).
+fn measure_fleet(
+    net: &Internet,
+    catalog: &ContentCatalog,
+    mapping: MappingSystem,
+    ecs_eligible: &[ResolverId],
+    rollout: &RolloutConfig,
+    seed: u64,
+) -> FleetMeasurement {
+    let domains: Vec<(DnsName, f64)> = catalog
+        .domains
+        .iter()
+        .map(|d| (d.cdn_name.clone(), d.popularity))
+        .collect();
+    let plan = QueryPlan::generate(net, &domains, seed ^ 0xF1EE7, FLEET_QUERIES);
+    let source_prefix = rollout.ecs_source_prefix;
+
+    // Post-roll-out ECS policy per site: every eligible public site is
+    // on once the ramp completes; the §8 extension turns everyone on.
+    let all_on = rollout.isp_ecs_day.is_some_and(|d| d < rollout.days);
+    let mut sends_ecs = vec![all_on; net.resolvers.len()];
+    for rid in ecs_eligible {
+        sends_ecs[rid.index()] = true;
+    }
+
+    // Analytic estimate: walk the plan counting the cache keys an ideal
+    // RFC 7871 resolver cache has to fill, probing the announced scope
+    // from the mapping system directly.
+    let top = mapping.top_level_ip();
+    let mut scope_cache: HashMap<(DnsName, Prefix), u8> = HashMap::new();
+    let mut delegations: HashSet<(u32, DnsName)> = HashSet::new();
+    let mut keys_off: HashSet<(u32, DnsName)> = HashSet::new();
+    let mut keys_on: HashSet<(u32, DnsName, Option<Prefix>)> = HashSet::new();
+    for q in &plan.queries {
+        let r = q.resolver.0;
+        delegations.insert((r, q.qname.clone()));
+        keys_off.insert((r, q.qname.clone()));
+        if !sends_ecs[q.resolver.index()] {
+            keys_on.insert((r, q.qname.clone(), None));
+            continue;
+        }
+        let block = Prefix::of(q.client, source_prefix);
+        let resolver_ip = net.resolver(q.resolver).ip;
+        let scope = *scope_cache
+            .entry((q.qname.clone(), block))
+            .or_insert_with(|| {
+                announced_scope(
+                    &mapping,
+                    top,
+                    &q.qname,
+                    q.client,
+                    source_prefix,
+                    resolver_ip,
+                )
+            });
+        let key_block = (scope > 0).then(|| Prefix::of(q.client, scope));
+        keys_on.insert((r, q.qname.clone(), key_block));
+    }
+    let analytic_ecs_off = (delegations.len() + keys_off.len()) as u64;
+    let analytic_ecs_on = (delegations.len() + keys_on.len()) as u64;
+
+    // Measured: the same plan through live resolvers against a live
+    // authoritative. Query interval is zero (no TTL expiry), so the
+    // upstream count is purely cache-key driven and directly comparable
+    // to the analytic estimate.
+    let (transports, connector) = channel_transports(FLEET_WORKERS);
+    let server = AuthServer::spawn(
+        transports,
+        SnapshotHandle::new(mapping),
+        ServerConfig::new(top),
+    );
+    let epoch = Instant::now();
+    let mut measured = [0u64; 2];
+    let mut resolvers = 0usize;
+    for (i, with_ecs) in [false, true].into_iter().enumerate() {
+        let mut fleet = ResolverFleet::new(net, epoch, |r| {
+            let policy = if with_ecs && sends_ecs[r.id.index()] {
+                EcsPolicy::Always
+            } else {
+                EcsPolicy::Off
+            };
+            let mut cfg = LdnsConfig::new(r.ip, policy);
+            cfg.source_prefix = source_prefix;
+            cfg
+        });
+        resolvers = fleet.len();
+        let clients: Vec<ChannelClient> = (0..FLEET_WORKERS)
+            .map(|_| ChannelClient::new(connector.clone()))
+            .collect();
+        let report = fleet.run(clients, &plan, &RunConfig::new(top));
+        measured[i] = report.upstream_queries;
+    }
+    drop(connector);
+    server.stop_join();
+
+    FleetMeasurement {
+        resolvers,
+        downstream_queries: plan.len() as u64,
+        upstream_ecs_off: measured[0],
+        upstream_ecs_on: measured[1],
+        analytic_ecs_off,
+        analytic_ecs_on,
     }
 }
 
@@ -666,6 +844,39 @@ mod tests {
         assert!(s.contains("RUM samples"));
         assert!(s.contains("mapping distance"));
         assert!(s.contains("queries/day"));
+        assert!(s.contains("LDNS fleet"));
+    }
+
+    #[test]
+    fn fleet_measurement_matches_analytic_estimate() {
+        let f = &report().fleet;
+        assert!(f.resolvers >= 8, "acceptance: at least 8 resolver sites");
+        assert_eq!(f.downstream_queries, FLEET_QUERIES as u64);
+        assert!(
+            f.measured_scaling() > 1.5,
+            "ECS must raise measured amplification over the ECS-off \
+             baseline: scaling {:.2}",
+            f.measured_scaling()
+        );
+        for (which, m, a) in [
+            (
+                "ecs-off",
+                f.measured_amplification_off(),
+                f.analytic_amplification_off(),
+            ),
+            (
+                "ecs-on",
+                f.measured_amplification_on(),
+                f.analytic_amplification_on(),
+            ),
+        ] {
+            assert!(a > 0.0, "{which}: analytic estimate must be positive");
+            assert!(
+                (m - a).abs() <= 0.25 * a,
+                "{which}: measured amplification {m:.3} diverges more than \
+                 25% from the analytic estimate {a:.3}"
+            );
+        }
     }
 
     #[test]

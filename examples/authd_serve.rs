@@ -117,8 +117,11 @@ fn amplification(reg: &Registry) -> f64 {
 }
 
 fn summary_line(label: &str, reg: &Registry, report: &loadgen::LoadReport) {
+    // These are *upstream* rates: the resolver→authoritative leg the
+    // load generator plays (a fleet's downstream/client-facing rate is
+    // the eum_ldns_downstream_* series).
     println!(
-        "{label:<30} {:>9.0} q/s   p50 {:>7.1} µs   p99 {:>7.1} µs   ok {} err {} bad {}",
+        "{label:<30} {:>9.0} upstream q/s   p50 {:>7.1} µs   p99 {:>7.1} µs   ok {} err {} bad {}",
         report.qps(),
         report.p50_us(),
         report.p99_us(),
@@ -129,10 +132,10 @@ fn summary_line(label: &str, reg: &Registry, report: &loadgen::LoadReport) {
     // The report's percentiles and the registry's come from the same
     // histogram buckets; print both to make the agreement visible.
     let scraped = reg
-        .histogram_striped("eum_loadgen_exchange_ns", "", &[], 1)
+        .histogram_striped("eum_loadgen_upstream_exchange_ns", "", &[], 1)
         .snapshot();
     println!(
-        "{:<30} registry eum_loadgen_exchange_ns: p50 {:>7.1} µs   p99 {:>7.1} µs   count {}",
+        "{:<30} registry eum_loadgen_upstream_exchange_ns: p50 {:>7.1} µs   p99 {:>7.1} µs   count {}",
         "",
         scraped.quantile(0.5) / 1_000.0,
         scraped.quantile(0.99) / 1_000.0,

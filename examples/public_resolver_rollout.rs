@@ -41,6 +41,35 @@ fn main() {
     }
     println!("{t}");
 
+    // The measured-vs-analytic amplification table: after the timeline
+    // completes the scenario replays one demand-weighted query plan
+    // through a live eum-ldns resolver fleet against a real eum-authd
+    // (ECS off everywhere, then the post-roll-out policy). Upstream
+    // counts are measured; the analytic column is the cache-key
+    // set-counting estimate the simulator reasons with.
+    let fleet = &report.fleet;
+    let mut amp = Table::new(["fleet amplification", "measured", "analytic"]);
+    amp.row([
+        "ECS off".to_string(),
+        format!("{:.3}", fleet.measured_amplification_off()),
+        format!("{:.3}", fleet.analytic_amplification_off()),
+    ]);
+    amp.row([
+        "ECS on (post-roll-out)".to_string(),
+        format!("{:.3}", fleet.measured_amplification_on()),
+        format!("{:.3}", fleet.analytic_amplification_on()),
+    ]);
+    amp.row([
+        "scaling (on/off)".to_string(),
+        format!("{:.2}x", fleet.measured_scaling()),
+        format!("{:.2}x", fleet.analytic_scaling()),
+    ]);
+    println!(
+        "LDNS fleet replay: {} resolvers, {} downstream queries per run",
+        fleet.resolvers, fleet.downstream_queries,
+    );
+    println!("{amp}");
+
     let ((pre_total, pre_public), (post_total, post_public)) = report.query_rate_change();
     println!(
         "authoritative DNS queries/day: total {pre_total:.0} -> {post_total:.0} ({:.2}x), \

@@ -1,19 +1,30 @@
 #!/usr/bin/env bash
-# Records the PR 3 serve-path benchmarks into BENCH_pr3.json.
+# Records a PR's benchmark numbers into BENCH_<pr>.json.
 #
-# Runs the `wire` bench (the alloc-free codec + shard serve paths + geo
-# lookup), parses the ns/op figures out of the criterion output, and
-# writes them next to the frozen pre-change baselines (measured at commit
-# 00b8dbf, before the inline-name/zero-alloc rewrite) so the speedups are
-# auditable from the JSON alone.
+#   scripts/bench_record.sh [pr3|pr5] [out.json]
 #
-# Usage: scripts/bench_record.sh [out.json]
+# * pr3 — the serve-path zero-allocation rewrite: runs the `wire` bench
+#   (alloc-free codec + shard serve paths + geo lookup) and writes the
+#   figures next to the frozen pre-change baselines (measured at commit
+#   00b8dbf, before the rewrite) so the speedups are auditable from the
+#   JSON alone.
+# * pr5 (default) — the eum-ldns resolver subsystem: runs the `ldns`
+#   bench (ECS-partitioned cache lookup/insert, timer-wheel steady-state
+#   churn, and a warm cached resolve). The subsystem is new in PR 5, so
+#   there is no pre-change baseline; absolute ns/op are recorded.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr3.json}"
 
-raw="$(cargo bench -p eum-bench --bench wire 2>&1 | tee /dev/stderr)"
+mode="${1:-pr5}"
+case "$mode" in
+  pr3) default_out="BENCH_pr3.json"; bench="wire" ;;
+  pr5) default_out="BENCH_pr5.json"; bench="ldns" ;;
+  *) echo "usage: $0 [pr3|pr5] [out.json]" >&2; exit 2 ;;
+esac
+out="${2:-$default_out}"
+
+raw="$(cargo bench -p eum-bench --bench "$bench" 2>&1 | tee /dev/stderr)"
 
 # "name  time: [  389.7 ns/iter] ..." -> ns as a plain number (µs * 1000).
 ns_of() {
@@ -27,17 +38,18 @@ ns_of() {
     }'
 }
 
-hit=$(ns_of authd_cached_hit_serve_path)
-miss=$(ns_of authd_cold_miss_serve_path)
-enc=$(ns_of encode_a_response_into)
-dec=$(ns_of decode_a_response_into)
-geo=$(ns_of geo_lookup)
+if [ "$mode" = "pr3" ]; then
+  hit=$(ns_of authd_cached_hit_serve_path)
+  miss=$(ns_of authd_cold_miss_serve_path)
+  enc=$(ns_of encode_a_response_into)
+  dec=$(ns_of decode_a_response_into)
+  geo=$(ns_of geo_lookup)
 
-for v in "$hit" "$miss" "$enc" "$dec" "$geo"; do
-  [ -n "$v" ] || { echo "failed to parse bench output" >&2; exit 1; }
-done
+  for v in "$hit" "$miss" "$enc" "$dec" "$geo"; do
+    [ -n "$v" ] || { echo "failed to parse bench output" >&2; exit 1; }
+  done
 
-python3 - "$out" "$hit" "$miss" "$enc" "$dec" "$geo" <<'EOF'
+  python3 - "$out" "$hit" "$miss" "$enc" "$dec" "$geo" <<'EOF'
 import json, sys
 out, hit, miss, enc, dec, geo = sys.argv[1], *map(float, sys.argv[2:])
 baseline = {
@@ -73,3 +85,34 @@ json.dump(
 print(file=open(out, "a"))
 print(f"wrote {out}: cached-hit speedup {speedup['authd_cached_hit_ns']}x")
 EOF
+else
+  lookup=$(ns_of ldns_cache_lookup_scoped_hit)
+  insert=$(ns_of ldns_cache_insert_scoped)
+  wheel=$(ns_of ldns_wheel_insert_advance_steady)
+  resolve=$(ns_of ldns_cached_resolve_hit)
+
+  for v in "$lookup" "$insert" "$wheel" "$resolve"; do
+    [ -n "$v" ] || { echo "failed to parse bench output" >&2; exit 1; }
+  done
+
+  python3 - "$out" "$lookup" "$insert" "$wheel" "$resolve" <<'EOF'
+import json, sys
+out, lookup, insert, wheel, resolve = sys.argv[1], *map(float, sys.argv[2:])
+json.dump(
+    {
+        "pr": 5,
+        "bench": "eum-ldns resolver-side serve path (new subsystem, no baseline)",
+        "current_ns": {
+            "ldns_cache_lookup_scoped_hit_ns": lookup,
+            "ldns_cache_insert_scoped_ns": insert,
+            "ldns_wheel_insert_advance_steady_ns": wheel,
+            "ldns_cached_resolve_hit_ns": resolve,
+        },
+    },
+    open(out, "w"),
+    indent=2,
+)
+print(file=open(out, "a"))
+print(f"wrote {out}: cached resolve {resolve:.1f} ns/op")
+EOF
+fi

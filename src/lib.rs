@@ -25,6 +25,9 @@
 //!   measurement substrates, and the §4 roll-out scenario.
 //! * [`authd`] — the concurrent authoritative DNS serving subsystem
 //!   (sharded server, ECS-aware answer cache, closed-loop load generator).
+//! * [`ldns`] — the recursive-resolver fleet: ECS-partitioned caching
+//!   LDNS instances that close the client→LDNS→authoritative loop and
+//!   measure DNS amplification.
 //! * [`telemetry`] — the lock-free metrics registry, latency histograms,
 //!   per-query trace ring, and Prometheus-style text exposition wired
 //!   through the serving path.
@@ -46,6 +49,7 @@ pub use eum_authd as authd;
 pub use eum_cdn as cdn;
 pub use eum_dns as dns;
 pub use eum_geo as geo;
+pub use eum_ldns as ldns;
 pub use eum_mapping as mapping;
 pub use eum_netmodel as netmodel;
 pub use eum_sim as sim;
