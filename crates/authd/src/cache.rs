@@ -31,6 +31,7 @@
 //! FIFO eviction, and hits/misses/evictions are counted per shard (each
 //! shard owns its cache outright — no cross-shard locking).
 
+use crate::truncate::skip_name;
 use eum_dns::edns::EcsOption;
 use eum_dns::{encode_message, DnsName, Flags, Message, RData, RrType};
 use eum_geo::Prefix;
@@ -208,24 +209,6 @@ impl CachedAnswer {
     /// True once the entry's TTL has run out.
     pub fn expired(&self, now: Instant) -> bool {
         now >= self.expires
-    }
-}
-
-/// Skips an encoded owner name starting at `pos`, returning the offset
-/// just past it. Handles both label sequences and RFC 1035 §4.1.4
-/// compression pointers (the template encoder compresses repeated
-/// owner names).
-fn skip_name(wire: &[u8], mut pos: usize) -> Option<usize> {
-    loop {
-        let b = *wire.get(pos)?;
-        if b & 0xC0 == 0xC0 {
-            // A pointer terminates the name; it is two bytes long.
-            return Some(pos + 2);
-        }
-        if b == 0 {
-            return Some(pos + 1);
-        }
-        pos += 1 + b as usize;
     }
 }
 

@@ -32,16 +32,18 @@ pub mod server;
 pub mod snapshot;
 pub mod telemetry;
 pub mod transport;
+mod truncate;
 
 pub use cache::{AnswerCache, AnswerCacheStats, CacheConfig, CachedAnswer};
 pub use loadgen::{LoadGenConfig, LoadReport};
 pub use server::{
-    AuthServer, QueryStages, ScratchBuffers, ServeOutcome, ServerConfig, ShardCounters,
+    AuthServer, QueryStages, ReplyCap, ScratchBuffers, ServeOutcome, ServerConfig, ShardCounters,
     ShardReport, ShardState,
 };
 pub use snapshot::{Snapshot, SnapshotHandle};
 pub use telemetry::TelemetryConfig;
 pub use transport::{
-    channel_transports, ChannelClient, ChannelConnector, ChannelTransport, ClientTransport,
-    Datagram, FaultConfig, FaultInjector, ServerTransport, UdpClient, UdpTransport, MAX_DATAGRAM,
+    channel_transports, BatchDatagram, BatchServerTransport, ChannelClient, ChannelConnector,
+    ChannelTransport, ClientTransport, Datagram, FaultConfig, FaultInjector, ServerTransport,
+    UdpClient, UdpTransport, MAX_DATAGRAM,
 };

@@ -26,7 +26,8 @@
 use crate::cache::{AnswerCache, AnswerCacheStats, CacheConfig, CachedAnswer};
 use crate::snapshot::{Snapshot, SnapshotHandle};
 use crate::telemetry::{ShardInstruments, TelemetryConfig};
-use crate::transport::ServerTransport;
+use crate::transport::{BatchServerTransport, ServerTransport, MAX_DATAGRAM};
+use crate::truncate::truncate_in_place;
 use eum_dns::{decode_message_into, encode_message_into, DnsName, Message, QueryContext, Rcode};
 use eum_geo::Prefix;
 use eum_telemetry::{QueryTrace, TraceOutcome};
@@ -50,6 +51,11 @@ pub struct ServerConfig {
     /// Metrics registry and trace ring; `None` serves unobserved. Stage
     /// timestamps are only taken when this is set.
     pub telemetry: Option<TelemetryConfig>,
+    /// The largest UDP reply this deployment sends regardless of what
+    /// the client advertises ([`ReplyCap::Datagram`]'s transport
+    /// ceiling). Defaults to [`MAX_DATAGRAM`]; tests shrink it to force
+    /// the truncate→TCP-retry path without multi-kilobyte answers.
+    pub max_udp_reply: u16,
 }
 
 impl ServerConfig {
@@ -60,6 +66,7 @@ impl ServerConfig {
             cache: Some(CacheConfig::default()),
             recv_timeout: Duration::from_millis(20),
             telemetry: None,
+            max_udp_reply: MAX_DATAGRAM as u16,
         }
     }
 
@@ -74,6 +81,50 @@ impl ServerConfig {
         self.telemetry = Some(telemetry);
         self
     }
+
+    /// Same config with a smaller UDP reply ceiling (truncation tests).
+    pub fn with_max_udp_reply(mut self, max: u16) -> ServerConfig {
+        self.max_udp_reply = max;
+        self
+    }
+}
+
+/// The size regime one reply must fit, derived from the substrate its
+/// query arrived on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyCap {
+    /// Datagram (UDP) query: the reply must fit the client's advertised
+    /// EDNS0 payload size — 512 when absent or smaller, per RFC 6891
+    /// §6.2.3 — clamped to the transport's own ceiling. Oversize replies
+    /// are truncated at a record boundary with TC set (RFC 2181 §9).
+    Datagram {
+        /// [`ServerConfig::max_udp_reply`] for server loops; tests pass
+        /// a small value to force truncation.
+        transport_max: u16,
+    },
+    /// Stream (TCP) query: 64 KiB frames, never truncated.
+    Stream,
+}
+
+impl ReplyCap {
+    /// The default UDP regime: replies capped only by [`MAX_DATAGRAM`].
+    pub fn udp() -> ReplyCap {
+        ReplyCap::Datagram {
+            transport_max: MAX_DATAGRAM as u16,
+        }
+    }
+
+    /// Effective reply byte limit for a query advertising `advertised`
+    /// (its EDNS0 payload size; `None` when the query carried no OPT).
+    fn limit(self, advertised: Option<u16>) -> usize {
+        match self {
+            ReplyCap::Stream => u16::MAX as usize,
+            ReplyCap::Datagram { transport_max } => {
+                let adv = advertised.unwrap_or(512).max(512);
+                (adv as usize).min(transport_max as usize)
+            }
+        }
+    }
 }
 
 /// Live counters one shard exposes while running (relaxed atomics; read
@@ -86,6 +137,8 @@ pub struct ShardCounters {
     pub cache_hits: AtomicU64,
     /// Datagrams that failed to decode.
     pub malformed: AtomicU64,
+    /// Replies truncated to the client's UDP payload limit (TC=1).
+    pub truncated: AtomicU64,
 }
 
 /// What a shard reports when joined.
@@ -99,6 +152,8 @@ pub struct ShardReport {
     pub dropped: u64,
     /// Datagrams answered FORMERR.
     pub malformed: u64,
+    /// Replies truncated with TC=1.
+    pub truncated: u64,
     /// Cache counters (zeros when the cache is disabled).
     pub cache: AnswerCacheStats,
     /// Snapshot generations this shard served from.
@@ -131,6 +186,37 @@ impl AuthServer {
             let cfg = cfg.clone();
             handles.push(std::thread::spawn(move || {
                 run_shard(shard, shards, transport, snapshots, cfg, stop, c)
+            }));
+        }
+        AuthServer {
+            stop,
+            counters,
+            handles,
+        }
+    }
+
+    /// Spawns one serving thread per batched transport — the same shard
+    /// loop as [`AuthServer::spawn`] but moving datagrams in kernel
+    /// batches (`recvmmsg`/`sendmmsg`) through a
+    /// [`BatchServerTransport`]: receive up to a batch, serve each query
+    /// against one snapshot grab, stage every reply, flush once.
+    pub fn spawn_batched<T: BatchServerTransport>(
+        transports: Vec<T>,
+        snapshots: SnapshotHandle,
+        cfg: ServerConfig,
+    ) -> AuthServer {
+        let stop = Arc::new(AtomicBool::new(false));
+        let shards = transports.len();
+        let mut counters = Vec::new();
+        let mut handles = Vec::new();
+        for (shard, transport) in transports.into_iter().enumerate() {
+            let c = Arc::new(ShardCounters::default());
+            counters.push(c.clone());
+            let stop = stop.clone();
+            let snapshots = snapshots.clone();
+            let cfg = cfg.clone();
+            handles.push(std::thread::spawn(move || {
+                run_shard_batched(shard, shards, transport, snapshots, cfg, stop, c)
             }));
         }
         AuthServer {
@@ -216,6 +302,9 @@ pub enum ServeOutcome {
     Replied {
         /// Whether it was replayed from the answer cache.
         cache_hit: bool,
+        /// Whether the reply was truncated to the client's UDP payload
+        /// limit (TC=1 set; the client should retry over TCP).
+        truncated: bool,
     },
     /// The datagram did not decode but the header survived; a FORMERR
     /// echoing its ID is in [`ShardState::reply`].
@@ -283,15 +372,18 @@ impl ShardState {
 
     /// Serves one datagram end to end: decode into the shard scratch,
     /// consult the cache, compute-and-encode or replay-and-patch into the
-    /// reply buffer. Requires a prior [`ShardState::observe`] call for
-    /// the snapshot `map` came from. Allocation-free on the cached-hit
-    /// path once the buffers are warm.
+    /// reply buffer, and truncate to `cap`'s effective limit when the
+    /// reply overflows it (RFC 2181 §9 — whole records dropped, TC set).
+    /// Requires a prior [`ShardState::observe`] call for the snapshot
+    /// `map` came from. Allocation-free on the cached-hit path once the
+    /// buffers are warm, truncation included.
     pub fn serve(
         &mut self,
         map: &eum_mapping::MappingSystem,
         server_ip: Ipv4Addr,
         resolver_ip: Ipv4Addr,
         payload: &[u8],
+        cap: ReplyCap,
         stages: &mut QueryStages,
     ) -> ServeOutcome {
         // lint: allow(serve-panic) — API precondition, documented on serve(); every
@@ -311,6 +403,10 @@ impl ShardState {
         }
         stages.decode_ns = elapsed_ns(t_decode);
 
+        // The client's effective reply budget, fixed by the query's OPT
+        // before any answer is built (RFC 6891 §6.2.3).
+        let limit = cap.limit(query.opt().map(|o| o.udp_payload_size));
+
         let ctx = QueryContext {
             resolver_ip,
             now_ms: 0,
@@ -329,8 +425,12 @@ impl ShardState {
             stages.route_ns = elapsed_ns(t_route);
             let t_encode = stages.timed.then(Instant::now);
             encode_message_into(&resp, reply);
+            let truncated = truncate_in_place(reply, limit);
             stages.encode_ns = elapsed_ns(t_encode);
-            return ServeOutcome::Replied { cache_hit: false };
+            return ServeOutcome::Replied {
+                cache_hit: false,
+                truncated,
+            };
         }
         // lint: allow(serve-panic) — cacheable_shape implies cache.is_some()
         let cache = self.cache.as_mut().expect("checked above");
@@ -350,11 +450,18 @@ impl ShardState {
         };
         if let Some(entry) = hit {
             entry.replay_into(query.id, query.flags.rd, ecs.as_ref(), now, reply);
+            // The template is stored untruncated; each replay is capped
+            // against *this* query's advertised size — a patch in place
+            // on the memcpy'd bytes, still alloc-free.
+            let truncated = truncate_in_place(reply, limit);
             stages.outcome = TraceOutcome::CacheHit;
             if stages.timed {
                 stages.cache_ns = now.elapsed().as_nanos() as u64;
             }
-            return ServeOutcome::Replied { cache_hit: true };
+            return ServeOutcome::Replied {
+                cache_hit: true,
+                truncated,
+            };
         }
         if stages.timed {
             stages.cache_ns = now.elapsed().as_nanos() as u64;
@@ -411,8 +518,12 @@ impl ShardState {
         }
         let t_encode = stages.timed.then(Instant::now);
         encode_message_into(&resp, reply);
+        let truncated = truncate_in_place(reply, limit);
         stages.encode_ns = elapsed_ns(t_encode);
-        ServeOutcome::Replied { cache_hit: false }
+        ServeOutcome::Replied {
+            cache_hit: false,
+            truncated,
+        }
     }
 
     /// The bytes to send for the last [`ShardState::serve`] that returned
@@ -487,26 +598,44 @@ fn run_shard<T: ServerTransport>(
             }
         }
         let server_ip = dg.server_ip.unwrap_or(cfg.default_server_ip);
+        let cap = if dg.stream {
+            ReplyCap::Stream
+        } else {
+            ReplyCap::Datagram {
+                transport_max: cfg.max_udp_reply,
+            }
+        };
         let mut stages = QueryStages::new(timed);
         let outcome = state.serve(
             &snap.map,
             server_ip,
             dg.resolver_ip,
             &dg.payload,
+            cap,
             &mut stages,
         );
         let total_ns = elapsed_ns(t_start);
         match outcome {
-            ServeOutcome::Replied { cache_hit } => {
+            ServeOutcome::Replied {
+                cache_hit,
+                truncated,
+            } => {
                 // relaxed-ok: per-shard monotonic counters; readers only sum
                 counters.queries.fetch_add(1, Ordering::Relaxed);
                 if cache_hit {
                     // relaxed-ok: per-shard monotonic counter
                     counters.cache_hits.fetch_add(1, Ordering::Relaxed);
                 }
+                if truncated {
+                    // relaxed-ok: per-shard monotonic counter
+                    counters.truncated.fetch_add(1, Ordering::Relaxed);
+                }
                 let _ = transport.send(&dg.peer, state.reply());
                 if let Some(t) = tel.as_mut() {
                     t.queries.inc();
+                    if truncated {
+                        t.truncated.inc();
+                    }
                     t.record_stages(
                         stages.decode_ns,
                         stages.cache_ns,
@@ -574,6 +703,140 @@ fn run_shard<T: ServerTransport>(
         queries: counters.queries.load(Ordering::Relaxed),
         dropped,
         malformed,
+        // relaxed-ok: the shard thread itself wrote every increment
+        truncated: counters.truncated.load(Ordering::Relaxed),
+        cache: state.cache().map(|c| c.stats()).unwrap_or_default(),
+        generations_seen: state.generations_seen(),
+    }
+}
+
+/// The batched sibling of [`run_shard`]: one `recv_batch` feeds the same
+/// per-query serve path, all replies are staged by slot, and one `flush`
+/// sends them — so a warm shard makes two syscalls per *batch* instead
+/// of two per query. Batched transports are datagram-only, so every
+/// query gets the UDP reply cap.
+fn run_shard_batched<T: BatchServerTransport>(
+    shard: usize,
+    shards: usize,
+    mut transport: T,
+    snapshots: SnapshotHandle,
+    cfg: ServerConfig,
+    stop: Arc<AtomicBool>,
+    counters: Arc<ShardCounters>,
+) -> ShardReport {
+    transport.on_thread_start();
+    let mut state = ShardState::new(cfg.cache);
+    let mut tel = cfg
+        .telemetry
+        .as_ref()
+        .map(|t| ShardInstruments::register(&t.registry, shard, shards));
+    let cap = ReplyCap::Datagram {
+        transport_max: cfg.max_udp_reply,
+    };
+    let mut dropped = 0u64;
+    let mut malformed = 0u64;
+    // The query bytes are copied out of the transport's receive slot so
+    // the slot can be restaged with the reply while `serve` runs.
+    // lint: allow(serve-alloc) — one-time setup before the serve loop; the
+    // capacity covers every datagram the transport can hand us
+    let mut qbuf: Vec<u8> = Vec::with_capacity(MAX_DATAGRAM);
+    // relaxed-ok: the stop flag carries no data; shards only need to see
+    // it eventually, and stop_join's SeqCst store plus thread join gives
+    // the final synchronization
+    while !stop.load(Ordering::Relaxed) {
+        let n = match transport.recv_batch(cfg.recv_timeout) {
+            Ok(0) => continue,
+            Ok(n) => n,
+            Err(_) => continue,
+        };
+        // One snapshot grab serves the whole batch: every datagram in it
+        // was received before this instant, so none can require a newer
+        // generation than the one we pin here.
+        let snap = snapshots.current();
+        if state.observe(&snap) {
+            if let Some(t) = tel.as_ref() {
+                t.generation.set(snap.generation as f64);
+            }
+        }
+        for i in 0..n {
+            let timed = tel.is_some();
+            let t_start = timed.then(Instant::now);
+            let (resolver_ip, server_ip) = {
+                let dg = transport.datagram(i);
+                qbuf.clear();
+                qbuf.extend_from_slice(dg.payload);
+                (dg.resolver_ip, dg.server_ip)
+            };
+            let server_ip = server_ip.unwrap_or(cfg.default_server_ip);
+            let mut stages = QueryStages::new(timed);
+            let outcome = state.serve(&snap.map, server_ip, resolver_ip, &qbuf, cap, &mut stages);
+            let total_ns = elapsed_ns(t_start);
+            match outcome {
+                ServeOutcome::Replied {
+                    cache_hit,
+                    truncated,
+                } => {
+                    // relaxed-ok: per-shard monotonic counters; readers only sum
+                    counters.queries.fetch_add(1, Ordering::Relaxed);
+                    if cache_hit {
+                        // relaxed-ok: per-shard monotonic counter
+                        counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if truncated {
+                        // relaxed-ok: per-shard monotonic counter
+                        counters.truncated.fetch_add(1, Ordering::Relaxed);
+                    }
+                    transport.stage_reply(i, state.reply());
+                    if let Some(t) = tel.as_mut() {
+                        t.queries.inc();
+                        if truncated {
+                            t.truncated.inc();
+                        }
+                        t.record_stages(
+                            stages.decode_ns,
+                            stages.cache_ns,
+                            stages.route_ns,
+                            stages.encode_ns,
+                            total_ns,
+                        );
+                        if let Some(c) = state.cache() {
+                            t.sync_cache(c.stats(), c.len());
+                        }
+                    }
+                }
+                ServeOutcome::FormErr => {
+                    // relaxed-ok: per-shard monotonic counter
+                    counters.malformed.fetch_add(1, Ordering::Relaxed);
+                    malformed += 1;
+                    // relaxed-ok: per-shard monotonic counter
+                    counters.queries.fetch_add(1, Ordering::Relaxed);
+                    transport.stage_reply(i, state.reply());
+                    if let Some(t) = tel.as_ref() {
+                        t.queries.inc();
+                        t.formerr.inc();
+                    }
+                }
+                ServeOutcome::Dropped => {
+                    // relaxed-ok: per-shard monotonic counter
+                    counters.malformed.fetch_add(1, Ordering::Relaxed);
+                    malformed += 1;
+                    dropped += 1;
+                    if let Some(t) = tel.as_ref() {
+                        t.dropped.inc();
+                    }
+                }
+            }
+        }
+        let _ = transport.flush();
+    }
+    ShardReport {
+        shard,
+        // relaxed-ok: the shard thread itself wrote every increment
+        queries: counters.queries.load(Ordering::Relaxed),
+        dropped,
+        malformed,
+        // relaxed-ok: the shard thread itself wrote every increment
+        truncated: counters.truncated.load(Ordering::Relaxed),
         cache: state.cache().map(|c| c.stats()).unwrap_or_default(),
         generations_seen: state.generations_seen(),
     }

@@ -65,6 +65,7 @@ pub(crate) struct ShardInstruments {
     pub queries: Arc<Counter>,
     pub formerr: Arc<Counter>,
     pub dropped: Arc<Counter>,
+    pub truncated: Arc<Counter>,
     pub cache_hits: Arc<Counter>,
     pub cache_misses: Arc<Counter>,
     pub cache_evictions: Arc<Counter>,
@@ -92,6 +93,11 @@ impl ShardInstruments {
             dropped: reg.counter(
                 "eum_authd_dropped_total",
                 "Datagrams dropped as undecodable",
+                l,
+            ),
+            truncated: reg.counter(
+                "eum_authd_truncated_total",
+                "Replies truncated to the client's UDP payload limit (TC=1)",
                 l,
             ),
             cache_hits: reg.counter(

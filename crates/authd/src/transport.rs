@@ -36,6 +36,9 @@ pub struct Datagram<P> {
     /// Which of the server's authoritative IPs the query targets; `None`
     /// means the shard's configured default.
     pub server_ip: Option<Ipv4Addr>,
+    /// True when the query arrived over a stream substrate (DNS-over-TCP,
+    /// RFC 1035 §4.2.2): the reply is never size-capped or truncated.
+    pub stream: bool,
     /// Opaque reply address.
     pub peer: P,
 }
@@ -48,6 +51,41 @@ pub trait ServerTransport: Send + 'static {
     fn recv(&mut self, timeout: Duration) -> io::Result<Option<Datagram<Self::Peer>>>;
     /// Sends a response back to `peer`.
     fn send(&mut self, peer: &Self::Peer, payload: &[u8]) -> io::Result<()>;
+}
+
+/// One query borrowed out of a [`BatchServerTransport`]'s receive batch.
+/// Batched transports are datagram-only (UDP): stream queries never
+/// arrive in batches, so there is no `stream` field.
+pub struct BatchDatagram<'a> {
+    /// Raw RFC 1035 message bytes, borrowed from the transport's buffer.
+    pub payload: &'a [u8],
+    /// The recursive resolver the query came from.
+    pub resolver_ip: Ipv4Addr,
+    /// Targeted authoritative IP; `None` means the shard's default.
+    pub server_ip: Option<Ipv4Addr>,
+}
+
+/// A shard-side endpoint that moves datagrams in kernel batches
+/// (`recvmmsg`/`sendmmsg`) instead of one at a time. The shard loop
+/// drives it strictly as: `recv_batch` → for each index `datagram` /
+/// `stage_reply` → `flush`. Replies are staged by batch index, so the
+/// transport pairs each one with the peer it received that slot from;
+/// indices are only valid until the next `recv_batch`. Implementations
+/// keep all buffers across calls — a warm batch cycle must not allocate.
+pub trait BatchServerTransport: Send + 'static {
+    /// Called once on the serving thread before the first batch (CPU
+    /// pinning, thread-local setup). The default does nothing.
+    fn on_thread_start(&mut self) {}
+    /// Waits up to `timeout` for at least one datagram, then drains
+    /// whatever else the kernel already has, up to the batch size.
+    /// Returns how many arrived; `Ok(0)` means timeout.
+    fn recv_batch(&mut self, timeout: Duration) -> io::Result<usize>;
+    /// Borrows datagram `i` of the last batch (`i < recv_batch`'s return).
+    fn datagram(&self, i: usize) -> BatchDatagram<'_>;
+    /// Stages a reply to the peer datagram `i` came from.
+    fn stage_reply(&mut self, i: usize, reply: &[u8]);
+    /// Sends every staged reply in one (or few) kernel calls.
+    fn flush(&mut self) -> io::Result<()>;
 }
 
 /// A client-side endpoint the load generator drives: one blocking
@@ -65,6 +103,25 @@ pub trait ClientTransport: Send {
         payload: &[u8],
         timeout: Duration,
     ) -> io::Result<Vec<u8>>;
+    /// Like [`ClientTransport::exchange`], but over the transport's
+    /// stream substrate (DNS-over-TCP, RFC 1035 §4.2.2) — the leg a
+    /// resolver retries on after a TC=1 answer. Transports without a
+    /// stream leg return `ErrorKind::Unsupported`; callers count that as
+    /// a failed attempt.
+    fn exchange_stream(
+        &mut self,
+        shard: usize,
+        server_ip: Ipv4Addr,
+        resolver_ip: Ipv4Addr,
+        payload: &[u8],
+        timeout: Duration,
+    ) -> io::Result<Vec<u8>> {
+        let _ = (shard, server_ip, resolver_ip, payload, timeout);
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "transport has no stream substrate",
+        ))
+    }
     /// How many shards this client can address.
     fn num_shards(&self) -> usize;
 }
@@ -78,6 +135,10 @@ struct ChannelQuery {
     payload: Vec<u8>,
     resolver_ip: Ipv4Addr,
     server_ip: Ipv4Addr,
+    /// Models a DNS-over-TCP exchange in-process: the server sees an
+    /// uncapped stream query, so fleet truncation tests stay
+    /// deterministic without sockets.
+    stream: bool,
     reply: Sender<Vec<u8>>,
 }
 
@@ -114,6 +175,7 @@ impl ServerTransport for ChannelTransport {
                 payload: q.payload,
                 resolver_ip: q.resolver_ip,
                 server_ip: Some(q.server_ip),
+                stream: q.stream,
                 peer: q.reply,
             })),
             Err(RecvTimeoutError::Timeout) => Ok(None),
@@ -150,14 +212,15 @@ impl ChannelClient {
     }
 }
 
-impl ClientTransport for ChannelClient {
-    fn exchange(
+impl ChannelClient {
+    fn exchange_inner(
         &mut self,
         shard: usize,
         server_ip: Ipv4Addr,
         resolver_ip: Ipv4Addr,
         payload: &[u8],
         timeout: Duration,
+        stream: bool,
     ) -> io::Result<Vec<u8>> {
         // Drain any stale reply from a previously timed-out exchange so
         // responses cannot ever pair with the wrong query.
@@ -167,12 +230,37 @@ impl ClientTransport for ChannelClient {
             payload: payload.to_vec(),
             resolver_ip,
             server_ip,
+            stream,
             reply: self.reply_tx.clone(),
         })
         .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "shard gone"))?;
         self.reply_rx
             .recv_timeout(timeout)
             .map_err(|_| io::Error::new(io::ErrorKind::TimedOut, "no response"))
+    }
+}
+
+impl ClientTransport for ChannelClient {
+    fn exchange(
+        &mut self,
+        shard: usize,
+        server_ip: Ipv4Addr,
+        resolver_ip: Ipv4Addr,
+        payload: &[u8],
+        timeout: Duration,
+    ) -> io::Result<Vec<u8>> {
+        self.exchange_inner(shard, server_ip, resolver_ip, payload, timeout, false)
+    }
+
+    fn exchange_stream(
+        &mut self,
+        shard: usize,
+        server_ip: Ipv4Addr,
+        resolver_ip: Ipv4Addr,
+        payload: &[u8],
+        timeout: Duration,
+    ) -> io::Result<Vec<u8>> {
+        self.exchange_inner(shard, server_ip, resolver_ip, payload, timeout, true)
     }
 
     fn num_shards(&self) -> usize {
@@ -281,6 +369,20 @@ impl<C: ClientTransport> ClientTransport for FaultInjector<C> {
             .exchange(shard, server_ip, resolver_ip, payload, timeout)
     }
 
+    fn exchange_stream(
+        &mut self,
+        shard: usize,
+        server_ip: Ipv4Addr,
+        resolver_ip: Ipv4Addr,
+        payload: &[u8],
+        timeout: Duration,
+    ) -> io::Result<Vec<u8>> {
+        // Fault draws model lossy datagram paths; the TCP retry leg is
+        // forwarded unfaulted so truncation recovery stays observable.
+        self.inner
+            .exchange_stream(shard, server_ip, resolver_ip, payload, timeout)
+    }
+
     fn num_shards(&self) -> usize {
         self.inner.num_shards()
     }
@@ -331,6 +433,7 @@ impl ServerTransport for UdpTransport {
                     payload: self.buf[..n].to_vec(),
                     resolver_ip,
                     server_ip: None,
+                    stream: false,
                     peer,
                 }))
             }

@@ -1,0 +1,287 @@
+//! RFC 2181 §9 response truncation.
+//!
+//! A reply that exceeds the client's effective UDP payload limit must
+//! not be sent oversized or mangled mid-record: whole records are
+//! dropped from the tail until the message fits, the section counts are
+//! rewritten, and the TC bit is stamped so the resolver retries over
+//! TCP (RFC 1035 §4.2.2). Both serve paths land here — the freshly
+//! encoded miss path and the cached-template replay path, where the
+//! stamp is a patch on the already-memcpy'd wire bytes.
+//!
+//! One RFC 6891 §7 wrinkle: when the reply carries an OPT record (our
+//! encoder and the cache replay both put it last), the truncated
+//! response keeps it — dropping EDNS from the response would tell the
+//! client we never saw its OPT. The kept OPT is slid down over the
+//! dropped records with `copy_within`, so truncation is alloc-free.
+//!
+//! Everything here trusts nothing about the wire bytes (mirroring
+//! `record_ttl_offsets`): a walk that runs off the message degrades to
+//! the minimal header-only truncated response, never a panic.
+
+/// Reads the big-endian u16 at `pos`, `None` past the end.
+fn rd_u16(wire: &[u8], pos: usize) -> Option<u16> {
+    Some(u16::from_be_bytes([*wire.get(pos)?, *wire.get(pos + 1)?]))
+}
+
+/// Skips an encoded owner name starting at `pos`, returning the offset
+/// just past it. Handles both label sequences and RFC 1035 §4.1.4
+/// compression pointers (the encoder compresses repeated owner names).
+pub(crate) fn skip_name(wire: &[u8], mut pos: usize) -> Option<usize> {
+    loop {
+        let b = *wire.get(pos)?;
+        if b & 0xC0 == 0xC0 {
+            // A pointer terminates the name; it is two bytes long.
+            return Some(pos + 2);
+        }
+        if b == 0 {
+            return Some(pos + 1);
+        }
+        pos += 1 + b as usize;
+    }
+}
+
+/// Skips one resource record starting at `pos`, returning the offset
+/// just past its RDATA and the record's TYPE.
+fn skip_record(wire: &[u8], pos: usize) -> Option<(usize, u16)> {
+    let past_name = skip_name(wire, pos)?;
+    let rtype = rd_u16(wire, past_name)?;
+    // TYPE + CLASS + TTL = 8 bytes, then RDLENGTH.
+    let rdlen = rd_u16(wire, past_name + 8)?;
+    let end = past_name + 10 + rdlen as usize;
+    (end <= wire.len()).then_some((end, rtype))
+}
+
+/// The OPT pseudo-RR type code (RFC 6891).
+const TYPE_OPT: u16 = 41;
+
+/// Truncates `reply` in place to at most `limit` bytes at a record
+/// boundary (RFC 2181 §9), keeping a trailing OPT record when it still
+/// fits, rewriting the section counts, and setting TC. Returns whether
+/// anything was truncated; a reply already within `limit` is untouched.
+/// Alloc-free: only `copy_within`/`truncate` on the existing buffer.
+pub(crate) fn truncate_in_place(reply: &mut Vec<u8>, limit: usize) -> bool {
+    if reply.len() <= limit || reply.len() < 12 {
+        return false;
+    }
+    match truncation_plan(reply, limit) {
+        Some(plan) => apply(reply, plan),
+        // Unwalkable bytes (impossible for self-encoded replies): the
+        // minimal truncated response is just the header, counts zeroed.
+        None => apply(
+            reply,
+            Plan {
+                keep_len: 12,
+                qd: 0,
+                an: 0,
+                ns: 0,
+                ar: 0,
+                opt_start: None,
+            },
+        ),
+    }
+    true
+}
+
+/// What to keep of an oversized reply.
+struct Plan {
+    /// Bytes of the message prefix (header + question + kept records).
+    keep_len: usize,
+    qd: u16,
+    an: u16,
+    ns: u16,
+    /// Kept additionals, the relocated OPT included.
+    ar: u16,
+    /// When set, the OPT record at this offset survives and is slid
+    /// down to `keep_len`.
+    opt_start: Option<(usize, usize)>,
+}
+
+fn truncation_plan(reply: &[u8], limit: usize) -> Option<Plan> {
+    let qd = rd_u16(reply, 4)?;
+    let an = rd_u16(reply, 6)? as usize;
+    let ns = rd_u16(reply, 8)? as usize;
+    let ar = rd_u16(reply, 10)? as usize;
+
+    let mut pos = 12usize;
+    for _ in 0..qd {
+        pos = skip_name(reply, pos)? + 4; // QTYPE + QCLASS
+    }
+    let q_end = pos;
+    if q_end > reply.len() || q_end > limit {
+        // Not even the question fits: header-only minimal response.
+        return Some(Plan {
+            keep_len: 12,
+            qd: 0,
+            an: 0,
+            ns: 0,
+            ar: 0,
+            opt_start: None,
+        });
+    }
+
+    // First pass: locate a trailing OPT. Our encoder and the cache
+    // replay both emit the OPT as the very last record, so only that
+    // position is checked.
+    let total = an + ns + ar;
+    let mut last = (q_end, 0u16);
+    for _ in 0..total {
+        let (end, rtype) = skip_record(reply, pos)?;
+        last = (pos, rtype);
+        pos = end;
+    }
+    let opt = (ar > 0 && last.1 == TYPE_OPT && pos == reply.len()).then_some(last.0);
+    let opt_len = opt.map(|start| reply.len() - start).unwrap_or(0);
+    // The OPT survives only if it fits alongside header + question.
+    let keep_opt = opt.is_some() && q_end + opt_len <= limit;
+    let budget = if keep_opt { limit - opt_len } else { limit };
+
+    // Second pass: the longest record prefix that fits the budget.
+    let non_opt = if opt.is_some() { total - 1 } else { total };
+    let mut kept = 0usize;
+    let mut keep_len = q_end;
+    pos = q_end;
+    for _ in 0..non_opt {
+        let (end, _) = skip_record(reply, pos)?;
+        if end > budget {
+            break;
+        }
+        kept += 1;
+        keep_len = end;
+        pos = end;
+    }
+    let kept_an = kept.min(an);
+    let kept_ns = kept.saturating_sub(an).min(ns);
+    let kept_ar = kept.saturating_sub(an + ns) + usize::from(keep_opt);
+    Some(Plan {
+        keep_len,
+        qd,
+        an: kept_an as u16,
+        ns: kept_ns as u16,
+        ar: kept_ar as u16,
+        opt_start: keep_opt.then(|| {
+            // lint: allow(serve-panic) — keep_opt implies opt.is_some()
+            let start = opt.expect("keep_opt implies a located OPT");
+            (start, opt_len)
+        }),
+    })
+}
+
+fn apply(reply: &mut Vec<u8>, plan: Plan) {
+    let mut len = plan.keep_len;
+    if let Some((start, opt_len)) = plan.opt_start {
+        // Slide the surviving OPT down over the dropped records. When
+        // nothing between them was dropped this is a no-op copy.
+        reply.copy_within(start..start + opt_len, len);
+        len += opt_len;
+    }
+    reply.truncate(len);
+    // lint: allow(serve-index) — truncate_in_place bails on len < 12
+    reply[2] |= 0x02; // TC
+    reply[4..6].copy_from_slice(&plan.qd.to_be_bytes());
+    reply[6..8].copy_from_slice(&plan.an.to_be_bytes());
+    reply[8..10].copy_from_slice(&plan.ns.to_be_bytes());
+    reply[10..12].copy_from_slice(&plan.ar.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eum_dns::edns::{EcsOption, OptData};
+    use eum_dns::{decode_message, encode_message, DnsName, Flags, Message, Question, Record};
+    use std::net::Ipv4Addr;
+
+    fn a_record(name: &DnsName, ip: [u8; 4]) -> Record {
+        Record::a(name.clone(), 60, Ipv4Addr::from(ip))
+    }
+
+    fn response(answers: usize, with_opt: bool) -> Vec<u8> {
+        let name: DnsName = "e0.cdn.example".parse().unwrap();
+        let mut m = Message {
+            id: 0x1234,
+            flags: Flags {
+                qr: true,
+                aa: true,
+                ..Flags::default()
+            },
+            questions: vec![Question::a(name.clone())],
+            answers: (0..answers)
+                .map(|i| a_record(&name, [10, 0, (i >> 8) as u8, i as u8]))
+                .collect(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        };
+        if with_opt {
+            m.set_opt(OptData::with_ecs(EcsOption {
+                addr: Ipv4Addr::new(93, 184, 216, 0),
+                source_prefix: 24,
+                scope_prefix: 24,
+            }));
+        }
+        encode_message(&m)
+    }
+
+    #[test]
+    fn within_limit_is_untouched() {
+        let mut wire = response(2, true);
+        let orig = wire.clone();
+        assert!(!truncate_in_place(&mut wire, 512));
+        assert_eq!(wire, orig);
+    }
+
+    #[test]
+    fn drops_whole_records_and_sets_tc() {
+        let full = response(20, false);
+        let mut wire = full.clone();
+        let limit = full.len() - 10;
+        assert!(truncate_in_place(&mut wire, limit));
+        assert!(wire.len() <= limit);
+        let m = decode_message(&wire).expect("truncated reply still decodes");
+        assert!(m.flags.tc, "TC must be set");
+        assert_eq!(m.questions.len(), 1);
+        assert!(!m.answers.is_empty() && m.answers.len() < 20);
+    }
+
+    #[test]
+    fn keeps_trailing_opt_when_it_fits() {
+        let full = response(20, true);
+        let mut wire = full.clone();
+        assert!(truncate_in_place(&mut wire, full.len() - 16));
+        let m = decode_message(&wire).expect("truncated reply still decodes");
+        assert!(m.flags.tc);
+        assert!(
+            m.ecs().is_some(),
+            "the OPT/ECS record must survive truncation (RFC 6891 §7)"
+        );
+        assert!(m.answers.len() < 20);
+    }
+
+    #[test]
+    fn tiny_limit_degrades_to_header_plus_question_or_header() {
+        let mut wire = response(4, false);
+        assert!(truncate_in_place(&mut wire, 40));
+        let m = decode_message(&wire).expect("still decodes");
+        assert!(m.flags.tc);
+        assert!(m.answers.is_empty());
+
+        let mut wire = response(4, false);
+        assert!(truncate_in_place(&mut wire, 12));
+        assert_eq!(wire.len(), 12);
+        // lint not applicable in tests, but assert the counts were zeroed.
+        assert_eq!(&wire[4..12], &[0u8; 8]);
+        assert!(wire[2] & 0x02 != 0);
+    }
+
+    #[test]
+    fn every_prefix_limit_yields_a_decodable_reply() {
+        let full = response(12, true);
+        for limit in 12..full.len() {
+            let mut wire = full.clone();
+            let t = truncate_in_place(&mut wire, limit);
+            assert!(t, "limit {limit} below len {} must truncate", full.len());
+            assert!(wire.len() <= limit.max(12));
+            let m = decode_message(&wire)
+                .unwrap_or_else(|e| panic!("limit {limit}: undecodable ({e:?})"));
+            assert!(m.flags.tc);
+        }
+    }
+}

@@ -6,7 +6,9 @@
 //! backwards — a torn publish, a cache surviving a swap, or an answer
 //! mixing two maps all fail these assertions.
 
-use eum_authd::{CacheConfig, QueryStages, ServeOutcome, ShardState, Snapshot, SnapshotHandle};
+use eum_authd::{
+    CacheConfig, QueryStages, ReplyCap, ServeOutcome, ShardState, Snapshot, SnapshotHandle,
+};
 use eum_cdn::{deployment_universe, CatalogConfig, CdnPlatform, ContentCatalog, DeployConfig};
 use eum_dns::edns::{EcsOption, OptData};
 use eum_dns::{decode_message, encode_message, Message, QueryContext, Question, Rcode};
@@ -140,6 +142,7 @@ fn generation_swaps_under_concurrent_serving_stay_consistent() {
                         low,
                         Ipv4Addr::LOCALHOST,
                         &probe.payload,
+                        ReplyCap::udp(),
                         &mut stages,
                     );
                     assert!(

@@ -7,7 +7,7 @@
 //! This file holds exactly one `#[test]` on purpose: the counter is
 //! global, so a second test running on a sibling thread would pollute it.
 
-use eum_authd::{CacheConfig, QueryStages, ServeOutcome, ShardState, SnapshotHandle};
+use eum_authd::{CacheConfig, QueryStages, ReplyCap, ServeOutcome, ShardState, SnapshotHandle};
 use eum_cdn::{deployment_universe, CatalogConfig, CdnPlatform, ContentCatalog, DeployConfig};
 use eum_dns::edns::{EcsOption, OptData};
 use eum_dns::{decode_message, encode_message, Message, Question, Rcode};
@@ -112,10 +112,36 @@ fn cached_hits_do_not_allocate() {
     // after that settle every buffer's capacity.
     for payload in [&ecs_payload, &plain_payload] {
         let mut stages = QueryStages::new(false);
-        let first = state.serve(&snap.map, low, resolver, payload, &mut stages);
-        assert_eq!(first, ServeOutcome::Replied { cache_hit: false });
-        let again = state.serve(&snap.map, low, resolver, payload, &mut stages);
-        assert_eq!(again, ServeOutcome::Replied { cache_hit: true });
+        let first = state.serve(
+            &snap.map,
+            low,
+            resolver,
+            payload,
+            ReplyCap::udp(),
+            &mut stages,
+        );
+        assert_eq!(
+            first,
+            ServeOutcome::Replied {
+                cache_hit: false,
+                truncated: false
+            }
+        );
+        let again = state.serve(
+            &snap.map,
+            low,
+            resolver,
+            payload,
+            ReplyCap::udp(),
+            &mut stages,
+        );
+        assert_eq!(
+            again,
+            ServeOutcome::Replied {
+                cache_hit: true,
+                truncated: false
+            }
+        );
     }
     // Sanity: the replayed reply is a well-formed answer for the query,
     // and its TTLs were patched to the remaining lifetime — present and
@@ -134,8 +160,21 @@ fn cached_hits_do_not_allocate() {
     for round in 0..2_000u32 {
         for payload in [&ecs_payload, &plain_payload] {
             let mut stages = QueryStages::new(false);
-            let out = state.serve(&snap.map, low, resolver, payload, &mut stages);
-            assert_eq!(out, ServeOutcome::Replied { cache_hit: true });
+            let out = state.serve(
+                &snap.map,
+                low,
+                resolver,
+                payload,
+                ReplyCap::udp(),
+                &mut stages,
+            );
+            assert_eq!(
+                out,
+                ServeOutcome::Replied {
+                    cache_hit: true,
+                    truncated: false
+                }
+            );
             assert!(!state.reply().is_empty());
         }
         // Interleave a malformed datagram: the FORMERR path must be
@@ -143,7 +182,14 @@ fn cached_hits_do_not_allocate() {
         if round % 64 == 0 {
             let mut stages = QueryStages::new(false);
             let garbage = [0u8; 16];
-            let out = state.serve(&snap.map, low, resolver, &garbage, &mut stages);
+            let out = state.serve(
+                &snap.map,
+                low,
+                resolver,
+                &garbage,
+                ReplyCap::udp(),
+                &mut stages,
+            );
             assert_eq!(out, ServeOutcome::FormErr);
         }
     }

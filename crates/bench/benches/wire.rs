@@ -8,7 +8,7 @@
 //! `BENCH_pr3.json`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use eum_authd::{CacheConfig, QueryStages, ServeOutcome, ShardState, SnapshotHandle};
+use eum_authd::{CacheConfig, QueryStages, ReplyCap, ServeOutcome, ShardState, SnapshotHandle};
 use eum_bench::{tiny_internet, BENCH_SEED};
 use eum_cdn::{deployment_universe, CatalogConfig, CdnPlatform, ContentCatalog, DeployConfig};
 use eum_dns::edns::{EcsOption, OptData};
@@ -119,15 +119,48 @@ fn bench_cached_hit(c: &mut Criterion) {
     state.observe(&snap);
     // Warm: the first serve computes and inserts, the second must hit.
     let mut stages = QueryStages::new(false);
-    state.serve(&snap.map, low, resolver, &payload, &mut stages);
-    let warm = state.serve(&snap.map, low, resolver, &payload, &mut stages);
-    assert_eq!(warm, ServeOutcome::Replied { cache_hit: true });
+    state.serve(
+        &snap.map,
+        low,
+        resolver,
+        &payload,
+        ReplyCap::udp(),
+        &mut stages,
+    );
+    let warm = state.serve(
+        &snap.map,
+        low,
+        resolver,
+        &payload,
+        ReplyCap::udp(),
+        &mut stages,
+    );
+    assert_eq!(
+        warm,
+        ServeOutcome::Replied {
+            cache_hit: true,
+            truncated: false
+        }
+    );
 
     c.bench_function("authd_cached_hit_serve_path", |b| {
         b.iter(|| {
             let mut stages = QueryStages::new(false);
-            let out = state.serve(&snap.map, low, resolver, black_box(&payload), &mut stages);
-            debug_assert_eq!(out, ServeOutcome::Replied { cache_hit: true });
+            let out = state.serve(
+                &snap.map,
+                low,
+                resolver,
+                black_box(&payload),
+                ReplyCap::udp(),
+                &mut stages,
+            );
+            debug_assert_eq!(
+                out,
+                ServeOutcome::Replied {
+                    cache_hit: true,
+                    truncated: false
+                }
+            );
             black_box(state.reply().len())
         })
     });
@@ -149,8 +182,21 @@ fn bench_cold_miss(c: &mut Criterion) {
     c.bench_function("authd_cold_miss_serve_path", |b| {
         b.iter(|| {
             let mut stages = QueryStages::new(false);
-            let out = state.serve(&snap.map, low, resolver, black_box(&payload), &mut stages);
-            debug_assert_eq!(out, ServeOutcome::Replied { cache_hit: false });
+            let out = state.serve(
+                &snap.map,
+                low,
+                resolver,
+                black_box(&payload),
+                ReplyCap::udp(),
+                &mut stages,
+            );
+            debug_assert_eq!(
+                out,
+                ServeOutcome::Replied {
+                    cache_hit: false,
+                    truncated: false
+                }
+            );
             black_box(state.reply().len())
         })
     });

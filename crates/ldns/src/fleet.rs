@@ -131,6 +131,8 @@ pub struct FleetReport {
     pub upstream_timeouts: u64,
     /// Upstream SERVFAILs received.
     pub upstream_servfails: u64,
+    /// Truncated (TC=1) answers retried over the stream (TCP) leg.
+    pub upstream_tcp_retries: u64,
     /// Resolutions that failed (SERVFAIL toward the client).
     pub failures: u64,
     /// Negative (NXDOMAIN/NODATA) answers served.
@@ -298,6 +300,7 @@ impl ResolverFleet {
             upstream_queries: 0,
             upstream_timeouts: 0,
             upstream_servfails: 0,
+            upstream_tcp_retries: 0,
             failures: 0,
             negative_answers: 0,
             expired_churn: 0,
@@ -311,6 +314,7 @@ impl ResolverFleet {
             r.upstream_queries += s.upstream_queries;
             r.upstream_timeouts += s.upstream_timeouts;
             r.upstream_servfails += s.upstream_servfails;
+            r.upstream_tcp_retries += s.upstream_tcp_retries;
             r.failures += s.failures;
             r.negative_answers += s.negative_answers;
             let c: LdnsCacheStats = l.cache().stats();

@@ -100,6 +100,9 @@ pub struct LdnsStats {
     pub upstream_timeouts: u64,
     /// Upstream SERVFAIL responses received.
     pub upstream_servfails: u64,
+    /// Truncated (TC=1) answers retried over the stream (TCP) leg.
+    /// Counted inside `upstream_queries` too — a retry is a query.
+    pub upstream_tcp_retries: u64,
     /// Resolutions that ended in failure (SERVFAIL to the client).
     pub failures: u64,
     /// Negative (NXDOMAIN/NODATA) answers served, cached or fresh.
@@ -459,6 +462,40 @@ impl Ldns {
                     if resp.flags.rcode == Rcode::ServFail {
                         self.stats.upstream_servfails += 1;
                         continue;
+                    }
+                    if resp.flags.tc {
+                        // Truncated: the answer exists but overflowed the
+                        // UDP reply budget. Re-ask the same question over
+                        // the stream leg (RFC 1035 §4.2.2); a transport
+                        // without one makes this a failed attempt.
+                        self.stats.upstream_tcp_retries += 1;
+                        *upstream += 1;
+                        self.stats.upstream_queries += 1;
+                        match transport.exchange_stream(
+                            shard,
+                            server_ip,
+                            self.cfg.ip,
+                            &bytes,
+                            self.cfg.upstream_timeout,
+                        ) {
+                            Ok(tcp_bytes) => {
+                                if let Ok(m) = decode_message(&tcp_bytes) {
+                                    if m.id == id
+                                        && m.flags.qr
+                                        && !m.flags.tc
+                                        && m.flags.rcode != Rcode::ServFail
+                                    {
+                                        return Exchange::Response(m);
+                                    }
+                                }
+                                continue;
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::TimedOut => {
+                                self.stats.upstream_timeouts += 1;
+                                continue;
+                            }
+                            Err(_) => continue,
+                        }
                     }
                     return Exchange::Response(resp);
                 }

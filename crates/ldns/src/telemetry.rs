@@ -22,6 +22,7 @@ pub struct FleetMetrics {
     upstream_queries: Arc<Counter>,
     upstream_timeouts: Arc<Counter>,
     upstream_servfails: Arc<Counter>,
+    upstream_tcp_retries: Arc<Counter>,
     failures: Arc<Counter>,
     negative_answers: Arc<Counter>,
     expirations: Arc<Counter>,
@@ -71,6 +72,11 @@ impl FleetMetrics {
                 "SERVFAIL responses received from the authoritative",
                 &[],
             ),
+            upstream_tcp_retries: reg.counter(
+                "eum_ldns_upstream_tcp_retries_total",
+                "Truncated (TC=1) answers retried over the TCP leg",
+                &[],
+            ),
             failures: reg.counter(
                 "eum_ldns_failures_total",
                 "Resolutions that ended in SERVFAIL toward the client",
@@ -109,6 +115,7 @@ impl FleetMetrics {
                 upstream_queries: 0,
                 upstream_timeouts: 0,
                 upstream_servfails: 0,
+                upstream_tcp_retries: 0,
                 failures: 0,
                 negative_answers: 0,
                 expired_churn: 0,
@@ -142,6 +149,11 @@ impl FleetMetrics {
                 .upstream_servfails
                 .saturating_sub(p.upstream_servfails),
         );
+        self.upstream_tcp_retries.add(
+            report
+                .upstream_tcp_retries
+                .saturating_sub(p.upstream_tcp_retries),
+        );
         self.failures
             .add(report.failures.saturating_sub(p.failures));
         self.negative_answers
@@ -170,6 +182,7 @@ mod tests {
             upstream_queries: up,
             upstream_timeouts: 1,
             upstream_servfails: 2,
+            upstream_tcp_retries: 0,
             failures: 0,
             negative_answers: 3,
             expired_churn: 5,

@@ -126,6 +126,95 @@ fn single_resolver_walks_the_hierarchy_and_caches() {
 }
 
 #[test]
+fn truncated_upstream_answers_retry_over_tcp() {
+    let w = build_world(24);
+    let qname = w.catalog.domains[0].cdn_name.clone();
+    let client = w.net.blocks[0].client_ip();
+    let resolver_ip = w.net.resolvers[0].ip;
+    let top = w.map.top_level_ip();
+
+    // A UDP reply cap below any referral or answer: every upstream
+    // exchange comes back TC=1 and must complete over the stream leg
+    // (the channel transport models it as an uncapped stream query).
+    let (transports, connector) = channel_transports(1);
+    let server = AuthServer::spawn(
+        transports,
+        SnapshotHandle::new(w.map),
+        ServerConfig::new(top).with_max_udp_reply(40),
+    );
+    let mut transport = ChannelClient::new(connector);
+
+    let t0 = Instant::now();
+    let mut ldns = Ldns::new(LdnsConfig::new(resolver_ip, EcsPolicy::Always), t0);
+    let first = ldns.resolve(&mut transport, 0, top, &qname, client, t0);
+    assert_eq!(first.rcode, Rcode::NoError);
+    assert!(!first.ips.is_empty(), "the TCP leg must carry the answer");
+    // Both walk steps (delegation + answer) truncated: each cost one UDP
+    // query plus one TCP retry.
+    assert_eq!(first.upstream_queries, 4);
+    let stats = ldns.stats();
+    assert_eq!(stats.upstream_tcp_retries, 2);
+    assert_eq!(stats.failures, 0);
+
+    // Cached: no upstream at all, so no further retries.
+    let again = ldns.resolve(&mut transport, 0, top, &qname, client, t0);
+    assert!(again.from_cache);
+    assert_eq!(again.ips, first.ips);
+    assert_eq!(ldns.stats().upstream_tcp_retries, 2);
+    drop(transport);
+    server.stop_join();
+}
+
+#[test]
+fn fleet_reports_and_exports_tcp_retries() {
+    use eum_ldns::FleetMetrics;
+    use eum_telemetry::Registry;
+
+    const QUERIES: usize = 400;
+    const WORKERS: usize = 2;
+
+    let w = build_world(24);
+    let plan = QueryPlan::generate(&w.net, &domains(&w.catalog), SEED, QUERIES);
+    let t0 = Instant::now();
+    let mut fleet = ResolverFleet::new(&w.net, t0, |r| LdnsConfig::new(r.ip, EcsPolicy::Always));
+    let top = w.map.top_level_ip();
+    let (transports, connector) = channel_transports(WORKERS);
+    let server = AuthServer::spawn(
+        transports,
+        SnapshotHandle::new(w.map),
+        ServerConfig::new(top).with_max_udp_reply(40),
+    );
+    let clients = (0..WORKERS)
+        .map(|_| ChannelClient::new(connector.clone()))
+        .collect();
+    let report = fleet.run(clients, &plan, &RunConfig::new(top));
+    let server_reports = server.stop_join();
+
+    assert_eq!(report.failures, 0, "every truncation must recover via TCP");
+    assert!(
+        report.upstream_tcp_retries > 0,
+        "a 40-byte cap must force TC retries"
+    );
+    // Every UDP reply the server truncated shows up as a resolver-side
+    // TCP retry, and retries are counted inside upstream_queries.
+    let truncated: u64 = server_reports.iter().map(|r| r.truncated).sum();
+    assert_eq!(report.upstream_tcp_retries, truncated);
+    assert!(report.upstream_queries >= 2 * report.upstream_tcp_retries);
+
+    let reg = Registry::new();
+    let mut metrics = FleetMetrics::register(&reg);
+    metrics.publish(&report);
+    let text = reg.render_text();
+    assert!(
+        text.contains(&format!(
+            "eum_ldns_upstream_tcp_retries_total {}",
+            report.upstream_tcp_retries
+        )),
+        "exported counter must match the fleet report"
+    );
+}
+
+#[test]
 fn ecs_raises_measured_amplification_over_baseline() {
     const QUERIES: usize = 4_000;
     const WORKERS: usize = 4;

@@ -1,0 +1,42 @@
+//! eum-net: the kernel-batched socket transport for the authoritative
+//! serving stack.
+//!
+//! The in-repo transports (`eum_authd::transport`) stop at one
+//! `recv_from` per datagram on one socket per shard. This crate closes
+//! the gap to how the paper's authoritative infrastructure actually
+//! meets its load (§3, §5.3: answering the full resolver population
+//! within tight latency budgets):
+//!
+//! * [`udp::ReuseportUdpTransport`] — all shards share **one** UDP port
+//!   via `SO_REUSEPORT`; the kernel hashes each resolver's 4-tuple to a
+//!   shard, and each shard moves datagrams in `recvmmsg`/`sendmmsg`
+//!   batches with zero warm-path allocations, optionally pinned to a
+//!   core. Plugs into [`eum_authd::AuthServer::spawn_batched`].
+//! * [`tcp::TcpServerTransport`] — the DNS-over-TCP fallback (RFC 1035
+//!   §4.2.2): answers the server had to truncate (TC=1) under the
+//!   requester's UDP payload limit complete over a length-prefixed
+//!   stream. Plugs into the plain [`eum_authd::AuthServer::spawn`].
+//! * [`client::SocketClient`] — the matching
+//!   [`eum_authd::ClientTransport`]: UDP exchange plus the TCP retry
+//!   leg, so the load generator and the eum-ldns fleet drive real
+//!   sockets unchanged.
+//! * [`sys`] (Linux only) — the crate's entire `unsafe` surface: safe
+//!   wrappers over a minimal vendored `libc` stub
+//!   (`socket`/`setsockopt`/`bind`, `recvmmsg`/`sendmmsg`,
+//!   `sched_setaffinity`), each call site carrying a SAFETY comment and
+//!   the whole crate pinned by the eum-lint unsafe budget.
+//!
+//! On non-Linux targets (and under
+//! [`udp::BatchConfig::force_portable`], which doubles as the benchmark
+//! baseline) everything degrades to portable std socket calls with the
+//! same interfaces.
+
+pub mod client;
+#[cfg(target_os = "linux")]
+pub mod sys;
+pub mod tcp;
+pub mod udp;
+
+pub use client::SocketClient;
+pub use tcp::TcpServerTransport;
+pub use udp::{BatchConfig, ReuseportUdpTransport};

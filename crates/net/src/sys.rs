@@ -1,0 +1,306 @@
+//! Safe wrappers over the vendored `libc` stub — the only module in the
+//! workspace (outside tests) that contains `unsafe`.
+//!
+//! Three capabilities, each a thin veneer over one or two syscalls:
+//!
+//! * [`bind_reuseport`] — create a UDP socket, set `SO_REUSEPORT`
+//!   *before* binding (std's `UdpSocket::bind` offers no hook between
+//!   `socket()` and `bind()`), and hand it back as a normal
+//!   `std::net::UdpSocket` so everything else uses safe std I/O.
+//! * [`MmsgBatch`] — reusable `recvmmsg`/`sendmmsg` scatter-gather
+//!   arrays. One kernel call moves a whole batch of datagrams, which is
+//!   where the batched transport's throughput comes from: the per-call
+//!   cost (syscall entry, softirq handoff) is amortized over the batch.
+//! * [`pin_current_thread`] — `sched_setaffinity` on the calling thread
+//!   so a shard's cache footprint stays on one core.
+//!
+//! Waits are bounded with `SO_RCVTIMEO` (via `set_read_timeout`) plus
+//! `MSG_WAITFORONE`, *not* `recvmmsg`'s timeout argument: the kernel
+//! only checks that argument between datagrams, so it cannot bound the
+//! first blocking wait.
+
+use std::io;
+use std::mem;
+use std::net::{Ipv4Addr, SocketAddrV4, UdpSocket};
+use std::os::fd::{AsRawFd, FromRawFd};
+use std::ptr;
+
+/// Binds a loopback-style UDP socket with `SO_REUSEPORT` set, so several
+/// shard sockets can share one port and the kernel 4-tuple-hashes
+/// incoming datagrams across them (the ECMP-style scale-out §3 of the
+/// paper's serving infrastructure implies).
+pub fn bind_reuseport(addr: SocketAddrV4) -> io::Result<UdpSocket> {
+    // SAFETY: plain syscall with no pointer arguments; the returned fd
+    // is validated before use.
+    let fd = unsafe { libc::socket(libc::AF_INET, libc::SOCK_DGRAM, 0) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: `fd` was just returned by socket() and nothing else owns
+    // it; wrapping immediately means every error path below closes it.
+    let sock = unsafe { UdpSocket::from_raw_fd(fd) };
+    let one: libc::c_int = 1;
+    // SAFETY: `&one` points at a live c_int for the duration of the call
+    // and the length passed is exactly its size.
+    let rc = unsafe {
+        libc::setsockopt(
+            fd,
+            libc::SOL_SOCKET,
+            libc::SO_REUSEPORT,
+            &one as *const libc::c_int as *const libc::c_void,
+            mem::size_of::<libc::c_int>() as libc::socklen_t,
+        )
+    };
+    if rc != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let sin = sockaddr_of(addr);
+    // SAFETY: `sin` is a fully initialized sockaddr_in that lives across
+    // the call, and the length passed is exactly its size.
+    let rc = unsafe {
+        libc::bind(
+            fd,
+            &sin as *const libc::sockaddr_in as *const libc::sockaddr,
+            mem::size_of::<libc::sockaddr_in>() as libc::socklen_t,
+        )
+    };
+    if rc != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(sock)
+}
+
+/// `SocketAddrV4` → network-byte-order `sockaddr_in`.
+pub fn sockaddr_of(addr: SocketAddrV4) -> libc::sockaddr_in {
+    libc::sockaddr_in {
+        sin_family: libc::AF_INET as libc::sa_family_t,
+        sin_port: addr.port().to_be(),
+        sin_addr: libc::in_addr {
+            s_addr: u32::from(*addr.ip()).to_be(),
+        },
+        sin_zero: [0; 8],
+    }
+}
+
+/// Network-byte-order `sockaddr_in` → `SocketAddrV4`.
+pub fn addr_of(sin: &libc::sockaddr_in) -> SocketAddrV4 {
+    SocketAddrV4::new(
+        Ipv4Addr::from(u32::from_be(sin.sin_addr.s_addr)),
+        u16::from_be(sin.sin_port),
+    )
+}
+
+/// Reusable scatter-gather arrays for `recvmmsg`/`sendmmsg`. Allocated
+/// once per transport; every call rewrites the headers in place, so a
+/// warm batch cycle allocates nothing.
+pub struct MmsgBatch {
+    addrs: Box<[libc::sockaddr_in]>,
+    iovs: Box<[libc::iovec]>,
+    hdrs: Box<[libc::mmsghdr]>,
+}
+
+// The raw pointers inside `iovs`/`hdrs` are dead between calls — `recv`
+// and `send` rewrite every header before handing the arrays to the
+// kernel, and while live they only point into the caller's buffers and
+// this struct's own `addrs`, all of which outlive the call.
+// SAFETY: per above, plus the batch is owned and driven by one shard
+// thread, so no pointer is ever observed from another thread while live.
+unsafe impl Send for MmsgBatch {}
+
+impl MmsgBatch {
+    /// Arrays sized for batches of up to `capacity` datagrams.
+    pub fn new(capacity: usize) -> MmsgBatch {
+        let empty_hdr = libc::msghdr {
+            msg_name: ptr::null_mut(),
+            msg_namelen: 0,
+            msg_iov: ptr::null_mut(),
+            msg_iovlen: 0,
+            msg_control: ptr::null_mut(),
+            msg_controllen: 0,
+            msg_flags: 0,
+        };
+        MmsgBatch {
+            addrs: vec![sockaddr_of(SocketAddrV4::new(Ipv4Addr::UNSPECIFIED, 0)); capacity]
+                .into_boxed_slice(),
+            iovs: vec![
+                libc::iovec {
+                    iov_base: ptr::null_mut(),
+                    iov_len: 0,
+                };
+                capacity
+            ]
+            .into_boxed_slice(),
+            hdrs: vec![
+                libc::mmsghdr {
+                    msg_hdr: empty_hdr,
+                    msg_len: 0,
+                };
+                capacity
+            ]
+            .into_boxed_slice(),
+        }
+    }
+
+    /// Receives a batch into `bufs`, a flat buffer of `slot`-byte slots.
+    /// Blocks for the first datagram (bounded by the socket's
+    /// `SO_RCVTIMEO`), then drains whatever the kernel already holds.
+    /// Fills `lens[i]`/`peers[i]` for each received slot and returns the
+    /// count; `Ok(0)` means the wait timed out.
+    pub fn recv(
+        &mut self,
+        sock: &UdpSocket,
+        bufs: &mut [u8],
+        slot: usize,
+        lens: &mut [usize],
+        peers: &mut [SocketAddrV4],
+    ) -> io::Result<usize> {
+        let n = self
+            .hdrs
+            .len()
+            .min(lens.len())
+            .min(peers.len())
+            .min(bufs.len() / slot);
+        if n == 0 {
+            return Ok(0);
+        }
+        for i in 0..n {
+            self.iovs[i] = libc::iovec {
+                iov_base: bufs[i * slot..].as_mut_ptr() as *mut libc::c_void,
+                iov_len: slot,
+            };
+            self.hdrs[i].msg_hdr = libc::msghdr {
+                msg_name: &mut self.addrs[i] as *mut libc::sockaddr_in as *mut libc::c_void,
+                msg_namelen: mem::size_of::<libc::sockaddr_in>() as libc::socklen_t,
+                msg_iov: &mut self.iovs[i],
+                msg_iovlen: 1,
+                msg_control: ptr::null_mut(),
+                msg_controllen: 0,
+                msg_flags: 0,
+            };
+            self.hdrs[i].msg_len = 0;
+        }
+        // `hdrs[..n]` was fully initialized above: every iov_base points
+        // at `slot` writable bytes inside `bufs`, every msg_name at a
+        // sockaddr_in in `addrs`, and all three arrays outlive the call.
+        // SAFETY: pointers valid and writable per above; MSG_WAITFORONE
+        // makes the kernel return after the first blocking receive.
+        let got = unsafe {
+            libc::recvmmsg(
+                sock.as_raw_fd(),
+                self.hdrs.as_mut_ptr(),
+                n as libc::c_uint,
+                libc::MSG_WAITFORONE,
+                ptr::null_mut(),
+            )
+        };
+        if got < 0 {
+            let e = io::Error::last_os_error();
+            return match e.kind() {
+                io::ErrorKind::WouldBlock
+                | io::ErrorKind::TimedOut
+                | io::ErrorKind::Interrupted => Ok(0),
+                _ => Err(e),
+            };
+        }
+        let got = got as usize;
+        for i in 0..got {
+            lens[i] = (self.hdrs[i].msg_len as usize).min(slot);
+            peers[i] = addr_of(&self.addrs[i]);
+        }
+        Ok(got)
+    }
+
+    /// Sends every staged slot (`lens[i] > 0`) of `bufs` to `peers[i]`
+    /// in as few `sendmmsg` calls as the kernel allows. Returns how many
+    /// datagrams went out.
+    pub fn send(
+        &mut self,
+        sock: &UdpSocket,
+        bufs: &[u8],
+        slot: usize,
+        lens: &[usize],
+        peers: &[SocketAddrV4],
+    ) -> io::Result<usize> {
+        let bound = self
+            .hdrs
+            .len()
+            .min(lens.len())
+            .min(peers.len())
+            .min(bufs.len() / slot);
+        let mut staged = 0usize;
+        for i in 0..bound {
+            let len = lens[i].min(slot);
+            if len == 0 {
+                continue;
+            }
+            self.addrs[staged] = sockaddr_of(peers[i]);
+            self.iovs[staged] = libc::iovec {
+                // sendmmsg never writes through iov_base; the mut cast
+                // only satisfies the shared iovec declaration.
+                iov_base: bufs[i * slot..].as_ptr() as *mut libc::c_void,
+                iov_len: len,
+            };
+            self.hdrs[staged].msg_hdr = libc::msghdr {
+                msg_name: &mut self.addrs[staged] as *mut libc::sockaddr_in as *mut libc::c_void,
+                msg_namelen: mem::size_of::<libc::sockaddr_in>() as libc::socklen_t,
+                msg_iov: &mut self.iovs[staged],
+                msg_iovlen: 1,
+                msg_control: ptr::null_mut(),
+                msg_controllen: 0,
+                msg_flags: 0,
+            };
+            self.hdrs[staged].msg_len = 0;
+            staged += 1;
+        }
+        if staged == 0 {
+            return Ok(0);
+        }
+        let mut sent = 0usize;
+        while sent < staged {
+            // SAFETY: `hdrs[sent..staged]` was fully initialized above;
+            // iov_base points into `bufs` (read-only), msg_name into
+            // `addrs`, and all arrays outlive the call.
+            let rc = unsafe {
+                libc::sendmmsg(
+                    sock.as_raw_fd(),
+                    self.hdrs[sent..].as_mut_ptr(),
+                    (staged - sent) as libc::c_uint,
+                    0,
+                )
+            };
+            if rc < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(e);
+            }
+            if rc == 0 {
+                break;
+            }
+            sent += rc as usize;
+        }
+        Ok(sent)
+    }
+}
+
+/// Pins the calling thread to `cpu`. Best-effort callers ignore the
+/// error (restricted affinity masks are common in containers).
+pub fn pin_current_thread(cpu: usize) -> io::Result<()> {
+    let mut set = libc::cpu_set_t::zeroed();
+    let word = cpu / 64;
+    let Some(bits) = set.bits.get_mut(word) else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "cpu beyond the 1024-bit cpu_set_t",
+        ));
+    };
+    *bits |= 1u64 << (cpu % 64);
+    // SAFETY: `set` is a fully initialized cpu_set_t, the size passed is
+    // exactly its size, and pid 0 addresses the calling thread.
+    let rc = unsafe { libc::sched_setaffinity(0, mem::size_of::<libc::cpu_set_t>(), &set) };
+    if rc != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}

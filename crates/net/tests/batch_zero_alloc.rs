@@ -1,0 +1,228 @@
+//! Proof of the batched socket path's allocation budget: once the
+//! transport's bind-time buffers and the shard's scratch are warm, a
+//! full batch cycle — `recvmmsg` a batch, serve every query as a cached
+//! hit, stage every reply, `sendmmsg` the batch — touches the heap zero
+//! times. Same counting-allocator technique as
+//! `crates/authd/tests/zero_alloc.rs`, extended over real sockets.
+//!
+//! This file holds exactly one `#[test]` on purpose: the counter is
+//! global, so a second test on a sibling thread would pollute it.
+
+use eum_authd::{
+    BatchServerTransport, CacheConfig, QueryStages, ReplyCap, ServeOutcome, ShardState,
+    SnapshotHandle,
+};
+use eum_cdn::{deployment_universe, CatalogConfig, CdnPlatform, ContentCatalog, DeployConfig};
+use eum_dns::edns::{EcsOption, OptData};
+use eum_dns::{encode_message, Message, Question};
+use eum_mapping::{MappingConfig, MappingSystem};
+use eum_net::{BatchConfig, ReuseportUdpTransport};
+use eum_netmodel::{Internet, InternetConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::net::{Ipv4Addr, UdpSocket};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const SEED: u64 = 0xBA7C;
+const BATCH: usize = 8;
+
+/// Counts every path into the heap; frees are uncounted (a zero-alloc
+/// steady state cannot free what it never allocated).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: every method forwards verbatim to the System allocator, so the
+// GlobalAlloc contract (layout validity, no unwinding, pointer ownership)
+// is exactly System's; the counter increment touches only an atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same layout contract as System::alloc; forwarded unchanged.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller upholds GlobalAlloc's contract; layout passed through.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: same contract as System::dealloc; forwarded unchanged.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: ptr was produced by the System forwards above with this layout.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    // SAFETY: same contract as System::realloc; forwarded unchanged.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: ptr/layout originate from this allocator's System forwards.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    // SAFETY: same contract as System::alloc_zeroed; forwarded unchanged.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller upholds GlobalAlloc's contract; layout passed through.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn world() -> (Internet, MappingSystem) {
+    let mut net = Internet::generate(InternetConfig::tiny(SEED));
+    let sites = deployment_universe(SEED, 16);
+    let cdn = CdnPlatform::deploy(
+        &mut net,
+        &sites,
+        &DeployConfig {
+            servers_per_cluster: 4,
+            cache_objects_per_server: 256,
+            cluster_capacity: f64::INFINITY,
+        },
+    );
+    let catalog = ContentCatalog::generate(&CatalogConfig::tiny(SEED));
+    let map = MappingSystem::build(
+        &mut net,
+        &cdn,
+        &catalog,
+        "cdn.example".parse().unwrap(),
+        MappingConfig {
+            max_ping_targets: 50,
+            ..MappingConfig::default()
+        },
+    );
+    (net, map)
+}
+
+/// One closed batch cycle, driven single-threaded: the client socket
+/// sends `payloads`, the transport receives them as one or more batches,
+/// the shard serves each and stages the reply, `flush` sends them back,
+/// and the client drains its replies. Returns how many were served.
+#[allow(clippy::too_many_arguments)]
+fn batch_cycle(
+    transport: &mut ReuseportUdpTransport,
+    state: &mut ShardState,
+    snap: &eum_authd::Snapshot,
+    low: Ipv4Addr,
+    client: &UdpSocket,
+    dest: std::net::SocketAddr,
+    payloads: &[Vec<u8>],
+    rbuf: &mut [u8],
+) -> usize {
+    for p in payloads {
+        client.send_to(p, dest).expect("client send");
+    }
+    let mut served = 0usize;
+    while served < payloads.len() {
+        let n = transport
+            .recv_batch(Duration::from_secs(2))
+            .expect("recv_batch");
+        assert!(n > 0, "queries were sent; the batch cannot time out");
+        for i in 0..n {
+            // The datagram borrow (into the transport's receive buffer)
+            // ends before staging needs the transport mutably again.
+            let out = {
+                let dg = transport.datagram(i);
+                let mut stages = QueryStages::new(false);
+                state.serve(
+                    &snap.map,
+                    low,
+                    dg.resolver_ip,
+                    dg.payload,
+                    ReplyCap::udp(),
+                    &mut stages,
+                )
+            };
+            match out {
+                ServeOutcome::Replied { .. } | ServeOutcome::FormErr => {
+                    transport.stage_reply(i, state.reply());
+                }
+                ServeOutcome::Dropped => {}
+            }
+            served += 1;
+        }
+        transport.flush().expect("flush");
+    }
+    // Drain the replies so the next cycle starts clean.
+    for _ in 0..payloads.len() {
+        client.recv_from(rbuf).expect("client recv");
+    }
+    served
+}
+
+#[test]
+fn warm_batch_cycles_do_not_allocate() {
+    let (net, map) = world();
+    let low = map.ns_ips()[1];
+    let snapshots = SnapshotHandle::new(map);
+    let snap = snapshots.current();
+
+    // BATCH distinct-ID queries over two cacheable shapes.
+    let payloads: Vec<Vec<u8>> = (0..BATCH)
+        .map(|i| {
+            let opt = (i % 2 == 0)
+                .then(|| OptData::with_ecs(EcsOption::query(net.blocks[0].client_ip(), 24)));
+            encode_message(&Message::query(
+                0x2000 + i as u16,
+                Question::a("e0.cdn.example".parse().unwrap()),
+                opt,
+            ))
+        })
+        .collect();
+
+    let cfg = BatchConfig {
+        batch: BATCH,
+        ..BatchConfig::default()
+    };
+    let (mut transports, addrs) = ReuseportUdpTransport::bind_shards(1, &cfg).expect("bind");
+    let mut transport = transports.remove(0);
+    #[cfg(target_os = "linux")]
+    assert!(
+        !transport.is_portable(),
+        "on Linux this must measure the recvmmsg/sendmmsg path"
+    );
+    let dest = addrs[0];
+    let client = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).expect("client bind");
+    client
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .expect("client timeout");
+    let mut rbuf = vec![0u8; 4096];
+
+    let mut state = ShardState::new(Some(CacheConfig::default()));
+    state.observe(&snap);
+
+    // Warm-up: fill the answer cache, settle every scratch capacity, and
+    // let the transport apply its read timeout once.
+    for _ in 0..5 {
+        batch_cycle(
+            &mut transport,
+            &mut state,
+            &snap,
+            low,
+            &client,
+            dest,
+            &payloads,
+            &mut rbuf,
+        );
+    }
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let mut served = 0usize;
+    for _ in 0..200 {
+        served += batch_cycle(
+            &mut transport,
+            &mut state,
+            &snap,
+            low,
+            &client,
+            dest,
+            &payloads,
+            &mut rbuf,
+        );
+    }
+    let delta = ALLOCS.load(Ordering::SeqCst) - before;
+    assert_eq!(served, 200 * BATCH);
+    assert_eq!(
+        delta, 0,
+        "warm batched recv/serve/send allocated {delta} times over {served} queries"
+    );
+}

@@ -1,0 +1,261 @@
+//! End-to-end over real kernel sockets: SO_REUSEPORT shard sockets
+//! served by the batched (`recvmmsg`/`sendmmsg`) shard loop, and the
+//! DNS-over-TCP fallback completing answers the UDP path had to
+//! truncate.
+//!
+//! On Linux every shard socket shares one port and the *kernel* picks
+//! the shard per client 4-tuple — so these tests use several client
+//! sockets and assert on totals, never on which shard got which query.
+
+use eum_authd::{AuthServer, ClientTransport, ServerConfig, SnapshotHandle};
+use eum_cdn::{deployment_universe, CatalogConfig, CdnPlatform, ContentCatalog, DeployConfig};
+use eum_dns::edns::{EcsOption, OptData};
+use eum_dns::{decode_message, encode_message, Message, QueryContext, Question, Rcode};
+use eum_mapping::{MappingConfig, MappingSystem};
+use eum_net::{BatchConfig, ReuseportUdpTransport, SocketClient, TcpServerTransport};
+use eum_netmodel::{Internet, InternetConfig};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 0x50C3;
+
+fn world() -> (Internet, MappingSystem) {
+    let mut net = Internet::generate(InternetConfig::tiny(SEED));
+    let sites = deployment_universe(SEED, 16);
+    let cdn = CdnPlatform::deploy(
+        &mut net,
+        &sites,
+        &DeployConfig {
+            servers_per_cluster: 4,
+            cache_objects_per_server: 256,
+            cluster_capacity: f64::INFINITY,
+        },
+    );
+    let catalog = ContentCatalog::generate(&CatalogConfig::tiny(SEED));
+    let map = MappingSystem::build(
+        &mut net,
+        &cdn,
+        &catalog,
+        "cdn.example".parse().unwrap(),
+        MappingConfig {
+            max_ping_targets: 50,
+            ..MappingConfig::default()
+        },
+    );
+    (net, map)
+}
+
+/// The answer the mapping computes for `query` as seen from loopback
+/// (the kernel peer address every socket query reports).
+fn expected_ips(map: &MappingSystem, server: Ipv4Addr, query: &Message) -> Vec<Ipv4Addr> {
+    let ctx = QueryContext {
+        resolver_ip: Ipv4Addr::LOCALHOST,
+        now_ms: 0,
+    };
+    let resp = map.answer(server, query, &ctx);
+    assert_eq!(resp.flags.rcode, Rcode::NoError);
+    let mut ips = resp.answer_ips();
+    ips.sort_unstable();
+    ips
+}
+
+#[test]
+fn reuseport_batched_shards_answer_correctly() {
+    let (net, map) = world();
+    let low = map.ns_ips()[1];
+
+    // Fixed probe set: ECS queries for several client blocks plus one
+    // plain query.
+    let mut probes: Vec<(Vec<u8>, u16, Vec<Ipv4Addr>)> = Vec::new();
+    for (i, block) in net.blocks.iter().take(6).enumerate() {
+        let id = 0x6000 + i as u16;
+        let q = Message::query(
+            id,
+            Question::a("e0.cdn.example".parse().unwrap()),
+            Some(OptData::with_ecs(EcsOption::query(block.client_ip(), 24))),
+        );
+        probes.push((encode_message(&q), id, expected_ips(&map, low, &q)));
+    }
+    let plain = Message::query(0x7000, Question::a("e1.cdn.example".parse().unwrap()), None);
+    probes.push((
+        encode_message(&plain),
+        0x7000,
+        expected_ips(&map, low, &plain),
+    ));
+    let probes = Arc::new(probes);
+
+    let shards = 2;
+    let (transports, addrs) =
+        ReuseportUdpTransport::bind_shards(shards, &BatchConfig::default()).expect("bind shards");
+    #[cfg(target_os = "linux")]
+    assert!(
+        addrs.windows(2).all(|w| w[0] == w[1]),
+        "SO_REUSEPORT shards must share one address"
+    );
+    let server =
+        AuthServer::spawn_batched(transports, SnapshotHandle::new(map), ServerConfig::new(low));
+
+    // Several client sockets: distinct 4-tuples, so the kernel spreads
+    // them over the shard sockets.
+    const ROUNDS: usize = 30;
+    let mut clients = Vec::new();
+    for t in 0..4usize {
+        let probes = probes.clone();
+        let addrs = addrs.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut client = SocketClient::connect(addrs, Vec::new()).expect("bind client");
+            for round in 0..ROUNDS {
+                for (i, (payload, id, expect)) in probes.iter().enumerate() {
+                    let shard = (t + round + i) % 2;
+                    let bytes = client
+                        .exchange(
+                            shard,
+                            Ipv4Addr::UNSPECIFIED,
+                            Ipv4Addr::UNSPECIFIED,
+                            payload,
+                            Duration::from_secs(5),
+                        )
+                        .expect("exchange");
+                    let resp = decode_message(&bytes).expect("response decodes");
+                    assert_eq!(resp.id, *id);
+                    assert!(resp.flags.qr);
+                    assert!(!resp.flags.tc, "nothing here exceeds the payload limit");
+                    assert_eq!(resp.flags.rcode, Rcode::NoError);
+                    let mut ips = resp.answer_ips();
+                    ips.sort_unstable();
+                    assert_eq!(&ips, expect);
+                }
+            }
+        }));
+    }
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    let reports = server.stop_join();
+    let total: u64 = reports.iter().map(|r| r.queries).sum();
+    assert_eq!(total, (4 * ROUNDS * probes.len()) as u64);
+    for r in &reports {
+        assert_eq!(r.dropped, 0, "shard {} dropped datagrams", r.shard);
+        assert_eq!(r.malformed, 0, "shard {} saw malformed queries", r.shard);
+        assert_eq!(r.truncated, 0, "shard {} truncated replies", r.shard);
+    }
+}
+
+#[test]
+fn truncated_reply_completes_over_tcp() {
+    let (net, map) = world();
+    let low = map.ns_ips()[1];
+    let client_block = net.blocks[0].client_ip();
+
+    let q = Message::query(
+        0x4242,
+        Question::a("e0.cdn.example".parse().unwrap()),
+        Some(OptData::with_ecs(EcsOption::query(client_block, 24))),
+    );
+    let payload = encode_message(&q);
+    let expect = expected_ips(&map, low, &q);
+
+    // A UDP reply cap far below any real answer forces TC=1 on the
+    // datagram path; the TCP listener shares the same snapshot handle, so
+    // the stream retry gets the same generation's full answer.
+    let cfg = ServerConfig::new(low).with_max_udp_reply(40);
+    let snapshots = SnapshotHandle::new(map);
+    let (udp_transports, udp_addrs) =
+        ReuseportUdpTransport::bind_shards(2, &BatchConfig::default()).expect("bind shards");
+    let tcp = TcpServerTransport::bind().expect("bind tcp");
+    let tcp_addr = tcp.local_addr().expect("tcp addr");
+    let udp_server = AuthServer::spawn_batched(udp_transports, snapshots.clone(), cfg.clone());
+    let tcp_server = AuthServer::spawn(vec![tcp], snapshots, cfg);
+
+    let mut client = SocketClient::connect(udp_addrs, vec![tcp_addr]).expect("bind client");
+
+    // UDP leg: truncated, TC set, no usable answer records.
+    let udp_bytes = client
+        .exchange(
+            0,
+            Ipv4Addr::UNSPECIFIED,
+            Ipv4Addr::UNSPECIFIED,
+            &payload,
+            Duration::from_secs(5),
+        )
+        .expect("udp exchange");
+    assert!(udp_bytes.len() <= 40, "reply must respect the UDP cap");
+    let udp_resp = decode_message(&udp_bytes).expect("truncated reply decodes");
+    assert_eq!(udp_resp.id, 0x4242);
+    assert!(udp_resp.flags.tc, "over-limit reply must carry TC=1");
+    assert!(
+        udp_resp.answer_ips().is_empty(),
+        "a 40-byte budget cannot carry answer records"
+    );
+
+    // TCP leg: the same query completes, un-truncated and uncapped.
+    let tcp_bytes = client
+        .exchange_stream(
+            0,
+            Ipv4Addr::UNSPECIFIED,
+            Ipv4Addr::UNSPECIFIED,
+            &payload,
+            Duration::from_secs(5),
+        )
+        .expect("tcp exchange");
+    assert!(tcp_bytes.len() > 40, "stream reply is not size-capped");
+    let tcp_resp = decode_message(&tcp_bytes).expect("stream reply decodes");
+    assert_eq!(tcp_resp.id, 0x4242);
+    assert!(!tcp_resp.flags.tc, "stream replies are never truncated");
+    assert_eq!(tcp_resp.flags.rcode, Rcode::NoError);
+    let mut ips = tcp_resp.answer_ips();
+    ips.sort_unstable();
+    assert_eq!(ips, expect, "TCP answer must match the mapping's answer");
+    let echo = tcp_resp.ecs().expect("ECS echo survives the stream path");
+    assert_eq!(echo.addr, EcsOption::query(client_block, 24).addr);
+
+    let udp_reports = udp_server.stop_join();
+    assert_eq!(
+        udp_reports.iter().map(|r| r.truncated).sum::<u64>(),
+        1,
+        "exactly the one UDP exchange was truncated"
+    );
+    let tcp_reports = tcp_server.stop_join();
+    assert_eq!(tcp_reports.iter().map(|r| r.queries).sum::<u64>(), 1);
+    assert_eq!(tcp_reports.iter().map(|r| r.truncated).sum::<u64>(), 0);
+}
+
+/// The portable single-datagram path (the benchmark baseline and the
+/// non-Linux fallback) serves the same answers.
+#[test]
+fn portable_fallback_round_trips() {
+    let (_net, map) = world();
+    let low = map.ns_ips()[1];
+    let plain = Message::query(0x1111, Question::a("e0.cdn.example".parse().unwrap()), None);
+    let payload = encode_message(&plain);
+    let expect = expected_ips(&map, low, &plain);
+
+    let cfg = BatchConfig {
+        force_portable: true,
+        ..BatchConfig::default()
+    };
+    let (transports, addrs) = ReuseportUdpTransport::bind_shards(1, &cfg).expect("bind");
+    assert!(transports[0].is_portable());
+    let server =
+        AuthServer::spawn_batched(transports, SnapshotHandle::new(map), ServerConfig::new(low));
+    let mut client = SocketClient::connect(addrs, Vec::new()).expect("client");
+    for _ in 0..10 {
+        let bytes = client
+            .exchange(
+                0,
+                Ipv4Addr::UNSPECIFIED,
+                Ipv4Addr::UNSPECIFIED,
+                &payload,
+                Duration::from_secs(5),
+            )
+            .expect("exchange");
+        let resp = decode_message(&bytes).expect("decodes");
+        let mut ips = resp.answer_ips();
+        ips.sort_unstable();
+        assert_eq!(ips, expect);
+    }
+    let reports = server.stop_join();
+    assert_eq!(reports.iter().map(|r| r.queries).sum::<u64>(), 10);
+}

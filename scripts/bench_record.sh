@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Records a PR's benchmark numbers into BENCH_<pr>.json.
 #
-#   scripts/bench_record.sh [pr3|pr5] [out.json]
+#   scripts/bench_record.sh [pr3|pr5|pr6] [out.json]
 #
 # * pr3 — the serve-path zero-allocation rewrite: runs the `wire` bench
 #   (alloc-free codec + shard serve paths + geo lookup) and writes the
@@ -12,6 +12,11 @@
 #   bench (ECS-partitioned cache lookup/insert, timer-wheel steady-state
 #   churn, and a warm cached resolve). The subsystem is new in PR 5, so
 #   there is no pre-change baseline; absolute ns/op are recorded.
+# * pr6 — the eum-net kernel-batched socket transport: runs the
+#   multi-process `socket_loadgen` example (real SO_REUSEPORT shards,
+#   separate client processes) and records the batched
+#   recvmmsg/sendmmsg configuration against the single-socket
+#   `recv_from` baseline measured in the same run.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -20,9 +25,69 @@ mode="${1:-pr5}"
 case "$mode" in
   pr3) default_out="BENCH_pr3.json"; bench="wire" ;;
   pr5) default_out="BENCH_pr5.json"; bench="ldns" ;;
-  *) echo "usage: $0 [pr3|pr5] [out.json]" >&2; exit 2 ;;
+  pr6) default_out="BENCH_pr6.json"; bench="" ;;
+  *) echo "usage: $0 [pr3|pr5|pr6] [out.json]" >&2; exit 2 ;;
 esac
 out="${2:-$default_out}"
+
+if [ "$mode" = "pr6" ]; then
+  cargo build --release --example socket_loadgen >&2
+  raw="$(./target/release/examples/socket_loadgen | tee /dev/stderr)"
+
+  # "RESULT mode=batched qps=198307 p50_us=248.7 ..." -> one field.
+  result_of() {
+    echo "$raw" | awk -v mode="$1" -v key="$2" '
+      $1 == "RESULT" && $2 == "mode=" mode {
+        for (i = 3; i <= NF; i++) {
+          n = split($i, kv, "=")
+          if (n == 2 && kv[1] == key) print kv[2]
+        }
+      }'
+  }
+
+  fields="qps p50_us p99_us ok err served shards workers window"
+  declare -A single batched
+  for f in $fields; do
+    single[$f]="$(result_of single "$f")"
+    batched[$f]="$(result_of batched "$f")"
+    [ -n "${single[$f]}" ] && [ -n "${batched[$f]}" ] ||
+      { echo "failed to parse loadgen output ($f)" >&2; exit 1; }
+  done
+
+  python3 - "$out" \
+    "${single[qps]}" "${single[p50_us]}" "${single[p99_us]}" \
+    "${batched[qps]}" "${batched[p50_us]}" "${batched[p99_us]}" \
+    "${single[ok]}" "${single[shards]}" "${single[workers]}" "${single[window]}" <<'EOF'
+import json, sys
+out = sys.argv[1]
+s_qps, s_p50, s_p99, b_qps, b_p50, b_p99, ok, shards, workers, window = map(
+    float, sys.argv[2:]
+)
+json.dump(
+    {
+        "pr": 6,
+        "bench": "eum-net kernel-batched socket transport "
+        "(SO_REUSEPORT + recvmmsg/sendmmsg vs single-socket recv_from)",
+        "workload": {
+            "worker_processes": int(workers),
+            "in_flight_window_per_worker": int(window),
+            "server_shards": int(shards),
+            "verified_exchanges": int(ok),
+            "trials": "best of 5 per mode, interleaved",
+        },
+        "single_socket": {"qps": s_qps, "p50_us": s_p50, "p99_us": s_p99},
+        "batched": {"qps": b_qps, "p50_us": b_p50, "p99_us": b_p99},
+        "speedup_qps": round(b_qps / s_qps, 2) if s_qps else None,
+    },
+    open(out, "w"),
+    indent=2,
+)
+print(file=open(out, "a"))
+print(f"wrote {out}: batched {b_qps:.0f} q/s vs single {s_qps:.0f} q/s "
+      f"({b_qps / s_qps:.2f}x)")
+EOF
+  exit 0
+fi
 
 raw="$(cargo bench -p eum-bench --bench "$bench" 2>&1 | tee /dev/stderr)"
 

@@ -19,4 +19,7 @@ cargo test -q
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 
+echo "==> socket smoke (multi-process loadgen over real SO_REUSEPORT shards)"
+cargo run -q --release --example socket_loadgen -- --smoke
+
 echo "All checks passed."

@@ -1,0 +1,158 @@
+//! Offline stub of the `libc` crate: exactly the syscall surface
+//! `eum-net` needs and nothing else — `socket`/`setsockopt`/`bind` (to
+//! create SO_REUSEPORT shard sockets before std can see them),
+//! `recvmmsg`/`sendmmsg` (kernel-batched datagram I/O), and
+//! `sched_setaffinity` (per-shard CPU pinning).
+//!
+//! Like every crate under vendor/, this exists because the build
+//! environment has no crates.io access. The declarations are transcribed
+//! for the environment we build on — x86_64 Linux with glibc — and the
+//! struct layouts (notably `msghdr`'s `size_t`-width `msg_iovlen` /
+//! `msg_controllen`) match that ABI. Everything is gated on
+//! `target_os = "linux"`; on other targets the crate compiles to nothing
+//! and `eum-net` falls back to portable std I/O.
+//!
+//! This crate intentionally contains no `unsafe`: it only *declares* the
+//! foreign functions. Every call site lives in `eum-net`'s wrapper
+//! module behind the workspace unsafe budget, each with a SAFETY
+//! comment.
+
+#![allow(non_camel_case_types)]
+#![cfg(target_os = "linux")]
+
+pub use core::ffi::c_void;
+
+pub type c_int = i32;
+pub type c_uint = u32;
+pub type c_char = i8;
+pub type size_t = usize;
+pub type ssize_t = isize;
+pub type socklen_t = u32;
+pub type sa_family_t = u16;
+pub type in_port_t = u16;
+pub type in_addr_t = u32;
+pub type pid_t = i32;
+pub type time_t = i64;
+
+// ---- address families / socket types / option levels ----
+
+pub const AF_INET: c_int = 2;
+pub const SOCK_DGRAM: c_int = 2;
+pub const SOCK_STREAM: c_int = 1;
+pub const SOL_SOCKET: c_int = 1;
+pub const SO_REUSEADDR: c_int = 2;
+pub const SO_REUSEPORT: c_int = 15;
+
+// ---- recvmmsg flags ----
+
+/// Return as soon as at least one datagram has been received.
+pub const MSG_WAITFORONE: c_int = 0x10000;
+pub const MSG_DONTWAIT: c_int = 0x40;
+
+// ---- errno values the wrappers inspect ----
+
+pub const EINTR: c_int = 4;
+pub const EAGAIN: c_int = 11;
+
+// ---- structs (x86_64 glibc layout) ----
+
+/// IPv4 address in network byte order.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct in_addr {
+    pub s_addr: in_addr_t,
+}
+
+/// `struct sockaddr_in`: family, big-endian port, address, padding.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct sockaddr_in {
+    pub sin_family: sa_family_t,
+    pub sin_port: in_port_t,
+    pub sin_addr: in_addr,
+    pub sin_zero: [u8; 8],
+}
+
+/// Generic socket address, only ever used as a cast target for `bind`.
+#[repr(C)]
+pub struct sockaddr {
+    pub sa_family: sa_family_t,
+    pub sa_data: [c_char; 14],
+}
+
+/// One scatter/gather segment.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct iovec {
+    pub iov_base: *mut c_void,
+    pub iov_len: size_t,
+}
+
+/// Per-message header for `recvmmsg`/`sendmmsg`. On x86_64 glibc,
+/// `msg_iovlen` and `msg_controllen` are `size_t`, not `int`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct msghdr {
+    pub msg_name: *mut c_void,
+    pub msg_namelen: socklen_t,
+    pub msg_iov: *mut iovec,
+    pub msg_iovlen: size_t,
+    pub msg_control: *mut c_void,
+    pub msg_controllen: size_t,
+    pub msg_flags: c_int,
+}
+
+/// One slot of a `recvmmsg`/`sendmmsg` batch: the kernel fills
+/// `msg_len` with the datagram length it received or sent.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct mmsghdr {
+    pub msg_hdr: msghdr,
+    pub msg_len: c_uint,
+}
+
+/// Timeout for `recvmmsg` (unused by eum-net, which bounds waits with
+/// `SO_RCVTIMEO` instead — the `recvmmsg` timeout argument is only
+/// checked between datagrams, so it cannot bound the first blocking
+/// wait).
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct timespec {
+    pub tv_sec: time_t,
+    pub tv_nsec: i64,
+}
+
+/// CPU affinity mask: 1024 bits, glibc's default `cpu_set_t` size.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct cpu_set_t {
+    pub bits: [u64; 16],
+}
+
+impl cpu_set_t {
+    /// An empty mask; set bit `cpu` to pin to that core.
+    pub fn zeroed() -> cpu_set_t {
+        cpu_set_t { bits: [0; 16] }
+    }
+}
+
+extern "C" {
+    pub fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    pub fn setsockopt(
+        fd: c_int,
+        level: c_int,
+        name: c_int,
+        value: *const c_void,
+        len: socklen_t,
+    ) -> c_int;
+    pub fn bind(fd: c_int, addr: *const sockaddr, len: socklen_t) -> c_int;
+    pub fn recvmmsg(
+        fd: c_int,
+        msgvec: *mut mmsghdr,
+        vlen: c_uint,
+        flags: c_int,
+        timeout: *mut timespec,
+    ) -> c_int;
+    pub fn sendmmsg(fd: c_int, msgvec: *mut mmsghdr, vlen: c_uint, flags: c_int) -> c_int;
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, mask: *const cpu_set_t) -> c_int;
+}
