@@ -30,7 +30,7 @@ use crate::transport::{BatchServerTransport, ServerTransport, MAX_DATAGRAM};
 use crate::truncate::truncate_in_place;
 use eum_dns::{decode_message_into, encode_message_into, DnsName, Message, QueryContext, Rcode};
 use eum_geo::Prefix;
-use eum_telemetry::{QueryTrace, TraceOutcome};
+use eum_telemetry::{QueryTrace, TraceHop, TraceOutcome, TraceRing};
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -567,11 +567,7 @@ fn run_shard<T: ServerTransport>(
         .telemetry
         .as_ref()
         .map(|t| ShardInstruments::register(&t.registry, shard, shards));
-    let trace = cfg.telemetry.as_ref().and_then(|t| {
-        (t.trace_sample_every > 0)
-            .then(|| t.trace.clone().map(|ring| (ring, t.trace_sample_every)))
-            .flatten()
-    });
+    let trace = cfg.telemetry.as_ref().and_then(|t| t.trace.clone());
     let mut dropped = 0u64;
     let mut malformed = 0u64;
     let mut received = 0u64;
@@ -585,9 +581,10 @@ fn run_shard<T: ServerTransport>(
             Err(_) => continue,
         };
         received += 1;
+        // The rate lives on the ring so operators can retune it mid-run.
         let sampled = trace
             .as_ref()
-            .is_some_and(|(_, every)| received.is_multiple_of(*every));
+            .is_some_and(|ring| ring.should_sample(received));
         let timed = tel.is_some();
         let t_start = timed.then(Instant::now);
 
@@ -648,19 +645,16 @@ fn run_shard<T: ServerTransport>(
                     }
                 }
                 if sampled {
-                    if let Some((ring, _)) = trace.as_ref() {
-                        ring.push(&QueryTrace {
-                            seq: 0,
-                            shard: shard as u16,
-                            generation: snap.generation,
-                            ecs_scope: state.last_query().ecs().map(|e| e.source_prefix),
-                            outcome: stages.outcome,
-                            decode_ns: stages.decode_ns.min(u32::MAX as u64) as u32,
-                            cache_ns: stages.cache_ns.min(u32::MAX as u64) as u32,
-                            route_ns: stages.route_ns.min(u32::MAX as u64) as u32,
-                            encode_ns: stages.encode_ns.min(u32::MAX as u64) as u32,
-                            total_ns: total_ns.min(u32::MAX as u64) as u32,
-                        });
+                    if let Some(ring) = trace.as_ref() {
+                        push_query_trace(
+                            ring,
+                            shard,
+                            snap.generation,
+                            &state,
+                            truncated,
+                            &stages,
+                            total_ns,
+                        );
                     }
                 }
             }
@@ -676,7 +670,7 @@ fn run_shard<T: ServerTransport>(
                     t.formerr.inc();
                 }
                 if sampled {
-                    if let Some((ring, _)) = trace.as_ref() {
+                    if let Some(ring) = trace.as_ref() {
                         push_malformed_trace(ring, shard, snap.generation, &stages, total_ns);
                     }
                 }
@@ -690,7 +684,7 @@ fn run_shard<T: ServerTransport>(
                     t.dropped.inc();
                 }
                 if sampled {
-                    if let Some((ring, _)) = trace.as_ref() {
+                    if let Some(ring) = trace.as_ref() {
                         push_malformed_trace(ring, shard, snap.generation, &stages, total_ns);
                     }
                 }
@@ -730,11 +724,13 @@ fn run_shard_batched<T: BatchServerTransport>(
         .telemetry
         .as_ref()
         .map(|t| ShardInstruments::register(&t.registry, shard, shards));
+    let trace = cfg.telemetry.as_ref().and_then(|t| t.trace.clone());
     let cap = ReplyCap::Datagram {
         transport_max: cfg.max_udp_reply,
     };
     let mut dropped = 0u64;
     let mut malformed = 0u64;
+    let mut received = 0u64;
     // The query bytes are copied out of the transport's receive slot so
     // the slot can be restaged with the reply while `serve` runs.
     // lint: allow(serve-alloc) — one-time setup before the serve loop; the
@@ -759,6 +755,10 @@ fn run_shard_batched<T: BatchServerTransport>(
             }
         }
         for i in 0..n {
+            received += 1;
+            let sampled = trace
+                .as_ref()
+                .is_some_and(|ring| ring.should_sample(received));
             let timed = tel.is_some();
             let t_start = timed.then(Instant::now);
             let (resolver_ip, server_ip) = {
@@ -803,6 +803,19 @@ fn run_shard_batched<T: BatchServerTransport>(
                             t.sync_cache(c.stats(), c.len());
                         }
                     }
+                    if sampled {
+                        if let Some(ring) = trace.as_ref() {
+                            push_query_trace(
+                                ring,
+                                shard,
+                                snap.generation,
+                                &state,
+                                truncated,
+                                &stages,
+                                total_ns,
+                            );
+                        }
+                    }
                 }
                 ServeOutcome::FormErr => {
                     // relaxed-ok: per-shard monotonic counter
@@ -815,6 +828,11 @@ fn run_shard_batched<T: BatchServerTransport>(
                         t.queries.inc();
                         t.formerr.inc();
                     }
+                    if sampled {
+                        if let Some(ring) = trace.as_ref() {
+                            push_malformed_trace(ring, shard, snap.generation, &stages, total_ns);
+                        }
+                    }
                 }
                 ServeOutcome::Dropped => {
                     // relaxed-ok: per-shard monotonic counter
@@ -823,6 +841,11 @@ fn run_shard_batched<T: BatchServerTransport>(
                     dropped += 1;
                     if let Some(t) = tel.as_ref() {
                         t.dropped.inc();
+                    }
+                    if sampled {
+                        if let Some(ring) = trace.as_ref() {
+                            push_malformed_trace(ring, shard, snap.generation, &stages, total_ns);
+                        }
                     }
                 }
             }
@@ -842,24 +865,58 @@ fn run_shard_batched<T: BatchServerTransport>(
     }
 }
 
+fn sat32(v: u64) -> u32 {
+    v.min(u32::MAX as u64) as u32
+}
+
+/// Stamps one served query into the trace ring. The 16-bit wire id the
+/// query arrived with is the only identity the authoritative ever sees,
+/// so it becomes the record's trace id; span stitching joins it to the
+/// resolver's ring through the low 16 bits of the full propagated id.
+/// Alloc-free (a `TraceRing::push` of packed words).
+fn push_query_trace(
+    ring: &TraceRing,
+    shard: usize,
+    generation: u64,
+    state: &ShardState,
+    truncated: bool,
+    stages: &QueryStages,
+    total_ns: u64,
+) {
+    let q = state.last_query();
+    ring.push(&QueryTrace {
+        seq: 0,
+        trace_id: q.id as u32,
+        hop: TraceHop::Authd,
+        shard: shard as u16,
+        generation,
+        ecs_scope: q.ecs().map(|e| e.source_prefix),
+        outcome: stages.outcome,
+        truncated,
+        decode_ns: sat32(stages.decode_ns),
+        cache_ns: sat32(stages.cache_ns),
+        route_ns: sat32(stages.route_ns),
+        encode_ns: sat32(stages.encode_ns),
+        total_ns: sat32(total_ns),
+    });
+}
+
+/// The malformed sibling: no decoded query to pull a wire id or ECS
+/// scope from, so the record stays unattributable (trace id 0).
 fn push_malformed_trace(
-    ring: &eum_telemetry::TraceRing,
+    ring: &TraceRing,
     shard: usize,
     generation: u64,
     stages: &QueryStages,
     total_ns: u64,
 ) {
     ring.push(&QueryTrace {
-        seq: 0,
         shard: shard as u16,
         generation,
-        ecs_scope: None,
         outcome: TraceOutcome::Malformed,
-        decode_ns: stages.decode_ns.min(u32::MAX as u64) as u32,
-        cache_ns: 0,
-        route_ns: 0,
-        encode_ns: 0,
-        total_ns: total_ns.min(u32::MAX as u64) as u32,
+        decode_ns: sat32(stages.decode_ns),
+        total_ns: sat32(total_ns),
+        ..QueryTrace::blank(0, TraceHop::Authd)
     });
 }
 

@@ -24,10 +24,10 @@ pub struct TelemetryConfig {
     /// Registry every shard registers its instruments in.
     pub registry: Arc<Registry>,
     /// Ring receiving sampled per-query traces (`None`: no tracing).
+    /// The 1-in-N sampling rate lives on the ring itself
+    /// ([`TraceRing::sample_every`]) so it can be adjusted at runtime;
+    /// shards consult it per query.
     pub trace: Option<Arc<TraceRing>>,
-    /// Sample one query trace out of every this many received datagrams
-    /// per shard (0 disables sampling even with a ring configured).
-    pub trace_sample_every: u64,
 }
 
 impl TelemetryConfig {
@@ -36,14 +36,18 @@ impl TelemetryConfig {
         TelemetryConfig {
             registry,
             trace: None,
-            trace_sample_every: 0,
         }
     }
 
-    /// Adds a trace ring sampling every `every`-th query per shard.
+    /// Adds a trace ring sampling every `every`-th query per shard
+    /// (0 disables sampling until raised via
+    /// [`TraceRing::set_sample_every`]). The rate is mirrored into the
+    /// `eum_trace_sample_rate` gauge so span stitching can correct
+    /// sampled counts.
     pub fn with_trace(mut self, ring: Arc<TraceRing>, every: u64) -> TelemetryConfig {
+        ring.set_sample_every(every);
+        eum_telemetry::export_trace_sample_rate(&self.registry, &ring);
         self.trace = Some(ring);
-        self.trace_sample_every = every;
         self
     }
 }

@@ -1,11 +1,18 @@
 //! Proof of the serve path's allocation budget: once a shard's buffers
 //! are warm, a cached-hit query — decode into the persistent scratch,
 //! scoped cache probe, memcpy-and-patch replay — touches the heap zero
-//! times. A counting `#[global_allocator]` makes the claim checkable: the
-//! allocation count across thousands of hits must not move at all.
+//! times, **with tracing on**: every counted serve also pushes a
+//! [`QueryTrace`] into a [`TraceRing`], as the sampled server loop does.
+//! Window capture ([`WindowCapturer::capture`]) allocates by design, so
+//! it runs outside the counted region — where the Reporter thread runs
+//! it in production. A counting `#[global_allocator]` makes the claim
+//! checkable: the allocation count across thousands of hits must not
+//! move at all.
 //!
-//! This file holds exactly one `#[test]` on purpose: the counter is
-//! global, so a second test running on a sibling thread would pollute it.
+//! This file holds exactly one `#[test]` on purpose, and the counter
+//! only counts the test thread's own allocations: libtest harness
+//! threads allocate at unpredictable times, and their heap traffic says
+//! nothing about the serve path.
 
 use eum_authd::{CacheConfig, QueryStages, ReplyCap, ServeOutcome, ShardState, SnapshotHandle};
 use eum_cdn::{deployment_universe, CatalogConfig, CdnPlatform, ContentCatalog, DeployConfig};
@@ -13,25 +20,42 @@ use eum_dns::edns::{EcsOption, OptData};
 use eum_dns::{decode_message, encode_message, Message, Question, Rcode};
 use eum_mapping::{MappingConfig, MappingSystem};
 use eum_netmodel::{Internet, InternetConfig};
+use eum_telemetry::{QueryTrace, Registry, TraceHop, TraceOutcome, TraceRing, WindowCapturer};
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 const SEED: u64 = 0xA110C;
 
-/// Counts every path into the heap; frees are uncounted (a zero-alloc
-/// steady state cannot free what it never allocated).
+/// Counts every path into the heap taken by the test thread; frees are
+/// uncounted (a zero-alloc steady state cannot free what it never
+/// allocated), and sibling threads (the libtest harness) are excluded —
+/// their allocations are asynchronous noise, not serve-path traffic.
 struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
-// SAFETY: every method forwards verbatim to the System allocator, so the
-// GlobalAlloc contract (layout validity, no unwinding, pointer ownership)
-// is exactly System's; the counter increment touches only an atomic.
+std::thread_local! {
+    static IS_TEST_THREAD: Cell<bool> = const { Cell::new(false) };
+}
+
+fn count_one() {
+    // try_with: allocator calls can outlive a thread's TLS (during
+    // teardown); treat those as not-the-test-thread.
+    if IS_TEST_THREAD.try_with(|f| f.get()).unwrap_or(false) {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+// SAFETY: every method forwards verbatim to the System allocator, so
+// the GlobalAlloc contract is exactly System's; the counter increment
+// touches only an atomic and a const-initialized thread-local.
 unsafe impl GlobalAlloc for CountingAlloc {
     // SAFETY: same layout contract as System::alloc; forwarded unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         // SAFETY: caller upholds GlobalAlloc's contract; layout passed through.
         unsafe { System.alloc(layout) }
     }
@@ -44,14 +68,14 @@ unsafe impl GlobalAlloc for CountingAlloc {
 
     // SAFETY: same contract as System::realloc; forwarded unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         // SAFETY: ptr/layout originate from this allocator's System forwards.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
     // SAFETY: same contract as System::alloc_zeroed; forwarded unchanged.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         // SAFETY: caller upholds GlobalAlloc's contract; layout passed through.
         unsafe { System.alloc_zeroed(layout) }
     }
@@ -96,6 +120,7 @@ fn query(id: u16, client: Option<Ipv4Addr>) -> Vec<u8> {
 
 #[test]
 fn cached_hits_do_not_allocate() {
+    IS_TEST_THREAD.with(|f| f.set(true));
     let (net, mapping) = world();
     let client = net.blocks[0].client_ip();
     let resolver = net.resolvers[0].ip;
@@ -107,6 +132,13 @@ fn cached_hits_do_not_allocate() {
 
     let mut state = ShardState::new(Some(CacheConfig::default()));
     state.observe(&snap);
+
+    // The observability plane, live during the counted loop: a trace
+    // ring fed per serve, and a registry the capturer snapshots outside
+    // the counted region.
+    let registry = Arc::new(Registry::new());
+    let ring = TraceRing::new(1 << 8);
+    let capturer = WindowCapturer::new(registry.clone(), 16);
 
     // Warm-up: first serve of each shape computes and inserts; replays
     // after that settle every buffer's capacity.
@@ -156,6 +188,7 @@ fn cached_hits_do_not_allocate() {
         "replayed TTLs must be live remaining values, got {max_ttl}"
     );
 
+    capturer.capture();
     let before = ALLOCS.load(Ordering::SeqCst);
     for round in 0..2_000u32 {
         for payload in [&ecs_payload, &plain_payload] {
@@ -176,6 +209,11 @@ fn cached_hits_do_not_allocate() {
                 }
             );
             assert!(!state.reply().is_empty());
+            // The sampled trace push the batched loop performs per hit.
+            ring.push(&QueryTrace {
+                outcome: TraceOutcome::CacheHit,
+                ..QueryTrace::blank(round + 1, TraceHop::Authd)
+            });
         }
         // Interleave a malformed datagram: the FORMERR path must be
         // allocation-free too.
@@ -198,4 +236,9 @@ fn cached_hits_do_not_allocate() {
         delta, 0,
         "cached-hit serve path allocated {delta} times over 4000 hits"
     );
+
+    // Off the counted path, capture still works and traces landed.
+    capturer.capture();
+    assert!(!capturer.windows().is_empty());
+    assert!(!ring.dump().is_empty(), "counted serves pushed no traces");
 }

@@ -8,7 +8,7 @@
 //! locks and negligible added latency on the serve path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use eum_telemetry::{Histogram, QueryTrace, Registry, TraceOutcome, TraceRing};
+use eum_telemetry::{Histogram, QueryTrace, Registry, TraceHop, TraceOutcome, TraceRing};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -32,16 +32,15 @@ fn bench_record(c: &mut Criterion) {
     }
     let ring = Arc::new(TraceRing::new(4096));
     let trace = QueryTrace {
-        seq: 0,
         shard: 1,
         generation: 3,
         ecs_scope: Some(24),
         outcome: TraceOutcome::CacheHit,
         decode_ns: 120,
         cache_ns: 80,
-        route_ns: 0,
         encode_ns: 240,
         total_ns: 600,
+        ..QueryTrace::blank(0x00C0_FFEE, TraceHop::Authd)
     };
     g.bench_function("trace_push", |b| b.iter(|| ring.push(black_box(&trace))));
     g.finish();

@@ -192,6 +192,17 @@ impl ResolverCache {
         }
     }
 
+    /// Drops every live entry at once — a resolver reload. The wheel is
+    /// re-epoched at `now`; the cumulative [`LdnsCacheStats`] keep
+    /// counting across the flush (a flush is an operational event, not a
+    /// statistics reset).
+    pub fn clear(&mut self, now: Instant) {
+        self.map.clear();
+        self.order.clear();
+        self.scope_lens = [0; 33];
+        self.wheel = TimerWheel::new(now);
+    }
+
     /// Looks up an answer for `client`, probing scoped entries from the
     /// most to the least specific length present — but never longer than
     /// `source_prefix` (the prefix this resolver would announce; 0 when

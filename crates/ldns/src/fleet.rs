@@ -18,14 +18,16 @@
 //! interleave.
 
 use crate::cache::LdnsCacheStats;
-use crate::resolver::{Ldns, LdnsConfig, LdnsStats};
+use crate::resolver::{Ldns, LdnsConfig, LdnsStats, Resolved};
 use eum_authd::ClientTransport;
-use eum_dns::DnsName;
+use eum_dns::{DnsName, Rcode};
 use eum_netmodel::{Internet, QueryPopulation, Resolver, ResolverId};
+use eum_telemetry::{QueryTrace, TraceHop, TraceOutcome, TraceRing};
 use rand::{RngExt, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use std::collections::VecDeque;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One downstream query to replay: which resolver carries it, which
@@ -173,10 +175,33 @@ impl FleetReport {
     }
 }
 
+/// Stamps one Client-hop record: only the whole-resolution latency and
+/// the outcome as the client saw it (per-stage fields are the
+/// downstream hops' business).
+fn push_client_trace(ring: &TraceRing, worker: usize, tid: u32, t0: Option<Instant>, r: &Resolved) {
+    let total = t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+    let outcome = if r.rcode == Rcode::ServFail {
+        TraceOutcome::Failed
+    } else if r.from_cache {
+        TraceOutcome::CacheHit
+    } else {
+        TraceOutcome::Computed
+    };
+    ring.push(&QueryTrace {
+        shard: worker as u16,
+        outcome,
+        total_ns: total.min(u32::MAX as u64) as u32,
+        ..QueryTrace::blank(tid, TraceHop::Client)
+    });
+}
+
 /// Every LDNS site in a modeled Internet, ready to replay query plans.
 pub struct ResolverFleet {
     /// Resolvers indexed by [`ResolverId::index`].
     resolvers: Vec<Ldns>,
+    /// Ring receiving Client-hop records stamped by the replay workers
+    /// (`None`: untraced).
+    client_trace: Option<Arc<TraceRing>>,
 }
 
 impl ResolverFleet {
@@ -193,7 +218,25 @@ impl ResolverFleet {
             .iter()
             .map(|r| Ldns::new(configure(r), now))
             .collect();
-        ResolverFleet { resolvers }
+        ResolverFleet {
+            resolvers,
+            client_trace: None,
+        }
+    }
+
+    /// Wires cross-layer tracing: every resolver records `Ldns`-hop
+    /// traces into `ldns_ring`, and each replay worker stamps a
+    /// `Client`-hop record (whole-resolution latency + outcome) into
+    /// `client_ring`. [`ResolverFleet::run`] stamps each planned query
+    /// with trace id = plan position + 1 — nonzero, and unique in the
+    /// low 16 bits for plans under 65 536 queries, so the resolver can
+    /// reuse those bits as its upstream DNS message id and
+    /// `eum_telemetry::span::stitch` can join all three rings.
+    pub fn attach_trace(&mut self, client_ring: Arc<TraceRing>, ldns_ring: Arc<TraceRing>) {
+        for l in &mut self.resolvers {
+            l.attach_trace(ldns_ring.clone());
+        }
+        self.client_trace = Some(client_ring);
     }
 
     /// Number of resolver sites.
@@ -240,18 +283,20 @@ impl ResolverFleet {
         }
 
         // Split the plan: each query goes to the worker owning its
-        // resolver, rewritten to the resolver's local index.
-        let mut streams: Vec<Vec<(usize, Ipv4Addr, DnsName)>> =
+        // resolver, rewritten to the resolver's local index and stamped
+        // with its propagated trace id (plan position + 1).
+        let mut streams: Vec<Vec<(usize, Ipv4Addr, DnsName, u32)>> =
             (0..workers).map(|_| Vec::new()).collect();
-        for q in &plan.queries {
+        for (pos, q) in plan.queries.iter().enumerate() {
             let idx = q.resolver.index();
             assert!(idx < n, "plan references resolver outside the fleet");
-            streams[idx % workers].push((idx / workers, q.client, q.qname.clone()));
+            streams[idx % workers].push((idx / workers, q.client, q.qname.clone(), pos as u32 + 1));
         }
 
         let epoch = Instant::now();
         let interval = cfg.query_interval;
         let top_ip = cfg.top_ip;
+        let client_trace = &self.client_trace;
 
         let mut done: Vec<(usize, VecDeque<Ldns>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = buckets
@@ -260,12 +305,27 @@ impl ResolverFleet {
                 .zip(streams)
                 .enumerate()
                 .map(|(w, ((mut bucket, mut client), stream))| {
+                    let ctrace = client_trace.clone();
                     scope.spawn(move || {
                         let shard = w % client.num_shards().max(1);
-                        for (j, (local, src, qname)) in stream.iter().enumerate() {
+                        for (j, (local, src, qname, tid)) in stream.iter().enumerate() {
                             let now = epoch + interval * (j as u32);
                             let ldns = &mut bucket[*local];
-                            let _ = ldns.resolve(&mut client, shard, top_ip, qname, *src, now);
+                            let t0 = ctrace.as_ref().map(|_| Instant::now());
+                            let r = ldns.resolve_traced(
+                                &mut client,
+                                shard,
+                                top_ip,
+                                qname,
+                                *src,
+                                now,
+                                *tid,
+                            );
+                            if let Some(ring) = ctrace.as_ref() {
+                                if ring.should_sample(*tid as u64) {
+                                    push_client_trace(ring, w, *tid, t0, &r);
+                                }
+                            }
                         }
                         (w, bucket)
                     })

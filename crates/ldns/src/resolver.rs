@@ -22,8 +22,10 @@ use eum_authd::ClientTransport;
 use eum_dns::edns::{EcsOption, OptData};
 use eum_dns::{decode_message, encode_message, DnsName, Message, Question, RData, Rcode, RrType};
 use eum_geo::Prefix;
+use eum_telemetry::{QueryTrace, TraceHop, TraceOutcome, TraceRing};
 use std::io;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Whether (and to whom) this resolver forwards EDNS0 Client Subnet —
@@ -124,6 +126,10 @@ pub struct Resolved {
     pub ttl_s: u32,
 }
 
+fn sat32(v: u64) -> u32 {
+    v.min(u32::MAX as u64) as u32
+}
+
 /// What one upstream exchange (with retries) produced.
 enum Exchange {
     Response(Message),
@@ -140,6 +146,27 @@ enum Delegation {
     Failed,
 }
 
+/// Per-resolution stage capture for sampled traces. Only filled while a
+/// traced resolution is in flight; untraced resolutions pay one branch
+/// per stage.
+#[derive(Debug, Default, Clone, Copy)]
+struct TraceStages {
+    /// Whether the in-flight resolution is being timed.
+    timed: bool,
+    /// First-attempt upstream message id: traced resolutions reuse the
+    /// low 16 bits of the propagated trace id, so the authoritative's
+    /// ring records an id the span stitcher can join on.
+    id_hint: u16,
+    /// Answer-cache probe time.
+    probe_ns: u64,
+    /// Delegation fetch (top-level exchange) time.
+    deleg_ns: u64,
+    /// Low-level answer exchange time (TCP retry leg included).
+    upstream_ns: u64,
+    /// TCP retry leg alone.
+    tcp_ns: u64,
+}
+
 /// A recursive resolver instance bound to real transports.
 pub struct Ldns {
     cfg: LdnsConfig,
@@ -148,6 +175,9 @@ pub struct Ldns {
     wheel_scratch: Vec<CacheKey>,
     next_id: u16,
     stats: LdnsStats,
+    /// Ring receiving sampled per-resolution traces (`None`: untraced).
+    trace: Option<Arc<TraceRing>>,
+    tstages: TraceStages,
 }
 
 impl Ldns {
@@ -159,7 +189,22 @@ impl Ldns {
             wheel_scratch: Vec::new(),
             next_id: 0,
             stats: LdnsStats::default(),
+            trace: None,
+            tstages: TraceStages::default(),
         }
+    }
+
+    /// Attaches a trace ring: [`Ldns::resolve_traced`] resolutions the
+    /// ring's sampling picks get a [`TraceHop::Ldns`] record pushed.
+    pub fn attach_trace(&mut self, ring: Arc<TraceRing>) {
+        self.trace = Some(ring);
+    }
+
+    /// Drops every cache entry at once — a resolver reload, the
+    /// operational moment a config deploy (like flipping the ECS policy)
+    /// restarts the process. Cumulative stats keep counting.
+    pub fn flush_cache(&mut self, now: Instant) {
+        self.cache.clear(now);
     }
 
     /// The resolver's unicast IP.
@@ -204,6 +249,83 @@ impl Ldns {
         client: Ipv4Addr,
         now: Instant,
     ) -> Resolved {
+        self.resolve_traced(transport, shard, top_ip, qname, client, now, 0)
+    }
+
+    /// [`Ldns::resolve`] carrying a propagated trace id (0: untraced).
+    /// When a ring is attached and its sampling picks this resolution, a
+    /// [`TraceHop::Ldns`] record is pushed whose stage fields are the
+    /// cache probe, delegation fetch, upstream exchange and TCP-retry
+    /// times — and the id's low 16 bits become the first-attempt
+    /// upstream DNS message id, so the authoritative's own ring records
+    /// an id the span stitcher can join back to this record.
+    #[allow(clippy::too_many_arguments)] // one resolution's full context, clearer spelled out
+    pub fn resolve_traced<C: ClientTransport>(
+        &mut self,
+        transport: &mut C,
+        shard: usize,
+        top_ip: Ipv4Addr,
+        qname: &DnsName,
+        client: Ipv4Addr,
+        now: Instant,
+        trace_id: u32,
+    ) -> Resolved {
+        let sampled = trace_id != 0
+            && self
+                .trace
+                .as_ref()
+                .is_some_and(|r| r.should_sample(self.stats.downstream_queries + 1));
+        if !sampled {
+            return self.resolve_inner(transport, shard, top_ip, qname, client, now);
+        }
+        self.tstages = TraceStages {
+            timed: true,
+            id_hint: (trace_id & 0xFFFF) as u16,
+            ..TraceStages::default()
+        };
+        let tc_before = self.stats.upstream_tcp_retries;
+        let t0 = Instant::now();
+        let out = self.resolve_inner(transport, shard, top_ip, qname, client, now);
+        let total_ns = t0.elapsed().as_nanos() as u64;
+        let st = self.tstages;
+        self.tstages = TraceStages::default();
+        let outcome = if out.rcode == Rcode::ServFail {
+            TraceOutcome::Failed
+        } else if out.from_cache {
+            TraceOutcome::CacheHit
+        } else {
+            TraceOutcome::Computed
+        };
+        let ecs_on = self.cfg.ecs.sends_for(qname);
+        if let Some(ring) = self.trace.as_ref() {
+            ring.push(&QueryTrace {
+                seq: 0,
+                trace_id,
+                hop: TraceHop::Ldns,
+                shard: shard as u16,
+                generation: 0,
+                ecs_scope: ecs_on.then_some(self.cfg.source_prefix),
+                outcome,
+                truncated: self.stats.upstream_tcp_retries > tc_before,
+                decode_ns: sat32(st.probe_ns),
+                cache_ns: sat32(st.deleg_ns),
+                route_ns: sat32(st.upstream_ns),
+                encode_ns: sat32(st.tcp_ns),
+                total_ns: sat32(total_ns),
+            });
+        }
+        out
+    }
+
+    fn resolve_inner<C: ClientTransport>(
+        &mut self,
+        transport: &mut C,
+        shard: usize,
+        top_ip: Ipv4Addr,
+        qname: &DnsName,
+        client: Ipv4Addr,
+        now: Instant,
+    ) -> Resolved {
         self.stats.downstream_queries += 1;
         // Reap TTL-expired entries up to now; churn shows up in stats.
         self.cache.advance(now, &mut self.wheel_scratch);
@@ -211,10 +333,14 @@ impl Ldns {
         let ecs_on = self.cfg.ecs.sends_for(qname);
         let lookup_prefix = if ecs_on { self.cfg.source_prefix } else { 0 };
 
-        if let Some(hit) = self
+        let t_probe = self.tstages.timed.then(Instant::now);
+        let probe = self
             .cache
-            .lookup(qname, RrType::A, client, lookup_prefix, now)
-        {
+            .lookup(qname, RrType::A, client, lookup_prefix, now);
+        if let Some(t) = t_probe {
+            self.tstages.probe_ns += t.elapsed().as_nanos() as u64;
+        }
+        if let Some(hit) = probe {
             let ttl_s = hit.remaining_ttl_s(now);
             let out = match &hit.body {
                 AnswerBody::Addresses(ips) => Resolved {
@@ -263,7 +389,8 @@ impl Ldns {
         let low_ip = match low_ip {
             Some(ip) => ip,
             None => {
-                match self.fetch_delegation(
+                let t_deleg = self.tstages.timed.then(Instant::now);
+                let deleg = self.fetch_delegation(
                     transport,
                     shard,
                     top_ip,
@@ -271,7 +398,11 @@ impl Ldns {
                     client,
                     &mut upstream,
                     now,
-                ) {
+                );
+                if let Some(t) = t_deleg {
+                    self.tstages.deleg_ns += t.elapsed().as_nanos() as u64;
+                }
+                match deleg {
                     Delegation::Found(ip) => ip,
                     Delegation::Negative(ttl_s) => {
                         self.stats.negative_answers += 1;
@@ -289,7 +420,8 @@ impl Ldns {
         };
 
         // Low level: the A answer, scoped when ECS is on.
-        let resp = match self.exchange(
+        let t_up = self.tstages.timed.then(Instant::now);
+        let exch = self.exchange(
             transport,
             shard,
             low_ip,
@@ -297,7 +429,11 @@ impl Ldns {
             client,
             ecs_on,
             &mut upstream,
-        ) {
+        );
+        if let Some(t) = t_up {
+            self.tstages.upstream_ns += t.elapsed().as_nanos() as u64;
+        }
+        let resp = match exch {
             Exchange::Response(m) => m,
             Exchange::Failed => return self.fail(qname, upstream, now),
         };
@@ -436,8 +572,15 @@ impl Ldns {
         ecs_on: bool,
         upstream: &mut u32,
     ) -> Exchange {
-        for _ in 0..self.cfg.attempts.max(1) {
-            let id = self.fresh_id();
+        for attempt in 0..self.cfg.attempts.max(1) {
+            // A traced resolution's first attempt reuses the propagated
+            // trace id's low 16 bits (retries fall back to fresh ids so a
+            // stale first reply cannot be confused with a retry's).
+            let id = if attempt == 0 && self.tstages.id_hint != 0 {
+                self.tstages.id_hint
+            } else {
+                self.fresh_id()
+            };
             let opt =
                 ecs_on.then(|| OptData::with_ecs(EcsOption::query(client, self.cfg.source_prefix)));
             let query = Message::query(id, Question::a(qname.clone()), opt);
@@ -471,13 +614,18 @@ impl Ldns {
                         self.stats.upstream_tcp_retries += 1;
                         *upstream += 1;
                         self.stats.upstream_queries += 1;
-                        match transport.exchange_stream(
+                        let t_tcp = self.tstages.timed.then(Instant::now);
+                        let stream_res = transport.exchange_stream(
                             shard,
                             server_ip,
                             self.cfg.ip,
                             &bytes,
                             self.cfg.upstream_timeout,
-                        ) {
+                        );
+                        if let Some(t) = t_tcp {
+                            self.tstages.tcp_ns += t.elapsed().as_nanos() as u64;
+                        }
+                        match stream_res {
                             Ok(tcp_bytes) => {
                                 if let Ok(m) = decode_message(&tcp_bytes) {
                                     if m.id == id

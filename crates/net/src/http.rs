@@ -1,0 +1,184 @@
+//! The live scrape endpoint: a minimal HTTP/1.0 responder exposing the
+//! registry and the windowed time-series mid-run.
+//!
+//! [`ScrapeServer::spawn`] binds one `TcpListener` and serves three
+//! routes, one short-lived connection per request (`Connection: close`,
+//! no keep-alive, no chunking — every reply carries `Content-Length`):
+//!
+//! * `GET /metrics` — the registry's Prometheus text exposition
+//!   (`text/plain; version=0.0.4`), scrapeable by stock Prometheus;
+//! * `GET /timeseries.jsonl` — the attached [`WindowCapturer`]'s
+//!   retained windows, one JSON object per line (empty when no capturer
+//!   is attached);
+//! * `GET /healthz` — `ok\n`, a liveness probe.
+//!
+//! Everything else is a 404. The accept loop runs on its own thread with
+//! a nonblocking listener polled against a stop flag, so
+//! [`ScrapeServer::stop_join`] returns promptly; request handling is
+//! deliberately synchronous — scrapes are rare (seconds apart) and tiny,
+//! and the serving shards never touch this thread.
+
+use eum_telemetry::{Registry, WindowCapturer};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, SocketAddrV4, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long one request may take to arrive on an accepted connection
+/// before it is dropped (scrapers send their request line immediately).
+const REQUEST_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Largest request head (request line + headers) we read.
+const MAX_REQUEST: usize = 4096;
+
+/// A running scrape endpoint; join with [`ScrapeServer::stop_join`].
+pub struct ScrapeServer {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ScrapeServer {
+    /// Binds `addr` (port 0 = ephemeral) and starts the accept loop.
+    /// `capturer` backs `/timeseries.jsonl`; pass `None` to serve only
+    /// the metrics and health routes.
+    pub fn spawn(
+        addr: SocketAddrV4,
+        registry: Arc<Registry>,
+        capturer: Option<Arc<WindowCapturer>>,
+    ) -> io::Result<ScrapeServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::spawn(move || {
+            accept_loop(listener, registry, capturer, stop2);
+        });
+        Ok(ScrapeServer {
+            stop,
+            addr: local,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (`http://<addr>/metrics` is the scrape URL).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the accept loop to stop and joins it.
+    pub fn stop_join(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ScrapeServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    capturer: Option<Arc<WindowCapturer>>,
+    stop: Arc<AtomicBool>,
+) {
+    // relaxed-ok: the stop flag carries no data; the loop only needs to
+    // observe it eventually, and stop_join's SeqCst store + join gives
+    // the final synchronization.
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Scrapes are serialized by design: one tiny response at
+                // a time, no thread per connection to leak under load.
+                let _ = serve_one(stream, &registry, capturer.as_deref());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Reads one request head and writes one response. Any I/O error just
+/// drops the connection — the scraper retries on its next interval.
+fn serve_one(
+    mut stream: TcpStream,
+    registry: &Registry,
+    capturer: Option<&WindowCapturer>,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(REQUEST_TIMEOUT))?;
+    stream.set_nodelay(true)?;
+    let mut head = Vec::with_capacity(256);
+    let mut buf = [0u8; 512];
+    // Read until the blank line ending the head (or the cap / timeout).
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < MAX_REQUEST {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(b"");
+    let line = String::from_utf8_lossy(line);
+    let mut parts = line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            405,
+            "Method Not Allowed",
+            "text/plain",
+            "method not allowed\n",
+        );
+    }
+    match path {
+        "/metrics" => {
+            let body = registry.render_text();
+            respond(
+                &mut stream,
+                200,
+                "OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        "/timeseries.jsonl" => {
+            let body = capturer.map(|c| c.to_jsonl()).unwrap_or_default();
+            respond(&mut stream, 200, "OK", "application/x-ndjson", &body)
+        }
+        "/healthz" => respond(&mut stream, 200, "OK", "text/plain", "ok\n"),
+        _ => respond(&mut stream, 404, "Not Found", "text/plain", "not found\n"),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    code: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.0 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

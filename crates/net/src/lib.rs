@@ -20,6 +20,10 @@
 //!   [`eum_authd::ClientTransport`]: UDP exchange plus the TCP retry
 //!   leg, so the load generator and the eum-ldns fleet drive real
 //!   sockets unchanged.
+//! * [`http::ScrapeServer`] — a minimal HTTP/1.0 scrape endpoint
+//!   exposing `GET /metrics` (Prometheus text), `/timeseries.jsonl`
+//!   (the windowed time-series ring) and `/healthz` while a socket
+//!   server runs — live observability over the same loopback stack.
 //! * [`sys`] (Linux only) — the crate's entire `unsafe` surface: safe
 //!   wrappers over a minimal vendored `libc` stub
 //!   (`socket`/`setsockopt`/`bind`, `recvmmsg`/`sendmmsg`,
@@ -32,11 +36,13 @@
 //! same interfaces.
 
 pub mod client;
+pub mod http;
 #[cfg(target_os = "linux")]
 pub mod sys;
 pub mod tcp;
 pub mod udp;
 
 pub use client::SocketClient;
+pub use http::ScrapeServer;
 pub use tcp::TcpServerTransport;
 pub use udp::{BatchConfig, ReuseportUdpTransport};

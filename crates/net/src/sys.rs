@@ -211,8 +211,11 @@ impl MmsgBatch {
     }
 
     /// Sends every staged slot (`lens[i] > 0`) of `bufs` to `peers[i]`
-    /// in as few `sendmmsg` calls as the kernel allows. Returns how many
-    /// datagrams went out.
+    /// in as few `sendmmsg` calls as the kernel allows. Returns
+    /// `(sent, partial_calls)`: how many datagrams went out and how many
+    /// `sendmmsg` calls accepted fewer datagrams than remained staged
+    /// (each partial call costs an extra syscall — the batched loop
+    /// exports the count as `eum_net_sendmmsg_partial_total`).
     pub fn send(
         &mut self,
         sock: &UdpSocket,
@@ -220,7 +223,7 @@ impl MmsgBatch {
         slot: usize,
         lens: &[usize],
         peers: &[SocketAddrV4],
-    ) -> io::Result<usize> {
+    ) -> io::Result<(usize, usize)> {
         let bound = self
             .hdrs
             .len()
@@ -253,9 +256,10 @@ impl MmsgBatch {
             staged += 1;
         }
         if staged == 0 {
-            return Ok(0);
+            return Ok((0, 0));
         }
         let mut sent = 0usize;
+        let mut partial_calls = 0usize;
         while sent < staged {
             // SAFETY: `hdrs[sent..staged]` was fully initialized above;
             // iov_base points into `bufs` (read-only), msg_name into
@@ -278,9 +282,12 @@ impl MmsgBatch {
             if rc == 0 {
                 break;
             }
+            if (rc as usize) < staged - sent {
+                partial_calls += 1;
+            }
             sent += rc as usize;
         }
-        Ok(sent)
+        Ok((sent, partial_calls))
     }
 }
 

@@ -17,8 +17,10 @@
 //! batched-vs-single-syscall comparison run on one machine.
 
 use eum_authd::{BatchDatagram, BatchServerTransport, MAX_DATAGRAM};
+use eum_telemetry::{Counter, Histogram, Registry};
 use std::io;
 use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
+use std::sync::Arc;
 use std::time::Duration;
 
 #[cfg(target_os = "linux")]
@@ -46,6 +48,17 @@ impl Default for BatchConfig {
     }
 }
 
+/// Per-shard transport instruments, registered once by
+/// [`ReuseportUdpTransport::attach_metrics`] and touched with `&self`
+/// atomics on the batch cycle (no allocation, no locks).
+struct BatchMetrics {
+    /// Datagrams returned per `recv_batch` call — how full the kernel
+    /// batches actually run (1 = no batching benefit, `batch` = ceiling).
+    fill: Arc<Histogram>,
+    /// `sendmmsg` calls that accepted fewer datagrams than staged.
+    partial_sends: Arc<Counter>,
+}
+
 /// One shard's socket plus every buffer its batch cycle touches.
 pub struct ReuseportUdpTransport {
     socket: UdpSocket,
@@ -64,6 +77,8 @@ pub struct ReuseportUdpTransport {
     sbufs: Box<[u8]>,
     /// Staged reply length per slot; 0 = no reply for that datagram.
     slens: Box<[usize]>,
+    /// Registered instrument handles (`None`: unobserved).
+    metrics: Option<BatchMetrics>,
     #[cfg(target_os = "linux")]
     mm: sys::MmsgBatch,
 }
@@ -101,9 +116,33 @@ impl ReuseportUdpTransport {
             peers: vec![SocketAddrV4::new(Ipv4Addr::UNSPECIFIED, 0); batch].into_boxed_slice(),
             sbufs: vec![0u8; batch * MAX_DATAGRAM].into_boxed_slice(),
             slens: vec![0usize; batch].into_boxed_slice(),
+            metrics: None,
             #[cfg(target_os = "linux")]
             mm: sys::MmsgBatch::new(batch),
         }
+    }
+
+    /// Registers this shard's batch instruments in `registry` (labeled
+    /// `shard="<shard>"`): the `eum_net_recv_batch_fill` histogram of
+    /// datagrams returned per `recvmmsg` batch and the
+    /// `eum_net_sendmmsg_partial_total` counter of partial `sendmmsg`
+    /// calls. Registration allocates; the per-cycle recording is
+    /// atomics only, so the warm batch cycle stays allocation-free.
+    pub fn attach_metrics(&mut self, registry: &Registry, shard: usize) {
+        let s = shard.to_string();
+        let l: &[(&str, &str)] = &[("shard", &s)];
+        self.metrics = Some(BatchMetrics {
+            fill: registry.histogram(
+                "eum_net_recv_batch_fill",
+                "Datagrams returned per recvmmsg batch",
+                l,
+            ),
+            partial_sends: registry.counter(
+                "eum_net_sendmmsg_partial_total",
+                "sendmmsg calls that sent fewer datagrams than staged",
+                l,
+            ),
+        });
     }
 
     /// Where clients should send for this shard.
@@ -242,22 +281,29 @@ impl BatchServerTransport for ReuseportUdpTransport {
         for l in self.slens.iter_mut() {
             *l = 0;
         }
-        if self.portable {
-            return self.recv_batch_portable();
+        let n = if self.portable {
+            self.recv_batch_portable()?
+        } else {
+            #[cfg(target_os = "linux")]
+            {
+                self.mm.recv(
+                    &self.socket,
+                    &mut self.rbufs,
+                    MAX_DATAGRAM,
+                    &mut self.rlens,
+                    &mut self.peers,
+                )?
+            }
+            #[cfg(not(target_os = "linux"))]
+            // Unreachable: `portable` is always true off Linux.
+            0
+        };
+        if n > 0 {
+            if let Some(m) = self.metrics.as_ref() {
+                m.fill.record(n as u64);
+            }
         }
-        #[cfg(target_os = "linux")]
-        {
-            self.mm.recv(
-                &self.socket,
-                &mut self.rbufs,
-                MAX_DATAGRAM,
-                &mut self.rlens,
-                &mut self.peers,
-            )
-        }
-        #[cfg(not(target_os = "linux"))]
-        // Unreachable: `portable` is always true off Linux.
-        Ok(0)
+        Ok(n)
     }
 
     // lint: allow(serve-index) — `i` is a slot index below the last
@@ -298,13 +344,18 @@ impl BatchServerTransport for ReuseportUdpTransport {
         }
         #[cfg(target_os = "linux")]
         {
-            self.mm.send(
+            let (_sent, partial_calls) = self.mm.send(
                 &self.socket,
                 &self.sbufs,
                 MAX_DATAGRAM,
                 &self.slens,
                 &self.peers,
             )?;
+            if partial_calls > 0 {
+                if let Some(m) = self.metrics.as_ref() {
+                    m.partial_sends.add(partial_calls as u64);
+                }
+            }
             for l in self.slens.iter_mut() {
                 *l = 0;
             }

@@ -2,11 +2,18 @@
 //! transport's bind-time buffers and the shard's scratch are warm, a
 //! full batch cycle — `recvmmsg` a batch, serve every query as a cached
 //! hit, stage every reply, `sendmmsg` the batch — touches the heap zero
-//! times. Same counting-allocator technique as
+//! times, **with the observability plane on**: batch instruments
+//! attached ([`ReuseportUdpTransport::attach_metrics`]) and every served
+//! query pushed into a [`TraceRing`]. Window capture
+//! ([`WindowCapturer::capture`]) allocates by design, so it runs outside
+//! the counted region — exactly where the Reporter/scrape threads run it
+//! in production. Same counting-allocator technique as
 //! `crates/authd/tests/zero_alloc.rs`, extended over real sockets.
 //!
-//! This file holds exactly one `#[test]` on purpose: the counter is
-//! global, so a second test on a sibling thread would pollute it.
+//! This file holds exactly one `#[test]` on purpose, and the counter
+//! only counts the test thread's own allocations: the libtest harness
+//! threads allocate at unpredictable times (observed as rare 2-alloc
+//! blips), and their heap traffic says nothing about the serving path.
 
 use eum_authd::{
     BatchServerTransport, CacheConfig, QueryStages, ReplyCap, ServeOutcome, ShardState,
@@ -18,27 +25,44 @@ use eum_dns::{encode_message, Message, Question};
 use eum_mapping::{MappingConfig, MappingSystem};
 use eum_net::{BatchConfig, ReuseportUdpTransport};
 use eum_netmodel::{Internet, InternetConfig};
+use eum_telemetry::{QueryTrace, Registry, TraceHop, TraceOutcome, TraceRing, WindowCapturer};
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::net::{Ipv4Addr, UdpSocket};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 const SEED: u64 = 0xBA7C;
 const BATCH: usize = 8;
 
-/// Counts every path into the heap; frees are uncounted (a zero-alloc
-/// steady state cannot free what it never allocated).
+/// Counts every path into the heap taken by the test thread; frees are
+/// uncounted (a zero-alloc steady state cannot free what it never
+/// allocated), and sibling threads (the libtest harness) are excluded —
+/// their allocations are asynchronous noise, not serving-path traffic.
 struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
-// SAFETY: every method forwards verbatim to the System allocator, so the
-// GlobalAlloc contract (layout validity, no unwinding, pointer ownership)
-// is exactly System's; the counter increment touches only an atomic.
+std::thread_local! {
+    static IS_TEST_THREAD: Cell<bool> = const { Cell::new(false) };
+}
+
+fn count_one() {
+    // try_with: allocator calls can outlive a thread's TLS (during
+    // teardown); treat those as not-the-test-thread.
+    if IS_TEST_THREAD.try_with(|f| f.get()).unwrap_or(false) {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+// SAFETY: every method forwards verbatim to the System allocator, so
+// the GlobalAlloc contract is exactly System's; the counter increment
+// touches only an atomic and a const-initialized thread-local.
 unsafe impl GlobalAlloc for CountingAlloc {
     // SAFETY: same layout contract as System::alloc; forwarded unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         // SAFETY: caller upholds GlobalAlloc's contract; layout passed through.
         unsafe { System.alloc(layout) }
     }
@@ -51,14 +75,14 @@ unsafe impl GlobalAlloc for CountingAlloc {
 
     // SAFETY: same contract as System::realloc; forwarded unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         // SAFETY: ptr/layout originate from this allocator's System forwards.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
     // SAFETY: same contract as System::alloc_zeroed; forwarded unchanged.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         // SAFETY: caller upholds GlobalAlloc's contract; layout passed through.
         unsafe { System.alloc_zeroed(layout) }
     }
@@ -95,8 +119,10 @@ fn world() -> (Internet, MappingSystem) {
 
 /// One closed batch cycle, driven single-threaded: the client socket
 /// sends `payloads`, the transport receives them as one or more batches,
-/// the shard serves each and stages the reply, `flush` sends them back,
-/// and the client drains its replies. Returns how many were served.
+/// the shard serves each — pushing a trace record per query, as the
+/// batched server loop does when sampling — stages the reply, `flush`
+/// sends them back, and the client drains its replies. Returns how many
+/// were served.
 #[allow(clippy::too_many_arguments)]
 fn batch_cycle(
     transport: &mut ReuseportUdpTransport,
@@ -107,6 +133,7 @@ fn batch_cycle(
     dest: std::net::SocketAddr,
     payloads: &[Vec<u8>],
     rbuf: &mut [u8],
+    ring: &TraceRing,
 ) -> usize {
     for p in payloads {
         client.send_to(p, dest).expect("client send");
@@ -132,6 +159,11 @@ fn batch_cycle(
                     &mut stages,
                 )
             };
+            ring.push(&QueryTrace {
+                shard: 0,
+                outcome: TraceOutcome::CacheHit,
+                ..QueryTrace::blank(i as u32 + 1, TraceHop::Authd)
+            });
             match out {
                 ServeOutcome::Replied { .. } | ServeOutcome::FormErr => {
                     transport.stage_reply(i, state.reply());
@@ -151,6 +183,7 @@ fn batch_cycle(
 
 #[test]
 fn warm_batch_cycles_do_not_allocate() {
+    IS_TEST_THREAD.with(|f| f.set(true));
     let (net, map) = world();
     let low = map.ns_ips()[1];
     let snapshots = SnapshotHandle::new(map);
@@ -180,6 +213,15 @@ fn warm_batch_cycles_do_not_allocate() {
         !transport.is_portable(),
         "on Linux this must measure the recvmmsg/sendmmsg path"
     );
+
+    // The full observability plane, attached before warm-up: batch-fill
+    // histogram + partial-send counter on the transport, and a trace
+    // ring fed inside the counted loop.
+    let registry = Arc::new(Registry::new());
+    transport.attach_metrics(&registry, 0);
+    let ring = TraceRing::new(1 << 8);
+    let capturer = WindowCapturer::new(registry.clone(), 16);
+
     let dest = addrs[0];
     let client = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).expect("client bind");
     client
@@ -202,8 +244,10 @@ fn warm_batch_cycles_do_not_allocate() {
             dest,
             &payloads,
             &mut rbuf,
+            &ring,
         );
     }
+    capturer.capture();
 
     let before = ALLOCS.load(Ordering::SeqCst);
     let mut served = 0usize;
@@ -217,6 +261,7 @@ fn warm_batch_cycles_do_not_allocate() {
             dest,
             &payloads,
             &mut rbuf,
+            &ring,
         );
     }
     let delta = ALLOCS.load(Ordering::SeqCst) - before;
@@ -225,4 +270,24 @@ fn warm_batch_cycles_do_not_allocate() {
         delta, 0,
         "warm batched recv/serve/send allocated {delta} times over {served} queries"
     );
+
+    // Window capture (off the counted path, as the Reporter runs it)
+    // sees the fills the instrumented transport recorded.
+    capturer.capture();
+    let windows = capturer.windows();
+    let last = windows.last().expect("a window was captured");
+    let fills = last
+        .rows
+        .iter()
+        .find_map(|row| match row.value {
+            eum_telemetry::WindowValue::Histogram { count, .. }
+                if row.name == "eum_net_recv_batch_fill" =>
+            {
+                Some(count)
+            }
+            _ => None,
+        })
+        .unwrap_or(0);
+    assert!(fills > 0, "counted cycles recorded no batch fills");
+    assert!(!ring.dump().is_empty(), "counted cycles pushed no traces");
 }

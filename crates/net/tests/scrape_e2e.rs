@@ -1,0 +1,206 @@
+//! End-to-end scrape: while the batched socket server answers real UDP
+//! queries, an HTTP scraper on the same loopback stack fetches
+//! `/metrics` (Prometheus text including the new batch-fill series),
+//! `/timeseries.jsonl` (captured windows), and `/healthz` — proving the
+//! observability plane is readable mid-run without touching the shards.
+
+use eum_authd::{AuthServer, ClientTransport, ServerConfig, SnapshotHandle, TelemetryConfig};
+use eum_cdn::{deployment_universe, CatalogConfig, CdnPlatform, ContentCatalog, DeployConfig};
+use eum_dns::edns::{EcsOption, OptData};
+use eum_dns::{decode_message, encode_message, Message, Question, Rcode};
+use eum_mapping::{MappingConfig, MappingSystem};
+use eum_net::{BatchConfig, ReuseportUdpTransport, ScrapeServer, SocketClient};
+use eum_netmodel::{Internet, InternetConfig};
+use eum_telemetry::{Registry, TraceRing, WindowCapturer};
+use std::io::{Read, Write};
+use std::net::{Ipv4Addr, SocketAddrV4, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 0x5C4A;
+
+fn world() -> (Internet, MappingSystem) {
+    let mut net = Internet::generate(InternetConfig::tiny(SEED));
+    let sites = deployment_universe(SEED, 16);
+    let cdn = CdnPlatform::deploy(
+        &mut net,
+        &sites,
+        &DeployConfig {
+            servers_per_cluster: 4,
+            cache_objects_per_server: 256,
+            cluster_capacity: f64::INFINITY,
+        },
+    );
+    let catalog = ContentCatalog::generate(&CatalogConfig::tiny(SEED));
+    let map = MappingSystem::build(
+        &mut net,
+        &cdn,
+        &catalog,
+        "cdn.example".parse().unwrap(),
+        MappingConfig {
+            max_ping_targets: 50,
+            ..MappingConfig::default()
+        },
+    );
+    (net, map)
+}
+
+/// One blocking HTTP/1.0 GET against the scrape endpoint; returns
+/// (status line, body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect scrape");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: scrape\r\n\r\n").expect("send request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("response is utf-8");
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .expect("response has a blank line");
+    let status = head.lines().next().unwrap_or("").to_string();
+    (status, body.to_string())
+}
+
+#[test]
+fn live_scrape_over_running_socket_server() {
+    let (net, map) = world();
+    let low = map.ns_ips()[1];
+
+    let registry = Arc::new(Registry::new());
+    let ring = Arc::new(TraceRing::new(1 << 10));
+    let capturer = Arc::new(WindowCapturer::new(registry.clone(), 64));
+
+    let shards = 2;
+    let (mut transports, addrs) =
+        ReuseportUdpTransport::bind_shards(shards, &BatchConfig::default()).expect("bind shards");
+    for (i, t) in transports.iter_mut().enumerate() {
+        t.attach_metrics(&registry, i);
+    }
+    let cfg = ServerConfig::new(low)
+        .with_telemetry(TelemetryConfig::metrics(registry.clone()).with_trace(ring.clone(), 1));
+    let server = AuthServer::spawn_batched(transports, SnapshotHandle::new(map), cfg);
+
+    let scrape = ScrapeServer::spawn(
+        SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0),
+        registry.clone(),
+        Some(capturer.clone()),
+    )
+    .expect("spawn scrape server");
+
+    // Liveness before any load.
+    let (status, body) = http_get(scrape.addr(), "/healthz");
+    assert!(status.contains("200"), "healthz status: {status}");
+    assert_eq!(body, "ok\n");
+
+    // Drive real queries through the batched shards while scraping.
+    capturer.capture();
+    let mut client = SocketClient::connect(addrs, Vec::new()).expect("bind client");
+    for round in 0..20u16 {
+        for (i, block) in net.blocks.iter().take(4).enumerate() {
+            let q = Message::query(
+                0x4000 + round * 8 + i as u16,
+                Question::a("e0.cdn.example".parse().unwrap()),
+                Some(OptData::with_ecs(EcsOption::query(block.client_ip(), 24))),
+            );
+            let bytes = client
+                .exchange(
+                    (round as usize + i) % shards,
+                    Ipv4Addr::UNSPECIFIED,
+                    Ipv4Addr::UNSPECIFIED,
+                    &encode_message(&q),
+                    Duration::from_secs(5),
+                )
+                .expect("exchange");
+            let resp = decode_message(&bytes).expect("response decodes");
+            assert_eq!(resp.flags.rcode, Rcode::NoError);
+        }
+    }
+    capturer.capture();
+
+    // /metrics mid-run: valid Prometheus text with the batch-fill
+    // histogram, the partial-send counter, and the sample-rate gauge.
+    let (status, body) = http_get(scrape.addr(), "/metrics");
+    assert!(status.contains("200"), "metrics status: {status}");
+    assert!(
+        body.contains("# TYPE eum_net_recv_batch_fill histogram"),
+        "batch fill family missing:\n{body}"
+    );
+    assert!(
+        body.contains("eum_net_sendmmsg_partial_total"),
+        "partial send counter missing"
+    );
+    assert!(
+        body.contains("eum_authd_queries_total"),
+        "authd counters missing"
+    );
+    assert!(
+        body.contains("eum_trace_sample_rate 1"),
+        "sample-rate gauge missing"
+    );
+    // Structural sanity: every non-comment line is `name{labels} value`.
+    for line in body.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (_, value) = line.rsplit_once(' ').expect("sample line has a value");
+        value.parse::<f64>().expect("sample value parses");
+    }
+    // The shards actually recorded batch fills for the queries above.
+    let fill_count: f64 = body
+        .lines()
+        .filter(|l| l.starts_with("eum_net_recv_batch_fill_count"))
+        .map(|l| l.rsplit_once(' ').unwrap().1.parse::<f64>().unwrap())
+        .sum();
+    assert!(fill_count >= 1.0, "no recv batches recorded:\n{body}");
+
+    // /timeseries.jsonl: one JSON object per captured window, and the
+    // load window shows query throughput.
+    let (status, body) = http_get(scrape.addr(), "/timeseries.jsonl");
+    assert!(status.contains("200"), "timeseries status: {status}");
+    let lines: Vec<&str> = body.lines().collect();
+    assert!(lines.len() >= 2, "expected >=2 windows, got:\n{body}");
+    for line in &lines {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "window line is not a JSON object: {line}"
+        );
+    }
+    // The load landed inside a captured window: per-window query deltas
+    // across shards sum to the queries we sent.
+    let delta_after = |line: &str, key: &str| -> u64 {
+        line.find(key)
+            .map(|at| {
+                line[at + key.len()..]
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit())
+                    .collect::<String>()
+                    .parse::<u64>()
+                    .unwrap_or(0)
+            })
+            .unwrap_or(0)
+    };
+    let windowed_queries: u64 = lines
+        .iter()
+        .map(|l| {
+            delta_after(l, "eum_authd_queries_total{shard=\\\"0\\\"}\":")
+                + delta_after(l, "eum_authd_queries_total{shard=\\\"1\\\"}\":")
+        })
+        .sum();
+    assert_eq!(
+        windowed_queries, 80,
+        "window deltas must reconcile to the 80 queries sent:\n{body}"
+    );
+
+    // Unknown routes 404, non-GET 405.
+    let (status, _) = http_get(scrape.addr(), "/nope");
+    assert!(status.contains("404"), "unknown path status: {status}");
+
+    // Traces flowed: the ring sampled authd records for the queries.
+    assert!(!ring.dump().is_empty(), "no traces sampled");
+
+    drop(client);
+    server.stop_join();
+    scrape.stop_join();
+}

@@ -88,6 +88,9 @@ fn main() {
     if let Err(e) = fs::write(dir.join("summary.json"), r.summary_json()) {
         eprintln!("[repro] could not write summary.json: {e}");
     }
+    if let Err(e) = fs::write(dir.join("rollout_timeline.jsonl"), r.timeline.to_jsonl()) {
+        eprintln!("[repro] could not write rollout_timeline.jsonl: {e}");
+    }
 
     eprintln!("[repro] §6: deployment study…");
     let net = Internet::generate(scale.internet_config());

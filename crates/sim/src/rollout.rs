@@ -192,6 +192,119 @@ impl FleetMeasurement {
     }
 }
 
+/// One window of the fleet flip replay — **deltas** over the window,
+/// not cumulative totals, so each window stands alone on a plot.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetWindowStats {
+    /// Window index (0-based).
+    pub window: u32,
+    /// Downstream queries the fleet served this window.
+    pub queries: u64,
+    /// Downstream queries answered from resolver caches this window.
+    pub cache_hits: u64,
+    /// Upstream (authoritative-facing) queries sent this window.
+    pub upstream: u64,
+    /// Truncated answers retried over TCP this window (fleet side).
+    pub tcp_retries: u64,
+    /// Replies the live authoritative truncated this window (TC=1).
+    pub truncations: u64,
+}
+
+impl FleetWindowStats {
+    /// Downstream cache-hit ratio inside the window.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / self.queries as f64
+    }
+
+    /// Query amplification (upstream per downstream) inside the window.
+    pub fn amplification(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.upstream as f64 / self.queries as f64
+    }
+}
+
+/// Per-window series from the fleet flip replay: the fleet runs a warm
+/// steady state, the ECS policy flips mid-run for the eligible public
+/// resolvers (the config deploy flushes their caches, as a production
+/// restart does), and the windows after the flip show the cache-hit-rate
+/// dip and recovery — the figure a rollout operator watches live.
+#[derive(Debug, Clone, Default)]
+pub struct FleetTimeline {
+    /// Window series in time order.
+    pub windows: Vec<FleetWindowStats>,
+    /// Index of the first window run with the flipped policy (`None`:
+    /// no flip — the timeline replay was skipped).
+    pub flip_window: Option<u32>,
+}
+
+impl FleetTimeline {
+    /// An empty timeline (used when the fleet replay is skipped).
+    pub fn empty() -> FleetTimeline {
+        FleetTimeline::default()
+    }
+
+    /// Hit ratio of window `w`, if it exists.
+    pub fn hit_ratio_at(&self, w: u32) -> Option<f64> {
+        self.windows
+            .iter()
+            .find(|s| s.window == w)
+            .map(|s| s.hit_ratio())
+    }
+
+    /// Hit ratio of the last warm window before the flip.
+    pub fn pre_flip_hit_ratio(&self) -> f64 {
+        self.flip_window
+            .and_then(|f| f.checked_sub(1))
+            .and_then(|w| self.hit_ratio_at(w))
+            .unwrap_or(0.0)
+    }
+
+    /// Hit ratio of the flip window itself (the dip).
+    pub fn flip_hit_ratio(&self) -> f64 {
+        self.flip_window
+            .and_then(|w| self.hit_ratio_at(w))
+            .unwrap_or(0.0)
+    }
+
+    /// Hit ratio of the final window (the recovery).
+    pub fn final_hit_ratio(&self) -> f64 {
+        self.windows.last().map(|s| s.hit_ratio()).unwrap_or(0.0)
+    }
+
+    /// One JSON object per window, one line each — the figure-grade
+    /// series `public_resolver_rollout` writes under `results/`.
+    /// Hand-rendered: every value is a number or boolean, so the offline
+    /// serde stub is not needed and the output stays exact.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.windows {
+            out.push_str(&format!(
+                concat!(
+                    "{{\"window\": {}, \"flip\": {}, \"queries\": {}, ",
+                    "\"cache_hits\": {}, \"hit_ratio\": {:.6}, ",
+                    "\"upstream\": {}, \"amplification\": {:.6}, ",
+                    "\"tcp_retries\": {}, \"truncations\": {}}}\n"
+                ),
+                s.window,
+                self.flip_window == Some(s.window),
+                s.queries,
+                s.cache_hits,
+                s.hit_ratio(),
+                s.upstream,
+                s.amplification(),
+                s.tcp_retries,
+                s.truncations,
+            ));
+        }
+        out
+    }
+}
+
 /// Everything the §4/§5 analyses read.
 #[derive(Debug, Clone)]
 pub struct RolloutReport {
@@ -222,6 +335,8 @@ pub struct RolloutReport {
     pub eu_unit_count: usize,
     /// Measured-vs-analytic amplification from the live resolver fleet.
     pub fleet: FleetMeasurement,
+    /// Per-window series from the fleet flip replay (dip and recovery).
+    pub timeline: FleetTimeline,
 }
 
 impl RolloutReport {
@@ -442,7 +557,8 @@ impl RolloutReport {
                 "  \"fleet_amplification_measured\": {},\n",
                 "  \"fleet_amplification_analytic\": {},\n",
                 "  \"fleet_scaling_measured\": {},\n",
-                "  \"fleet_scaling_analytic\": {}\n",
+                "  \"fleet_scaling_analytic\": {},\n",
+                "  \"timeline_hit_ratio_pre_dip_final\": [{:.6}, {:.6}, {:.6}]\n",
                 "}}"
             ),
             self.rum.len(),
@@ -465,6 +581,9 @@ impl RolloutReport {
             )),
             self.fleet.measured_scaling(),
             self.fleet.analytic_scaling(),
+            self.timeline.pre_flip_hit_ratio(),
+            self.timeline.flip_hit_ratio(),
+            self.timeline.final_hit_ratio(),
         )
     }
 
@@ -524,6 +643,16 @@ impl RolloutReport {
                 f.analytic_amplification_off(),
                 f.analytic_amplification_on(),
                 f.analytic_scaling(),
+            ));
+        }
+        let t = &self.timeline;
+        if let Some(flip) = t.flip_window {
+            s.push_str(&format!(
+                "flip timeline ({} windows, flip at {flip}): hit rate {:.2} -> {:.2} (dip) -> {:.2} (recovered)\n",
+                t.windows.len(),
+                t.pre_flip_hit_ratio(),
+                t.flip_hit_ratio(),
+                t.final_hit_ratio(),
             ));
         }
         s

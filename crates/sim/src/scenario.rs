@@ -11,10 +11,14 @@ use crate::client::fetch_page;
 use crate::engine::{EventQueue, SimTime};
 use crate::netsession::PairDataset;
 use crate::network::{AuthNet, QueryCounters};
-use crate::rollout::{FleetMeasurement, RolloutConfig, RolloutReport};
+use crate::rollout::{
+    FleetMeasurement, FleetTimeline, FleetWindowStats, RolloutConfig, RolloutReport,
+};
 use crate::rum::{RumCollector, RumSample};
 use crate::workload::{Workload, WorkloadConfig};
-use eum_authd::{channel_transports, AuthServer, ChannelClient, ServerConfig, SnapshotHandle};
+use eum_authd::{
+    channel_transports, AuthServer, ChannelClient, ServerConfig, SnapshotHandle, TelemetryConfig,
+};
 use eum_cdn::{deployment_universe, CatalogConfig, CdnPlatform, ContentCatalog, DeployConfig};
 use eum_dns::name::name;
 use eum_dns::{
@@ -567,7 +571,7 @@ impl Scenario {
         // and replay a query plan through a real `eum-ldns` fleet, so the
         // report carries *measured* amplification next to the analytic
         // estimate above.
-        let fleet = measure_fleet(
+        let (fleet, timeline) = measure_fleet(
             &self.net,
             &self.catalog,
             self.mapping,
@@ -590,6 +594,7 @@ impl Scenario {
             ns_unit_count,
             eu_unit_count,
             fleet,
+            timeline,
         }
     }
 }
@@ -655,7 +660,7 @@ fn measure_fleet(
     ecs_eligible: &[ResolverId],
     rollout: &RolloutConfig,
     seed: u64,
-) -> FleetMeasurement {
+) -> (FleetMeasurement, FleetTimeline) {
     let domains: Vec<(DnsName, f64)> = catalog
         .domains
         .iter()
@@ -712,11 +717,12 @@ fn measure_fleet(
     // authoritative. Query interval is zero (no TTL expiry), so the
     // upstream count is purely cache-key driven and directly comparable
     // to the analytic estimate.
+    let registry = std::sync::Arc::new(eum_telemetry::Registry::new());
     let (transports, connector) = channel_transports(FLEET_WORKERS);
     let server = AuthServer::spawn(
         transports,
         SnapshotHandle::new(mapping),
-        ServerConfig::new(top),
+        ServerConfig::new(top).with_telemetry(TelemetryConfig::metrics(registry.clone())),
     );
     let epoch = Instant::now();
     let mut measured = [0u64; 2];
@@ -739,16 +745,134 @@ fn measure_fleet(
         let report = fleet.run(clients, &plan, &RunConfig::new(top));
         measured[i] = report.upstream_queries;
     }
+
+    let timeline = run_flip_timeline(
+        net,
+        &domains,
+        &sends_ecs,
+        source_prefix,
+        top,
+        &registry,
+        &connector,
+        seed,
+    );
     drop(connector);
     server.stop_join();
 
-    FleetMeasurement {
-        resolvers,
-        downstream_queries: plan.len() as u64,
-        upstream_ecs_off: measured[0],
-        upstream_ecs_on: measured[1],
-        analytic_ecs_off,
-        analytic_ecs_on,
+    (
+        FleetMeasurement {
+            resolvers,
+            downstream_queries: plan.len() as u64,
+            upstream_ecs_off: measured[0],
+            upstream_ecs_on: measured[1],
+            analytic_ecs_off,
+            analytic_ecs_on,
+        },
+        timeline,
+    )
+}
+
+/// Windows in the flip timeline replay.
+const TIMELINE_WINDOWS: u32 = 12;
+/// Downstream queries per timeline window, floor. The actual per-window
+/// count scales with the catalog ([`timeline_window_queries`]) so the
+/// fleet reaches its warm plateau before the flip at every scale.
+const TIMELINE_WINDOW_QUERIES: usize = 400;
+/// First window run with the flipped ECS policy.
+const TIMELINE_FLIP_WINDOW: u32 = 4;
+
+/// Per-window query count for a catalog of `n_domains` names: larger
+/// catalogs need proportionally more queries per window to warm the
+/// fleet's caches within the pre-flip windows (tiny's 6-domain catalog
+/// stays at the 400 floor the tests pin).
+fn timeline_window_queries(n_domains: usize) -> usize {
+    TIMELINE_WINDOW_QUERIES.max(40 * n_domains)
+}
+
+/// The per-window flip replay behind [`FleetTimeline`]: the fleet warms
+/// an ECS-off steady state over the first windows, then — modeling the
+/// roll-out's config deploy, which restarts the resolver and loses its
+/// cache — every eligible public resolver flips to `EcsPolicy::Always`
+/// **and flushes its cache** at [`TIMELINE_FLIP_WINDOW`]. The window
+/// series shows warm-up, the sharp cache-hit dip at the flip, and the
+/// recovery toward the (slightly lower, fragmentation-taxed) ECS-on
+/// plateau. Virtual time stands still inside each window
+/// (`query_interval` zero), so the curve is pure cache behavior, not TTL
+/// churn.
+#[allow(clippy::too_many_arguments)]
+fn run_flip_timeline(
+    net: &Internet,
+    domains: &[(DnsName, f64)],
+    sends_ecs: &[bool],
+    source_prefix: u8,
+    top: Ipv4Addr,
+    registry: &eum_telemetry::Registry,
+    connector: &eum_authd::ChannelConnector,
+    seed: u64,
+) -> FleetTimeline {
+    let per_window = timeline_window_queries(domains.len());
+    let plan = QueryPlan::generate(
+        net,
+        domains,
+        seed ^ 0xD1B5,
+        TIMELINE_WINDOWS as usize * per_window,
+    );
+    // Live authd truncation counter, summed over shards (the registry is
+    // idempotent: these are the same handles the server increments).
+    let truncated_total = || -> u64 {
+        (0..FLEET_WORKERS)
+            .map(|i| {
+                let s = i.to_string();
+                registry
+                    .counter("eum_authd_truncated_total", "", &[("shard", &s)])
+                    .get()
+            })
+            .sum()
+    };
+
+    let mut fleet = ResolverFleet::new(net, Instant::now(), |r| {
+        let mut cfg = LdnsConfig::new(r.ip, EcsPolicy::Off);
+        cfg.source_prefix = source_prefix;
+        cfg
+    });
+    let mut windows = Vec::with_capacity(TIMELINE_WINDOWS as usize);
+    let mut prev = fleet.report();
+    let mut prev_trunc = truncated_total();
+    for w in 0..TIMELINE_WINDOWS {
+        if w == TIMELINE_FLIP_WINDOW {
+            let now = Instant::now();
+            for (idx, on) in sends_ecs.iter().enumerate() {
+                if !on {
+                    continue;
+                }
+                let ldns = fleet.resolver_mut(ResolverId(idx as u32));
+                ldns.set_policy(EcsPolicy::Always);
+                ldns.flush_cache(now);
+            }
+        }
+        let from = w as usize * per_window;
+        let chunk = QueryPlan {
+            queries: plan.queries[from..from + per_window].to_vec(),
+        };
+        let clients: Vec<ChannelClient> = (0..FLEET_WORKERS)
+            .map(|_| ChannelClient::new(connector.clone()))
+            .collect();
+        let cur = fleet.run(clients, &chunk, &RunConfig::new(top));
+        let trunc = truncated_total();
+        windows.push(FleetWindowStats {
+            window: w,
+            queries: cur.downstream_queries - prev.downstream_queries,
+            cache_hits: cur.downstream_cache_hits - prev.downstream_cache_hits,
+            upstream: cur.upstream_queries - prev.upstream_queries,
+            tcp_retries: cur.upstream_tcp_retries - prev.upstream_tcp_retries,
+            truncations: trunc - prev_trunc,
+        });
+        prev = cur;
+        prev_trunc = trunc;
+    }
+    FleetTimeline {
+        windows,
+        flip_window: Some(TIMELINE_FLIP_WINDOW),
     }
 }
 
@@ -876,6 +1000,44 @@ mod tests {
                 "{which}: measured amplification {m:.3} diverges more than \
                  25% from the analytic estimate {a:.3}"
             );
+        }
+    }
+
+    #[test]
+    fn flip_timeline_shows_dip_and_recovery() {
+        let t = &report().timeline;
+        assert_eq!(t.windows.len(), TIMELINE_WINDOWS as usize);
+        assert_eq!(t.flip_window, Some(TIMELINE_FLIP_WINDOW));
+        for w in &t.windows {
+            assert_eq!(
+                w.queries, TIMELINE_WINDOW_QUERIES as u64,
+                "window {} deltas must reconcile to the queries driven",
+                w.window
+            );
+        }
+        let (pre, dip, last) = (
+            t.pre_flip_hit_ratio(),
+            t.flip_hit_ratio(),
+            t.final_hit_ratio(),
+        );
+        // The curve the paper's §6.3 deploy plots: a warm fleet, a
+        // visible hit-rate dip when the ECS flip flushes the flipped
+        // resolvers, and recovery as scoped answers re-fill the caches.
+        assert!(pre > 0.9, "fleet must be warm before the flip: {pre:.3}");
+        assert!(
+            dip < pre - 0.05,
+            "the flip must dent the hit rate: pre {pre:.3} dip {dip:.3}"
+        );
+        assert!(
+            last > dip + 0.05,
+            "the fleet must recover after the flip: dip {dip:.3} final {last:.3}"
+        );
+        // The rendered JSONL is one object per window and carries the dip.
+        let jsonl = t.to_jsonl();
+        assert_eq!(jsonl.lines().count(), TIMELINE_WINDOWS as usize);
+        assert!(jsonl.contains("\"flip\": true"));
+        for line in jsonl.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
         }
     }
 

@@ -219,6 +219,38 @@ impl HistogramSnapshot {
         }
     }
 
+    /// The per-window difference `self − earlier`: a snapshot holding
+    /// exactly the samples recorded between the two captures, assuming
+    /// `earlier` was taken from the same (monotone) histogram. Bucket
+    /// counts, count, and sum subtract exactly; `max` cannot be
+    /// recovered from cumulative state, so the delta's `max` is the
+    /// upper edge of its highest non-empty bucket (0 when the window
+    /// recorded nothing) — within one bucket width of the true window
+    /// max, same bound as the quantiles.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::empty();
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum = self.sum.wrapping_sub(earlier.sum);
+        let mut max_edge = 0u64;
+        for (i, (o, (a, b))) in out
+            .buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(earlier.buckets.iter()))
+            .enumerate()
+        {
+            *o = a.saturating_sub(*b);
+            if *o > 0 {
+                max_edge = bucket_bounds(i).1 as u64;
+            }
+        }
+        out.max = max_edge;
+        if out.count == 0 {
+            out.sum = 0;
+            out.max = 0;
+        }
+        out
+    }
+
     /// The `q`-quantile (`q` in `[0, 1]`), estimated as the midpoint of
     /// the bucket holding the rank-`round(q·(n-1))` sample — within one
     /// bucket's width (≤ 6.25% relative error) of the exact sample
@@ -343,6 +375,32 @@ mod tests {
         assert_eq!(s.count(), 400);
         assert_eq!(s.sum(), 4 * (0..100u64).sum::<u64>());
         assert_eq!(s.max(), 99);
+    }
+
+    #[test]
+    fn delta_since_isolates_the_window() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let t0 = h.snapshot();
+        for v in 1000..=2000u64 {
+            h.record(v);
+        }
+        let d = h.snapshot().delta_since(&t0);
+        assert_eq!(d.count(), 1001);
+        assert_eq!(d.sum(), (1000..=2000u64).sum::<u64>());
+        // Quantiles come from the window's samples only.
+        let p50 = d.quantile(0.5);
+        assert!((p50 - 1500.0).abs() / 1500.0 <= 1.0 / 16.0, "p50 {p50}");
+        // max is the window's, approximated to its bucket's upper edge.
+        let (_, hi) = HistogramSnapshot::bucket_of(2000);
+        assert_eq!(d.max(), hi as u64);
+        // An empty window deltas to an all-zero snapshot.
+        let z = h.snapshot().delta_since(&h.snapshot());
+        assert_eq!(z.count(), 0);
+        assert_eq!(z.sum(), 0);
+        assert_eq!(z.max(), 0);
     }
 
     #[test]

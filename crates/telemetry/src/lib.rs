@@ -18,9 +18,17 @@
 //!   `Arc`s touched with `&self` atomics only.
 //! - [`trace`] — [`TraceRing`]: a bounded, lock-free ring of sampled
 //!   [`QueryTrace`] events (per-stage nanosecond timings, generation, ECS
-//!   scope, shard) dumpable on demand.
+//!   scope, shard, propagated trace id + hop) dumpable on demand, with a
+//!   runtime-adjustable sampling rate.
+//! - [`span`] — [`stitch`](span::stitch): joins per-layer trace rings
+//!   into end-to-end [`QuerySpan`] hop timelines via the propagated id.
+//! - [`timeseries`] — [`WindowCapturer`]: snapshots the registry at a
+//!   fixed cadence, diffs captures into per-window counter deltas and
+//!   bucket-diff histogram quantiles, and retains a bounded JSONL-able
+//!   ring of windows.
 //! - [`report`] — [`Reporter`]: a periodic background thread driving any
-//!   reporting closure (typically one that renders the registry).
+//!   reporting closure (typically one that renders the registry or
+//!   drives a [`WindowCapturer`]).
 //!
 //! # Metric naming conventions
 //!
@@ -44,10 +52,30 @@ pub mod hist;
 pub mod metrics;
 pub mod registry;
 pub mod report;
+pub mod span;
+pub mod timeseries;
 pub mod trace;
 
 pub use hist::{Histogram, HistogramSnapshot};
 pub use metrics::{Counter, Gauge};
-pub use registry::{MetricKind, Registry};
+pub use registry::{MetricKind, Registry, SampleValue, SeriesSample};
 pub use report::Reporter;
-pub use trace::{QueryTrace, TraceOutcome, TraceRing};
+pub use span::QuerySpan;
+pub use timeseries::{Window, WindowCapturer, WindowRow, WindowValue};
+pub use trace::{QueryTrace, TraceHop, TraceOutcome, TraceRing};
+
+/// Name of the gauge mirroring a [`TraceRing`]'s 1-in-N sampling rate.
+pub const TRACE_SAMPLE_RATE_GAUGE: &str = "eum_trace_sample_rate";
+
+/// Registers (or refreshes) the `eum_trace_sample_rate` gauge from
+/// `ring`'s current rate, so span stitching can correct sampled counts.
+/// Call it again after [`TraceRing::set_sample_every`].
+pub fn export_trace_sample_rate(registry: &Registry, ring: &TraceRing) {
+    registry
+        .gauge(
+            TRACE_SAMPLE_RATE_GAUGE,
+            "1-in-N trace sampling rate currently applied to the trace ring (0: disabled)",
+            &[],
+        )
+        .set(ring.sample_every() as f64);
+}

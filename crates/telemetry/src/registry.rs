@@ -45,6 +45,28 @@ impl MetricKind {
     }
 }
 
+/// One series' point-in-time value inside a [`Registry::sample`].
+#[derive(Debug, Clone)]
+pub enum SampleValue {
+    /// A counter's cumulative count.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(f64),
+    /// A histogram's merged snapshot.
+    Histogram(crate::hist::HistogramSnapshot),
+}
+
+/// One `(family, label set)` pair captured by [`Registry::sample`].
+#[derive(Debug, Clone)]
+pub struct SeriesSample {
+    /// The family name (e.g. `eum_authd_queries_total`).
+    pub name: String,
+    /// The rendered label string (e.g. `{shard="0"}`, empty for none).
+    pub labels: String,
+    /// The captured value.
+    pub value: SampleValue,
+}
+
 #[derive(Clone)]
 enum Series {
     Counter(Arc<Counter>),
@@ -211,6 +233,31 @@ impl Registry {
         )
     }
 
+    /// A structured point-in-time capture of every series: one
+    /// [`SeriesSample`] per `(family, label set)`, families and series in
+    /// render order. This is what the window capturer diffs against its
+    /// previous capture; it allocates and briefly holds the registration
+    /// mutex, so it belongs on the Reporter/scrape threads, never the
+    /// per-query path.
+    pub fn sample(&self) -> Vec<SeriesSample> {
+        let families = self.families.lock().expect("registry poisoned");
+        let mut out = Vec::new();
+        for (name, family) in families.iter() {
+            for (labels, series) in &family.series {
+                out.push(SeriesSample {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value: match series {
+                        Series::Counter(c) => SampleValue::Counter(c.get()),
+                        Series::Gauge(g) => SampleValue::Gauge(g.get()),
+                        Series::Histogram(h) => SampleValue::Histogram(h.snapshot()),
+                    },
+                });
+            }
+        }
+        out
+    }
+
     /// Family names currently registered (sorted).
     pub fn family_names(&self) -> Vec<String> {
         self.families
@@ -315,6 +362,26 @@ mod tests {
         assert!(text.contains("eum_lat_ns_bucket{shard=\"0\",le=\"+Inf\"} 3"));
         assert!(text.contains("eum_lat_ns_sum{shard=\"0\"} 106"));
         assert!(text.contains("eum_lat_ns_count{shard=\"0\"} 3"));
+    }
+
+    #[test]
+    fn sample_captures_every_series_in_render_order() {
+        let reg = Registry::new();
+        reg.counter("eum_b_total", "second", &[("shard", "1")])
+            .add(7);
+        reg.gauge("eum_a_gauge", "first", &[]).set(1.5);
+        reg.histogram("eum_lat_ns", "latency", &[]).record(42);
+        let samples = reg.sample();
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].name, "eum_a_gauge");
+        assert!(matches!(samples[0].value, SampleValue::Gauge(v) if v == 1.5));
+        assert_eq!(samples[1].name, "eum_b_total");
+        assert_eq!(samples[1].labels, "{shard=\"1\"}");
+        assert!(matches!(samples[1].value, SampleValue::Counter(7)));
+        match &samples[2].value {
+            SampleValue::Histogram(h) => assert_eq!(h.count(), 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 
     #[test]

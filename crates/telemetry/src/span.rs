@@ -1,0 +1,239 @@
+//! Cross-layer span stitching: joining per-layer trace rings into
+//! end-to-end query timelines.
+//!
+//! Each layer of the serving stack (sim client, eum-ldns, eum-authd)
+//! records [`QueryTrace`]s into its own [`TraceRing`], tagged with a
+//! [`TraceHop`] and a propagated trace id. The id flows downstream with
+//! the query: the client stamps a full 32-bit id, the resolver records
+//! it verbatim and reuses its **low 16 bits as the upstream DNS message
+//! id**, and the authoritative stamps the message id it sees on the
+//! wire. [`stitch`] inverts that flow: client and ldns records join on
+//! the full id; authd records, which only ever saw 16 bits, attach to
+//! the unique span whose id matches in the low 16 bits (ambiguous or
+//! unmatched authd records become standalone spans rather than being
+//! attributed wrongly).
+//!
+//! Rings are *sampled*: a hop whose ring samples 1-in-N contributes
+//! records for 1/N of its queries, so a span may legitimately miss
+//! hops. The per-ring rate is exported as the `eum_trace_sample_rate`
+//! gauge; multiply span counts by it to estimate population totals.
+
+use crate::trace::{QueryTrace, TraceHop, TraceRing};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// One query's records across every layer that sampled it.
+#[derive(Debug, Clone)]
+pub struct QuerySpan {
+    /// The propagated trace id (full 32 bits when a client or ldns hop
+    /// was captured; the 16-bit wire id for standalone authd spans).
+    pub trace_id: u32,
+    /// The originating client's record, if sampled.
+    pub client: Option<QueryTrace>,
+    /// The recursive resolver's record, if sampled.
+    pub ldns: Option<QueryTrace>,
+    /// Authoritative records joined by 16-bit wire id (one per upstream
+    /// exchange the authd sampled — a traced resolution can produce
+    /// several: delegation fetch, answer fetch, TCP retry).
+    pub authd: Vec<QueryTrace>,
+}
+
+impl QuerySpan {
+    fn new(trace_id: u32) -> QuerySpan {
+        QuerySpan {
+            trace_id,
+            client: None,
+            ldns: None,
+            authd: Vec::new(),
+        }
+    }
+
+    /// How many layers contributed at least one record.
+    pub fn hops(&self) -> usize {
+        self.client.is_some() as usize
+            + self.ldns.is_some() as usize
+            + (!self.authd.is_empty()) as usize
+    }
+
+    /// The widest captured latency: the client's total when present,
+    /// else the ldns total, else the slowest authd record.
+    pub fn end_to_end_ns(&self) -> u32 {
+        if let Some(c) = &self.client {
+            return c.total_ns;
+        }
+        if let Some(l) = &self.ldns {
+            return l.total_ns;
+        }
+        self.authd.iter().map(|t| t.total_ns).max().unwrap_or(0)
+    }
+
+    /// One-line hop timeline: per-hop nanoseconds and outcomes.
+    pub fn render(&self) -> String {
+        let mut out = format!("span {:08x}:", self.trace_id);
+        match &self.client {
+            Some(c) => {
+                let _ = write!(out, " client {} {}ns", c.outcome.label(), c.total_ns);
+            }
+            None => out.push_str(" client -"),
+        }
+        match &self.ldns {
+            Some(l) => {
+                let _ = write!(
+                    out,
+                    " | ldns {} {}ns (probe {} deleg {} upstream {} tcp {}){}",
+                    l.outcome.label(),
+                    l.total_ns,
+                    l.decode_ns,
+                    l.cache_ns,
+                    l.route_ns,
+                    l.encode_ns,
+                    if l.truncated { " tc-retry" } else { "" },
+                );
+            }
+            None => out.push_str(" | ldns -"),
+        }
+        if self.authd.is_empty() {
+            out.push_str(" | authd -");
+        } else {
+            let _ = write!(out, " | authd x{} [", self.authd.len());
+            for (i, t) in self.authd.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "{} {}ns{}",
+                    t.outcome.label(),
+                    t.total_ns,
+                    if t.truncated { " tc" } else { "" }
+                );
+            }
+            out.push(']');
+        }
+        out
+    }
+}
+
+/// Dumps `rings` and joins their records into spans, sorted by trace
+/// id. Records with trace id 0 (untraced queries) are dropped — they
+/// cannot be attributed.
+pub fn stitch(rings: &[&TraceRing]) -> Vec<QuerySpan> {
+    let traces: Vec<QueryTrace> = rings.iter().flat_map(|r| r.dump()).collect();
+    stitch_traces(traces)
+}
+
+/// [`stitch`] over already-dumped records (for tests and offline
+/// analysis of serialized rings).
+pub fn stitch_traces(traces: Vec<QueryTrace>) -> Vec<QuerySpan> {
+    let mut spans: Vec<QuerySpan> = Vec::new();
+    let mut by_full: HashMap<u32, usize> = HashMap::new();
+    let mut authd_pending: Vec<QueryTrace> = Vec::new();
+    for t in traces {
+        if t.trace_id == 0 {
+            continue;
+        }
+        match t.hop {
+            TraceHop::Authd => authd_pending.push(t),
+            hop => {
+                let idx = *by_full.entry(t.trace_id).or_insert_with(|| {
+                    spans.push(QuerySpan::new(t.trace_id));
+                    spans.len() - 1
+                });
+                // lint note: plain Vec index, always in range by construction
+                let span = &mut spans[idx];
+                match hop {
+                    TraceHop::Client => span.client = Some(t),
+                    TraceHop::Ldns => span.ldns = Some(t),
+                    TraceHop::Authd => unreachable!("matched above"),
+                }
+            }
+        }
+    }
+    // Authd only knows the 16-bit wire id: attach each record to the
+    // unique span matching in the low 16 bits, else keep it standalone.
+    let mut by_low: HashMap<u16, Vec<usize>> = HashMap::new();
+    for (idx, s) in spans.iter().enumerate() {
+        by_low.entry(s.trace_id as u16).or_default().push(idx);
+    }
+    let mut standalone: HashMap<u32, usize> = HashMap::new();
+    for t in authd_pending {
+        let low = t.trace_id as u16;
+        match by_low.get(&low).map(Vec::as_slice) {
+            Some([only]) => spans[*only].authd.push(t),
+            _ => {
+                let idx = *standalone.entry(t.trace_id).or_insert_with(|| {
+                    spans.push(QuerySpan::new(t.trace_id));
+                    spans.len() - 1
+                });
+                spans[idx].authd.push(t);
+            }
+        }
+    }
+    spans.sort_by_key(|s| s.trace_id);
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceOutcome;
+
+    fn rec(trace_id: u32, hop: TraceHop, total_ns: u32) -> QueryTrace {
+        QueryTrace {
+            total_ns,
+            outcome: TraceOutcome::Computed,
+            ..QueryTrace::blank(trace_id, hop)
+        }
+    }
+
+    #[test]
+    fn full_ids_join_and_authd_attaches_by_low16() {
+        let client = TraceRing::new(8);
+        let ldns = TraceRing::new(8);
+        let authd = TraceRing::new(8);
+        client.push(&rec(0x0001_0042, TraceHop::Client, 5000));
+        ldns.push(&rec(0x0001_0042, TraceHop::Ldns, 4000));
+        authd.push(&rec(0x0042, TraceHop::Authd, 900));
+        authd.push(&rec(0x0042, TraceHop::Authd, 300));
+        let spans = stitch(&[&client, &ldns, &authd]);
+        assert_eq!(spans.len(), 1);
+        let s = &spans[0];
+        assert_eq!(s.trace_id, 0x0001_0042);
+        assert_eq!(s.hops(), 3);
+        assert_eq!(s.end_to_end_ns(), 5000);
+        assert_eq!(s.authd.len(), 2);
+        let line = s.render();
+        assert!(line.contains("client computed 5000ns"));
+        assert!(line.contains("authd x2"));
+    }
+
+    #[test]
+    fn ambiguous_low16_stays_standalone() {
+        // Two spans whose ids collide in the low 16 bits: the authd
+        // record must not be guessed onto either.
+        let traces = vec![
+            rec(0x0001_0007, TraceHop::Client, 100),
+            rec(0x0002_0007, TraceHop::Client, 200),
+            rec(0x0007, TraceHop::Authd, 50),
+        ];
+        let spans = stitch_traces(traces);
+        assert_eq!(spans.len(), 3);
+        let standalone = spans.iter().find(|s| s.trace_id == 0x0007).unwrap();
+        assert!(standalone.client.is_none());
+        assert_eq!(standalone.authd.len(), 1);
+        assert_eq!(standalone.hops(), 1);
+    }
+
+    #[test]
+    fn untraced_records_are_dropped_and_missing_hops_render() {
+        let spans = stitch_traces(vec![
+            rec(0, TraceHop::Client, 1),
+            rec(9, TraceHop::Ldns, 700),
+        ]);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].end_to_end_ns(), 700);
+        let line = spans[0].render();
+        assert!(line.contains("client -"));
+        assert!(line.contains("authd -"));
+    }
+}

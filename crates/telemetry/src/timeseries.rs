@@ -1,0 +1,374 @@
+//! Windowed time-series capture over a [`Registry`].
+//!
+//! The registry is cumulative — perfect for "what happened since boot",
+//! useless for "what happened *during the flip*". The paper's §6–§8
+//! evidence is all time-resolved (cache-hit-rate dips, query-rate steps
+//! across the NS switchover), so this module adds the missing axis: a
+//! [`WindowCapturer`] snapshots the registry at a fixed cadence
+//! (typically from a [`crate::Reporter`] thread), diffs each capture
+//! against the previous one into a [`Window`] of per-series deltas —
+//! counter increments, gauge values, per-window histogram count/p50/p99
+//! from bucket diffs — and retains the last `retain` windows in a
+//! bounded ring serializable to JSONL.
+//!
+//! The hot record path is untouched: recording stays single relaxed
+//! atomics, and everything here (sampling, diffing, JSON rendering)
+//! runs on the capture thread. The capturer's internal mutex is shared
+//! only between the Reporter thread and scrape-endpoint readers.
+//!
+//! Counter deltas reconcile exactly: for any series, the sum of
+//! `CounterDelta` across all captured windows equals the cumulative
+//! counter at the last capture (the first window baselines at 0). The
+//! `timeseries_prop` proptest pins this under concurrent increments.
+
+use crate::registry::{Registry, SampleValue};
+use crate::report::Reporter;
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One series' contribution to a window.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WindowValue {
+    /// How much a counter grew during the window.
+    CounterDelta(u64),
+    /// A gauge's value at the window's closing capture.
+    Gauge(f64),
+    /// A histogram's within-window samples: count and bucket-diff
+    /// quantiles (same ≤6.25% relative-error bound as cumulative
+    /// quantiles).
+    Histogram {
+        /// Samples recorded during the window.
+        count: u64,
+        /// Window p50 (0 when the window recorded nothing).
+        p50: f64,
+        /// Window p99 (0 when the window recorded nothing).
+        p99: f64,
+    },
+}
+
+/// One `(series, value)` row of a window.
+#[derive(Debug, Clone)]
+pub struct WindowRow {
+    /// Family name.
+    pub name: String,
+    /// Rendered label string (empty for none).
+    pub labels: String,
+    /// The per-window value.
+    pub value: WindowValue,
+}
+
+/// One captured window: every registered series, diffed against the
+/// previous capture.
+#[derive(Debug, Clone)]
+pub struct Window {
+    /// Monotone window index (0 = first capture since construction).
+    pub index: u64,
+    /// Milliseconds from capturer construction to this capture.
+    pub elapsed_ms: u64,
+    /// Milliseconds this window spans (elapsed since prior capture).
+    pub duration_ms: u64,
+    /// Per-series rows, in registry render order.
+    pub rows: Vec<WindowRow>,
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (`0` for non-finite values, which
+/// JSON cannot carry).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+impl Window {
+    /// Renders the window as one JSON line (no trailing newline):
+    /// `{"window":N,"elapsed_ms":E,"duration_ms":D,"counters":{…},
+    /// "gauges":{…},"histograms":{…}}`. Series keys are
+    /// `name{labels}`.
+    pub fn to_json(&self) -> String {
+        let mut counters = String::new();
+        let mut gauges = String::new();
+        let mut hists = String::new();
+        for row in &self.rows {
+            let key = json_escape(&format!("{}{}", row.name, row.labels));
+            match &row.value {
+                WindowValue::CounterDelta(d) => {
+                    if !counters.is_empty() {
+                        counters.push(',');
+                    }
+                    let _ = write!(counters, "\"{key}\":{d}");
+                }
+                WindowValue::Gauge(v) => {
+                    if !gauges.is_empty() {
+                        gauges.push(',');
+                    }
+                    let _ = write!(gauges, "\"{key}\":{}", json_f64(*v));
+                }
+                WindowValue::Histogram { count, p50, p99 } => {
+                    if !hists.is_empty() {
+                        hists.push(',');
+                    }
+                    let _ = write!(
+                        hists,
+                        "\"{key}\":{{\"count\":{count},\"p50\":{},\"p99\":{}}}",
+                        json_f64(*p50),
+                        json_f64(*p99)
+                    );
+                }
+            }
+        }
+        format!(
+            "{{\"window\":{},\"elapsed_ms\":{},\"duration_ms\":{},\
+             \"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\
+             \"histograms\":{{{hists}}}}}",
+            self.index, self.elapsed_ms, self.duration_ms
+        )
+    }
+}
+
+struct CaptureState {
+    /// Previous capture per `name{labels}` key, for delta computation.
+    prev: HashMap<String, SampleValue>,
+    prev_elapsed_ms: u64,
+    windows: VecDeque<Window>,
+    next_index: u64,
+}
+
+/// Captures windowed deltas of a registry into a bounded ring.
+pub struct WindowCapturer {
+    registry: Arc<Registry>,
+    retain: usize,
+    start: Instant,
+    state: Mutex<CaptureState>,
+}
+
+impl std::fmt::Debug for WindowCapturer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.state.lock().expect("capturer poisoned");
+        f.debug_struct("WindowCapturer")
+            .field("retain", &self.retain)
+            .field("captured", &s.next_index)
+            .finish()
+    }
+}
+
+impl WindowCapturer {
+    /// A capturer retaining the most recent `retain` windows.
+    pub fn new(registry: Arc<Registry>, retain: usize) -> WindowCapturer {
+        WindowCapturer {
+            registry,
+            retain: retain.max(1),
+            start: Instant::now(),
+            state: Mutex::new(CaptureState {
+                prev: HashMap::new(),
+                prev_elapsed_ms: 0,
+                windows: VecDeque::new(),
+                next_index: 0,
+            }),
+        }
+    }
+
+    /// Takes one capture, closing a window against the previous capture
+    /// (the first window baselines against zero). Returns the window's
+    /// index.
+    pub fn capture(&self) -> u64 {
+        let samples = self.registry.sample();
+        let elapsed_ms = self.start.elapsed().as_millis() as u64;
+        let mut state = self.state.lock().expect("capturer poisoned");
+        let mut rows = Vec::with_capacity(samples.len());
+        let mut next_prev = HashMap::with_capacity(samples.len());
+        for s in samples {
+            let key = format!("{}{}", s.name, s.labels);
+            let value = match &s.value {
+                SampleValue::Counter(cur) => {
+                    let before = match state.prev.get(&key) {
+                        Some(SampleValue::Counter(p)) => *p,
+                        _ => 0,
+                    };
+                    WindowValue::CounterDelta(cur.saturating_sub(before))
+                }
+                SampleValue::Gauge(v) => WindowValue::Gauge(*v),
+                SampleValue::Histogram(cur) => {
+                    let delta = match state.prev.get(&key) {
+                        Some(SampleValue::Histogram(p)) => cur.delta_since(p),
+                        _ => cur.clone(),
+                    };
+                    WindowValue::Histogram {
+                        count: delta.count(),
+                        p50: delta.quantile(0.5),
+                        p99: delta.quantile(0.99),
+                    }
+                }
+            };
+            rows.push(WindowRow {
+                name: s.name,
+                labels: s.labels,
+                value,
+            });
+            next_prev.insert(key, s.value);
+        }
+        let index = state.next_index;
+        state.next_index += 1;
+        let window = Window {
+            index,
+            elapsed_ms,
+            duration_ms: elapsed_ms.saturating_sub(state.prev_elapsed_ms),
+            rows,
+        };
+        state.prev = next_prev;
+        state.prev_elapsed_ms = elapsed_ms;
+        state.windows.push_back(window);
+        while state.windows.len() > self.retain {
+            state.windows.pop_front();
+        }
+        index
+    }
+
+    /// Clones out the retained windows, oldest first.
+    pub fn windows(&self) -> Vec<Window> {
+        self.state
+            .lock()
+            .expect("capturer poisoned")
+            .windows
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Renders the retained windows as JSONL (one JSON object per line,
+    /// oldest first) — what the scrape endpoint serves at
+    /// `/timeseries.jsonl`.
+    pub fn to_jsonl(&self) -> String {
+        let state = self.state.lock().expect("capturer poisoned");
+        let mut out = String::new();
+        for w in &state.windows {
+            out.push_str(&w.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Spawns a [`Reporter`] thread capturing a window every `interval`.
+    /// The reporter's guaranteed final tick closes the last partial
+    /// window on shutdown.
+    pub fn start(capturer: Arc<WindowCapturer>, interval: Duration) -> Reporter {
+        Reporter::spawn(interval, move || {
+            capturer.capture();
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_deltas_sum_to_cumulative() {
+        let reg = Arc::new(Registry::new());
+        let c = reg.counter("eum_test_total", "t", &[]);
+        let cap = WindowCapturer::new(reg, 16);
+        c.add(3);
+        cap.capture();
+        c.add(5);
+        cap.capture();
+        cap.capture();
+        let windows = cap.windows();
+        let deltas: Vec<u64> = windows
+            .iter()
+            .map(|w| match w.rows[0].value {
+                WindowValue::CounterDelta(d) => d,
+                _ => panic!("expected counter"),
+            })
+            .collect();
+        assert_eq!(deltas, vec![3, 5, 0]);
+        assert_eq!(deltas.iter().sum::<u64>(), c.get());
+    }
+
+    #[test]
+    fn histogram_windows_quantile_their_own_samples() {
+        let reg = Arc::new(Registry::new());
+        let h = reg.histogram("eum_lat_ns", "t", &[]);
+        let cap = WindowCapturer::new(reg, 16);
+        for _ in 0..100 {
+            h.record(10);
+        }
+        cap.capture();
+        for _ in 0..100 {
+            h.record(1000);
+        }
+        cap.capture();
+        let windows = cap.windows();
+        let get = |w: &Window| match w.rows[0].value {
+            WindowValue::Histogram { count, p50, .. } => (count, p50),
+            _ => panic!("expected histogram"),
+        };
+        let (c0, p0) = get(&windows[0]);
+        let (c1, p1) = get(&windows[1]);
+        assert_eq!((c0, c1), (100, 100));
+        assert!((p0 - 10.0).abs() / 10.0 <= 1.0 / 16.0, "w0 p50 {p0}");
+        assert!((p1 - 1000.0).abs() / 1000.0 <= 1.0 / 16.0, "w1 p50 {p1}");
+    }
+
+    #[test]
+    fn ring_is_bounded_and_jsonl_is_one_line_per_window() {
+        let reg = Arc::new(Registry::new());
+        reg.gauge("eum_g", "t", &[("k", "v\"q")]).set(1.25);
+        let cap = WindowCapturer::new(reg, 3);
+        for _ in 0..5 {
+            cap.capture();
+        }
+        let windows = cap.windows();
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[0].index, 2, "oldest retained window");
+        let jsonl = cap.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 3);
+        for line in jsonl.lines() {
+            assert!(line.starts_with("{\"window\":"));
+            assert!(line.ends_with('}'));
+            // The Prometheus-escaped label value embeds cleanly in JSON.
+            assert!(line.contains("eum_g{k=\\\"v\\\\\\\"q\\\"}"));
+        }
+    }
+
+    #[test]
+    fn reporter_driven_capture_closes_final_window() {
+        let reg = Arc::new(Registry::new());
+        let c = reg.counter("eum_test_total", "t", &[]);
+        let cap = Arc::new(WindowCapturer::new(reg, 8));
+        let rep = WindowCapturer::start(cap.clone(), Duration::from_secs(3600));
+        c.add(9);
+        rep.stop();
+        let windows = cap.windows();
+        assert!(!windows.is_empty(), "final tick must capture");
+        let total: u64 = windows
+            .iter()
+            .map(|w| match w.rows[0].value {
+                WindowValue::CounterDelta(d) => d,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, 9);
+    }
+}

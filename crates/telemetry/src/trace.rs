@@ -16,7 +16,13 @@
 //! lap apart; traces are diagnostics, so best-effort is the right trade.
 //!
 //! Stage timings are saturated into `u32` nanoseconds (4.29 s caps —
-//! far above any serve-path stage) to pack a whole trace into four words.
+//! far above any serve-path stage) to pack a whole trace into five words.
+//!
+//! Since PR 7 every trace also carries a **propagated trace id** and a
+//! **hop** tag: the sim client stamps an id, eum-ldns reuses its low 16
+//! bits as the upstream DNS message id, and authd stamps the id it sees
+//! on the wire — so [`crate::span::stitch`] can join the per-layer rings
+//! back into end-to-end query timelines.
 
 use std::sync::atomic::{fence, AtomicU64, Ordering};
 
@@ -31,6 +37,8 @@ pub enum TraceOutcome {
     Uncached = 2,
     /// Rejected as malformed (FORMERR or drop).
     Malformed = 3,
+    /// Resolution failed (SERVFAIL, retries exhausted, no answer).
+    Failed = 4,
 }
 
 impl TraceOutcome {
@@ -39,6 +47,7 @@ impl TraceOutcome {
             0 => TraceOutcome::CacheHit,
             1 => TraceOutcome::Computed,
             2 => TraceOutcome::Uncached,
+            4 => TraceOutcome::Failed,
             _ => TraceOutcome::Malformed,
         }
     }
@@ -50,15 +59,58 @@ impl TraceOutcome {
             TraceOutcome::Computed => "computed",
             TraceOutcome::Uncached => "uncached",
             TraceOutcome::Malformed => "malformed",
+            TraceOutcome::Failed => "failed",
+        }
+    }
+}
+
+/// Which layer of the serving stack recorded a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceHop {
+    /// The stub client (sim / loadgen) that originated the query.
+    Client = 0,
+    /// A recursive resolver (eum-ldns).
+    Ldns = 1,
+    /// The authoritative server (eum-authd).
+    Authd = 2,
+}
+
+impl TraceHop {
+    fn from_u8(v: u8) -> TraceHop {
+        match v {
+            1 => TraceHop::Ldns,
+            2 => TraceHop::Authd,
+            _ => TraceHop::Client,
+        }
+    }
+
+    /// Short label for dumps.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceHop::Client => "client",
+            TraceHop::Ldns => "ldns",
+            TraceHop::Authd => "authd",
         }
     }
 }
 
 /// One sampled query, stage by stage. All timings in nanoseconds.
+///
+/// The four stage fields are named for the authd serve path; the other
+/// hops reinterpret them (documented per hop in DESIGN.md): an `Ldns`
+/// record uses `decode_ns` for the cache probe, `cache_ns` for the
+/// delegation fetch, `route_ns` for the upstream answer exchange and
+/// `encode_ns` for the TCP retry leg; a `Client` record fills only
+/// `total_ns`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueryTrace {
     /// Ring-assigned sequence (global sample order).
     pub seq: u64,
+    /// Propagated trace id joining this record to the other hops' rings
+    /// (0: unknown — the query did not carry one).
+    pub trace_id: u32,
+    /// Which layer recorded this trace.
+    pub hop: TraceHop,
     /// Serving shard index.
     pub shard: u16,
     /// Map snapshot generation the query was answered from.
@@ -67,6 +119,8 @@ pub struct QueryTrace {
     pub ecs_scope: Option<u8>,
     /// How the answer was produced.
     pub outcome: TraceOutcome,
+    /// The answer was truncated (authd) / retried over TCP (ldns).
+    pub truncated: bool,
     /// Wire-decode time.
     pub decode_ns: u32,
     /// Answer-cache probe (and replay, on a hit).
@@ -80,7 +134,27 @@ pub struct QueryTrace {
 }
 
 impl QueryTrace {
-    fn pack(&self) -> [u64; 4] {
+    /// An all-zero `Client`-hop record for `trace_id` — the starting
+    /// point for hops that only fill a few fields.
+    pub fn blank(trace_id: u32, hop: TraceHop) -> QueryTrace {
+        QueryTrace {
+            seq: 0,
+            trace_id,
+            hop,
+            shard: 0,
+            generation: 0,
+            ecs_scope: None,
+            outcome: TraceOutcome::Computed,
+            truncated: false,
+            decode_ns: 0,
+            cache_ns: 0,
+            route_ns: 0,
+            encode_ns: 0,
+            total_ns: 0,
+        }
+    }
+
+    fn pack(&self) -> [u64; 5] {
         let scope = self.ecs_scope.map(|s| s as u64).unwrap_or(0xFF);
         [
             self.generation,
@@ -90,17 +164,21 @@ impl QueryTrace {
                 | (self.shard as u64) << 16
                 | (self.outcome as u64) << 8
                 | scope,
+            (self.trace_id as u64) << 32 | (self.hop as u64) << 8 | self.truncated as u64,
         ]
     }
 
-    fn unpack(seq: u64, w: [u64; 4]) -> QueryTrace {
+    fn unpack(seq: u64, w: [u64; 5]) -> QueryTrace {
         let scope = (w[3] & 0xFF) as u8;
         QueryTrace {
             seq,
+            trace_id: (w[4] >> 32) as u32,
+            hop: TraceHop::from_u8((w[4] >> 8) as u8),
             shard: (w[3] >> 16) as u16,
             generation: w[0],
             ecs_scope: (scope != 0xFF).then_some(scope),
             outcome: TraceOutcome::from_u8((w[3] >> 8) as u8),
+            truncated: w[4] & 1 == 1,
             decode_ns: (w[1] >> 32) as u32,
             cache_ns: w[1] as u32,
             route_ns: (w[2] >> 32) as u32,
@@ -116,12 +194,15 @@ impl QueryTrace {
             None => "-".to_string(),
         };
         format!(
-            "#{:<6} shard {} gen {} ecs {:<4} {:<9} decode {:>6}ns cache {:>6}ns route {:>6}ns encode {:>6}ns total {:>7}ns",
+            "#{:<6} id {:08x} {:<6} shard {} gen {} ecs {:<4} {:<9}{} decode {:>6}ns cache {:>6}ns route {:>6}ns encode {:>6}ns total {:>7}ns",
             self.seq,
+            self.trace_id,
+            self.hop.label(),
             self.shard,
             self.generation,
             scope,
             self.outcome.label(),
+            if self.truncated { " tc" } else { "" },
             self.decode_ns,
             self.cache_ns,
             self.route_ns,
@@ -135,13 +216,16 @@ struct Slot {
     /// 0: never written. Odd: write in progress. Even `2(h+1)`: slot
     /// holds the trace claimed with head value `h`.
     seq: AtomicU64,
-    words: [AtomicU64; 4],
+    words: [AtomicU64; 5],
 }
 
 /// A bounded lock-free ring of sampled query traces.
 pub struct TraceRing {
     slots: Box<[Slot]>,
     head: AtomicU64,
+    /// Sample 1-in-N queries (0 disables sampling). Runtime-adjustable;
+    /// recording loops read it per query.
+    sample_every: AtomicU64,
 }
 
 impl std::fmt::Debug for TraceRing {
@@ -154,8 +238,14 @@ impl std::fmt::Debug for TraceRing {
 }
 
 impl TraceRing {
-    /// A ring holding the most recent `capacity` sampled traces.
+    /// A ring holding the most recent `capacity` sampled traces, with
+    /// sampling initially on for every query (`sample_every = 1`).
     pub fn new(capacity: usize) -> TraceRing {
+        TraceRing::with_sampling(capacity, 1)
+    }
+
+    /// A ring with an initial 1-in-`every` sampling rate (0 disables).
+    pub fn with_sampling(capacity: usize, every: u64) -> TraceRing {
         TraceRing {
             slots: (0..capacity.max(1))
                 .map(|_| Slot {
@@ -164,12 +254,38 @@ impl TraceRing {
                 })
                 .collect(),
             head: AtomicU64::new(0),
+            sample_every: AtomicU64::new(every),
         }
     }
 
     /// Slots in the ring.
     pub fn capacity(&self) -> usize {
         self.slots.len()
+    }
+
+    /// The current 1-in-N sampling rate (0: sampling disabled).
+    pub fn sample_every(&self) -> u64 {
+        // relaxed-ok: a standalone config value; no data is published
+        // through it.
+        self.sample_every.load(Ordering::Relaxed)
+    }
+
+    /// Changes the sampling rate at runtime; recording loops pick the
+    /// new value up on their next query. Mirror the change into the
+    /// `eum_trace_sample_rate` gauge (see
+    /// [`crate::registry::Registry`]) so span stitching can correct
+    /// counts for sampling.
+    pub fn set_sample_every(&self, every: u64) {
+        // relaxed-ok: a standalone config value; readers only need to
+        // observe it eventually.
+        self.sample_every.store(every, Ordering::Relaxed);
+    }
+
+    /// True when query number `n` (a caller-side monotone count) should
+    /// be recorded under the current sampling rate.
+    pub fn should_sample(&self, n: u64) -> bool {
+        let every = self.sample_every();
+        every > 0 && n.is_multiple_of(every)
     }
 
     /// Traces pushed since creation (≥ what a dump can return).
@@ -211,7 +327,7 @@ impl TraceRing {
             if s1 == 0 || s1 % 2 == 1 {
                 continue;
             }
-            let mut words = [0u64; 4];
+            let mut words = [0u64; 5];
             for (w, v) in words.iter_mut().zip(slot.words.iter()) {
                 // relaxed-ok: sandwiched between the Acquire load of seq
                 // and the acquire fence below (seqlock read side).
@@ -240,6 +356,12 @@ mod tests {
     fn trace(i: u32) -> QueryTrace {
         QueryTrace {
             seq: 0,
+            trace_id: 0xC0FFEE00 | i,
+            hop: match i % 3 {
+                0 => TraceHop::Client,
+                1 => TraceHop::Ldns,
+                _ => TraceHop::Authd,
+            },
             shard: (i % 7) as u16,
             generation: 3,
             ecs_scope: i.is_multiple_of(2).then_some(24),
@@ -248,6 +370,7 @@ mod tests {
             } else {
                 TraceOutcome::Computed
             },
+            truncated: i.is_multiple_of(5),
             decode_ns: 100 + i,
             cache_ns: 50,
             route_ns: 900,
@@ -272,6 +395,30 @@ mod tests {
         ring.push(&t2);
         let got = ring.dump();
         assert_eq!(got[1], QueryTrace { seq: 1, ..t2 });
+        let t3 = QueryTrace {
+            outcome: TraceOutcome::Failed,
+            truncated: true,
+            hop: TraceHop::Ldns,
+            trace_id: u32::MAX,
+            ..trace(2)
+        };
+        ring.push(&t3);
+        let got = ring.dump();
+        assert_eq!(got[2], QueryTrace { seq: 2, ..t3 });
+    }
+
+    #[test]
+    fn sample_rate_is_runtime_adjustable() {
+        let ring = TraceRing::new(8);
+        assert_eq!(ring.sample_every(), 1);
+        assert!(ring.should_sample(0) && ring.should_sample(7));
+        ring.set_sample_every(4);
+        assert!(ring.should_sample(8));
+        assert!(!ring.should_sample(9));
+        ring.set_sample_every(0);
+        assert!(!ring.should_sample(0), "0 disables sampling entirely");
+        let off = TraceRing::with_sampling(8, 0);
+        assert!(!off.should_sample(0));
     }
 
     #[test]

@@ -32,6 +32,24 @@ fn sample_registry() -> Registry {
     for v in [3, 17, 17, 900, 6_000_000] {
         h.record(v);
     }
+    // The PR 7 observability series: the batched transport's batch-fill
+    // histogram + partial-send counter, and the trace sampling gauge.
+    let fill = reg.histogram(
+        "eum_net_recv_batch_fill",
+        "Datagrams returned per recvmmsg batch",
+        &[("shard", "0")],
+    );
+    for v in [1, 8, 8, 32] {
+        fill.record(v);
+    }
+    reg.counter(
+        "eum_net_sendmmsg_partial_total",
+        "sendmmsg calls that sent fewer datagrams than staged",
+        &[("shard", "0")],
+    )
+    .add(2);
+    let ring = eum_telemetry::TraceRing::with_sampling(16, 64);
+    eum_telemetry::export_trace_sample_rate(&reg, &ring);
     reg
 }
 
@@ -111,7 +129,13 @@ fn render_is_structurally_valid_prometheus_text() {
             "family {family} has {n} TYPE lines; exactly one expected"
         );
     }
-    assert_eq!(type_lines.len(), 4, "all four families present");
+    assert_eq!(type_lines.len(), 7, "all seven families present");
+    assert!(
+        type_lines.contains_key("eum_net_recv_batch_fill")
+            && type_lines.contains_key("eum_net_sendmmsg_partial_total")
+            && type_lines.contains_key("eum_trace_sample_rate"),
+        "the PR 7 observability families must render"
+    );
 }
 
 #[test]

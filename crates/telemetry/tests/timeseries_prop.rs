@@ -1,0 +1,158 @@
+//! Property tests for the windowed time-series layer.
+//!
+//! The load-bearing guarantee: windowed deltas are a *lossless*
+//! re-slicing of the cumulative registry. Summing every window's
+//! counter delta must reconcile exactly with the cumulative counter —
+//! including when increments land concurrently with captures — and a
+//! histogram window's bucket-diff quantiles must describe the window's
+//! own samples, not the cumulative stream.
+
+use eum_telemetry::{Histogram, HistogramSnapshot, Registry, WindowCapturer, WindowValue};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    /// Sequential captures re-slice a counter stream exactly: the
+    /// per-window deltas are the increments between captures, and their
+    /// sum is the cumulative count.
+    #[test]
+    fn window_deltas_reconcile_with_cumulative(
+        increments in proptest::collection::vec(0u64..1_000, 1..20),
+    ) {
+        let reg = Arc::new(Registry::new());
+        let c = reg.counter("eum_test_total", "t", &[]);
+        let cap = WindowCapturer::new(reg, increments.len());
+        for &inc in &increments {
+            c.add(inc);
+            cap.capture();
+        }
+        let deltas: Vec<u64> = cap
+            .windows()
+            .iter()
+            .map(|w| match w.rows[0].value {
+                WindowValue::CounterDelta(d) => d,
+                _ => panic!("expected a counter row"),
+            })
+            .collect();
+        prop_assert_eq!(&deltas, &increments);
+        prop_assert_eq!(deltas.iter().sum::<u64>(), c.get());
+    }
+
+    /// A histogram window's bucket-diff p50/p99 describe the window's
+    /// own samples within the one-bucket error bound, regardless of
+    /// what was recorded before the window opened.
+    #[test]
+    fn histogram_window_quantiles_match_window_samples(
+        before in proptest::collection::vec(0u64..1_000_000_000, 0..100),
+        window in proptest::collection::vec(0u64..1_000_000_000, 1..100),
+    ) {
+        let reg = Arc::new(Registry::new());
+        let h = reg.histogram("eum_lat_ns", "t", &[]);
+        let cap = WindowCapturer::new(reg, 4);
+        for &v in &before {
+            h.record(v);
+        }
+        cap.capture();
+        for &v in &window {
+            h.record(v);
+        }
+        cap.capture();
+        let windows = cap.windows();
+        let (count, p50, p99) = match windows[1].rows[0].value {
+            WindowValue::Histogram { count, p50, p99 } => (count, p50, p99),
+            _ => panic!("expected a histogram row"),
+        };
+        prop_assert_eq!(count, window.len() as u64);
+        let mut sorted = window.clone();
+        sorted.sort_unstable();
+        for (q, approx) in [(0.5, p50), (0.99, p99)] {
+            let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+            let exact = sorted[rank];
+            let (lo, hi) = HistogramSnapshot::bucket_of(exact);
+            prop_assert!(
+                (approx - exact as f64).abs() <= hi - lo,
+                "window q{q} = {approx} vs exact {exact}, bucket [{lo}, {hi})"
+            );
+        }
+    }
+}
+
+/// The concurrent half of the reconciliation guarantee: capture windows
+/// *while* writer threads hammer the counter, then close a final window
+/// after they join. No increment may be lost or double-counted across
+/// the window boundaries, whatever interleaving the captures hit.
+#[test]
+fn concurrent_increments_reconcile_exactly() {
+    const WRITERS: usize = 4;
+    const PER_WRITER: u64 = 50_000;
+    let reg = Arc::new(Registry::new());
+    let c = reg.counter("eum_test_total", "t", &[]);
+    let cap = Arc::new(WindowCapturer::new(reg.clone(), 1 << 16));
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|_| {
+            let c = c.clone();
+            std::thread::spawn(move || {
+                for _ in 0..PER_WRITER {
+                    c.inc();
+                }
+            })
+        })
+        .collect();
+    // Capture continuously mid-flight (throttled so the bounded ring
+    // can never wrap and drop a window's delta).
+    while handles.iter().any(|h| !h.is_finished()) {
+        cap.capture();
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+    for h in handles {
+        h.join().expect("writer");
+    }
+    // Final window closes whatever the mid-flight captures missed.
+    cap.capture();
+    let total: u64 = cap
+        .windows()
+        .iter()
+        .map(|w| match w.rows[0].value {
+            WindowValue::CounterDelta(d) => d,
+            _ => 0,
+        })
+        .sum();
+    assert_eq!(total, WRITERS as u64 * PER_WRITER);
+    assert_eq!(total, c.get());
+}
+
+/// Striped histograms diff cleanly too: concurrent recorders into
+/// different stripes, windows still partition the sample count.
+#[test]
+fn striped_histogram_windows_partition_the_count() {
+    let reg = Arc::new(Registry::new());
+    let h: Arc<Histogram> = reg.histogram_striped("eum_lat_ns", "t", &[], 4);
+    let cap = Arc::new(WindowCapturer::new(reg, 1 << 16));
+    let handles: Vec<_> = (0..4usize)
+        .map(|stripe| {
+            let h = h.clone();
+            std::thread::spawn(move || {
+                for v in 0..20_000u64 {
+                    h.record_at(stripe, v);
+                }
+            })
+        })
+        .collect();
+    while handles.iter().any(|h| !h.is_finished()) {
+        cap.capture();
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+    for h in handles {
+        h.join().expect("recorder");
+    }
+    cap.capture();
+    let total: u64 = cap
+        .windows()
+        .iter()
+        .map(|w| match w.rows[0].value {
+            WindowValue::Histogram { count, .. } => count,
+            _ => 0,
+        })
+        .sum();
+    assert_eq!(total, 4 * 20_000);
+}

@@ -6,7 +6,7 @@
 //! the ring's fences exist for: without the writer's release fence (or
 //! the readers' acquire fence) this test fails under contention.
 
-use eum_telemetry::{QueryTrace, TraceOutcome, TraceRing};
+use eum_telemetry::{QueryTrace, TraceHop, TraceOutcome, TraceRing};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -14,10 +14,17 @@ use std::sync::Arc;
 fn derived(i: u32) -> QueryTrace {
     QueryTrace {
         seq: 0,
+        trace_id: i.wrapping_mul(0x9E37_79B9),
+        hop: match i % 3 {
+            0 => TraceHop::Client,
+            1 => TraceHop::Ldns,
+            _ => TraceHop::Authd,
+        },
         shard: (i % 997) as u16,
         generation: (i as u64).wrapping_mul(3),
         ecs_scope: Some((i % 33) as u8),
         outcome: TraceOutcome::CacheHit,
+        truncated: i.is_multiple_of(7),
         decode_ns: i,
         cache_ns: i.wrapping_mul(31).wrapping_add(7),
         route_ns: i ^ 0x5A5A_5A5A,
@@ -30,9 +37,12 @@ fn derived(i: u32) -> QueryTrace {
 fn is_consistent(t: &QueryTrace) -> bool {
     let i = t.decode_ns;
     let want = derived(i);
-    t.shard == want.shard
+    t.trace_id == want.trace_id
+        && t.hop == want.hop
+        && t.shard == want.shard
         && t.generation == want.generation
         && t.ecs_scope == want.ecs_scope
+        && t.truncated == want.truncated
         && t.cache_ns == want.cache_ns
         && t.route_ns == want.route_ns
         && t.encode_ns == want.encode_ns

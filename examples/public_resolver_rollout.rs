@@ -70,6 +70,35 @@ fn main() {
     );
     println!("{amp}");
 
+    // Figure-grade flip timeline: the fleet replay's per-window hit-rate
+    // curve around the ECS flip (warm plateau -> dip when the flipped
+    // resolvers flush -> recovery), written as one JSON object per
+    // window so a plotting script can consume it directly.
+    let tl = &report.timeline;
+    if let Some(flip) = tl.flip_window {
+        let mut curve = Table::new(["window", "queries", "hit rate", "amplification"]);
+        for w in &tl.windows {
+            let mark = if w.window == flip { " <- ECS flip" } else { "" };
+            curve.row([
+                format!("{}{mark}", w.window),
+                w.queries.to_string(),
+                format!("{:.3}", w.hit_ratio()),
+                format!("{:.3}", w.amplification()),
+            ]);
+        }
+        println!("{curve}");
+        let path = "results/rollout_timeline.jsonl";
+        std::fs::create_dir_all("results").expect("create results/");
+        std::fs::write(path, tl.to_jsonl()).expect("write timeline jsonl");
+        println!(
+            "wrote {path}: {} windows, hit rate {:.3} -> {:.3} (dip at window {flip}) -> {:.3}\n",
+            tl.windows.len(),
+            tl.pre_flip_hit_ratio(),
+            tl.flip_hit_ratio(),
+            tl.final_hit_ratio(),
+        );
+    }
+
     let ((pre_total, pre_public), (post_total, post_public)) = report.query_rate_change();
     println!(
         "authoritative DNS queries/day: total {pre_total:.0} -> {post_total:.0} ({:.2}x), \

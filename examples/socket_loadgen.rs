@@ -4,8 +4,9 @@
 //! *processes* so the generator never shares an allocator, a scheduler
 //! run-queue decision, or a libc lock with the server it is measuring.
 //!
-//!     cargo run --release --example socket_loadgen            # comparison run
-//!     cargo run --release --example socket_loadgen -- --smoke # tiny CI check
+//!     cargo run --release --example socket_loadgen                   # comparison run
+//!     cargo run --release --example socket_loadgen -- --smoke        # tiny CI check
+//!     cargo run --release --example socket_loadgen -- --scrape-smoke # live /metrics check
 //!
 //! The parent builds the seeded world, spawns the authoritative server
 //! in-process (batched shards sharing one UDP port, or the plain
@@ -28,16 +29,19 @@
 //! the win is pure syscall arithmetic: a warm batch of N datagrams costs
 //! the server 2 kernel entries instead of 2N.
 
-use eum_authd::{AuthServer, ServerConfig, SnapshotHandle, UdpTransport};
+use eum_authd::{AuthServer, ServerConfig, SnapshotHandle, TelemetryConfig, UdpTransport};
 use eum_cdn::{deployment_universe, CatalogConfig, CdnPlatform, ContentCatalog, DeployConfig};
 use eum_dns::edns::{EcsOption, OptData};
 use eum_dns::{decode_message, encode_message, Message, Question, Rcode};
 use eum_mapping::{MappingConfig, MappingSystem};
-use eum_net::{BatchConfig, ReuseportUdpTransport};
+use eum_net::{BatchConfig, ReuseportUdpTransport, ScrapeServer};
 use eum_netmodel::{Internet, InternetConfig};
-use std::io::Read;
-use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
+use eum_telemetry::{Registry, TraceRing, WindowCapturer};
+use std::io::{Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, TcpStream, UdpSocket};
 use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const SEED: u64 = 0x10AD6;
@@ -347,10 +351,140 @@ fn run_mode(mode: &str, smoke: bool) -> ModeResult {
     }
 }
 
+// ---------------------------------------------------------- scrape smoke
+
+/// One blocking HTTP/1.0 GET against the scrape endpoint; returns
+/// (status line, body).
+fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect scrape endpoint");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("scrape read timeout");
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: scrape\r\n\r\n").expect("send scrape request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read scrape response");
+    let text = String::from_utf8(raw).expect("scrape response is utf-8");
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .expect("scrape response has a blank line");
+    (
+        head.lines().next().unwrap_or("").to_string(),
+        body.to_string(),
+    )
+}
+
+/// `--scrape-smoke`: run the batched server under smoke-sized load with
+/// the full observability plane on — batch instruments, trace sampling,
+/// a Reporter capturing windows, and a live [`ScrapeServer`] — and GET
+/// the endpoints *while the load is running*. Prints `SCRAPE PASS` only
+/// if every mid-run and post-run scrape checks out; `scripts/check.sh`
+/// greps for that line.
+fn run_scrape_smoke() {
+    let (queries, window, _) = sizes(true);
+    let (_, _, map) = world();
+    let low = map.ns_ips()[1];
+
+    let registry = Arc::new(Registry::new());
+    let ring = Arc::new(TraceRing::new(1 << 12));
+    let (mut transports, addrs) =
+        ReuseportUdpTransport::bind_shards(SHARDS, &BatchConfig::default())
+            .expect("bind reuseport shards");
+    for (i, t) in transports.iter_mut().enumerate() {
+        t.attach_metrics(&registry, i);
+    }
+    let cfg = ServerConfig::new(low)
+        .with_telemetry(TelemetryConfig::metrics(registry.clone()).with_trace(ring.clone(), 16));
+    let server = AuthServer::spawn_batched(transports, SnapshotHandle::new(map), cfg);
+
+    let capturer = Arc::new(WindowCapturer::new(registry.clone(), 600));
+    let reporter = WindowCapturer::start(capturer.clone(), Duration::from_millis(20));
+    let scrape = ScrapeServer::spawn(
+        SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0),
+        registry.clone(),
+        Some(capturer.clone()),
+    )
+    .expect("spawn scrape endpoint");
+    println!("scrape endpoint: http://{}/metrics", scrape.addr());
+
+    // Scrape concurrently with the load: every GET must come back 200
+    // with parseable Prometheus text, no matter when it lands.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mid_run_scrapes = Arc::new(AtomicU64::new(0));
+    let scraper = {
+        let stop = stop.clone();
+        let n = mid_run_scrapes.clone();
+        let addr = scrape.addr();
+        std::thread::spawn(move || {
+            // relaxed-ok: lone stop flag; the join below is the sync point
+            while !stop.load(Ordering::Relaxed) {
+                let (status, body) = http_get(addr, "/metrics");
+                assert!(status.contains("200"), "mid-run scrape status: {status}");
+                assert!(
+                    body.contains("# TYPE eum_authd_queries_total counter"),
+                    "mid-run scrape lost the query counter family"
+                );
+                // relaxed-ok: monotonic scrape counter read after join
+                n.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        })
+    };
+
+    let results = run_workers(&addrs, queries, window);
+    stop.store(true, Ordering::SeqCst);
+    scraper.join().expect("scraper thread");
+    let ok: u64 = results.iter().map(|r| r.ok).sum();
+    assert!(ok > 0, "load generated no verified exchanges");
+
+    // Post-run: the counters saw the load, the windows carried it, and
+    // the health/error routes behave.
+    let (status, metrics) = http_get(scrape.addr(), "/metrics");
+    assert!(status.contains("200"), "final /metrics status: {status}");
+    for family in [
+        "eum_authd_queries_total",
+        "eum_net_recv_batch_fill",
+        "eum_net_sendmmsg_partial_total",
+        "eum_trace_sample_rate",
+    ] {
+        assert!(metrics.contains(family), "missing family {family}");
+    }
+    for line in metrics.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (_, value) = line.rsplit_once(' ').expect("metrics line has a value");
+        value.parse::<f64>().expect("metrics value parses");
+    }
+    let (status, body) = http_get(scrape.addr(), "/healthz");
+    assert!(status.contains("200") && body == "ok\n", "healthz broken");
+    let (status, jsonl) = http_get(scrape.addr(), "/timeseries.jsonl");
+    assert!(status.contains("200"), "timeseries status: {status}");
+    let windows = jsonl.lines().count();
+    assert!(windows >= 2, "reporter captured {windows} windows");
+    let (status, _) = http_get(scrape.addr(), "/no-such-route");
+    assert!(status.contains("404"), "unknown route status: {status}");
+
+    reporter.stop();
+    let reports = server.stop_join();
+    scrape.stop_join();
+    let served: u64 = reports.iter().map(|r| r.queries).sum();
+    let traces = ring.dump().len();
+    assert!(served >= ok, "server served fewer than verified exchanges");
+    assert!(traces > 0, "trace sampling captured nothing");
+    println!(
+        "SCRAPE PASS mid_run_scrapes={} windows={windows} served={served} traces={traces}",
+        mid_run_scrapes.load(Ordering::SeqCst)
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--worker") {
         worker_main(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("--scrape-smoke") {
+        run_scrape_smoke();
         return;
     }
     let smoke = args.first().map(String::as_str) == Some("--smoke");

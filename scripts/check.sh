@@ -22,4 +22,7 @@ cargo bench --no-run
 echo "==> socket smoke (multi-process loadgen over real SO_REUSEPORT shards)"
 cargo run -q --release --example socket_loadgen -- --smoke
 
+echo "==> scrape smoke (live /metrics + /timeseries.jsonl during socket load)"
+cargo run -q --release --example socket_loadgen -- --scrape-smoke | tee /dev/stderr | grep -q "SCRAPE PASS"
+
 echo "All checks passed."
