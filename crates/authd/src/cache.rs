@@ -35,9 +35,17 @@ use crate::truncate::skip_name;
 use eum_dns::edns::EcsOption;
 use eum_dns::{encode_message, DnsName, Flags, Message, RData, RrType};
 use eum_geo::Prefix;
+use eum_mapping::MapDelta;
 use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// How many generation deltas the cache keeps for lazy keyed
+/// invalidation. An entry untouched for longer than this many
+/// generations can no longer prove itself clean, so the cache falls back
+/// to a wholesale clear rather than growing the history without bound.
+const MAX_DELTA_HISTORY: usize = 8;
 
 /// Cache sizing and policy knobs.
 #[derive(Debug, Clone, Copy)]
@@ -78,6 +86,9 @@ pub struct AnswerCacheStats {
     pub scoped_insertions: u64,
     /// Times the cache was wholesale-cleared for a new map generation.
     pub generation_clears: u64,
+    /// Entries evicted individually because a generation delta named
+    /// their mapping unit (the keyed replacement for a generation clear).
+    pub keyed_invalidations: u64,
 }
 
 /// A memoized answer, stored as encoded wire bytes.
@@ -100,6 +111,11 @@ pub struct CachedAnswer {
     /// with the TTL value at capture time. Built once at insert (the
     /// cold path), replayed alloc-free on every hit.
     ttl_offsets: Vec<(u16, u32)>,
+    /// The cache epoch the entry was last validated at (stamped by
+    /// `AnswerCache::insert` and re-stamped on every clean hit). An entry
+    /// behind the cache's epoch must prove itself against the deltas
+    /// published since before it can be served again.
+    epoch: u64,
 }
 
 impl CachedAnswer {
@@ -134,6 +150,7 @@ impl CachedAnswer {
             expires: now + Duration::from_secs(ttl_s as u64),
             created: now,
             ttl_offsets,
+            epoch: 0,
         }
     }
 
@@ -269,6 +286,18 @@ enum Key {
     Resolver(DnsName, RrType, Ipv4Addr, Ipv4Addr),
 }
 
+/// Outcome of probing one cache key (see [`AnswerCache::probe`]).
+enum Probe {
+    /// No entry under this key.
+    Absent,
+    /// Entry present and live.
+    Hit,
+    /// Entry present but past its TTL.
+    Expired,
+    /// Entry present but a generation delta names its mapping unit.
+    DeltaStale,
+}
+
 /// The per-shard answer cache.
 pub struct AnswerCache {
     cfg: CacheConfig,
@@ -278,6 +307,14 @@ pub struct AnswerCache {
     /// How many live entries use each scope length — lookups probe only
     /// lengths actually present.
     scope_lens: [u32; 33],
+    /// The current generation epoch; bumped by
+    /// [`AnswerCache::begin_generation`] when a keyed delta arrives.
+    epoch: u64,
+    /// Deltas published since the oldest entry epoch still in play,
+    /// oldest first: `(epoch the delta introduced, the delta)`. An entry
+    /// stamped at epoch `e` is clean iff no delta with epoch `> e` names
+    /// its unit.
+    deltas: VecDeque<(u64, Arc<MapDelta>)>,
     stats: AnswerCacheStats,
 }
 
@@ -289,8 +326,46 @@ impl AnswerCache {
             map: HashMap::new(),
             order: VecDeque::new(),
             scope_lens: [0; 33],
+            epoch: 0,
+            deltas: VecDeque::new(),
             stats: AnswerCacheStats::default(),
         }
+    }
+
+    /// Transitions the cache to a new snapshot generation. With a keyed
+    /// delta, entries survive and are invalidated lazily on first touch
+    /// (zero work now, zero allocations later); without one — or when the
+    /// delta is full, or the history window is exhausted — the cache
+    /// falls back to the wholesale generation clear.
+    pub fn begin_generation(&mut self, delta: Option<&Arc<MapDelta>>) {
+        match delta {
+            // Nothing changed: current entries stay valid as-is.
+            Some(d) if d.is_empty() => {}
+            Some(d) if !d.is_full() && self.deltas.len() < MAX_DELTA_HISTORY => {
+                self.epoch += 1;
+                self.deltas.push_back((self.epoch, d.clone()));
+            }
+            _ => self.clear(),
+        }
+    }
+
+    /// True when some delta published after `entry_epoch` names the
+    /// entry's mapping unit. Walks the (short, bounded) delta history
+    /// newest-first and stops at the entry's own epoch; no allocations.
+    fn delta_affected(&self, entry_epoch: u64, key: &Key) -> bool {
+        for (epoch, delta) in self.deltas.iter().rev() {
+            if *epoch <= entry_epoch {
+                break;
+            }
+            let affected = match key {
+                Key::Scoped(_, _, p) => delta.affects_scoped(*p),
+                Key::Resolver(_, _, resolver, _) => delta.affects_resolver(*resolver),
+            };
+            if affected {
+                return true;
+            }
+        }
+        false
     }
 
     /// Looks up a scoped (end-user) answer for `client`, probing the scope
@@ -316,24 +391,46 @@ impl AnswerCache {
             // DnsName is inline, so cloning it into a probe key is a flat
             // copy, not a heap allocation.
             let key = Key::Scoped(qname.clone(), qtype, Prefix::of(client, len));
-            match self.map.get(&key) {
-                Some(e) if !e.expired(now) => {
+            match self.probe(&key, now) {
+                Probe::Hit => {
                     hit = Some(key);
                     break;
                 }
-                Some(_) => self.remove(&key),
-                None => {}
+                Probe::Expired => self.remove(&key),
+                Probe::DeltaStale => {
+                    self.remove(&key);
+                    self.stats.keyed_invalidations += 1;
+                }
+                Probe::Absent => {}
             }
         }
         match hit {
             Some(key) => {
                 self.stats.hits += 1;
+                // Re-stamp: the entry just proved itself clean against
+                // every delta up to the current epoch.
+                if let Some(e) = self.map.get_mut(&key) {
+                    e.epoch = self.epoch;
+                }
                 self.map.get(&key)
             }
             None => {
                 self.stats.misses += 1;
                 None
             }
+        }
+    }
+
+    /// Classifies a key's entry without mutating anything (hot path:
+    /// no allocations).
+    fn probe(&self, key: &Key, now: Instant) -> Probe {
+        match self.map.get(key) {
+            None => Probe::Absent,
+            Some(e) if e.expired(now) => Probe::Expired,
+            Some(e) if e.epoch != self.epoch && self.delta_affected(e.epoch, key) => {
+                Probe::DeltaStale
+            }
+            Some(_) => Probe::Hit,
         }
     }
 
@@ -348,16 +445,25 @@ impl AnswerCache {
         now: Instant,
     ) -> Option<&CachedAnswer> {
         let key = Key::Resolver(qname.clone(), qtype, resolver, server);
-        match self.map.get(&key) {
-            Some(e) if !e.expired(now) => {
+        match self.probe(&key, now) {
+            Probe::Hit => {
                 self.stats.hits += 1;
+                if let Some(e) = self.map.get_mut(&key) {
+                    e.epoch = self.epoch;
+                }
             }
-            Some(_) => {
+            Probe::Expired => {
                 self.remove(&key);
                 self.stats.misses += 1;
                 return None;
             }
-            None => {
+            Probe::DeltaStale => {
+                self.remove(&key);
+                self.stats.keyed_invalidations += 1;
+                self.stats.misses += 1;
+                return None;
+            }
+            Probe::Absent => {
                 self.stats.misses += 1;
                 return None;
             }
@@ -389,6 +495,7 @@ impl AnswerCache {
     }
 
     fn insert(&mut self, key: Key, mut answer: CachedAnswer) {
+        answer.epoch = self.epoch;
         let cap = Instant::now() + Duration::from_secs(self.cfg.max_ttl_s as u64);
         if answer.expires > cap {
             answer.expires = cap;
@@ -437,6 +544,9 @@ impl AnswerCache {
         self.map.clear();
         self.order.clear();
         self.scope_lens = [0; 33];
+        // With no entries left, history proves nothing — drop it so the
+        // keyed path gets its full window back.
+        self.deltas.clear();
         self.stats.generation_clears += 1;
     }
 
@@ -812,6 +922,198 @@ mod tests {
         assert_eq!(s.insertions, 2);
         assert_eq!(s.scoped_insertions, 1);
         assert_eq!(s.generation_clears, 2);
+    }
+
+    #[test]
+    fn keyed_delta_evicts_only_affected_scoped_entries() {
+        let mut c = AnswerCache::new(CacheConfig::default());
+        let now = Instant::now();
+        for block in ["10.1.2.0/24", "10.1.3.0/24"] {
+            c.insert_scoped(
+                name("e0.cdn.example"),
+                RrType::A,
+                block.parse().unwrap(),
+                entry(30),
+            );
+        }
+        // New generation: only 10.1.2.0/24 changed.
+        let delta = Arc::new(MapDelta::from_dirty(&["10.1.2.0/24".parse().unwrap()], &[]));
+        c.begin_generation(Some(&delta));
+        assert_eq!(c.len(), 2, "keyed transition keeps entries for lazy checks");
+        assert!(
+            c.lookup_scoped(
+                &name("e0.cdn.example"),
+                RrType::A,
+                "10.1.2.77".parse().unwrap(),
+                24,
+                now
+            )
+            .is_none(),
+            "entry named by the delta must be evicted on first touch"
+        );
+        assert!(
+            c.lookup_scoped(
+                &name("e0.cdn.example"),
+                RrType::A,
+                "10.1.3.77".parse().unwrap(),
+                24,
+                now
+            )
+            .is_some(),
+            "unaffected entry survives the generation swap"
+        );
+        let s = c.stats();
+        assert_eq!(s.keyed_invalidations, 1);
+        assert_eq!(s.generation_clears, 0);
+    }
+
+    #[test]
+    fn keyed_delta_evicts_only_affected_resolver_entries() {
+        let mut c = AnswerCache::new(CacheConfig::default());
+        let now = Instant::now();
+        let dirty: Ipv4Addr = "8.8.8.8".parse().unwrap();
+        let clean: Ipv4Addr = "9.9.9.9".parse().unwrap();
+        for r in [dirty, clean] {
+            c.insert_resolver(name("e0.cdn.example"), RrType::A, r, ns(), entry(30));
+        }
+        let delta = Arc::new(MapDelta::from_dirty(&[], &[dirty]));
+        c.begin_generation(Some(&delta));
+        assert!(c
+            .lookup_resolver(&name("e0.cdn.example"), RrType::A, dirty, ns(), now)
+            .is_none());
+        assert!(c
+            .lookup_resolver(&name("e0.cdn.example"), RrType::A, clean, ns(), now)
+            .is_some());
+        assert_eq!(c.stats().keyed_invalidations, 1);
+    }
+
+    #[test]
+    fn hit_restamps_entry_past_older_deltas() {
+        let mut c = AnswerCache::new(CacheConfig::default());
+        let now = Instant::now();
+        c.insert_scoped(
+            name("e0.cdn.example"),
+            RrType::A,
+            "10.1.3.0/24".parse().unwrap(),
+            entry(300),
+        );
+        // Several unaffecting generations; the entry must keep hitting
+        // even after the deltas that predate its last validation pile up.
+        for _ in 0..3 {
+            let delta = Arc::new(MapDelta::from_dirty(&["10.9.0.0/24".parse().unwrap()], &[]));
+            c.begin_generation(Some(&delta));
+            assert!(c
+                .lookup_scoped(
+                    &name("e0.cdn.example"),
+                    RrType::A,
+                    "10.1.3.77".parse().unwrap(),
+                    24,
+                    now
+                )
+                .is_some());
+        }
+        assert_eq!(c.stats().keyed_invalidations, 0);
+        // A later delta that *does* name the unit still evicts.
+        let delta = Arc::new(MapDelta::from_dirty(&["10.1.3.0/24".parse().unwrap()], &[]));
+        c.begin_generation(Some(&delta));
+        assert!(c
+            .lookup_scoped(
+                &name("e0.cdn.example"),
+                RrType::A,
+                "10.1.3.77".parse().unwrap(),
+                24,
+                now
+            )
+            .is_none());
+        assert_eq!(c.stats().keyed_invalidations, 1);
+    }
+
+    #[test]
+    fn full_or_missing_delta_falls_back_to_generation_clear() {
+        let mut c = AnswerCache::new(CacheConfig::default());
+        c.insert_scoped(
+            name("e0.cdn.example"),
+            RrType::A,
+            "10.1.2.0/24".parse().unwrap(),
+            entry(30),
+        );
+        c.begin_generation(Some(&Arc::new(MapDelta::full(10))));
+        assert!(c.is_empty(), "full delta must clear");
+        assert_eq!(c.stats().generation_clears, 1);
+        c.insert_scoped(
+            name("e0.cdn.example"),
+            RrType::A,
+            "10.1.2.0/24".parse().unwrap(),
+            entry(30),
+        );
+        c.begin_generation(None);
+        assert!(c.is_empty(), "delta-less publish must clear");
+        assert_eq!(c.stats().generation_clears, 2);
+    }
+
+    #[test]
+    fn empty_delta_is_a_noop_transition() {
+        let mut c = AnswerCache::new(CacheConfig::default());
+        let now = Instant::now();
+        c.insert_scoped(
+            name("e0.cdn.example"),
+            RrType::A,
+            "10.1.2.0/24".parse().unwrap(),
+            entry(30),
+        );
+        c.begin_generation(Some(&Arc::new(MapDelta::from_dirty(&[], &[]))));
+        assert_eq!(c.len(), 1);
+        assert!(c
+            .lookup_scoped(
+                &name("e0.cdn.example"),
+                RrType::A,
+                "10.1.2.77".parse().unwrap(),
+                24,
+                now
+            )
+            .is_some());
+        assert_eq!(c.stats().generation_clears, 0);
+        assert_eq!(c.stats().keyed_invalidations, 0);
+    }
+
+    #[test]
+    fn delta_history_overflow_degrades_to_clear() {
+        let mut c = AnswerCache::new(CacheConfig::default());
+        c.insert_scoped(
+            name("e0.cdn.example"),
+            RrType::A,
+            "10.1.2.0/24".parse().unwrap(),
+            entry(300),
+        );
+        // Fill the history window with keyed transitions…
+        for _ in 0..MAX_DELTA_HISTORY {
+            c.begin_generation(Some(&Arc::new(MapDelta::from_dirty(
+                &["10.9.0.0/24".parse().unwrap()],
+                &[],
+            ))));
+        }
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().generation_clears, 0);
+        // …the next one can no longer be tracked and must clear.
+        c.begin_generation(Some(&Arc::new(MapDelta::from_dirty(
+            &["10.9.0.0/24".parse().unwrap()],
+            &[],
+        ))));
+        assert!(c.is_empty());
+        assert_eq!(c.stats().generation_clears, 1);
+        // The clear resets the window, so keyed transitions resume.
+        c.insert_scoped(
+            name("e0.cdn.example"),
+            RrType::A,
+            "10.1.2.0/24".parse().unwrap(),
+            entry(300),
+        );
+        c.begin_generation(Some(&Arc::new(MapDelta::from_dirty(
+            &["10.9.0.0/24".parse().unwrap()],
+            &[],
+        ))));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().generation_clears, 1);
     }
 
     #[test]

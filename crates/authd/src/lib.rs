@@ -40,7 +40,7 @@ pub use server::{
     AuthServer, QueryStages, ReplyCap, ScratchBuffers, ServeOutcome, ServerConfig, ShardCounters,
     ShardReport, ShardState,
 };
-pub use snapshot::{Snapshot, SnapshotHandle};
+pub use snapshot::{Snapshot, SnapshotHandle, SnapshotReader};
 pub use telemetry::TelemetryConfig;
 pub use transport::{
     channel_transports, BatchDatagram, BatchServerTransport, ChannelClient, ChannelConnector,

@@ -4,13 +4,15 @@
 //! shard owns its transport endpoint and a [`ShardState`] outright — the
 //! decode scratch, the reply buffer, and the [`AnswerCache`] all live for
 //! the shard's lifetime, so the steady-state serve path never allocates.
-//! The only shared state is the [`SnapshotHandle`] (cloned `Arc` per
-//! query) and the relaxed live counters; shards never contend on a lock.
-//! Per query a shard:
+//! The only shared state is the snapshot cell (each shard holds a
+//! [`crate::SnapshotReader`] whose steady-state revalidation is one
+//! atomic load) and the relaxed live counters; shards never contend on a
+//! lock. Per query a shard:
 //!
 //! 1. receives one RFC 1035 datagram,
-//! 2. grabs the current map snapshot (clearing its cache if the
-//!    generation changed since the last query),
+//! 2. revalidates its map snapshot (transitioning its cache — keyed
+//!    delta invalidation or a wholesale clear — if the generation
+//!    changed since the last query),
 //! 3. decodes into the shard's persistent [`Message`] scratch, consults
 //!    the ECS-aware cache — a hit memcpys the stored wire bytes and
 //!    patches them in place; a miss computes through
@@ -345,19 +347,27 @@ impl ShardState {
         }
     }
 
-    /// Syncs the shard to `snap`'s generation: on a swap, drops every
-    /// cached answer (they may route to clusters the new map no longer
-    /// picks) and re-derives the per-generation constants. Returns true
-    /// when the generation changed (the first observation counts).
+    /// Syncs the shard to `snap`'s generation: on a swap, transitions the
+    /// answer cache — keyed lazy invalidation when the snapshot carries a
+    /// delta from the immediately preceding generation, a wholesale clear
+    /// otherwise — and re-derives the per-generation constants. Returns
+    /// true when the generation changed (the first observation counts).
     pub fn observe(&mut self, snap: &Snapshot) -> bool {
         if self.gen.as_ref().map(|g| g.generation) == Some(snap.generation) {
             return false;
         }
         // A shard's very first observation only initializes state —
         // nothing to clear yet.
-        if self.gen.is_some() {
+        if let Some(g) = &self.gen {
+            // A delta is only sound against the generation it was diffed
+            // from; a shard that skipped generations must fall back to
+            // the clear path (begin_generation(None)).
+            let delta = snap
+                .delta
+                .as_ref()
+                .filter(|_| snap.generation == g.generation + 1);
             if let Some(c) = self.cache.as_mut() {
-                c.clear();
+                c.begin_generation(delta);
             }
         }
         self.gen = Some(GenState {
@@ -563,6 +573,9 @@ fn run_shard<T: ServerTransport>(
     counters: Arc<ShardCounters>,
 ) -> ShardReport {
     let mut state = ShardState::new(cfg.cache);
+    // The shard's snapshot view: steady-state revalidation is one atomic
+    // load — no lock, no Arc clone per query.
+    let mut reader = snapshots.reader();
     let mut tel = cfg
         .telemetry
         .as_ref()
@@ -588,8 +601,8 @@ fn run_shard<T: ServerTransport>(
         let timed = tel.is_some();
         let t_start = timed.then(Instant::now);
 
-        let snap = snapshots.current();
-        if state.observe(&snap) {
+        let snap = reader.snapshot();
+        if state.observe(snap) {
             if let Some(t) = tel.as_ref() {
                 t.generation.set(snap.generation as f64);
             }
@@ -720,6 +733,9 @@ fn run_shard_batched<T: BatchServerTransport>(
 ) -> ShardReport {
     transport.on_thread_start();
     let mut state = ShardState::new(cfg.cache);
+    // The shard's snapshot view: steady-state revalidation is one atomic
+    // load — no lock, no Arc clone per batch.
+    let mut reader = snapshots.reader();
     let mut tel = cfg
         .telemetry
         .as_ref()
@@ -745,11 +761,11 @@ fn run_shard_batched<T: BatchServerTransport>(
             Ok(n) => n,
             Err(_) => continue,
         };
-        // One snapshot grab serves the whole batch: every datagram in it
-        // was received before this instant, so none can require a newer
-        // generation than the one we pin here.
-        let snap = snapshots.current();
-        if state.observe(&snap) {
+        // One snapshot revalidation serves the whole batch: every
+        // datagram in it was received before this instant, so none can
+        // require a newer generation than the one we pin here.
+        let snap = reader.snapshot();
+        if state.observe(snap) {
             if let Some(t) = tel.as_ref() {
                 t.generation.set(snap.generation as f64);
             }

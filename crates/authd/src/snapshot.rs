@@ -10,22 +10,34 @@
 //! current and keep using it for the duration of one query, so a query
 //! never observes half of one map and half of another.
 //!
-//! `std::sync::RwLock<Arc<…>>` is the publication cell: readers hold the
-//! lock only long enough to clone the `Arc` (a few nanoseconds, never
-//! across the actual answer computation), writers only long enough to
-//! store a pointer. Generations are numbered so per-shard caches can
-//! detect a swap and drop answers computed against the old map.
+//! The publication cell is an epoch-stamped slot: writers bump an atomic
+//! epoch under a mutex (writers are rare — one per map generation — and
+//! never contend with readers), while each serving shard holds a
+//! [`SnapshotReader`] that caches the current `Arc` and revalidates it
+//! with **one atomic load** per query. The steady-state read path touches
+//! no lock, takes no reference count, and allocates nothing; the slot
+//! mutex is taken only on the cold generation-change path.
 //!
-//! Memory-ordering audit: this file deliberately contains no raw
-//! atomics. Publication ordering is delegated entirely to the `RwLock`
-//! (the writer's unlock releases the fully built map, the reader's lock
-//! acquires it) and to `Arc`'s reference counting, so there are no
-//! Relaxed choices to justify. The file stays listed in `lint.toml`'s
-//! `seqlock_files` so that any raw atomic introduced here later falls
-//! under eum-lint's Acquire/Release pairing audit automatically.
+//! Memory-ordering audit (this file is listed in `lint.toml`'s
+//! `seqlock_files`; every raw atomic access is justified here):
+//!
+//! * `Shared::epoch` is stored with `Release` *while holding the slot
+//!   mutex*, after the new `Arc<Snapshot>` is in place. A reader that
+//!   `Acquire`-loads the bumped epoch therefore happens-after the slot
+//!   store and will observe the new snapshot when it locks the slot.
+//! * The reader's fast path `Acquire`-loads the epoch and compares it to
+//!   the epoch it last synced at. Equality proves no publication happened
+//!   since the cached `Arc` was cloned, so the cache is current. There
+//!   are no `Relaxed` accesses: the epoch is the publication flag, and
+//!   both sides of the flag need the Acquire/Release pairing.
+//! * `SnapshotReader::refresh` re-reads the epoch *inside* the mutex, so
+//!   the (epoch, snapshot) pair it caches is the pair one writer
+//!   published atomically; a concurrent second publication just leaves
+//!   the reader one refresh behind, which the next fast-path load fixes.
 
-use eum_mapping::MappingSystem;
-use std::sync::{Arc, RwLock};
+use eum_mapping::{MapDelta, MappingSystem};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// One published generation of the mapping system.
 pub struct Snapshot {
@@ -33,6 +45,12 @@ pub struct Snapshot {
     pub generation: u64,
     /// The immutable map this generation serves from.
     pub map: MappingSystem,
+    /// The set of mapping units whose answers may differ from generation
+    /// `generation - 1` (None when published without a delta: consumers
+    /// must assume everything changed). Carried in the snapshot so shard
+    /// caches can invalidate lazily, on first touch, with zero serve-path
+    /// allocations.
+    pub delta: Option<Arc<MapDelta>>,
 }
 
 // The serving plane shares snapshots across shard threads. This holds
@@ -44,41 +62,196 @@ const _: () = {
     assert_send_sync::<Snapshot>();
 };
 
-/// The swappable cell the control plane publishes into and every serving
-/// shard reads from. Cloning the handle is cheap; all clones observe the
-/// same publications.
+/// The state every handle and reader shares: the published slot plus the
+/// epoch counter that lets readers revalidate without locking.
+struct Shared {
+    /// Bumped once per publication, under `slot`'s mutex, with `Release`.
+    epoch: AtomicU64,
+    /// The current snapshot. Writers and cold-path readers only.
+    slot: Mutex<Arc<Snapshot>>,
+}
+
+/// The cell the control plane publishes into. Cloning the handle is
+/// cheap; all clones observe the same publications. Serving shards should
+/// each carry a [`SnapshotReader`] (from [`SnapshotHandle::reader`])
+/// whose steady-state revalidation is a single atomic load.
 #[derive(Clone)]
 pub struct SnapshotHandle {
-    cell: Arc<RwLock<Arc<Snapshot>>>,
+    shared: Arc<Shared>,
 }
 
 impl SnapshotHandle {
     /// Wraps the initial map as generation 1.
     pub fn new(map: MappingSystem) -> SnapshotHandle {
         SnapshotHandle {
-            cell: Arc::new(RwLock::new(Arc::new(Snapshot { generation: 1, map }))),
+            shared: Arc::new(Shared {
+                epoch: AtomicU64::new(1),
+                slot: Mutex::new(Arc::new(Snapshot {
+                    generation: 1,
+                    map,
+                    delta: None,
+                })),
+            }),
         }
     }
 
-    /// The current generation's snapshot. The internal lock is held only
-    /// for the `Arc` clone; callers answer queries against the returned
-    /// snapshot without synchronization.
+    /// The current generation's snapshot. Control-plane/test convenience:
+    /// takes the slot mutex. Serving shards use a [`SnapshotReader`].
     pub fn current(&self) -> Arc<Snapshot> {
-        self.cell.read().expect("snapshot cell poisoned").clone()
+        self.shared
+            .slot
+            .lock()
+            .expect("snapshot slot poisoned")
+            .clone()
+    }
+
+    /// A per-shard reader primed with the current snapshot.
+    pub fn reader(&self) -> SnapshotReader {
+        let cached = self.current();
+        // Synced at least as far as the snapshot we just cloned; if a
+        // publication raced in between, the first fast-path load refreshes.
+        let seen_epoch = self.shared.epoch.load(Ordering::Acquire);
+        SnapshotReader {
+            shared: self.shared.clone(),
+            cached,
+            seen_epoch,
+        }
     }
 
     /// Publishes `map` as the next generation and returns its number.
     /// In-flight queries keep the generation they already cloned; new
-    /// queries see the new map immediately.
+    /// queries see the new map on their next reader revalidation. Without
+    /// a delta, consumers treat the whole previous generation as invalid.
     pub fn publish(&self, map: MappingSystem) -> u64 {
-        let mut cell = self.cell.write().expect("snapshot cell poisoned");
-        let generation = cell.generation + 1;
-        *cell = Arc::new(Snapshot { generation, map });
+        self.publish_inner(map, None)
+    }
+
+    /// Publishes `map` as the next generation together with the set of
+    /// mapping units that changed since the *immediately preceding*
+    /// generation, letting shard caches evict only affected answers.
+    pub fn publish_delta(&self, map: MappingSystem, delta: Arc<MapDelta>) -> u64 {
+        self.publish_inner(map, Some(delta))
+    }
+
+    fn publish_inner(&self, map: MappingSystem, delta: Option<Arc<MapDelta>>) -> u64 {
+        let mut slot = self.shared.slot.lock().expect("snapshot slot poisoned");
+        let generation = slot.generation + 1;
+        *slot = Arc::new(Snapshot {
+            generation,
+            map,
+            delta,
+        });
+        // Release-publish after the slot holds the new snapshot and while
+        // the mutex is still held: a reader acquiring this epoch value
+        // happens-after the store above, and the epoch a refresh reads
+        // inside the mutex always matches the slot it clones.
+        self.shared.epoch.fetch_add(1, Ordering::Release);
         generation
     }
 
     /// The current generation number without keeping the snapshot alive.
     pub fn generation(&self) -> u64 {
-        self.cell.read().expect("snapshot cell poisoned").generation
+        self.shared
+            .slot
+            .lock()
+            .expect("snapshot slot poisoned")
+            .generation
+    }
+}
+
+/// A per-shard view of the publication cell: caches the current
+/// `Arc<Snapshot>` and revalidates it with one `Acquire` load per call.
+/// Not `Clone` on purpose — each shard owns exactly one.
+pub struct SnapshotReader {
+    shared: Arc<Shared>,
+    cached: Arc<Snapshot>,
+    seen_epoch: u64,
+}
+
+impl SnapshotReader {
+    /// The current snapshot. Steady state (no publication since the last
+    /// call) is one atomic load and a compare — no lock, no reference
+    /// count traffic, no allocation.
+    pub fn snapshot(&mut self) -> &Arc<Snapshot> {
+        let epoch = self.shared.epoch.load(Ordering::Acquire);
+        if epoch != self.seen_epoch {
+            self.refresh();
+        }
+        &self.cached
+    }
+
+    /// Cold path: a publication happened; re-sync from the slot.
+    #[cold]
+    fn refresh(&mut self) {
+        let slot = self.shared.slot.lock().expect("snapshot slot poisoned");
+        self.cached = slot.clone();
+        // Read the epoch inside the mutex so it is exactly the value the
+        // writer paired with this slot value (the writer bumps under the
+        // same mutex).
+        self.seen_epoch = self.shared.epoch.load(Ordering::Acquire);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eum_cdn::{deployment_universe, CatalogConfig, CdnPlatform, ContentCatalog, DeployConfig};
+    use eum_mapping::{MappingConfig, MappingPolicy, MappingSystem};
+    use eum_netmodel::{Internet, InternetConfig};
+    use std::net::Ipv4Addr;
+
+    fn tiny_map() -> MappingSystem {
+        let mut net = Internet::generate(InternetConfig::tiny(0x51));
+        let sites = deployment_universe(0x51, 8);
+        let cdn = CdnPlatform::deploy(&mut net, &sites, &DeployConfig::default());
+        let catalog = ContentCatalog::generate(&CatalogConfig::tiny(0x51));
+        MappingSystem::build(
+            &mut net,
+            &cdn,
+            &catalog,
+            "cdn.example".parse().unwrap(),
+            MappingConfig {
+                policy: MappingPolicy::NsBased,
+                max_ping_targets: 20,
+                ..MappingConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn reader_tracks_publications_and_generations_number_up() {
+        let map = tiny_map();
+        let handle = SnapshotHandle::new(map.clone_for_publish());
+        let mut reader = handle.reader();
+        assert_eq!(reader.snapshot().generation, 1);
+        assert!(reader.snapshot().delta.is_none());
+
+        assert_eq!(handle.publish(map.clone_for_publish()), 2);
+        assert_eq!(reader.snapshot().generation, 2);
+        assert_eq!(handle.generation(), 2);
+
+        let delta = Arc::new(MapDelta::from_dirty(&[], &[Ipv4Addr::new(9, 9, 9, 9)]));
+        assert_eq!(handle.publish_delta(map.clone_for_publish(), delta), 3);
+        let snap = reader.snapshot();
+        assert_eq!(snap.generation, 3);
+        let carried = snap.delta.as_ref().expect("delta carried");
+        assert!(carried.affects_resolver(Ipv4Addr::new(9, 9, 9, 9)));
+        assert!(!carried.affects_resolver(Ipv4Addr::new(9, 9, 9, 8)));
+    }
+
+    #[test]
+    fn stale_reader_catches_up_after_missing_generations() {
+        let map = tiny_map();
+        let handle = SnapshotHandle::new(map.clone_for_publish());
+        let mut reader = handle.reader();
+        assert_eq!(reader.snapshot().generation, 1);
+        // Two publications while the reader sleeps.
+        handle.publish(map.clone_for_publish());
+        handle.publish_delta(
+            map.clone_for_publish(),
+            Arc::new(MapDelta::from_dirty(&[], &[])),
+        );
+        // One revalidation lands on the latest generation.
+        assert_eq!(reader.snapshot().generation, 3);
     }
 }

@@ -76,6 +76,10 @@ pub(crate) struct ShardInstruments {
     pub cache_insertions: Arc<Counter>,
     pub cache_scoped_insertions: Arc<Counter>,
     pub cache_generation_clears: Arc<Counter>,
+    /// Keyed (per-unit) invalidations driven by published map deltas.
+    pub map_cache_invalidations: Arc<Counter>,
+    /// Whole-cache clears forced when no usable delta was published.
+    pub map_cache_clears: Arc<Counter>,
     pub cache_entries: Arc<Gauge>,
     /// Global (unlabeled): every shard sets the same published generation.
     pub generation: Arc<Gauge>,
@@ -134,6 +138,17 @@ impl ShardInstruments {
                 "Cache clears forced by snapshot generation swaps",
                 l,
             ),
+            map_cache_invalidations: reg.counter(
+                "eum_mapping_cache_invalidations_total",
+                "Answer-cache entries evicted one-by-one because their mapping \
+                 unit appeared in a published map delta",
+                l,
+            ),
+            map_cache_clears: reg.counter(
+                "eum_mapping_cache_clears_total",
+                "Whole-cache generational clears (publication without a usable delta)",
+                l,
+            ),
             cache_entries: reg.gauge("eum_authd_cache_entries", "Live answer-cache entries", l),
             generation: reg.gauge(
                 "eum_authd_snapshot_generation",
@@ -174,6 +189,10 @@ impl ShardInstruments {
         self.cache_scoped_insertions
             .add(now.scoped_insertions - prev.scoped_insertions);
         self.cache_generation_clears
+            .add(now.generation_clears - prev.generation_clears);
+        self.map_cache_invalidations
+            .add(now.keyed_invalidations - prev.keyed_invalidations);
+        self.map_cache_clears
             .add(now.generation_clears - prev.generation_clears);
         self.prev_cache = now;
         self.cache_entries.set(entries as f64);

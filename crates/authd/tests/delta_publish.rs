@@ -1,0 +1,162 @@
+//! End-to-end correctness of keyed delta publication: after a churned
+//! map is published with [`SnapshotHandle::publish_delta`], a shard that
+//! kept its answer cache across the swap must serve byte-equivalent
+//! answers to a cache-disabled shard computing everything fresh from the
+//! new snapshot. The cache is allowed to keep unaffected entries — that
+//! is the whole point — but any stale answer that should have been
+//! invalidated and wasn't shows up here as a divergence.
+
+use eum_authd::{CacheConfig, QueryStages, ReplyCap, ServeOutcome, ShardState, SnapshotHandle};
+use eum_cdn::{deployment_universe, CatalogConfig, CdnPlatform, ContentCatalog, DeployConfig};
+use eum_dns::edns::{EcsOption, OptData};
+use eum_dns::{decode_message, encode_message, Message, Question};
+use eum_mapping::{MappingConfig, MappingPolicy, MappingSystem, RescoreHints};
+use eum_netmodel::{Internet, InternetConfig};
+use std::net::Ipv4Addr;
+
+const SEED: u64 = 0xDE17A;
+
+fn world() -> (Internet, CdnPlatform, MappingSystem) {
+    let mut net = Internet::generate(InternetConfig::tiny(SEED));
+    let sites = deployment_universe(SEED, 16);
+    let cdn = CdnPlatform::deploy(&mut net, &sites, &DeployConfig::default());
+    let catalog = ContentCatalog::generate(&CatalogConfig::tiny(SEED));
+    let map = MappingSystem::build(
+        &mut net,
+        &cdn,
+        &catalog,
+        "cdn.example".parse().unwrap(),
+        MappingConfig {
+            policy: MappingPolicy::end_user_default(),
+            max_ping_targets: 50,
+            ..MappingConfig::default()
+        },
+    );
+    (net, cdn, map)
+}
+
+fn ecs_query(id: u16, client: Ipv4Addr) -> Vec<u8> {
+    encode_message(&Message::query(
+        id,
+        Question::a("e0.cdn.example".parse().unwrap()),
+        Some(OptData::with_ecs(EcsOption::query(client, 24))),
+    ))
+}
+
+fn plain_query(id: u16) -> Vec<u8> {
+    encode_message(&Message::query(
+        id,
+        Question::a("e0.cdn.example".parse().unwrap()),
+        None,
+    ))
+}
+
+/// Serves `payload` on `state` and returns the reply's answer IPs.
+fn answers(
+    state: &mut ShardState,
+    map: &MappingSystem,
+    server: Ipv4Addr,
+    resolver: Ipv4Addr,
+    payload: &[u8],
+) -> Vec<Ipv4Addr> {
+    let mut stages = QueryStages::new(false);
+    let out = state.serve(map, server, resolver, payload, ReplyCap::udp(), &mut stages);
+    assert!(
+        matches!(out, ServeOutcome::Replied { .. }),
+        "serve failed: {out:?}"
+    );
+    decode_message(state.reply())
+        .expect("reply decodes")
+        .answer_ips()
+}
+
+#[test]
+fn cached_shard_matches_fresh_shard_across_delta_publications() {
+    let (net, mut cdn, mut map) = world();
+    let low = map.ns_ips()[1];
+    let resolver = net.resolvers[0].ip;
+
+    let snapshots = SnapshotHandle::new(map.clone_for_publish());
+    let mut reader = snapshots.reader();
+    let mut cached = ShardState::new(Some(CacheConfig::default()));
+    // The oracle: no cache, always computes from the current snapshot.
+    let mut fresh = ShardState::new(None);
+
+    let payloads: Vec<Vec<u8>> = net
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| ecs_query(i as u16, b.client_ip()))
+        .chain(std::iter::once(plain_query(9999)))
+        .collect();
+
+    // Warm every shape into the cache on generation 1.
+    {
+        let snap = reader.snapshot();
+        cached.observe(snap);
+        for p in &payloads {
+            answers(&mut cached, &snap.map, low, resolver, p);
+        }
+        let stats = cached.cache().expect("cache enabled").stats();
+        assert!(stats.insertions > 0, "warm pass must populate the cache");
+    }
+
+    // Churn round 1: kill an assigned non-escape cluster, publish the
+    // incremental delta. Round 2: revive it plus a capacity edit.
+    let escape = cdn.clusters[0].id;
+    let victim = net
+        .blocks
+        .iter()
+        .filter_map(|b| map.assigned_cluster_for_block(b.prefix))
+        .find(|c| *c != escape)
+        .expect("some block maps beyond the escape cluster");
+
+    for round in 1..=2u64 {
+        match round {
+            1 => cdn.set_cluster_alive(victim, false),
+            _ => {
+                cdn.set_cluster_alive(victim, true);
+                cdn.clusters[2].capacity = net.total_demand() * 0.4;
+            }
+        }
+        let delta = map.rebuild_incremental(&net, &cdn, &RescoreHints::default());
+        assert!(!delta.is_full(), "round {round}: churn must stay keyed");
+        let generation = snapshots.publish_delta(map.clone_for_publish(), delta);
+        assert_eq!(generation, round + 1, "generations number up from 1");
+
+        let snap = reader.snapshot();
+        assert_eq!(snap.generation, generation);
+        cached.observe(snap);
+        fresh.observe(snap);
+        let mut hits = 0u64;
+        for p in &payloads {
+            let got = answers(&mut cached, &snap.map, low, resolver, p);
+            let want = answers(&mut fresh, &snap.map, low, resolver, p);
+            assert_eq!(
+                got, want,
+                "round {round}: cached shard diverged from fresh compute"
+            );
+            if !got.is_empty() {
+                hits += 1;
+            }
+        }
+        assert!(hits > 0, "round {round}: no answers at all");
+    }
+
+    // The keyed path did the invalidation work; the cache never cleared.
+    let stats = cached.cache().expect("cache enabled").stats();
+    assert!(
+        stats.keyed_invalidations > 0,
+        "delta publications must evict affected entries one by one"
+    );
+    assert_eq!(
+        stats.generation_clears, 0,
+        "keyed publications must never clear the cache wholesale"
+    );
+    // And unaffected entries really survived both swaps: the post-churn
+    // passes hit the cache for at least some shapes.
+    assert!(
+        stats.hits > 0,
+        "surviving entries should have served post-churn hits"
+    );
+}

@@ -114,6 +114,8 @@ fn scrape_reconciles_with_reports_across_a_generation_swap() {
         "eum_authd_cache_insertions_total",
         "eum_authd_cache_scoped_insertions_total",
         "eum_authd_cache_generation_clears_total",
+        "eum_mapping_cache_invalidations_total",
+        "eum_mapping_cache_clears_total",
         "eum_authd_cache_entries",
         "eum_authd_snapshot_generation",
         "eum_authd_stage_decode_ns",
@@ -155,6 +157,16 @@ fn scrape_reconciles_with_reports_across_a_generation_swap() {
         assert_eq!(
             shard_counter("eum_authd_cache_generation_clears_total", r.shard),
             r.cache.generation_clears
+        );
+        // This run publishes without a delta, so the mapping-cache view
+        // of the swap is all generational clears and no keyed evictions.
+        assert_eq!(
+            shard_counter("eum_mapping_cache_clears_total", r.shard),
+            r.cache.generation_clears
+        );
+        assert_eq!(
+            shard_counter("eum_mapping_cache_invalidations_total", r.shard),
+            0
         );
     }
     let queries_scraped: u64 = (0..SHARDS)

@@ -1,0 +1,248 @@
+//! The publication delta: which mapping units changed between two map
+//! generations.
+//!
+//! §5's cost model multiplies mapping units ~8× while the map refreshes
+//! on a ~10 s cadence, so republication must be proportional to what
+//! changed, not to world size. A [`MapDelta`] is the contract between
+//! the control plane ([`MappingSystem::rebuild_incremental`]) and the
+//! serve plane (`eum-authd`'s keyed answer-cache invalidation): it names
+//! every unit whose answer *may* differ from the previous generation,
+//! and the authoritative shards evict exactly the cached answers keyed
+//! by those units — lazily, on first touch, with zero serve-path
+//! allocations.
+//!
+//! Soundness over precision: when the rebuild cannot bound the blast
+//! radius (topology changed shape, or the global escape cluster — the
+//! fallback used for unknown resolvers and fully-dead candidate rows —
+//! moved), the delta is promoted to [`full`](MapDelta::full) and the
+//! caches fall back to the old generation-clear behaviour.
+//!
+//! [`MappingSystem::rebuild_incremental`]: crate::MappingSystem::rebuild_incremental
+
+use eum_geo::Prefix;
+use std::net::Ipv4Addr;
+
+/// The set of mapping units whose answers may have changed between the
+/// previous map generation and this one.
+///
+/// End-user units are prefixes, bucketed by prefix length with each
+/// bucket sorted by network address, so the serve path can test an ECS
+/// cache key for overlap with a handful of binary searches. NS units are
+/// keyed by resolver address (sorted, for the same reason).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapDelta {
+    /// Dirty end-user unit prefixes: `eu_by_len[l]` holds the network
+    /// addresses of dirty `/l` units, sorted ascending.
+    eu_by_len: [Vec<u32>; 33],
+    /// Dirty NS (resolver) units, as sorted resolver addresses.
+    ns_resolvers: Vec<u32>,
+    /// True when the delta covers every unit: consumers must treat the
+    /// whole previous generation as invalid.
+    full: bool,
+    /// Number of dirty units (all units, for a full delta).
+    units_changed: usize,
+}
+
+impl MapDelta {
+    /// A delta naming every unit: structural change, escape-cluster
+    /// flip, or any other case where the blast radius cannot be bounded.
+    pub fn full(total_units: usize) -> MapDelta {
+        MapDelta {
+            eu_by_len: std::array::from_fn(|_| Vec::new()),
+            ns_resolvers: Vec::new(),
+            full: true,
+            units_changed: total_units,
+        }
+    }
+
+    /// Builds a delta from explicit dirty-unit sets.
+    pub fn from_dirty(eu_units: &[Prefix], ns_resolvers: &[Ipv4Addr]) -> MapDelta {
+        let mut eu_by_len: [Vec<u32>; 33] = std::array::from_fn(|_| Vec::new());
+        for p in eu_units {
+            eu_by_len[p.len() as usize].push(p.addr());
+        }
+        for bucket in eu_by_len.iter_mut() {
+            bucket.sort_unstable();
+            bucket.dedup();
+        }
+        let mut ns: Vec<u32> = ns_resolvers.iter().map(|ip| u32::from(*ip)).collect();
+        ns.sort_unstable();
+        ns.dedup();
+        let units_changed = eu_by_len.iter().map(Vec::len).sum::<usize>() + ns.len();
+        MapDelta {
+            eu_by_len,
+            ns_resolvers: ns,
+            full: false,
+            units_changed,
+        }
+    }
+
+    /// True when the whole previous generation must be invalidated.
+    pub fn is_full(&self) -> bool {
+        self.full
+    }
+
+    /// True when no unit changed (publishing such a delta is a no-op for
+    /// the caches).
+    pub fn is_empty(&self) -> bool {
+        !self.full && self.units_changed == 0
+    }
+
+    /// Number of dirty units this delta names.
+    pub fn units_changed(&self) -> usize {
+        self.units_changed
+    }
+
+    /// True when a cached answer scoped to `entry` (an ECS cache key's
+    /// prefix) may have changed: some dirty end-user unit overlaps it.
+    ///
+    /// An answer cached under scope `/s` was derived from the unit
+    /// containing that block, so any dirty unit that contains — or is
+    /// contained in — the entry prefix invalidates it. Each non-empty
+    /// dirty length needs one binary search (ancestor probe) or one
+    /// range probe (descendants), so the check is `O(lengths·log n)`
+    /// with zero allocations.
+    pub fn affects_scoped(&self, entry: Prefix) -> bool {
+        if self.full {
+            return true;
+        }
+        let entry_len = u32::from(entry.len());
+        let first = u64::from(entry.first());
+        let last = u64::from(entry.last());
+        for (len, bucket) in self.eu_by_len.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let len = len as u32;
+            if len <= entry_len {
+                // A dirty /len unit is an ancestor (or equal) iff the
+                // entry's address truncated to /len is in the bucket.
+                let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
+                if bucket.binary_search(&(entry.addr() & mask)).is_ok() {
+                    return true;
+                }
+            } else {
+                // A dirty /len unit is a descendant iff its address
+                // falls inside the entry's address range.
+                let lo = bucket.partition_point(|a| u64::from(*a) < first);
+                if bucket.get(lo).is_some_and(|a| u64::from(*a) <= last) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// True when a cached answer keyed by `resolver` (an NS-unit cache
+    /// key) may have changed.
+    pub fn affects_resolver(&self, resolver: Ipv4Addr) -> bool {
+        if self.full {
+            return true;
+        }
+        self.ns_resolvers
+            .binary_search(&u32::from(resolver))
+            .is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn full_delta_affects_everything() {
+        let d = MapDelta::full(42);
+        assert!(d.is_full());
+        assert!(!d.is_empty());
+        assert_eq!(d.units_changed(), 42);
+        assert!(d.affects_scoped(p("1.2.3.0/24")));
+        assert!(d.affects_resolver(Ipv4Addr::new(9, 9, 9, 9)));
+    }
+
+    #[test]
+    fn empty_delta_affects_nothing() {
+        let d = MapDelta::from_dirty(&[], &[]);
+        assert!(d.is_empty());
+        assert_eq!(d.units_changed(), 0);
+        assert!(!d.affects_scoped(p("0.0.0.0/0")));
+        assert!(!d.affects_resolver(Ipv4Addr::new(1, 1, 1, 1)));
+    }
+
+    #[test]
+    fn exact_ancestor_and_descendant_units_match() {
+        let d = MapDelta::from_dirty(&[p("10.1.0.0/16"), p("10.2.3.0/24")], &[]);
+        assert_eq!(d.units_changed(), 2);
+        // Exact match.
+        assert!(d.affects_scoped(p("10.1.0.0/16")));
+        // Dirty unit is an ancestor of the cached entry.
+        assert!(d.affects_scoped(p("10.1.200.0/24")));
+        // Dirty unit is a descendant of the cached entry.
+        assert!(d.affects_scoped(p("10.2.0.0/16")));
+        assert!(d.affects_scoped(p("0.0.0.0/0")));
+        // Contained in the dirty /16.
+        assert!(d.affects_scoped(p("10.1.0.0/24")));
+        // Disjoint blocks do not match.
+        assert!(!d.affects_scoped(p("10.3.0.0/16")));
+    }
+
+    #[test]
+    fn sibling_blocks_do_not_match() {
+        let d = MapDelta::from_dirty(&[p("10.2.3.0/24")], &[]);
+        assert!(!d.affects_scoped(p("10.2.2.0/24")));
+        assert!(!d.affects_scoped(p("10.2.4.0/24")));
+        assert!(d.affects_scoped(p("10.2.3.128/25")));
+        assert!(d.affects_scoped(p("10.2.0.0/20")));
+        assert!(!d.affects_scoped(p("10.2.16.0/20")));
+    }
+
+    #[test]
+    fn range_probe_respects_entry_upper_bound() {
+        // Dirty /24 just past the entry's range must not match.
+        let d = MapDelta::from_dirty(&[p("10.2.4.0/24")], &[]);
+        assert!(!d.affects_scoped(p("10.2.0.0/22"))); // covers .0-.3 only
+        assert!(d.affects_scoped(p("10.2.4.0/22"))); // covers .4-.7
+    }
+
+    #[test]
+    fn resolver_membership_is_exact() {
+        let a = Ipv4Addr::new(100, 0, 0, 1);
+        let b = Ipv4Addr::new(100, 0, 0, 2);
+        let d = MapDelta::from_dirty(&[], &[b, a, a]);
+        assert_eq!(d.units_changed(), 2); // deduped
+        assert!(d.affects_resolver(a));
+        assert!(d.affects_resolver(b));
+        assert!(!d.affects_resolver(Ipv4Addr::new(100, 0, 0, 3)));
+    }
+
+    /// Brute-force cross-check of the bucketed binary-search membership
+    /// against the obvious covers-either-way definition.
+    #[test]
+    fn overlap_matches_brute_force() {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..200 {
+            let dirty: Vec<Prefix> = (0..(next() % 12))
+                .map(|_| Prefix::new(next(), 8 + (next() % 17) as u8))
+                .collect();
+            let d = MapDelta::from_dirty(&dirty, &[]);
+            for _ in 0..20 {
+                let entry = Prefix::new(next(), (next() % 33) as u8);
+                let expect = dirty.iter().any(|u| u.covers(&entry) || entry.covers(u));
+                assert_eq!(
+                    d.affects_scoped(entry),
+                    expect,
+                    "entry {entry} vs dirty {dirty:?}"
+                );
+            }
+        }
+    }
+}

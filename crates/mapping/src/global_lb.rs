@@ -49,6 +49,59 @@ impl Assignment {
     }
 }
 
+/// Per-unit cluster preference orders, best score first.
+///
+/// Rows are *unfiltered* by liveness so the table can be cached across
+/// incremental rebuilds (liveness changes every generation, scores do
+/// not): [`assign_with_prefs`] applies the `usable` filter at proposal
+/// time, which visits exactly the clusters a pre-filtered list would,
+/// in the same order — so the cached-table path and the from-scratch
+/// path produce bit-identical assignments by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreferenceTable {
+    prefs: Vec<Vec<u32>>,
+}
+
+impl PreferenceTable {
+    /// Builds the full table: one score-order sort per unit.
+    pub fn build(scores: &ScoreTable) -> PreferenceTable {
+        let prefs = (0..scores.units())
+            .map(|u| {
+                scores
+                    .preference_order(UnitId(u as u32))
+                    .into_iter()
+                    .map(|c| c as u32)
+                    .collect()
+            })
+            .collect();
+        PreferenceTable { prefs }
+    }
+
+    /// Re-sorts one unit's row after its score row changed.
+    pub fn resort_row(&mut self, scores: &ScoreTable, unit: UnitId) {
+        self.prefs[unit.index()] = scores
+            .preference_order(unit)
+            .into_iter()
+            .map(|c| c as u32)
+            .collect();
+    }
+
+    /// A unit's clusters, best first.
+    pub fn row(&self, unit: UnitId) -> &[u32] {
+        &self.prefs[unit.index()]
+    }
+
+    /// Number of unit rows.
+    pub fn len(&self) -> usize {
+        self.prefs.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.prefs.is_empty()
+    }
+}
+
 /// Assigns every unit to a cluster under capacity constraints.
 ///
 /// `capacity[c]` is cluster `c`'s demand capacity (may be infinite).
@@ -60,10 +113,28 @@ pub fn assign(
     capacity: &[f64],
     usable: &[bool],
 ) -> Assignment {
+    let prefs = PreferenceTable::build(scores);
+    assign_with_prefs(algorithm, units, scores, &prefs, capacity, usable)
+}
+
+/// Like [`assign`], but over a caller-cached [`PreferenceTable`] — the
+/// incremental rebuild's entry point, which skips the per-unit sorts.
+///
+/// This is the *only* solver code path: [`assign`] builds the table and
+/// delegates here, so full and incremental rebuilds cannot diverge.
+pub fn assign_with_prefs(
+    algorithm: LbAlgorithm,
+    units: &MapUnits,
+    scores: &ScoreTable,
+    prefs: &PreferenceTable,
+    capacity: &[f64],
+    usable: &[bool],
+) -> Assignment {
     assert_eq!(capacity.len(), scores.clusters());
     assert_eq!(usable.len(), scores.clusters());
+    assert_eq!(prefs.len(), units.len());
     match algorithm {
-        LbAlgorithm::Stable => stable_allocation(units, scores, capacity, usable),
+        LbAlgorithm::Stable => stable_allocation(units, scores, prefs, capacity, usable),
         LbAlgorithm::Greedy => greedy(units, scores, capacity, usable),
     }
 }
@@ -78,25 +149,29 @@ pub fn assign(
 /// acceptance, whose outcome is stable; with heterogeneous demands the
 /// result is stable up to one fractional unit per cluster (the classic
 /// stable-allocation relaxation).
+///
+/// The proposal queue doubles as the incremental solver's repair loop:
+/// displaced units re-enter it and re-propose from where they left off
+/// until the allocation reaches a fixed point. It is seeded with every
+/// unit (not just dirty ones) because the outcome is proposal-order
+/// dependent — a dirty-only seed would converge to *a* stable
+/// allocation, but not bit-identically the one a from-scratch rebuild
+/// produces, and the equivalence suite demands identity. The asymptotic
+/// win of the incremental path is elsewhere: re-proposing over cached
+/// preference rows costs `O(units·proposals)`, while the measurement,
+/// scoring, and sorting it skips cost `O(units·clusters·log clusters)`.
 fn stable_allocation(
     units: &MapUnits,
     scores: &ScoreTable,
+    prefs: &PreferenceTable,
     capacity: &[f64],
     usable: &[bool],
 ) -> Assignment {
     let n_units = units.len();
     let n_clusters = scores.clusters();
-    // Next preference index each unit will propose to.
+    // Next preference index each unit will propose to. Indexes the
+    // unfiltered row; unusable clusters are skipped at proposal time.
     let mut next_pref = vec![0usize; n_units];
-    let mut prefs: Vec<Vec<usize>> = Vec::with_capacity(n_units);
-    for u in 0..n_units {
-        let order: Vec<usize> = scores
-            .preference_order(UnitId(u as u32))
-            .into_iter()
-            .filter(|c| usable[*c])
-            .collect();
-        prefs.push(order);
-    }
     let mut cluster_of: Vec<Option<usize>> = vec![None; n_units];
     let mut load = vec![0.0f64; n_clusters];
     // Per-cluster max-heap of held units by score (worst on top).
@@ -105,13 +180,22 @@ fn stable_allocation(
     let mut queue: Vec<usize> = (0..n_units).collect();
     while let Some(u) = queue.pop() {
         let demand = units.unit(UnitId(u as u32)).demand;
+        let row = prefs.row(UnitId(u as u32));
         loop {
-            let pref_idx = next_pref[u];
-            if pref_idx >= prefs[u].len() {
+            let c = loop {
+                match row.get(next_pref[u]) {
+                    None => break None,
+                    Some(c) => {
+                        next_pref[u] += 1;
+                        if usable[*c as usize] {
+                            break Some(*c as usize);
+                        }
+                    }
+                }
+            };
+            let Some(c) = c else {
                 break; // exhausted: unassigned
-            }
-            let c = prefs[u][pref_idx];
-            next_pref[u] += 1;
+            };
             let score = scores.score(UnitId(u as u32), c);
             // Tentatively accept.
             held[c].push(HeldUnit { score, unit: u });
@@ -139,18 +223,30 @@ fn stable_allocation(
     // acceptable — place it at its best usable cluster, preferring ones
     // with room (the real system overflows into a warm cluster rather
     // than refusing to map).
-    for u in 0..n_units {
-        if cluster_of[u].is_some() || prefs[u].is_empty() {
+    for (u, slot) in cluster_of.iter_mut().enumerate() {
+        if slot.is_some() {
             continue;
         }
         let demand = units.unit(UnitId(u as u32)).demand;
-        let choice = prefs[u]
-            .iter()
-            .copied()
-            .find(|c| load[*c] + demand <= capacity[*c])
-            .unwrap_or(prefs[u][0]);
-        cluster_of[u] = Some(choice);
-        load[choice] += demand;
+        let mut first_usable = None;
+        let mut choice = None;
+        for c in prefs.row(UnitId(u as u32)) {
+            let c = *c as usize;
+            if !usable[c] {
+                continue;
+            }
+            if first_usable.is_none() {
+                first_usable = Some(c);
+            }
+            if load[c] + demand <= capacity[c] {
+                choice = Some(c);
+                break;
+            }
+        }
+        if let Some(c) = choice.or(first_usable) {
+            *slot = Some(c);
+            load[c] += demand;
+        }
     }
     Assignment { cluster_of, load }
 }

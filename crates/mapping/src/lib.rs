@@ -52,6 +52,7 @@
 //! ```
 
 pub mod clusters;
+pub mod delta;
 pub mod deploy_study;
 pub mod global_lb;
 pub mod local_lb;
@@ -63,12 +64,15 @@ pub mod telemetry;
 pub mod units;
 
 pub use clusters::{client_clusters, ClientCluster};
+pub use delta::MapDelta;
 pub use deploy_study::{run_study, Scheme, StudyConfig, StudyRow};
-pub use global_lb::{assign, find_blocking_pair, Assignment, LbAlgorithm};
+pub use global_lb::{
+    assign, assign_with_prefs, find_blocking_pair, Assignment, LbAlgorithm, PreferenceTable,
+};
 pub use local_lb::{domain_key, ConsistentRing};
 pub use measure::{PingMatrix, PingTargets, TargetId};
 pub use policy::MappingPolicy;
 pub use score::{ScoreBasis, ScoreTable, ScoringWeights};
-pub use system::{LocalLbPolicy, MappingConfig, MappingStats, MappingSystem};
+pub use system::{LocalLbPolicy, MappingConfig, MappingStats, MappingSystem, RescoreHints};
 pub use telemetry::MappingTelemetry;
 pub use units::{MapUnitInfo, MapUnits, UnitId, UnitKey};

@@ -104,6 +104,41 @@ impl ScoreTable {
         basis: ScoreBasis,
         member_cap: usize,
     ) -> ScoreTable {
+        Self::build_parallel(
+            net,
+            units,
+            unit_vantages,
+            cluster_endpoints,
+            targets,
+            matrix,
+            weights,
+            basis,
+            member_cap,
+            1,
+        )
+    }
+
+    /// [`build`](Self::build) with the per-unit scoring pass chunked
+    /// across `workers` threads.
+    ///
+    /// Units are split into contiguous ranges, and each worker owns the
+    /// matching disjoint slice of the flat row-major table — the "merge"
+    /// is the memory layout itself, so the result is bit-identical to
+    /// the sequential pass regardless of scheduling. `workers <= 1` (the
+    /// single-core case) runs inline with no thread spawns.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_parallel(
+        net: &Internet,
+        units: &MapUnits,
+        unit_vantages: &[Endpoint],
+        cluster_endpoints: &[Endpoint],
+        targets: &PingTargets,
+        matrix: &PingMatrix,
+        weights: ScoringWeights,
+        basis: ScoreBasis,
+        member_cap: usize,
+        workers: usize,
+    ) -> ScoreTable {
         assert_eq!(unit_vantages.len(), units.len(), "one vantage per unit");
         assert_eq!(
             matrix.deployments(),
@@ -112,55 +147,134 @@ impl ScoreTable {
         );
         let n_clusters = cluster_endpoints.len();
         let mut scores = vec![0f32; units.len() * n_clusters];
-        for (ui, info) in units.units.iter().enumerate() {
-            match basis {
-                ScoreBasis::UnitVantage => {
-                    let t = targets.target_of_point(&unit_vantages[ui].loc);
-                    for (ci, cep) in cluster_endpoints.iter().enumerate() {
-                        let rtt = matrix.ping(ci, t) + 2.0 * unit_vantages[ui].access_ms;
-                        let loss = net.latency.loss_rate(cep, &unit_vantages[ui]);
-                        scores[ui * n_clusters + ci] = weights.combine(rtt, loss) as f32;
-                    }
-                }
-                ScoreBasis::MemberClients => {
-                    // Cap members by demand.
-                    let mut members: Vec<_> = info.members.to_vec();
-                    members.sort_by(|a, b| {
-                        net.block(*b)
-                            .demand
-                            .partial_cmp(&net.block(*a).demand)
-                            .expect("finite demand")
-                    });
-                    members.truncate(member_cap.max(1));
-                    let member_info: Vec<(crate::measure::TargetId, f64, Endpoint)> = members
-                        .iter()
-                        .map(|b| {
-                            (
-                                targets.target_of_block(*b),
-                                net.block(*b).demand,
-                                net.block(*b).endpoint(),
-                            )
-                        })
-                        .collect();
-                    let total: f64 = member_info.iter().map(|(_, d, _)| d).sum();
-                    for (ci, cep) in cluster_endpoints.iter().enumerate() {
-                        let mut acc = 0.0;
-                        for (t, d, ep) in &member_info {
-                            let rtt = matrix.ping(ci, *t) + 2.0 * ep.access_ms;
-                            let loss = net.latency.loss_rate(cep, ep);
-                            acc += weights.combine(rtt, loss) * d;
-                        }
-                        let score = if total > 0.0 {
-                            acc / total
-                        } else {
-                            f64::INFINITY
-                        };
-                        scores[ui * n_clusters + ci] = score as f32;
-                    }
-                }
+        let workers = workers.max(1).min(units.len().max(1));
+        if workers <= 1 || n_clusters == 0 {
+            for (ui, info) in units.units.iter().enumerate() {
+                score_row(
+                    net,
+                    info,
+                    &unit_vantages[ui],
+                    cluster_endpoints,
+                    targets,
+                    matrix,
+                    weights,
+                    basis,
+                    member_cap,
+                    &mut scores[ui * n_clusters..(ui + 1) * n_clusters],
+                );
             }
+        } else {
+            let rows_per_chunk = units.len().div_ceil(workers);
+            std::thread::scope(|s| {
+                for (wi, chunk) in scores.chunks_mut(rows_per_chunk * n_clusters).enumerate() {
+                    let first = wi * rows_per_chunk;
+                    s.spawn(move || {
+                        for (j, row) in chunk.chunks_mut(n_clusters).enumerate() {
+                            let ui = first + j;
+                            score_row(
+                                net,
+                                &units.units[ui],
+                                &unit_vantages[ui],
+                                cluster_endpoints,
+                                targets,
+                                matrix,
+                                weights,
+                                basis,
+                                member_cap,
+                                row,
+                            );
+                        }
+                    });
+                }
+            });
         }
         ScoreTable { n_clusters, scores }
+    }
+
+    /// Recomputes the score rows for `rows` in place — the incremental
+    /// rebuild's rescore pass for explicitly-hinted units.
+    ///
+    /// The (typically scattered) row list is chunked across `workers`
+    /// threads; each worker fills a private buffer, and the buffers are
+    /// copied back in chunk order on the calling thread, so the result
+    /// is deterministic and identical to the sequential pass.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rescore_rows(
+        &mut self,
+        net: &Internet,
+        units: &MapUnits,
+        unit_vantages: &[Endpoint],
+        cluster_endpoints: &[Endpoint],
+        targets: &PingTargets,
+        matrix: &PingMatrix,
+        weights: ScoringWeights,
+        basis: ScoreBasis,
+        member_cap: usize,
+        rows: &[UnitId],
+        workers: usize,
+    ) {
+        assert_eq!(unit_vantages.len(), units.len(), "one vantage per unit");
+        assert_eq!(self.n_clusters, cluster_endpoints.len());
+        let n = self.n_clusters;
+        if n == 0 || rows.is_empty() {
+            return;
+        }
+        let workers = workers.max(1).min(rows.len());
+        if workers <= 1 {
+            for uid in rows {
+                let ui = uid.index();
+                score_row(
+                    net,
+                    &units.units[ui],
+                    &unit_vantages[ui],
+                    cluster_endpoints,
+                    targets,
+                    matrix,
+                    weights,
+                    basis,
+                    member_cap,
+                    &mut self.scores[ui * n..(ui + 1) * n],
+                );
+            }
+            return;
+        }
+        let per = rows.len().div_ceil(workers);
+        let computed: Vec<Vec<f32>> = std::thread::scope(|s| {
+            let handles: Vec<_> = rows
+                .chunks(per)
+                .map(|chunk| {
+                    s.spawn(move || {
+                        let mut buf = vec![0f32; chunk.len() * n];
+                        for (j, uid) in chunk.iter().enumerate() {
+                            let ui = uid.index();
+                            score_row(
+                                net,
+                                &units.units[ui],
+                                &unit_vantages[ui],
+                                cluster_endpoints,
+                                targets,
+                                matrix,
+                                weights,
+                                basis,
+                                member_cap,
+                                &mut buf[j * n..(j + 1) * n],
+                            );
+                        }
+                        buf
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rescore worker panicked"))
+                .collect()
+        });
+        for (chunk, buf) in rows.chunks(per).zip(computed) {
+            for (j, uid) in chunk.iter().enumerate() {
+                let ui = uid.index();
+                self.scores[ui * n..(ui + 1) * n].copy_from_slice(&buf[j * n..(j + 1) * n]);
+            }
+        }
     }
 
     /// Number of clusters (columns).
@@ -203,6 +317,72 @@ impl ScoreTable {
             }
         }
         best.map(|(c, _)| c)
+    }
+}
+
+/// Scores one unit against every cluster into `row` (len = clusters).
+///
+/// This is the unit of work both the chunked parallel build and the
+/// incremental rescore pass share, so a row's value cannot depend on
+/// which path computed it.
+#[allow(clippy::too_many_arguments)]
+fn score_row(
+    net: &Internet,
+    info: &crate::units::MapUnitInfo,
+    vantage: &Endpoint,
+    cluster_endpoints: &[Endpoint],
+    targets: &PingTargets,
+    matrix: &PingMatrix,
+    weights: ScoringWeights,
+    basis: ScoreBasis,
+    member_cap: usize,
+    row: &mut [f32],
+) {
+    match basis {
+        ScoreBasis::UnitVantage => {
+            let t = targets.target_of_point(&vantage.loc);
+            for (ci, cep) in cluster_endpoints.iter().enumerate() {
+                let rtt = matrix.ping(ci, t) + 2.0 * vantage.access_ms;
+                let loss = net.latency.loss_rate(cep, vantage);
+                row[ci] = weights.combine(rtt, loss) as f32;
+            }
+        }
+        ScoreBasis::MemberClients => {
+            // Cap members by demand.
+            let mut members: Vec<_> = info.members.to_vec();
+            members.sort_by(|a, b| {
+                net.block(*b)
+                    .demand
+                    .partial_cmp(&net.block(*a).demand)
+                    .expect("finite demand")
+            });
+            members.truncate(member_cap.max(1));
+            let member_info: Vec<(crate::measure::TargetId, f64, Endpoint)> = members
+                .iter()
+                .map(|b| {
+                    (
+                        targets.target_of_block(*b),
+                        net.block(*b).demand,
+                        net.block(*b).endpoint(),
+                    )
+                })
+                .collect();
+            let total: f64 = member_info.iter().map(|(_, d, _)| d).sum();
+            for (ci, cep) in cluster_endpoints.iter().enumerate() {
+                let mut acc = 0.0;
+                for (t, d, ep) in &member_info {
+                    let rtt = matrix.ping(ci, *t) + 2.0 * ep.access_ms;
+                    let loss = net.latency.loss_rate(cep, ep);
+                    acc += weights.combine(rtt, loss) * d;
+                }
+                let score = if total > 0.0 {
+                    acc / total
+                } else {
+                    f64::INFINITY
+                };
+                row[ci] = score as f32;
+            }
+        }
     }
 }
 
@@ -357,5 +537,68 @@ mod tests {
             }
         }
         assert!(any_diff, "CANS scoring never differed from NS scoring");
+    }
+
+    #[test]
+    fn parallel_build_and_rescore_match_sequential_bitwise() {
+        let (net, units, clusters, targets, matrix) = setup();
+        let v = vantages(&net, &units);
+        for basis in [ScoreBasis::UnitVantage, ScoreBasis::MemberClients] {
+            let seq = ScoreTable::build(
+                &net,
+                &units,
+                &v,
+                &clusters,
+                &targets,
+                &matrix,
+                ScoringWeights::default(),
+                basis,
+                50,
+            );
+            let par = ScoreTable::build_parallel(
+                &net,
+                &units,
+                &v,
+                &clusters,
+                &targets,
+                &matrix,
+                ScoringWeights::default(),
+                basis,
+                50,
+                4,
+            );
+            for u in 0..units.len() {
+                for c in 0..clusters.len() {
+                    let uid = UnitId(u as u32);
+                    assert_eq!(seq.score(uid, c).to_bits(), par.score(uid, c).to_bits());
+                }
+            }
+            // Re-scoring a scattered subset (in parallel) over unchanged
+            // inputs must reproduce the same rows exactly.
+            let rows: Vec<UnitId> = (0..units.len())
+                .step_by(3)
+                .map(|u| UnitId(u as u32))
+                .collect();
+            let mut re = par.clone();
+            re.rescore_rows(
+                &net,
+                &units,
+                &v,
+                &clusters,
+                &targets,
+                &matrix,
+                ScoringWeights::default(),
+                basis,
+                50,
+                &rows,
+                3,
+            );
+            for u in 0..units.len() {
+                for c in 0..clusters.len() {
+                    let uid = UnitId(u as u32);
+                    assert_eq!(seq.score(uid, c).to_bits(), re.score(uid, c).to_bits());
+                }
+            }
+        }
     }
 }

@@ -16,13 +16,14 @@
 //!   unit, and the response's ECS scope is the unit's prefix length —
 //!   exactly the `/y ≤ /x` narrowing of Figure 4.
 
-use crate::global_lb::{assign, Assignment, LbAlgorithm};
+use crate::delta::MapDelta;
+use crate::global_lb::{assign_with_prefs, Assignment, LbAlgorithm, PreferenceTable};
 use crate::local_lb::{domain_key, ConsistentRing};
 use crate::measure::{PingMatrix, PingTargets};
 use crate::policy::MappingPolicy;
 use crate::score::{ScoreBasis, ScoreTable, ScoringWeights};
 use crate::telemetry::{AnswerPath, MappingTelemetry};
-use crate::units::{MapUnits, UnitId, UnitKey};
+use crate::units::{MapUnitInfo, MapUnits, UnitId, UnitKey};
 use eum_cdn::{CdnPlatform, ClusterId, ContentCatalog, ServerId, TrafficClass};
 use eum_dns::edns::{EcsOption, OptData};
 use eum_dns::{DnsName, Message, QueryContext, Rcode, Record};
@@ -34,6 +35,7 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// How servers are picked within the chosen cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -81,6 +83,9 @@ pub struct MappingConfig {
     /// Score each traffic class with its own weights (§2.2). When false,
     /// `weights` applies to every class (the ablation baseline).
     pub per_class_scoring: bool,
+    /// Worker threads for the per-unit scoring passes (full build and
+    /// incremental rescore). `0` means "one per available core".
+    pub rebuild_workers: usize,
 }
 
 impl Default for MappingConfig {
@@ -99,6 +104,21 @@ impl Default for MappingConfig {
             ring_vnodes: 64,
             scope_floor: 20,
             per_class_scoring: true,
+            rebuild_workers: 0,
+        }
+    }
+}
+
+impl MappingConfig {
+    /// Resolved scoring-worker count: the configured value, or the
+    /// machine's available parallelism when `rebuild_workers` is 0.
+    pub fn worker_count(&self) -> usize {
+        if self.rebuild_workers > 0 {
+            self.rebuild_workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 }
@@ -129,7 +149,138 @@ struct ClusterView {
     capacity: f64,
     alive: bool,
     servers: Vec<(ServerId, Ipv4Addr, bool)>,
-    ring: ConsistentRing,
+    /// Shared across generations: ring membership depends on the server
+    /// set, not liveness (dead servers are filtered at pick time).
+    ring: Arc<ConsistentRing>,
+}
+
+/// Flat ranked-candidate rows: row `u` holds unit `u`'s clusters best
+/// first (the LB assignment, then remaining clusters in score order),
+/// padded with [`NO_CANDIDATE`] to a fixed stride. Flat storage makes
+/// generation-over-generation comparison (for `Arc` sharing and delta
+/// extraction) one `Vec` equality check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CandidateTable {
+    stride: usize,
+    flat: Vec<u32>,
+}
+
+/// Row padding sentinel for [`CandidateTable`].
+const NO_CANDIDATE: u32 = u32::MAX;
+
+impl CandidateTable {
+    /// A table with no rows (policies without EU units).
+    fn empty() -> CandidateTable {
+        CandidateTable {
+            stride: 1,
+            flat: Vec::new(),
+        }
+    }
+
+    /// Ranks every unit: the LB assignment first, then the remaining
+    /// clusters in preference order, deduped, up to `k` per unit.
+    fn build(
+        units: &MapUnits,
+        prefs: &PreferenceTable,
+        assignment: &Assignment,
+        k: usize,
+    ) -> CandidateTable {
+        let stride = k.max(1);
+        let mut flat = vec![NO_CANDIDATE; units.len() * stride];
+        for u in 0..units.len() {
+            let uid = UnitId(u as u32);
+            let row = &mut flat[u * stride..(u + 1) * stride];
+            let mut n = 0usize;
+            if let Some(c) = assignment.cluster(uid) {
+                row[n] = c as u32;
+                n += 1;
+            }
+            for c in prefs.row(uid) {
+                if n >= stride {
+                    break;
+                }
+                if !row[..n].contains(c) {
+                    row[n] = *c;
+                    n += 1;
+                }
+            }
+        }
+        CandidateTable { stride, flat }
+    }
+
+    /// A unit's ranked candidates, trimmed of padding.
+    fn row(&self, u: usize) -> &[u32] {
+        let row = &self.flat[u * self.stride..(u + 1) * self.stride];
+        let n = row
+            .iter()
+            .position(|c| *c == NO_CANDIDATE)
+            .unwrap_or(self.stride);
+        &row[..n]
+    }
+}
+
+/// Three per-class candidate tables (indexed by [`class_slot`]); the
+/// same `Arc` fills all three slots when per-class scoring is off, or
+/// when a class's table did not change across an incremental rebuild.
+type Candidates = [Arc<CandidateTable>; 3];
+
+fn empty_candidates() -> Candidates {
+    let e = Arc::new(CandidateTable::empty());
+    [e.clone(), e.clone(), e]
+}
+
+/// Cached score table + preference orders for one traffic class.
+struct ClassTables {
+    weights: ScoringWeights,
+    scores: ScoreTable,
+    prefs: PreferenceTable,
+}
+
+/// Everything [`MappingSystem::rebuild_incremental`] reuses between
+/// generations: the measurement artifacts, the per-class score and
+/// preference tables, and the previous solve's inputs (for change
+/// detection). Control-plane only — never published to shards.
+struct SolverState {
+    targets: PingTargets,
+    matrix: PingMatrix,
+    cluster_eps: Vec<Endpoint>,
+    capacity: Vec<f64>,
+    usable: Vec<bool>,
+    ns_basis: ScoreBasis,
+    ns_vantages: Vec<Endpoint>,
+    eu_vantages: Vec<Endpoint>,
+    /// Per-class tables (one shared entry when per-class scoring is
+    /// off), indexed by [`class_slot`].
+    ns: Vec<ClassTables>,
+    eu: Vec<ClassTables>,
+    /// Sorted block indices of the ping-target blocks: a rescore hint
+    /// touching one of these invalidates the shared ping matrix and
+    /// forces a full rebuild.
+    target_block_idx: Vec<usize>,
+    /// Topology cardinalities the cached unit partitions were built
+    /// from; a mismatch means the units themselves are stale.
+    n_blocks: usize,
+    n_resolvers: usize,
+}
+
+/// Units [`MappingSystem::rebuild_incremental`] must re-score because
+/// their *measurement inputs* changed (member access latencies, vantage
+/// position). Liveness and capacity changes are detected automatically
+/// and need no hint; demand or topology changes require a full
+/// [`MappingSystem::rebuild`].
+#[derive(Debug, Clone, Default)]
+pub struct RescoreHints {
+    /// NS (resolver) units to re-score.
+    pub ns: Vec<UnitId>,
+    /// End-user units to re-score.
+    pub eu: Vec<UnitId>,
+}
+
+impl RescoreHints {
+    /// True when no unit is hinted.
+    pub fn is_empty(&self) -> bool {
+        self.ns.is_empty() && self.eu.is_empty()
+    }
 }
 
 /// The mapping system.
@@ -139,18 +290,20 @@ pub struct MappingSystem {
     suffix: DnsName,
     /// Top-level authoritative server IP.
     top_ip: Ipv4Addr,
-    catalog: ContentCatalog,
+    catalog: Arc<ContentCatalog>,
     clusters: Vec<ClusterView>,
-    ns_by_ip: HashMap<Ipv4Addr, usize>,
+    ns_by_ip: Arc<HashMap<Ipv4Addr, usize>>,
     /// NS-based (or client-aware) units and their ranked cluster choices,
     /// one candidate table per traffic class (indexed by
-    /// [`class_slot`]).
-    ns_units: MapUnits,
-    ns_candidates: [Vec<Vec<u32>>; 3],
-    ldns_by_ip: HashMap<Ipv4Addr, UnitId>,
+    /// [`class_slot`]). `Arc`-shared so [`MappingSystem::clone_for_publish`]
+    /// is cheap and unchanged tables are structurally shared across
+    /// generations.
+    ns_units: Arc<MapUnits>,
+    ns_candidates: Candidates,
+    ldns_by_ip: Arc<HashMap<Ipv4Addr, UnitId>>,
     /// End-user units (only under `MappingPolicy::EndUser`).
-    eu_units: Option<MapUnits>,
-    eu_candidates: [Vec<Vec<u32>>; 3],
+    eu_units: Option<Arc<MapUnits>>,
+    eu_candidates: Candidates,
     /// Round-robin rotation for [`LocalLbPolicy::RoundRobin`]. Atomic so
     /// the lock-free [`MappingSystem::answer`] path can rotate while the
     /// system is shared immutably across serving shards.
@@ -161,17 +314,21 @@ pub struct MappingSystem {
     /// [`MappingSystem::attach_telemetry`]); all recording goes through
     /// `&self` atomics, keeping [`MappingSystem::answer`] lock-free.
     telemetry: Option<MappingTelemetry>,
+    /// Incremental-rebuild cache (None on publish clones and before the
+    /// first build completes).
+    solver: Option<Box<SolverState>>,
 }
 
 /// The output of one measurement → scoring → load-balancing pass.
 struct ComputedMap {
     clusters: Vec<ClusterView>,
-    ns_by_ip: HashMap<Ipv4Addr, usize>,
-    ns_units: MapUnits,
-    ns_candidates: [Vec<Vec<u32>>; 3],
-    ldns_by_ip: HashMap<Ipv4Addr, UnitId>,
-    eu_units: Option<MapUnits>,
-    eu_candidates: [Vec<Vec<u32>>; 3],
+    ns_by_ip: Arc<HashMap<Ipv4Addr, usize>>,
+    ns_units: Arc<MapUnits>,
+    ns_candidates: Candidates,
+    ldns_by_ip: Arc<HashMap<Ipv4Addr, UnitId>>,
+    eu_units: Option<Arc<MapUnits>>,
+    eu_candidates: Candidates,
+    solver: Box<SolverState>,
 }
 
 /// Index of a traffic class in the per-class candidate tables.
@@ -210,7 +367,7 @@ impl MappingSystem {
             cfg,
             suffix,
             top_ip,
-            catalog: catalog.clone(),
+            catalog: Arc::new(catalog.clone()),
             clusters: computed.clusters,
             ns_by_ip: computed.ns_by_ip,
             ns_units: computed.ns_units,
@@ -221,6 +378,7 @@ impl MappingSystem {
             rr_counter: AtomicU64::new(0),
             stats: MappingStats::default(),
             telemetry: None,
+            solver: Some(computed.solver),
         }
     }
 
@@ -248,6 +406,7 @@ impl MappingSystem {
     /// counters and the name-server identity are preserved.
     pub fn rebuild(&mut self, net: &Internet, cdn: &CdnPlatform) {
         assert!(!cdn.clusters.is_empty(), "cannot map onto an empty CDN");
+        let start = Instant::now();
         let computed = Self::compute(net, cdn, &self.cfg);
         self.clusters = computed.clusters;
         self.ns_by_ip = computed.ns_by_ip;
@@ -256,15 +415,333 @@ impl MappingSystem {
         self.ldns_by_ip = computed.ldns_by_ip;
         self.eu_units = computed.eu_units;
         self.eu_candidates = computed.eu_candidates;
+        self.solver = Some(computed.solver);
         // Unit counts may have changed shape; re-attach so the per-unit
         // arrays match while the registry counters keep accumulating.
         if let Some(t) = self.telemetry.take() {
             self.attach_telemetry(t.registry().clone());
         }
+        if let Some(t) = &self.telemetry {
+            t.record_rebuild(
+                true,
+                start.elapsed().as_nanos() as u64,
+                self.total_units() as u64,
+            );
+        }
+    }
+
+    /// Total mapping units (NS + EU) in the current map.
+    pub fn total_units(&self) -> usize {
+        self.ns_units.len() + self.eu_units.as_ref().map(|u| u.len()).unwrap_or(0)
+    }
+
+    /// Incrementally refreshes the map against the CDN's current state,
+    /// returning the delta of units whose answers may have changed.
+    ///
+    /// Cost is proportional to what changed, not to world size: the
+    /// previous generation's measurement artifacts (ping targets, ping
+    /// matrix), score tables, and preference orders are reused; only
+    /// liveness/capacity inputs and explicitly `hints`-ed units are
+    /// recomputed before the solver re-runs over the cached tables (see
+    /// `stable_allocation` for why its repair queue is seeded with every
+    /// unit — the result is bit-identical to a from-scratch rebuild).
+    /// Candidate tables that come out unchanged keep their previous
+    /// `Arc`, so publication shares structure across generations.
+    ///
+    /// Falls back to a full [`rebuild`](Self::rebuild) — returning a
+    /// full delta — when the deployment or topology changed shape, or a
+    /// hinted unit overlaps a ping-target block (the shared matrix would
+    /// be stale). When the global escape cluster (the fallback for
+    /// unknown resolvers and fully-dead candidate rows) moves, the new
+    /// map is still built incrementally but the delta is promoted to
+    /// full, because that change's blast radius is unbounded.
+    pub fn rebuild_incremental(
+        &mut self,
+        net: &Internet,
+        cdn: &CdnPlatform,
+        hints: &RescoreHints,
+    ) -> Arc<MapDelta> {
+        assert!(!cdn.clusters.is_empty(), "cannot map onto an empty CDN");
+        let start = Instant::now();
+        if !self.can_rebuild_incrementally(net, cdn, hints) {
+            self.rebuild(net, cdn);
+            return Arc::new(MapDelta::full(self.total_units()));
+        }
+        let mut solver = self
+            .solver
+            .take()
+            .expect("checked by can_rebuild_incrementally");
+
+        // Refresh cluster views (rings shared — membership is by server
+        // set, which compatible_shape pinned) and find serving-visible
+        // cluster changes: a liveness flip or any server (ip, alive)
+        // change alters answers for every unit routed there.
+        let mut new_clusters = Vec::with_capacity(cdn.clusters.len());
+        let mut changed_cluster = vec![false; self.clusters.len()];
+        for (i, c) in cdn.clusters.iter().enumerate() {
+            let old = &self.clusters[i];
+            let servers: Vec<(ServerId, Ipv4Addr, bool)> = c
+                .server_ids()
+                .map(|s| (s, cdn.server(s).ip, cdn.server(s).alive))
+                .collect();
+            changed_cluster[i] = c.alive != old.alive || servers != old.servers;
+            new_clusters.push(ClusterView {
+                id: c.id,
+                endpoint: cdn.cluster_endpoint(c.id),
+                ns_ip: old.ns_ip,
+                capacity: c.capacity,
+                alive: c.alive,
+                servers,
+                ring: old.ring.clone(),
+            });
+        }
+        let capacity: Vec<f64> = new_clusters.iter().map(|c| c.capacity).collect();
+        let usable: Vec<bool> = new_clusters.iter().map(|c| c.alive).collect();
+
+        // Escape-cluster move: unknown-resolver answers and fully-dead
+        // candidate rows fall back to the first live cluster, so its
+        // identity changing (or its contents changing) invalidates
+        // answers no per-unit delta can name.
+        let old_escape = self.clusters.iter().position(|c| c.alive);
+        let new_escape = new_clusters.iter().position(|c| c.alive);
+        let escape_dirty =
+            old_escape != new_escape || new_escape.is_some_and(|c| changed_cluster[c]);
+
+        let workers = self.cfg.worker_count();
+
+        // Rescore hinted rows: refresh their cached vantages, recompute
+        // their score rows (in parallel), re-sort their preference rows.
+        let ns_rows = normalize_hints(&hints.ns, self.ns_units.len());
+        for uid in &ns_rows {
+            solver.ns_vantages[uid.index()] = match self.ns_units.units[uid.index()].key {
+                UnitKey::Ldns(r) => net.resolver(r).endpoint(),
+                UnitKey::Block(_) => unreachable!("NS units are resolver-keyed"),
+            };
+        }
+        if !ns_rows.is_empty() {
+            let vantages = &solver.ns_vantages;
+            for t in solver.ns.iter_mut() {
+                t.scores.rescore_rows(
+                    net,
+                    &self.ns_units,
+                    vantages,
+                    &solver.cluster_eps,
+                    &solver.targets,
+                    &solver.matrix,
+                    t.weights,
+                    solver.ns_basis,
+                    self.cfg.member_cap,
+                    &ns_rows,
+                    workers,
+                );
+                for uid in &ns_rows {
+                    t.prefs.resort_row(&t.scores, *uid);
+                }
+            }
+        }
+        let eu_rows = match &self.eu_units {
+            Some(units) => normalize_hints(&hints.eu, units.len()),
+            None => Vec::new(),
+        };
+        if let Some(units) = &self.eu_units {
+            for uid in &eu_rows {
+                solver.eu_vantages[uid.index()] = eu_unit_vantage(net, &units.units[uid.index()]);
+            }
+            if !eu_rows.is_empty() {
+                let vantages = &solver.eu_vantages;
+                for t in solver.eu.iter_mut() {
+                    t.scores.rescore_rows(
+                        net,
+                        units,
+                        vantages,
+                        &solver.cluster_eps,
+                        &solver.targets,
+                        &solver.matrix,
+                        t.weights,
+                        ScoreBasis::UnitVantage,
+                        self.cfg.member_cap,
+                        &eu_rows,
+                        workers,
+                    );
+                    for uid in &eu_rows {
+                        t.prefs.resort_row(&t.scores, *uid);
+                    }
+                }
+            }
+        }
+
+        // Re-solve over the cached tables; skip kinds whose inputs are
+        // untouched (candidate tables then keep their exact Arcs).
+        let lb_changed = capacity != solver.capacity || usable != solver.usable;
+        let old_ns_candidates = self.ns_candidates.clone();
+        let old_eu_candidates = self.eu_candidates.clone();
+        let ns_candidates = if lb_changed || !ns_rows.is_empty() {
+            solve_candidates(
+                &self.cfg,
+                &self.ns_units,
+                &solver.ns,
+                &capacity,
+                &usable,
+                &old_ns_candidates,
+            )
+        } else {
+            old_ns_candidates.clone()
+        };
+        let eu_candidates = match &self.eu_units {
+            Some(units) if lb_changed || !eu_rows.is_empty() => solve_candidates(
+                &self.cfg,
+                units,
+                &solver.eu,
+                &capacity,
+                &usable,
+                &old_eu_candidates,
+            ),
+            _ => old_eu_candidates.clone(),
+        };
+
+        // Delta extraction: a unit is dirty when its candidate row
+        // changed or any cluster on its (unchanged) row is itself
+        // serving-visibly changed.
+        let delta = if escape_dirty {
+            MapDelta::full(self.total_units())
+        } else {
+            let ns_dirty = dirty_units(
+                &old_ns_candidates,
+                &ns_candidates,
+                self.ns_units.len(),
+                &changed_cluster,
+            );
+            let eu_dirty = match &self.eu_units {
+                Some(units) => dirty_units(
+                    &old_eu_candidates,
+                    &eu_candidates,
+                    units.len(),
+                    &changed_cluster,
+                ),
+                None => Vec::new(),
+            };
+            let mut eu_prefixes = Vec::new();
+            if let Some(units) = &self.eu_units {
+                for (u, dirty) in eu_dirty.iter().enumerate() {
+                    if *dirty {
+                        if let UnitKey::Block(p) = units.units[u].key {
+                            eu_prefixes.push(p);
+                        }
+                    }
+                }
+            }
+            let mut ns_ips = Vec::new();
+            for (u, dirty) in ns_dirty.iter().enumerate() {
+                if *dirty {
+                    if let UnitKey::Ldns(r) = self.ns_units.units[u].key {
+                        ns_ips.push(net.resolver(r).ip);
+                    }
+                }
+            }
+            MapDelta::from_dirty(&eu_prefixes, &ns_ips)
+        };
+
+        // Publish the new state into self.
+        self.clusters = new_clusters;
+        self.ns_candidates = ns_candidates;
+        self.eu_candidates = eu_candidates;
+        solver.capacity = capacity;
+        solver.usable = usable;
+        self.solver = Some(solver);
+
+        if let Some(t) = &self.telemetry {
+            t.record_rebuild(
+                false,
+                start.elapsed().as_nanos() as u64,
+                delta.units_changed() as u64,
+            );
+        }
+        Arc::new(delta)
+    }
+
+    /// Whether the cached solver state is still valid for an incremental
+    /// pass: present, same deployment shape (cluster ids/addresses and
+    /// server ids/ips — liveness and capacity may differ), same topology
+    /// cardinalities, and no hinted unit touching a ping-target block
+    /// (whose access latency feeds the shared matrix).
+    fn can_rebuild_incrementally(
+        &self,
+        net: &Internet,
+        cdn: &CdnPlatform,
+        hints: &RescoreHints,
+    ) -> bool {
+        let Some(solver) = &self.solver else {
+            return false;
+        };
+        if solver.n_blocks != net.blocks.len() || solver.n_resolvers != net.resolvers.len() {
+            return false;
+        }
+        if cdn.clusters.len() != self.clusters.len() {
+            return false;
+        }
+        for (view, c) in self.clusters.iter().zip(&cdn.clusters) {
+            if view.id != c.id || view.ns_ip != Ipv4Addr::from(c.prefix.addr() | 2) {
+                return false;
+            }
+            let same_servers = view.servers.len() == c.server_ids().count()
+                && view
+                    .servers
+                    .iter()
+                    .zip(c.server_ids())
+                    .all(|((sid, ip, _), s)| *sid == s && *ip == cdn.server(s).ip);
+            if !same_servers {
+                return false;
+            }
+        }
+        if let Some(units) = &self.eu_units {
+            let hits_target = hints.eu.iter().any(|uid| {
+                units.units.get(uid.index()).is_some_and(|info| {
+                    info.members
+                        .iter()
+                        .any(|b| solver.target_block_idx.binary_search(&b.index()).is_ok())
+                })
+            });
+            if hits_target {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// A serve-plane copy for snapshot publication: every heavy table
+    /// (units, candidate tables, rings, catalog, lookup maps) is
+    /// `Arc`-shared with `self`, so the control plane keeps rebuilding
+    /// its original — solver cache included — while shards serve this
+    /// clone. Runtime counters start fresh; telemetry re-attaches to the
+    /// same registry (registration is idempotent and cumulative).
+    pub fn clone_for_publish(&self) -> MappingSystem {
+        MappingSystem {
+            cfg: self.cfg.clone(),
+            suffix: self.suffix.clone(),
+            top_ip: self.top_ip,
+            catalog: self.catalog.clone(),
+            clusters: self.clusters.clone(),
+            ns_by_ip: self.ns_by_ip.clone(),
+            ns_units: self.ns_units.clone(),
+            ns_candidates: self.ns_candidates.clone(),
+            ldns_by_ip: self.ldns_by_ip.clone(),
+            eu_units: self.eu_units.clone(),
+            eu_candidates: self.eu_candidates.clone(),
+            rr_counter: AtomicU64::new(0),
+            stats: self.stats.clone(),
+            telemetry: self.telemetry.as_ref().map(|t| {
+                MappingTelemetry::new(
+                    t.registry().clone(),
+                    self.ns_units.len(),
+                    self.eu_units.as_ref().map(|u| u.len()).unwrap_or(0),
+                )
+            }),
+            solver: None,
+        }
     }
 
     /// Runs measurement → scoring → load balancing and returns the
-    /// computed tables.
+    /// computed tables plus the solver cache the incremental path reuses.
     fn compute(net: &Internet, cdn: &CdnPlatform, cfg: &MappingConfig) -> ComputedMap {
         // Cluster views with local-LB rings.
         let mut clusters = Vec::with_capacity(cdn.clusters.len());
@@ -284,7 +761,7 @@ impl MappingSystem {
                 capacity: c.capacity,
                 alive: c.alive,
                 servers,
-                ring: ConsistentRing::new(&server_ids, cfg.ring_vnodes),
+                ring: Arc::new(ConsistentRing::new(&server_ids, cfg.ring_vnodes)),
             });
         }
 
@@ -294,10 +771,84 @@ impl MappingSystem {
         let matrix = PingMatrix::measure(net, &cluster_eps, &targets);
         let capacity: Vec<f64> = clusters.iter().map(|c| c.capacity).collect();
         let usable: Vec<bool> = clusters.iter().map(|c| c.alive).collect();
+        let workers = cfg.worker_count();
+
+        // Per-class score + preference tables and their candidate rows.
+        // One shared table serves every class when the ablation disables
+        // per-class scoring (§2.2); the scoring pass is chunked across
+        // `workers` threads with a deterministic merge either way.
+        let build_tables = |units: &MapUnits,
+                            vantages: &[Endpoint],
+                            basis: ScoreBasis|
+         -> (Vec<ClassTables>, Candidates) {
+            let mut tables: Vec<ClassTables> = Vec::new();
+            let mut cands: Vec<Arc<CandidateTable>> = Vec::new();
+            if !cfg.per_class_scoring {
+                let scores = ScoreTable::build_parallel(
+                    net,
+                    units,
+                    vantages,
+                    &cluster_eps,
+                    &targets,
+                    &matrix,
+                    cfg.weights,
+                    basis,
+                    cfg.member_cap,
+                    workers,
+                );
+                let prefs = PreferenceTable::build(&scores);
+                let assignment =
+                    assign_with_prefs(cfg.algorithm, units, &scores, &prefs, &capacity, &usable);
+                let table = Arc::new(CandidateTable::build(
+                    units,
+                    &prefs,
+                    &assignment,
+                    cfg.candidates_per_unit,
+                ));
+                tables.push(ClassTables {
+                    weights: cfg.weights,
+                    scores,
+                    prefs,
+                });
+                return (tables, [table.clone(), table.clone(), table]);
+            }
+            for class in TrafficClass::ALL {
+                debug_assert_eq!(class_slot(class), tables.len(), "slot order");
+                let weights = ScoringWeights::for_class(class);
+                let scores = ScoreTable::build_parallel(
+                    net,
+                    units,
+                    vantages,
+                    &cluster_eps,
+                    &targets,
+                    &matrix,
+                    weights,
+                    basis,
+                    cfg.member_cap,
+                    workers,
+                );
+                let prefs = PreferenceTable::build(&scores);
+                let assignment =
+                    assign_with_prefs(cfg.algorithm, units, &scores, &prefs, &capacity, &usable);
+                cands.push(Arc::new(CandidateTable::build(
+                    units,
+                    &prefs,
+                    &assignment,
+                    cfg.candidates_per_unit,
+                )));
+                tables.push(ClassTables {
+                    weights,
+                    scores,
+                    prefs,
+                });
+            }
+            let candidates: Candidates = [cands[0].clone(), cands[1].clone(), cands[2].clone()];
+            (tables, candidates)
+        };
 
         // NS-side units (always present: non-ECS queries need them).
-        let ns_units = MapUnits::ldns_units(net);
-        let ldns_vantages: Vec<Endpoint> = ns_units
+        let ns_units = Arc::new(MapUnits::ldns_units(net));
+        let ns_vantages: Vec<Endpoint> = ns_units
             .units
             .iter()
             .map(|u| match u.key {
@@ -309,66 +860,8 @@ impl MappingSystem {
             MappingPolicy::ClientAwareNs => ScoreBasis::MemberClients,
             _ => ScoreBasis::UnitVantage,
         };
-        // Per-class scoring weights (§2.2); one shared table when the
-        // ablation disables per-class scoring.
-        let class_weights = |class: TrafficClass| -> ScoringWeights {
-            if cfg.per_class_scoring {
-                ScoringWeights::for_class(class)
-            } else {
-                cfg.weights
-            }
-        };
-        let build_candidates = |units: &MapUnits,
-                                vantages: &[Endpoint],
-                                basis: ScoreBasis|
-         -> [Vec<Vec<u32>>; 3] {
-            let mut out: [Vec<Vec<u32>>; 3] = Default::default();
-            let mut cached: Option<Vec<Vec<u32>>> = None;
-            for class in TrafficClass::ALL {
-                let slot = class_slot(class);
-                if !cfg.per_class_scoring {
-                    // One table serves every class.
-                    if cached.is_none() {
-                        let scores = ScoreTable::build(
-                            net,
-                            units,
-                            vantages,
-                            &cluster_eps,
-                            &targets,
-                            &matrix,
-                            cfg.weights,
-                            basis,
-                            cfg.member_cap,
-                        );
-                        let assignment = assign(cfg.algorithm, units, &scores, &capacity, &usable);
-                        cached = Some(rank_candidates(
-                            units,
-                            &scores,
-                            &assignment,
-                            cfg.candidates_per_unit,
-                        ));
-                    }
-                    out[slot] = cached.clone().expect("cached table");
-                    continue;
-                }
-                let scores = ScoreTable::build(
-                    net,
-                    units,
-                    vantages,
-                    &cluster_eps,
-                    &targets,
-                    &matrix,
-                    class_weights(class),
-                    basis,
-                    cfg.member_cap,
-                );
-                let assignment = assign(cfg.algorithm, units, &scores, &capacity, &usable);
-                out[slot] = rank_candidates(units, &scores, &assignment, cfg.candidates_per_unit);
-            }
-            out
-        };
-        let ns_candidates = build_candidates(&ns_units, &ldns_vantages, ns_basis);
-        let ldns_by_ip = ns_units
+        let (ns_tables, ns_candidates) = build_tables(&ns_units, &ns_vantages, ns_basis);
+        let ldns_by_ip: HashMap<Ipv4Addr, UnitId> = ns_units
             .units
             .iter()
             .enumerate()
@@ -379,42 +872,51 @@ impl MappingSystem {
             .collect();
 
         // End-user units when the policy calls for them.
-        let (eu_units, eu_candidates) = match cfg.policy {
+        let (eu_units, eu_tables, eu_candidates, eu_vantages) = match cfg.policy {
             MappingPolicy::EndUser {
                 prefix_len,
                 bgp_aggregate,
             } => {
-                let units = MapUnits::block_units(net, prefix_len, bgp_aggregate);
+                let units = Arc::new(MapUnits::block_units(net, prefix_len, bgp_aggregate));
                 let vantages: Vec<Endpoint> = units
                     .units
                     .iter()
-                    .map(|u| {
-                        // The unit's vantage is its centroid with the mean
-                        // member access latency.
-                        let access = u
-                            .members
-                            .iter()
-                            .map(|b| net.block(*b).access_ms)
-                            .sum::<f64>()
-                            / u.members.len().max(1) as f64;
-                        let b0 = net.block(u.members[0]);
-                        Endpoint::client(b0.client_ip(), u.centroid, b0.country, b0.asn, access)
-                    })
+                    .map(|u| eu_unit_vantage(net, u))
                     .collect();
-                let candidates = build_candidates(&units, &vantages, ScoreBasis::UnitVantage);
-                (Some(units), candidates)
+                let (tables, candidates) = build_tables(&units, &vantages, ScoreBasis::UnitVantage);
+                (Some(units), tables, candidates, vantages)
             }
-            _ => (None, Default::default()),
+            _ => (None, Vec::new(), empty_candidates(), Vec::new()),
         };
+
+        let mut target_block_idx: Vec<usize> =
+            targets.target_blocks.iter().map(|b| b.index()).collect();
+        target_block_idx.sort_unstable();
+        let solver = Box::new(SolverState {
+            targets,
+            matrix,
+            cluster_eps,
+            capacity,
+            usable,
+            ns_basis,
+            ns_vantages,
+            eu_vantages,
+            ns: ns_tables,
+            eu: eu_tables,
+            target_block_idx,
+            n_blocks: net.blocks.len(),
+            n_resolvers: net.resolvers.len(),
+        });
 
         ComputedMap {
             clusters,
-            ns_by_ip,
+            ns_by_ip: Arc::new(ns_by_ip),
             ns_units,
             ns_candidates,
-            ldns_by_ip,
+            ldns_by_ip: Arc::new(ldns_by_ip),
             eu_units,
             eu_candidates,
+            solver,
         }
     }
 
@@ -436,7 +938,7 @@ impl MappingSystem {
 
     /// The end-user mapping units, when the policy builds them.
     pub fn eu_units(&self) -> Option<&MapUnits> {
-        self.eu_units.as_ref()
+        self.eu_units.as_deref()
     }
 
     /// The configured policy.
@@ -499,7 +1001,7 @@ impl MappingSystem {
                 if let Some(t) = &self.telemetry {
                     t.count_ns_unit(u.index());
                 }
-                self.pick_live(&self.ns_candidates[class_slot(class)][u.index()])
+                self.pick_live(self.ns_candidates[class_slot(class)].row(u.index()))
             }
             None => self.clusters.iter().position(|c| c.alive),
         }
@@ -513,7 +1015,7 @@ impl MappingSystem {
         if let Some(t) = &self.telemetry {
             t.count_eu_unit(unit.index());
         }
-        let cluster = self.pick_live(&self.eu_candidates[class_slot(class)][unit.index()])?;
+        let cluster = self.pick_live(self.eu_candidates[class_slot(class)].row(unit.index()))?;
         let unit_len = match units.unit(unit).key {
             UnitKey::Block(p) => p.len(),
             UnitKey::Ldns(_) => 24,
@@ -775,32 +1277,93 @@ impl MappingSystem {
     }
 }
 
-/// Per-unit ranked cluster candidates: the LB assignment first, then the
-/// remaining clusters in score order.
-fn rank_candidates(
+/// Deduped, ascending, in-range rescore rows from a (possibly messy)
+/// hint list.
+fn normalize_hints(hints: &[UnitId], n_units: usize) -> Vec<UnitId> {
+    let mut rows: Vec<UnitId> = hints
+        .iter()
+        .copied()
+        .filter(|u| u.index() < n_units)
+        .collect();
+    rows.sort_unstable();
+    rows.dedup();
+    rows
+}
+
+/// An end-user unit's scoring vantage: its centroid with the mean member
+/// access latency, carrying the first member's addressing/AS identity.
+fn eu_unit_vantage(net: &Internet, u: &MapUnitInfo) -> Endpoint {
+    let access = u
+        .members
+        .iter()
+        .map(|b| net.block(*b).access_ms)
+        .sum::<f64>()
+        / u.members.len().max(1) as f64;
+    let b0 = net.block(u.members[0]);
+    Endpoint::client(b0.client_ip(), u.centroid, b0.country, b0.asn, access)
+}
+
+/// Re-solves every class over its cached score/preference tables and
+/// rebuilds the candidate rows, keeping the previous `Arc` whenever the
+/// contents come out identical (generation-over-generation structural
+/// sharing, and the cheap "nothing changed" signal for delta extraction).
+fn solve_candidates(
+    cfg: &MappingConfig,
     units: &MapUnits,
-    scores: &ScoreTable,
-    assignment: &Assignment,
-    k: usize,
-) -> Vec<Vec<u32>> {
-    (0..units.len())
-        .map(|u| {
-            let uid = UnitId(u as u32);
-            let mut out: Vec<u32> = Vec::with_capacity(k);
-            if let Some(c) = assignment.cluster(uid) {
-                out.push(c as u32);
+    tables: &[ClassTables],
+    capacity: &[f64],
+    usable: &[bool],
+    old: &Candidates,
+) -> Candidates {
+    let solve_one = |t: &ClassTables, prev: &Arc<CandidateTable>| -> Arc<CandidateTable> {
+        let assignment =
+            assign_with_prefs(cfg.algorithm, units, &t.scores, &t.prefs, capacity, usable);
+        let built = CandidateTable::build(units, &t.prefs, &assignment, cfg.candidates_per_unit);
+        if built == **prev {
+            prev.clone()
+        } else {
+            Arc::new(built)
+        }
+    };
+    match tables {
+        // Per-class scoring off: one table serves every slot.
+        [t] => {
+            let arc = solve_one(t, &old[0]);
+            [arc.clone(), arc.clone(), arc]
+        }
+        [w, v, d] => [
+            solve_one(w, &old[0]),
+            solve_one(v, &old[1]),
+            solve_one(d, &old[2]),
+        ],
+        _ => unreachable!("class tables come in sets of 1 or 3"),
+    }
+}
+
+/// Per-unit dirty flags across a candidate-table swap: a unit is dirty
+/// when any class's candidate row changed, or any cluster on its row is
+/// itself serving-visibly changed (liveness/server churn).
+fn dirty_units(
+    old: &Candidates,
+    new: &Candidates,
+    n_units: usize,
+    changed_cluster: &[bool],
+) -> Vec<bool> {
+    let mut dirty = vec![false; n_units];
+    for (o, n) in old.iter().zip(new.iter()) {
+        let rows_equal = Arc::ptr_eq(o, n);
+        for (u, d) in dirty.iter_mut().enumerate() {
+            if *d {
+                continue;
             }
-            for c in scores.preference_order(uid) {
-                if out.len() >= k {
-                    break;
-                }
-                if !out.contains(&(c as u32)) {
-                    out.push(c as u32);
-                }
+            let row = n.row(u);
+            if (!rows_equal && o.row(u) != row) || row.iter().any(|c| changed_cluster[*c as usize])
+            {
+                *d = true;
             }
-            out
-        })
-        .collect()
+        }
+    }
+    dirty
 }
 
 #[cfg(test)]
@@ -1204,6 +1767,122 @@ mod tests {
             resp.ecs().unwrap().scope_prefix,
             0,
             "fallback answers are global"
+        );
+    }
+
+    /// Assignments for every block and resolver across all classes — the
+    /// full externally-visible mapping surface.
+    fn all_assignments(w: &World) -> Vec<Option<ClusterId>> {
+        let mut out = Vec::new();
+        for class in TrafficClass::ALL {
+            for b in &w.net.blocks {
+                out.push(w.map.assigned_cluster_for_block_class(b.prefix, class));
+            }
+            for r in &w.net.resolvers {
+                out.push(w.map.assigned_cluster_for_ldns_class(r.ip, class));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn incremental_rebuild_matches_full_and_delta_covers_changes() {
+        let mut w = world(MappingPolicy::end_user_default());
+        let before: Vec<(Prefix, Option<ClusterId>)> = w
+            .net
+            .blocks
+            .iter()
+            .map(|b| (b.prefix, w.map.assigned_cluster_for_block(b.prefix)))
+            .collect();
+        // Kill an assigned cluster that is not the escape (first) cluster,
+        // so the delta stays keyed rather than promoting to full.
+        let escape = w.cdn.clusters[0].id;
+        let victim = before
+            .iter()
+            .filter_map(|(_, c)| *c)
+            .find(|c| *c != escape)
+            .expect("some block maps beyond the escape cluster");
+        w.cdn.set_cluster_alive(victim, false);
+
+        let delta = w
+            .map
+            .rebuild_incremental(&w.net, &w.cdn, &RescoreHints::default());
+        assert!(!delta.is_full(), "non-escape churn must stay keyed");
+        assert!(
+            delta.units_changed() > 0,
+            "killing an assigned cluster changes units"
+        );
+
+        // Bit-identical to a from-scratch rebuild of the same world.
+        let incremental = all_assignments(&w);
+        let mut reference = w.map.clone_for_publish();
+        reference.rebuild(&w.net, &w.cdn);
+        std::mem::swap(&mut w.map, &mut reference);
+        let full = all_assignments(&w);
+        std::mem::swap(&mut w.map, &mut reference);
+        assert_eq!(incremental, full, "incremental diverged from full rebuild");
+
+        // Delta soundness: every block whose answer changed is covered.
+        for (prefix, old) in &before {
+            let now = w.map.assigned_cluster_for_block(*prefix);
+            if now != *old {
+                assert!(
+                    delta.affects_scoped(prefix.truncate(24)),
+                    "changed block {prefix} missing from delta"
+                );
+            }
+        }
+
+        // Reviving the escape cluster's competitor via the same path
+        // converges back: a second incremental pass equals full again.
+        w.cdn.set_cluster_alive(victim, true);
+        let delta2 = w
+            .map
+            .rebuild_incremental(&w.net, &w.cdn, &RescoreHints::default());
+        assert!(!delta2.is_full());
+        let incremental2 = all_assignments(&w);
+        reference.rebuild(&w.net, &w.cdn);
+        std::mem::swap(&mut w.map, &mut reference);
+        let full2 = all_assignments(&w);
+        std::mem::swap(&mut w.map, &mut reference);
+        assert_eq!(incremental2, full2);
+    }
+
+    #[test]
+    fn escape_cluster_churn_promotes_delta_to_full() {
+        let mut w = world(MappingPolicy::end_user_default());
+        let escape = w.cdn.clusters[0].id;
+        w.cdn.set_cluster_alive(escape, false);
+        let delta = w
+            .map
+            .rebuild_incremental(&w.net, &w.cdn, &RescoreHints::default());
+        assert!(delta.is_full(), "escape move has unbounded blast radius");
+        assert_eq!(delta.units_changed(), w.map.total_units());
+    }
+
+    #[test]
+    fn shape_change_falls_back_to_full_rebuild() {
+        let mut w = world(MappingPolicy::end_user_default());
+        // Capacity starvation alone stays incremental…
+        let total = w.net.total_demand();
+        w.cdn.clusters[3].capacity = total * 1e-6;
+        let delta = w
+            .map
+            .rebuild_incremental(&w.net, &w.cdn, &RescoreHints::default());
+        assert!(!delta.is_full());
+        let incremental = all_assignments(&w);
+        let mut reference = w.map.clone_for_publish();
+        reference.rebuild(&w.net, &w.cdn);
+        std::mem::swap(&mut w.map, &mut reference);
+        let full = all_assignments(&w);
+        std::mem::swap(&mut w.map, &mut reference);
+        assert_eq!(incremental, full);
+        // …but a publish clone (no solver cache) must fall back to full.
+        let mut clone = w.map.clone_for_publish();
+        let delta = clone.rebuild_incremental(&w.net, &w.cdn, &RescoreHints::default());
+        assert!(
+            delta.is_full(),
+            "missing solver cache requires full rebuild"
         );
     }
 

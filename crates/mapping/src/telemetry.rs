@@ -22,7 +22,7 @@
 //! handles are re-fetched idempotently from the registry (totals keep
 //! accumulating) while the per-unit arrays are re-sized for the new map.
 
-use eum_telemetry::{Counter, Gauge, Registry};
+use eum_telemetry::{Counter, Gauge, Histogram, Registry};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -53,6 +53,9 @@ pub struct MappingTelemetry {
     fallback_ranked: Arc<Counter>,
     fallback_any_live: Arc<Counter>,
     rr_rotations: Arc<Counter>,
+    rebuild_full_ns: Arc<Histogram>,
+    rebuild_incremental_ns: Arc<Histogram>,
+    units_changed: Arc<Counter>,
     /// Queries attributed to each end-user unit (empty without EU units).
     eu_unit_queries: Box<[AtomicU64]>,
     /// Queries attributed to each NS (LDNS) unit.
@@ -108,6 +111,21 @@ impl MappingTelemetry {
                 "Round-robin local-LB answer rotations",
                 &[],
             ),
+            rebuild_full_ns: registry.histogram(
+                "eum_mapping_rebuild_ns",
+                "Map rebuild wall time, nanoseconds",
+                &[("mode", "full")],
+            ),
+            rebuild_incremental_ns: registry.histogram(
+                "eum_mapping_rebuild_ns",
+                "Map rebuild wall time, nanoseconds",
+                &[("mode", "incremental")],
+            ),
+            units_changed: registry.counter(
+                "eum_mapping_units_changed_total",
+                "Mapping units republished across map generations",
+                &[],
+            ),
             eu_unit_queries: counts(eu_units),
             ns_unit_queries: counts(ns_units),
             registry,
@@ -155,6 +173,18 @@ impl MappingTelemetry {
 
     pub(crate) fn count_rr_rotation(&self) {
         self.rr_rotations.inc();
+    }
+
+    /// Records one map rebuild: wall time into the mode-labeled
+    /// `eum_mapping_rebuild_ns` histogram and how many units the new
+    /// generation republished (all of them, for a full rebuild).
+    pub fn record_rebuild(&self, full: bool, elapsed_ns: u64, units_changed: u64) {
+        if full {
+            self.rebuild_full_ns.record(elapsed_ns);
+        } else {
+            self.rebuild_incremental_ns.record(elapsed_ns);
+        }
+        self.units_changed.add(units_changed);
     }
 
     pub(crate) fn count_eu_unit(&self, unit: usize) {

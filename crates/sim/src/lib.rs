@@ -17,6 +17,7 @@
 //!   world, replay January–June 2014, flip ECS on for public resolvers in
 //!   the March 28 – April 15 window, and report every figure's inputs.
 
+pub mod churn;
 pub mod client;
 pub mod engine;
 pub mod netsession;
@@ -26,6 +27,7 @@ pub mod rum;
 pub mod scenario;
 pub mod workload;
 
+pub use churn::{run_churn, ChurnConfig, ChurnTimeline, InvalidationMode};
 pub use client::{fetch_page, FetchOutcome};
 pub use engine::{EventQueue, SimTime};
 pub use netsession::{PairDataset, PairRecord};

@@ -17,6 +17,11 @@
 #   separate client processes) and records the batched
 #   recvmmsg/sendmmsg configuration against the single-socket
 #   `recv_from` baseline measured in the same run.
+# * pr8 — incremental map publication: runs the `rebuild` bench and
+#   records the from-scratch rebuild against incremental rebuilds at
+#   ~1% and ~10% hinted unit churn, both measured in the same run (the
+#   equivalence suite proves the outputs identical; the speedup is the
+#   whole point of the PR and must be >= 5x at 1% churn).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -26,7 +31,8 @@ case "$mode" in
   pr3) default_out="BENCH_pr3.json"; bench="wire" ;;
   pr5) default_out="BENCH_pr5.json"; bench="ldns" ;;
   pr6) default_out="BENCH_pr6.json"; bench="" ;;
-  *) echo "usage: $0 [pr3|pr5|pr6] [out.json]" >&2; exit 2 ;;
+  pr8) default_out="BENCH_pr8.json"; bench="rebuild" ;;
+  *) echo "usage: $0 [pr3|pr5|pr6|pr8] [out.json]" >&2; exit 2 ;;
 esac
 out="${2:-$default_out}"
 
@@ -149,6 +155,43 @@ json.dump(
 )
 print(file=open(out, "a"))
 print(f"wrote {out}: cached-hit speedup {speedup['authd_cached_hit_ns']}x")
+EOF
+elif [ "$mode" = "pr8" ]; then
+  full=$(ns_of rebuild_full)
+  inc1=$(ns_of rebuild_incremental_1pct)
+  inc10=$(ns_of rebuild_incremental_10pct)
+
+  for v in "$full" "$inc1" "$inc10"; do
+    [ -n "$v" ] || { echo "failed to parse bench output" >&2; exit 1; }
+  done
+
+  python3 - "$out" "$full" "$inc1" "$inc10" <<'EOF'
+import json, sys
+out, full, inc1, inc10 = sys.argv[1], *map(float, sys.argv[2:])
+speedup_1pct = round(full / inc1, 2) if inc1 else None
+speedup_10pct = round(full / inc10, 2) if inc10 else None
+json.dump(
+    {
+        "pr": 8,
+        "bench": "incremental map rebuild + delta publication vs "
+        "from-scratch rebuild (identical outputs, see "
+        "crates/mapping/tests/incremental_equiv.rs)",
+        "current_ns": {
+            "rebuild_full_ns": full,
+            "rebuild_incremental_1pct_ns": inc1,
+            "rebuild_incremental_10pct_ns": inc10,
+        },
+        "speedup_1pct": speedup_1pct,
+        "speedup_10pct": speedup_10pct,
+    },
+    open(out, "w"),
+    indent=2,
+)
+print(file=open(out, "a"))
+assert speedup_1pct and speedup_1pct >= 5.0, (
+    f"incremental rebuild at 1% churn must be >= 5x faster, got {speedup_1pct}x"
+)
+print(f"wrote {out}: incremental 1% churn {speedup_1pct}x, 10% {speedup_10pct}x")
 EOF
 else
   lookup=$(ns_of ldns_cache_lookup_scoped_hit)

@@ -25,4 +25,7 @@ cargo run -q --release --example socket_loadgen -- --smoke
 echo "==> scrape smoke (live /metrics + /timeseries.jsonl during socket load)"
 cargo run -q --release --example socket_loadgen -- --scrape-smoke | tee /dev/stderr | grep -q "SCRAPE PASS"
 
+echo "==> map-churn smoke (keyed delta invalidation vs generation clear)"
+cargo run -q --release --example map_churn -- --smoke | tee /dev/stderr | grep -q "MAP-CHURN PASS"
+
 echo "All checks passed."
