@@ -1,0 +1,171 @@
+//! The epoch-stamped publication cell: the generic read-mostly primitive
+//! under [`crate::snapshot`].
+//!
+//! Writers publish a new `Arc<T>` under a mutex and bump an atomic epoch;
+//! per-shard readers cache the current `Arc` and revalidate it with
+//! **one** `Acquire` load per query. The steady-state read path touches
+//! no lock, takes no reference count, and allocates nothing; the slot
+//! mutex is taken only on the cold publication-change path.
+//!
+//! Memory-ordering audit (this file is listed in `lint.toml`'s
+//! `seqlock_files`; every raw atomic access is justified here, and the
+//! whole protocol is model-checked — see `tests/snapshot_stress.rs`,
+//! which `#[path]`-includes this file against the eum-mcheck modeled
+//! atomics and exhaustively explores the reader/writer interleavings):
+//!
+//! * `epoch` is stored with `Release` *while holding the slot mutex*,
+//!   after the new `Arc<T>` is in place. A reader that `Acquire`-loads
+//!   the bumped epoch therefore happens-after the slot store and will
+//!   observe the new value when it locks the slot.
+//! * The reader's fast path `Acquire`-loads the epoch and compares it to
+//!   the epoch it last synced at. Equality proves no publication
+//!   happened since the cached `Arc` was cloned, so the cache is
+//!   current. There are no `Relaxed` accesses: the epoch is the
+//!   publication flag, and both sides need the Acquire/Release pairing.
+//! * Every (cached, seen_epoch) pair a reader holds — at construction
+//!   and on every refresh — is read *inside* the slot mutex, so it is
+//!   exactly the pair one writer published atomically. An earlier
+//!   version of `SnapshotHandle::reader` cloned the slot first and
+//!   loaded the epoch after, outside the mutex; a publication racing
+//!   between the two left a fresh reader pinned at `seen_epoch == new`
+//!   with the *old* generation cached, serving stale answers until the
+//!   next publication. The model checker finds that interleaving in a
+//!   few hundred executions (`reader_epoch_slot_pairing_regression`),
+//!   which is why `read_paired` exists.
+
+// Atomics and the slot mutex come through the mcheck facade (std in
+// production builds; see the `raw-atomic` lint rule and `crate::msync`).
+use crate::msync::{AtomicU64, Mutex, Ordering};
+use std::sync::Arc;
+
+/// An epoch-stamped publication slot. Writers are rare (one per
+/// generation) and never contend with steady-state readers.
+pub struct EpochCell<T> {
+    /// Bumped once per publication, under `slot`'s mutex, with `Release`.
+    epoch: AtomicU64,
+    /// The current value. Writers and cold-path readers only.
+    slot: Mutex<Arc<T>>,
+}
+
+impl<T> EpochCell<T> {
+    /// Wraps the initial value at epoch 1.
+    pub fn new(initial: Arc<T>) -> EpochCell<T> {
+        EpochCell {
+            epoch: AtomicU64::new(1),
+            slot: Mutex::new(initial),
+        }
+    }
+
+    /// The current value. Control-plane/test convenience: takes the slot
+    /// mutex. Serving shards use an [`EpochReader`].
+    pub fn current(&self) -> Arc<T> {
+        self.slot.lock().expect("epoch slot poisoned").clone()
+    }
+
+    /// The current epoch (one publication = one bump; starts at 1).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Publishes the value `make` builds from the current one, and
+    /// returns the new epoch. The closure runs under the slot mutex, so
+    /// derived fields (e.g. a generation counter carried inside `T`)
+    /// are computed atomically with the publication.
+    pub fn publish_with(&self, make: impl FnOnce(&Arc<T>) -> Arc<T>) -> u64 {
+        let mut slot = self.slot.lock().expect("epoch slot poisoned");
+        let next = make(&slot);
+        *slot = next;
+        // Release-publish after the slot holds the new value and while
+        // the mutex is still held: a reader acquiring this epoch value
+        // happens-after the store above, and the epoch a refresh reads
+        // inside the mutex always matches the slot it clones.
+        self.epoch.fetch_add(1, Ordering::Release) + 1
+    }
+
+    /// A consistent (value, epoch) pair, read inside the slot mutex so
+    /// it is exactly the pair one writer published atomically.
+    fn read_paired(&self) -> (Arc<T>, u64) {
+        let slot = self.slot.lock().expect("epoch slot poisoned");
+        let cached = slot.clone();
+        let seen_epoch = self.epoch.load(Ordering::Acquire);
+        (cached, seen_epoch)
+    }
+
+    /// A reader primed with the current value. See the module audit for
+    /// why the prime must read the (value, epoch) pair under the mutex.
+    pub fn reader(cell: &Arc<EpochCell<T>>) -> EpochReader<T> {
+        let (cached, seen_epoch) = cell.read_paired();
+        EpochReader {
+            cell: cell.clone(),
+            cached,
+            seen_epoch,
+        }
+    }
+}
+
+/// A per-shard view of an [`EpochCell`]: caches the current `Arc<T>` and
+/// revalidates it with one `Acquire` load per call. Not `Clone` on
+/// purpose — each shard owns exactly one.
+pub struct EpochReader<T> {
+    cell: Arc<EpochCell<T>>,
+    cached: Arc<T>,
+    seen_epoch: u64,
+}
+
+impl<T> EpochReader<T> {
+    /// The current value. Steady state (no publication since the last
+    /// call) is one atomic load and a compare — no lock, no reference
+    /// count traffic, no allocation.
+    pub fn get(&mut self) -> &Arc<T> {
+        let epoch = self.cell.epoch.load(Ordering::Acquire);
+        if epoch != self.seen_epoch {
+            self.refresh();
+        }
+        &self.cached
+    }
+
+    /// The epoch the cached value was read at (diagnostics and the model
+    /// tests' pairing invariant).
+    pub fn seen_epoch(&self) -> u64 {
+        self.seen_epoch
+    }
+
+    /// Cold path: a publication happened; re-sync from the slot.
+    #[cold]
+    fn refresh(&mut self) {
+        let (cached, seen_epoch) = self.cell.read_paired();
+        self.cached = cached;
+        self.seen_epoch = seen_epoch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_bumps_epoch_and_reader_revalidates() {
+        let cell = Arc::new(EpochCell::new(Arc::new(10u64)));
+        assert_eq!(cell.epoch(), 1);
+        let mut r = EpochCell::reader(&cell);
+        assert_eq!(**r.get(), 10);
+        assert_eq!(r.seen_epoch(), 1);
+
+        let e = cell.publish_with(|cur| Arc::new(**cur + 1));
+        assert_eq!(e, 2);
+        assert_eq!(cell.epoch(), 2);
+        assert_eq!(**r.get(), 11);
+        assert_eq!(r.seen_epoch(), 2);
+        assert_eq!(*cell.current(), 11);
+    }
+
+    #[test]
+    fn reader_primed_after_publications_sees_latest() {
+        let cell = Arc::new(EpochCell::new(Arc::new(0u64)));
+        cell.publish_with(|_| Arc::new(1));
+        cell.publish_with(|_| Arc::new(2));
+        let mut r = EpochCell::reader(&cell);
+        assert_eq!(**r.get(), 2);
+        assert_eq!(r.seen_epoch(), 3);
+    }
+}

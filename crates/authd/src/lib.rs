@@ -26,7 +26,19 @@
 
 #![forbid(unsafe_code)]
 
+/// Atomics import surface for this crate's audited lock-free files
+/// (`epoch.rs`): the eum-mcheck virtual-atomics facade — a verbatim
+/// `std::sync` re-export in production builds, the modeled checker
+/// primitives under `--cfg eum_mcheck`. Model tests re-bind the same
+/// source file against `eum_mcheck::modeled` by `#[path]`-including it
+/// next to a local `msync` alias (see `tests/snapshot_stress.rs`).
+pub(crate) mod msync {
+    pub use eum_mcheck::sync::atomic::{AtomicU64, Ordering};
+    pub use eum_mcheck::sync::Mutex;
+}
+
 pub mod cache;
+pub mod epoch;
 pub mod loadgen;
 pub mod server;
 pub mod snapshot;
@@ -35,6 +47,7 @@ pub mod transport;
 mod truncate;
 
 pub use cache::{AnswerCache, AnswerCacheStats, CacheConfig, CachedAnswer};
+pub use epoch::{EpochCell, EpochReader};
 pub use loadgen::{LoadGenConfig, LoadReport};
 pub use server::{
     AuthServer, QueryStages, ReplyCap, ScratchBuffers, ServeOutcome, ServerConfig, ShardCounters,

@@ -10,34 +10,16 @@
 //! current and keep using it for the duration of one query, so a query
 //! never observes half of one map and half of another.
 //!
-//! The publication cell is an epoch-stamped slot: writers bump an atomic
-//! epoch under a mutex (writers are rare — one per map generation — and
-//! never contend with readers), while each serving shard holds a
-//! [`SnapshotReader`] that caches the current `Arc` and revalidates it
-//! with **one atomic load** per query. The steady-state read path touches
-//! no lock, takes no reference count, and allocates nothing; the slot
-//! mutex is taken only on the cold generation-change path.
-//!
-//! Memory-ordering audit (this file is listed in `lint.toml`'s
-//! `seqlock_files`; every raw atomic access is justified here):
-//!
-//! * `Shared::epoch` is stored with `Release` *while holding the slot
-//!   mutex*, after the new `Arc<Snapshot>` is in place. A reader that
-//!   `Acquire`-loads the bumped epoch therefore happens-after the slot
-//!   store and will observe the new snapshot when it locks the slot.
-//! * The reader's fast path `Acquire`-loads the epoch and compares it to
-//!   the epoch it last synced at. Equality proves no publication happened
-//!   since the cached `Arc` was cloned, so the cache is current. There
-//!   are no `Relaxed` accesses: the epoch is the publication flag, and
-//!   both sides of the flag need the Acquire/Release pairing.
-//! * `SnapshotReader::refresh` re-reads the epoch *inside* the mutex, so
-//!   the (epoch, snapshot) pair it caches is the pair one writer
-//!   published atomically; a concurrent second publication just leaves
-//!   the reader one refresh behind, which the next fast-path load fixes.
+//! The publication primitive itself — the epoch-stamped slot, its
+//! memory-ordering audit, and the model-checked reader protocol — lives
+//! in [`crate::epoch`]; this module binds it to [`Snapshot`] generations
+//! and keeps the generation counter in lockstep with the epoch (both
+//! start at 1 and bump once per publication, an invariant the model
+//! tests in `tests/snapshot_stress.rs` verify across interleavings).
 
+use crate::epoch::{EpochCell, EpochReader};
 use eum_mapping::{MapDelta, MappingSystem};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// One published generation of the mapping system.
 pub struct Snapshot {
@@ -62,59 +44,39 @@ const _: () = {
     assert_send_sync::<Snapshot>();
 };
 
-/// The state every handle and reader shares: the published slot plus the
-/// epoch counter that lets readers revalidate without locking.
-struct Shared {
-    /// Bumped once per publication, under `slot`'s mutex, with `Release`.
-    epoch: AtomicU64,
-    /// The current snapshot. Writers and cold-path readers only.
-    slot: Mutex<Arc<Snapshot>>,
-}
-
 /// The cell the control plane publishes into. Cloning the handle is
 /// cheap; all clones observe the same publications. Serving shards should
 /// each carry a [`SnapshotReader`] (from [`SnapshotHandle::reader`])
 /// whose steady-state revalidation is a single atomic load.
 #[derive(Clone)]
 pub struct SnapshotHandle {
-    shared: Arc<Shared>,
+    cell: Arc<EpochCell<Snapshot>>,
 }
 
 impl SnapshotHandle {
     /// Wraps the initial map as generation 1.
     pub fn new(map: MappingSystem) -> SnapshotHandle {
         SnapshotHandle {
-            shared: Arc::new(Shared {
-                epoch: AtomicU64::new(1),
-                slot: Mutex::new(Arc::new(Snapshot {
-                    generation: 1,
-                    map,
-                    delta: None,
-                })),
-            }),
+            cell: Arc::new(EpochCell::new(Arc::new(Snapshot {
+                generation: 1,
+                map,
+                delta: None,
+            }))),
         }
     }
 
     /// The current generation's snapshot. Control-plane/test convenience:
     /// takes the slot mutex. Serving shards use a [`SnapshotReader`].
     pub fn current(&self) -> Arc<Snapshot> {
-        self.shared
-            .slot
-            .lock()
-            .expect("snapshot slot poisoned")
-            .clone()
+        self.cell.current()
     }
 
-    /// A per-shard reader primed with the current snapshot.
+    /// A per-shard reader primed with the current snapshot. The (snapshot,
+    /// epoch) prime is read as one atomically-published pair — see the
+    /// audit in [`crate::epoch`] for the stale-reader race this avoids.
     pub fn reader(&self) -> SnapshotReader {
-        let cached = self.current();
-        // Synced at least as far as the snapshot we just cloned; if a
-        // publication raced in between, the first fast-path load refreshes.
-        let seen_epoch = self.shared.epoch.load(Ordering::Acquire);
         SnapshotReader {
-            shared: self.shared.clone(),
-            cached,
-            seen_epoch,
+            inner: EpochCell::reader(&self.cell),
         }
     }
 
@@ -134,28 +96,21 @@ impl SnapshotHandle {
     }
 
     fn publish_inner(&self, map: MappingSystem, delta: Option<Arc<MapDelta>>) -> u64 {
-        let mut slot = self.shared.slot.lock().expect("snapshot slot poisoned");
-        let generation = slot.generation + 1;
-        *slot = Arc::new(Snapshot {
-            generation,
-            map,
-            delta,
+        let mut generation = 0;
+        self.cell.publish_with(|cur| {
+            generation = cur.generation + 1;
+            Arc::new(Snapshot {
+                generation,
+                map,
+                delta,
+            })
         });
-        // Release-publish after the slot holds the new snapshot and while
-        // the mutex is still held: a reader acquiring this epoch value
-        // happens-after the store above, and the epoch a refresh reads
-        // inside the mutex always matches the slot it clones.
-        self.shared.epoch.fetch_add(1, Ordering::Release);
         generation
     }
 
     /// The current generation number without keeping the snapshot alive.
     pub fn generation(&self) -> u64 {
-        self.shared
-            .slot
-            .lock()
-            .expect("snapshot slot poisoned")
-            .generation
+        self.cell.current().generation
     }
 }
 
@@ -163,9 +118,7 @@ impl SnapshotHandle {
 /// `Arc<Snapshot>` and revalidates it with one `Acquire` load per call.
 /// Not `Clone` on purpose — each shard owns exactly one.
 pub struct SnapshotReader {
-    shared: Arc<Shared>,
-    cached: Arc<Snapshot>,
-    seen_epoch: u64,
+    inner: EpochReader<Snapshot>,
 }
 
 impl SnapshotReader {
@@ -173,22 +126,7 @@ impl SnapshotReader {
     /// call) is one atomic load and a compare — no lock, no reference
     /// count traffic, no allocation.
     pub fn snapshot(&mut self) -> &Arc<Snapshot> {
-        let epoch = self.shared.epoch.load(Ordering::Acquire);
-        if epoch != self.seen_epoch {
-            self.refresh();
-        }
-        &self.cached
-    }
-
-    /// Cold path: a publication happened; re-sync from the slot.
-    #[cold]
-    fn refresh(&mut self) {
-        let slot = self.shared.slot.lock().expect("snapshot slot poisoned");
-        self.cached = slot.clone();
-        // Read the epoch inside the mutex so it is exactly the value the
-        // writer paired with this slot value (the writer bumps under the
-        // same mutex).
-        self.seen_epoch = self.shared.epoch.load(Ordering::Acquire);
+        self.inner.get()
     }
 }
 
@@ -253,5 +191,17 @@ mod tests {
         );
         // One revalidation lands on the latest generation.
         assert_eq!(reader.snapshot().generation, 3);
+    }
+
+    #[test]
+    fn generation_stays_in_lockstep_with_epoch() {
+        let map = tiny_map();
+        let handle = SnapshotHandle::new(map.clone_for_publish());
+        for _ in 0..3 {
+            handle.publish(map.clone_for_publish());
+        }
+        // Both started at 1 and bump once per publication.
+        assert_eq!(handle.generation(), 4);
+        assert_eq!(handle.cell.epoch(), 4);
     }
 }

@@ -6,13 +6,29 @@
 //! backwards — a torn publish, a cache surviving a swap, or an answer
 //! mixing two maps all fail these assertions.
 
+//! Two complementary checks live in this binary:
+//!
+//! * the nondeterministic stress below — real shard threads serving real
+//!   queries across snapshot swaps;
+//! * model-checked variants (bottom of the file) — the *same source
+//!   file* `src/epoch.rs` is `#[path]`-included against the eum-mcheck
+//!   modeled atomics and the publication/reader protocol is explored
+//!   exhaustively, including the unpaired-prime race the module's audit
+//!   documents (and a regression reproducing it).
+//!
+//! The expensive exhaustive configuration runs under
+//! `EUM_MCHECK_EXHAUSTIVE=1`; the default bound keeps `cargo test -q`
+//! fast.
+
 use eum_authd::{
-    CacheConfig, QueryStages, ReplyCap, ServeOutcome, ShardState, Snapshot, SnapshotHandle,
+    AnswerCache, CacheConfig, QueryStages, ReplyCap, ServeOutcome, ShardState, Snapshot,
+    SnapshotHandle,
 };
 use eum_cdn::{deployment_universe, CatalogConfig, CdnPlatform, ContentCatalog, DeployConfig};
 use eum_dns::edns::{EcsOption, OptData};
 use eum_dns::{decode_message, encode_message, Message, QueryContext, Question, Rcode};
-use eum_mapping::{MappingConfig, MappingSystem};
+use eum_mapping::{MapDelta, MappingConfig, MappingSystem};
+use eum_mcheck as mcheck;
 use eum_netmodel::{Internet, InternetConfig};
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -188,4 +204,255 @@ fn generation_swaps_under_concurrent_serving_stay_consistent() {
     }
     assert!(total > 0, "workers served nothing");
     assert_eq!(snapshots.generation(), 3);
+}
+
+// ---------------------------------------------------------------------
+// Model-checked variants
+// ---------------------------------------------------------------------
+
+/// Atomics surface the `#[path]`-included copy of `src/epoch.rs`
+/// compiles against: the eum-mcheck modeled primitives instead of the
+/// production facade, so every atomic op and lock below is a schedule
+/// point.
+mod msync {
+    pub use eum_mcheck::modeled::{AtomicU64, Mutex};
+    pub use std::sync::atomic::Ordering;
+}
+
+/// The real publication-cell source, re-bound against the modeled
+/// atomics. This is the same text the crate compiles — not a replica —
+/// so the model verdict applies to the shipped `EpochCell`.
+#[path = "../src/epoch.rs"]
+#[allow(dead_code)]
+mod epoch_model;
+
+/// Default: exhaustive at 2 preemptions (the checker's default bound).
+/// `EUM_MCHECK_EXHAUSTIVE=1` raises the bound and the execution budget.
+fn model_cfg() -> mcheck::Config {
+    if mcheck::exhaustive() {
+        mcheck::Config::bounded(3, 10_000_000)
+    } else {
+        mcheck::Config::bounded(2, 2_000_000)
+    }
+}
+
+/// The tentpole invariant, exhaustively: the payload *is* the epoch it
+/// was published at (exactly how `SnapshotHandle` keeps `generation` in
+/// lockstep with the cell epoch), so a reader whose value disagrees with
+/// `seen_epoch()` has seen a snapshot inconsistent with the epoch it
+/// loaded. No interleaving of one publication against a reader priming
+/// and revalidating may break the pairing.
+#[test]
+fn model_reader_value_always_matches_loaded_epoch() {
+    let report = mcheck::verify("epoch-cell-paired-reader", &model_cfg(), || {
+        let cell = Arc::new(epoch_model::EpochCell::new(Arc::new(1u64)));
+        let publisher = {
+            let cell = cell.clone();
+            mcheck::spawn(move || {
+                cell.publish_with(|cur| Arc::new(**cur + 1));
+            })
+        };
+        let mut r = epoch_model::EpochCell::reader(&cell);
+        let (v, e) = (**r.get(), r.seen_epoch());
+        assert_eq!(v, e, "prime paired a stale value with a newer epoch");
+        // A second read may observe the publication mid-flight; the
+        // pairing must hold again.
+        let (v, e) = (**r.get(), r.seen_epoch());
+        assert_eq!(v, e, "revalidation paired a stale value with a newer epoch");
+        publisher.join();
+        // Post-join the publication is ordered before us: one read must
+        // land on it.
+        let (v, e) = (**r.get(), r.seen_epoch());
+        assert_eq!((v, e), (2, 2), "reader missed a joined publication");
+    });
+    eprintln!(
+        "epoch-cell model: {} executions, complete = {}",
+        report.executions, report.complete
+    );
+    assert!(
+        report.complete,
+        "state space must be fully explored within the bound"
+    );
+}
+
+/// The race `src/epoch.rs`'s audit documents, re-introduced: the old
+/// `SnapshotHandle::reader` cloned the slot and *then* loaded the epoch,
+/// outside the mutex. A publication landing between the two primes a
+/// reader at the new epoch with the old value cached — permanently
+/// stale until the next publication. The model checker must find that
+/// interleaving; `read_paired` exists because of this report.
+#[test]
+fn reader_epoch_slot_pairing_regression() {
+    let failure = mcheck::expect_failure("epoch-cell-unpaired-prime", &model_cfg(), || {
+        let cell = Arc::new(epoch_model::EpochCell::new(Arc::new(1u64)));
+        let publisher = {
+            let cell = cell.clone();
+            mcheck::spawn(move || {
+                cell.publish_with(|cur| Arc::new(**cur + 1));
+            })
+        };
+        // The buggy prime: slot first, epoch second, no mutex across.
+        let cached = cell.current();
+        let seen_epoch = cell.epoch();
+        assert_eq!(
+            *cached, seen_epoch,
+            "unpaired prime cached a stale value at a newer epoch"
+        );
+        publisher.join();
+    });
+    assert!(
+        failure
+            .message
+            .contains("unpaired prime cached a stale value"),
+        "failure must be the pairing assertion, got: {}",
+        failure.message
+    );
+    assert!(
+        !failure.schedule.is_empty(),
+        "failure report must print the interleaving"
+    );
+    eprintln!("minimized failing interleaving (expected, regression guard):\n{failure}");
+}
+
+/// What one publication carries to the shard caches: its generation and
+/// the delta naming the mapping units whose answers changed.
+struct GenInfo {
+    generation: u64,
+    delta: Option<Arc<MapDelta>>,
+}
+
+/// A cached entry carrying one A answer with an ECS response scope /24.
+fn model_entry() -> eum_authd::CachedAnswer {
+    use eum_dns::edns::{EcsOption as Ecs, OptData};
+    let q = Message::query(
+        7,
+        Question::a("e0.cdn.example".parse().unwrap()),
+        Some(OptData::with_ecs(Ecs::query(
+            "10.1.2.3".parse().unwrap(),
+            24,
+        ))),
+    );
+    let mut resp = Message::response_to(&q, Rcode::NoError);
+    resp.answers.push(eum_dns::Record::a(
+        "e0.cdn.example".parse().unwrap(),
+        300,
+        [9, 9, 9, 9].into(),
+    ));
+    resp.set_opt(OptData::with_ecs(Ecs::response(q.ecs().unwrap(), 24)));
+    eum_authd::CachedAnswer::from_response(&resp, 300, std::time::Instant::now())
+}
+
+/// The tentpole invariant, exhaustively: keyed eviction never serves a
+/// stale answer across a delta publication. A real (unmodified)
+/// [`AnswerCache`] rides on the modeled [`epoch_model::EpochCell`]; a
+/// publisher ships generation 2 with a delta naming one scope block
+/// while the shard inserts, observes, and looks up. Once the shard has
+/// observed generation 2, the delta-named entry must miss and the
+/// untouched one must still hit — in every interleaving of the
+/// publication against the shard's reads.
+#[test]
+fn model_keyed_eviction_never_serves_stale_across_delta_publication() {
+    let report = mcheck::verify("answer-cache-keyed-eviction", &model_cfg(), || {
+        let qname: eum_dns::DnsName = "e0.cdn.example".parse().unwrap();
+        let dirty_block: eum_geo::Prefix = "10.1.2.0/24".parse().unwrap();
+        let clean_block: eum_geo::Prefix = "10.1.3.0/24".parse().unwrap();
+        let dirty_client: Ipv4Addr = "10.1.2.77".parse().unwrap();
+        let clean_client: Ipv4Addr = "10.1.3.77".parse().unwrap();
+        let rr = eum_dns::RrType::A;
+        let now = std::time::Instant::now();
+
+        let cell = Arc::new(epoch_model::EpochCell::new(Arc::new(GenInfo {
+            generation: 1,
+            delta: None,
+        })));
+        let publisher = {
+            let cell = cell.clone();
+            mcheck::spawn(move || {
+                let delta = Arc::new(MapDelta::from_dirty(&["10.1.2.0/24".parse().unwrap()], &[]));
+                cell.publish_with(|cur| {
+                    Arc::new(GenInfo {
+                        generation: cur.generation + 1,
+                        delta: Some(delta.clone()),
+                    })
+                });
+            })
+        };
+
+        // The serving shard: exactly `ShardState::observe`'s protocol —
+        // on a generation change, transition the cache with the delta.
+        let mut reader = epoch_model::EpochCell::reader(&cell);
+        let mut cache = AnswerCache::new(CacheConfig::default());
+        let mut last_gen = 0u64;
+        let observe = |cache: &mut AnswerCache,
+                       reader: &mut epoch_model::EpochReader<GenInfo>,
+                       last_gen: &mut u64| {
+            let g = reader.get();
+            let generation = g.generation;
+            assert_eq!(
+                generation,
+                reader.seen_epoch(),
+                "generation inconsistent with the loaded epoch"
+            );
+            if generation != *last_gen {
+                let delta = reader.get().delta.clone();
+                cache.begin_generation(delta.as_ref());
+                *last_gen = generation;
+            }
+            generation
+        };
+
+        // Cache both answers under whatever generation is current.
+        let inserted_at = observe(&mut cache, &mut reader, &mut last_gen);
+        cache.insert_scoped(qname.clone(), rr, dirty_block, model_entry());
+        cache.insert_scoped(qname.clone(), rr, clean_block, model_entry());
+
+        // One mid-flight observation: if the publication has landed, the
+        // delta-named entry must already be gone.
+        let seen = observe(&mut cache, &mut reader, &mut last_gen);
+        if seen > inserted_at {
+            assert!(
+                cache
+                    .lookup_scoped(&qname, rr, dirty_client, 24, now)
+                    .is_none(),
+                "stale answer served across the delta publication"
+            );
+            assert!(
+                cache
+                    .lookup_scoped(&qname, rr, clean_client, 24, now)
+                    .is_some(),
+                "keyed eviction dropped an unaffected entry"
+            );
+        }
+
+        publisher.join();
+
+        // The publication is now ordered before us; the shard must
+        // observe generation 2 and the delta must take effect.
+        let final_gen = observe(&mut cache, &mut reader, &mut last_gen);
+        assert_eq!(final_gen, 2, "shard missed the joined publication");
+        let dirty_hit = cache
+            .lookup_scoped(&qname, rr, dirty_client, 24, now)
+            .is_some();
+        let clean_hit = cache
+            .lookup_scoped(&qname, rr, clean_client, 24, now)
+            .is_some();
+        if inserted_at == 1 {
+            assert!(
+                !dirty_hit,
+                "stale answer served across the delta publication"
+            );
+        } else {
+            // Entries inserted after the delta was observed postdate it.
+            assert!(dirty_hit, "fresh post-delta entry must still hit");
+        }
+        assert!(clean_hit, "keyed eviction dropped an unaffected entry");
+    });
+    eprintln!(
+        "keyed-eviction model: {} executions, complete = {}",
+        report.executions, report.complete
+    );
+    assert!(
+        report.complete,
+        "state space must be fully explored within the bound"
+    );
 }

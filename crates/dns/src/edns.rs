@@ -97,6 +97,8 @@ impl EcsOption {
         buf.put_u8(self.source_prefix);
         buf.put_u8(self.scope_prefix);
         let octets = self.addr.octets();
+        // lint: allow(serve-index) — addr_octets() = ceil(prefix/8) ≤ 4
+        // for the ≤ 32 prefixes this type admits; octets is [u8; 4].
         buf.put_slice(&octets[..self.addr_octets()]);
     }
 
@@ -115,12 +117,13 @@ impl EcsOption {
         if payload.len() < 4 {
             return Err(WireError::Truncated);
         }
+        // lint: allow(serve-index) — payload.len() ≥ 4 checked above
         let family = u16::from_be_bytes([payload[0], payload[1]]);
         if family != FAMILY_IPV4 {
             return Err(WireError::BadEcs("unsupported address family"));
         }
-        let source_prefix = payload[2];
-        let scope_prefix = payload[3];
+        let source_prefix = payload[2]; // lint: allow(serve-index) — len ≥ 4 checked above
+        let scope_prefix = payload[3]; // lint: allow(serve-index) — len ≥ 4 checked above
         if source_prefix > 32 || scope_prefix > 32 {
             return Err(WireError::BadEcs("prefix length exceeds 32"));
         }
@@ -129,6 +132,8 @@ impl EcsOption {
             return Err(WireError::BadEcs("address length mismatch"));
         }
         let mut octets = [0u8; 4];
+        // lint: allow(serve-index) — want = ceil(source/8) ≤ 4 (source ≤
+        // 32 checked), and payload.len() == 4 + want checked above.
         octets[..want].copy_from_slice(&payload[4..4 + want]);
         let addr = Ipv4Addr::from(octets);
         // RFC 7871 §6: trailing (padding) bits MUST be zero.
@@ -197,6 +202,7 @@ impl EdnsOptions {
 
     /// True when no options are present.
     pub fn is_empty(&self) -> bool {
+        // lint: allow(serve-index) — fixed index 0 into [Option<_>; 2]
         self.inline[0].is_none() && self.spill.is_empty()
     }
 
@@ -327,7 +333,9 @@ impl OptData {
             if rdata.len() - pos < 4 {
                 return Err(WireError::Truncated);
             }
+            // lint: allow(serve-index) — rdata.len() - pos ≥ 4 checked above
             let code = u16::from_be_bytes([rdata[pos], rdata[pos + 1]]);
+            // lint: allow(serve-index) — rdata.len() - pos ≥ 4 checked above
             let len = u16::from_be_bytes([rdata[pos + 2], rdata[pos + 3]]) as usize;
             pos += 4;
             let Some(payload) = rdata.get(pos..pos + len) else {
@@ -343,6 +351,9 @@ impl OptData {
                     Err(WireError::BadEcs("unsupported address family")) => {
                         options.push(EdnsOption::Other {
                             code,
+                            // lint: allow(serve-alloc) — opaque pass-through
+                            // copies by design; ECS (the per-query common
+                            // case) parses in place above.
                             data: payload.to_vec(),
                         })
                     }
@@ -351,6 +362,8 @@ impl OptData {
             } else {
                 options.push(EdnsOption::Other {
                     code,
+                    // lint: allow(serve-alloc) — unknown options are kept
+                    // verbatim for echo; bounded by the record's rdlen.
                     data: payload.to_vec(),
                 });
             }

@@ -1,0 +1,26 @@
+//! Call-graph closure fixture: a pinned hot fn calling un-pinned
+//! helpers. `leaky_helper` must inherit the purity rules through the
+//! closure; `cold_refresh` is cut by its `#[cold]` attribute; and
+//! `cut_by_config` is cut by a `[graph] boundary` entry in the test's
+//! config.
+
+pub fn pinned_hot(n: usize) -> usize {
+    let a = leaky_helper(n);
+    cold_refresh();
+    cut_by_config();
+    a
+}
+
+fn leaky_helper(n: usize) -> usize {
+    let v = vec![0u8; n];
+    v.len()
+}
+
+#[cold]
+fn cold_refresh() {
+    let _ = String::from("cold publication path");
+}
+
+fn cut_by_config() {
+    let _ = Box::new(0u64);
+}

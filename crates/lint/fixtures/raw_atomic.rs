@@ -1,0 +1,24 @@
+//! raw-atomic fixture: a declared facade file naming std atomics
+//! directly, one justified use, and test code (exempt).
+
+// Violating: the audited file must import through crate::msync.
+use std::sync::atomic::AtomicU64;
+
+// Justified:
+// lint: allow(raw-atomic) — Ordering is a plain enum, not a primitive
+use std::sync::atomic::Ordering;
+
+pub fn clean(x: &AtomicU64) -> u64 {
+    x.load(Ordering::Acquire)
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may name std atomics freely.
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn exempt() {
+        let _ = AtomicU32::new(0);
+    }
+}

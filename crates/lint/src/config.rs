@@ -33,6 +33,17 @@ pub struct Config {
     /// Files holding seqlock/publication protocols, subject to the
     /// Acquire-load/Release-store pairing audit.
     pub seqlock_files: Vec<String>,
+    /// Audited concurrency files that must import atomics through the
+    /// eum-mcheck facade (`crate::msync`) instead of `std::sync::atomic`.
+    pub facade_files: Vec<String>,
+    /// Callee names the call-graph pass never follows: bare-name
+    /// resolution would bind these common std/method names to unrelated
+    /// workspace fns.
+    pub graph_ignore: Vec<String>,
+    /// `"file.rs::fn_name"` entries where the serve-path closure stops:
+    /// intentional cold calls (publication, refresh, shutdown paths).
+    /// `#[cold]` fns are implicit boundaries and need no entry.
+    pub boundary: Vec<String>,
     /// Pinned `unsafe` occurrence count per crate (keyed by the directory
     /// name under `crates/`, or `root` for the workspace package).
     pub unsafe_budget: BTreeMap<String, u64>,
@@ -65,7 +76,7 @@ impl Config {
             }
             if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
                 let name = name.trim();
-                if !matches!(name, "scan" | "atomics" | "unsafe_budget") {
+                if !matches!(name, "scan" | "atomics" | "graph" | "unsafe_budget") {
                     return Err(format!("line {}: unknown table [{name}]", ln + 1));
                 }
                 section = name.to_string();
@@ -93,6 +104,19 @@ impl Config {
                 ("scan", "exclude") => cfg.exclude = parse_string_array(&val, ln)?,
                 ("atomics", "counter_paths") => cfg.counter_paths = parse_string_array(&val, ln)?,
                 ("atomics", "seqlock_files") => cfg.seqlock_files = parse_string_array(&val, ln)?,
+                ("atomics", "facade_files") => cfg.facade_files = parse_string_array(&val, ln)?,
+                ("graph", "ignore_names") => cfg.graph_ignore = parse_string_array(&val, ln)?,
+                ("graph", "boundary") => {
+                    cfg.boundary = parse_string_array(&val, ln)?;
+                    for b in &cfg.boundary {
+                        if !b.contains("::") {
+                            return Err(format!(
+                                "line {}: boundary entry `{b}` must be `file.rs::fn_name`",
+                                ln + 1
+                            ));
+                        }
+                    }
+                }
                 ("unsafe_budget", crate_name) => {
                     let n: u64 = val.parse().map_err(|_| {
                         format!("line {}: `{crate_name}` budget must be an integer", ln + 1)
@@ -249,6 +273,23 @@ fns = ["*_into", "put_*", "name"]
         assert!(Config::parse("[wat]\n").is_err());
         assert!(Config::parse("[scan]\nroots = [\"a\"]\nbogus = 1\n").is_err());
         assert!(Config::parse("[scan]\nroots = []\n").is_err());
+    }
+
+    #[test]
+    fn graph_and_facade_keys_parse_and_validate() {
+        let c = Config::parse(
+            "[scan]\nroots = [\"a\"]\n[atomics]\nfacade_files = [\"x.rs\"]\n\
+             [graph]\nignore_names = [\"len\", \"get\"]\nboundary = [\"x.rs::cold_fn\"]\n",
+        )
+        .expect("parses");
+        assert_eq!(c.facade_files, ["x.rs"]);
+        assert_eq!(c.graph_ignore, ["len", "get"]);
+        assert_eq!(c.boundary, ["x.rs::cold_fn"]);
+        // A boundary entry without the file::fn shape is rejected at parse.
+        assert!(
+            Config::parse("[scan]\nroots = [\"a\"]\n[graph]\nboundary = [\"just_a_name\"]\n")
+                .is_err()
+        );
     }
 
     #[test]

@@ -1,0 +1,444 @@
+//! Workspace call graph and the transitive serve-path closure.
+//!
+//! The purity rules used to stop at the fns literally pinned in
+//! `lint.toml [[hot]]` — a pinned `serve` calling an un-pinned helper
+//! that allocates passed the gate. This pass closes that hole: it builds
+//! a workspace-wide fn → callee graph from the scanner's tokens, walks
+//! the closure of every pinned fn, and applies the serve-path purity
+//! rules to each fn the closure reaches, with the call chain in the
+//! diagnostic so the reader sees *why* an un-pinned fn is being held to
+//! the hot-path rules.
+//!
+//! Resolution is name-based (the scanner is token-shaped, not a type
+//! checker), with three precedence tiers: a callee name binds to fns in
+//! the *same file* first, then the *same crate*, then anywhere in the
+//! workspace. Names that resolve nowhere are external (std, vendored
+//! stubs) and are counted, not flagged. `[graph] ignore_names` prunes
+//! common method names (`get`, `len`, `insert`, ...) whose bare-name
+//! resolution would bind std calls to unrelated workspace fns.
+//!
+//! The closure stops at **boundaries**: fns carrying `#[cold]` (the
+//! sanctioned cold-path marker — publication, refresh, shutdown) and
+//! explicit `[graph] boundary = ["file.rs::fn"]` entries. Boundary cuts
+//! are counted in the coverage summary so an audit can see exactly where
+//! enforcement stops.
+
+use crate::config::Config;
+use crate::rules::{self, Diagnostic};
+use crate::scan::{FileScan, Tok};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+/// Callee names never treated as calls: keywords and the std enum
+/// constructors that read like calls (`Some(x)`, `Ok(v)`).
+const NEVER_CALLS: &[&str] = &[
+    "fn", "if", "else", "while", "for", "loop", "match", "return", "let", "in", "as", "move",
+    "unsafe", "impl", "where", "pub", "use", "mod", "const", "static", "type", "struct", "enum",
+    "trait", "ref", "mut", "dyn", "await", "break", "continue", "crate", "self", "Self", "super",
+    "Some", "None", "Ok", "Err", "Fn", "FnMut", "FnOnce", "Drop", "Default", "Box", "Vec",
+    "String", "Arc", "Rc",
+];
+
+/// Coverage numbers for the closure, surfaced in the CLI summary and the
+/// JSON report.
+#[derive(Debug, Clone, Default)]
+pub struct Coverage {
+    /// Fns directly pinned by [[hot]] entries (purity-checked by the
+    /// per-file pass).
+    pub pinned_fns: usize,
+    /// Additional fns the closure reached and purity-checked.
+    pub reachable_fns: usize,
+    /// Closure edges cut at a `#[cold]` fn or an explicit boundary entry.
+    pub boundary_cuts: usize,
+    /// Distinct callee names that resolved to no workspace fn (std,
+    /// vendored stubs, tuple constructors).
+    pub external_names: usize,
+    /// Reachable fns left unchecked. Always 0 by construction — every
+    /// resolved, non-boundary fn is purity-checked — but pinned in the
+    /// report so the acceptance gate can assert it.
+    pub uncovered_fns: usize,
+}
+
+/// A fn node: (index into the scans slice, index into that file's fns).
+type Node = (usize, usize);
+
+/// Builds the workspace call graph, walks the closure of every pinned
+/// fn, purity-checks each reached fn, and validates boundary entries.
+pub fn check_graph(cfg: &Config, scans: &[FileScan], diags: &mut Vec<Diagnostic>) -> Coverage {
+    let ignore: HashSet<&str> = cfg.graph_ignore.iter().map(String::as_str).collect();
+
+    // Name → candidate fns, workspace-wide and per file (non-test only).
+    let mut by_name: HashMap<&str, Vec<Node>> = HashMap::new();
+    for (si, scan) in scans.iter().enumerate() {
+        for (fi, f) in scan.fns.iter().enumerate() {
+            if !f.in_test {
+                by_name.entry(f.name.as_str()).or_default().push((si, fi));
+            }
+        }
+    }
+    let crate_of: Vec<String> = scans.iter().map(|s| rules::crate_key(&s.path)).collect();
+
+    // Per-fn callee-name lists, in source order.
+    let calls = extract_calls(scans, &ignore);
+
+    // Boundary set: explicit entries (validated — a stale entry is a
+    // config error) plus every `#[cold]` fn.
+    let mut boundary: HashSet<Node> = HashSet::new();
+    for entry in &cfg.boundary {
+        let Some((file, fname)) = entry.split_once("::") else {
+            continue; // shape was validated at parse time
+        };
+        let resolved = scans.iter().enumerate().find_map(|(si, s)| {
+            if s.path != file {
+                return None;
+            }
+            s.fns
+                .iter()
+                .position(|f| !f.in_test && f.name == fname)
+                .map(|fi| (si, fi))
+        });
+        match resolved {
+            Some(node) => {
+                boundary.insert(node);
+            }
+            None => diags.push(config_diag(format!(
+                "[graph] boundary entry `{entry}` matches no non-test fn in the scan — stale entry"
+            ))),
+        }
+    }
+    for (si, scan) in scans.iter().enumerate() {
+        for (fi, f) in scan.fns.iter().enumerate() {
+            if !f.in_test && has_cold_attr(scan, f.sig_line) {
+                boundary.insert((si, fi));
+            }
+        }
+    }
+
+    // Seed: every [[hot]]-pinned fn. Pin errors are check_file's job; a
+    // throwaway diag vec keeps them from duplicating here.
+    let mut pinned: HashSet<Node> = HashSet::new();
+    for (si, scan) in scans.iter().enumerate() {
+        let mut scratch = Vec::new();
+        for fi in rules::resolve_pins(cfg, scan, &mut scratch) {
+            pinned.insert((si, fi));
+        }
+    }
+
+    // BFS over the closure. `chain` renders the provenance shown in
+    // diagnostics: `reachable from pinned `serve` → `helper``.
+    let mut reached: HashMap<Node, String> = HashMap::new();
+    let mut external: BTreeSet<String> = BTreeSet::new();
+    let mut boundary_cuts = 0usize;
+    let mut queue: VecDeque<(Node, String)> = pinned
+        .iter()
+        .map(|&n @ (si, fi)| {
+            let name = &scans[si].fns[fi].name;
+            (n, format!("reachable from pinned `{name}`"))
+        })
+        .collect();
+    let mut visited: HashSet<Node> = pinned.clone();
+    while let Some(((si, fi), chain)) = queue.pop_front() {
+        let Some(callees) = calls.get(&(si, fi)) else {
+            continue;
+        };
+        for name in callees {
+            let Some(targets) = resolve(name, si, &crate_of, &by_name) else {
+                external.insert(name.clone());
+                continue;
+            };
+            for t in targets {
+                if boundary.contains(&t) {
+                    boundary_cuts += 1;
+                    continue;
+                }
+                if !visited.insert(t) {
+                    continue;
+                }
+                let next_chain = format!("{chain} → `{name}`");
+                reached.insert(t, next_chain.clone());
+                queue.push_back((t, next_chain));
+            }
+        }
+    }
+
+    // Purity-check every reached (non-pinned) fn, grouped per file.
+    let mut per_file: HashMap<usize, HashMap<usize, String>> = HashMap::new();
+    for (&(si, fi), chain) in &reached {
+        per_file.entry(si).or_default().insert(fi, chain.clone());
+    }
+    for (si, targets) in &per_file {
+        rules::check_reachable(&scans[*si], targets, diags);
+    }
+
+    Coverage {
+        pinned_fns: pinned.len(),
+        reachable_fns: reached.len(),
+        boundary_cuts,
+        external_names: external.len(),
+        uncovered_fns: 0,
+    }
+}
+
+/// Resolves a callee name: same file, then same crate, then anywhere in
+/// the workspace. Multiple matches at the winning tier all count — a
+/// conservative over-approximation is the right failure mode for a gate.
+fn resolve(
+    name: &str,
+    from_file: usize,
+    crate_of: &[String],
+    by_name: &HashMap<&str, Vec<Node>>,
+) -> Option<Vec<Node>> {
+    let all = by_name.get(name)?;
+    let same_file: Vec<Node> = all
+        .iter()
+        .copied()
+        .filter(|&(si, _)| si == from_file)
+        .collect();
+    if !same_file.is_empty() {
+        return Some(same_file);
+    }
+    let same_crate: Vec<Node> = all
+        .iter()
+        .copied()
+        .filter(|&(si, _)| crate_of[si] == crate_of[from_file])
+        .collect();
+    if !same_crate.is_empty() {
+        return Some(same_crate);
+    }
+    Some(all.clone())
+}
+
+/// Extracts, for every non-test fn, the callee names appearing in its
+/// body: an identifier directly followed by `(` that is not a macro
+/// (`name!`), a keyword, an enum constructor, or an ignored name.
+fn extract_calls(scans: &[FileScan], ignore: &HashSet<&str>) -> HashMap<Node, Vec<String>> {
+    let never: HashSet<&str> = NEVER_CALLS.iter().copied().collect();
+    let mut calls: HashMap<Node, HashSet<String>> = HashMap::new();
+    let mut ordered: HashMap<Node, Vec<String>> = HashMap::new();
+    for (si, scan) in scans.iter().enumerate() {
+        for l in 1..=scan.code.len() {
+            if scan.is_test_line(l) {
+                continue;
+            }
+            let Some(fi) = scan.fn_index_at(l) else {
+                continue;
+            };
+            if scan.fns[fi].in_test {
+                continue;
+            }
+            let code = &scan.code[l - 1];
+            if code.trim_start().starts_with('#') {
+                continue; // attribute line: `#[derive(Debug)]` is not a call
+            }
+            let toks: Vec<(usize, Tok)> = crate::scan::tokens(code).collect();
+            let mut prev_was_fn_kw = false;
+            for w in 0..toks.len() {
+                let Tok::Ident(name) = toks[w].1 else {
+                    if let Tok::Punct(_) = toks[w].1 {
+                        prev_was_fn_kw = false;
+                    }
+                    continue;
+                };
+                if name == "fn" {
+                    prev_was_fn_kw = true;
+                    continue;
+                }
+                let is_decl = prev_was_fn_kw;
+                prev_was_fn_kw = false;
+                if is_decl {
+                    continue; // the name in `fn name(` is a definition
+                }
+                let followed_by_paren = matches!(toks.get(w + 1), Some((_, Tok::Punct('('))));
+                let is_macro = matches!(toks.get(w + 1), Some((_, Tok::Punct('!'))));
+                if !followed_by_paren
+                    || is_macro
+                    || never.contains(name)
+                    || ignore.contains(name)
+                    || name.starts_with(|c: char| c.is_ascii_digit())
+                {
+                    continue;
+                }
+                let node = (si, fi);
+                if calls.entry(node).or_default().insert(name.to_string()) {
+                    ordered.entry(node).or_default().push(name.to_string());
+                }
+            }
+        }
+    }
+    ordered
+}
+
+/// True when the fn whose signature starts at 1-based `sig_line` carries
+/// a `#[cold]` attribute on one of the lines directly above it (comment
+/// lines between attributes and the signature are skipped).
+fn has_cold_attr(scan: &FileScan, sig_line: usize) -> bool {
+    let mut l = sig_line.saturating_sub(1);
+    while l >= 1 {
+        let code = scan.code[l - 1].trim();
+        if code.is_empty() {
+            // Comment-only line between attrs and the fn: keep scanning.
+            // A fully blank line ends the attribute run.
+            if scan.raw[l - 1].trim().is_empty() {
+                return false;
+            }
+            l -= 1;
+            continue;
+        }
+        if code.starts_with('#') {
+            if code.contains("cold") {
+                return true;
+            }
+            l -= 1;
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+fn config_diag(msg: String) -> Diagnostic {
+    Diagnostic {
+        file: "lint.toml".to_string(),
+        line: 1,
+        col: 1,
+        rule: "config".to_string(),
+        msg,
+        snippet: String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(path: &str, src: &str) -> FileScan {
+        FileScan::parse(path, src)
+    }
+
+    fn cfg(text: &str) -> Config {
+        Config::parse(text).expect("config parses")
+    }
+
+    #[test]
+    fn closure_reaches_an_unpinned_allocating_helper() {
+        let s = scan(
+            "crates/x/src/a.rs",
+            "fn hot() { helper(); }\nfn helper() { let _ = Vec::new(); }\n",
+        );
+        let c = cfg("[scan]\nroots = [\"crates\"]\n[[hot]]\nfile = \"crates/x/src/a.rs\"\nfns = [\"hot\"]\n");
+        let mut diags = Vec::new();
+        let cov = check_graph(&c, &[s], &mut diags);
+        assert_eq!(cov.pinned_fns, 1);
+        assert_eq!(cov.reachable_fns, 1);
+        assert_eq!(
+            diags.iter().filter(|d| d.rule == "serve-alloc").count(),
+            1,
+            "{diags:?}"
+        );
+        assert!(
+            diags[0].msg.contains("reachable from pinned `hot`"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn cold_fns_are_implicit_boundaries() {
+        let s = scan(
+            "crates/x/src/a.rs",
+            "fn hot() { refresh(); }\n#[cold]\nfn refresh() { let _ = Vec::new(); }\n",
+        );
+        let c = cfg("[scan]\nroots = [\"crates\"]\n[[hot]]\nfile = \"crates/x/src/a.rs\"\nfns = [\"hot\"]\n");
+        let mut diags = Vec::new();
+        let cov = check_graph(&c, &[s], &mut diags);
+        assert_eq!(cov.reachable_fns, 0);
+        assert_eq!(cov.boundary_cuts, 1);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn explicit_boundary_entries_cut_and_stale_ones_error() {
+        let src = "fn hot() { publish(); }\nfn publish() { let _ = Vec::new(); }\n";
+        let c = cfg(
+            "[scan]\nroots = [\"crates\"]\n[graph]\nboundary = [\"crates/x/src/a.rs::publish\"]\n\
+             [[hot]]\nfile = \"crates/x/src/a.rs\"\nfns = [\"hot\"]\n",
+        );
+        let mut diags = Vec::new();
+        let cov = check_graph(&c, &[scan("crates/x/src/a.rs", src)], &mut diags);
+        assert_eq!(cov.boundary_cuts, 1);
+        assert!(diags.is_empty(), "{diags:?}");
+
+        let stale = cfg(
+            "[scan]\nroots = [\"crates\"]\n[graph]\nboundary = [\"crates/x/src/a.rs::no_such\"]\n\
+             [[hot]]\nfile = \"crates/x/src/a.rs\"\nfns = [\"hot\"]\n",
+        );
+        let mut diags = Vec::new();
+        check_graph(&stale, &[scan("crates/x/src/a.rs", src)], &mut diags);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == "config" && d.msg.contains("stale")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn resolution_prefers_same_file_then_same_crate() {
+        let a = scan(
+            "crates/x/src/a.rs",
+            "fn hot() { helper(); }\nfn helper() {}\n",
+        );
+        let b = scan("crates/y/src/b.rs", "fn helper() { let _ = Vec::new(); }\n");
+        let c = cfg("[scan]\nroots = [\"crates\"]\n[[hot]]\nfile = \"crates/x/src/a.rs\"\nfns = [\"hot\"]\n");
+        let mut diags = Vec::new();
+        let cov = check_graph(&c, &[a, b], &mut diags);
+        // Same-file helper wins; the allocating one in crate y is never
+        // bound, so no serve-alloc fires.
+        assert_eq!(cov.reachable_fns, 1);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn macros_keywords_and_ignored_names_are_not_calls() {
+        let s = scan(
+            "crates/x/src/a.rs",
+            "fn hot() { if cond() { log!(x); ignored(); } }\nfn cond() -> bool { true }\nfn ignored() { let _ = Vec::new(); }\n",
+        );
+        let c = cfg(
+            "[scan]\nroots = [\"crates\"]\n[graph]\nignore_names = [\"ignored\"]\n\
+             [[hot]]\nfile = \"crates/x/src/a.rs\"\nfns = [\"hot\"]\n",
+        );
+        let mut diags = Vec::new();
+        let cov = check_graph(&c, &[s], &mut diags);
+        assert_eq!(cov.reachable_fns, 1, "only cond() is followed");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unresolved_names_count_as_external() {
+        let s = scan("crates/x/src/a.rs", "fn hot() { std_thing(); }\n");
+        let c = cfg("[scan]\nroots = [\"crates\"]\n[[hot]]\nfile = \"crates/x/src/a.rs\"\nfns = [\"hot\"]\n");
+        let mut diags = Vec::new();
+        let cov = check_graph(&c, &[s], &mut diags);
+        assert_eq!(cov.external_names, 1);
+        assert_eq!(cov.uncovered_fns, 0);
+    }
+
+    #[test]
+    fn closure_is_transitive_across_files() {
+        let a = scan("crates/x/src/a.rs", "fn hot() { mid(); }\n");
+        let b = scan(
+            "crates/x/src/b.rs",
+            "fn mid() { deep(); }\nfn deep() { let _ = Vec::new(); }\n",
+        );
+        let c = cfg("[scan]\nroots = [\"crates\"]\n[[hot]]\nfile = \"crates/x/src/a.rs\"\nfns = [\"hot\"]\n");
+        let mut diags = Vec::new();
+        let cov = check_graph(&c, &[a, b], &mut diags);
+        assert_eq!(cov.reachable_fns, 2);
+        let alloc: Vec<_> = diags.iter().filter(|d| d.rule == "serve-alloc").collect();
+        assert_eq!(alloc.len(), 1, "{diags:?}");
+        assert!(
+            alloc[0].msg.contains("`mid` → `deep`") || alloc[0].msg.contains("→ `deep`"),
+            "chain provenance missing: {}",
+            alloc[0].msg
+        );
+    }
+}

@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod graph;
 pub mod rules;
 pub mod runner;
 pub mod scan;

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! eum-lint [--config lint.toml] [--root .]   # run all rules, exit 1 on findings
+//! eum-lint --format json                     # machine-readable diagnostics + coverage
 //! eum-lint --explain <rule>                  # print a rule's rationale
 //! eum-lint --fix-budget                      # re-pin [unsafe_budget] to measured counts
 //! ```
@@ -19,6 +20,7 @@ struct Opts {
     root: PathBuf,
     explain: Option<String>,
     fix_budget: bool,
+    json: bool,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -27,6 +29,7 @@ fn parse_args() -> Result<Opts, String> {
         root: PathBuf::from("."),
         explain: None,
         fix_budget: false,
+        json: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -41,10 +44,17 @@ fn parse_args() -> Result<Opts, String> {
                 opts.explain = Some(args.next().ok_or("--explain needs a rule name")?);
             }
             "--fix-budget" => opts.fix_budget = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => opts.json = true,
+                Some("text") => opts.json = false,
+                Some(other) => return Err(format!("unknown format `{other}` (text or json)")),
+                None => return Err("--format needs `text` or `json`".to_string()),
+            },
             "--help" | "-h" => {
                 println!(
                     "eum-lint: workspace invariant checker\n\n\
-                     usage: eum-lint [--config lint.toml] [--root .] [--explain <rule>] [--fix-budget]\n\n\
+                     usage: eum-lint [--config lint.toml] [--root .] [--format text|json]\n\
+                            [--explain <rule>] [--fix-budget]\n\n\
                      rules: {}",
                     RULES.iter().map(|(r, _)| *r).collect::<Vec<_>>().join(", ")
                 );
@@ -127,9 +137,24 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if opts.json {
+        print!("{}", runner::to_json(&report));
+        return if report.diags.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
     for d in &report.diags {
         println!("{}\n", d.render());
     }
+    let c = &report.coverage;
+    println!(
+        "eum-lint: call graph: {} pinned fns, {} reachable callees covered, \
+         {} uncovered, {} boundary cuts, {} external names",
+        c.pinned_fns, c.reachable_fns, c.uncovered_fns, c.boundary_cuts, c.external_names
+    );
     if report.diags.is_empty() {
         println!(
             "eum-lint: {} files scanned, 0 violations",

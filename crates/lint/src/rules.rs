@@ -83,11 +83,24 @@ pub const RULES: &[(&str, &str)] = &[
          Regenerate the pins with `eum-lint --fix-budget`.",
     ),
     (
+        "raw-atomic",
+        "Audited concurrency files (lint.toml [atomics] facade_files) must \
+         import atomics through the eum-mcheck facade (`crate::msync`, a \
+         verbatim std re-export in production builds) instead of naming \
+         `std::sync::atomic` / `core::sync::atomic` directly. The facade is \
+         what lets the model-checked tests compile the same source text \
+         against modeled atomics; a raw import silently exempts the file from \
+         exhaustive interleaving coverage. Justify with \
+         `// lint: allow(raw-atomic) — <reason>`.",
+    ),
+    (
         "config",
-        "lint.toml self-check: hot/seqlock/counter entries must name files that \
-         exist in the scan, every fns pattern must match at least one non-test \
-         fn, budget entries must correspond to scanned crates, and justification \
-         tags must name known rules and carry a reason.",
+        "lint.toml self-check: hot/seqlock/counter/facade entries must name \
+         files that exist in the scan, every fns pattern must match at least \
+         one non-test fn (stale pin = error), [graph] boundary entries must \
+         resolve to an existing `file.rs::fn`, budget entries must correspond \
+         to scanned crates, and justification tags must name known rules and \
+         carry a reason.",
     ),
 ];
 
@@ -342,8 +355,10 @@ fn find_indexing(code: &str) -> Vec<usize> {
     out
 }
 
-/// Serve-path purity rules over one file.
-fn check_hot(cfg: &Config, scan: &FileScan, allows: &Allows, diags: &mut Vec<Diagnostic>) {
+/// Resolves the [[hot]] pins for one file into fn indices. Emits a
+/// config error for every pattern matching no non-test fn (stale pin).
+/// Public so the call-graph pass seeds its closure from the same set.
+pub fn resolve_pins(cfg: &Config, scan: &FileScan, diags: &mut Vec<Diagnostic>) -> HashSet<usize> {
     let mut matched: HashSet<usize> = HashSet::new();
     for hot in cfg.hot_for(&scan.path) {
         for pat in &hot.fns {
@@ -368,17 +383,38 @@ fn check_hot(cfg: &Config, scan: &FileScan, allows: &Allows, diags: &mut Vec<Dia
             }
         }
     }
-    if matched.is_empty() {
+    matched
+}
+
+/// Serve-path purity scan over a set of fns in one file. `members` maps
+/// fn index → provenance: `None` for directly pinned fns, `Some(chain)`
+/// for fns the call-graph closure reached (the chain lands in the
+/// message so the reader sees *why* an un-pinned fn is held to the
+/// serve-path rules).
+fn check_purity(
+    scan: &FileScan,
+    allows: &Allows,
+    members: &HashMap<usize, Option<String>>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if members.is_empty() {
         return;
     }
     for l in 1..=scan.raw.len() {
         let Some(fi) = scan.fn_index_at(l) else {
             continue;
         };
-        if !matched.contains(&fi) || scan.is_test_line(l) {
+        let Some(provenance) = members.get(&fi) else {
+            continue;
+        };
+        if scan.is_test_line(l) {
             continue;
         }
         let f = &scan.fns[fi];
+        let via = match provenance {
+            None => String::new(),
+            Some(chain) => format!(" ({chain})"),
+        };
         let code = &scan.code[l - 1];
         for (needle, rule, what) in MACROS.iter().chain(PATHS).chain(METHODS) {
             for at in find_token(code, needle) {
@@ -389,7 +425,7 @@ fn check_hot(cfg: &Config, scan: &FileScan, allows: &Allows, diags: &mut Vec<Dia
                         at,
                         rule,
                         format!(
-                            "{what} `{}` in hot fn `{}`",
+                            "{what} `{}` in hot fn `{}`{via}",
                             needle.trim_matches('.'),
                             f.name
                         ),
@@ -404,8 +440,65 @@ fn check_hot(cfg: &Config, scan: &FileScan, allows: &Allows, diags: &mut Vec<Dia
                     l,
                     at,
                     "serve-index",
-                    format!("`[]` indexing in hot fn `{}` can panic", f.name),
+                    format!("`[]` indexing in hot fn `{}` can panic{via}", f.name),
                 ));
+            }
+        }
+    }
+}
+
+/// Serve-path purity rules over one file's directly pinned fns.
+fn check_hot(cfg: &Config, scan: &FileScan, allows: &Allows, diags: &mut Vec<Diagnostic>) {
+    let members: HashMap<usize, Option<String>> = resolve_pins(cfg, scan, diags)
+        .into_iter()
+        .map(|i| (i, None))
+        .collect();
+    check_purity(scan, allows, &members, diags);
+}
+
+/// Purity pass over call-graph-reached fns (`targets`: fn index →
+/// provenance chain). Recomputes the file's justification tags without
+/// re-emitting tag errors — `check_file` already reported those.
+pub fn check_reachable(
+    scan: &FileScan,
+    targets: &HashMap<usize, String>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut tag_diags = Vec::new();
+    let allows = collect_allows(scan, &mut tag_diags);
+    let members: HashMap<usize, Option<String>> = targets
+        .iter()
+        .map(|(&i, chain)| (i, Some(chain.clone())))
+        .collect();
+    check_purity(scan, &allows, &members, diags);
+}
+
+/// Facade audit: declared concurrency files must not name the raw
+/// std/core atomics module — atomics come through `crate::msync` so the
+/// model-checked tests compile the same source against modeled atomics.
+fn check_raw_atomic(cfg: &Config, scan: &FileScan, allows: &Allows, diags: &mut Vec<Diagnostic>) {
+    if !cfg.facade_files.contains(&scan.path) {
+        return;
+    }
+    for l in 1..=scan.raw.len() {
+        if scan.is_test_line(l) {
+            continue;
+        }
+        let code = &scan.code[l - 1];
+        for needle in ["std::sync::atomic", "core::sync::atomic"] {
+            for at in find_token(code, needle) {
+                if !allows.permits(l, "raw-atomic") {
+                    diags.push(Diagnostic::new(
+                        scan,
+                        l,
+                        at,
+                        "raw-atomic",
+                        format!(
+                            "`{needle}` in audited file: import atomics via \
+                             `crate::msync` so model-checked builds cover this file"
+                        ),
+                    ));
+                }
             }
         }
     }
@@ -570,6 +663,7 @@ pub fn check_file(cfg: &Config, scan: &FileScan, diags: &mut Vec<Diagnostic>) ->
     let allows = collect_allows(scan, &mut tag_diags);
     diags.extend(tag_diags);
     check_hot(cfg, scan, &allows, diags);
+    check_raw_atomic(cfg, scan, &allows, diags);
     check_relaxed(cfg, scan, &allows, diags);
     check_seqlock(cfg, scan, &allows, diags);
     check_unsafe(scan, diags)

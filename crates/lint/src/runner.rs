@@ -1,6 +1,7 @@
 //! Workspace walking, report assembly, and `--fix-budget` rewriting.
 
 use crate::config::Config;
+use crate::graph::{self, Coverage};
 use crate::rules::{self, Diagnostic};
 use crate::scan::FileScan;
 use std::collections::{BTreeMap, HashSet};
@@ -15,6 +16,8 @@ pub struct Report {
     pub files_scanned: usize,
     /// Measured `unsafe` occurrences per crate key.
     pub unsafe_counts: BTreeMap<String, u64>,
+    /// Call-graph closure coverage numbers.
+    pub coverage: Coverage,
 }
 
 /// Collects workspace-relative `.rs` paths under the configured roots,
@@ -77,7 +80,8 @@ pub fn run(cfg: &Config, root: &Path) -> Result<Report, String> {
         .iter()
         .map(|h| (&h.file, "[[hot]]"))
         .chain(cfg.counter_paths.iter().map(|p| (p, "counter_paths")))
-        .chain(cfg.seqlock_files.iter().map(|p| (p, "seqlock_files")));
+        .chain(cfg.seqlock_files.iter().map(|p| (p, "seqlock_files")))
+        .chain(cfg.facade_files.iter().map(|p| (p, "facade_files")));
     for (file, origin) in named {
         if !fileset.contains(file.as_str()) {
             diags.push(Diagnostic {
@@ -91,22 +95,87 @@ pub fn run(cfg: &Config, root: &Path) -> Result<Report, String> {
         }
     }
 
+    // Pass 1: parse every file once, run the per-file rules, count
+    // unsafe. The parsed scans are kept — the graph pass needs the whole
+    // workspace in hand to resolve cross-crate calls.
     let mut unsafe_counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut scans: Vec<FileScan> = Vec::with_capacity(files.len());
     for rel in &files {
         let src = std::fs::read_to_string(root.join(rel))
             .map_err(|e| format!("cannot read {rel}: {e}"))?;
         let scan = FileScan::parse(rel, &src);
         let n = rules::check_file(cfg, &scan, &mut diags);
         *unsafe_counts.entry(rules::crate_key(rel)).or_insert(0) += n;
+        scans.push(scan);
     }
     rules::check_budget(cfg, &unsafe_counts, &mut diags);
+
+    // Pass 2: call-graph closure from the pinned hot set.
+    let coverage = graph::check_graph(cfg, &scans, &mut diags);
 
     diags.sort_by(|a, b| (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule)));
     Ok(Report {
         diags,
         files_scanned: files.len(),
         unsafe_counts,
+        coverage,
     })
+}
+
+/// Renders the report as JSON for machine consumers (CI annotations,
+/// editor integrations). Hand-rolled — the linter is zero-dependency.
+pub fn to_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"diagnostics\": [");
+    for (i, d) in report.diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"msg\": {}, \"snippet\": {}}}",
+            json_str(&d.file),
+            d.line,
+            d.col,
+            json_str(&d.rule),
+            json_str(&d.msg),
+            json_str(&d.snippet),
+        ));
+    }
+    if !report.diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    let c = &report.coverage;
+    out.push_str(&format!(
+        "],\n  \"summary\": {{\n    \"files_scanned\": {},\n    \"violations\": {},\n    \
+         \"coverage\": {{\"pinned_fns\": {}, \"reachable_fns\": {}, \"boundary_cuts\": {}, \
+         \"external_names\": {}, \"uncovered_fns\": {}}}\n  }}\n}}\n",
+        report.files_scanned,
+        report.diags.len(),
+        c.pinned_fns,
+        c.reachable_fns,
+        c.boundary_cuts,
+        c.external_names,
+        c.uncovered_fns,
+    ));
+    out
+}
+
+/// Escapes one JSON string, quotes included.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Rewrites the `[unsafe_budget]` table in `config_text` with the

@@ -362,7 +362,9 @@ fn walk_items(code: &[String]) -> (Vec<FnSpan>, Vec<bool>) {
     (fns, line_test)
 }
 
-enum Tok<'a> {
+/// One token of a blanked code line. Public so the call-graph extractor
+/// ([`crate::graph`]) shares the item walker's exact tokenization.
+pub enum Tok<'a> {
     Ident(&'a str),
     Punct(char),
 }
@@ -370,7 +372,7 @@ enum Tok<'a> {
 /// Word/punct tokens of a blanked code line with byte columns (0-based).
 /// Every non-identifier, non-space byte is a punct token so keyword state
 /// (e.g. "the token right after `fn`") resets on any punctuation.
-fn tokens(line: &str) -> impl Iterator<Item = (usize, Tok<'_>)> {
+pub fn tokens(line: &str) -> impl Iterator<Item = (usize, Tok<'_>)> {
     let b = line.as_bytes();
     let mut i = 0usize;
     std::iter::from_fn(move || {

@@ -17,6 +17,11 @@ roots = ["fixtures"]
 [atomics]
 counter_paths = []
 seqlock_files = ["fixtures/seqlock.rs"]
+facade_files = ["fixtures/raw_atomic.rs"]
+
+[graph]
+ignore_names = ["len"]
+boundary = ["fixtures/call_graph.rs::cut_by_config"]
 
 [unsafe_budget]
 root = 3
@@ -36,6 +41,10 @@ fns = ["violating*", "justified", "clean"]
 [[hot]]
 file = "fixtures/serve_index.rs"
 fns = ["violating", "justified", "clean", "not_indexing"]
+
+[[hot]]
+file = "fixtures/call_graph.rs"
+fns = ["pinned_hot"]
 "#;
 
 fn fixture_config() -> Config {
@@ -229,11 +238,89 @@ fn every_emitted_rule_is_explainable() {
         "seqlock.rs",
         "safety_comment.rs",
         "bad_tags.rs",
+        "raw_atomic.rs",
+        "call_graph.rs",
     ] {
         for d in diags_for(name) {
             assert!(known_rule(&d.rule), "diagnostic names unknown rule {d:?}");
         }
     }
+}
+
+#[test]
+fn raw_atomic_fires_on_std_import_in_facade_file() {
+    let diags = diags_for("raw_atomic.rs");
+    assert_eq!(
+        rule_lines(&diags, "raw-atomic"),
+        vec![5],
+        "the justified use and test code must pass: {diags:?}"
+    );
+    assert_eq!(diags.len(), 1, "{diags:?}");
+}
+
+#[test]
+fn call_graph_closure_reaches_unpinned_helpers_and_respects_boundaries() {
+    let cfg = fixture_config();
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = runner::run(&cfg, root).expect("runs");
+    // The un-pinned leaky_helper inherits serve-alloc through the
+    // closure, with the chain in the message.
+    let leaky: Vec<_> = report
+        .diags
+        .iter()
+        .filter(|d| d.file == "fixtures/call_graph.rs")
+        .collect();
+    assert_eq!(leaky.len(), 1, "{leaky:?}");
+    assert_eq!(leaky[0].rule, "serve-alloc");
+    assert_eq!(leaky[0].line, 15);
+    assert!(
+        leaky[0].msg.contains("reachable from pinned `pinned_hot`"),
+        "{}",
+        leaky[0].msg
+    );
+    // The #[cold] fn and the boundary-listed fn are never checked.
+    assert_eq!(report.coverage.boundary_cuts, 2, "{:?}", report.coverage);
+    assert_eq!(report.coverage.uncovered_fns, 0);
+    assert!(report.coverage.pinned_fns >= 1);
+    assert!(report.coverage.reachable_fns >= 1);
+}
+
+#[test]
+fn stale_boundary_entry_is_a_config_error() {
+    let cfg = Config::parse(
+        "[scan]\nroots = [\"fixtures\"]\n[graph]\nboundary = [\"fixtures/call_graph.rs::gone\"]\n",
+    )
+    .expect("parses");
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = runner::run(&cfg, root).expect("runs");
+    assert!(
+        report
+            .diags
+            .iter()
+            .any(|d| d.rule == "config" && d.msg.contains("stale") && d.msg.contains("gone")),
+        "{:?}",
+        report.diags
+    );
+}
+
+#[test]
+fn json_report_is_well_formed_and_carries_coverage() {
+    let cfg = fixture_config();
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = runner::run(&cfg, root).expect("runs");
+    let json = runner::to_json(&report);
+    assert!(json.contains("\"diagnostics\": ["), "{json}");
+    assert!(json.contains("\"files_scanned\":"), "{json}");
+    assert!(json.contains("\"uncovered_fns\": 0"), "{json}");
+    assert!(
+        json.contains("\"rule\": \"serve-alloc\""),
+        "diagnostics must serialize: {json}"
+    );
+    // Message text contains backticks and arrows; quotes and backslashes
+    // must be escaped — a raw quote inside a value would break the pairing.
+    let quotes = json.matches('"').count();
+    let escaped = json.matches("\\\"").count();
+    assert_eq!((quotes - escaped) % 2, 0, "unbalanced quotes: {json}");
 }
 
 #[test]
@@ -251,6 +338,7 @@ fn runner_walks_fixtures_end_to_end() {
         "relaxed-ordering",
         "seqlock-pairing",
         "safety-comment",
+        "raw-atomic",
         "config",
     ] {
         assert!(

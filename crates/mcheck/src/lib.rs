@@ -1,0 +1,47 @@
+//! eum-mcheck: a pure-std, loom-style deterministic concurrency model
+//! checker for the lock-free serving core.
+//!
+//! The serving stack's correctness rests on a handful of hand-audited
+//! lock-free structures (the seqlock trace ring, the epoch-pointer
+//! snapshot cell, the striped metrics registry). Nondeterministic stress
+//! tests exercise them by luck; this crate exercises them by
+//! *enumeration*: [`check`] runs a closure under a cooperative scheduler
+//! that explores thread interleavings depth-first with iterative context
+//! bounding, over a view-based weak-memory model ([`memory`]) strong
+//! enough to produce the stale reads a real weakly-ordered CPU may
+//! produce when a Release/Acquire pair or a fence is missing.
+//!
+//! Product code does not depend on the checker at runtime: it imports
+//! its atomics through the [`sync`] facade, which in production builds
+//! is a verbatim re-export of `std::sync::atomic` (zero-cost; a test
+//! pins `TypeId` equality) and only becomes the modeled implementation
+//! under `--cfg eum_mcheck`. Model tests can also compile a source file
+//! directly against [`modeled`] via `#[path]` inclusion, so plain
+//! `cargo test` explores interleavings with no special build flags.
+//!
+//! ```
+//! use eum_mcheck::{self as mcheck, modeled::AtomicU64};
+//! use std::sync::Arc;
+//! use std::sync::atomic::Ordering;
+//!
+//! let report = mcheck::verify("handoff", &mcheck::Config::default(), || {
+//!     let flag = Arc::new(AtomicU64::new(0));
+//!     let f2 = flag.clone();
+//!     let t = mcheck::spawn(move || f2.store(1, Ordering::Release));
+//!     let _ = flag.load(Ordering::Acquire);
+//!     t.join();
+//! });
+//! assert!(report.complete);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod memory;
+pub mod model;
+pub mod modeled;
+pub mod sync;
+
+pub use model::{
+    check, exhaustive, expect_failure, spawn, verify, Config, FailureReport, JoinHandle, Report,
+};

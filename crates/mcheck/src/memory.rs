@@ -1,0 +1,325 @@
+//! The operational weak-memory model the checker executes against.
+//!
+//! This is a view-based C11-style model (in the spirit of the "promising
+//! semantics" operational formulations, minus promises): every atomic
+//! location carries its full modification order as a list of store
+//! messages, and every modeled thread carries a *view* — for each
+//! location, the index of the newest store it is guaranteed to observe.
+//! A `Relaxed` load may read **any** store at or after the thread's view
+//! (that is what models staleness and store buffering); an `Acquire` load
+//! additionally joins the release-view attached to the store it read,
+//! which is how Release/Acquire pairs create happens-before edges. A
+//! missing Release fence or a demoted Acquire simply fails to transfer a
+//! view, and the exploration then finds the stale read that a real
+//! weakly-ordered CPU is allowed to produce.
+//!
+//! The model is deliberately an *under*-approximation in one place:
+//! modification order always equals execution (interleaving) order, so
+//! two racing stores are never reordered against real time within one
+//! execution. The DFS over interleavings recovers the other order as a
+//! different execution, which keeps the model simple without losing the
+//! bug classes we care about (missing fences, wrong orderings, torn
+//! seqlock reads).
+
+use std::sync::atomic::Ordering;
+
+/// Index of a modeled atomic location within an execution.
+pub type LocId = usize;
+
+/// A vector clock over store indices: `view[loc]` is the index of the
+/// oldest store to `loc` this thread is still allowed to read (it has
+/// observed everything before it). Missing entries mean 0 (the initial
+/// store).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct View {
+    t: Vec<u32>,
+}
+
+impl View {
+    /// The minimum readable store index for `loc`.
+    pub fn get(&self, loc: LocId) -> u32 {
+        self.t.get(loc).copied().unwrap_or(0)
+    }
+
+    /// Raise the floor for `loc` to at least `idx`.
+    pub fn set_at_least(&mut self, loc: LocId, idx: u32) {
+        if self.t.len() <= loc {
+            self.t.resize(loc + 1, 0);
+        }
+        if self.t[loc] < idx {
+            self.t[loc] = idx;
+        }
+    }
+
+    /// Pointwise maximum (lattice join) with another view.
+    pub fn join(&mut self, other: &View) {
+        if self.t.len() < other.t.len() {
+            self.t.resize(other.t.len(), 0);
+        }
+        for (a, b) in self.t.iter_mut().zip(&other.t) {
+            if *a < *b {
+                *a = *b;
+            }
+        }
+    }
+}
+
+/// One store message in a location's modification order.
+pub struct StoreMsg {
+    /// The stored value (all modeled atomics are widened to u64).
+    pub val: u64,
+    /// The writer's view at the store, when the store is a release store
+    /// (directly, via a preceding Release fence, or inherited through a
+    /// release sequence by an RMW). `None` for plain relaxed stores —
+    /// reading them transfers nothing.
+    pub view: Option<View>,
+}
+
+/// A modeled atomic location: its whole modification order.
+#[derive(Default)]
+pub struct Location {
+    /// Modification order; index 0 is the initial value.
+    pub stores: Vec<StoreMsg>,
+}
+
+/// All locations of one execution plus the SC clock.
+#[derive(Default)]
+pub struct Memory {
+    /// Locations in registration order.
+    pub locs: Vec<Location>,
+    /// The global view threaded through all `SeqCst` accesses; joining it
+    /// both ways gives SeqCst operations a single total order strong
+    /// enough for Dekker-style mutual exclusion.
+    pub sc: View,
+}
+
+impl Memory {
+    /// Register a new location whose initial value is `init`.
+    pub fn alloc(&mut self, init: u64) -> LocId {
+        self.locs.push(Location {
+            stores: vec![StoreMsg {
+                val: init,
+                view: None,
+            }],
+        });
+        self.locs.len() - 1
+    }
+}
+
+/// Per-thread memory state.
+#[derive(Clone, Default)]
+pub struct ThreadMem {
+    /// What this thread is guaranteed to observe.
+    pub view: View,
+    /// Set by a Release (or stronger) fence: attached to subsequent
+    /// relaxed stores, making them release-publish everything up to the
+    /// fence.
+    pub rel_fence: Option<View>,
+    /// Accumulated release-views of stores this thread has read with any
+    /// ordering; an Acquire fence folds this into `view`, upgrading the
+    /// earlier relaxed loads retroactively (C11 fence semantics).
+    pub acq_pending: View,
+}
+
+fn acquiring(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn releasing(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+impl ThreadMem {
+    /// The store indices a load by this thread may legally read.
+    pub fn load_candidates(&mut self, mem: &Memory, loc: LocId, ord: Ordering) -> (u32, u32) {
+        if ord == Ordering::SeqCst {
+            self.view.join(&mem.sc);
+        }
+        let min = self.view.get(loc);
+        let len = mem.locs[loc].stores.len() as u32;
+        (min, len)
+    }
+
+    /// Complete a load that chose store `idx` from the candidate range.
+    pub fn apply_load(&mut self, mem: &mut Memory, loc: LocId, idx: u32, ord: Ordering) -> u64 {
+        self.view.set_at_least(loc, idx);
+        let msg = &mem.locs[loc].stores[idx as usize];
+        if let Some(v) = &msg.view {
+            self.acq_pending.join(v);
+            if acquiring(ord) {
+                self.view.join(v);
+            }
+        }
+        let val = msg.val;
+        if ord == Ordering::SeqCst {
+            mem.sc.join(&self.view);
+        }
+        val
+    }
+
+    /// A plain store of `val`.
+    pub fn store(&mut self, mem: &mut Memory, loc: LocId, val: u64, ord: Ordering) {
+        if ord == Ordering::SeqCst {
+            self.view.join(&mem.sc);
+        }
+        let idx = mem.locs[loc].stores.len() as u32;
+        self.view.set_at_least(loc, idx);
+        let view = if releasing(ord) {
+            Some(self.view.clone())
+        } else {
+            self.rel_fence.clone()
+        };
+        mem.locs[loc].stores.push(StoreMsg { val, view });
+        if ord == Ordering::SeqCst {
+            mem.sc.join(&self.view);
+        }
+    }
+
+    /// An atomic read-modify-write computing `new` from the current
+    /// newest store (RMWs always read the tail of modification order).
+    /// Returns the old value. `write` controls whether the write happens
+    /// (compare_exchange failure is an RMW that reads but does not write).
+    pub fn rmw(
+        &mut self,
+        mem: &mut Memory,
+        loc: LocId,
+        new: impl FnOnce(u64) -> u64,
+        ord: Ordering,
+        write: bool,
+    ) -> u64 {
+        if ord == Ordering::SeqCst {
+            self.view.join(&mem.sc);
+        }
+        let read_idx = mem.locs[loc].stores.len() - 1;
+        let old = mem.locs[loc].stores[read_idx].val;
+        let read_view = mem.locs[loc].stores[read_idx].view.clone();
+        self.view.set_at_least(loc, read_idx as u32);
+        if let Some(v) = &read_view {
+            self.acq_pending.join(v);
+            if acquiring(ord) {
+                self.view.join(v);
+            }
+        }
+        if write {
+            let idx = mem.locs[loc].stores.len() as u32;
+            self.view.set_at_least(loc, idx);
+            let mut attached = if releasing(ord) {
+                Some(self.view.clone())
+            } else {
+                self.rel_fence.clone()
+            };
+            // Release-sequence continuation: an RMW in the middle of a
+            // release sequence carries the head's release-view forward,
+            // so `fetch_add` chains keep synchronizing.
+            if let Some(rv) = read_view {
+                match &mut attached {
+                    Some(a) => a.join(&rv),
+                    None => attached = Some(rv),
+                }
+            }
+            mem.locs[loc].stores.push(StoreMsg {
+                val: new(old),
+                view: attached,
+            });
+        }
+        if ord == Ordering::SeqCst {
+            mem.sc.join(&self.view);
+        }
+        old
+    }
+
+    /// A standalone fence.
+    pub fn fence(&mut self, mem: &mut Memory, ord: Ordering) {
+        if ord == Ordering::SeqCst {
+            self.view.join(&mem.sc);
+        }
+        if acquiring(ord) {
+            let pending = self.acq_pending.clone();
+            self.view.join(&pending);
+        }
+        if releasing(ord) {
+            self.rel_fence = Some(self.view.clone());
+        }
+        if ord == Ordering::SeqCst {
+            mem.sc.join(&self.view);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = View::default();
+        a.set_at_least(0, 3);
+        a.set_at_least(2, 1);
+        let mut b = View::default();
+        b.set_at_least(0, 1);
+        b.set_at_least(1, 5);
+        a.join(&b);
+        assert_eq!(a.get(0), 3);
+        assert_eq!(a.get(1), 5);
+        assert_eq!(a.get(2), 1);
+        assert_eq!(a.get(9), 0);
+    }
+
+    #[test]
+    fn release_store_transfers_view_to_acquire_load() {
+        let mut mem = Memory::default();
+        let data = mem.alloc(0);
+        let flag = mem.alloc(0);
+
+        let mut writer = ThreadMem::default();
+        writer.store(&mut mem, data, 41, Ordering::Relaxed);
+        writer.store(&mut mem, flag, 1, Ordering::Release);
+
+        let mut reader = ThreadMem::default();
+        // Reader acquires the flag=1 store (index 1).
+        let (min, len) = reader.load_candidates(&mem, flag, Ordering::Acquire);
+        assert_eq!((min, len), (0, 2));
+        let v = reader.apply_load(&mut mem, flag, 1, Ordering::Acquire);
+        assert_eq!(v, 1);
+        // Now the data=41 store is the only candidate: no stale read.
+        let (min, len) = reader.load_candidates(&mem, data, Ordering::Relaxed);
+        assert_eq!((min, len), (1, 2));
+    }
+
+    #[test]
+    fn relaxed_store_transfers_nothing() {
+        let mut mem = Memory::default();
+        let data = mem.alloc(0);
+        let flag = mem.alloc(0);
+
+        let mut writer = ThreadMem::default();
+        writer.store(&mut mem, data, 41, Ordering::Relaxed);
+        writer.store(&mut mem, flag, 1, Ordering::Relaxed);
+
+        let mut reader = ThreadMem::default();
+        reader.apply_load(&mut mem, flag, 1, Ordering::Acquire);
+        // Stale data read still permitted: the flag store was relaxed.
+        let (min, len) = reader.load_candidates(&mem, data, Ordering::Relaxed);
+        assert_eq!((min, len), (0, 2));
+    }
+
+    #[test]
+    fn fence_pair_upgrades_relaxed_accesses() {
+        let mut mem = Memory::default();
+        let data = mem.alloc(0);
+        let flag = mem.alloc(0);
+
+        let mut writer = ThreadMem::default();
+        writer.store(&mut mem, data, 41, Ordering::Relaxed);
+        writer.fence(&mut mem, Ordering::Release);
+        writer.store(&mut mem, flag, 1, Ordering::Relaxed);
+
+        let mut reader = ThreadMem::default();
+        reader.apply_load(&mut mem, flag, 1, Ordering::Relaxed);
+        // Before the acquire fence the stale read is allowed...
+        assert_eq!(reader.load_candidates(&mem, data, Ordering::Relaxed).0, 0);
+        // ...after it, the release-fence view pins data at index 1.
+        reader.fence(&mut mem, Ordering::Acquire);
+        assert_eq!(reader.load_candidates(&mem, data, Ordering::Relaxed).0, 1);
+    }
+}

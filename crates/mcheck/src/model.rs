@@ -1,0 +1,1116 @@
+//! The cooperative scheduler and DFS interleaving explorer.
+//!
+//! One execution runs the checked closure with every modeled thread
+//! mapped onto a pooled OS thread, but with a *grant baton* that keeps
+//! exactly one of them in user code at any instant. Every modeled
+//! operation (atomic access, fence, mutex, spawn, join) is a schedule
+//! point: the running thread parks, a scheduling decision picks who
+//! performs the next operation, and the choice is recorded on a decision
+//! path. The explorer then backtracks depth-first over that path —
+//! flipping the deepest decision with unexplored alternatives — until the
+//! space is exhausted, a budget is hit, or an assertion fails.
+//!
+//! Two decision kinds exist: *schedule* decisions (which runnable thread
+//! moves) and *load* decisions (which store message a load reads, per the
+//! weak-memory model in [`crate::memory`]). Context bounding caps how
+//! often a schedule decision may switch away from a thread that could
+//! have continued (a preemption); bounds are explored iteratively
+//! (0, 1, …, max), so the first failure found uses the fewest preemptions
+//! — the printed schedule is minimal in that sense.
+
+use crate::memory::{LocId, Memory, ThreadMem};
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrd};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+pub use std::sync::atomic::Ordering;
+
+/// Exploration limits. All defaults are sized for "runs in a test suite";
+/// set `EUM_MCHECK_EXHAUSTIVE=1` (see [`exhaustive`]) and pass a larger
+/// config for overnight-style runs.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum preemptions per execution (context bound). Bounds are
+    /// explored iteratively from 0 up to this value.
+    pub max_preemptions: usize,
+    /// Total execution budget across all bounds; exploration stops with
+    /// `Report::complete == false` when it is exceeded.
+    pub max_executions: u64,
+    /// Per-execution operation budget (livelock guard).
+    pub max_steps: usize,
+    /// Maximum modeled threads per execution (pool size).
+    pub max_threads: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            max_preemptions: 2,
+            max_executions: 100_000,
+            max_steps: 20_000,
+            max_threads: 6,
+        }
+    }
+}
+
+impl Config {
+    /// A config with explicit preemption and execution budgets.
+    pub fn bounded(max_preemptions: usize, max_executions: u64) -> Config {
+        Config {
+            max_preemptions,
+            max_executions,
+            ..Config::default()
+        }
+    }
+}
+
+/// True when `EUM_MCHECK_EXHAUSTIVE` is set (and not "0"): tests use this
+/// to switch from their bounded default configs to exhaustive ones.
+pub fn exhaustive() -> bool {
+    std::env::var_os("EUM_MCHECK_EXHAUSTIVE").is_some_and(|v| v != *"0")
+}
+
+/// Outcome of a completed exploration (no violation found).
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Executions actually run (all bounds).
+    pub executions: u64,
+    /// Whether the space up to `max_preemptions` was fully explored
+    /// (false when `max_executions` cut it short).
+    pub complete: bool,
+    /// The highest preemption bound explored.
+    pub bound_reached: usize,
+}
+
+/// A violation: the panic message plus the full interleaving schedule of
+/// the failing execution, rendered for humans.
+pub struct FailureReport {
+    /// The panic/deadlock/budget message.
+    pub message: String,
+    /// The rendered step-by-step schedule of the failing execution.
+    pub schedule: String,
+    /// Executions run before the failure was found.
+    pub executions: u64,
+    /// The context bound the failure was found at.
+    pub preemption_bound: usize,
+    /// Preemptions actually used by the failing execution.
+    pub preemptions: usize,
+}
+
+impl fmt::Display for FailureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "mcheck: violation found: {}", self.message)?;
+        writeln!(
+            f,
+            "  after {} execution(s), at preemption bound {} ({} preemption(s) used)",
+            self.executions, self.preemption_bound, self.preemptions
+        )?;
+        writeln!(f, "  failing interleaving (minimized schedule):")?;
+        write!(f, "{}", self.schedule)
+    }
+}
+
+impl fmt::Debug for FailureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decisions and events
+// ---------------------------------------------------------------------
+
+const DK_SCHED: u8 = 0;
+const DK_LOAD: u8 = 1;
+
+#[derive(Clone, Copy, Debug)]
+struct Decision {
+    chosen: u32,
+    alts: u32,
+    kind: u8,
+}
+
+#[derive(Clone)]
+enum Ev {
+    Spawn {
+        child: usize,
+    },
+    Load {
+        loc: LocId,
+        ord: Ordering,
+        idx: u32,
+        newest: u32,
+        val: u64,
+    },
+    Store {
+        loc: LocId,
+        ord: Ordering,
+        idx: u32,
+        val: u64,
+    },
+    Rmw {
+        loc: LocId,
+        ord: Ordering,
+        old: u64,
+        new: u64,
+    },
+    CasFail {
+        loc: LocId,
+        ord: Ordering,
+        found: u64,
+    },
+    Fence {
+        ord: Ordering,
+    },
+    LockWait {
+        rid: usize,
+    },
+    Lock {
+        rid: usize,
+    },
+    Unlock {
+        rid: usize,
+    },
+    JoinWait {
+        target: usize,
+    },
+    Join {
+        target: usize,
+    },
+    Finish,
+}
+
+#[derive(Clone)]
+struct Event {
+    tid: usize,
+    ev: Ev,
+}
+
+fn ord_name(o: Ordering) -> &'static str {
+    match o {
+        // relaxed-ok: match arm naming the variant for schedule rendering,
+        // not an atomic access.
+        Ordering::Relaxed => "Relaxed",
+        Ordering::Acquire => "Acquire",
+        Ordering::Release => "Release",
+        Ordering::AcqRel => "AcqRel",
+        Ordering::SeqCst => "SeqCst",
+        _ => "?",
+    }
+}
+
+fn render_schedule(events: &[Event]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for (step, e) in events.iter().enumerate() {
+        let mut desc = String::new();
+        match &e.ev {
+            Ev::Spawn { child } => {
+                let _ = write!(desc, "spawn t{child}");
+            }
+            Ev::Load {
+                loc,
+                ord,
+                idx,
+                newest,
+                val,
+            } => {
+                let _ = write!(desc, "A{loc}.load({}) -> {val}", ord_name(*ord));
+                if idx < newest {
+                    let _ = write!(desc, "  [store {idx}/{newest}: STALE]");
+                }
+            }
+            Ev::Store { loc, ord, idx, val } => {
+                let _ = write!(
+                    desc,
+                    "A{loc}.store({val}, {})  [store {idx}]",
+                    ord_name(*ord)
+                );
+            }
+            Ev::Rmw { loc, ord, old, new } => {
+                let _ = write!(desc, "A{loc}.rmw({}) {old} -> {new}", ord_name(*ord));
+            }
+            Ev::CasFail { loc, ord, found } => {
+                let _ = write!(
+                    desc,
+                    "A{loc}.compare_exchange({}) failed, found {found}",
+                    ord_name(*ord)
+                );
+            }
+            Ev::Fence { ord } => {
+                let _ = write!(desc, "fence({})", ord_name(*ord));
+            }
+            Ev::LockWait { rid } => {
+                let _ = write!(desc, "M{rid}.lock() [blocked]");
+            }
+            Ev::Lock { rid } => {
+                let _ = write!(desc, "M{rid}.lock() [acquired]");
+            }
+            Ev::Unlock { rid } => {
+                let _ = write!(desc, "M{rid}.unlock()");
+            }
+            Ev::JoinWait { target } => {
+                let _ = write!(desc, "join(t{target}) [blocked]");
+            }
+            Ev::Join { target } => {
+                let _ = write!(desc, "join(t{target})");
+            }
+            Ev::Finish => desc.push_str("finished"),
+        }
+        let _ = writeln!(out, "    {:>4}  t{}  {desc}", step + 1, e.tid);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Execution state
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum BlockOn {
+    Lock(usize),
+    Join(usize),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    Parked,
+    Executing,
+    Blocked(BlockOn),
+    Finished,
+}
+
+struct Resource {
+    owner: Option<usize>,
+    view: crate::memory::View,
+}
+
+struct ExecState {
+    mem: Memory,
+    tmem: Vec<ThreadMem>,
+    tstate: Vec<TState>,
+    resources: Vec<Resource>,
+    granted: usize,
+    live: usize,
+    cancelled: bool,
+    done: bool,
+    failure: Option<String>,
+    path: Vec<Decision>,
+    cursor: usize,
+    bound: usize,
+    preemptions: usize,
+    steps: usize,
+    max_steps: usize,
+    max_threads: usize,
+    run_tag: u32,
+    events: Vec<Event>,
+}
+
+impl ExecState {
+    fn fail(&mut self, msg: String) {
+        if self.failure.is_none() {
+            self.failure = Some(msg);
+        }
+        self.cancelled = true;
+    }
+
+    fn decide(&mut self, kind: u8, alts: u32) -> u32 {
+        if self.cursor < self.path.len() {
+            let d = self.path[self.cursor];
+            self.cursor += 1;
+            if d.alts != alts || d.kind != kind {
+                self.fail(format!(
+                    "mcheck internal error: nondeterministic replay at decision {} \
+                     (recorded kind {} alts {}, replayed kind {kind} alts {alts}); \
+                     the checked closure must be deterministic",
+                    self.cursor - 1,
+                    d.kind,
+                    d.alts
+                ));
+                return d.chosen.min(alts.saturating_sub(1));
+            }
+            d.chosen
+        } else {
+            self.path.push(Decision {
+                chosen: 0,
+                alts,
+                kind,
+            });
+            self.cursor += 1;
+            0
+        }
+    }
+
+    /// Pick the next granted thread. `prev` is the runnable thread that
+    /// just parked (switching away from it costs a preemption); `None`
+    /// when the previous thread blocked or finished (free switch).
+    /// Returns true when the grant changed (callers notify waiters).
+    fn schedule(&mut self, prev: Option<usize>) -> bool {
+        if self.cancelled {
+            return true;
+        }
+        let mut cands: Vec<usize> = Vec::with_capacity(self.tstate.len());
+        if let Some(p) = prev {
+            cands.push(p);
+        }
+        for t in 0..self.tstate.len() {
+            if Some(t) != prev && self.tstate[t] == TState::Parked {
+                cands.push(t);
+            }
+        }
+        if cands.is_empty() {
+            if self.live > 0 {
+                let blocked: Vec<String> = (0..self.tstate.len())
+                    .filter_map(|t| match self.tstate[t] {
+                        TState::Blocked(BlockOn::Lock(r)) => Some(format!("t{t} on M{r}")),
+                        TState::Blocked(BlockOn::Join(j)) => Some(format!("t{t} on join(t{j})")),
+                        _ => None,
+                    })
+                    .collect();
+                self.fail(format!(
+                    "deadlock: all live threads blocked ({})",
+                    blocked.join(", ")
+                ));
+            }
+            return true;
+        }
+        let choice = if prev.is_some() {
+            if self.preemptions < self.bound && cands.len() > 1 {
+                self.decide(DK_SCHED, cands.len() as u32) as usize
+            } else {
+                0
+            }
+        } else if cands.len() > 1 {
+            self.decide(DK_SCHED, cands.len() as u32) as usize
+        } else {
+            0
+        };
+        let chosen = cands[choice];
+        if prev == Some(self.granted) && chosen != self.granted {
+            self.preemptions += 1;
+        }
+        let changed = self.granted != chosen;
+        self.granted = chosen;
+        changed
+    }
+
+    fn charge_step(&mut self) {
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            self.fail(format!(
+                "step budget exceeded ({} ops): possible livelock or unbounded loop",
+                self.max_steps
+            ));
+        }
+    }
+
+    fn resolve_loc(&mut self, slot: &StdAtomicU64, init: u64) -> LocId {
+        let packed = slot.load(StdOrd::Relaxed);
+        if (packed >> 32) as u32 == self.run_tag {
+            return (packed as u32 as usize) - 1;
+        }
+        let loc = self.mem.alloc(init);
+        slot.store(
+            ((self.run_tag as u64) << 32) | (loc as u64 + 1),
+            StdOrd::Relaxed,
+        );
+        loc
+    }
+
+    fn resolve_res(&mut self, slot: &StdAtomicU64) -> usize {
+        let packed = slot.load(StdOrd::Relaxed);
+        if (packed >> 32) as u32 == self.run_tag {
+            return (packed as u32 as usize) - 1;
+        }
+        self.resources.push(Resource {
+            owner: None,
+            view: crate::memory::View::default(),
+        });
+        let rid = self.resources.len() - 1;
+        slot.store(
+            ((self.run_tag as u64) << 32) | (rid as u64 + 1),
+            StdOrd::Relaxed,
+        );
+        rid
+    }
+
+    fn do_load(&mut self, tid: usize, loc: LocId, ord: Ordering) -> u64 {
+        let (min, len) = self.tmem[tid].load_candidates(&self.mem, loc, ord);
+        let n = len - min;
+        let pick = if n > 1 { self.decide(DK_LOAD, n) } else { 0 };
+        // Candidates are offered newest-first so the default DFS path is
+        // the sequentially-consistent-looking one.
+        let idx = len - 1 - pick.min(n - 1);
+        let val = self.tmem[tid].apply_load(&mut self.mem, loc, idx, ord);
+        self.events.push(Event {
+            tid,
+            ev: Ev::Load {
+                loc,
+                ord,
+                idx,
+                newest: len - 1,
+                val,
+            },
+        });
+        val
+    }
+
+    fn do_store(&mut self, tid: usize, loc: LocId, val: u64, ord: Ordering) {
+        self.tmem[tid].store(&mut self.mem, loc, val, ord);
+        let idx = (self.mem.locs[loc].stores.len() - 1) as u32;
+        self.events.push(Event {
+            tid,
+            ev: Ev::Store { loc, ord, idx, val },
+        });
+    }
+
+    fn do_rmw(&mut self, tid: usize, loc: LocId, f: impl FnOnce(u64) -> u64, ord: Ordering) -> u64 {
+        let old = self.tmem[tid].rmw(&mut self.mem, loc, f, ord, true);
+        let new = self.mem.locs[loc].stores.last().map(|s| s.val).unwrap_or(0);
+        self.events.push(Event {
+            tid,
+            ev: Ev::Rmw { loc, ord, old, new },
+        });
+        old
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execution: the shared object all modeled threads coordinate through
+// ---------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    txs: Vec<Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    fn new(n: usize) -> Pool {
+        let mut txs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for i in 0..n {
+            let (tx, rx) = mpsc::channel::<Job>();
+            txs.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("mcheck-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn mcheck worker"),
+            );
+        }
+        Pool { txs, handles }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.txs.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+struct Execution {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+    pool: Arc<Pool>,
+}
+
+/// Sentinel panic payload used to unwind modeled threads when an
+/// execution is cancelled (violation found elsewhere, or reset).
+struct CancelToken;
+
+fn cancel_unwind() -> ! {
+    panic::resume_unwind(Box::new(CancelToken))
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+    static IN_MODEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Install (once, process-wide) a panic hook that suppresses the default
+/// backtrace spew for panics on modeled threads: those panics are caught
+/// and turned into [`FailureReport`]s, so the hook noise is redundant.
+fn install_panic_filter() {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if IN_MODEL.with(|f| f.get()) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Handle to the current modeled thread's execution context.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    exec: Arc<Execution>,
+    tid: usize,
+}
+
+/// The current thread's model context, if it is a modeled thread inside a
+/// running exploration. Modeled atomics fall back to real atomics when
+/// this is `None`.
+pub(crate) fn current_ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+enum Attempt<R> {
+    Done(R),
+    Block(BlockOn),
+}
+
+impl Execution {
+    /// Run one schedule point for `tid`: park, schedule, wait for the
+    /// grant, perform `attempt` (retrying after blocking). Unwinds with a
+    /// cancel token if the execution is cancelled.
+    fn op<R>(
+        self: &Arc<Self>,
+        tid: usize,
+        mut attempt: impl FnMut(&mut ExecState) -> Attempt<R>,
+    ) -> R {
+        let mut st = self.state.lock().expect("mcheck state poisoned");
+        if st.cancelled {
+            drop(st);
+            cancel_unwind();
+        }
+        st.tstate[tid] = TState::Parked;
+        if st.schedule(Some(tid)) {
+            self.cv.notify_all();
+        }
+        loop {
+            if st.cancelled {
+                drop(st);
+                cancel_unwind();
+            }
+            if st.granted == tid && st.tstate[tid] == TState::Parked {
+                st.charge_step();
+                if st.cancelled {
+                    continue;
+                }
+                match attempt(&mut st) {
+                    Attempt::Done(r) => {
+                        st.tstate[tid] = TState::Executing;
+                        return r;
+                    }
+                    Attempt::Block(b) => {
+                        st.tstate[tid] = TState::Blocked(b);
+                        match b {
+                            BlockOn::Lock(rid) => st.events.push(Event {
+                                tid,
+                                ev: Ev::LockWait { rid },
+                            }),
+                            BlockOn::Join(t) => st.events.push(Event {
+                                tid,
+                                ev: Ev::JoinWait { target: t },
+                            }),
+                        }
+                        if st.schedule(None) {
+                            self.cv.notify_all();
+                        }
+                    }
+                }
+            } else {
+                st = self.cv.wait(st).expect("mcheck state poisoned");
+            }
+        }
+    }
+
+    /// Like [`op`], but never unwinds: used from guard destructors
+    /// (mutex unlock), which may run during a panic. On cancellation the
+    /// model effect is simply skipped — the execution is already dead.
+    fn op_nopanic(self: &Arc<Self>, tid: usize, mut attempt: impl FnMut(&mut ExecState)) {
+        let mut st = self.state.lock().expect("mcheck state poisoned");
+        if st.cancelled {
+            return;
+        }
+        st.tstate[tid] = TState::Parked;
+        if st.schedule(Some(tid)) {
+            self.cv.notify_all();
+        }
+        loop {
+            if st.cancelled {
+                return;
+            }
+            if st.granted == tid && st.tstate[tid] == TState::Parked {
+                st.charge_step();
+                if st.cancelled {
+                    return;
+                }
+                attempt(&mut st);
+                st.tstate[tid] = TState::Executing;
+                return;
+            }
+            st = self.cv.wait(st).expect("mcheck state poisoned");
+        }
+    }
+
+    /// First grant for a freshly spawned modeled thread: wait until the
+    /// scheduler picks it, without performing an operation.
+    fn wait_first_grant(self: &Arc<Self>, tid: usize) {
+        let mut st = self.state.lock().expect("mcheck state poisoned");
+        loop {
+            if st.cancelled {
+                drop(st);
+                cancel_unwind();
+            }
+            if st.granted == tid && st.tstate[tid] == TState::Parked {
+                st.tstate[tid] = TState::Executing;
+                return;
+            }
+            st = self.cv.wait(st).expect("mcheck state poisoned");
+        }
+    }
+
+    fn thread_finished(
+        self: &Arc<Self>,
+        tid: usize,
+        payload: Option<Box<dyn std::any::Any + Send>>,
+    ) {
+        let mut st = self.state.lock().expect("mcheck state poisoned");
+        if let Some(p) = payload {
+            if !p.is::<CancelToken>() {
+                let msg = p
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                st.fail(format!("thread t{tid} panicked: {msg}"));
+            }
+        }
+        st.tstate[tid] = TState::Finished;
+        st.live -= 1;
+        st.events.push(Event {
+            tid,
+            ev: Ev::Finish,
+        });
+        for t in 0..st.tstate.len() {
+            if st.tstate[t] == TState::Blocked(BlockOn::Join(tid)) {
+                st.tstate[t] = TState::Parked;
+            }
+        }
+        if st.live == 0 {
+            st.done = true;
+        } else if !st.cancelled {
+            st.schedule(None);
+        }
+        self.cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ctx: the operations modeled primitives call
+// ---------------------------------------------------------------------
+
+impl Ctx {
+    pub(crate) fn atomic_load(&self, slot: &StdAtomicU64, init: u64, ord: Ordering) -> u64 {
+        let tid = self.tid;
+        self.exec.op(tid, |st| {
+            let loc = st.resolve_loc(slot, init);
+            Attempt::Done(st.do_load(tid, loc, ord))
+        })
+    }
+
+    pub(crate) fn atomic_store(&self, slot: &StdAtomicU64, init: u64, val: u64, ord: Ordering) {
+        let tid = self.tid;
+        self.exec.op(tid, |st| {
+            let loc = st.resolve_loc(slot, init);
+            st.do_store(tid, loc, val, ord);
+            Attempt::Done(())
+        })
+    }
+
+    pub(crate) fn atomic_rmw(
+        &self,
+        slot: &StdAtomicU64,
+        init: u64,
+        ord: Ordering,
+        f: impl Fn(u64) -> u64,
+    ) -> u64 {
+        let tid = self.tid;
+        self.exec.op(tid, |st| {
+            let loc = st.resolve_loc(slot, init);
+            Attempt::Done(st.do_rmw(tid, loc, &f, ord))
+        })
+    }
+
+    pub(crate) fn atomic_cas(
+        &self,
+        slot: &StdAtomicU64,
+        init: u64,
+        expected: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        let tid = self.tid;
+        self.exec.op(tid, |st| {
+            let loc = st.resolve_loc(slot, init);
+            let cur = st.mem.locs[loc]
+                .stores
+                .last()
+                .map(|s| s.val)
+                .unwrap_or(init);
+            if cur == expected {
+                Attempt::Done(Ok(st.do_rmw(tid, loc, |_| new, success)))
+            } else {
+                let old = st.tmem[tid].rmw(&mut st.mem, loc, |v| v, failure, false);
+                st.events.push(Event {
+                    tid,
+                    ev: Ev::CasFail {
+                        loc,
+                        ord: failure,
+                        found: old,
+                    },
+                });
+                Attempt::Done(Err(old))
+            }
+        })
+    }
+
+    pub(crate) fn fence(&self, ord: Ordering) {
+        let tid = self.tid;
+        self.exec.op(tid, |st| {
+            // Split borrow: fence needs tmem and mem together.
+            let ExecState {
+                ref mut mem,
+                ref mut tmem,
+                ..
+            } = *st;
+            tmem[tid].fence(mem, ord);
+            st.events.push(Event {
+                tid,
+                ev: Ev::Fence { ord },
+            });
+            Attempt::Done(())
+        })
+    }
+
+    pub(crate) fn mutex_lock(&self, slot: &StdAtomicU64) -> usize {
+        let tid = self.tid;
+        self.exec.op(tid, |st| {
+            let rid = st.resolve_res(slot);
+            if st.resources[rid].owner.is_none() {
+                st.resources[rid].owner = Some(tid);
+                let rv = st.resources[rid].view.clone();
+                st.tmem[tid].view.join(&rv);
+                st.events.push(Event {
+                    tid,
+                    ev: Ev::Lock { rid },
+                });
+                Attempt::Done(rid)
+            } else {
+                Attempt::Block(BlockOn::Lock(rid))
+            }
+        })
+    }
+
+    pub(crate) fn mutex_unlock(&self, rid: usize) {
+        let tid = self.tid;
+        self.exec.op_nopanic(tid, |st| {
+            debug_assert_eq!(st.resources[rid].owner, Some(tid));
+            let tv = st.tmem[tid].view.clone();
+            st.resources[rid].view.join(&tv);
+            st.resources[rid].owner = None;
+            for t in 0..st.tstate.len() {
+                if st.tstate[t] == TState::Blocked(BlockOn::Lock(rid)) {
+                    st.tstate[t] = TState::Parked;
+                }
+            }
+            st.events.push(Event {
+                tid,
+                ev: Ev::Unlock { rid },
+            });
+        });
+    }
+
+    fn join_thread(&self, target: usize) {
+        let tid = self.tid;
+        self.exec.op(tid, |st| {
+            if st.tstate[target] == TState::Finished {
+                let tv = st.tmem[target].view.clone();
+                st.tmem[tid].view.join(&tv);
+                st.events.push(Event {
+                    tid,
+                    ev: Ev::Join { target },
+                });
+                Attempt::Done(())
+            } else {
+                Attempt::Block(BlockOn::Join(target))
+            }
+        })
+    }
+
+    fn spawn_thread(&self) -> usize {
+        let tid = self.tid;
+        self.exec.op(tid, |st| {
+            if st.tstate.len() >= st.max_threads {
+                st.fail(format!(
+                    "too many modeled threads (max_threads = {})",
+                    st.max_threads
+                ));
+                // Unwind via the cancelled check at the next loop entry.
+                Attempt::Block(BlockOn::Join(tid))
+            } else {
+                let child = st.tstate.len();
+                st.tstate.push(TState::Parked);
+                st.tmem.push(ThreadMem {
+                    view: st.tmem[tid].view.clone(),
+                    ..Default::default()
+                });
+                st.live += 1;
+                st.events.push(Event {
+                    tid,
+                    ev: Ev::Spawn { child },
+                });
+                Attempt::Done(child)
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public spawn/join surface (modeled std::thread subset)
+// ---------------------------------------------------------------------
+
+/// Handle to a modeled thread; `join` blocks (as a schedule point) until
+/// the thread finishes and returns its value.
+pub struct JoinHandle<T> {
+    cell: Arc<Mutex<Option<T>>>,
+    target: usize,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread and take its result.
+    pub fn join(self) -> T {
+        let ctx = current_ctx().expect("mcheck::join outside a model run");
+        ctx.join_thread(self.target);
+        let v = self.cell.lock().expect("mcheck join cell poisoned").take();
+        v.expect("joined modeled thread produced no value")
+    }
+}
+
+/// Spawn a modeled thread inside a running exploration. Panics if called
+/// outside `check` — modeled tests drive all their threads through this.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let ctx = current_ctx().expect("mcheck::spawn outside a model run");
+    let child = ctx.spawn_thread();
+    let cell: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let cell2 = cell.clone();
+    let exec = ctx.exec.clone();
+    let job: Job = Box::new(move || {
+        CTX.with(|c| {
+            *c.borrow_mut() = Some(Ctx {
+                exec: exec.clone(),
+                tid: child,
+            })
+        });
+        IN_MODEL.with(|f| f.set(true));
+        let r = panic::catch_unwind(AssertUnwindSafe(|| {
+            exec.wait_first_grant(child);
+            f()
+        }));
+        IN_MODEL.with(|f| f.set(false));
+        CTX.with(|c| *c.borrow_mut() = None);
+        match r {
+            Ok(v) => {
+                *cell2.lock().expect("mcheck join cell poisoned") = Some(v);
+                exec.thread_finished(child, None);
+            }
+            Err(p) => exec.thread_finished(child, Some(p)),
+        }
+    });
+    ctx.exec.pool.txs[child]
+        .send(job)
+        .expect("mcheck worker gone");
+    JoinHandle {
+        cell,
+        target: child,
+    }
+}
+
+// ---------------------------------------------------------------------
+// The explorer
+// ---------------------------------------------------------------------
+
+static RUN_TAGS: StdAtomicU64 = StdAtomicU64::new(1);
+
+struct RunOutcome {
+    failure: Option<String>,
+    path: Vec<Decision>,
+    events: Vec<Event>,
+    preemptions: usize,
+}
+
+fn run_once<F>(
+    pool: &Arc<Pool>,
+    cfg: &Config,
+    bound: usize,
+    prefix: Vec<Decision>,
+    f: &Arc<F>,
+) -> RunOutcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let run_tag = RUN_TAGS.fetch_add(1, StdOrd::Relaxed) as u32;
+    let exec = Arc::new(Execution {
+        state: Mutex::new(ExecState {
+            mem: Memory::default(),
+            tmem: vec![ThreadMem::default()],
+            tstate: vec![TState::Parked],
+            resources: Vec::new(),
+            granted: 0,
+            live: 1,
+            cancelled: false,
+            done: false,
+            failure: None,
+            path: prefix,
+            cursor: 0,
+            bound,
+            preemptions: 0,
+            steps: 0,
+            max_steps: cfg.max_steps,
+            max_threads: cfg.max_threads,
+            run_tag,
+            events: Vec::with_capacity(256),
+        }),
+        cv: Condvar::new(),
+        pool: pool.clone(),
+    });
+
+    let f2 = f.clone();
+    let exec2 = exec.clone();
+    let job: Job = Box::new(move || {
+        CTX.with(|c| {
+            *c.borrow_mut() = Some(Ctx {
+                exec: exec2.clone(),
+                tid: 0,
+            })
+        });
+        IN_MODEL.with(|fl| fl.set(true));
+        let r = panic::catch_unwind(AssertUnwindSafe(|| {
+            exec2.wait_first_grant(0);
+            f2()
+        }));
+        IN_MODEL.with(|fl| fl.set(false));
+        CTX.with(|c| *c.borrow_mut() = None);
+        exec2.thread_finished(0, r.err());
+    });
+    pool.txs[0].send(job).expect("mcheck worker gone");
+
+    let mut st = exec.state.lock().expect("mcheck state poisoned");
+    while !st.done {
+        st = exec.cv.wait(st).expect("mcheck state poisoned");
+    }
+    RunOutcome {
+        failure: st.failure.take(),
+        path: std::mem::take(&mut st.path),
+        events: std::mem::take(&mut st.events),
+        preemptions: st.preemptions,
+    }
+}
+
+/// Explore interleavings of `f` under `cfg`. Returns a [`Report`] when no
+/// violation is found, or the first failure (with its rendered schedule).
+///
+/// `f` is run many times and must be deterministic apart from the modeled
+/// concurrency: same spawns, same modeled ops, given the same values read.
+pub fn check<F>(cfg: &Config, f: F) -> Result<Report, Box<FailureReport>>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_panic_filter();
+    let pool = Arc::new(Pool::new(cfg.max_threads));
+    let f = Arc::new(f);
+    let mut executions: u64 = 0;
+    let mut complete = true;
+    let mut bound_reached = 0;
+    'bounds: for bound in 0..=cfg.max_preemptions {
+        bound_reached = bound;
+        let mut prefix: Vec<Decision> = Vec::new();
+        loop {
+            if executions >= cfg.max_executions {
+                complete = false;
+                break 'bounds;
+            }
+            let out = run_once(&pool, cfg, bound, prefix, &f);
+            executions += 1;
+            if let Some(msg) = out.failure {
+                return Err(Box::new(FailureReport {
+                    message: msg,
+                    schedule: render_schedule(&out.events),
+                    executions,
+                    preemption_bound: bound,
+                    preemptions: out.preemptions,
+                }));
+            }
+            prefix = out.path;
+            loop {
+                match prefix.last_mut() {
+                    None => break,
+                    Some(d) if d.chosen + 1 < d.alts => {
+                        d.chosen += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        prefix.pop();
+                    }
+                }
+            }
+            if prefix.is_empty() {
+                break;
+            }
+        }
+    }
+    Ok(Report {
+        executions,
+        complete,
+        bound_reached,
+    })
+}
+
+/// Test helper: explore and panic (printing the schedule) on violation.
+/// Returns the pass report so callers can assert on completeness.
+pub fn verify<F>(name: &str, cfg: &Config, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match check(cfg, f) {
+        Ok(r) => r,
+        Err(fail) => panic!("model check `{name}` failed:\n{fail}"),
+    }
+}
+
+/// Test helper for regressions: explore and panic if **no** violation is
+/// found. Returns the failure so callers can assert on its contents.
+pub fn expect_failure<F>(name: &str, cfg: &Config, f: F) -> Box<FailureReport>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match check(cfg, f) {
+        Ok(r) => panic!(
+            "model check `{name}` was expected to find a violation but passed \
+             ({} executions, complete={})",
+            r.executions, r.complete
+        ),
+        Err(fail) => fail,
+    }
+}

@@ -1,0 +1,471 @@
+//! Modeled drop-in replacements for `std::sync::atomic` types and
+//! `std::sync::Mutex`.
+//!
+//! Each modeled primitive embeds the *real* std primitive plus one spare
+//! `AtomicU64` slot used to memoize its model-location registration (a
+//! `(run_tag, loc)` pair — re-registered lazily when an object outlives
+//! an execution or is first touched). When an operation runs on a modeled
+//! thread inside [`crate::model::check`], it becomes a schedule point in
+//! the exploration; anywhere else (plain unit tests, statics touched
+//! outside a run) it transparently falls back to the embedded std
+//! primitive, so code compiled against these types keeps working in
+//! ordinary test binaries.
+//!
+//! Two deliberate simplifications, documented for test authors:
+//! `compare_exchange_weak` never fails spuriously under the model (a
+//! strong CAS over-approximates success, which is what the invariants
+//! here care about), and values written during a model run are not
+//! mirrored back into the embedded std atomic.
+
+use crate::model::{current_ctx, Ctx};
+use std::fmt;
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering};
+
+/// An atomic fence: a schedule point under the model, a real
+/// `std::sync::atomic::fence` otherwise.
+pub fn fence(ord: Ordering) {
+    match current_ctx() {
+        Some(ctx) => ctx.fence(ord),
+        None => std::sync::atomic::fence(ord),
+    }
+}
+
+macro_rules! modeled_int_atomic {
+    ($(#[$doc:meta])* $Name:ident, $Std:ty, $prim:ty) => {
+        $(#[$doc])*
+        pub struct $Name {
+            real: $Std,
+            slot: StdAtomicU64,
+        }
+
+        impl $Name {
+            /// Creates a new modeled atomic (const, usable in statics).
+            pub const fn new(v: $prim) -> Self {
+                Self {
+                    real: <$Std>::new(v),
+                    slot: StdAtomicU64::new(0),
+                }
+            }
+
+            fn with_ctx<R>(
+                &self,
+                model: impl FnOnce(&Ctx, &StdAtomicU64, u64) -> R,
+                real: impl FnOnce(&$Std) -> R,
+            ) -> R {
+                match current_ctx() {
+                    Some(ctx) => {
+                        // relaxed-ok: reads the pre-run initial value to
+                        // seed the modeled location; ordering is the
+                        // model's job from here on.
+                        let init = self.real.load(Ordering::Relaxed) as u64;
+                        model(&ctx, &self.slot, init)
+                    }
+                    None => real(&self.real),
+                }
+            }
+
+            /// See [`std::sync::atomic`]: atomic load.
+            pub fn load(&self, ord: Ordering) -> $prim {
+                self.with_ctx(
+                    |ctx, slot, init| ctx.atomic_load(slot, init, ord) as $prim,
+                    |real| real.load(ord),
+                )
+            }
+
+            /// See [`std::sync::atomic`]: atomic store.
+            pub fn store(&self, val: $prim, ord: Ordering) {
+                self.with_ctx(
+                    |ctx, slot, init| ctx.atomic_store(slot, init, val as u64, ord),
+                    |real| real.store(val, ord),
+                )
+            }
+
+            /// See [`std::sync::atomic`]: atomic swap.
+            pub fn swap(&self, val: $prim, ord: Ordering) -> $prim {
+                self.with_ctx(
+                    |ctx, slot, init| ctx.atomic_rmw(slot, init, ord, |_| val as u64) as $prim,
+                    |real| real.swap(val, ord),
+                )
+            }
+
+            /// See [`std::sync::atomic`]: wrapping atomic add.
+            pub fn fetch_add(&self, val: $prim, ord: Ordering) -> $prim {
+                self.with_ctx(
+                    |ctx, slot, init| {
+                        ctx.atomic_rmw(slot, init, ord, |old| {
+                            (old as $prim).wrapping_add(val) as u64
+                        }) as $prim
+                    },
+                    |real| real.fetch_add(val, ord),
+                )
+            }
+
+            /// See [`std::sync::atomic`]: wrapping atomic subtract.
+            pub fn fetch_sub(&self, val: $prim, ord: Ordering) -> $prim {
+                self.with_ctx(
+                    |ctx, slot, init| {
+                        ctx.atomic_rmw(slot, init, ord, |old| {
+                            (old as $prim).wrapping_sub(val) as u64
+                        }) as $prim
+                    },
+                    |real| real.fetch_sub(val, ord),
+                )
+            }
+
+            /// See [`std::sync::atomic`]: atomic maximum.
+            pub fn fetch_max(&self, val: $prim, ord: Ordering) -> $prim {
+                self.with_ctx(
+                    |ctx, slot, init| {
+                        ctx.atomic_rmw(slot, init, ord, |old| {
+                            (old as $prim).max(val) as u64
+                        }) as $prim
+                    },
+                    |real| real.fetch_max(val, ord),
+                )
+            }
+
+            /// See [`std::sync::atomic`]: atomic minimum.
+            pub fn fetch_min(&self, val: $prim, ord: Ordering) -> $prim {
+                self.with_ctx(
+                    |ctx, slot, init| {
+                        ctx.atomic_rmw(slot, init, ord, |old| {
+                            (old as $prim).min(val) as u64
+                        }) as $prim
+                    },
+                    |real| real.fetch_min(val, ord),
+                )
+            }
+
+            /// See [`std::sync::atomic`]: atomic bitwise and.
+            pub fn fetch_and(&self, val: $prim, ord: Ordering) -> $prim {
+                self.with_ctx(
+                    |ctx, slot, init| {
+                        ctx.atomic_rmw(slot, init, ord, |old| {
+                            ((old as $prim) & val) as u64
+                        }) as $prim
+                    },
+                    |real| real.fetch_and(val, ord),
+                )
+            }
+
+            /// See [`std::sync::atomic`]: atomic bitwise or.
+            pub fn fetch_or(&self, val: $prim, ord: Ordering) -> $prim {
+                self.with_ctx(
+                    |ctx, slot, init| {
+                        ctx.atomic_rmw(slot, init, ord, |old| {
+                            ((old as $prim) | val) as u64
+                        }) as $prim
+                    },
+                    |real| real.fetch_or(val, ord),
+                )
+            }
+
+            /// See [`std::sync::atomic`]: compare-and-exchange.
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.with_ctx(
+                    |ctx, slot, init| {
+                        ctx.atomic_cas(slot, init, current as u64, new as u64, success, failure)
+                            .map(|v| v as $prim)
+                            .map_err(|v| v as $prim)
+                    },
+                    |real| real.compare_exchange(current, new, success, failure),
+                )
+            }
+
+            /// See [`std::sync::atomic`]: weak compare-and-exchange.
+            /// Under the model this never fails spuriously.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+
+        impl Default for $Name {
+            fn default() -> Self {
+                Self::new(0)
+            }
+        }
+
+        impl fmt::Debug for $Name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.debug_tuple(stringify!($Name)).field(&self.real).finish()
+            }
+        }
+    };
+}
+
+modeled_int_atomic!(
+    /// Modeled `AtomicU32`.
+    AtomicU32,
+    std::sync::atomic::AtomicU32,
+    u32
+);
+modeled_int_atomic!(
+    /// Modeled `AtomicU64`.
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64
+);
+modeled_int_atomic!(
+    /// Modeled `AtomicUsize`.
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+
+/// Modeled `AtomicBool`.
+pub struct AtomicBool {
+    real: std::sync::atomic::AtomicBool,
+    slot: StdAtomicU64,
+}
+
+impl AtomicBool {
+    /// Creates a new modeled atomic bool (const, usable in statics).
+    pub const fn new(v: bool) -> Self {
+        Self {
+            real: std::sync::atomic::AtomicBool::new(v),
+            slot: StdAtomicU64::new(0),
+        }
+    }
+
+    fn init(&self) -> u64 {
+        // relaxed-ok: pre-run initial value seeding the modeled location.
+        self.real.load(Ordering::Relaxed) as u64
+    }
+
+    /// See [`std::sync::atomic`]: atomic load.
+    pub fn load(&self, ord: Ordering) -> bool {
+        match current_ctx() {
+            Some(ctx) => ctx.atomic_load(&self.slot, self.init(), ord) != 0,
+            None => self.real.load(ord),
+        }
+    }
+
+    /// See [`std::sync::atomic`]: atomic store.
+    pub fn store(&self, val: bool, ord: Ordering) {
+        match current_ctx() {
+            Some(ctx) => ctx.atomic_store(&self.slot, self.init(), val as u64, ord),
+            None => self.real.store(val, ord),
+        }
+    }
+
+    /// See [`std::sync::atomic`]: atomic swap.
+    pub fn swap(&self, val: bool, ord: Ordering) -> bool {
+        match current_ctx() {
+            Some(ctx) => ctx.atomic_rmw(&self.slot, self.init(), ord, |_| val as u64) != 0,
+            None => self.real.swap(val, ord),
+        }
+    }
+
+    /// See [`std::sync::atomic`]: compare-and-exchange.
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        match current_ctx() {
+            Some(ctx) => ctx
+                .atomic_cas(
+                    &self.slot,
+                    self.init(),
+                    current as u64,
+                    new as u64,
+                    success,
+                    failure,
+                )
+                .map(|v| v != 0)
+                .map_err(|v| v != 0),
+            None => self.real.compare_exchange(current, new, success, failure),
+        }
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+impl fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("AtomicBool").field(&self.real).finish()
+    }
+}
+
+/// Modeled `AtomicPtr<T>`. Pointers are modeled by address; provenance is
+/// carried by the values the checked code itself keeps alive. Send/Sync
+/// follow from the embedded std `AtomicPtr`, same bounds as std.
+pub struct AtomicPtr<T> {
+    real: std::sync::atomic::AtomicPtr<T>,
+    slot: StdAtomicU64,
+}
+
+impl<T> AtomicPtr<T> {
+    /// Creates a new modeled atomic pointer.
+    pub const fn new(p: *mut T) -> Self {
+        Self {
+            real: std::sync::atomic::AtomicPtr::new(p),
+            slot: StdAtomicU64::new(0),
+        }
+    }
+
+    fn init(&self) -> u64 {
+        // relaxed-ok: pre-run initial value seeding the modeled location.
+        self.real.load(Ordering::Relaxed) as usize as u64
+    }
+
+    /// See [`std::sync::atomic`]: atomic load.
+    pub fn load(&self, ord: Ordering) -> *mut T {
+        match current_ctx() {
+            Some(ctx) => ctx.atomic_load(&self.slot, self.init(), ord) as usize as *mut T,
+            None => self.real.load(ord),
+        }
+    }
+
+    /// See [`std::sync::atomic`]: atomic store.
+    pub fn store(&self, p: *mut T, ord: Ordering) {
+        match current_ctx() {
+            Some(ctx) => ctx.atomic_store(&self.slot, self.init(), p as usize as u64, ord),
+            None => self.real.store(p, ord),
+        }
+    }
+
+    /// See [`std::sync::atomic`]: atomic swap.
+    pub fn swap(&self, p: *mut T, ord: Ordering) -> *mut T {
+        match current_ctx() {
+            Some(ctx) => ctx.atomic_rmw(&self.slot, self.init(), ord, |_| p as usize as u64)
+                as usize as *mut T,
+            None => self.real.swap(p, ord),
+        }
+    }
+
+    /// See [`std::sync::atomic`]: compare-and-exchange.
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        match current_ctx() {
+            Some(ctx) => ctx
+                .atomic_cas(
+                    &self.slot,
+                    self.init(),
+                    current as usize as u64,
+                    new as usize as u64,
+                    success,
+                    failure,
+                )
+                .map(|v| v as usize as *mut T)
+                .map_err(|v| v as usize as *mut T),
+            None => self.real.compare_exchange(current, new, success, failure),
+        }
+    }
+}
+
+impl<T> fmt::Debug for AtomicPtr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("AtomicPtr").field(&self.real).finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Modeled Mutex
+// ---------------------------------------------------------------------
+
+/// Modeled `std::sync::Mutex`. Under the model, lock acquisition is a
+/// schedule point with blocking and deadlock detection, and the mutex
+/// carries a view so unlock→lock pairs create happens-before edges (as
+/// real mutexes do); data storage still lives in an embedded std mutex,
+/// which is uncontended by construction once the model grants ownership.
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+    slot: StdAtomicU64,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new modeled mutex (const, usable in statics).
+    pub const fn new(t: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(t),
+            slot: StdAtomicU64::new(0),
+        }
+    }
+
+    /// See [`std::sync::Mutex::lock`].
+    pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+        let model = current_ctx().map(|ctx| {
+            let rid = ctx.mutex_lock(&self.slot);
+            (ctx, rid)
+        });
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard {
+                std: Some(g),
+                model,
+            }),
+            Err(p) => Err(std::sync::PoisonError::new(MutexGuard {
+                std: Some(p.into_inner()),
+                model,
+            })),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// Guard for [`Mutex`]; releasing it is a schedule point under the model.
+pub struct MutexGuard<'a, T> {
+    // Option so Drop can release the std guard *before* the model unlock
+    // hands the grant to a competing locker.
+    std: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<(Ctx, usize)>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.std.as_ref().expect("guard taken")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.std.as_mut().expect("guard taken")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release real storage first: the model unlock below may
+        // immediately grant a competing locker, which must find the std
+        // mutex free.
+        self.std = None;
+        if let Some((ctx, rid)) = self.model.take() {
+            ctx.mutex_unlock(rid);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! The virtual-atomics facade.
+//!
+//! Production builds re-export `std::sync` types verbatim — the facade is
+//! a pure type alias with zero cost (a test asserts `TypeId` equality).
+//! Builds with `--cfg eum_mcheck` (see `scripts/mcheck.sh`) swap in the
+//! modeled primitives from [`crate::modeled`], so every crate that
+//! imports its atomics through this module becomes model-checkable
+//! as compiled, without source changes.
+//!
+//! Code under audit (see `lint.toml`'s `facade_files` and the
+//! `raw-atomic` lint rule) imports from here — or from a crate-local
+//! `msync` alias of here — instead of `std::sync::atomic`.
+
+#[cfg(not(eum_mcheck))]
+pub use std::sync::{LockResult, Mutex, MutexGuard};
+
+#[cfg(not(eum_mcheck))]
+/// Atomic types (production: the real `std::sync::atomic`).
+pub mod atomic {
+    pub use std::sync::atomic::{
+        fence, AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+    };
+}
+
+#[cfg(eum_mcheck)]
+pub use crate::modeled::{Mutex, MutexGuard};
+#[cfg(eum_mcheck)]
+pub use std::sync::LockResult;
+
+#[cfg(eum_mcheck)]
+/// Atomic types (modeled: schedule points under `mcheck::check`).
+pub mod atomic {
+    pub use crate::modeled::{fence, AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize};
+    pub use std::sync::atomic::Ordering;
+}

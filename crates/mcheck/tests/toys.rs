@@ -1,0 +1,302 @@
+//! Soundness pins for the model checker itself, in both directions:
+//! known-racy toys the explorer MUST flag (with a rendered schedule),
+//! and correct protocols it must pass exhaustively.
+
+use eum_mcheck as mcheck;
+use mcheck::modeled::{AtomicU64, Mutex};
+use mcheck::Config;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+fn cfg() -> Config {
+    if mcheck::exhaustive() {
+        Config::bounded(3, 2_000_000)
+    } else {
+        Config::default()
+    }
+}
+
+#[test]
+fn racy_unsynchronized_counter_is_flagged() {
+    // Two threads do a load/add/store increment with no RMW: the classic
+    // lost update. The checker must find an interleaving where the final
+    // count is 1.
+    let fail = mcheck::expect_failure("racy-counter", &cfg(), || {
+        let n = Arc::new(AtomicU64::new(0));
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let n = n.clone();
+                mcheck::spawn(move || {
+                    let v = n.load(Ordering::Relaxed);
+                    n.store(v + 1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join();
+        }
+        assert_eq!(n.load(Ordering::Relaxed), 2, "lost update");
+    });
+    assert!(
+        fail.message.contains("lost update"),
+        "wrong failure: {}",
+        fail.message
+    );
+    assert!(!fail.schedule.is_empty(), "failure must carry a schedule");
+}
+
+#[test]
+fn dekker_store_buffering_without_fences_is_flagged() {
+    // t1: x=1; r1=y  |  t2: y=1; r2=x — all Relaxed. On a weakly-ordered
+    // machine both loads may see 0 (store buffering); the memory model
+    // must expose that outcome even though no interleaving of
+    // sequentially-consistent steps produces it.
+    let fail = mcheck::expect_failure("dekker-relaxed", &cfg(), || {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x1, y1) = (x.clone(), y.clone());
+        let t1 = mcheck::spawn(move || {
+            x1.store(1, Ordering::Relaxed);
+            y1.load(Ordering::Relaxed)
+        });
+        let (x2, y2) = (x.clone(), y.clone());
+        let t2 = mcheck::spawn(move || {
+            y2.store(1, Ordering::Relaxed);
+            x2.load(Ordering::Relaxed)
+        });
+        let r1 = t1.join();
+        let r2 = t2.join();
+        assert!(
+            r1 == 1 || r2 == 1,
+            "store buffering: both critical flags read 0"
+        );
+    });
+    assert!(
+        fail.message.contains("store buffering"),
+        "wrong failure: {}",
+        fail.message
+    );
+    // The schedule must point at the stale read that broke mutual exclusion.
+    assert!(
+        fail.schedule.contains("STALE"),
+        "schedule should mark the stale read:\n{}",
+        fail.schedule
+    );
+}
+
+#[test]
+fn dekker_with_seqcst_passes_exhaustively() {
+    let report = mcheck::verify("dekker-seqcst", &cfg(), || {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x1, y1) = (x.clone(), y.clone());
+        let t1 = mcheck::spawn(move || {
+            x1.store(1, Ordering::SeqCst);
+            y1.load(Ordering::SeqCst)
+        });
+        let (x2, y2) = (x.clone(), y.clone());
+        let t2 = mcheck::spawn(move || {
+            y2.store(1, Ordering::SeqCst);
+            x2.load(Ordering::SeqCst)
+        });
+        let r1 = t1.join();
+        let r2 = t2.join();
+        assert!(r1 == 1 || r2 == 1, "SeqCst forbids the both-zero outcome");
+    });
+    assert!(
+        report.complete,
+        "exploration must be exhaustive: {report:?}"
+    );
+}
+
+#[test]
+fn release_acquire_handoff_passes_exhaustively() {
+    let report = mcheck::verify("release-acquire-handoff", &cfg(), || {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d, fl) = (data.clone(), flag.clone());
+        let producer = mcheck::spawn(move || {
+            d.store(42, Ordering::Relaxed);
+            fl.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(
+                data.load(Ordering::Relaxed),
+                42,
+                "acquire must see released data"
+            );
+        }
+        producer.join();
+    });
+    assert!(
+        report.complete,
+        "exploration must be exhaustive: {report:?}"
+    );
+}
+
+#[test]
+fn relaxed_handoff_without_release_is_flagged() {
+    // Same shape but the flag store is Relaxed: nothing transfers the
+    // data write, so the consumer may see flag=1 with data=0.
+    let fail = mcheck::expect_failure("relaxed-handoff", &cfg(), || {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d, fl) = (data.clone(), flag.clone());
+        let producer = mcheck::spawn(move || {
+            d.store(42, Ordering::Relaxed);
+            fl.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(
+                data.load(Ordering::Relaxed),
+                42,
+                "stale data after relaxed flag"
+            );
+        }
+        producer.join();
+    });
+    assert!(
+        fail.message.contains("stale data"),
+        "wrong failure: {}",
+        fail.message
+    );
+}
+
+#[test]
+fn fence_pair_handoff_passes_and_fenceless_variant_fails() {
+    // Relaxed accesses upgraded by a Release/Acquire fence pair: correct.
+    let report = mcheck::verify("fence-handoff", &cfg(), || {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d, fl) = (data.clone(), flag.clone());
+        let producer = mcheck::spawn(move || {
+            d.store(42, Ordering::Relaxed);
+            mcheck::modeled::fence(Ordering::Release);
+            fl.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) == 1 {
+            mcheck::modeled::fence(Ordering::Acquire);
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        }
+        producer.join();
+    });
+    assert!(report.complete);
+
+    // Drop the producer's Release fence and the handoff must break.
+    let fail = mcheck::expect_failure("fence-handoff-broken", &cfg(), || {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d, fl) = (data.clone(), flag.clone());
+        let producer = mcheck::spawn(move || {
+            d.store(42, Ordering::Relaxed);
+            fl.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) == 1 {
+            mcheck::modeled::fence(Ordering::Acquire);
+            assert_eq!(data.load(Ordering::Relaxed), 42, "missing Release fence");
+        }
+        producer.join();
+    });
+    assert!(fail.message.contains("missing Release fence"));
+}
+
+#[test]
+fn mutex_counter_passes_and_lock_cycle_deadlocks() {
+    let report = mcheck::verify("mutex-counter", &cfg(), || {
+        let n = Arc::new(Mutex::new(0u64));
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let n = n.clone();
+                mcheck::spawn(move || {
+                    *n.lock().expect("model mutex") += 1;
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join();
+        }
+        assert_eq!(*n.lock().expect("model mutex"), 2);
+    });
+    assert!(report.complete);
+
+    // Opposite lock order in two threads: the checker must report the
+    // deadlock instead of hanging.
+    let fail = mcheck::expect_failure("lock-cycle", &Config::bounded(2, 10_000), || {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a1, b1) = (a.clone(), b.clone());
+        let t1 = mcheck::spawn(move || {
+            let _ga = a1.lock().expect("model mutex");
+            let _gb = b1.lock().expect("model mutex");
+        });
+        let (a2, b2) = (a.clone(), b.clone());
+        let t2 = mcheck::spawn(move || {
+            let _gb = b2.lock().expect("model mutex");
+            let _ga = a2.lock().expect("model mutex");
+        });
+        t1.join();
+        t2.join();
+    });
+    assert!(
+        fail.message.contains("deadlock"),
+        "wrong failure: {}",
+        fail.message
+    );
+}
+
+#[test]
+fn rmw_increments_are_atomic() {
+    let report = mcheck::verify("rmw-counter", &cfg(), || {
+        let n = Arc::new(AtomicU64::new(0));
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let n = n.clone();
+                mcheck::spawn(move || {
+                    n.fetch_add(1, Ordering::Relaxed);
+                    n.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join();
+        }
+        assert_eq!(
+            n.load(Ordering::Relaxed),
+            4,
+            "fetch_add must never lose updates"
+        );
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn modeled_atomics_fall_back_to_real_outside_a_run() {
+    let a = AtomicU64::new(7);
+    assert_eq!(a.load(Ordering::SeqCst), 7);
+    a.store(9, Ordering::SeqCst);
+    assert_eq!(a.fetch_add(1, Ordering::SeqCst), 9);
+    assert_eq!(a.load(Ordering::SeqCst), 10);
+    assert_eq!(
+        a.compare_exchange(10, 11, Ordering::SeqCst, Ordering::SeqCst),
+        Ok(10)
+    );
+    let m = Mutex::new(1u32);
+    *m.lock().expect("plain mutex") += 1;
+    assert_eq!(*m.lock().expect("plain mutex"), 2);
+}
+
+#[cfg(not(eum_mcheck))]
+#[test]
+fn production_facade_is_the_real_std_types() {
+    use std::any::TypeId;
+    // Zero-cost proof: in production builds the facade types ARE the std
+    // types (pure re-export), not wrappers.
+    assert_eq!(
+        TypeId::of::<eum_mcheck::sync::atomic::AtomicU64>(),
+        TypeId::of::<std::sync::atomic::AtomicU64>()
+    );
+    assert_eq!(
+        TypeId::of::<eum_mcheck::sync::Mutex<u64>>(),
+        TypeId::of::<std::sync::Mutex<u64>>()
+    );
+}

@@ -18,7 +18,9 @@
 //! thread) merge losslessly: merging two snapshots is exactly equivalent
 //! to having recorded both streams into one histogram.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+// Atomics come through the mcheck facade (std in production builds; see
+// the `raw-atomic` lint rule and `crate::msync`).
+use crate::msync::{AtomicU64, AtomicUsize, Ordering};
 
 /// Linear sub-bucket bits per power of two.
 const SUB_BITS: u32 = 4;

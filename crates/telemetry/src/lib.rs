@@ -48,6 +48,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Atomics import surface for this crate's audited lock-free files
+/// (`trace.rs`, `metrics.rs`, `hist.rs`): the eum-mcheck virtual-atomics
+/// facade — a verbatim `std::sync::atomic` re-export in production
+/// builds, the modeled checker primitives under `--cfg eum_mcheck`.
+/// Model tests re-bind the same source files against
+/// `eum_mcheck::modeled` by `#[path]`-including them next to a local
+/// `msync` alias (see `tests/trace_stress.rs`).
+pub(crate) mod msync {
+    pub use eum_mcheck::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+}
+
 pub mod hist;
 pub mod metrics;
 pub mod registry;

@@ -6,7 +6,9 @@
 //! never needs a consistent cut across metrics, so no stronger ordering
 //! (and no lock) is ever taken.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+// Atomics come through the mcheck facade (std in production builds; see
+// the `raw-atomic` lint rule and `crate::msync`).
+use crate::msync::{AtomicU64, Ordering};
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]

@@ -24,7 +24,10 @@
 //! on the wire — so [`crate::span::stitch`] can join the per-layer rings
 //! back into end-to-end query timelines.
 
-use std::sync::atomic::{fence, AtomicU64, Ordering};
+// Atomics come through the mcheck facade (std in production builds, the
+// modeled checker under `--cfg eum_mcheck` / `#[path]` model tests); the
+// `raw-atomic` lint rule keeps this file off `std::sync::atomic`.
+use crate::msync::{fence, AtomicU64, Ordering};
 
 /// What the serve path did with a traced query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

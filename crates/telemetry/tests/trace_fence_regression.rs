@@ -1,0 +1,110 @@
+//! PR 4 regression, model-checked: re-introduce the missing `Release`
+//! fence in `TraceRing::push` and prove the checker catches it.
+//!
+//! PR 4's review found `push` publishing the odd sequence marker without
+//! a release fence before the relaxed word stores; on weakly-ordered
+//! hardware the words could float above the marker and a reader could
+//! accept a torn record whose re-checked sequence never changed. The
+//! fix was `fence(Ordering::Release)` between the marker and the words.
+//!
+//! This binary compiles the *real* `src/trace.rs` — the same source
+//! text the crate ships — against an `msync` surface whose `fence`
+//! swallows `Release` fences. That is exactly the buggy program: same
+//! code, fence gone. The model checker must find a torn-record
+//! interleaving and print the minimized schedule; if it ever stops
+//! failing here, the checker lost the sensitivity the audited files
+//! rely on.
+//!
+//! This lives in its own test binary (not `trace_stress.rs`) because
+//! the whole binary shares one `crate::msync`, and the passing model
+//! tests need the honest fence.
+
+use eum_mcheck as mcheck;
+use std::sync::Arc;
+
+mod msync {
+    pub use eum_mcheck::modeled::AtomicU64;
+    pub use std::sync::atomic::Ordering;
+
+    /// The PR 4 bug, re-introduced at the import surface: `Release`
+    /// fences compile to nothing, as if `TraceRing::push` had never
+    /// gained the fence between the odd marker and the word stores.
+    /// `Acquire` fences stay real so the failure is attributable to the
+    /// writer side alone.
+    pub fn fence(ord: Ordering) {
+        if ord == Ordering::Release {
+            return;
+        }
+        eum_mcheck::modeled::fence(ord);
+    }
+}
+
+#[path = "../src/trace.rs"]
+#[allow(dead_code)]
+mod trace_model;
+
+/// Same detectable-mix construction as `trace_stress.rs`.
+fn model_trace(i: u32) -> trace_model::QueryTrace {
+    trace_model::QueryTrace {
+        seq: 0,
+        trace_id: 0xA000_0000 | i,
+        hop: trace_model::TraceHop::Authd,
+        shard: i as u16,
+        generation: 100 + i as u64,
+        ecs_scope: Some(i as u8),
+        outcome: trace_model::TraceOutcome::Computed,
+        truncated: false,
+        decode_ns: i,
+        cache_ns: 1000 + i,
+        route_ns: 2000 + i,
+        encode_ns: 3000 + i,
+        total_ns: 4000 + i,
+    }
+}
+
+fn model_consistent(t: &trace_model::QueryTrace) -> bool {
+    let want = trace_model::QueryTrace {
+        seq: t.seq,
+        ..model_trace(t.decode_ns)
+    };
+    *t == want && t.seq == t.decode_ns as u64
+}
+
+/// The exact scenario `model_no_torn_record_is_ever_observable` passes
+/// with the honest fence must *fail* without it — and the failure
+/// report must carry a concrete interleaving an engineer can replay.
+#[test]
+fn missing_release_fence_is_caught_with_a_printed_schedule() {
+    let cfg = mcheck::Config::bounded(2, 2_000_000);
+    let failure = mcheck::expect_failure("trace-ring-missing-release-fence", &cfg, || {
+        let ring = Arc::new(trace_model::TraceRing::new(1));
+        let writer = {
+            let ring = ring.clone();
+            mcheck::spawn(move || {
+                ring.push(&model_trace(0));
+                ring.push(&model_trace(1));
+            })
+        };
+        for t in ring.dump() {
+            assert!(model_consistent(&t), "torn trace record accepted: {t:?}");
+        }
+        writer.join();
+    });
+    assert!(
+        failure.message.contains("torn trace record"),
+        "failure must be the torn-record assertion, got: {}",
+        failure.message
+    );
+    assert!(
+        !failure.schedule.is_empty(),
+        "failure report must print the interleaving"
+    );
+    // The torn read is a stale-store choice; the rendered schedule marks
+    // those, so the trace explains *why* the record tore.
+    assert!(
+        failure.schedule.contains("STALE"),
+        "schedule should mark the stale load:\n{}",
+        failure.schedule
+    );
+    eprintln!("minimized failing interleaving (expected, regression guard):\n{failure}");
+}

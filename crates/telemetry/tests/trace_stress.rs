@@ -6,6 +6,22 @@
 //! the ring's fences exist for: without the writer's release fence (or
 //! the readers' acquire fence) this test fails under contention.
 
+//! Two complementary checks live in this binary:
+//!
+//! * the nondeterministic stress below — real threads, real contention,
+//!   150k pushes against the compiled crate;
+//! * model-checked variants (bottom of the file) — the *same source
+//!   file* `src/trace.rs` is `#[path]`-included against the eum-mcheck
+//!   modeled atomics and every reader/writer interleaving of a tiny
+//!   scenario is explored exhaustively, including the stale-read
+//!   reorderings real hardware rarely exhibits.
+//!
+//! The expensive exhaustive configuration runs under
+//! `EUM_MCHECK_EXHAUSTIVE=1`; the default bound keeps `cargo test -q`
+//! fast. The PR 4 fence-removal regression lives in its own binary
+//! (`trace_fence_regression.rs`) because it re-binds the fence itself.
+
+use eum_mcheck as mcheck;
 use eum_telemetry::{QueryTrace, TraceHop, TraceOutcome, TraceRing};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -110,4 +126,120 @@ fn no_torn_records_under_reader_writer_contention() {
         assert!(is_consistent(t), "torn trace in quiescent ring: {t:?}");
         assert!(t.seq >= (PUSHES as u64 - ring.capacity() as u64));
     }
+}
+
+// ---------------------------------------------------------------------
+// Model-checked variants
+// ---------------------------------------------------------------------
+
+/// Atomics surface the `#[path]`-included copy of `src/trace.rs`
+/// compiles against: the eum-mcheck modeled primitives instead of the
+/// production facade, so every atomic op below is a schedule point.
+mod msync {
+    pub use eum_mcheck::modeled::{fence, AtomicU64};
+    pub use std::sync::atomic::Ordering;
+}
+
+/// The real seqlock source, re-bound against the modeled atomics. This
+/// is the same text the crate compiles — not a replica — so the model
+/// verdict applies to the shipped `TraceRing`.
+#[path = "../src/trace.rs"]
+#[allow(dead_code)]
+mod trace_model;
+
+/// A trace whose five packed words all differ between push 0 and push 1,
+/// so any cross-push mix is detectable.
+fn model_trace(i: u32) -> trace_model::QueryTrace {
+    trace_model::QueryTrace {
+        seq: 0,
+        trace_id: 0xA000_0000 | i,
+        hop: trace_model::TraceHop::Authd,
+        shard: i as u16,
+        generation: 100 + i as u64,
+        ecs_scope: Some(i as u8),
+        outcome: trace_model::TraceOutcome::Computed,
+        truncated: false,
+        decode_ns: i,
+        cache_ns: 1000 + i,
+        route_ns: 2000 + i,
+        encode_ns: 3000 + i,
+        total_ns: 4000 + i,
+    }
+}
+
+/// An accepted record must be *exactly* one push's trace — every word
+/// from the same push — and carry that push's ring sequence.
+fn model_consistent(t: &trace_model::QueryTrace) -> bool {
+    let want = trace_model::QueryTrace {
+        seq: t.seq,
+        ..model_trace(t.decode_ns)
+    };
+    *t == want && t.seq == t.decode_ns as u64
+}
+
+/// Default: exhaustive at 2 preemptions (the checker's default bound).
+/// `EUM_MCHECK_EXHAUSTIVE=1` raises the bound and the execution budget.
+fn model_cfg() -> mcheck::Config {
+    if mcheck::exhaustive() {
+        mcheck::Config::bounded(3, 10_000_000)
+    } else {
+        mcheck::Config::bounded(2, 2_000_000)
+    }
+}
+
+/// The tentpole invariant, exhaustively: a one-slot ring maximizes slot
+/// reuse; a writer pushes twice while the main thread dumps. No
+/// interleaving — including stale relaxed reads the memory model allows
+/// but x86 never shows — may yield a torn record surviving the seqlock
+/// check.
+#[test]
+fn model_no_torn_record_is_ever_observable() {
+    let report = mcheck::verify("trace-ring-no-torn-record", &model_cfg(), || {
+        let ring = Arc::new(trace_model::TraceRing::new(1));
+        let writer = {
+            let ring = ring.clone();
+            mcheck::spawn(move || {
+                ring.push(&model_trace(0));
+                ring.push(&model_trace(1));
+            })
+        };
+        // Concurrent dump: anything accepted must be untorn.
+        for t in ring.dump() {
+            assert!(model_consistent(&t), "torn trace record accepted: {t:?}");
+        }
+        writer.join();
+        // Quiescent dump after join: the newest push must be readable.
+        let settled = ring.dump();
+        assert_eq!(
+            settled.len(),
+            1,
+            "quiescent one-slot ring must dump one record"
+        );
+        assert!(
+            model_consistent(&settled[0]) && settled[0].seq == 1,
+            "quiescent ring lost the newest push: {:?}",
+            settled[0]
+        );
+    });
+    eprintln!(
+        "trace-ring model: {} executions, complete = {}",
+        report.executions, report.complete
+    );
+    assert!(
+        report.complete,
+        "state space must be fully explored within the bound"
+    );
+}
+
+/// The modeled unit tests from `src/trace.rs` also compile into this
+/// binary (fallback mode — no model run active), proving the modeled
+/// atomics are drop-in for the production facade.
+#[test]
+fn model_fallback_ring_roundtrips_outside_a_run() {
+    let ring = trace_model::TraceRing::new(4);
+    ring.push(&model_trace(0));
+    ring.push(&model_trace(1));
+    let got = ring.dump();
+    assert_eq!(got.len(), 2);
+    assert!(got.iter().all(model_consistent));
 }

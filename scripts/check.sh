@@ -1,31 +1,55 @@
 #!/usr/bin/env bash
-# Full local gate: formatting, lints as errors, and the test suite.
-# Run from anywhere; operates on the repository this script lives in.
+# Full local gate: formatting, lints as errors, model checking, and the
+# test suite. Run from anywhere; operates on the repository this script
+# lives in. Each step reports its wall-clock time so a slow gate can be
+# blamed on the right step.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
+step_start=0
+step() {
+    step_start=$SECONDS
+    echo "==> $1"
+}
+step_done() {
+    echo "    [$((SECONDS - step_start))s]"
+}
+total_start=$SECONDS
+
+step "cargo fmt --check"
 cargo fmt --check
+step_done
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+step "cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+step_done
 
-echo "==> eum-lint (workspace invariants: lint.toml)"
+step "eum-lint (workspace invariants: lint.toml)"
 cargo run -q -p eum-lint
+step_done
 
-echo "==> cargo test -q"
+step "model checking (scripts/mcheck.sh)"
+scripts/mcheck.sh
+step_done
+
+step "cargo test -q"
 cargo test -q
+step_done
 
-echo "==> cargo bench --no-run"
+step "cargo bench --no-run"
 cargo bench --no-run
+step_done
 
-echo "==> socket smoke (multi-process loadgen over real SO_REUSEPORT shards)"
+step "socket smoke (multi-process loadgen over real SO_REUSEPORT shards)"
 cargo run -q --release --example socket_loadgen -- --smoke
+step_done
 
-echo "==> scrape smoke (live /metrics + /timeseries.jsonl during socket load)"
+step "scrape smoke (live /metrics + /timeseries.jsonl during socket load)"
 cargo run -q --release --example socket_loadgen -- --scrape-smoke | tee /dev/stderr | grep -q "SCRAPE PASS"
+step_done
 
-echo "==> map-churn smoke (keyed delta invalidation vs generation clear)"
+step "map-churn smoke (keyed delta invalidation vs generation clear)"
 cargo run -q --release --example map_churn -- --smoke | tee /dev/stderr | grep -q "MAP-CHURN PASS"
+step_done
 
-echo "All checks passed."
+echo "All checks passed in $((SECONDS - total_start))s."

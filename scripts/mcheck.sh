@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Standalone model-check runner: the eum-mcheck scheduler's own test
+# suite plus every model-checked protocol test in the workspace (trace
+# seqlock ring, epoch/snapshot publication, keyed eviction, and the
+# fence-removal regression that must keep failing inside the checker).
+#
+# Default configs bound the exploration to stay under ~5 s on one core.
+# Set EUM_MCHECK_EXHAUSTIVE=1 to raise the preemption bound and execution
+# budget for an exhaustive pass (still seconds — the modeled protocols
+# have small state spaces).
+#
+# A failing model test prints the minimized interleaving schedule
+# (numbered per-thread op lines, stale-load choices marked STALE) — see
+# FailureReport in crates/mcheck/src/model.rs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="bounded (default); set EUM_MCHECK_EXHAUSTIVE=1 for the exhaustive pass"
+if [ "${EUM_MCHECK_EXHAUSTIVE:-0}" = "1" ]; then
+    mode="exhaustive (EUM_MCHECK_EXHAUSTIVE=1)"
+fi
+echo "==> model checking: $mode"
+
+echo "==> eum-mcheck scheduler self-tests (known-racy toys, handoff proofs)"
+cargo test -q -p eum-mcheck
+
+echo "==> trace ring model tests (no torn record observable)"
+cargo test -q -p eum-telemetry --test trace_stress
+
+echo "==> trace ring fence-removal regression (checker must catch it)"
+cargo test -q -p eum-telemetry --test trace_fence_regression
+
+echo "==> snapshot/epoch + keyed-eviction model tests"
+cargo test -q -p eum-authd --test snapshot_stress
+
+echo "Model checking passed."
