@@ -1,0 +1,172 @@
+//! Token-bucket admission control for the compute path.
+//!
+//! The serve path has two cost classes: a cached hit replays stored wire
+//! bytes in ~100 ns, while a miss routes through
+//! [`eum_mapping::MappingSystem::answer`] at microsecond scale. A
+//! cache-busting flood (random-subdomain NXDOMAIN queries) is *all*
+//! misses — every flood query pays the expensive class while legit
+//! traffic, resolver-cached at every layer, mostly rides the cheap one.
+//! Admission control prices exactly that asymmetry: compute-path
+//! admissions drain a per-shard token bucket refilled at a configured
+//! sustained rate, and when the bucket is empty the shard stamps a
+//! REFUSED (RCODE 5) header instead of routing — shedding the expensive
+//! work while cached answers keep flowing untouched. That is the
+//! cheapest-first priority: attack-shaped queries (always misses) are
+//! dropped before any cached legit hit.
+//!
+//! The bucket is integer arithmetic over nanosecond credit with an
+//! explicit clock input, so admission decisions are a pure function of
+//! the arrival timestamps — property tests replay synthetic schedules
+//! and the decisions reproduce exactly.
+
+use std::time::Instant;
+
+/// Admission-control knobs, per shard.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Sustained compute-path admissions per second (token refill rate).
+    pub rate_per_s: u64,
+    /// Bucket capacity in tokens: how large a miss burst is absorbed
+    /// before shedding starts.
+    pub burst: u64,
+}
+
+impl AdmissionConfig {
+    /// A bucket refilled at `rate_per_s` holding at most `burst` tokens.
+    pub fn new(rate_per_s: u64, burst: u64) -> AdmissionConfig {
+        AdmissionConfig { rate_per_s, burst }
+    }
+}
+
+/// Deterministic token bucket: whole tokens plus fractional nanosecond
+/// credit toward the next one.
+///
+/// One token accrues every [`TokenBucket::ns_per_token`] nanoseconds,
+/// the count caps at the burst, and a full bucket discards fractional
+/// credit (idle time cannot bank more than the burst). Decisions depend
+/// only on the constructor instant and the sequence of `now` values
+/// passed to [`TokenBucket::try_take`], never on wall-clock reads of
+/// its own. A zero refill rate is the degenerate bucket: it admits
+/// exactly its initial burst and then sheds forever (tests use it to
+/// pin shed behavior without a clock in the loop).
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    /// `u64::MAX` is the no-refill sentinel (zero configured rate).
+    ns_per_token: u64,
+    burst: u64,
+    tokens: u64,
+    frac_ns: u64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    /// A bucket born full at `now` (a fresh shard absorbs its warm-up
+    /// miss burst without shedding).
+    pub fn new(cfg: &AdmissionConfig, now: Instant) -> TokenBucket {
+        let ns_per_token = match cfg.rate_per_s {
+            0 => u64::MAX,
+            r => (1_000_000_000u64 / r).max(1),
+        };
+        let burst = cfg.burst.max(1);
+        TokenBucket {
+            ns_per_token,
+            burst,
+            tokens: burst,
+            frac_ns: 0,
+            last: now,
+        }
+    }
+
+    /// Nanoseconds of credit one admission costs (`u64::MAX`: never
+    /// refills).
+    pub fn ns_per_token(&self) -> u64 {
+        self.ns_per_token
+    }
+
+    /// Accrues tokens for the time since the last call and takes one if
+    /// available. `now` values earlier than a previously seen instant
+    /// accrue nothing (monotonic clamp).
+    pub fn try_take(&mut self, now: Instant) -> bool {
+        if self.ns_per_token != u64::MAX {
+            let elapsed = now.saturating_duration_since(self.last).as_nanos();
+            let total = (self.frac_ns as u128).saturating_add(elapsed);
+            let minted = total / self.ns_per_token as u128;
+            self.tokens = self
+                .tokens
+                .saturating_add(minted.min(u64::MAX as u128) as u64)
+                .min(self.burst);
+            // A full bucket holds no partial credit: capping discards it.
+            self.frac_ns = if self.tokens == self.burst {
+                0
+            } else {
+                (total % self.ns_per_token as u128) as u64
+            };
+        }
+        self.last = now;
+        if self.tokens > 0 {
+            self.tokens -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whole tokens currently available (diagnostics and tests).
+    pub fn available(&self) -> u64 {
+        self.tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn bucket(rate: u64, burst: u64) -> (TokenBucket, Instant) {
+        let t0 = Instant::now();
+        (TokenBucket::new(&AdmissionConfig::new(rate, burst), t0), t0)
+    }
+
+    #[test]
+    fn burst_then_refusal() {
+        let (mut b, t0) = bucket(1000, 4);
+        for _ in 0..4 {
+            assert!(b.try_take(t0));
+        }
+        assert!(!b.try_take(t0), "empty bucket must refuse");
+    }
+
+    #[test]
+    fn refills_at_rate() {
+        let (mut b, t0) = bucket(1000, 4); // 1 token per ms
+        for _ in 0..4 {
+            assert!(b.try_take(t0));
+        }
+        assert!(!b.try_take(t0));
+        // 2.5 ms later: exactly 2 more tokens have accrued.
+        let t1 = t0 + Duration::from_micros(2500);
+        assert!(b.try_take(t1));
+        assert!(b.try_take(t1));
+        assert!(!b.try_take(t1));
+    }
+
+    #[test]
+    fn credit_caps_at_burst() {
+        let (mut b, t0) = bucket(1000, 4);
+        // A long idle stretch must not bank more than the burst.
+        let t1 = t0 + Duration::from_secs(60);
+        for _ in 0..4 {
+            assert!(b.try_take(t1));
+        }
+        assert!(!b.try_take(t1));
+    }
+
+    #[test]
+    fn non_monotonic_now_accrues_nothing() {
+        let (mut b, t0) = bucket(1000, 1);
+        assert!(b.try_take(t0 + Duration::from_secs(1)));
+        // An earlier timestamp (clock skew across sources) must not
+        // mint credit.
+        assert!(!b.try_take(t0));
+    }
+}

@@ -37,6 +37,7 @@ pub(crate) mod msync {
     pub use eum_mcheck::sync::Mutex;
 }
 
+pub mod admission;
 pub mod cache;
 pub mod epoch;
 pub mod loadgen;
@@ -46,6 +47,7 @@ pub mod telemetry;
 pub mod transport;
 mod truncate;
 
+pub use admission::{AdmissionConfig, TokenBucket};
 pub use cache::{AnswerCache, AnswerCacheStats, CacheConfig, CachedAnswer};
 pub use epoch::{EpochCell, EpochReader};
 pub use loadgen::{LoadGenConfig, LoadReport};

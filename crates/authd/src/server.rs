@@ -25,6 +25,7 @@
 //! The FORMERR is stamped straight into the reply buffer too — twelve
 //! bytes, no encode.
 
+use crate::admission::{AdmissionConfig, TokenBucket};
 use crate::cache::{AnswerCache, AnswerCacheStats, CacheConfig, CachedAnswer};
 use crate::snapshot::{Snapshot, SnapshotHandle};
 use crate::telemetry::{ShardInstruments, TelemetryConfig};
@@ -58,6 +59,13 @@ pub struct ServerConfig {
     /// ceiling). Defaults to [`MAX_DATAGRAM`]; tests shrink it to force
     /// the truncate→TCP-retry path without multi-kilobyte answers.
     pub max_udp_reply: u16,
+    /// Compute-path admission control; `None` admits everything.
+    /// When set, each shard owns a token bucket priced per compute-path
+    /// query (cache misses and uncacheable shapes); an empty bucket
+    /// sheds the query with a REFUSED header instead of routing it.
+    /// Cached hits are never shed — they are the cheap class the
+    /// shedding protects.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl ServerConfig {
@@ -69,6 +77,7 @@ impl ServerConfig {
             recv_timeout: Duration::from_millis(20),
             telemetry: None,
             max_udp_reply: MAX_DATAGRAM as u16,
+            admission: None,
         }
     }
 
@@ -87,6 +96,12 @@ impl ServerConfig {
     /// Same config with a smaller UDP reply ceiling (truncation tests).
     pub fn with_max_udp_reply(mut self, max: u16) -> ServerConfig {
         self.max_udp_reply = max;
+        self
+    }
+
+    /// Same config with compute-path admission control enabled.
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> ServerConfig {
+        self.admission = Some(admission);
         self
     }
 }
@@ -141,6 +156,8 @@ pub struct ShardCounters {
     pub malformed: AtomicU64,
     /// Replies truncated to the client's UDP payload limit (TC=1).
     pub truncated: AtomicU64,
+    /// Queries shed by admission control (REFUSED replies).
+    pub shed: AtomicU64,
 }
 
 /// What a shard reports when joined.
@@ -156,6 +173,11 @@ pub struct ShardReport {
     pub malformed: u64,
     /// Replies truncated with TC=1.
     pub truncated: u64,
+    /// Queries shed by admission control (REFUSED replies).
+    pub shed: u64,
+    /// Compute-path queries admitted past the token bucket (equals the
+    /// non-cache-hit replies when admission is enabled; 0 otherwise).
+    pub admitted: u64,
     /// Cache counters (zeros when the cache is disabled).
     pub cache: AnswerCacheStats,
     /// Snapshot generations this shard served from.
@@ -311,6 +333,10 @@ pub enum ServeOutcome {
     /// The datagram did not decode but the header survived; a FORMERR
     /// echoing its ID is in [`ShardState::reply`].
     FormErr,
+    /// Admission control shed the query: it decoded fine but the
+    /// compute path is over budget; a REFUSED echoing its ID is in
+    /// [`ShardState::reply`].
+    Shed,
     /// The datagram did not even carry a usable header; nothing to send.
     Dropped,
 }
@@ -331,6 +357,7 @@ pub struct ScratchBuffers {
 pub struct ShardState {
     scratch: ScratchBuffers,
     cache: Option<AnswerCache>,
+    admission: Option<TokenBucket>,
     gen: Option<GenState>,
     generations_seen: u64,
 }
@@ -342,9 +369,18 @@ impl ShardState {
         ShardState {
             scratch: ScratchBuffers::default(),
             cache: cache.map(AnswerCache::new),
+            admission: None,
             gen: None,
             generations_seen: 0,
         }
+    }
+
+    /// Same state with compute-path admission control: the bucket is
+    /// born full at `now` so a fresh shard's warm-up misses are not
+    /// shed.
+    pub fn with_admission(mut self, cfg: &AdmissionConfig, now: Instant) -> ShardState {
+        self.admission = Some(TokenBucket::new(cfg, now));
+        self
     }
 
     /// Syncs the shard to `snap`'s generation: on a swap, transitions the
@@ -430,6 +466,18 @@ impl ShardState {
             // lint: allow(serve-index) — questions.len() == 1 checked on the previous arm
             && query.questions[0].name != gen.whoami;
         if !cacheable_shape {
+            // Uncacheable shapes always route: price them like any other
+            // compute-path query.
+            if let Some(b) = self.admission.as_mut() {
+                if !b.try_take(Instant::now()) {
+                    stages.outcome = TraceOutcome::Shed;
+                    return if refused_into(payload, reply) {
+                        ServeOutcome::Shed
+                    } else {
+                        ServeOutcome::Dropped
+                    };
+                }
+            }
             let t_route = stages.timed.then(Instant::now);
             let resp = map.answer(server_ip, query, &ctx);
             stages.route_ns = elapsed_ns(t_route);
@@ -475,6 +523,21 @@ impl ShardState {
         }
         if stages.timed {
             stages.cache_ns = now.elapsed().as_nanos() as u64;
+        }
+        // Cache miss: the expensive class. Admission prices it here —
+        // an empty bucket sheds the query as REFUSED before any routing
+        // work, which is exactly the cheapest-first priority (a
+        // cache-busting flood is all misses; cached legit hits never
+        // reach this point).
+        if let Some(b) = self.admission.as_mut() {
+            if !b.try_take(now) {
+                stages.outcome = TraceOutcome::Shed;
+                return if refused_into(payload, reply) {
+                    ServeOutcome::Shed
+                } else {
+                    ServeOutcome::Dropped
+                };
+            }
         }
         stages.outcome = TraceOutcome::Computed;
 
@@ -573,6 +636,10 @@ fn run_shard<T: ServerTransport>(
     counters: Arc<ShardCounters>,
 ) -> ShardReport {
     let mut state = ShardState::new(cfg.cache);
+    let admission_on = cfg.admission.is_some();
+    if let Some(a) = &cfg.admission {
+        state = state.with_admission(a, Instant::now());
+    }
     // The shard's snapshot view: steady-state revalidation is one atomic
     // load — no lock, no Arc clone per query.
     let mut reader = snapshots.reader();
@@ -583,6 +650,7 @@ fn run_shard<T: ServerTransport>(
     let trace = cfg.telemetry.as_ref().and_then(|t| t.trace.clone());
     let mut dropped = 0u64;
     let mut malformed = 0u64;
+    let mut admitted = 0u64;
     let mut received = 0u64;
     // relaxed-ok: the stop flag carries no data; shards only need to see
     // it eventually, and stop_join's SeqCst store plus thread join gives
@@ -640,11 +708,17 @@ fn run_shard<T: ServerTransport>(
                     // relaxed-ok: per-shard monotonic counter
                     counters.truncated.fetch_add(1, Ordering::Relaxed);
                 }
+                if admission_on && !cache_hit {
+                    admitted += 1;
+                }
                 let _ = transport.send(&dg.peer, state.reply());
                 if let Some(t) = tel.as_mut() {
                     t.queries.inc();
                     if truncated {
                         t.truncated.inc();
+                    }
+                    if admission_on && !cache_hit {
+                        t.admitted.inc();
                     }
                     t.record_stages(
                         stages.decode_ns,
@@ -688,6 +762,30 @@ fn run_shard<T: ServerTransport>(
                     }
                 }
             }
+            ServeOutcome::Shed => {
+                // relaxed-ok: per-shard monotonic counters; readers only sum
+                counters.queries.fetch_add(1, Ordering::Relaxed);
+                // relaxed-ok: per-shard monotonic counter
+                counters.shed.fetch_add(1, Ordering::Relaxed);
+                let _ = transport.send(&dg.peer, state.reply());
+                if let Some(t) = tel.as_ref() {
+                    t.queries.inc();
+                    t.shed.inc();
+                }
+                if sampled {
+                    if let Some(ring) = trace.as_ref() {
+                        push_query_trace(
+                            ring,
+                            shard,
+                            snap.generation,
+                            &state,
+                            false,
+                            &stages,
+                            total_ns,
+                        );
+                    }
+                }
+            }
             ServeOutcome::Dropped => {
                 // relaxed-ok: per-shard monotonic counter
                 counters.malformed.fetch_add(1, Ordering::Relaxed);
@@ -712,6 +810,9 @@ fn run_shard<T: ServerTransport>(
         malformed,
         // relaxed-ok: the shard thread itself wrote every increment
         truncated: counters.truncated.load(Ordering::Relaxed),
+        // relaxed-ok: the shard thread itself wrote every increment
+        shed: counters.shed.load(Ordering::Relaxed),
+        admitted,
         cache: state.cache().map(|c| c.stats()).unwrap_or_default(),
         generations_seen: state.generations_seen(),
     }
@@ -733,6 +834,10 @@ fn run_shard_batched<T: BatchServerTransport>(
 ) -> ShardReport {
     transport.on_thread_start();
     let mut state = ShardState::new(cfg.cache);
+    let admission_on = cfg.admission.is_some();
+    if let Some(a) = &cfg.admission {
+        state = state.with_admission(a, Instant::now());
+    }
     // The shard's snapshot view: steady-state revalidation is one atomic
     // load — no lock, no Arc clone per batch.
     let mut reader = snapshots.reader();
@@ -746,6 +851,7 @@ fn run_shard_batched<T: BatchServerTransport>(
     };
     let mut dropped = 0u64;
     let mut malformed = 0u64;
+    let mut admitted = 0u64;
     let mut received = 0u64;
     // The query bytes are copied out of the transport's receive slot so
     // the slot can be restaged with the reply while `serve` runs.
@@ -802,11 +908,17 @@ fn run_shard_batched<T: BatchServerTransport>(
                         // relaxed-ok: per-shard monotonic counter
                         counters.truncated.fetch_add(1, Ordering::Relaxed);
                     }
+                    if admission_on && !cache_hit {
+                        admitted += 1;
+                    }
                     transport.stage_reply(i, state.reply());
                     if let Some(t) = tel.as_mut() {
                         t.queries.inc();
                         if truncated {
                             t.truncated.inc();
+                        }
+                        if admission_on && !cache_hit {
+                            t.admitted.inc();
                         }
                         t.record_stages(
                             stages.decode_ns,
@@ -850,6 +962,30 @@ fn run_shard_batched<T: BatchServerTransport>(
                         }
                     }
                 }
+                ServeOutcome::Shed => {
+                    // relaxed-ok: per-shard monotonic counters; readers only sum
+                    counters.queries.fetch_add(1, Ordering::Relaxed);
+                    // relaxed-ok: per-shard monotonic counter
+                    counters.shed.fetch_add(1, Ordering::Relaxed);
+                    transport.stage_reply(i, state.reply());
+                    if let Some(t) = tel.as_ref() {
+                        t.queries.inc();
+                        t.shed.inc();
+                    }
+                    if sampled {
+                        if let Some(ring) = trace.as_ref() {
+                            push_query_trace(
+                                ring,
+                                shard,
+                                snap.generation,
+                                &state,
+                                false,
+                                &stages,
+                                total_ns,
+                            );
+                        }
+                    }
+                }
                 ServeOutcome::Dropped => {
                     // relaxed-ok: per-shard monotonic counter
                     counters.malformed.fetch_add(1, Ordering::Relaxed);
@@ -876,6 +1012,9 @@ fn run_shard_batched<T: BatchServerTransport>(
         malformed,
         // relaxed-ok: the shard thread itself wrote every increment
         truncated: counters.truncated.load(Ordering::Relaxed),
+        // relaxed-ok: the shard thread itself wrote every increment
+        shed: counters.shed.load(Ordering::Relaxed),
+        admitted,
         cache: state.cache().map(|c| c.stats()).unwrap_or_default(),
         generations_seen: state.generations_seen(),
     }
@@ -948,6 +1087,23 @@ fn formerr_into(payload: &[u8], out: &mut Vec<u8>) -> bool {
     // lint: allow(serve-index) — payload.len() ≥ 12 checked above
     out.extend_from_slice(&payload[..2]);
     out.extend_from_slice(&[0x80, 0x01]); // QR=1, opcode 0, RCODE=FORMERR
+    out.extend_from_slice(&[0; 8]); // QD/AN/NS/AR counts all zero
+    true
+}
+
+/// The shed sibling of [`formerr_into`]: a minimal REFUSED (RCODE 5)
+/// echoing the query ID, stamped when admission control rejects a
+/// compute-path query. Same twelve bytes, no encode, no allocation once
+/// `out` has capacity — shedding must stay cheaper than the cached hit
+/// it protects.
+fn refused_into(payload: &[u8], out: &mut Vec<u8>) -> bool {
+    if payload.len() < 12 {
+        return false;
+    }
+    out.clear();
+    // lint: allow(serve-index) — payload.len() ≥ 12 checked above
+    out.extend_from_slice(&payload[..2]);
+    out.extend_from_slice(&[0x80, 0x05]); // QR=1, opcode 0, RCODE=REFUSED
     out.extend_from_slice(&[0; 8]); // QD/AN/NS/AR counts all zero
     true
 }

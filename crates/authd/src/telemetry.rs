@@ -70,6 +70,10 @@ pub(crate) struct ShardInstruments {
     pub formerr: Arc<Counter>,
     pub dropped: Arc<Counter>,
     pub truncated: Arc<Counter>,
+    /// Queries shed by admission control (REFUSED replies).
+    pub shed: Arc<Counter>,
+    /// Compute-path queries admitted past the token bucket.
+    pub admitted: Arc<Counter>,
     pub cache_hits: Arc<Counter>,
     pub cache_misses: Arc<Counter>,
     pub cache_evictions: Arc<Counter>,
@@ -106,6 +110,16 @@ impl ShardInstruments {
             truncated: reg.counter(
                 "eum_authd_truncated_total",
                 "Replies truncated to the client's UDP payload limit (TC=1)",
+                l,
+            ),
+            shed: reg.counter(
+                "eum_authd_shed_total",
+                "Queries shed by admission control (REFUSED, compute path over budget)",
+                l,
+            ),
+            admitted: reg.counter(
+                "eum_authd_admitted_total",
+                "Compute-path queries admitted past the token bucket",
                 l,
             ),
             cache_hits: reg.counter(

@@ -23,8 +23,21 @@ use rand::{RngExt, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use std::io;
 use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::time::Duration;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::time::{Duration, Instant};
+
+/// How long channel endpoints poll `try_recv` (yielding the CPU
+/// between probes) before parking in a blocking receive. An mpsc
+/// park/unpark round costs 3–10 µs of futex wake latency — an order
+/// of magnitude over the serve path itself — so a closed-loop
+/// client/shard pair that parked between every query would measure
+/// the scheduler, not the server. `yield_now` is the probe that works
+/// at every core count: on a loaded single-CPU host it hands the core
+/// straight to the peer thread (a busy spin would deadlock the pair
+/// for its whole budget), and on idle multi-core hosts it returns
+/// immediately, degrading to a plain spin. Idle endpoints still park
+/// after one budget's worth of polling.
+const CHANNEL_SPIN: Duration = Duration::from_micros(50);
 
 /// One received query, addressed for reply.
 pub struct Datagram<P> {
@@ -170,19 +183,35 @@ impl ServerTransport for ChannelTransport {
     type Peer = Sender<Vec<u8>>;
 
     fn recv(&mut self, timeout: Duration) -> io::Result<Option<Datagram<Self::Peer>>> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(q) => Ok(Some(Datagram {
-                payload: q.payload,
-                resolver_ip: q.resolver_ip,
-                server_ip: Some(q.server_ip),
-                stream: q.stream,
-                peer: q.reply,
-            })),
-            Err(RecvTimeoutError::Timeout) => Ok(None),
-            // Every client hung up: treat as a quiet socket; the shard
-            // exits when its stop flag is set.
-            Err(RecvTimeoutError::Disconnected) => Ok(None),
-        }
+        let deadline = Instant::now() + CHANNEL_SPIN;
+        let q = loop {
+            match self.rx.try_recv() {
+                Ok(q) => break q,
+                Err(TryRecvError::Empty) => {
+                    if Instant::now() >= deadline {
+                        // Spin budget exhausted: park in the blocking
+                        // receive until traffic resumes.
+                        match self.rx.recv_timeout(timeout) {
+                            Ok(q) => break q,
+                            Err(RecvTimeoutError::Timeout) => return Ok(None),
+                            // Every client hung up: treat as a quiet
+                            // socket; the shard exits when its stop
+                            // flag is set.
+                            Err(RecvTimeoutError::Disconnected) => return Ok(None),
+                        }
+                    }
+                    std::thread::yield_now();
+                }
+                Err(TryRecvError::Disconnected) => return Ok(None),
+            }
+        };
+        Ok(Some(Datagram {
+            payload: q.payload,
+            resolver_ip: q.resolver_ip,
+            server_ip: Some(q.server_ip),
+            stream: q.stream,
+            peer: q.reply,
+        }))
     }
 
     fn send(&mut self, peer: &Self::Peer, payload: &[u8]) -> io::Result<()> {
@@ -234,9 +263,27 @@ impl ChannelClient {
             reply: self.reply_tx.clone(),
         })
         .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "shard gone"))?;
-        self.reply_rx
-            .recv_timeout(timeout)
-            .map_err(|_| io::Error::new(io::ErrorKind::TimedOut, "no response"))
+        // Spin for the reply before parking: under load the shard
+        // answers well inside the spin budget, so the wake-latency tax
+        // is paid only on genuinely slow (or timed-out) exchanges.
+        let deadline = Instant::now() + CHANNEL_SPIN;
+        loop {
+            match self.reply_rx.try_recv() {
+                Ok(bytes) => return Ok(bytes),
+                Err(TryRecvError::Empty) => {
+                    if Instant::now() >= deadline {
+                        return self
+                            .reply_rx
+                            .recv_timeout(timeout)
+                            .map_err(|_| io::Error::new(io::ErrorKind::TimedOut, "no response"));
+                    }
+                    std::thread::yield_now();
+                }
+                Err(TryRecvError::Disconnected) => {
+                    return Err(io::Error::new(io::ErrorKind::BrokenPipe, "shard gone"))
+                }
+            }
+        }
     }
 }
 

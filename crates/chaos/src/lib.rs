@@ -1,0 +1,34 @@
+//! eum-chaos: a scenario-driven adversarial workload engine.
+//!
+//! The serving stack ([`eum_authd`] behind a fleet of [`eum_ldns`]
+//! resolvers) claims to survive the workloads that actually take CDN
+//! mapping systems down: random-subdomain NXDOMAIN floods that bust
+//! every cache layer, flash crowds piling onto one hostname, serving
+//! sites dropping out mid-run, resolver ECS policies flipping under
+//! load, and raw cache-capacity pressure. This crate makes those claims
+//! falsifiable. Each [`ChaosScenario`] is a seeded, windowed schedule of
+//! attack plus legitimate queries with per-query ground truth (which
+//! arrivals are attack, which are legit), driven **live** — real
+//! resolver code over a real channel transport against a real spawned
+//! [`eum_authd::AuthServer`] — twice: once with defenses off and once
+//! with defenses on ([`Defenses`]: authd token-bucket admission control
+//! with REFUSED shedding, plus health-filtered mapping republication on
+//! outage). The [`AbReport`] pins what the defenses bought: legitimate
+//! goodput, tail latency, and answer quality, window by window.
+//!
+//! Offered load is fixed and identical across the two arms. The runner
+//! is open-loop over a virtual arrival clock: arrivals land every
+//! `interval_ns` whether or not the serving path has caught up, service
+//! times are measured on the real clock, and queueing delay is the
+//! gap between the two ([`runner`] module docs spell out the model).
+//! A query whose queue-plus-service latency exceeds the client
+//! patience window counts as lost even when an answer eventually came
+//! back — exactly how a recursive resolver's client behaves.
+
+mod report;
+mod runner;
+mod scenario;
+
+pub use report::{AbReport, ArmReport, WindowStats};
+pub use runner::{run_ab, ChaosWorld, Defenses};
+pub use scenario::{AttackGenKind, ChaosQuery, ChaosScenario, ScheduledEvent};

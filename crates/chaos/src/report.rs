@@ -1,0 +1,256 @@
+//! Ground-truth window statistics and hand-rendered JSONL reporting.
+//!
+//! Every number here is measured, not modeled: latencies from the live
+//! open-loop replay, shed/admitted from the spawned server's own
+//! telemetry registry, answer quality from checking answered IPs
+//! against the platform's real liveness state. The JSONL layout is one
+//! line per (arm, window) plus one summary line per scenario, so a
+//! whole lab run concatenates into a single streaming file under
+//! `results/`.
+
+/// One arrival window's measured outcome for one arm.
+#[derive(Debug, Clone, Default)]
+pub struct WindowStats {
+    /// Window index.
+    pub window: usize,
+    /// Attack arrivals offered this window (ground truth).
+    pub attack_offered: u64,
+    /// Legit arrivals offered this window (ground truth).
+    pub legit_offered: u64,
+    /// Legit queries answered healthily within the deadline.
+    pub legit_ok: u64,
+    /// Legit queries answered healthily but past the deadline (the
+    /// client had given up).
+    pub legit_late: u64,
+    /// Legit queries answered with an address of a dead server.
+    pub legit_unhealthy: u64,
+    /// Legit queries with no usable answer (SERVFAIL — including
+    /// admission sheds surfacing at the resolver — or empty).
+    pub legit_failed: u64,
+    /// Attack queries that got a real answer (NXDOMAIN for floods, an
+    /// address for crowds/scans).
+    pub attack_answered: u64,
+    /// Attack queries that got no usable answer (shed or failed).
+    pub attack_failed: u64,
+    /// `eum_authd_shed_total` delta across the window.
+    pub shed: u64,
+    /// `eum_authd_admitted_total` delta across the window.
+    pub admitted: u64,
+    /// Median legit latency, microseconds (queue + service).
+    pub legit_p50_us: f64,
+    /// 99th-percentile legit latency, microseconds.
+    pub legit_p99_us: f64,
+    /// Legit goodput over the window's offered timeline, answers/s.
+    pub goodput_qps: f64,
+}
+
+impl WindowStats {
+    pub(crate) fn new(window: usize) -> WindowStats {
+        WindowStats {
+            window,
+            ..WindowStats::default()
+        }
+    }
+
+    /// Computes the derived figures once the window's raw counts and
+    /// legit latencies are in.
+    pub(crate) fn finish(&mut self, legit_lat_ns: &[u64], span_ns: u64) {
+        let mut sorted = legit_lat_ns.to_vec();
+        sorted.sort_unstable();
+        self.legit_p50_us = percentile_us(&sorted, 0.50);
+        self.legit_p99_us = percentile_us(&sorted, 0.99);
+        self.goodput_qps = self.legit_ok as f64 / (span_ns as f64 / 1e9);
+    }
+
+    fn jsonl(&self, scenario: &str, arm: &str) -> String {
+        format!(
+            concat!(
+                "{{\"scenario\":\"{}\",\"arm\":\"{}\",\"window\":{},",
+                "\"attack_offered\":{},\"legit_offered\":{},",
+                "\"legit_ok\":{},\"legit_late\":{},\"legit_unhealthy\":{},\"legit_failed\":{},",
+                "\"attack_answered\":{},\"attack_failed\":{},",
+                "\"shed\":{},\"admitted\":{},",
+                "\"legit_p50_us\":{:.2},\"legit_p99_us\":{:.2},\"goodput_qps\":{:.1}}}"
+            ),
+            scenario,
+            arm,
+            self.window,
+            self.attack_offered,
+            self.legit_offered,
+            self.legit_ok,
+            self.legit_late,
+            self.legit_unhealthy,
+            self.legit_failed,
+            self.attack_answered,
+            self.attack_failed,
+            self.shed,
+            self.admitted,
+            self.legit_p50_us,
+            self.legit_p99_us,
+            self.goodput_qps,
+        )
+    }
+}
+
+/// One arm's full run plus its impact-range aggregate.
+#[derive(Debug, Clone)]
+pub struct ArmReport {
+    /// Whether this arm ran with defenses.
+    pub defended: bool,
+    /// Every window, in order.
+    pub windows: Vec<WindowStats>,
+    /// Aggregates over the scenario's impact range:
+    pub legit_offered: u64,
+    pub legit_ok: u64,
+    pub shed: u64,
+    pub admitted: u64,
+    /// Legit goodput over the impact range, answers/s.
+    pub goodput_qps: f64,
+    /// Worst window p50/p99 are noisy; these aggregate the impact
+    /// range's per-window percentiles by weighted mean (p50) and max
+    /// (p99 — tail of the worst window is the tail the user saw).
+    pub legit_p50_us: f64,
+    pub legit_p99_us: f64,
+    /// Fraction of impact-range legit queries answered usable and on
+    /// time.
+    pub legit_quality: f64,
+}
+
+impl ArmReport {
+    pub(crate) fn aggregate(
+        defended: bool,
+        windows: Vec<WindowStats>,
+        impact: std::ops::Range<usize>,
+    ) -> ArmReport {
+        let sel: Vec<&WindowStats> = windows
+            .iter()
+            .filter(|s| impact.contains(&s.window))
+            .collect();
+        let legit_offered: u64 = sel.iter().map(|s| s.legit_offered).sum();
+        let legit_ok: u64 = sel.iter().map(|s| s.legit_ok).sum();
+        let shed: u64 = sel.iter().map(|s| s.shed).sum();
+        let admitted: u64 = sel.iter().map(|s| s.admitted).sum();
+        let goodput_qps = sel.iter().map(|s| s.goodput_qps).sum::<f64>() / sel.len().max(1) as f64;
+        let weight: u64 = sel.iter().map(|s| s.legit_offered).sum();
+        let legit_p50_us = if weight == 0 {
+            0.0
+        } else {
+            sel.iter()
+                .map(|s| s.legit_p50_us * s.legit_offered as f64)
+                .sum::<f64>()
+                / weight as f64
+        };
+        let legit_p99_us = sel.iter().map(|s| s.legit_p99_us).fold(0.0, f64::max);
+        ArmReport {
+            defended,
+            windows,
+            legit_offered,
+            legit_ok,
+            shed,
+            admitted,
+            goodput_qps,
+            legit_p50_us,
+            legit_p99_us,
+            legit_quality: if legit_offered == 0 {
+                0.0
+            } else {
+                legit_ok as f64 / legit_offered as f64
+            },
+        }
+    }
+
+    fn summary_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"legit_offered\":{},\"legit_ok\":{},\"shed\":{},\"admitted\":{},",
+                "\"goodput_qps\":{:.1},\"legit_p50_us\":{:.2},\"legit_p99_us\":{:.2},",
+                "\"legit_quality\":{:.4}}}"
+            ),
+            self.legit_offered,
+            self.legit_ok,
+            self.shed,
+            self.admitted,
+            self.goodput_qps,
+            self.legit_p50_us,
+            self.legit_p99_us,
+            self.legit_quality,
+        )
+    }
+}
+
+/// The A/B outcome of one scenario: identical offered schedule, one
+/// arm undefended, one defended.
+#[derive(Debug, Clone)]
+pub struct AbReport {
+    pub scenario: String,
+    pub seed: u64,
+    /// The fixed offered arrival interval both arms replayed at.
+    pub interval_ns: u64,
+    /// Client patience both arms were judged against.
+    pub deadline_ns: u64,
+    /// Calibrated mean cost per resolution, undefended arm.
+    pub cost_off_ns: u64,
+    /// Calibrated mean cost per resolution, defended arm.
+    pub cost_on_ns: u64,
+    pub off: ArmReport,
+    pub on: ArmReport,
+}
+
+impl AbReport {
+    /// Defended-over-undefended legit goodput across the impact range.
+    pub fn goodput_ratio(&self) -> f64 {
+        if self.off.goodput_qps <= 0.0 {
+            if self.on.goodput_qps > 0.0 {
+                f64::INFINITY
+            } else {
+                1.0
+            }
+        } else {
+            self.on.goodput_qps / self.off.goodput_qps
+        }
+    }
+
+    /// Every JSONL line for this scenario: per-window rows for both
+    /// arms, then one summary row.
+    pub fn jsonl_lines(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (arm, report) in [("off", &self.off), ("on", &self.on)] {
+            for w in &report.windows {
+                out.push(w.jsonl(&self.scenario, arm));
+            }
+        }
+        out.push(self.summary_jsonl());
+        out
+    }
+
+    /// The one-line scenario summary (also the last JSONL row).
+    pub fn summary_jsonl(&self) -> String {
+        format!(
+            concat!(
+                "{{\"scenario\":\"{}\",\"summary\":true,\"seed\":{},",
+                "\"interval_ns\":{},\"deadline_ns\":{},",
+                "\"cost_off_ns\":{},\"cost_on_ns\":{},",
+                "\"off\":{},\"on\":{},\"goodput_ratio\":{:.3}}}"
+            ),
+            self.scenario,
+            self.seed,
+            self.interval_ns,
+            self.deadline_ns,
+            self.cost_off_ns,
+            self.cost_on_ns,
+            self.off.summary_json(),
+            self.on.summary_json(),
+            self.goodput_ratio(),
+        )
+    }
+}
+
+/// Interpolation-free percentile of pre-sorted nanosecond samples, in
+/// microseconds.
+fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)] as f64 / 1_000.0
+}

@@ -1,0 +1,358 @@
+//! Seeded, composable adversarial workload schedules.
+//!
+//! A [`ChaosScenario`] compiles to a per-window list of [`ChaosQuery`]
+//! arrivals: legitimate traffic demand-sampled through
+//! [`eum_ldns::QueryPlan`] (the same population model every other
+//! experiment in this repository uses), interleaved with attack
+//! arrivals from a composable [`AttackGenKind`] generator, all drawn
+//! from one `ChaCha12` stream so a seed reproduces the exact arrival
+//! sequence — ground truth included. Attacks occupy a window range
+//! (`attack_from..attack_to`), leaving warm-up windows for caches to
+//! fill and recovery windows to watch the system drain.
+//!
+//! World events ([`ScheduledEvent`]) are the non-query half of a
+//! scenario: a serving site dying, or public resolvers flipping their
+//! ECS policy mid-run. They fire at a window boundary in *both* A/B
+//! arms — the event is the world's doing; only the response to it
+//! (see [`crate::Defenses`]) differs between arms.
+
+use eum_cdn::ContentCatalog;
+use eum_dns::DnsName;
+use eum_ldns::{LdnsCacheConfig, QueryPlan};
+use eum_netmodel::Internet;
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use std::net::Ipv4Addr;
+
+/// One scheduled arrival with its ground-truth label.
+#[derive(Debug, Clone)]
+pub struct ChaosQuery {
+    /// Index into the internet's resolver arena (and the runner's
+    /// matching `Vec<Ldns>`).
+    pub resolver: usize,
+    /// The asking client (ECS source when the resolver sends ECS).
+    pub client: Ipv4Addr,
+    /// The hostname looked up.
+    pub qname: DnsName,
+    /// Ground truth: this arrival belongs to the attack, not the
+    /// legitimate demand stream.
+    pub attack: bool,
+}
+
+/// The attack traffic shapes scenarios compose from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackGenKind {
+    /// Random-subdomain NXDOMAIN flood: every query is a fresh
+    /// never-seen name under the CDN zone, so every layer of caching
+    /// misses and the negative answer is useless to the attacker's
+    /// next query. The classic water-torture shape.
+    NxFlood,
+    /// Flash crowd: everyone suddenly asks for the most popular
+    /// hostname. High volume, but cacheable — the defense's job is to
+    /// *not* shed it.
+    FlashCrowd,
+    /// Wide scan: real hostnames crossed with scattered client blocks,
+    /// maximizing distinct ECS-scoped cache entries per query —
+    /// capacity pressure on both the resolver and authd answer caches.
+    WideScan,
+}
+
+/// A mid-run world mutation, fired at a window boundary in both arms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduledEvent {
+    /// The busiest serving site goes dark (cluster liveness off).
+    SiteOutage,
+    /// Every resolver flips ECS on (whitelist rollout mid-flight) and
+    /// restarts its cache, as the real rollouts did.
+    EcsFlipAll,
+}
+
+/// A fully-specified adversarial scenario.
+#[derive(Debug, Clone)]
+pub struct ChaosScenario {
+    /// Stable scenario name (JSONL key).
+    pub name: &'static str,
+    /// Seed for the arrival schedule and every sampling decision.
+    pub seed: u64,
+    /// Number of arrival windows.
+    pub windows: usize,
+    /// Offered arrivals per window (attack + legit combined).
+    pub queries_per_window: usize,
+    /// Attack generator, or `None` for event-only scenarios.
+    pub attack: Option<AttackGenKind>,
+    /// Fraction of arrivals that are attack inside the active range.
+    pub attack_share: f64,
+    /// First window with attack traffic.
+    pub attack_from: usize,
+    /// First window after the attack stops.
+    pub attack_to: usize,
+    /// World event and the window it fires at.
+    pub event: Option<(usize, ScheduledEvent)>,
+    /// Attack windows excluded from the summary while the defense
+    /// engages (burst drain-down): the floor is judged on the
+    /// sustained regime, the transient still lands in the per-window
+    /// rows.
+    pub settle_windows: usize,
+    /// Client patience, in units of the arrival interval: an answer
+    /// later than this counts as lost.
+    pub deadline_intervals: u64,
+    /// Resolver cache geometry (scenarios shrink it to apply pressure).
+    pub ldns_cache: LdnsCacheConfig,
+    /// Whether resolvers send ECS from the start (`false`: the ECS-flip
+    /// scenario starts dark and flips mid-run).
+    pub ecs_at_start: bool,
+}
+
+impl ChaosScenario {
+    fn base(name: &'static str, seed: u64) -> ChaosScenario {
+        ChaosScenario {
+            name,
+            seed,
+            windows: 8,
+            queries_per_window: 1_500,
+            attack: None,
+            attack_share: 0.0,
+            attack_from: 2,
+            attack_to: 8,
+            event: None,
+            settle_windows: 0,
+            deadline_intervals: 48,
+            ldns_cache: LdnsCacheConfig::default(),
+            ecs_at_start: true,
+        }
+    }
+
+    /// Random-subdomain NXDOMAIN flood at 85% of offered load. The
+    /// attack runs long enough that its volume dwarfs the admission
+    /// burst: the defense is judged on the sustained regime, not on
+    /// how it weathers the opening seconds.
+    pub fn nxdomain_flood(seed: u64) -> ChaosScenario {
+        ChaosScenario {
+            attack: Some(AttackGenKind::NxFlood),
+            attack_share: 0.85,
+            windows: 10,
+            attack_to: 10,
+            // Two windows for the bucket to drain before the floor is
+            // judged: mitigation is evaluated converged, as deployed
+            // rate-limiters are.
+            settle_windows: 2,
+            // Flood clients are the impatient kind: a tighter deadline
+            // makes queue growth — the thing the flood actually costs
+            // legitimate users — visible as lost goodput.
+            deadline_intervals: 24,
+            ..Self::base("nxdomain_flood", seed)
+        }
+    }
+
+    /// Flash crowd on the hottest hostname at 70% of offered load.
+    pub fn flash_crowd(seed: u64) -> ChaosScenario {
+        ChaosScenario {
+            attack: Some(AttackGenKind::FlashCrowd),
+            attack_share: 0.70,
+            ..Self::base("flash_crowd", seed)
+        }
+    }
+
+    /// The busiest serving site dies at window 4; no attack traffic.
+    pub fn site_outage(seed: u64) -> ChaosScenario {
+        ChaosScenario {
+            event: Some((4, ScheduledEvent::SiteOutage)),
+            ..Self::base("site_outage", seed)
+        }
+    }
+
+    /// Public resolvers flip ECS on (with a cache restart) at window 4.
+    pub fn ecs_flip(seed: u64) -> ChaosScenario {
+        ChaosScenario {
+            event: Some((4, ScheduledEvent::EcsFlipAll)),
+            ecs_at_start: false,
+            ..Self::base("ecs_flip", seed)
+        }
+    }
+
+    /// Wide scans against resolvers with deliberately small caches.
+    pub fn cache_pressure(seed: u64) -> ChaosScenario {
+        ChaosScenario {
+            attack: Some(AttackGenKind::WideScan),
+            attack_share: 0.60,
+            ldns_cache: LdnsCacheConfig {
+                max_entries: 512,
+                max_negative_entries: 64,
+                ..LdnsCacheConfig::default()
+            },
+            ..Self::base("cache_pressure", seed)
+        }
+    }
+
+    /// Every built-in scenario, in report order.
+    pub fn all(seed: u64) -> Vec<ChaosScenario> {
+        vec![
+            Self::nxdomain_flood(seed),
+            Self::flash_crowd(seed),
+            Self::site_outage(seed),
+            Self::ecs_flip(seed),
+            Self::cache_pressure(seed),
+        ]
+    }
+
+    /// True when window `w` is inside the attack's active range.
+    pub fn attack_active(&self, w: usize) -> bool {
+        self.attack.is_some() && w >= self.attack_from && w < self.attack_to
+    }
+
+    /// The windows the summary aggregates over: attack windows (minus
+    /// the settle allowance) when there is an attack, post-event
+    /// windows for event scenarios, everything otherwise.
+    pub fn impact_range(&self) -> std::ops::Range<usize> {
+        if self.attack.is_some() {
+            (self.attack_from + self.settle_windows).min(self.attack_to)..self.attack_to
+        } else if let Some((w, _)) = self.event {
+            w..self.windows
+        } else {
+            0..self.windows
+        }
+    }
+
+    /// Compiles the scenario to per-window arrival lists. Same seed,
+    /// same world: byte-identical schedule — both A/B arms replay one
+    /// compilation.
+    pub fn schedule(&self, net: &Internet, catalog: &ContentCatalog) -> Vec<Vec<ChaosQuery>> {
+        let mut legit = legit_stream(
+            net,
+            catalog,
+            self.seed,
+            self.windows * self.queries_per_window,
+        );
+        let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
+        let mut gen = self.attack.map(|k| AttackGen::build(k, catalog, self.seed));
+        (0..self.windows)
+            .map(|w| {
+                let active = self.attack_active(w);
+                (0..self.queries_per_window)
+                    .map(|_| {
+                        if active && rng.random_bool(self.attack_share) {
+                            gen.as_mut()
+                                .expect("active implies a generator")
+                                .next(net, &mut rng)
+                        } else {
+                            legit.next().expect("legit plan sized for the run")
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// A short mixed batch with this scenario's traffic shape, drawn
+    /// from a disjoint seed: the runner times it against each arm to
+    /// place the offered arrival interval between the two measured
+    /// service rates (see [`crate::runner`]). `phase` varies the salt
+    /// so a warm-up pass and a timed pass draw distinct attack names
+    /// (flood names must stay cold) over the same legitimate mix.
+    pub fn calibration_batch(
+        &self,
+        net: &Internet,
+        catalog: &ContentCatalog,
+        count: usize,
+        phase: u64,
+    ) -> Vec<ChaosQuery> {
+        let salt = self.seed ^ 0x000C_A11B;
+        let mut legit = legit_stream(net, catalog, salt, count);
+        let mut rng = ChaCha12Rng::seed_from_u64(salt);
+        let mut gen = self
+            .attack
+            .map(|k| AttackGen::build(k, catalog, salt ^ (phase << 48)));
+        (0..count)
+            .map(|_| match gen.as_mut() {
+                Some(g) if rng.random_bool(self.attack_share) => g.next(net, &mut rng),
+                _ => legit.next().expect("legit plan sized for calibration"),
+            })
+            .collect()
+    }
+}
+
+/// Demand-weighted legitimate arrivals as an owned iterator.
+fn legit_stream(
+    net: &Internet,
+    catalog: &ContentCatalog,
+    seed: u64,
+    count: usize,
+) -> impl Iterator<Item = ChaosQuery> {
+    let demand: Vec<(DnsName, f64)> = catalog
+        .domains
+        .iter()
+        .map(|d| (d.cdn_name.clone(), d.popularity))
+        .collect();
+    QueryPlan::generate(net, &demand, seed ^ 0x0001_E617, count)
+        .queries
+        .into_iter()
+        .map(|p| ChaosQuery {
+            resolver: p.resolver.index(),
+            client: p.client,
+            qname: p.qname,
+            attack: false,
+        })
+}
+
+/// A running attack generator (the stateful side of [`AttackGenKind`]).
+enum AttackGen {
+    NxFlood { n: u64, salt: u64 },
+    FlashCrowd { qname: Box<DnsName> },
+    WideScan { names: Vec<DnsName>, next: usize },
+}
+
+impl AttackGen {
+    fn build(kind: AttackGenKind, catalog: &ContentCatalog, salt: u64) -> AttackGen {
+        match kind {
+            AttackGenKind::NxFlood => AttackGen::NxFlood { n: 0, salt },
+            AttackGenKind::FlashCrowd => AttackGen::FlashCrowd {
+                qname: Box::new(hottest(catalog)),
+            },
+            AttackGenKind::WideScan => AttackGen::WideScan {
+                names: catalog.domains.iter().map(|d| d.cdn_name.clone()).collect(),
+                next: 0,
+            },
+        }
+    }
+
+    /// One attack arrival: origin sampled from the real population
+    /// (bots live in real networks), name per the generator's shape.
+    fn next(&mut self, net: &Internet, rng: &mut ChaCha12Rng) -> ChaosQuery {
+        let resolver = rng.random_range(0..net.resolvers.len());
+        let client = net.blocks[rng.random_range(0..net.blocks.len())].client_ip();
+        let qname = match self {
+            AttackGen::NxFlood { n, salt } => {
+                *n += 1;
+                // SplitMix-style mix: unique, unguessable-looking labels.
+                let mut z = (*salt ^ *n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                format!("x{z:016x}.cdn.example")
+                    .parse()
+                    .expect("flood labels are valid DNS names")
+            }
+            AttackGen::FlashCrowd { qname } => (**qname).clone(),
+            AttackGen::WideScan { names, next } => {
+                let q = names[*next % names.len()].clone();
+                *next += 1;
+                q
+            }
+        };
+        ChaosQuery {
+            resolver,
+            client,
+            qname,
+            attack: true,
+        }
+    }
+}
+
+/// The most popular hosted domain's CDN name.
+pub(crate) fn hottest(catalog: &ContentCatalog) -> DnsName {
+    catalog
+        .domains
+        .iter()
+        .max_by(|a, b| a.popularity.total_cmp(&b.popularity))
+        .expect("catalog is never empty")
+        .cdn_name
+        .clone()
+}

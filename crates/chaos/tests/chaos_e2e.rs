@@ -1,0 +1,75 @@
+//! Live end-to-end acceptance for the chaos engine: the defenses must
+//! actually buy what the PR claims, measured against a real spawned
+//! authd over the channel transport.
+//!
+//! * NXDOMAIN flood at fixed offered load — the defended arm holds at
+//!   least twice the undefended arm's legitimate goodput with a lower
+//!   legit p99, the admission counters fire, and the undefended arm
+//!   sheds nothing (proving the counters measure the defense, not the
+//!   workload).
+//! * Flash crowd — cacheable surge: the defense must NOT shed it into
+//!   the floor; goodput stays within noise of the undefended arm.
+
+use eum_chaos::{run_ab, ChaosScenario, ChaosWorld};
+
+const SEED: u64 = 0x000C_4A05;
+
+#[test]
+fn nxdomain_flood_defenses_double_goodput_and_cut_tail() {
+    let mut world = ChaosWorld::build(SEED);
+    // Full-size schedule: the sustained flood must dwarf the admission
+    // burst, or the defended arm just admits the whole attack.
+    let ab = run_ab(&mut world, &ChaosScenario::nxdomain_flood(SEED));
+
+    assert!(
+        ab.on.shed > 0,
+        "admission control must shed under a cache-busting flood"
+    );
+    assert_eq!(
+        ab.off.shed, 0,
+        "the undefended arm has no admission control to shed with"
+    );
+    assert!(
+        ab.goodput_ratio() >= 2.0,
+        "defended legit goodput must be >= 2x undefended: on={:.1} qps off={:.1} qps \
+         (cost_on={} ns cost_off={} ns interval={} ns)",
+        ab.on.goodput_qps,
+        ab.off.goodput_qps,
+        ab.cost_on_ns,
+        ab.cost_off_ns,
+        ab.interval_ns,
+    );
+    assert!(
+        ab.on.legit_p99_us < ab.off.legit_p99_us,
+        "defended legit p99 must beat undefended: on={:.1} us off={:.1} us",
+        ab.on.legit_p99_us,
+        ab.off.legit_p99_us,
+    );
+}
+
+#[test]
+fn flash_crowd_is_absorbed_not_shed() {
+    let mut world = ChaosWorld::build(SEED);
+    let ab = run_ab(&mut world, &ChaosScenario::flash_crowd(SEED));
+
+    // A flash crowd is cache-priced after the first miss per resolver:
+    // admission must barely engage (warm-up misses only, well inside
+    // the burst) and must not cost legitimate goodput.
+    assert!(
+        ab.on.shed <= ab.on.admitted / 10,
+        "a cacheable crowd must not be shed: shed={} admitted={}",
+        ab.on.shed,
+        ab.on.admitted,
+    );
+    assert!(
+        ab.goodput_ratio() >= 0.8,
+        "defenses must not dent flash-crowd goodput: on={:.1} off={:.1}",
+        ab.on.goodput_qps,
+        ab.off.goodput_qps,
+    );
+    assert!(
+        ab.on.legit_quality >= 0.9,
+        "legit quality under a flash crowd must stay high: {:.3}",
+        ab.on.legit_quality,
+    );
+}

@@ -37,6 +37,13 @@ use std::time::{Duration, Instant};
 pub struct LdnsCacheConfig {
     /// Maximum entries (FIFO eviction beyond this).
     pub max_entries: usize,
+    /// Independent FIFO bound on negative entries ([`AnswerBody::Negative`]
+    /// and [`AnswerBody::Failure`]). Negatives still count toward
+    /// `max_entries`, but once this many are live the oldest *negative*
+    /// is evicted first — a random-subdomain NXDOMAIN flood can occupy at
+    /// most this many slots and can never push the positive working set
+    /// out through the shared capacity bound.
+    pub max_negative_entries: usize,
     /// TTL for cached upstream failures, seconds (RFC 2308 §7.1 caps
     /// SERVFAIL caching at 5 minutes).
     pub servfail_ttl_s: u32,
@@ -49,6 +56,7 @@ impl Default for LdnsCacheConfig {
     fn default() -> Self {
         LdnsCacheConfig {
             max_entries: 65_536,
+            max_negative_entries: 8_192,
             servfail_ttl_s: 30,
             max_negative_ttl_s: 3_600,
         }
@@ -135,6 +143,9 @@ pub struct LdnsCacheStats {
     pub stale_drops: u64,
     /// Entries evicted by the capacity bound.
     pub evictions: u64,
+    /// Negative entries evicted by the independent negative bound
+    /// (`max_negative_entries`), not counted in `evictions`.
+    pub negative_evictions: u64,
 }
 
 impl Default for LdnsCacheStats {
@@ -146,6 +157,7 @@ impl Default for LdnsCacheStats {
             expirations: 0,
             stale_drops: 0,
             evictions: 0,
+            negative_evictions: 0,
         }
     }
 }
@@ -173,6 +185,11 @@ pub struct ResolverCache {
     wheel: TimerWheel<CacheKey>,
     /// Insertion order for FIFO capacity eviction.
     order: std::collections::VecDeque<CacheKey>,
+    /// Insertion order of live negative/failure entries only, for the
+    /// independent negative bound. Invariant: a key is here iff its map
+    /// entry exists and its body is `Negative`/`Failure` (maintained on
+    /// every removal and on body-class flips at replacement).
+    neg_order: std::collections::VecDeque<CacheKey>,
     /// Live scoped-entry count per scope length; lookups probe only
     /// lengths actually present.
     scope_lens: [u32; 33],
@@ -187,6 +204,7 @@ impl ResolverCache {
             map: HashMap::new(),
             wheel: TimerWheel::new(now),
             order: std::collections::VecDeque::new(),
+            neg_order: std::collections::VecDeque::new(),
             scope_lens: [0; 33],
             stats: LdnsCacheStats::default(),
         }
@@ -199,6 +217,7 @@ impl ResolverCache {
     pub fn clear(&mut self, now: Instant) {
         self.map.clear();
         self.order.clear();
+        self.neg_order.clear();
         self.scope_lens = [0; 33];
         self.wheel = TimerWheel::new(now);
     }
@@ -269,11 +288,29 @@ impl ResolverCache {
         scope_block: Option<Prefix>,
         entry: CacheEntry,
     ) {
+        let neg = is_negative(&entry);
+        // The negative class is bounded on its own: an NXDOMAIN flood
+        // churns this FIFO and only this FIFO.
+        if neg {
+            while self.neg_order.len() >= self.cfg.max_negative_entries.max(1) {
+                match self.neg_order.pop_front() {
+                    Some(oldest) => {
+                        if self.map.remove(&oldest).is_some() {
+                            // Not on_removed: negatives are never scoped,
+                            // and the key just left neg_order.
+                            self.order.retain(|k| k != &oldest);
+                            self.stats.negative_evictions += 1;
+                        }
+                    }
+                    None => break,
+                }
+            }
+        }
         while self.map.len() >= self.cfg.max_entries.max(1) {
             match self.order.pop_front() {
                 Some(oldest) => {
-                    if self.map.remove(&oldest).is_some() {
-                        self.on_removed(&oldest);
+                    if let Some(old) = self.map.remove(&oldest) {
+                        self.on_removed(&oldest, &old);
                         self.stats.evictions += 1;
                     }
                 }
@@ -289,12 +326,29 @@ impl ResolverCache {
             self.scope_lens[p.len() as usize] += 1;
         }
         self.wheel.insert(entry.expires, key.clone());
-        if self.map.insert(key.clone(), entry).is_none() {
-            self.order.push_back(key);
-        } else if let CacheKey::Scoped(_, _, p) = &key {
-            // Replaced in place: undo the double count.
-            // lint: allow(serve-index) — prefix length ≤ 32; the table has 33 slots
-            self.scope_lens[p.len() as usize] -= 1;
+        match self.map.insert(key.clone(), entry) {
+            None => {
+                if neg {
+                    self.neg_order.push_back(key.clone());
+                }
+                self.order.push_back(key);
+            }
+            Some(old) => {
+                if let CacheKey::Scoped(_, _, p) = &key {
+                    // Replaced in place: undo the double count.
+                    // lint: allow(serve-index) — prefix length ≤ 32; the table has 33 slots
+                    self.scope_lens[p.len() as usize] -= 1;
+                }
+                // A key flipping answer class (name starts or stops
+                // existing) moves between FIFOs; a same-class refresh
+                // keeps its original position, like `order` does.
+                let was_neg = is_negative(&old);
+                if was_neg && !neg {
+                    self.neg_order.retain(|k| k != &key);
+                } else if neg && !was_neg {
+                    self.neg_order.push_back(key);
+                }
+            }
         }
         self.stats.insertions += 1;
     }
@@ -310,8 +364,9 @@ impl ResolverCache {
         for key in scratch.drain(..) {
             match self.map.get(&key) {
                 Some(e) if e.expired(now) => {
-                    self.map.remove(&key);
-                    self.on_removed(&key);
+                    if let Some(old) = self.map.remove(&key) {
+                        self.on_removed(&key, &old);
+                    }
                     self.order.retain(|k| k != &key);
                     reaped += 1;
                 }
@@ -330,23 +385,33 @@ impl ResolverCache {
 
     /// Drops an entry found expired during a lookup.
     fn drop_stale(&mut self, key: &CacheKey) {
-        if self.map.remove(key).is_some() {
-            self.on_removed(key);
+        if let Some(old) = self.map.remove(key) {
+            self.on_removed(key, &old);
             self.order.retain(|k| k != key);
             self.stats.stale_drops += 1;
         }
     }
 
-    fn on_removed(&mut self, key: &CacheKey) {
+    /// Bookkeeping for an entry just removed from the map: scope-length
+    /// counts and the negative FIFO stay consistent with the map.
+    fn on_removed(&mut self, key: &CacheKey, entry: &CacheEntry) {
         if let CacheKey::Scoped(_, _, p) = key {
             // lint: allow(serve-index) — prefix length ≤ 32; the table has 33 slots
             self.scope_lens[p.len() as usize] -= 1;
+        }
+        if is_negative(entry) {
+            self.neg_order.retain(|k| k != key);
         }
     }
 
     /// Live entry count.
     pub fn len(&self) -> usize {
         self.map.len()
+    }
+
+    /// Live negative/failure entries (the independently bounded class).
+    pub fn negative_len(&self) -> usize {
+        self.neg_order.len()
     }
 
     /// True when nothing is cached.
@@ -358,6 +423,11 @@ impl ResolverCache {
     pub fn stats(&self) -> LdnsCacheStats {
         self.stats
     }
+}
+
+/// True for the answer classes governed by the negative bound.
+fn is_negative(entry: &CacheEntry) -> bool {
+    matches!(entry.body, AnswerBody::Negative(_) | AnswerBody::Failure)
 }
 
 #[cfg(test)]
@@ -616,5 +686,194 @@ mod tests {
                 t0
             )
             .is_some());
+    }
+
+    #[test]
+    fn negative_bound_evicts_oldest_negative_first() {
+        let t0 = Instant::now();
+        let mut c = ResolverCache::new(
+            LdnsCacheConfig {
+                max_negative_entries: 2,
+                ..LdnsCacheConfig::default()
+            },
+            t0,
+        );
+        for i in 0..3u8 {
+            c.insert(
+                name(&format!("n{i}.cdn.example")),
+                RrType::A,
+                None,
+                CacheEntry::new(AnswerBody::Negative(Rcode::NxDomain), 0, 60, t0),
+            );
+        }
+        assert_eq!(c.negative_len(), 2);
+        assert_eq!(c.stats().negative_evictions, 1);
+        assert_eq!(c.stats().evictions, 0, "the shared bound never fired");
+        assert!(c
+            .lookup(
+                &name("n0.cdn.example"),
+                RrType::A,
+                "10.0.0.1".parse().unwrap(),
+                0,
+                t0
+            )
+            .is_none());
+        assert!(c
+            .lookup(
+                &name("n2.cdn.example"),
+                RrType::A,
+                "10.0.0.1".parse().unwrap(),
+                0,
+                t0
+            )
+            .is_some());
+    }
+
+    #[test]
+    fn nxdomain_flood_cannot_evict_the_positive_working_set() {
+        let t0 = Instant::now();
+        let mut c = ResolverCache::new(
+            LdnsCacheConfig {
+                max_entries: 64,
+                max_negative_entries: 8,
+                ..LdnsCacheConfig::default()
+            },
+            t0,
+        );
+        for i in 0..16u8 {
+            c.insert(
+                name(&format!("e{i}.cdn.example")),
+                RrType::A,
+                None,
+                CacheEntry::new(addrs([10, 0, 0, i]), 0, 600, t0),
+            );
+        }
+        // A cache-busting flood: 1000 distinct names, all NXDOMAIN. With
+        // a shared-only bound these would churn every positive entry out;
+        // the negative bound caps their footprint at 8 slots.
+        for i in 0..1000u32 {
+            c.insert(
+                name(&format!("x{i:06x}.cdn.example")),
+                RrType::A,
+                None,
+                CacheEntry::new(AnswerBody::Negative(Rcode::NxDomain), 0, 60, t0),
+            );
+        }
+        assert_eq!(c.negative_len(), 8);
+        assert_eq!(c.stats().negative_evictions, 1000 - 8);
+        assert_eq!(c.stats().evictions, 0);
+        for i in 0..16u8 {
+            assert!(
+                c.lookup(
+                    &name(&format!("e{i}.cdn.example")),
+                    RrType::A,
+                    "10.0.0.1".parse().unwrap(),
+                    0,
+                    t0
+                )
+                .is_some(),
+                "positive e{i} must survive the flood"
+            );
+        }
+    }
+
+    #[test]
+    fn failure_entries_share_the_negative_bound() {
+        let t0 = Instant::now();
+        let mut c = ResolverCache::new(
+            LdnsCacheConfig {
+                max_negative_entries: 1,
+                ..LdnsCacheConfig::default()
+            },
+            t0,
+        );
+        c.insert(
+            name("f0.cdn.example"),
+            RrType::A,
+            None,
+            CacheEntry::new(AnswerBody::Failure, 0, 30, t0),
+        );
+        c.insert(
+            name("f1.cdn.example"),
+            RrType::A,
+            None,
+            CacheEntry::new(AnswerBody::Negative(Rcode::NxDomain), 0, 60, t0),
+        );
+        assert_eq!(c.negative_len(), 1);
+        assert_eq!(c.stats().negative_evictions, 1);
+    }
+
+    #[test]
+    fn answer_class_flips_move_between_fifos() {
+        let t0 = Instant::now();
+        let mut c = ResolverCache::new(
+            LdnsCacheConfig {
+                max_negative_entries: 4,
+                ..LdnsCacheConfig::default()
+            },
+            t0,
+        );
+        // Name starts out nonexistent...
+        c.insert(
+            name("e0.cdn.example"),
+            RrType::A,
+            None,
+            CacheEntry::new(AnswerBody::Negative(Rcode::NxDomain), 0, 60, t0),
+        );
+        assert_eq!(c.negative_len(), 1);
+        // ...then comes into existence: the entry leaves the negative FIFO.
+        c.insert(
+            name("e0.cdn.example"),
+            RrType::A,
+            None,
+            CacheEntry::new(addrs([9, 9, 9, 9]), 0, 60, t0),
+        );
+        assert_eq!(c.negative_len(), 0);
+        assert_eq!(c.len(), 1);
+        // ...and stops existing again: back under the negative bound.
+        c.insert(
+            name("e0.cdn.example"),
+            RrType::A,
+            None,
+            CacheEntry::new(AnswerBody::Negative(Rcode::NxDomain), 0, 60, t0),
+        );
+        assert_eq!(c.negative_len(), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn expiry_and_stale_drops_release_negative_slots() {
+        let t0 = Instant::now();
+        let mut c = ResolverCache::new(
+            LdnsCacheConfig {
+                max_negative_entries: 2,
+                ..LdnsCacheConfig::default()
+            },
+            t0,
+        );
+        c.insert(
+            name("n0.cdn.example"),
+            RrType::A,
+            None,
+            CacheEntry::new(AnswerBody::Negative(Rcode::NxDomain), 0, 5, t0),
+        );
+        c.insert(
+            name("n1.cdn.example"),
+            RrType::A,
+            None,
+            CacheEntry::new(AnswerBody::Negative(Rcode::NxDomain), 0, 500, t0),
+        );
+        let mut scratch = Vec::new();
+        assert_eq!(c.advance(t0 + Duration::from_secs(10), &mut scratch), 1);
+        assert_eq!(c.negative_len(), 1);
+        // The freed slot is usable without evicting the survivor.
+        c.insert(
+            name("n2.cdn.example"),
+            RrType::A,
+            None,
+            CacheEntry::new(AnswerBody::Negative(Rcode::NxDomain), 0, 60, t0),
+        );
+        assert_eq!(c.negative_len(), 2);
+        assert_eq!(c.stats().negative_evictions, 0);
     }
 }

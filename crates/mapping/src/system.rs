@@ -148,6 +148,13 @@ struct ClusterView {
     ns_ip: Ipv4Addr,
     capacity: f64,
     alive: bool,
+    /// Load-feedback health mark: an overloaded cluster is filtered from
+    /// candidate rows at serve time like a dead one, but the widening
+    /// fallback still prefers it over leaving the ranking (overload
+    /// beats outage). Set through
+    /// [`MappingSystem::set_cluster_overloaded`], carried across
+    /// incremental rebuilds, reset by a full rebuild.
+    overloaded: bool,
     servers: Vec<(ServerId, Ipv4Addr, bool)>,
     /// Shared across generations: ring membership depends on the server
     /// set, not liveness (dead servers are filtered at pick time).
@@ -491,6 +498,7 @@ impl MappingSystem {
                 ns_ip: old.ns_ip,
                 capacity: c.capacity,
                 alive: c.alive,
+                overloaded: old.overloaded,
                 servers,
                 ring: old.ring.clone(),
             });
@@ -760,6 +768,7 @@ impl MappingSystem {
                 ns_ip,
                 capacity: c.capacity,
                 alive: c.alive,
+                overloaded: false,
                 servers,
                 ring: Arc::new(ConsistentRing::new(&server_ids, cfg.ring_vnodes)),
             });
@@ -970,27 +979,88 @@ impl MappingSystem {
         }
     }
 
-    /// First live cluster from a unit's ranked candidates, falling back to
-    /// the nearest live cluster if every candidate is down. The walk depth
-    /// (primary / ranked alternate / any-live escape) is recorded when
-    /// telemetry is attached.
+    /// Marks a cluster overloaded (or clears the mark) — the load
+    /// feedback half of the health filter. An overloaded cluster is
+    /// removed from candidate rows at serve time exactly like a dead
+    /// one, except the widening fallback prefers a ranked overloaded
+    /// cluster over leaving the ranking entirely. Returns false when
+    /// `id` is not in this map. Like a liveness flip, the change only
+    /// reaches cached authoritative answers once a new snapshot is
+    /// published.
+    pub fn set_cluster_overloaded(&mut self, id: ClusterId, overloaded: bool) -> bool {
+        match self.clusters.iter_mut().find(|c| c.id == id) {
+            Some(c) => {
+                c.overloaded = overloaded;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// True when `id` is currently marked overloaded.
+    pub fn cluster_overloaded(&self, id: ClusterId) -> bool {
+        self.clusters.iter().any(|c| c.id == id && c.overloaded)
+    }
+
+    /// The ranked candidates that are actually servable — alive and not
+    /// overloaded — in rank order, with their walk depth. Scoring and
+    /// ranking happened at map-build time; this is the serve-time half
+    /// of filter-then-score, and when every cluster is healthy it is the
+    /// identity on the row.
+    fn filter_candidates<'a>(
+        &'a self,
+        candidates: &'a [u32],
+    ) -> impl Iterator<Item = (usize, usize)> + 'a {
+        candidates.iter().enumerate().filter_map(|(depth, c)| {
+            self.clusters
+                .get(*c as usize)
+                .filter(|v| v.alive && !v.overloaded)
+                .map(|_| (depth, *c as usize))
+        })
+    }
+
+    /// Filter-then-score serving pick: the first healthy cluster from a
+    /// unit's ranked candidates, then a widening fallback chain when the
+    /// filter empties the row — a ranked-but-overloaded cluster before
+    /// abandoning the ranking, then any healthy cluster, finally any
+    /// live one (overload beats outage, matching the local LB's
+    /// server-level rule). The walk depth (primary / ranked alternate /
+    /// overloaded / any-live escape) is recorded when telemetry is
+    /// attached.
     fn pick_live(&self, candidates: &[u32]) -> Option<usize> {
-        let found = candidates
-            .iter()
-            .enumerate()
-            .map(|(depth, c)| (depth, *c as usize))
-            .find(|(_, c)| self.clusters[*c].alive);
-        if let Some((depth, c)) = found {
+        if let Some((depth, c)) = self.filter_candidates(candidates).next() {
             if let Some(t) = &self.telemetry {
                 t.count_fallback(Some(depth));
             }
             return Some(c);
         }
-        let escape = self.clusters.iter().position(|c| c.alive);
+        // Every healthy candidate was filtered away; a ranked overloaded
+        // cluster still beats an off-ranking answer.
+        if let Some(c) = candidates
+            .iter()
+            .map(|c| *c as usize)
+            .find(|c| self.clusters[*c].alive)
+        {
+            if let Some(t) = &self.telemetry {
+                t.count_fallback_overloaded();
+            }
+            return Some(c);
+        }
+        let escape = self.escape_cluster();
         if let (Some(t), Some(_)) = (&self.telemetry, escape) {
             t.count_fallback(None);
         }
         escape
+    }
+
+    /// The escape cluster for answers with no usable ranking: the first
+    /// healthy cluster, or the first live one when every live cluster is
+    /// overloaded.
+    fn escape_cluster(&self) -> Option<usize> {
+        self.clusters
+            .iter()
+            .position(|c| c.alive && !c.overloaded)
+            .or_else(|| self.clusters.iter().position(|c| c.alive))
     }
 
     /// The cluster index for an LDNS (NS-based path), under the scoring
@@ -1003,7 +1073,7 @@ impl MappingSystem {
                 }
                 self.pick_live(self.ns_candidates[class_slot(class)].row(u.index()))
             }
-            None => self.clusters.iter().position(|c| c.alive),
+            None => self.escape_cluster(),
         }
     }
 
@@ -1024,6 +1094,45 @@ impl MappingSystem {
         // floor (Fig 4's /20) and never finer than the /24 the query
         // carries.
         Some((cluster, unit_len.clamp(self.cfg.scope_floor.min(24), 24)))
+    }
+
+    /// Public inspection helper: a /24 client block's ranked candidate
+    /// clusters, best first, *before* any serve-time health filtering
+    /// (None when the block is unknown or the policy has no EU units).
+    /// Equivalence tests walk this row themselves to model unfiltered
+    /// selection.
+    pub fn candidate_clusters_for_block(
+        &self,
+        block: Prefix,
+        class: TrafficClass,
+    ) -> Option<Vec<ClusterId>> {
+        let units = self.eu_units.as_ref()?;
+        let unit = units.unit_for_block24(block.truncate(24))?;
+        Some(
+            self.eu_candidates[class_slot(class)]
+                .row(unit.index())
+                .iter()
+                .map(|c| self.clusters[*c as usize].id)
+                .collect(),
+        )
+    }
+
+    /// Public inspection helper: an LDNS's ranked candidate clusters,
+    /// best first, before any serve-time health filtering (None when the
+    /// resolver is unknown).
+    pub fn candidate_clusters_for_ldns(
+        &self,
+        ldns_ip: Ipv4Addr,
+        class: TrafficClass,
+    ) -> Option<Vec<ClusterId>> {
+        let u = self.ldns_by_ip.get(&ldns_ip)?;
+        Some(
+            self.ns_candidates[class_slot(class)]
+                .row(u.index())
+                .iter()
+                .map(|c| self.clusters[*c as usize].id)
+                .collect(),
+        )
     }
 
     /// Public inspection helper: the cluster end-user mapping would pick

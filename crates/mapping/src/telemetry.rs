@@ -7,11 +7,13 @@
 //!
 //! * which answer path each query took (`eum_mapping_answers_total`,
 //!   labeled by path — end-user, NS, top-level delegation, whoami, error);
-//! * how deep into a unit's ranked candidate list liveness fallback had
+//! * how deep into a unit's ranked candidate list health fallback had
 //!   to walk (`eum_mapping_fallback_depth_total` — `primary` means the
-//!   load balancer's assignment was live, `ranked` a lower-ranked
-//!   candidate, `any_live` that every candidate was down and the nearest
-//!   live cluster answered);
+//!   load balancer's assignment was healthy, `ranked` a lower-ranked
+//!   healthy candidate, `overloaded` that every healthy candidate was
+//!   filtered and a ranked-but-overloaded cluster answered, `any_live`
+//!   that every candidate was down and the nearest live cluster
+//!   answered);
 //! * round-robin answer rotations (`eum_mapping_rr_rotations_total`);
 //! * per-mapping-unit query counts, kept in plain atomic arrays because
 //!   unit indices are unbounded-cardinality and must never become label
@@ -51,6 +53,7 @@ pub struct MappingTelemetry {
     answers_error: Arc<Counter>,
     fallback_primary: Arc<Counter>,
     fallback_ranked: Arc<Counter>,
+    fallback_overloaded: Arc<Counter>,
     fallback_any_live: Arc<Counter>,
     rr_rotations: Arc<Counter>,
     rebuild_full_ns: Arc<Histogram>,
@@ -105,6 +108,7 @@ impl MappingTelemetry {
             answers_error: answers("error"),
             fallback_primary: fallback("primary"),
             fallback_ranked: fallback("ranked"),
+            fallback_overloaded: fallback("overloaded"),
             fallback_any_live: fallback("any_live"),
             rr_rotations: registry.counter(
                 "eum_mapping_rr_rotations_total",
@@ -160,7 +164,7 @@ impl MappingTelemetry {
         }
     }
 
-    /// Records how deep [`crate::MappingSystem`]'s liveness walk went:
+    /// Records how deep [`crate::MappingSystem`]'s health walk went:
     /// `Some(0)` primary, `Some(_)` a ranked alternate, `None` the
     /// any-live escape hatch.
     pub(crate) fn count_fallback(&self, depth: Option<usize>) {
@@ -169,6 +173,12 @@ impl MappingTelemetry {
             Some(_) => self.fallback_ranked.inc(),
             None => self.fallback_any_live.inc(),
         }
+    }
+
+    /// Records an answer that had to serve a ranked-but-overloaded
+    /// cluster because the health filter emptied the candidate row.
+    pub(crate) fn count_fallback_overloaded(&self) {
+        self.fallback_overloaded.inc();
     }
 
     pub(crate) fn count_rr_rotation(&self) {

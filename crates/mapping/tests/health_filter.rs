@@ -1,0 +1,247 @@
+//! Equivalence and divergence proofs for health-filter-then-score
+//! cluster selection.
+//!
+//! The serve path now filters each unit's ranked candidate row down to
+//! healthy clusters (alive and not overloaded) before taking the best
+//! one, with a widening fallback chain when the filter empties the row.
+//! The load-bearing claim is conservative: **when every cluster is
+//! healthy the filter is the identity** — the answer bytes produced are
+//! bit-exact what unfiltered selection produced, for every block, every
+//! resolver, every traffic class. This suite proves that claim at the
+//! wire level and then checks the divergence cases actually divert:
+//!
+//! * all healthy — filtered pick == first ranked candidate (the
+//!   unfiltered walk's result), and a map whose overload marks were set
+//!   and cleared answers byte-identically to a pristine clone;
+//! * primary overloaded — traffic moves to the next ranked candidate,
+//!   never off the ranking;
+//! * everything overloaded — the chain falls back to the ranked primary
+//!   (overload beats outage: shedding rankings entirely would stampede
+//!   the escape cluster) and the answers are again byte-identical to the
+//!   all-healthy map;
+//! * dead primary + overloaded alternate — healthy-but-worse beats
+//!   overloaded-but-better.
+
+use eum_cdn::{
+    deployment_universe, CatalogConfig, CdnPlatform, ContentCatalog, DeployConfig, TrafficClass,
+};
+use eum_dns::{encode_message, EcsOption, Message, OptData, QueryContext, Question};
+use eum_mapping::{MappingConfig, MappingPolicy, MappingSystem};
+use eum_netmodel::{Internet, InternetConfig};
+use eum_telemetry::Registry;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+const SEED: u64 = 0xF117E5;
+
+fn world() -> (Internet, CdnPlatform, MappingSystem) {
+    let mut net = Internet::generate(InternetConfig::tiny(SEED));
+    let sites = deployment_universe(SEED, 12);
+    let cdn = CdnPlatform::deploy(&mut net, &sites, &DeployConfig::default());
+    let catalog = ContentCatalog::generate(&CatalogConfig::tiny(SEED));
+    let map = MappingSystem::build(
+        &mut net,
+        &cdn,
+        &catalog,
+        "cdn.example".parse().unwrap(),
+        MappingConfig {
+            policy: MappingPolicy::end_user_default(),
+            max_ping_targets: 40,
+            ..MappingConfig::default()
+        },
+    );
+    (net, cdn, map)
+}
+
+fn ctx(resolver_ip: Ipv4Addr) -> QueryContext {
+    QueryContext {
+        resolver_ip,
+        now_ms: 0,
+    }
+}
+
+/// Every answer the low-level servers would produce for a full sweep of
+/// the universe: per block an ECS A query, per resolver a plain A query,
+/// across three domains — encoded to wire bytes.
+fn answer_sweep(net: &Internet, map: &MappingSystem) -> Vec<Vec<u8>> {
+    let low = map.ns_ips()[1];
+    let ldns = net.resolvers[0].ip;
+    let mut out = Vec::new();
+    for d in 0..3u16 {
+        let qname: eum_dns::DnsName = format!("e{d}.cdn.example").parse().unwrap();
+        for (i, b) in net.blocks.iter().enumerate() {
+            let q = Message::query(
+                d * 4096 + i as u16,
+                Question::a(qname.clone()),
+                Some(OptData::with_ecs(EcsOption::query(b.client_ip(), 24))),
+            );
+            out.push(encode_message(&map.answer(low, &q, &ctx(ldns))));
+        }
+        for (j, r) in net.resolvers.iter().enumerate() {
+            let q = Message::query(d * 4096 + 2048 + j as u16, Question::a(qname.clone()), None);
+            out.push(encode_message(&map.answer(low, &q, &ctx(r.ip))));
+        }
+    }
+    out
+}
+
+#[test]
+fn all_healthy_filter_is_identity_bit_exact() {
+    let (net, cdn, mut map) = world();
+    let pristine = answer_sweep(&net, &map);
+
+    // Unfiltered-selection oracle: with every cluster healthy, the
+    // filtered pick must be exactly the head of each ranked candidate
+    // row — what the unfiltered walk (first *alive* candidate) returns.
+    for class in TrafficClass::ALL {
+        for b in &net.blocks {
+            let ranked = map.candidate_clusters_for_block(b.prefix, class).unwrap();
+            assert!(!ranked.is_empty());
+            assert_eq!(
+                map.assigned_cluster_for_block_class(b.prefix, class),
+                Some(ranked[0]),
+                "block {}: filtered pick must be the ranked primary",
+                b.prefix
+            );
+        }
+        for r in &net.resolvers {
+            // Unknown resolvers take the escape path, not a ranked row.
+            let Some(ranked) = map.candidate_clusters_for_ldns(r.ip, class) else {
+                continue;
+            };
+            assert_eq!(
+                map.assigned_cluster_for_ldns_class(r.ip, class),
+                Some(ranked[0]),
+                "ldns {}: filtered pick must be the ranked primary",
+                r.ip
+            );
+        }
+    }
+
+    // Exercising the filter machinery and restoring health must leave
+    // the answers bit-exact: mark/clear every cluster and flip liveness
+    // through a refresh round-trip.
+    for c in &cdn.clusters {
+        assert!(map.set_cluster_overloaded(c.id, true));
+        assert!(map.cluster_overloaded(c.id));
+    }
+    for c in &cdn.clusters {
+        assert!(map.set_cluster_overloaded(c.id, false));
+        assert!(!map.cluster_overloaded(c.id));
+    }
+    map.refresh_liveness(&cdn);
+    assert_eq!(
+        pristine,
+        answer_sweep(&net, &map),
+        "all-healthy answers must be bit-exact after a filter round-trip"
+    );
+}
+
+#[test]
+fn overloaded_primary_diverts_to_next_ranked_candidate() {
+    let (net, _cdn, mut map) = world();
+    let reg = Arc::new(Registry::new());
+    map.attach_telemetry(reg.clone());
+
+    // Find a block with at least two distinct ranked candidates.
+    let (block, ranked) = net
+        .blocks
+        .iter()
+        .find_map(|b| {
+            let r = map
+                .candidate_clusters_for_block(b.prefix, TrafficClass::Web)
+                .unwrap();
+            (r.len() >= 2 && r[0] != r[1]).then_some((b.prefix, r))
+        })
+        .expect("universe has a block with a ranked alternate");
+
+    assert!(map.set_cluster_overloaded(ranked[0], true));
+    let picked = map.assigned_cluster_for_block(block).unwrap();
+    assert_ne!(picked, ranked[0], "overloaded primary must be filtered");
+    // Next healthy candidate in ranked order, never off the ranking.
+    let expect = *ranked[1..].iter().find(|c| **c != ranked[0]).unwrap();
+    assert_eq!(picked, expect);
+
+    // The walk depth is visible as a ranked (not overloaded) fallback:
+    // a healthy alternate existed.
+    let ranked_ct = reg
+        .counter(
+            "eum_mapping_fallback_depth_total",
+            "",
+            &[("rank", "ranked")],
+        )
+        .get();
+    assert!(ranked_ct >= 1, "divert must count as a ranked fallback");
+}
+
+#[test]
+fn fully_overloaded_map_serves_the_ranked_primary() {
+    let (net, cdn, mut map) = world();
+    let pristine = answer_sweep(&net, &map);
+    let reg = Arc::new(Registry::new());
+    map.attach_telemetry(reg.clone());
+
+    for c in &cdn.clusters {
+        assert!(map.set_cluster_overloaded(c.id, true));
+    }
+    // Overload beats outage: with every cluster overloaded the chain
+    // returns to the ranked primary, so the answers are byte-identical
+    // to the all-healthy map — no stampede onto an escape cluster.
+    assert_eq!(
+        pristine,
+        answer_sweep(&net, &map),
+        "fully-overloaded answers must match all-healthy answers"
+    );
+    let overloaded_ct = reg
+        .counter(
+            "eum_mapping_fallback_depth_total",
+            "",
+            &[("rank", "overloaded")],
+        )
+        .get();
+    assert!(
+        overloaded_ct > 0,
+        "serving past an emptied filter must count rank=overloaded"
+    );
+}
+
+#[test]
+fn dead_primary_with_overloaded_alternate_prefers_healthy_depth() {
+    let (net, mut cdn, mut map) = world();
+    let (block, ranked) = net
+        .blocks
+        .iter()
+        .find_map(|b| {
+            let r = map
+                .candidate_clusters_for_block(b.prefix, TrafficClass::Web)
+                .unwrap();
+            let mut distinct = r.clone();
+            distinct.dedup();
+            (distinct.len() >= 3).then_some((b.prefix, r))
+        })
+        .expect("universe has a block with three distinct candidates");
+
+    // Kill the primary, overload the first alternate: the healthy (if
+    // worse-ranked) candidate must win over the overloaded one.
+    cdn.set_cluster_alive(ranked[0], false);
+    map.refresh_liveness(&cdn);
+    let alt = *ranked[1..].iter().find(|c| **c != ranked[0]).unwrap();
+    assert!(map.set_cluster_overloaded(alt, true));
+
+    let picked = map.assigned_cluster_for_block(block).unwrap();
+    assert_ne!(picked, ranked[0], "dead cluster must never serve");
+    assert_ne!(picked, alt, "healthy-but-worse beats overloaded-but-better");
+    let expect = *ranked
+        .iter()
+        .find(|c| **c != ranked[0] && **c != alt)
+        .unwrap();
+    assert_eq!(picked, expect);
+
+    // Now overload everything else too: the ranked overloaded alternate
+    // (not the dead primary) serves.
+    for c in &cdn.clusters {
+        assert!(map.set_cluster_overloaded(c.id, true));
+    }
+    let picked = map.assigned_cluster_for_block(block).unwrap();
+    assert_eq!(picked, alt, "ranked overloaded beats off-ranking answers");
+}

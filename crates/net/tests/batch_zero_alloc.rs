@@ -1,7 +1,8 @@
 //! Proof of the batched socket path's allocation budget: once the
 //! transport's bind-time buffers and the shard's scratch are warm, a
-//! full batch cycle — `recvmmsg` a batch, serve every query as a cached
-//! hit, stage every reply, `sendmmsg` the batch — touches the heap zero
+//! full batch cycle — `recvmmsg` a batch, serve every query (cached
+//! legit hits and admission-shed REFUSED replies alike), stage every
+//! reply, `sendmmsg` the batch — touches the heap zero
 //! times, **with the observability plane on**: batch instruments
 //! attached ([`ReuseportUdpTransport::attach_metrics`]) and every served
 //! query pushed into a [`TraceRing`]. Window capture
@@ -16,8 +17,8 @@
 //! blips), and their heap traffic says nothing about the serving path.
 
 use eum_authd::{
-    BatchServerTransport, CacheConfig, QueryStages, ReplyCap, ServeOutcome, ShardState,
-    SnapshotHandle,
+    AdmissionConfig, BatchServerTransport, CacheConfig, QueryStages, ReplyCap, ServeOutcome,
+    ShardState, SnapshotHandle,
 };
 use eum_cdn::{deployment_universe, CatalogConfig, CdnPlatform, ContentCatalog, DeployConfig};
 use eum_dns::edns::{EcsOption, OptData};
@@ -35,6 +36,10 @@ use std::time::Duration;
 
 const SEED: u64 = 0xBA7C;
 const BATCH: usize = 8;
+/// Attack-shaped queries per cycle: names outside the catalog, so they
+/// always miss the answer cache and hit the admission check; with the
+/// bucket drained they are shed as REFUSED inside the counted loop.
+const ATTACK: usize = 4;
 
 /// Counts every path into the heap taken by the test thread; frees are
 /// uncounted (a zero-alloc steady state cannot free what it never
@@ -134,11 +139,12 @@ fn batch_cycle(
     payloads: &[Vec<u8>],
     rbuf: &mut [u8],
     ring: &TraceRing,
-) -> usize {
+) -> (usize, usize) {
     for p in payloads {
         client.send_to(p, dest).expect("client send");
     }
     let mut served = 0usize;
+    let mut shed = 0usize;
     while served < payloads.len() {
         let n = transport
             .recv_batch(Duration::from_secs(2))
@@ -168,6 +174,14 @@ fn batch_cycle(
                 ServeOutcome::Replied { .. } | ServeOutcome::FormErr => {
                     transport.stage_reply(i, state.reply());
                 }
+                ServeOutcome::Shed => {
+                    // The stamped reply must be a REFUSED header
+                    // (RCODE 5) — and staging it is the same alloc-free
+                    // slot write as any other reply.
+                    assert_eq!(state.reply()[3] & 0x0F, 5, "shed reply must be REFUSED");
+                    transport.stage_reply(i, state.reply());
+                    shed += 1;
+                }
                 ServeOutcome::Dropped => {}
             }
             served += 1;
@@ -178,7 +192,7 @@ fn batch_cycle(
     for _ in 0..payloads.len() {
         client.recv_from(rbuf).expect("client recv");
     }
-    served
+    (served, shed)
 }
 
 #[test]
@@ -189,7 +203,10 @@ fn warm_batch_cycles_do_not_allocate() {
     let snapshots = SnapshotHandle::new(map);
     let snap = snapshots.current();
 
-    // BATCH distinct-ID queries over two cacheable shapes.
+    // BATCH distinct-ID queries over two cacheable shapes, plus ATTACK
+    // flood-shaped queries for names outside the catalog: those always
+    // miss the cache, so once the admission bucket is drained every one
+    // of them exercises the shed path (REFUSED) inside the counted loop.
     let payloads: Vec<Vec<u8>> = (0..BATCH)
         .map(|i| {
             let opt = (i % 2 == 0)
@@ -200,6 +217,13 @@ fn warm_batch_cycles_do_not_allocate() {
                 opt,
             ))
         })
+        .chain((0..ATTACK).map(|i| {
+            encode_message(&Message::query(
+                0x3000 + i as u16,
+                Question::a(format!("flood{i}.cdn.example").parse().unwrap()),
+                None,
+            ))
+        }))
         .collect();
 
     let cfg = BatchConfig {
@@ -233,7 +257,8 @@ fn warm_batch_cycles_do_not_allocate() {
     state.observe(&snap);
 
     // Warm-up: fill the answer cache, settle every scratch capacity, and
-    // let the transport apply its read timeout once.
+    // let the transport apply its read timeout once. Admission is off so
+    // the legit shapes all reach the cache.
     for _ in 0..5 {
         batch_cycle(
             &mut transport,
@@ -247,12 +272,31 @@ fn warm_batch_cycles_do_not_allocate() {
             &ring,
         );
     }
+
+    // Enable admission with a bucket that never refills (rate 0) and
+    // holds one token, then burn that token with one more warm cycle:
+    // from here on every compute-path (attack-shaped) query is shed as
+    // REFUSED while the cached legit shapes keep replaying.
+    state = state.with_admission(&AdmissionConfig::new(0, 1), std::time::Instant::now());
+    let (_, warm_shed) = batch_cycle(
+        &mut transport,
+        &mut state,
+        &snap,
+        low,
+        &client,
+        dest,
+        &payloads,
+        &mut rbuf,
+        &ring,
+    );
+    assert_eq!(warm_shed, ATTACK - 1, "one token admits one attack query");
     capturer.capture();
 
     let before = ALLOCS.load(Ordering::SeqCst);
     let mut served = 0usize;
+    let mut shed = 0usize;
     for _ in 0..200 {
-        served += batch_cycle(
+        let (s, sh) = batch_cycle(
             &mut transport,
             &mut state,
             &snap,
@@ -263,12 +307,20 @@ fn warm_batch_cycles_do_not_allocate() {
             &mut rbuf,
             &ring,
         );
+        served += s;
+        shed += sh;
     }
     let delta = ALLOCS.load(Ordering::SeqCst) - before;
-    assert_eq!(served, 200 * BATCH);
+    assert_eq!(served, 200 * (BATCH + ATTACK));
+    assert_eq!(
+        shed,
+        200 * ATTACK,
+        "every attack-shaped query must shed; every cached hit must serve"
+    );
     assert_eq!(
         delta, 0,
-        "warm batched recv/serve/send allocated {delta} times over {served} queries"
+        "warm batched recv/serve/send allocated {delta} times over {served} queries \
+         ({shed} shed as REFUSED)"
     );
 
     // Window capture (off the counted path, as the Reporter runs it)

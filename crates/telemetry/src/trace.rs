@@ -42,6 +42,8 @@ pub enum TraceOutcome {
     Malformed = 3,
     /// Resolution failed (SERVFAIL, retries exhausted, no answer).
     Failed = 4,
+    /// Shed by admission control (REFUSED, compute path over budget).
+    Shed = 5,
 }
 
 impl TraceOutcome {
@@ -51,6 +53,7 @@ impl TraceOutcome {
             1 => TraceOutcome::Computed,
             2 => TraceOutcome::Uncached,
             4 => TraceOutcome::Failed,
+            5 => TraceOutcome::Shed,
             _ => TraceOutcome::Malformed,
         }
     }
@@ -63,6 +66,7 @@ impl TraceOutcome {
             TraceOutcome::Uncached => "uncached",
             TraceOutcome::Malformed => "malformed",
             TraceOutcome::Failed => "failed",
+            TraceOutcome::Shed => "shed",
         }
     }
 }

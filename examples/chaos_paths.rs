@@ -1,0 +1,83 @@
+//! Microbenchmark for the three serve-path cost classes the chaos
+//! engine's calibration reasons about: a cache-busting flood query
+//! against an undefended authd (two upstream exchanges plus the
+//! mapping compute), the same query shed by admission control (one
+//! REFUSED exchange), and a warm legitimate hit (resolver-cached, no
+//! upstream traffic).
+//!
+//! Run with: `cargo run --release --example chaos_paths`
+
+use end_user_mapping::authd::{
+    channel_transports, AdmissionConfig, AuthServer, ChannelClient, ServerConfig, SnapshotHandle,
+};
+use end_user_mapping::chaos::ChaosWorld;
+use end_user_mapping::ldns::{EcsPolicy, Ldns, LdnsConfig};
+use std::time::Instant;
+
+/// Enough iterations to average over scheduler noise while staying
+/// below the resolver cache's insert-churn cliff (one resolver
+/// absorbing tens of thousands of one-shot names starts paying
+/// eviction costs the chaos scenarios never see — their flood spreads
+/// across the whole fleet).
+const N: usize = 8000;
+
+fn main() {
+    let world = ChaosWorld::build(0x000C_4A05);
+
+    for (label, admission) in [
+        ("undefended flood (full path)", None),
+        (
+            "shed flood (REFUSED path)",
+            Some(AdmissionConfig::new(0, 1)),
+        ),
+    ] {
+        let (transports, connector) = channel_transports(1);
+        let mut cfg = ServerConfig::new(world.top_ip);
+        if let Some(adm) = admission {
+            cfg = cfg.with_admission(adm);
+        }
+        let server = AuthServer::spawn(
+            transports,
+            SnapshotHandle::new(world.map.clone_for_publish()),
+            cfg,
+        );
+        let mut client = ChannelClient::new(connector);
+        let epoch = Instant::now();
+        let r = &world.net.resolvers[0];
+        let mut ldns = Ldns::new(LdnsConfig::new(r.ip, EcsPolicy::Always), epoch);
+        let src = world.net.blocks[0].client_ip();
+
+        let t0 = Instant::now();
+        for i in 0..N {
+            let qname = format!("x{i:016x}.cdn.example").parse().unwrap();
+            ldns.resolve(&mut client, 0, world.top_ip, &qname, src, epoch);
+        }
+        let per = t0.elapsed().as_nanos() as u64 / N as u64;
+        println!("{label:>30}: {per:>6} ns/query");
+        drop(client);
+        server.stop_join();
+    }
+
+    // Warm legit hit: resolve once cold, then time repeats.
+    let (transports, connector) = channel_transports(1);
+    let server = AuthServer::spawn(
+        transports,
+        SnapshotHandle::new(world.map.clone_for_publish()),
+        ServerConfig::new(world.top_ip),
+    );
+    let mut client = ChannelClient::new(connector);
+    let epoch = Instant::now();
+    let r = &world.net.resolvers[0];
+    let mut ldns = Ldns::new(LdnsConfig::new(r.ip, EcsPolicy::Always), epoch);
+    let src = world.net.blocks[0].client_ip();
+    let hot: end_user_mapping::dns::DnsName = "www-0.cdn.example".parse().unwrap();
+    ldns.resolve(&mut client, 0, world.top_ip, &hot, src, epoch);
+    let t0 = Instant::now();
+    for _ in 0..N {
+        ldns.resolve(&mut client, 0, world.top_ip, &hot, src, epoch);
+    }
+    let per = t0.elapsed().as_nanos() as u64 / N as u64;
+    println!("{:>30}: {per:>6} ns/query", "warm legit hit");
+    drop(client);
+    server.stop_join();
+}

@@ -22,6 +22,12 @@
 #   ~1% and ~10% hinted unit churn, both measured in the same run (the
 #   equivalence suite proves the outputs identical; the speedup is the
 #   whole point of the PR and must be >= 5x at 1% churn).
+# * pr10 — adversarial workloads vs admission control: runs the full
+#   `chaos_lab` scenario suite live (fleet vs authd, defenses off then
+#   on at identical offered load) and records every scenario's A/B
+#   outcome. The acceptance floor — NXDOMAIN-flood defenses hold >= 2x
+#   legit goodput at a lower legit p99 — is asserted here, not just in
+#   the example's own gate.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -32,7 +38,8 @@ case "$mode" in
   pr5) default_out="BENCH_pr5.json"; bench="ldns" ;;
   pr6) default_out="BENCH_pr6.json"; bench="" ;;
   pr8) default_out="BENCH_pr8.json"; bench="rebuild" ;;
-  *) echo "usage: $0 [pr3|pr5|pr6|pr8] [out.json]" >&2; exit 2 ;;
+  pr10) default_out="BENCH_pr10.json"; bench="" ;;
+  *) echo "usage: $0 [pr3|pr5|pr6|pr8|pr10] [out.json]" >&2; exit 2 ;;
 esac
 out="${2:-$default_out}"
 
@@ -91,6 +98,65 @@ json.dump(
 print(file=open(out, "a"))
 print(f"wrote {out}: batched {b_qps:.0f} q/s vs single {s_qps:.0f} q/s "
       f"({b_qps / s_qps:.2f}x)")
+EOF
+  exit 0
+fi
+
+if [ "$mode" = "pr10" ]; then
+  cargo build --release --example chaos_lab >&2
+  raw="$(./target/release/examples/chaos_lab | tee /dev/stderr)"
+
+  # "RESULT mode=pr10 scenario=nxdomain_flood goodput_off=... " lines,
+  # one per scenario, into a JSON object keyed by scenario. (Passed via
+  # the environment: the heredoc already owns python's stdin.)
+  CHAOS_RESULTS="$(echo "$raw" | grep "^RESULT mode=pr10 ")" \
+    python3 - "$out" <<'EOF'
+import json, os, sys
+
+out = sys.argv[1]
+scenarios = {}
+for line in os.environ["CHAOS_RESULTS"].splitlines():
+    fields = dict(kv.split("=", 1) for kv in line.split()[1:])
+    name = fields.pop("scenario")
+    fields.pop("mode", None)
+    scenarios[name] = {
+        k: (int(v) if v.lstrip("-").isdigit() else float(v))
+        for k, v in fields.items()
+    }
+
+flood = scenarios.get("nxdomain_flood")
+assert flood, "chaos_lab emitted no nxdomain_flood RESULT line"
+assert flood["goodput_ratio"] >= 2.0, (
+    f"flood defenses must hold >= 2x legit goodput, got "
+    f"{flood['goodput_ratio']}x"
+)
+assert flood["p99_on_us"] < flood["p99_off_us"], (
+    f"flood defenses must cut the legit p99 tail: on "
+    f"{flood['p99_on_us']} us vs off {flood['p99_off_us']} us"
+)
+assert flood["shed_on"] > 0, "defended flood arm shed nothing"
+
+json.dump(
+    {
+        "pr": 10,
+        "bench": "eum-chaos adversarial scenario suite, defenses off vs "
+        "on at identical offered load (fleet vs authd, live; per-window "
+        "ground truth in results/chaos_lab.jsonl)",
+        "floor": {
+            "scenario": "nxdomain_flood",
+            "goodput_ratio_min": 2.0,
+            "p99_legit": "defended below undefended",
+        },
+        "scenarios": scenarios,
+    },
+    open(out, "w"),
+    indent=2,
+)
+print(file=open(out, "a"))
+print(
+    f"wrote {out}: flood goodput ratio {flood['goodput_ratio']}x, "
+    f"p99 {flood['p99_off_us']} -> {flood['p99_on_us']} us"
+)
 EOF
   exit 0
 fi

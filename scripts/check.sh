@@ -52,4 +52,8 @@ step "map-churn smoke (keyed delta invalidation vs generation clear)"
 cargo run -q --release --example map_churn -- --smoke | tee /dev/stderr | grep -q "MAP-CHURN PASS"
 step_done
 
+step "chaos smoke (NXDOMAIN flood + flash crowd, defenses off vs on)"
+cargo run -q --release --example chaos_lab -- --smoke | tee /dev/stderr | grep -q "CHAOS PASS"
+step_done
+
 echo "All checks passed in $((SECONDS - total_start))s."

@@ -31,6 +31,10 @@
 //! * [`telemetry`] — the lock-free metrics registry, latency histograms,
 //!   per-query trace ring, and Prometheus-style text exposition wired
 //!   through the serving path.
+//! * [`chaos`] — the adversarial workload engine: seeded attack
+//!   scenarios (NXDOMAIN floods, flash crowds, site outages, ECS flips,
+//!   cache pressure) replayed live against the serving stack with
+//!   defenses off versus on.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +51,7 @@
 
 pub use eum_authd as authd;
 pub use eum_cdn as cdn;
+pub use eum_chaos as chaos;
 pub use eum_dns as dns;
 pub use eum_geo as geo;
 pub use eum_ldns as ldns;
